@@ -1,0 +1,26 @@
+//! # horse-baseline — the comparison baselines
+//!
+//! Figure 3 of the paper compares Horse against Mininet. Mininet is a
+//! container-based emulator: it cannot be reproduced inside a simulator, so
+//! per the substitution policy (DESIGN.md §1) this crate models exactly the
+//! two cost sources that shape Mininet's execution time:
+//!
+//! 1. **Topology creation** — Mininet creates a network namespace and veth
+//!    pairs per host, an OVS bridge per switch, and a veth pair per link;
+//!    each element costs wall-clock time ([`MininetModel`]).
+//! 2. **Experiment execution** — an emulator runs in *real time* (60 s of
+//!    experiment take at least 60 s of wall clock), and forwarding every
+//!    packet in software costs CPU; when offered load exceeds the machine's
+//!    forwarding capacity, execution stretches beyond real time.
+//!
+//! The packet counts that drive (2) come from [`PacketLevelSim`], a real
+//! per-packet discrete-event simulator over the same topologies — which
+//! doubles as the foil for the fluid-vs-packet ablation (A3): it measures
+//! how many events a per-packet data plane must process where the fluid
+//! model re-solves a handful of rate equations.
+
+pub mod mininet;
+pub mod packet_sim;
+
+pub use mininet::MininetModel;
+pub use packet_sim::{PacketFlow, PacketLevelSim, PacketSimConfig, PacketSimReport};

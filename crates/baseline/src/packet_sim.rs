@@ -1,0 +1,377 @@
+//! A per-packet discrete-event network simulator.
+//!
+//! This is what Horse's fluid data plane *replaces*: every packet of every
+//! flow is an explicit event chain — generation at the source, store-and-
+//! forward transmission on each link (FIFO queueing on the output port,
+//! serialization at link rate, propagation delay), delivery at the sink.
+//! Tail-drop queues bound memory and model congestion loss.
+//!
+//! It exists for two jobs:
+//!
+//! * the **fluid-vs-packet ablation** (DESIGN.md A3): same workload, count
+//!   events and wall time under both data planes;
+//! * the **Mininet execution model**: the per-packet-hop count it produces
+//!   is the work a software emulator must do in real time.
+
+use horse_net::fluid::DirLink;
+use horse_net::topology::{LinkId, NodeId, Topology};
+use horse_sim::{EventQueue, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for a packet-level run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketSimConfig {
+    /// Packet size (the demo's UDP flows; default 1500-byte MTU frames).
+    pub packet_size_bytes: u32,
+    /// Output-queue capacity per link direction, in packets (tail drop).
+    pub queue_capacity: u32,
+    /// End of simulation.
+    pub horizon: SimTime,
+}
+
+impl Default for PacketSimConfig {
+    fn default() -> Self {
+        PacketSimConfig {
+            packet_size_bytes: 1500,
+            queue_capacity: 100,
+            horizon: SimTime::from_secs(1),
+        }
+    }
+}
+
+/// One CBR flow with a fixed path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketFlow {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Links traversed, in order from `src`.
+    pub path: Vec<LinkId>,
+    /// Constant bit rate, bits/s.
+    pub rate_bps: f64,
+    /// First packet time.
+    pub start: SimTime,
+}
+
+/// Results of a packet-level run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketSimReport {
+    /// Packets generated at sources.
+    pub generated: u64,
+    /// Packets delivered to sinks.
+    pub delivered: u64,
+    /// Packets dropped at full queues.
+    pub dropped: u64,
+    /// Total events processed (generation + per-hop + delivery).
+    pub events: u64,
+    /// Total packet-hops (each transmission of a packet on a link).
+    pub packet_hops: u64,
+    /// Aggregate goodput over the run, bits/s.
+    pub goodput_bps: f64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Source of flow `f` emits its next packet.
+    Generate { f: usize },
+    /// A packet of flow `f` finished arriving at hop `hop` (0-based index
+    /// into the path; `hop == path.len()` means delivered).
+    Arrive { f: usize, hop: usize },
+}
+
+/// The per-packet simulator.
+pub struct PacketLevelSim {
+    topo: Topology,
+    flows: Vec<PacketFlow>,
+    dlinks: Vec<Vec<DirLink>>,
+    cfg: PacketSimConfig,
+}
+
+impl PacketLevelSim {
+    /// Builds a simulator; panics if a flow's path does not connect its
+    /// endpoints (caller resolves paths via `horse-dataplane`).
+    pub fn new(topo: Topology, flows: Vec<PacketFlow>, cfg: PacketSimConfig) -> PacketLevelSim {
+        let dlinks = flows
+            .iter()
+            .map(|f| {
+                let mut cur = f.src;
+                f.path
+                    .iter()
+                    .map(|lid| {
+                        let link = topo.link(*lid);
+                        let forward = link.a.node == cur;
+                        assert!(
+                            forward || link.b.node == cur,
+                            "flow path disconnected at {cur}"
+                        );
+                        cur = link.other(cur);
+                        DirLink {
+                            link: *lid,
+                            forward,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        PacketLevelSim {
+            topo,
+            flows,
+            dlinks,
+            cfg,
+        }
+    }
+
+    /// Runs to the horizon.
+    pub fn run(&mut self) -> PacketSimReport {
+        let wall = std::time::Instant::now();
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        // Per directed link: when the transmitter is next free, and the
+        // number of packets queued (including the one in transmission).
+        let mut free_at: HashMap<DirLink, SimTime> = HashMap::new();
+        let mut queued: HashMap<DirLink, u32> = HashMap::new();
+        let mut generated = 0u64;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        let mut events = 0u64;
+        let mut packet_hops = 0u64;
+        let mut delivered_bytes = 0u64;
+        let pkt_bits = f64::from(self.cfg.packet_size_bytes) * 8.0;
+
+        for (f, flow) in self.flows.iter().enumerate() {
+            if flow.rate_bps > 0.0 {
+                queue.push(flow.start, Ev::Generate { f });
+            }
+        }
+
+        while let Some((now, ev)) = queue.pop() {
+            if now > self.cfg.horizon {
+                break;
+            }
+            events += 1;
+            match ev {
+                Ev::Generate { f } => {
+                    generated += 1;
+                    let interval = SimDuration::from_secs_f64(pkt_bits / self.flows[f].rate_bps);
+                    queue.push(now + interval, Ev::Generate { f });
+                    // The packet starts its journey at hop 0.
+                    self.transmit(
+                        f, 0, now, &mut queue, &mut free_at, &mut queued, &mut dropped,
+                        &mut packet_hops,
+                    );
+                }
+                Ev::Arrive { f, hop } => {
+                    // Transmission on link (hop-1) done: free one queue slot.
+                    let d = self.dlinks[f][hop - 1];
+                    if let Some(q) = queued.get_mut(&d) {
+                        *q = q.saturating_sub(1);
+                    }
+                    if hop == self.dlinks[f].len() {
+                        delivered += 1;
+                        delivered_bytes += u64::from(self.cfg.packet_size_bytes);
+                    } else {
+                        self.transmit(
+                            f, hop, now, &mut queue, &mut free_at, &mut queued, &mut dropped,
+                            &mut packet_hops,
+                        );
+                    }
+                }
+            }
+        }
+
+        let span = self.cfg.horizon.as_secs_f64().max(1e-9);
+        PacketSimReport {
+            generated,
+            delivered,
+            dropped,
+            events,
+            packet_hops,
+            goodput_bps: delivered_bytes as f64 * 8.0 / span,
+            wall_secs: wall.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Enqueues a packet of flow `f` for transmission on path hop `hop`.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &self,
+        f: usize,
+        hop: usize,
+        now: SimTime,
+        queue: &mut EventQueue<Ev>,
+        free_at: &mut HashMap<DirLink, SimTime>,
+        queued: &mut HashMap<DirLink, u32>,
+        dropped: &mut u64,
+        packet_hops: &mut u64,
+    ) {
+        let d = self.dlinks[f][hop];
+        let q = queued.entry(d).or_insert(0);
+        if *q >= self.cfg.queue_capacity {
+            *dropped += 1;
+            return;
+        }
+        *q += 1;
+        *packet_hops += 1;
+        let link = self.topo.link(d.link);
+        let tx_time =
+            SimDuration::from_secs_f64(f64::from(self.cfg.packet_size_bytes) * 8.0 / link.capacity_bps);
+        let start = (*free_at.get(&d).unwrap_or(&SimTime::ZERO)).max(now);
+        let done = start + tx_time;
+        free_at.insert(d, done);
+        let arrival = done + SimDuration::from_nanos(link.delay_ns);
+        queue.push(arrival, Ev::Arrive { f, hop: hop + 1 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_net::addr::Ipv4Prefix;
+    use std::net::Ipv4Addr;
+
+    const G: f64 = 1e9;
+
+    fn line() -> (Topology, NodeId, NodeId, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let sn: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let a = t.add_host("a", Ipv4Addr::new(10, 0, 0, 1), sn);
+        let b = t.add_host("b", Ipv4Addr::new(10, 0, 0, 2), sn);
+        let s = t.add_switch("s", Ipv4Addr::new(10, 255, 0, 1));
+        let (l1, ..) = t.add_link(a, s, G, 1000);
+        let (l2, ..) = t.add_link(s, b, G, 1000);
+        (t, a, b, vec![l1, l2])
+    }
+
+    fn flow(a: NodeId, b: NodeId, path: Vec<LinkId>, rate: f64) -> PacketFlow {
+        PacketFlow {
+            src: a,
+            dst: b,
+            path,
+            rate_bps: rate,
+            start: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn cbr_flow_delivers_expected_packet_count() {
+        let (t, a, b, path) = line();
+        let mut sim = PacketLevelSim::new(
+            t,
+            vec![flow(a, b, path, 0.12e9)], // 10k pps at 1500B
+            PacketSimConfig {
+                horizon: SimTime::from_millis(100),
+                ..PacketSimConfig::default()
+            },
+        );
+        let r = sim.run();
+        // 0.12 Gbps / (1500*8 bits) = 10_000 pps → ~1000 packets in 100 ms.
+        assert!((990..=1010).contains(&r.generated), "{}", r.generated);
+        assert!(r.delivered >= r.generated - 5, "in-flight tail only");
+        assert_eq!(r.dropped, 0);
+        // Two links per packet; undelivered tail packets may have crossed
+        // only the first.
+        assert!(
+            r.packet_hops >= r.delivered * 2 && r.packet_hops <= r.generated * 2,
+            "hops bookkeeping sane: {r:?}"
+        );
+    }
+
+    #[test]
+    fn goodput_matches_offered_load_when_uncongested() {
+        let (t, a, b, path) = line();
+        let mut sim = PacketLevelSim::new(
+            t,
+            vec![flow(a, b, path, 0.5e9)],
+            PacketSimConfig {
+                horizon: SimTime::from_millis(50),
+                ..PacketSimConfig::default()
+            },
+        );
+        let r = sim.run();
+        assert!(
+            (r.goodput_bps - 0.5e9).abs() / 0.5e9 < 0.02,
+            "goodput {} ≈ 0.5 Gbps",
+            r.goodput_bps
+        );
+    }
+
+    #[test]
+    fn overload_drops_packets() {
+        // Two 0.8 Gbps flows into one 1 Gbps link → 60% overload.
+        let mut t = Topology::new();
+        let sn: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let a = t.add_host("a", Ipv4Addr::new(10, 0, 0, 1), sn);
+        let c = t.add_host("c", Ipv4Addr::new(10, 0, 0, 3), sn);
+        let b = t.add_host("b", Ipv4Addr::new(10, 0, 0, 2), sn);
+        let s = t.add_switch("s", Ipv4Addr::new(10, 255, 0, 1));
+        let (l1, ..) = t.add_link(a, s, G, 1000);
+        let (l2, ..) = t.add_link(c, s, G, 1000);
+        let (l3, ..) = t.add_link(s, b, G, 1000);
+        let flows = vec![
+            flow(a, b, vec![l1, l3], 0.8e9),
+            flow(c, b, vec![l2, l3], 0.8e9),
+        ];
+        let mut sim = PacketLevelSim::new(
+            t,
+            flows,
+            PacketSimConfig {
+                horizon: SimTime::from_millis(50),
+                ..PacketSimConfig::default()
+            },
+        );
+        let r = sim.run();
+        assert!(r.dropped > 0, "bottleneck must drop: {r:?}");
+        // Delivered goodput ≈ link capacity.
+        assert!(
+            r.goodput_bps < 1.05e9,
+            "cannot exceed bottleneck: {}",
+            r.goodput_bps
+        );
+        assert!(r.goodput_bps > 0.9e9, "bottleneck saturated: {}", r.goodput_bps);
+    }
+
+    #[test]
+    fn event_count_scales_with_packets_and_hops() {
+        let (t, a, b, path) = line();
+        let mut sim = PacketLevelSim::new(
+            t,
+            vec![flow(a, b, path, 0.12e9)],
+            PacketSimConfig {
+                horizon: SimTime::from_millis(10),
+                ..PacketSimConfig::default()
+            },
+        );
+        let r = sim.run();
+        // Each packet: 1 generate + 2 arrivals ⇒ ≈ 3 events.
+        assert!(
+            r.events >= r.generated * 2,
+            "events {} vs generated {}",
+            r.events,
+            r.generated
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_path_rejected() {
+        let (t, a, b, path) = line();
+        let bad = vec![path[1], path[0]];
+        PacketLevelSim::new(t, vec![flow(a, b, bad, G)], PacketSimConfig::default());
+    }
+
+    #[test]
+    fn zero_rate_flow_is_silent() {
+        let (t, a, b, path) = line();
+        let mut sim = PacketLevelSim::new(
+            t,
+            vec![flow(a, b, path, 0.0)],
+            PacketSimConfig::default(),
+        );
+        let r = sim.run();
+        assert_eq!(r.generated, 0);
+        assert_eq!(r.events, 0);
+    }
+}

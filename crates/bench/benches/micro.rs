@@ -1,0 +1,207 @@
+//! Criterion micro-benchmarks over Horse's hot data structures:
+//! the event queue, the LPM trie, the fluid max–min solver, both wire
+//! codecs, ECMP hashing, topology construction and demand estimation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use horse_bgp::msg::{Message, PathAttributes, UpdateMsg};
+use horse_controller::estimate_demands;
+use horse_dataplane::fib::{Fib, NextHop, RouteEntry, RouteOrigin};
+use horse_dataplane::hash::{EcmpHasher, HashMode};
+use horse_net::addr::Ipv4Prefix;
+use horse_net::flow::{FiveTuple, FlowSpec};
+use horse_net::fluid::FluidNetwork;
+use horse_net::topology::{NodeId, PortId};
+use horse_openflow::wire::{FlowMod, FlowModCommand, OfAction, OfMessage, OfPacket, OFPP_NONE};
+use horse_sim::{EventQueue, SimTime};
+use horse_topo::fattree::{FatTree, SwitchRole};
+use horse_topo::pattern::{demo_tuple, TrafficPattern};
+use std::net::Ipv4Addr;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-random interleaved times.
+                q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+}
+
+fn bench_fib(c: &mut Criterion) {
+    // A FIB with 1k routes, looked up at line rate.
+    let mut fib = Fib::new();
+    for i in 0..1024u32 {
+        let addr = Ipv4Addr::from(0x0a00_0000 | (i << 8));
+        fib.insert(
+            Ipv4Prefix::new(addr, 24),
+            RouteEntry::new(
+                vec![NextHop {
+                    port: PortId((i % 4) as u16),
+                    gateway: Ipv4Addr::UNSPECIFIED,
+                }],
+                RouteOrigin::Bgp,
+            ),
+        );
+    }
+    c.bench_function("fib/lookup_1k_routes", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2_654_435_761);
+            let dst = Ipv4Addr::from(0x0a00_0000 | ((i % 1024) << 8) | 5);
+            black_box(fib.lookup(dst))
+        })
+    });
+    c.bench_function("fib/insert_1k_routes", |b| {
+        b.iter(|| {
+            let mut fib = Fib::new();
+            for i in 0..1024u32 {
+                let addr = Ipv4Addr::from(0x0a00_0000 | (i << 8));
+                fib.insert(
+                    Ipv4Prefix::new(addr, 24),
+                    RouteEntry::new(
+                        vec![NextHop {
+                            port: PortId(0),
+                            gateway: Ipv4Addr::UNSPECIFIED,
+                        }],
+                        RouteOrigin::Bgp,
+                    ),
+                );
+            }
+            black_box(fib.len())
+        })
+    });
+}
+
+fn bench_fluid_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid/solve_permutation");
+    for k in [4usize, 8] {
+        let ft = FatTree::build(k, SwitchRole::OpenFlow, 1e9, 1_000);
+        let pairs = TrafficPattern::RandomPermutation.pairs(&ft.hosts, 42);
+        let hasher = EcmpHasher::new(HashMode::FiveTuple, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut fluid = FluidNetwork::new();
+                for (i, p) in pairs.iter().enumerate() {
+                    let tuple = demo_tuple(&ft.topo, p.src, p.dst, i as u16);
+                    let paths = ft.topo.all_shortest_paths(p.src, p.dst);
+                    let path = paths[hasher.select(&tuple, paths.len())].clone();
+                    fluid
+                        .start(
+                            SimTime::ZERO,
+                            FlowSpec::cbr(p.src, p.dst, tuple, 1e9),
+                            path,
+                            &ft.topo,
+                        )
+                        .unwrap();
+                }
+                black_box(fluid.total_arrival_rate())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bgp_codec(c: &mut Criterion) {
+    let update = Message::Update(UpdateMsg {
+        withdrawn: vec![],
+        attrs: Some(PathAttributes::originated(Ipv4Addr::new(10, 0, 0, 1)).prepended(64512)),
+        nlri: (0..16)
+            .map(|i| Ipv4Prefix::new(Ipv4Addr::new(10, i, 0, 0), 16))
+            .collect(),
+    });
+    let bytes = update.encode();
+    c.bench_function("bgp/encode_update_16_nlri", |b| {
+        b.iter(|| black_box(update.encode()))
+    });
+    c.bench_function("bgp/decode_update_16_nlri", |b| {
+        b.iter(|| black_box(Message::decode(&bytes).unwrap()))
+    });
+}
+
+fn bench_of_codec(c: &mut Criterion) {
+    let tuple = FiveTuple::udp(
+        Ipv4Addr::new(10, 0, 0, 2),
+        10_000,
+        Ipv4Addr::new(10, 1, 0, 2),
+        20_000,
+    );
+    let fm = OfPacket::new(
+        7,
+        OfMessage::FlowMod(FlowMod {
+            matcher: horse_dataplane::flowtable::Match::exact(tuple),
+            cookie: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 100,
+            buffer_id: 0xffff_ffff,
+            out_port: OFPP_NONE,
+            flags: 0,
+            actions: vec![OfAction::Output { port: 2, max_len: 0 }],
+        }),
+    );
+    let bytes = fm.encode();
+    c.bench_function("openflow/encode_flow_mod", |b| {
+        b.iter(|| black_box(fm.encode()))
+    });
+    c.bench_function("openflow/decode_flow_mod", |b| {
+        b.iter(|| black_box(OfPacket::decode(&bytes).unwrap()))
+    });
+}
+
+fn bench_ecmp_hash(c: &mut Criterion) {
+    let hasher = EcmpHasher::new(HashMode::FiveTuple, 1);
+    let tuple = FiveTuple::udp(
+        Ipv4Addr::new(10, 0, 0, 2),
+        10_000,
+        Ipv4Addr::new(10, 1, 0, 2),
+        20_000,
+    );
+    c.bench_function("ecmp/five_tuple_hash", |b| {
+        b.iter(|| black_box(hasher.select(&tuple, 4)))
+    });
+}
+
+fn bench_fattree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topo/fattree_build");
+    for k in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(FatTree::build(k, SwitchRole::OpenFlow, 1e9, 1_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_demand_estimation(c: &mut Criterion) {
+    // 128-host permutation plus some fan-in.
+    let mut flows = Vec::new();
+    for i in 0..128u32 {
+        flows.push((NodeId(i), NodeId((i + 1) % 128)));
+        if i % 4 == 0 {
+            flows.push((NodeId(i), NodeId(0)));
+        }
+    }
+    c.bench_function("hedera/demand_estimation_160_flows", |b| {
+        b.iter(|| black_box(estimate_demands(&flows)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_fib,
+    bench_fluid_solver,
+    bench_bgp_codec,
+    bench_of_codec,
+    bench_ecmp_hash,
+    bench_fattree_build,
+    bench_demand_estimation,
+);
+criterion_main!(benches);

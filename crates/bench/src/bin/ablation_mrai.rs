@@ -1,0 +1,145 @@
+//! **Ablation A4**: the MRAI timer — a real control-plane experiment of
+//! the kind Horse exists to accelerate.
+//!
+//! BGP's MinRouteAdvertisementInterval trades convergence speed against
+//! message load: a longer hold-down batches the transient announcements of
+//! path hunting (fewer UPDATEs) but delays the propagation of good news
+//! (slower convergence). The classic result (Griffin & Premore, ICNP'01)
+//! is a U-shaped convergence curve with message count falling as MRAI
+//! grows. This harness sweeps MRAI over the demo's k=4 BGP fat-tree and
+//! over a WAN link-failure scenario — each run is an *emulated* BGP
+//! network of 20–25 daemons that executes in milliseconds of wall time.
+//!
+//! Run: `cargo run --release -p horse-bench --bin ablation_mrai`
+
+use horse_core::{ControlBuild, Experiment, TeApproach};
+use horse_net::flow::FlowSpec;
+use horse_sim::{SimDuration, SimTime};
+use horse_topo::pattern::demo_tuple;
+use horse_topo::{bgp_setups_for, waxman_wan};
+use std::fmt::Write as _;
+
+fn set_mrai(e: &mut Experiment, mrai: SimDuration) {
+    if let ControlBuild::Bgp(setups) = &mut e.control {
+        for s in setups.values_mut() {
+            s.config.timers.mrai = mrai;
+        }
+    }
+}
+
+fn main() {
+    let mut json = String::from("{\n  \"fattree_initial_convergence\": [\n");
+
+    println!("== A4a: MRAI sweep — initial convergence, k=4 BGP fat-tree ==");
+    println!(
+        "{:>11} {:>14} {:>12} {:>12}",
+        "mrai [ms]", "converged [s]", "msgs", "FTI [ms]"
+    );
+    for mrai_ms in [0u64, 100, 500, 1000, 5000] {
+        let mut e = Experiment::demo(4, TeApproach::BgpEcmp, 42).horizon_secs(30.0);
+        set_mrai(&mut e, SimDuration::from_millis(mrai_ms));
+        let report = e.run();
+        let conv = report
+            .all_routed_at
+            .map(|t| t.as_secs_f64())
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:>11} {:>14.3} {:>12} {:>12.1}",
+            mrai_ms,
+            conv,
+            report.control_msgs,
+            report.fti_time.as_millis_f64()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"mrai_ms\": {mrai_ms}, \"converged_s\": {conv}, \
+             \"msgs\": {}, \"fti_ms\": {}}},",
+            report.control_msgs,
+            report.fti_time.as_millis_f64()
+        );
+    }
+    if json.ends_with(",\n") {
+        json.truncate(json.len() - 2);
+        json.push('\n');
+    }
+    json.push_str("  ],\n  \"wan_failure_reconvergence\": [\n");
+
+    println!();
+    println!("== A4b: MRAI sweep — reconvergence after a WAN link failure ==");
+    println!("(25-router Waxman WAN, victim link cut at t=10 s, one 1 Gbps flow)");
+    println!(
+        "{:>11} {:>16} {:>12}",
+        "mrai [ms]", "restored by [s]", "msgs"
+    );
+    for mrai_ms in [0u64, 100, 1000, 5000] {
+        let (topo, hosts, routers) = waxman_wan(25, 0.4, 0.2, 10e9, 7);
+        let setups = bgp_setups_for(
+            &topo,
+            horse_bgp::session::TimerConfig {
+                hold_time: SimDuration::from_secs(90),
+                connect_retry: SimDuration::from_secs(1),
+                mrai: SimDuration::from_millis(mrai_ms),
+            },
+        );
+        // Cut a link on the (initial) path between the flow's endpoints:
+        // use the direct neighbor link of the source router if present,
+        // else the first router-router link.
+        let src = hosts[0];
+        let dst = hosts[13];
+        let victim = topo
+            .neighbors(routers[0])
+            .into_iter()
+            .find(|(_, _, n)| routers.contains(n))
+            .map(|(lid, _, _)| lid)
+            .expect("router-router link");
+        let tuple = demo_tuple(&topo, src, dst, 0);
+        let mut e = Experiment::new(topo.clone())
+            .flow(SimTime::ZERO, FlowSpec::cbr(src, dst, tuple, 1e9))
+            .horizon_secs(40.0)
+            .link_down(SimTime::from_secs(10), victim)
+            .label("wan-mrai");
+        e.control = ControlBuild::Bgp(setups);
+        let report = e.run();
+        // When did goodput return to full rate after the cut?
+        let series = report.goodput.get("aggregate").expect("series");
+        let mut restored = f64::NAN;
+        let mut t = 10.0;
+        while t <= 40.0 {
+            let v = series
+                .value_at(SimTime::from_secs_f64(t))
+                .unwrap_or(0.0);
+            if v > 0.99e9 {
+                restored = t;
+                break;
+            }
+            t += 0.1;
+        }
+        println!(
+            "{:>11} {:>16.1} {:>12}",
+            mrai_ms, restored, report.control_msgs
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"mrai_ms\": {mrai_ms}, \"restored_by_s\": {restored}, \
+             \"msgs\": {}}},",
+            report.control_msgs
+        );
+    }
+    if json.ends_with(",\n") {
+        json.truncate(json.len() - 2);
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+
+    println!();
+    println!(
+        "reading: (a) initial convergence has no path hunting — every\n\
+         announcement is news — so MRAI only adds latency (linear in the\n\
+         hold-down) without saving messages; (b) failure reconvergence DOES\n\
+         hunt, and the hold-down suppresses the transient announcements\n\
+         (fewer UPDATEs) while withdrawals, being exempt, keep repair fast.\n\
+         The canonical BGP timer trade-off, measured across dozens of\n\
+         emulated daemons in milliseconds of wall time per run."
+    );
+    horse_bench::write_result("ablation_mrai.json", &json);
+}

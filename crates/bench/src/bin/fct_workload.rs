@@ -1,0 +1,105 @@
+//! **Extension**: flow-level workloads and FCT distributions.
+//!
+//! The paper cites fs-sdn (Gupta et al., HotSDN'13) as prior work on fast
+//! flow-level SDN simulation. This harness runs that style of workload on
+//! Horse: Poisson arrivals of elastic (TCP-like) transfers with heavy-
+//! tailed sizes on a fat-tree, comparing the flow-completion-time
+//! distribution under reactive 5-tuple ECMP vs Hedera scheduling.
+//!
+//! Run: `cargo run --release -p horse-bench --bin fct_workload -- \
+//!       [pods] [lambda_per_host] [seed]`   (defaults: 4, 4.0, 42)
+
+use horse_core::{ControlBuild, Experiment, PoissonWorkload, SizeDist};
+use horse_controller::HederaConfig;
+use horse_sim::SimTime;
+use horse_topo::fattree::{FatTree, SwitchRole};
+use std::fmt::Write as _;
+
+fn run(pods: usize, lambda: f64, seed: u64, hedera: bool) -> horse_core::ExperimentReport {
+    let ft = FatTree::build(pods, SwitchRole::OpenFlow, 1e9, 1_000);
+    let workload = PoissonWorkload {
+        lambda_per_host: lambda,
+        sizes: SizeDist::BoundedPareto {
+            min_bytes: 1e5,   // 100 kB mice
+            max_bytes: 2e9,   // 2 GB elephants
+            alpha: 1.05,      // heavy tail: most bytes live in the elephants
+        },
+        until: SimTime::from_secs(20),
+        seed,
+    };
+    let traffic = workload.generate(&ft.topo, &ft.hosts.clone());
+    let mut e = Experiment::new(ft.topo)
+        .horizon_secs(40.0) // tail time for elephants to finish
+        .label(if hedera { "fct-hedera" } else { "fct-ecmp" });
+    e.traffic = traffic;
+    e.seed = seed;
+    e.control = if hedera {
+        ControlBuild::Hedera(HederaConfig::default())
+    } else {
+        ControlBuild::SdnEcmp
+    };
+    e.run()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let pods: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(4);
+    let lambda: f64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(4.0);
+    let seed: u64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(42);
+
+    println!("== FCT under a Poisson flow-level workload (fs-sdn style) ==");
+    println!(
+        "(k={pods}, {lambda} flows/s/host for 20 s, bounded-Pareto sizes 100 kB–2 GB, α=1.05)"
+    );
+    println!();
+    println!(
+        "{:<12} {:>8} {:>10} | {:>10} {:>10} {:>10} {:>10}",
+        "scheduler", "flows", "completed", "p50 [s]", "p95 [s]", "p99 [s]", "mean [s]"
+    );
+    let mut json = String::from("[\n");
+    for hedera in [false, true] {
+        let report = run(pods, lambda, seed, hedera);
+        let n = report.flow_completion_secs.len();
+        let mean = if n > 0 {
+            report.flow_completion_secs.iter().sum::<f64>() / n as f64
+        } else {
+            f64::NAN
+        };
+        let q = |p: f64| report.fct_quantile(p).unwrap_or(f64::NAN);
+        println!(
+            "{:<12} {:>8} {:>10} | {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            report.label,
+            report.flows_requested,
+            n,
+            q(0.5),
+            q(0.95),
+            q(0.99),
+            mean
+        );
+        let _ = writeln!(
+            json,
+            "  {{\"scheduler\": \"{}\", \"flows\": {}, \"completed\": {n}, \
+             \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"mean_s\": {mean}, \
+             \"moves\": {}}},",
+            report.label,
+            report.flows_requested,
+            q(0.5),
+            q(0.95),
+            q(0.99),
+            report.scheduler_moves
+        );
+    }
+    if json.ends_with(",\n") {
+        json.truncate(json.len() - 2);
+        json.push('\n');
+    }
+    json.push_str("]\n");
+
+    println!();
+    println!(
+        "reading: mice (p50) finish in milliseconds either way; the tail\n\
+         (p95/p99) is where elephant placement matters, which is exactly\n\
+         the population Hedera re-places every 5 s."
+    );
+    horse_bench::write_result("fct_workload.json", &json);
+}

@@ -1,0 +1,87 @@
+//! **Extension**: Horse scaling beyond the paper's largest topology.
+//!
+//! The demo stops at 8 pods (128 hosts) because Mininet on a 4-core VM
+//! could not go further in reasonable time. Horse has no such wall: this
+//! harness runs the demo workload on fat-trees up to 14 pods (686 hosts,
+//! 245 switches) and reports wall time, events and control-message counts
+//! per TE approach — the scalability argument of the paper, extended.
+//!
+//! Run: `cargo run --release -p horse-bench --bin scaling -- [pods...]`
+//! (defaults: 4 6 8 10 12)
+
+use horse_core::{Experiment, TeApproach};
+use horse_topo::fattree::{FatTree, SwitchRole};
+use std::fmt::Write as _;
+
+fn main() {
+    let pods: Vec<usize> = {
+        let rest: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().unwrap())
+            .collect();
+        if rest.is_empty() {
+            vec![4, 6, 8, 10, 12]
+        } else {
+            rest
+        }
+    };
+    let duration = 20.0;
+    let seed = 42;
+
+    println!("== Scaling: Horse wall time vs fat-tree size (demo workload, {duration} s) ==");
+    println!();
+    println!(
+        "{:<5} {:>6} {:>8} | {:>11} {:>11} {:>11} | {:>10} {:>10}",
+        "pods", "hosts", "links", "bgp [s]", "hedera [s]", "sdn [s]", "ctl msgs", "goodput%"
+    );
+    let mut json = String::from("[\n");
+    for &k in &pods {
+        let ft = FatTree::build(k, SwitchRole::OpenFlow, 1e9, 1_000);
+        let hosts = ft.hosts.len();
+        let links = ft.topo.link_count();
+        let ideal = hosts as f64 * 1e9;
+        let mut walls = Vec::new();
+        let mut msgs = 0u64;
+        let mut goodput_frac = 0.0;
+        for te in [TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp] {
+            let report = Experiment::demo(k, te, seed).horizon_secs(duration).run();
+            assert_eq!(report.flows_routed, hosts, "k={k} {te:?}");
+            walls.push(report.wall_setup_secs + report.wall_run_secs);
+            msgs += report.control_msgs;
+            if te == TeApproach::SdnEcmp {
+                goodput_frac = report.goodput_final_bps() / ideal;
+            }
+        }
+        println!(
+            "{:<5} {:>6} {:>8} | {:>11.3} {:>11.3} {:>11.3} | {:>10} {:>9.0}%",
+            k,
+            hosts,
+            links,
+            walls[0],
+            walls[1],
+            walls[2],
+            msgs,
+            goodput_frac * 100.0
+        );
+        let _ = writeln!(
+            json,
+            "  {{\"pods\": {k}, \"hosts\": {hosts}, \"bgp_s\": {}, \"hedera_s\": {}, \
+             \"sdn_s\": {}, \"ctl_msgs\": {msgs}}},",
+            walls[0], walls[1], walls[2]
+        );
+    }
+    if json.ends_with(",\n") {
+        json.truncate(json.len() - 2);
+        json.push('\n');
+    }
+    json.push_str("]\n");
+
+    println!();
+    println!(
+        "reading: wall time grows polynomially with fabric size (fluid\n\
+         re-solves dominate), but even 12 pods — 432 hosts, 180 emulated\n\
+         BGP daemons — finish a 20 s experiment in seconds, far past where\n\
+         a single-machine emulator stops being usable."
+    );
+    horse_bench::write_result("scaling.json", &json);
+}

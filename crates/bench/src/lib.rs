@@ -1,0 +1,67 @@
+//! # horse-bench — figure-reproduction harnesses
+//!
+//! One binary per paper artifact (see DESIGN.md §4):
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `fig1_modes` | Figure 1 — DES↔FTI transitions, two BGP routers |
+//! | `fig3_execution_time` | Figure 3 — Horse vs Mininet execution time, fat-trees k = 4/6/8 |
+//! | `demo_goodput` | In-demo goodput graph — aggregate arrival rate per TE approach |
+//! | `ablation_fti` | A1/A2 — FTI increment & quiescence sweeps |
+//! | `ablation_fluid` | A3 — fluid vs packet-level data plane |
+//!
+//! plus `benches/micro.rs`, the Criterion micro-benchmarks over the hot
+//! data structures.
+//!
+//! Every binary prints a human-readable table and writes JSON/CSV into
+//! `bench_results/` at the workspace root.
+
+use std::path::PathBuf;
+
+/// Directory where harnesses drop their machine-readable outputs.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("HORSE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench_results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a string artifact into the results directory.
+pub fn write_result(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("write result file");
+    eprintln!("[wrote {}]", path.display());
+}
+
+/// Average shortest-path hop count for a set of host pairs — used by the
+/// Mininet packet-hop estimate.
+pub fn avg_hops(
+    topo: &horse_net::topology::Topology,
+    pairs: &[horse_topo::pattern::TrafficPair],
+) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let total: usize = pairs
+        .iter()
+        .map(|p| topo.hop_distance(p.src, p.dst).unwrap_or(0))
+        .sum();
+    total as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_topo::fattree::{FatTree, SwitchRole};
+    use horse_topo::pattern::TrafficPattern;
+
+    #[test]
+    fn avg_hops_on_fattree() {
+        let ft = FatTree::build(4, SwitchRole::OpenFlow, 1e9, 0);
+        let pairs = TrafficPattern::RandomPermutation.pairs(&ft.hosts, 1);
+        let h = avg_hops(&ft.topo, &pairs);
+        // Fat-tree paths: 2 (same edge), 4 (same pod) or 6 (inter-pod).
+        assert!((2.0..=6.0).contains(&h), "{h}");
+    }
+}

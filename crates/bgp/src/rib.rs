@@ -1,0 +1,492 @@
+//! Routing Information Bases and the decision process.
+//!
+//! One [`LocRib`] per speaker holds the per-peer Adj-RIB-In plus locally
+//! originated routes, and answers "what is the best path (and the ECMP
+//! multipath set) for this prefix?" following the RFC 4271 §9.1 ranking:
+//!
+//! 1. highest LOCAL_PREF (default 100),
+//! 2. locally originated beats learned,
+//! 3. shortest AS_PATH,
+//! 4. lowest ORIGIN (IGP < EGP < INCOMPLETE),
+//! 5. lowest MED (compared only between routes from the same neighbor AS),
+//! 6. eBGP beats iBGP,
+//! 7. lowest peer address (router-id proxy) as the final tie-break.
+//!
+//! With multipath enabled, every candidate equal to the best through step 6
+//! joins the multipath set — the relaxation real routers call
+//! `maximum-paths`, which the demo's "BGP + ECMP" traffic engineering
+//! requires on the fat-tree.
+
+use crate::msg::{Origin, PathAttributes, UpdateMsg};
+use horse_net::addr::Ipv4Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// A candidate path for a prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutePath {
+    /// Path attributes as received (or as originated).
+    pub attrs: PathAttributes,
+    /// The peer this was learned from (`0.0.0.0` for local origination).
+    pub peer: Ipv4Addr,
+    /// True when learned over eBGP.
+    pub ebgp: bool,
+}
+
+impl RoutePath {
+    /// A locally originated path.
+    pub fn local(next_hop: Ipv4Addr) -> RoutePath {
+        RoutePath {
+            attrs: PathAttributes::originated(next_hop),
+            peer: Ipv4Addr::UNSPECIFIED,
+            ebgp: false,
+        }
+    }
+
+    /// True for locally originated paths.
+    pub fn is_local(&self) -> bool {
+        self.peer == Ipv4Addr::UNSPECIFIED
+    }
+
+    fn local_pref(&self) -> u32 {
+        self.attrs.local_pref.unwrap_or(100)
+    }
+
+    fn origin_rank(&self) -> u8 {
+        match self.attrs.origin {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+}
+
+/// Result of running the decision process for one prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision<'a> {
+    /// The single best path.
+    pub best: &'a RoutePath,
+    /// The ECMP set (always contains `best`; singleton when multipath is
+    /// off or nothing ties).
+    pub multipath: Vec<&'a RoutePath>,
+}
+
+/// The speaker's RIB collection.
+#[derive(Debug, Clone, Default)]
+pub struct LocRib {
+    local_as: u16,
+    multipath: bool,
+    adj_in: BTreeMap<Ipv4Addr, BTreeMap<Ipv4Prefix, RoutePath>>,
+    local: BTreeMap<Ipv4Prefix, RoutePath>,
+}
+
+impl LocRib {
+    /// A RIB for a speaker in `local_as`.
+    pub fn new(local_as: u16, multipath: bool) -> LocRib {
+        LocRib {
+            local_as,
+            multipath,
+            adj_in: BTreeMap::new(),
+            local: BTreeMap::new(),
+        }
+    }
+
+    /// Originates a local network.
+    pub fn originate(&mut self, prefix: Ipv4Prefix, next_hop: Ipv4Addr) {
+        self.local.insert(prefix, RoutePath::local(next_hop));
+    }
+
+    /// Withdraws a locally originated network.
+    pub fn withdraw_local(&mut self, prefix: Ipv4Prefix) -> bool {
+        self.local.remove(&prefix).is_some()
+    }
+
+    /// Applies an UPDATE from `peer`, returning every prefix whose candidate
+    /// set changed. Announcements whose AS_PATH contains our own AS are
+    /// rejected (loop prevention) — treated as withdrawals of any previous
+    /// path from that peer.
+    pub fn update_from_peer(
+        &mut self,
+        peer: Ipv4Addr,
+        ebgp: bool,
+        update: &UpdateMsg,
+    ) -> BTreeSet<Ipv4Prefix> {
+        let mut affected = BTreeSet::new();
+        let table = self.adj_in.entry(peer).or_default();
+        for p in &update.withdrawn {
+            if table.remove(p).is_some() {
+                affected.insert(*p);
+            }
+        }
+        if let Some(attrs) = &update.attrs {
+            let looped = attrs.contains_asn(self.local_as);
+            for p in &update.nlri {
+                if looped {
+                    if table.remove(p).is_some() {
+                        affected.insert(*p);
+                    }
+                    continue;
+                }
+                let path = RoutePath {
+                    attrs: attrs.clone(),
+                    peer,
+                    ebgp,
+                };
+                let prev = table.insert(*p, path.clone());
+                if prev.as_ref() != Some(&path) {
+                    affected.insert(*p);
+                }
+            }
+        }
+        affected
+    }
+
+    /// Removes every route learned from `peer` (session down), returning the
+    /// affected prefixes.
+    pub fn drop_peer(&mut self, peer: Ipv4Addr) -> BTreeSet<Ipv4Prefix> {
+        self.adj_in
+            .remove(&peer)
+            .map(|t| t.into_keys().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of paths in a peer's Adj-RIB-In.
+    pub fn adj_in_len(&self, peer: Ipv4Addr) -> usize {
+        self.adj_in.get(&peer).map_or(0, |t| t.len())
+    }
+
+    /// Every prefix with at least one candidate path.
+    pub fn prefixes(&self) -> BTreeSet<Ipv4Prefix> {
+        let mut out: BTreeSet<Ipv4Prefix> = self.local.keys().copied().collect();
+        for t in self.adj_in.values() {
+            out.extend(t.keys().copied());
+        }
+        out
+    }
+
+    /// Runs the decision process for `prefix`.
+    pub fn decide(&self, prefix: Ipv4Prefix) -> Option<Decision<'_>> {
+        let mut candidates: Vec<&RoutePath> = Vec::new();
+        if let Some(l) = self.local.get(&prefix) {
+            candidates.push(l);
+        }
+        for t in self.adj_in.values() {
+            if let Some(p) = t.get(&prefix) {
+                candidates.push(p);
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let best = candidates
+            .iter()
+            .copied()
+            .min_by(|a, b| Self::rank(a, b))
+            .expect("non-empty");
+        let multipath = if self.multipath {
+            candidates
+                .into_iter()
+                .filter(|c| Self::rank(c, best) == std::cmp::Ordering::Equal)
+                .collect()
+        } else {
+            vec![best]
+        };
+        Some(Decision { best, multipath })
+    }
+
+    /// Total ordering used by the decision process; `Less` is better. Steps
+    /// 1–6 define multipath equality; step 7 (peer address) only breaks the
+    /// final tie for the single best path and is excluded from `rank` — the
+    /// caller treats `Equal` as "same up to multipath" and `min_by` keeps
+    /// the earliest candidate, whose ordering is deterministic because
+    /// candidates are gathered in (local, peer-address) order.
+    fn rank(a: &RoutePath, b: &RoutePath) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        // 1. Higher local-pref wins.
+        let o = b.local_pref().cmp(&a.local_pref());
+        if o != Ordering::Equal {
+            return o;
+        }
+        // 2. Local origination wins.
+        let o = b.is_local().cmp(&a.is_local());
+        if o != Ordering::Equal {
+            return o;
+        }
+        // 3. Shorter AS path wins.
+        let o = a.attrs.as_path_len().cmp(&b.attrs.as_path_len());
+        if o != Ordering::Equal {
+            return o;
+        }
+        // 4. Lower origin wins.
+        let o = a.origin_rank().cmp(&b.origin_rank());
+        if o != Ordering::Equal {
+            return o;
+        }
+        // 5. Lower MED wins, only between the same neighbor AS.
+        if a.attrs.neighbor_as().is_some() && a.attrs.neighbor_as() == b.attrs.neighbor_as() {
+            let o = a
+                .attrs
+                .med
+                .unwrap_or(0)
+                .cmp(&b.attrs.med.unwrap_or(0));
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        // 6. eBGP beats iBGP.
+        b.ebgp.cmp(&a.ebgp)
+    }
+
+    /// The effective next-hop set for a prefix after the decision process:
+    /// the deduplicated next hops of the multipath set. Empty when the
+    /// prefix is unreachable; `None` inner addresses never appear. Locally
+    /// originated prefixes return their own next hop.
+    pub fn next_hops(&self, prefix: Ipv4Prefix) -> Vec<Ipv4Addr> {
+        match self.decide(prefix) {
+            None => Vec::new(),
+            Some(d) => {
+                let mut hops: Vec<Ipv4Addr> =
+                    d.multipath.iter().map(|p| p.attrs.next_hop).collect();
+                hops.sort();
+                hops.dedup();
+                hops
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::AsPathSegment;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn attrs(path: &[u16], next_hop: [u8; 4]) -> PathAttributes {
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path: vec![AsPathSegment::Sequence(path.to_vec())],
+            next_hop: Ipv4Addr::from(next_hop),
+            med: None,
+            local_pref: None,
+            unknown: vec![],
+        }
+    }
+
+    fn announce(rib: &mut LocRib, peer: [u8; 4], path: &[u16], prefix: &str) {
+        let u = UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(attrs(path, peer)),
+            nlri: vec![pfx(prefix)],
+        };
+        rib.update_from_peer(Ipv4Addr::from(peer), true, &u);
+    }
+
+    #[test]
+    fn shortest_as_path_wins() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1, 2, 3], "10.9.0.0/16");
+        announce(&mut rib, [10, 0, 0, 2], &[4, 5], "10.9.0.0/16");
+        let d = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert_eq!(d.best.peer, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(d.multipath.len(), 1);
+    }
+
+    #[test]
+    fn equal_length_paths_form_multipath() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1, 2], "10.9.0.0/16");
+        announce(&mut rib, [10, 0, 0, 2], &[3, 4], "10.9.0.0/16");
+        announce(&mut rib, [10, 0, 0, 3], &[5, 6, 7], "10.9.0.0/16");
+        let d = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert_eq!(d.multipath.len(), 2, "two 2-hop paths tie");
+        let hops = rib.next_hops(pfx("10.9.0.0/16"));
+        assert_eq!(
+            hops,
+            vec![Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)]
+        );
+    }
+
+    #[test]
+    fn multipath_disabled_gives_singleton() {
+        let mut rib = LocRib::new(65000, false);
+        announce(&mut rib, [10, 0, 0, 1], &[1, 2], "10.9.0.0/16");
+        announce(&mut rib, [10, 0, 0, 2], &[3, 4], "10.9.0.0/16");
+        let d = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert_eq!(d.multipath.len(), 1);
+        assert_eq!(rib.next_hops(pfx("10.9.0.0/16")).len(), 1);
+    }
+
+    #[test]
+    fn local_pref_dominates_path_length() {
+        let mut rib = LocRib::new(65000, true);
+        let mut long = attrs(&[1, 2, 3, 4], [10, 0, 0, 1]);
+        long.local_pref = Some(200);
+        rib.update_from_peer(
+            Ipv4Addr::new(10, 0, 0, 1),
+            true,
+            &UpdateMsg {
+                withdrawn: vec![],
+                attrs: Some(long),
+                nlri: vec![pfx("10.9.0.0/16")],
+            },
+        );
+        announce(&mut rib, [10, 0, 0, 2], &[9], "10.9.0.0/16");
+        let d = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert_eq!(d.best.peer, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn local_origination_beats_learned() {
+        let mut rib = LocRib::new(65000, true);
+        rib.originate(pfx("10.9.0.0/16"), Ipv4Addr::new(10, 0, 0, 99));
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.9.0.0/16");
+        let d = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert!(d.best.is_local());
+        assert_eq!(d.multipath.len(), 1);
+    }
+
+    #[test]
+    fn origin_rank_breaks_ties() {
+        let mut rib = LocRib::new(65000, true);
+        let mut egp = attrs(&[1], [10, 0, 0, 1]);
+        egp.origin = Origin::Egp;
+        rib.update_from_peer(
+            Ipv4Addr::new(10, 0, 0, 1),
+            true,
+            &UpdateMsg {
+                withdrawn: vec![],
+                attrs: Some(egp),
+                nlri: vec![pfx("10.9.0.0/16")],
+            },
+        );
+        announce(&mut rib, [10, 0, 0, 2], &[2], "10.9.0.0/16");
+        let d = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert_eq!(d.best.peer, Ipv4Addr::new(10, 0, 0, 2), "IGP beats EGP");
+        assert_eq!(d.multipath.len(), 1);
+    }
+
+    #[test]
+    fn med_compared_within_same_neighbor_as() {
+        let mut rib = LocRib::new(65000, true);
+        let mut m10 = attrs(&[7], [10, 0, 0, 1]);
+        m10.med = Some(10);
+        let mut m5 = attrs(&[7], [10, 0, 0, 2]);
+        m5.med = Some(5);
+        for (peer, a) in [([10, 0, 0, 1], m10), ([10, 0, 0, 2], m5)] {
+            rib.update_from_peer(
+                Ipv4Addr::from(peer),
+                true,
+                &UpdateMsg {
+                    withdrawn: vec![],
+                    attrs: Some(a),
+                    nlri: vec![pfx("10.9.0.0/16")],
+                },
+            );
+        }
+        let d = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert_eq!(d.best.peer, Ipv4Addr::new(10, 0, 0, 2), "lower MED");
+        assert_eq!(d.multipath.len(), 1);
+    }
+
+    #[test]
+    fn med_ignored_across_different_neighbor_as() {
+        let mut rib = LocRib::new(65000, true);
+        let mut m10 = attrs(&[7], [10, 0, 0, 1]);
+        m10.med = Some(10);
+        let mut m5 = attrs(&[8], [10, 0, 0, 2]);
+        m5.med = Some(5);
+        for (peer, a) in [([10, 0, 0, 1], m10), ([10, 0, 0, 2], m5)] {
+            rib.update_from_peer(
+                Ipv4Addr::from(peer),
+                true,
+                &UpdateMsg {
+                    withdrawn: vec![],
+                    attrs: Some(a),
+                    nlri: vec![pfx("10.9.0.0/16")],
+                },
+            );
+        }
+        let d = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert_eq!(d.multipath.len(), 2, "MED not comparable → still tie");
+    }
+
+    #[test]
+    fn loop_prevention_rejects_own_as() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1, 65000, 2], "10.9.0.0/16");
+        assert!(rib.decide(pfx("10.9.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn looped_announcement_withdraws_previous() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.9.0.0/16");
+        assert!(rib.decide(pfx("10.9.0.0/16")).is_some());
+        let affected = {
+            let u = UpdateMsg {
+                withdrawn: vec![],
+                attrs: Some(attrs(&[1, 65000], [10, 0, 0, 1])),
+                nlri: vec![pfx("10.9.0.0/16")],
+            };
+            rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u)
+        };
+        assert!(affected.contains(&pfx("10.9.0.0/16")));
+        assert!(rib.decide(pfx("10.9.0.0/16")).is_none());
+    }
+
+    #[test]
+    fn withdraw_removes_path() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.9.0.0/16");
+        let u = UpdateMsg {
+            withdrawn: vec![pfx("10.9.0.0/16")],
+            attrs: None,
+            nlri: vec![],
+        };
+        let affected = rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u);
+        assert_eq!(affected.len(), 1);
+        assert!(rib.decide(pfx("10.9.0.0/16")).is_none());
+        assert!(rib.next_hops(pfx("10.9.0.0/16")).is_empty());
+    }
+
+    #[test]
+    fn redundant_update_reports_no_change() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.9.0.0/16");
+        let u = UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(attrs(&[1], [10, 0, 0, 1])),
+            nlri: vec![pfx("10.9.0.0/16")],
+        };
+        let affected = rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u);
+        assert!(affected.is_empty(), "identical re-announcement is a no-op");
+    }
+
+    #[test]
+    fn drop_peer_flushes_its_routes() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.1.0.0/16");
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.2.0.0/16");
+        announce(&mut rib, [10, 0, 0, 2], &[2], "10.1.0.0/16");
+        let affected = rib.drop_peer(Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(affected.len(), 2);
+        // 10.1/16 still reachable via the other peer.
+        assert_eq!(rib.next_hops(pfx("10.1.0.0/16")).len(), 1);
+        assert!(rib.next_hops(pfx("10.2.0.0/16")).is_empty());
+    }
+
+    #[test]
+    fn prefixes_lists_union() {
+        let mut rib = LocRib::new(65000, true);
+        rib.originate(pfx("10.0.0.0/24"), Ipv4Addr::new(10, 0, 0, 1));
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.1.0.0/16");
+        let ps = rib.prefixes();
+        assert!(ps.contains(&pfx("10.0.0.0/24")));
+        assert!(ps.contains(&pfx("10.1.0.0/16")));
+        assert_eq!(ps.len(), 2);
+    }
+}

@@ -1,0 +1,886 @@
+//! The BGP speaker: sessions + RIBs + export policy.
+//!
+//! One speaker per emulated router. The speaker owns a [`Session`] per
+//! configured peer and a [`LocRib`]; it reacts to transport events, bytes
+//! and timer polls, and emits [`SpeakerOutput`]s:
+//!
+//! * `SendBytes` — wire bytes for a peer's transport (the Connection
+//!   Manager shuttles them and counts them as control-plane activity,
+//!   holding the experiment clock in FTI mode);
+//! * `SessionUp` / `SessionDown` — peering state changes;
+//! * `RouteChanged` — the effective (multipath) next-hop set of a prefix
+//!   changed; the Connection Manager translates these into FIB updates on
+//!   the simulated router ("Horse installs those routes in the respective
+//!   data planes", §2 of the paper).
+//!
+//! Export policy is plain eBGP: advertise the best path to every peer
+//! except the one it was learned from (split horizon), prepend the local
+//! AS, set next-hop-self, and strip LOCAL_PREF/MED. Announcements with the
+//! same attributes are batched into one UPDATE.
+
+use crate::msg::{PathAttributes, UpdateMsg};
+use crate::rib::LocRib;
+use crate::session::{PeerConfig, Session, SessionEvent, SessionState, TimerConfig};
+use bytes::Bytes;
+use horse_net::addr::Ipv4Prefix;
+use horse_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Speaker configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BgpConfig {
+    /// Local AS number.
+    pub asn: u16,
+    /// Router id (also used as the BGP identifier in OPENs).
+    pub router_id: Ipv4Addr,
+    /// Session timer settings.
+    pub timers: TimerConfig,
+    /// Peerings.
+    pub peers: Vec<PeerConfig>,
+    /// Networks originated at startup.
+    pub networks: Vec<Ipv4Prefix>,
+    /// Enable ECMP multipath in the decision process.
+    pub multipath: bool,
+}
+
+/// Outputs drained with [`BgpSpeaker::take_outputs`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeakerOutput {
+    /// Bytes to deliver to a peer.
+    SendBytes {
+        /// Destination peer.
+        peer: Ipv4Addr,
+        /// Encoded message bytes.
+        bytes: Bytes,
+    },
+    /// A session reached Established.
+    SessionUp {
+        /// The peer.
+        peer: Ipv4Addr,
+    },
+    /// A session went down.
+    SessionDown {
+        /// The peer.
+        peer: Ipv4Addr,
+    },
+    /// The effective next-hop set for `prefix` changed (empty = withdrawn).
+    RouteChanged {
+        /// The prefix.
+        prefix: Ipv4Prefix,
+        /// New multipath next-hop set, sorted.
+        next_hops: Vec<Ipv4Addr>,
+    },
+}
+
+/// A complete BGP routing daemon, sans-IO.
+#[derive(Debug)]
+pub struct BgpSpeaker {
+    /// Static configuration.
+    pub config: BgpConfig,
+    sessions: BTreeMap<Ipv4Addr, Session>,
+    rib: LocRib,
+    adj_out: BTreeMap<Ipv4Addr, BTreeMap<Ipv4Prefix, PathAttributes>>,
+    fib_view: BTreeMap<Ipv4Prefix, Vec<Ipv4Addr>>,
+    outputs: Vec<SpeakerOutput>,
+    started: bool,
+    /// Per peer: earliest instant the next announcement burst may go out
+    /// (MRAI hold-down).
+    mrai_ready: BTreeMap<Ipv4Addr, SimTime>,
+    /// Per peer: prefixes whose announcements are waiting out the MRAI.
+    mrai_pending: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Prefix>>,
+}
+
+impl BgpSpeaker {
+    /// Builds a speaker (idle until [`BgpSpeaker::start`]).
+    pub fn new(config: BgpConfig) -> BgpSpeaker {
+        let mut sessions = BTreeMap::new();
+        for p in &config.peers {
+            sessions.insert(
+                p.peer_addr,
+                Session::new(*p, config.asn, config.router_id, config.timers),
+            );
+        }
+        let mut rib = LocRib::new(config.asn, config.multipath);
+        for n in &config.networks {
+            rib.originate(*n, config.router_id);
+        }
+        BgpSpeaker {
+            config,
+            sessions,
+            rib,
+            adj_out: BTreeMap::new(),
+            fib_view: BTreeMap::new(),
+            outputs: Vec::new(),
+            started: false,
+            mrai_ready: BTreeMap::new(),
+            mrai_pending: BTreeMap::new(),
+        }
+    }
+
+    /// Starts every session.
+    pub fn start(&mut self, now: SimTime) {
+        self.started = true;
+        for s in self.sessions.values_mut() {
+            s.start(now);
+        }
+        self.pump(now);
+    }
+
+    /// The transport to `peer` is connected.
+    pub fn on_transport_up(&mut self, peer: Ipv4Addr, now: SimTime) {
+        if let Some(s) = self.sessions.get_mut(&peer) {
+            s.on_transport_up(now);
+        }
+        self.pump(now);
+    }
+
+    /// The transport to `peer` dropped.
+    pub fn on_transport_down(&mut self, peer: Ipv4Addr, now: SimTime) {
+        if let Some(s) = self.sessions.get_mut(&peer) {
+            s.on_transport_down(now);
+        }
+        self.pump(now);
+    }
+
+    /// Bytes arrived from `peer`.
+    pub fn on_bytes(&mut self, peer: Ipv4Addr, now: SimTime, bytes: &[u8]) {
+        if let Some(s) = self.sessions.get_mut(&peer) {
+            s.on_bytes(now, bytes);
+        }
+        self.pump(now);
+    }
+
+    /// Fires due timers on every session, and flushes announcement batches
+    /// whose MRAI hold-down has expired.
+    pub fn poll_timers(&mut self, now: SimTime) {
+        for s in self.sessions.values_mut() {
+            s.poll_timers(now);
+        }
+        let due: Vec<Ipv4Addr> = self
+            .mrai_pending
+            .iter()
+            .filter(|(peer, pending)| {
+                !pending.is_empty()
+                    && now >= self.mrai_ready.get(peer).copied().unwrap_or(SimTime::ZERO)
+            })
+            .map(|(peer, _)| *peer)
+            .collect();
+        for peer in due {
+            let pending = self.mrai_pending.remove(&peer).unwrap_or_default();
+            if self.sessions.get(&peer).is_some_and(|s| s.is_established()) {
+                self.sync_peer(peer, &pending, now);
+            }
+        }
+        self.pump(now);
+    }
+
+    /// Earliest pending timer across sessions, including MRAI flushes.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let session_min = self.sessions.values().filter_map(|s| s.next_deadline()).min();
+        let mrai_min = self
+            .mrai_pending
+            .iter()
+            .filter(|(_, pending)| !pending.is_empty())
+            .filter_map(|(peer, _)| self.mrai_ready.get(peer).copied())
+            .min();
+        match (session_min, mrai_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Originates a new network at runtime.
+    pub fn originate(&mut self, prefix: Ipv4Prefix, now: SimTime) {
+        self.rib.originate(prefix, self.config.router_id);
+        let mut set = BTreeSet::new();
+        set.insert(prefix);
+        self.reconcile(&set, now);
+        self.pump(now);
+    }
+
+    /// Withdraws a locally originated network at runtime.
+    pub fn withdraw(&mut self, prefix: Ipv4Prefix, now: SimTime) {
+        if self.rib.withdraw_local(prefix) {
+            let mut set = BTreeSet::new();
+            set.insert(prefix);
+            self.reconcile(&set, now);
+            self.pump(now);
+        }
+    }
+
+    /// Drains accumulated outputs.
+    pub fn take_outputs(&mut self) -> Vec<SpeakerOutput> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Read access to the RIB (tests, dumps).
+    pub fn rib(&self) -> &LocRib {
+        &self.rib
+    }
+
+    /// State of the session to `peer`.
+    pub fn session_state(&self, peer: Ipv4Addr) -> Option<SessionState> {
+        self.sessions.get(&peer).map(|s| s.state())
+    }
+
+    /// True when every configured session is Established.
+    pub fn fully_converged_sessions(&self) -> bool {
+        self.sessions.values().all(|s| s.is_established())
+    }
+
+    /// Total messages sent across sessions (observability).
+    pub fn msgs_sent(&self) -> u64 {
+        self.sessions.values().map(|s| s.msgs_sent).sum()
+    }
+
+    /// Processes queued session events until quiescent.
+    fn pump(&mut self, now: SimTime) {
+        loop {
+            let mut work: Vec<(Ipv4Addr, SessionEvent)> = Vec::new();
+            for (peer, s) in &mut self.sessions {
+                for ev in s.take_events() {
+                    work.push((*peer, ev));
+                }
+            }
+            if work.is_empty() {
+                return;
+            }
+            let mut affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+            let mut newly_up: Vec<Ipv4Addr> = Vec::new();
+            for (peer, ev) in work {
+                match ev {
+                    SessionEvent::SendBytes(bytes) => {
+                        self.outputs.push(SpeakerOutput::SendBytes { peer, bytes });
+                    }
+                    SessionEvent::Established => {
+                        newly_up.push(peer);
+                        self.outputs.push(SpeakerOutput::SessionUp { peer });
+                    }
+                    SessionEvent::Down(_) => {
+                        affected.extend(self.rib.drop_peer(peer));
+                        self.adj_out.remove(&peer);
+                        self.mrai_pending.remove(&peer);
+                        self.mrai_ready.remove(&peer);
+                        self.outputs.push(SpeakerOutput::SessionDown { peer });
+                    }
+                    SessionEvent::Update(update) => {
+                        affected.extend(self.rib.update_from_peer(peer, true, &update));
+                    }
+                }
+            }
+            for peer in newly_up {
+                let all = self.rib.prefixes();
+                self.sync_peer(peer, &all, now);
+            }
+            if !affected.is_empty() {
+                self.reconcile(&affected, now);
+            }
+        }
+    }
+
+    /// Recomputes decisions for `prefixes`: reports FIB changes and
+    /// refreshes every established peer's advertisements.
+    fn reconcile(&mut self, prefixes: &BTreeSet<Ipv4Prefix>, now: SimTime) {
+        // 1. FIB-facing next-hop sets.
+        for prefix in prefixes {
+            let decision_is_local = self
+                .rib
+                .decide(*prefix)
+                .map(|d| d.best.is_local())
+                .unwrap_or(false);
+            let hops = if decision_is_local {
+                // Locally originated prefixes are connected routes; the data
+                // plane already knows them. Report nothing.
+                self.fib_view.remove(prefix);
+                continue;
+            } else {
+                self.rib.next_hops(*prefix)
+            };
+            let changed = match self.fib_view.get(prefix) {
+                Some(prev) => prev != &hops,
+                None => !hops.is_empty(),
+            };
+            if changed {
+                if hops.is_empty() {
+                    self.fib_view.remove(prefix);
+                } else {
+                    self.fib_view.insert(*prefix, hops.clone());
+                }
+                self.outputs.push(SpeakerOutput::RouteChanged {
+                    prefix: *prefix,
+                    next_hops: hops,
+                });
+            }
+        }
+        // 2. Peer advertisements.
+        let peers: Vec<Ipv4Addr> = self.sessions.keys().copied().collect();
+        for peer in peers {
+            if self.sessions[&peer].is_established() {
+                self.sync_peer(peer, prefixes, now);
+            }
+        }
+    }
+
+    /// Brings `peer`'s Adj-RIB-Out in line with the current decisions for
+    /// `prefixes`, emitting batched UPDATEs. Withdrawals always go out
+    /// immediately; announcements respect the MRAI hold-down (RFC 4271
+    /// §9.2.1.1) and are batched for the flush in [`BgpSpeaker::poll_timers`].
+    fn sync_peer(&mut self, peer: Ipv4Addr, prefixes: &BTreeSet<Ipv4Prefix>, now: SimTime) {
+        let mrai = self.config.timers.mrai;
+        let held = !mrai.is_zero()
+            && now < self.mrai_ready.get(&peer).copied().unwrap_or(SimTime::ZERO);
+        let mut withdraws: Vec<Ipv4Prefix> = Vec::new();
+        let mut announces: Vec<(PathAttributes, Vec<Ipv4Prefix>)> = Vec::new();
+        for prefix in prefixes {
+            let desired = self
+                .rib
+                .decide(*prefix)
+                .and_then(|d| self.export_attrs(peer, d.best.peer, &d.best.attrs));
+            let current = self.adj_out.get(&peer).and_then(|t| t.get(prefix));
+            match (current, desired) {
+                (Some(_), None) => {
+                    withdraws.push(*prefix);
+                    self.adj_out.get_mut(&peer).expect("present").remove(prefix);
+                    // A pending announcement for a now-withdrawn prefix is
+                    // obsolete.
+                    if let Some(p) = self.mrai_pending.get_mut(&peer) {
+                        p.remove(prefix);
+                    }
+                }
+                (cur, Some(want)) if cur != Some(&want) => {
+                    if held {
+                        self.mrai_pending.entry(peer).or_default().insert(*prefix);
+                        continue;
+                    }
+                    match announces.iter_mut().find(|(a, _)| *a == want) {
+                        Some((_, ps)) => ps.push(*prefix),
+                        None => announces.push((want.clone(), vec![*prefix])),
+                    }
+                    self.adj_out.entry(peer).or_default().insert(*prefix, want);
+                }
+                _ => {}
+            }
+        }
+        let sent_announcements = !announces.is_empty();
+        let session = self.sessions.get_mut(&peer).expect("known peer");
+        if !withdraws.is_empty() {
+            session.send_update(UpdateMsg {
+                withdrawn: withdraws,
+                attrs: None,
+                nlri: vec![],
+            });
+        }
+        for (attrs, nlri) in announces {
+            session.send_update(UpdateMsg {
+                withdrawn: vec![],
+                attrs: Some(attrs),
+                nlri,
+            });
+        }
+        if sent_announcements && !mrai.is_zero() {
+            self.mrai_ready.insert(peer, now + mrai);
+        }
+    }
+
+    /// eBGP export policy for `peer`: split horizon, prepend own AS,
+    /// next-hop-self, strip LOCAL_PREF and MED.
+    fn export_attrs(
+        &self,
+        peer: Ipv4Addr,
+        learned_from: Ipv4Addr,
+        attrs: &PathAttributes,
+    ) -> Option<PathAttributes> {
+        if learned_from == peer {
+            return None; // split horizon
+        }
+        let session = &self.sessions[&peer];
+        // Sending a path containing the peer's AS would be rejected by its
+        // loop check anyway; suppress it to save messages (common policy).
+        if attrs.contains_asn(session.config.remote_as) {
+            return None;
+        }
+        let mut out = attrs.prepended(self.config.asn);
+        out.next_hop = session.config.local_addr;
+        out.local_pref = None;
+        out.med = None;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_sim::SimDuration;
+
+    /// A tiny in-memory harness wiring speakers point-to-point.
+    struct Harness {
+        speakers: Vec<BgpSpeaker>,
+        /// (speaker index, its address) pairs — addresses are unique.
+        addr_of: BTreeMap<Ipv4Addr, usize>,
+        /// Collected RouteChanged outputs per speaker.
+        route_events: Vec<Vec<(Ipv4Prefix, Vec<Ipv4Addr>)>>,
+    }
+
+    impl Harness {
+        fn new(speakers: Vec<BgpSpeaker>) -> Harness {
+            let mut addr_of = BTreeMap::new();
+            for (i, s) in speakers.iter().enumerate() {
+                for p in &s.config.peers {
+                    addr_of.insert(p.local_addr, i);
+                }
+            }
+            let n = speakers.len();
+            Harness {
+                speakers,
+                addr_of,
+                route_events: vec![Vec::new(); n],
+            }
+        }
+
+        fn start(&mut self, now: SimTime) {
+            for s in &mut self.speakers {
+                s.start(now);
+            }
+            // Bring all transports up (the CM does this in the real system).
+            for i in 0..self.speakers.len() {
+                let peers: Vec<Ipv4Addr> = self.speakers[i]
+                    .config
+                    .peers
+                    .iter()
+                    .map(|p| p.peer_addr)
+                    .collect();
+                for p in peers {
+                    self.speakers[i].on_transport_up(p, now);
+                }
+            }
+            self.run(now);
+        }
+
+        /// Shuttles bytes until every speaker is quiescent.
+        fn run(&mut self, now: SimTime) {
+            loop {
+                let mut moved = false;
+                for i in 0..self.speakers.len() {
+                    for out in self.speakers[i].take_outputs() {
+                        match out {
+                            SpeakerOutput::SendBytes { peer, bytes } => {
+                                // `peer` is the remote's address; find the
+                                // speaker owning it. The remote sees the
+                                // message as coming from our local address
+                                // on that session.
+                                let from = self.speakers[i]
+                                    .config
+                                    .peers
+                                    .iter()
+                                    .find(|p| p.peer_addr == peer)
+                                    .map(|p| p.local_addr)
+                                    .expect("configured peer");
+                                let j = self.addr_of[&peer];
+                                self.speakers[j].on_bytes(from, now, &bytes);
+                                moved = true;
+                            }
+                            SpeakerOutput::RouteChanged { prefix, next_hops } => {
+                                self.route_events[i].push((prefix, next_hops));
+                            }
+                            SpeakerOutput::SessionUp { .. }
+                            | SpeakerOutput::SessionDown { .. } => {}
+                        }
+                    }
+                }
+                if !moved {
+                    return;
+                }
+            }
+        }
+
+        fn fib_of(&self, i: usize) -> BTreeMap<Ipv4Prefix, Vec<Ipv4Addr>> {
+            let mut fib = BTreeMap::new();
+            for (p, hops) in &self.route_events[i] {
+                if hops.is_empty() {
+                    fib.remove(p);
+                } else {
+                    fib.insert(*p, hops.clone());
+                }
+            }
+            fib
+        }
+    }
+
+    fn quick_timers() -> TimerConfig {
+        TimerConfig {
+            hold_time: SimDuration::from_secs(9),
+            connect_retry: SimDuration::from_secs(1),
+            mrai: SimDuration::ZERO,
+        }
+    }
+
+    fn speaker(
+        asn: u16,
+        id: [u8; 4],
+        peers: Vec<(Ipv4Addr, Ipv4Addr, u16)>, // (peer, local, remote_as)
+        networks: Vec<&str>,
+    ) -> BgpSpeaker {
+        BgpSpeaker::new(BgpConfig {
+            asn,
+            router_id: Ipv4Addr::from(id),
+            timers: quick_timers(),
+            peers: peers
+                .into_iter()
+                .map(|(peer_addr, local_addr, remote_as)| PeerConfig {
+                    peer_addr,
+                    local_addr,
+                    remote_as,
+                })
+                .collect(),
+            networks: networks.iter().map(|s| s.parse().unwrap()).collect(),
+            multipath: true,
+        })
+    }
+
+    fn addr(a: u8, b: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 255, a, b)
+    }
+
+    #[test]
+    fn two_routers_exchange_networks() {
+        // r1 (AS 65001, net 10.1/16) <-> r2 (AS 65002, net 10.2/16)
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(0, 2), addr(0, 1), 65002)],
+            vec!["10.1.0.0/16"],
+        );
+        let r2 = speaker(
+            65002,
+            [2, 2, 2, 2],
+            vec![(addr(0, 1), addr(0, 2), 65001)],
+            vec!["10.2.0.0/16"],
+        );
+        let mut h = Harness::new(vec![r1, r2]);
+        h.start(SimTime::ZERO);
+        let fib1 = h.fib_of(0);
+        let fib2 = h.fib_of(1);
+        assert_eq!(
+            fib1.get(&"10.2.0.0/16".parse().unwrap()),
+            Some(&vec![addr(0, 2)])
+        );
+        assert_eq!(
+            fib2.get(&"10.1.0.0/16".parse().unwrap()),
+            Some(&vec![addr(0, 1)])
+        );
+        assert!(h.speakers[0].fully_converged_sessions());
+    }
+
+    #[test]
+    fn line_propagates_with_as_path_growth() {
+        // r1 - r2 - r3; r1's network must reach r3 via r2.
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(12, 2), addr(12, 1), 65002)],
+            vec!["10.1.0.0/16"],
+        );
+        let r2 = speaker(
+            65002,
+            [2, 2, 2, 2],
+            vec![
+                (addr(12, 1), addr(12, 2), 65001),
+                (addr(23, 3), addr(23, 2), 65003),
+            ],
+            vec![],
+        );
+        let r3 = speaker(
+            65003,
+            [3, 3, 3, 3],
+            vec![(addr(23, 2), addr(23, 3), 65002)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![r1, r2, r3]);
+        h.start(SimTime::ZERO);
+        let fib3 = h.fib_of(2);
+        assert_eq!(
+            fib3.get(&"10.1.0.0/16".parse().unwrap()),
+            Some(&vec![addr(23, 2)]),
+            "r3 reaches 10.1/16 via r2"
+        );
+        // r3's Adj-RIB-In path should be [65002, 65001].
+        let d = h.speakers[2]
+            .rib()
+            .decide("10.1.0.0/16".parse().unwrap())
+            .unwrap();
+        assert_eq!(d.best.attrs.as_path_len(), 2);
+    }
+
+    #[test]
+    fn diamond_yields_multipath() {
+        // src - {a, b} - dst: dst sees src's net over two equal paths.
+        //      a (65010)
+        // src <         > dst
+        //      b (65020)
+        let src = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![
+                (addr(1, 2), addr(1, 1), 65010),
+                (addr(2, 2), addr(2, 1), 65020),
+            ],
+            vec!["10.1.0.0/16"],
+        );
+        let a = speaker(
+            65010,
+            [10, 10, 10, 10],
+            vec![
+                (addr(1, 1), addr(1, 2), 65001),
+                (addr(3, 2), addr(3, 1), 65002),
+            ],
+            vec![],
+        );
+        let b = speaker(
+            65020,
+            [20, 20, 20, 20],
+            vec![
+                (addr(2, 1), addr(2, 2), 65001),
+                (addr(4, 2), addr(4, 1), 65002),
+            ],
+            vec![],
+        );
+        let dst = speaker(
+            65002,
+            [2, 2, 2, 2],
+            vec![
+                (addr(3, 1), addr(3, 2), 65010),
+                (addr(4, 1), addr(4, 2), 65020),
+            ],
+            vec![],
+        );
+        let mut h = Harness::new(vec![src, a, b, dst]);
+        h.start(SimTime::ZERO);
+        let fib = h.fib_of(3);
+        let hops = fib.get(&"10.1.0.0/16".parse().unwrap()).unwrap();
+        assert_eq!(hops.len(), 2, "ECMP over both transit ASes: {hops:?}");
+    }
+
+    #[test]
+    fn session_down_withdraws_routes() {
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(0, 2), addr(0, 1), 65002)],
+            vec!["10.1.0.0/16"],
+        );
+        let r2 = speaker(
+            65002,
+            [2, 2, 2, 2],
+            vec![(addr(0, 1), addr(0, 2), 65001)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![r1, r2]);
+        h.start(SimTime::ZERO);
+        assert!(!h.fib_of(1).is_empty());
+        // Kill the transport on r2's side.
+        h.speakers[1].on_transport_down(addr(0, 1), SimTime::from_secs(1));
+        h.run(SimTime::from_secs(1));
+        assert!(
+            h.fib_of(1).is_empty(),
+            "routes flushed when the session drops"
+        );
+    }
+
+    #[test]
+    fn runtime_originate_propagates() {
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(0, 2), addr(0, 1), 65002)],
+            vec![],
+        );
+        let r2 = speaker(
+            65002,
+            [2, 2, 2, 2],
+            vec![(addr(0, 1), addr(0, 2), 65001)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![r1, r2]);
+        h.start(SimTime::ZERO);
+        assert!(h.fib_of(1).is_empty());
+        h.speakers[0].originate("10.42.0.0/16".parse().unwrap(), SimTime::from_secs(1));
+        h.run(SimTime::from_secs(1));
+        assert!(h
+            .fib_of(1)
+            .contains_key(&"10.42.0.0/16".parse().unwrap()));
+        // And runtime withdraw.
+        h.speakers[0].withdraw("10.42.0.0/16".parse().unwrap(), SimTime::from_secs(2));
+        h.run(SimTime::from_secs(2));
+        assert!(h.fib_of(1).is_empty());
+    }
+
+    #[test]
+    fn no_redundant_updates_after_convergence() {
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(0, 2), addr(0, 1), 65002)],
+            vec!["10.1.0.0/16"],
+        );
+        let r2 = speaker(
+            65002,
+            [2, 2, 2, 2],
+            vec![(addr(0, 1), addr(0, 2), 65001)],
+            vec!["10.2.0.0/16"],
+        );
+        let mut h = Harness::new(vec![r1, r2]);
+        h.start(SimTime::ZERO);
+        let sent_before = h.speakers[0].msgs_sent();
+        // Poll timers just shy of keepalive interval: nothing should move.
+        h.speakers[0].poll_timers(SimTime::from_secs(2));
+        h.run(SimTime::from_secs(2));
+        assert_eq!(h.speakers[0].msgs_sent(), sent_before);
+    }
+
+    /// Builds a speaker with an MRAI hold-down.
+    fn speaker_mrai(
+        asn: u16,
+        id: [u8; 4],
+        peers: Vec<(Ipv4Addr, Ipv4Addr, u16)>,
+        networks: Vec<&str>,
+        mrai_secs: u64,
+    ) -> BgpSpeaker {
+        let mut s = speaker(asn, id, peers, networks);
+        s.config.timers.mrai = SimDuration::from_secs(mrai_secs);
+        // Rebuild so sessions copy the timers (mrai lives on the speaker
+        // side only, but keep it consistent).
+        BgpSpeaker::new(s.config)
+    }
+
+    #[test]
+    fn mrai_delays_and_batches_announcements() {
+        // r1 -- r2 -- r3; r2 enforces a 5 s MRAI toward its peers.
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(12, 2), addr(12, 1), 65002)],
+            vec!["10.1.0.0/16"],
+        );
+        let r2 = speaker_mrai(
+            65002,
+            [2, 2, 2, 2],
+            vec![
+                (addr(12, 1), addr(12, 2), 65001),
+                (addr(23, 3), addr(23, 2), 65003),
+            ],
+            vec![],
+            5,
+        );
+        let r3 = speaker(
+            65003,
+            [3, 3, 3, 3],
+            vec![(addr(23, 2), addr(23, 3), 65002)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![r1, r2, r3]);
+        h.start(SimTime::ZERO);
+        // Initial convergence: r3 learned 10.1/16 (first burst is not held).
+        let p1: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        let p2: Ipv4Prefix = "10.42.0.0/16".parse().unwrap();
+        assert!(h.speakers[2].rib().decide(p1).is_some());
+        // r1 originates a second network at t=1: r2 learns it but must sit
+        // on the announcement until its MRAI (armed at t=0) expires at t=5.
+        h.speakers[0].originate(p2, SimTime::from_secs(1));
+        h.run(SimTime::from_secs(1));
+        assert!(
+            h.speakers[1].rib().decide(p2).is_some(),
+            "r2 itself learned the route"
+        );
+        assert!(
+            h.speakers[2].rib().decide(p2).is_none(),
+            "r3 must not see it during the hold-down"
+        );
+        // Before expiry: still nothing.
+        h.speakers[1].poll_timers(SimTime::from_secs(4));
+        h.run(SimTime::from_secs(4));
+        assert!(h.speakers[2].rib().decide(p2).is_none());
+        // After expiry the batch flushes.
+        h.speakers[1].poll_timers(SimTime::from_secs(5));
+        h.run(SimTime::from_secs(5));
+        assert!(h.speakers[2].rib().decide(p2).is_some(), "flushed after MRAI");
+    }
+
+    #[test]
+    fn mrai_does_not_delay_withdrawals() {
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(12, 2), addr(12, 1), 65002)],
+            vec!["10.1.0.0/16"],
+        );
+        let r2 = speaker_mrai(
+            65002,
+            [2, 2, 2, 2],
+            vec![
+                (addr(12, 1), addr(12, 2), 65001),
+                (addr(23, 3), addr(23, 2), 65003),
+            ],
+            vec![],
+            30,
+        );
+        let r3 = speaker(
+            65003,
+            [3, 3, 3, 3],
+            vec![(addr(23, 2), addr(23, 3), 65002)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![r1, r2, r3]);
+        h.start(SimTime::ZERO);
+        let p1: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(h.speakers[2].rib().decide(p1).is_some());
+        // Withdraw at t=1, deep inside r2's 30 s hold-down: must propagate
+        // immediately (withdrawals are exempt from MRAI).
+        h.speakers[0].withdraw(p1, SimTime::from_secs(1));
+        h.run(SimTime::from_secs(1));
+        assert!(
+            h.speakers[2].rib().decide(p1).is_none(),
+            "withdrawal reached r3 without waiting"
+        );
+    }
+
+    #[test]
+    fn mrai_deadline_visible_to_scheduler() {
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(12, 2), addr(12, 1), 65002)],
+            vec!["10.1.0.0/16"],
+        );
+        let r2 = speaker_mrai(
+            65002,
+            [2, 2, 2, 2],
+            vec![
+                (addr(12, 1), addr(12, 2), 65001),
+                (addr(23, 3), addr(23, 2), 65003),
+            ],
+            vec![],
+            5,
+        );
+        let r3 = speaker(
+            65003,
+            [3, 3, 3, 3],
+            vec![(addr(23, 2), addr(23, 3), 65002)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![r1, r2, r3]);
+        h.start(SimTime::ZERO);
+        h.speakers[0].originate("10.42.0.0/16".parse().unwrap(), SimTime::from_secs(1));
+        h.run(SimTime::from_secs(1));
+        // With a batch pending, r2's next deadline is the MRAI flush at
+        // t=5 (earlier than its 3 s keepalive? keepalive is hold/3 = 3 s,
+        // so the deadline must be min(3, 5) = 3; both must be included —
+        // assert the MRAI flush is not *missed*: the deadline is ≤ t=5).
+        let d = h.speakers[1].next_deadline().expect("deadline exists");
+        assert!(
+            d <= SimTime::from_secs(5),
+            "scheduler would sleep past the MRAI flush: {d}"
+        );
+    }
+}

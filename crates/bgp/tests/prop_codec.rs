@@ -1,0 +1,128 @@
+//! Property tests on the BGP wire codec: arbitrary messages round-trip
+//! byte-exactly, and arbitrary bytes never panic the decoder.
+
+use horse_bgp::msg::{
+    AsPathSegment, Capability, Message, Notification, OpenMsg, Origin, PathAttributes, UpdateMsg,
+};
+use horse_net::addr::Ipv4Prefix;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn prefixes() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::new(Ipv4Addr::from(bits), len))
+}
+
+fn origins() -> impl Strategy<Value = Origin> {
+    prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)]
+}
+
+fn segments() -> impl Strategy<Value = AsPathSegment> {
+    prop_oneof![
+        prop::collection::vec(any::<u16>(), 0..8).prop_map(AsPathSegment::Sequence),
+        prop::collection::vec(any::<u16>(), 1..8).prop_map(AsPathSegment::Set),
+    ]
+}
+
+fn attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        origins(),
+        prop::collection::vec(segments(), 0..4),
+        any::<u32>(),
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+    )
+        .prop_map(|(origin, as_path, nh, med, local_pref)| PathAttributes {
+            origin,
+            as_path,
+            next_hop: Ipv4Addr::from(nh),
+            med,
+            local_pref,
+            unknown: vec![],
+        })
+}
+
+fn messages() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        Just(Message::Keepalive),
+        (any::<u16>(), 3u16..=65535, any::<u32>()).prop_map(|(asn, hold, id)| {
+            Message::Open(OpenMsg {
+                version: 4,
+                my_as: asn,
+                hold_time: if hold < 3 { 0 } else { hold },
+                bgp_id: Ipv4Addr::from(id),
+                capabilities: vec![
+                    Capability::Multiprotocol { afi: 1, safi: 1 },
+                    Capability::FourOctetAs(u32::from(asn)),
+                ],
+            })
+        }),
+        (
+            prop::collection::vec(prefixes(), 0..12),
+            prop::option::of(attrs()),
+            prop::collection::vec(prefixes(), 0..12),
+        )
+            .prop_map(|(withdrawn, attrs, nlri)| {
+                // NLRI without attributes is illegal; drop NLRI then.
+                let nlri = if attrs.is_some() { nlri } else { vec![] };
+                Message::Update(UpdateMsg {
+                    withdrawn,
+                    attrs,
+                    nlri,
+                })
+            }),
+        (any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(code, subcode, data)| Message::Notification(Notification {
+                code,
+                subcode,
+                data
+            })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(msg in messages()) {
+        let bytes = msg.encode();
+        let (decoded, consumed) = Message::decode(&bytes)
+            .expect("own encoding decodes")
+            .expect("complete message");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Decoding arbitrary bytes never panics; it errors or asks for more.
+    #[test]
+    fn decode_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Decoding random corruptions of valid messages never panics.
+    #[test]
+    fn decode_corrupted(msg in messages(), flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)) {
+        let mut bytes = msg.encode().to_vec();
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] = val;
+        }
+        let _ = Message::decode(&bytes);
+    }
+
+    /// A concatenated stream of messages reassembles exactly, regardless of
+    /// chunking.
+    #[test]
+    fn stream_reassembly(msgs in prop::collection::vec(messages(), 1..6), chunk in 1usize..40) {
+        let mut all = Vec::new();
+        for m in &msgs {
+            all.extend_from_slice(&m.encode());
+        }
+        let mut dec = horse_bgp::msg::StreamDecoder::new();
+        let mut got = Vec::new();
+        for c in all.chunks(chunk) {
+            dec.push(c);
+            while let Some(m) = dec.next().expect("valid stream") {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+    }
+}

@@ -1,0 +1,327 @@
+//! # horse-cm — the Connection Manager
+//!
+//! "The Connection Manager (CM) is the bridge between the emulation and
+//! simulation. The CM has visibility to control plane packets and is
+//! responsible for sending events that trigger a change to the FTI mode."
+//! (Horse, §2.)
+//!
+//! Concretely, this crate provides the three bridge mechanisms:
+//!
+//! * [`ActivityProbe`] — a shared, thread-safe counter bumped by every
+//!   control-plane byte transfer. The hybrid runner polls it each step;
+//!   any movement promotes (or keeps) the experiment clock in FTI mode.
+//! * [`pipe`] / [`PipeEndpoint`] — tapped duplex byte streams connecting
+//!   emulated control-plane endpoints (BGP speaker ↔ BGP speaker, switch
+//!   agent ↔ controller). Every send bumps the probe, giving the CM its
+//!   "visibility to control plane packets". Endpoints are cloneable and
+//!   thread-safe so daemons can run on real OS threads in emulation mode,
+//!   or be drained inline in deterministic virtual mode.
+//! * [`FibInstaller`] — translates routing-protocol next hops (peer link
+//!   addresses) into simulated output ports and installs them in the data
+//!   plane ("When the routers add routes to their RIB, Horse installs
+//!   those routes in the respective data planes").
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use horse_dataplane::fib::{NextHop, RouteEntry, RouteOrigin};
+use horse_dataplane::path::DataPlane;
+use horse_net::addr::Ipv4Prefix;
+use horse_net::topology::{NodeId, PortId};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared control-activity counter.
+///
+/// Clones observe the same underlying counter. The runner keeps a local
+/// snapshot and asks [`ActivityProbe::changed_since`] once per engine step.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityProbe {
+    counter: Arc<AtomicU64>,
+}
+
+impl ActivityProbe {
+    /// A fresh probe at zero.
+    pub fn new() -> ActivityProbe {
+        ActivityProbe::default()
+    }
+
+    /// Records one unit of control-plane activity.
+    pub fn bump(&self) {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counter value.
+    pub fn snapshot(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// True if activity occurred since `last`; updates `last`.
+    pub fn changed_since(&self, last: &mut u64) -> bool {
+        let now = self.snapshot();
+        let changed = now != *last;
+        *last = now;
+        changed
+    }
+}
+
+/// One end of a tapped duplex byte pipe.
+#[derive(Debug, Clone)]
+pub struct PipeEndpoint {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    probe: ActivityProbe,
+    sent: Arc<AtomicU64>,
+}
+
+impl PipeEndpoint {
+    /// Sends bytes to the other end, bumping the activity probe.
+    pub fn send(&self, bytes: Bytes) {
+        self.probe.bump();
+        self.sent.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        // The peer endpoint may have been dropped (experiment teardown);
+        // losing bytes then is correct.
+        let _ = self.tx.send(bytes);
+    }
+
+    /// Non-blocking receive of one chunk.
+    pub fn try_recv(&self) -> Option<Bytes> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Ok(b) = self.rx.try_recv() {
+            out.push(b);
+        }
+        out
+    }
+
+    /// Blocking receive with a wall-clock timeout (emulation mode threads).
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Bytes> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Total bytes sent from this endpoint.
+    pub fn bytes_sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+}
+
+/// Creates a tapped duplex pipe; both endpoints bump `probe` on send.
+pub fn pipe(probe: &ActivityProbe) -> (PipeEndpoint, PipeEndpoint) {
+    let (atx, arx) = unbounded();
+    let (btx, brx) = unbounded();
+    (
+        PipeEndpoint {
+            tx: atx,
+            rx: brx,
+            probe: probe.clone(),
+            sent: Arc::new(AtomicU64::new(0)),
+        },
+        PipeEndpoint {
+            tx: btx,
+            rx: arx,
+            probe: probe.clone(),
+            sent: Arc::new(AtomicU64::new(0)),
+        },
+    )
+}
+
+/// Translates control-plane next hops into data-plane FIB entries.
+#[derive(Debug, Clone, Default)]
+pub struct FibInstaller {
+    addr_to_port: BTreeMap<NodeId, BTreeMap<Ipv4Addr, PortId>>,
+    /// Count of installs/removals applied (observability).
+    pub installs: u64,
+}
+
+impl FibInstaller {
+    /// An empty installer.
+    pub fn new() -> FibInstaller {
+        FibInstaller::default()
+    }
+
+    /// Registers a router's neighbor-address → port map.
+    pub fn register(&mut self, node: NodeId, map: BTreeMap<Ipv4Addr, PortId>) {
+        self.addr_to_port.insert(node, map);
+    }
+
+    /// Applies a route change reported by `node`'s routing daemon: installs
+    /// the (multipath) route, or removes the prefix when `next_hops` is
+    /// empty. Next hops with no known port (e.g. a neighbor on a link that
+    /// was never registered) are skipped; if none remain, the prefix is
+    /// removed. Returns true if the FIB changed.
+    pub fn apply(
+        &mut self,
+        dp: &mut DataPlane,
+        node: NodeId,
+        prefix: Ipv4Prefix,
+        next_hops: &[Ipv4Addr],
+    ) -> bool {
+        let Some(fib) = dp.fib_mut(node) else {
+            return false;
+        };
+        let map = self.addr_to_port.get(&node);
+        let hops: Vec<NextHop> = next_hops
+            .iter()
+            .filter_map(|gw| {
+                map.and_then(|m| m.get(gw)).map(|port| NextHop {
+                    port: *port,
+                    gateway: *gw,
+                })
+            })
+            .collect();
+        self.installs += 1;
+        if hops.is_empty() {
+            fib.remove(prefix).is_some()
+        } else {
+            let entry = RouteEntry::new(hops, RouteOrigin::Bgp);
+            fib.insert(prefix, entry.clone()) != Some(entry)
+        }
+    }
+
+    /// Installs a connected route (host-facing subnet) on a router.
+    pub fn install_connected(
+        &mut self,
+        dp: &mut DataPlane,
+        node: NodeId,
+        prefix: Ipv4Prefix,
+        port: PortId,
+    ) {
+        if let Some(fib) = dp.fib_mut(node) {
+            fib.insert(
+                prefix,
+                RouteEntry::new(
+                    vec![NextHop {
+                        port,
+                        gateway: Ipv4Addr::UNSPECIFIED,
+                    }],
+                    RouteOrigin::Connected,
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_dataplane::hash::HashMode;
+
+    #[test]
+    fn probe_counts_and_detects_changes() {
+        let p = ActivityProbe::new();
+        let mut last = 0;
+        assert!(!p.changed_since(&mut last));
+        p.bump();
+        assert!(p.changed_since(&mut last));
+        assert!(!p.changed_since(&mut last));
+        assert_eq!(p.snapshot(), 1);
+    }
+
+    #[test]
+    fn probe_shared_across_clones_and_threads() {
+        let p = ActivityProbe::new();
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                p2.bump();
+            }
+        });
+        h.join().unwrap();
+        assert_eq!(p.snapshot(), 1000);
+    }
+
+    #[test]
+    fn pipe_moves_bytes_and_bumps_probe() {
+        let probe = ActivityProbe::new();
+        let (a, b) = pipe(&probe);
+        a.send(Bytes::from_static(b"hello"));
+        assert_eq!(probe.snapshot(), 1);
+        assert_eq!(b.try_recv().unwrap(), Bytes::from_static(b"hello"));
+        assert!(b.try_recv().is_none());
+        b.send(Bytes::from_static(b"world"));
+        assert_eq!(a.drain(), vec![Bytes::from_static(b"world")]);
+        assert_eq!(probe.snapshot(), 2);
+        assert_eq!(a.bytes_sent(), 5);
+    }
+
+    #[test]
+    fn pipe_works_across_threads() {
+        let probe = ActivityProbe::new();
+        let (a, b) = pipe(&probe);
+        let h = std::thread::spawn(move || {
+            for i in 0..100u8 {
+                b.send(Bytes::from(vec![i]));
+            }
+        });
+        h.join().unwrap();
+        let got = a.drain();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[99][0], 99);
+    }
+
+    #[test]
+    fn send_to_dropped_peer_does_not_panic() {
+        let probe = ActivityProbe::new();
+        let (a, b) = pipe(&probe);
+        drop(b);
+        a.send(Bytes::from_static(b"into the void"));
+    }
+
+    #[test]
+    fn installer_translates_and_installs() {
+        let mut topo = horse_net::topology::Topology::new();
+        let r = topo.add_router("r", Ipv4Addr::new(1, 1, 1, 1));
+        let s = topo.add_router("s", Ipv4Addr::new(2, 2, 2, 2));
+        let (_, r_port, _) = topo.add_link(r, s, 1e9, 0);
+        let mut dp = DataPlane::new();
+        dp.add_router(r, HashMode::SrcDst);
+        let mut inst = FibInstaller::new();
+        let gw = Ipv4Addr::new(172, 16, 0, 2);
+        inst.register(r, BTreeMap::from([(gw, r_port)]));
+        let prefix: Ipv4Prefix = "10.9.0.0/16".parse().unwrap();
+        assert!(inst.apply(&mut dp, r, prefix, &[gw]));
+        let (_, entry) = dp.fib(r).unwrap().lookup(Ipv4Addr::new(10, 9, 1, 1)).unwrap();
+        assert_eq!(entry.next_hops[0].port, r_port);
+        // Idempotent re-install reports no change.
+        assert!(!inst.apply(&mut dp, r, prefix, &[gw]));
+        // Withdrawal.
+        assert!(inst.apply(&mut dp, r, prefix, &[]));
+        assert!(dp.fib(r).unwrap().lookup(Ipv4Addr::new(10, 9, 1, 1)).is_none());
+    }
+
+    #[test]
+    fn unknown_next_hop_removes_route() {
+        let mut dp = DataPlane::new();
+        let r = NodeId(0);
+        dp.add_router(r, HashMode::SrcDst);
+        let mut inst = FibInstaller::new();
+        inst.register(r, BTreeMap::new());
+        let prefix: Ipv4Prefix = "10.9.0.0/16".parse().unwrap();
+        // Pre-install something, then apply with an unresolvable hop.
+        inst.install_connected(&mut dp, r, prefix, PortId(0));
+        assert!(dp.fib(r).unwrap().lookup(Ipv4Addr::new(10, 9, 0, 1)).is_some());
+        inst.apply(&mut dp, r, prefix, &[Ipv4Addr::new(9, 9, 9, 9)]);
+        assert!(
+            dp.fib(r).unwrap().lookup(Ipv4Addr::new(10, 9, 0, 1)).is_none(),
+            "unresolvable hops remove the prefix"
+        );
+    }
+
+    #[test]
+    fn installer_ignores_non_routers() {
+        let mut dp = DataPlane::new();
+        dp.add_host(NodeId(0));
+        let mut inst = FibInstaller::new();
+        assert!(!inst.apply(
+            &mut dp,
+            NodeId(0),
+            "10.0.0.0/8".parse().unwrap(),
+            &[Ipv4Addr::new(1, 1, 1, 1)]
+        ));
+    }
+}

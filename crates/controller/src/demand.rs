@@ -1,0 +1,236 @@
+//! Hedera's flow demand estimation (NSDI'10, §IV-A).
+//!
+//! TCP (and the demo's CBR UDP) flows measured at a congested link
+//! under-report what they *want* to send. Hedera estimates each flow's
+//! natural demand as the rate it would get if only host NICs constrained
+//! the traffic, by iterating two procedures until a fixed point:
+//!
+//! * **est_src** — each sender divides its residual NIC capacity equally
+//!   among its not-yet-converged flows;
+//! * **est_dst** — each overloaded receiver computes the equal share that
+//!   exactly fills its NIC, caps the flows exceeding it, and marks them
+//!   receiver-limited (converged).
+//!
+//! Demands are expressed as fractions of NIC rate (1.0 = a full NIC).
+
+use horse_net::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One flow's estimated demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowDemand {
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Estimated natural demand as a fraction of NIC rate.
+    pub demand: f64,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_ITERS: usize = 100;
+
+/// Estimates natural demands for a set of `(src, dst)` flows.
+///
+/// Multiple flows between the same pair are treated individually (they
+/// each get a share), matching Hedera's per-flow matrix entries.
+pub fn estimate_demands(flows: &[(NodeId, NodeId)]) -> Vec<FlowDemand> {
+    let n = flows.len();
+    let mut demand = vec![0.0f64; n];
+    let mut converged = vec![false; n];
+    // Index flows by sender and receiver.
+    let mut by_src: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+    let mut by_dst: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+    for (i, (s, d)) in flows.iter().enumerate() {
+        by_src.entry(*s).or_default().push(i);
+        by_dst.entry(*d).or_default().push(i);
+    }
+
+    for _ in 0..MAX_ITERS {
+        let mut changed = false;
+        // est_src: distribute residual sender capacity over unconverged
+        // flows.
+        for idxs in by_src.values() {
+            let converged_sum: f64 = idxs
+                .iter()
+                .filter(|i| converged[**i])
+                .map(|i| demand[*i])
+                .sum();
+            let unconverged: Vec<usize> =
+                idxs.iter().copied().filter(|i| !converged[*i]).collect();
+            if unconverged.is_empty() {
+                continue;
+            }
+            let share = ((1.0 - converged_sum) / unconverged.len() as f64).max(0.0);
+            for i in unconverged {
+                if (demand[i] - share).abs() > EPS {
+                    demand[i] = share;
+                    changed = true;
+                }
+            }
+        }
+        // est_dst: receivers whose total demand exceeds NIC compute the
+        // limiting equal share and cap/converge the big flows.
+        for idxs in by_dst.values() {
+            let total: f64 = idxs.iter().map(|i| demand[*i]).sum();
+            if total <= 1.0 + EPS {
+                continue;
+            }
+            // Find the equal share s such that sum(min(d_i, s)) = 1.
+            let mut small_sum = 0.0;
+            let mut big: Vec<usize> = idxs.clone();
+            let mut share;
+            loop {
+                share = (1.0 - small_sum) / big.len() as f64;
+                let (newly_small, still_big): (Vec<usize>, Vec<usize>) =
+                    big.iter().partition(|i| demand[**i] < share - EPS);
+                if newly_small.is_empty() {
+                    break;
+                }
+                small_sum += newly_small.iter().map(|i| demand[*i]).sum::<f64>();
+                big = still_big;
+                if big.is_empty() {
+                    break;
+                }
+            }
+            for i in big {
+                if (demand[i] - share).abs() > EPS || !converged[i] {
+                    demand[i] = share;
+                    converged[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    flows
+        .iter()
+        .zip(demand)
+        .map(|((s, d), demand)| FlowDemand {
+            src: *s,
+            dst: *d,
+            demand,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn demands(flows: &[(u32, u32)]) -> Vec<f64> {
+        estimate_demands(
+            &flows
+                .iter()
+                .map(|(a, b)| (n(*a), n(*b)))
+                .collect::<Vec<_>>(),
+        )
+        .iter()
+        .map(|f| f.demand)
+        .collect()
+    }
+
+    #[test]
+    fn single_flow_gets_full_nic() {
+        assert_eq!(demands(&[(0, 1)]), vec![1.0]);
+    }
+
+    #[test]
+    fn sender_splits_between_two_flows() {
+        let d = demands(&[(0, 1), (0, 2)]);
+        assert!((d[0] - 0.5).abs() < 1e-9);
+        assert!((d[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receiver_limits_two_senders() {
+        let d = demands(&[(0, 2), (1, 2)]);
+        assert!((d[0] - 0.5).abs() < 1e-9);
+        assert!((d[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_sender_receiver_limits() {
+        // h0 sends to h2 and h3; h1 sends only to h2.
+        // est_src: h0 flows 0.5/0.5, h1 flow 1.0.
+        // est_dst at h2: total 1.5 → share 0.5... flows (0→2)=0.5, (1→2)=1.0;
+        // small: 0.5 stays, big: 1→2 capped to 0.5. Then h0's flow to h3
+        // can grow: h0 residual... 0→2 not converged: est_src h0: both flows
+        // unconverged share 0.5 each; h3 fine. Fixed point: [0.5, 0.5, 0.5].
+        let d = demands(&[(0, 2), (0, 3), (1, 2)]);
+        assert!((d[0] - 0.5).abs() < 1e-6, "{d:?}");
+        assert!((d[1] - 0.5).abs() < 1e-6, "{d:?}");
+        assert!((d[2] - 0.5).abs() < 1e-6, "{d:?}");
+    }
+
+    #[test]
+    fn receiver_share_respects_small_flows() {
+        // Three senders to one receiver; one sender also sends elsewhere,
+        // so its flow to the receiver is naturally smaller.
+        // h0→h3, h0→h4 (h0 splits: 0.5 each); h1→h3 (1.0); h2→h3 (1.0).
+        // At h3: demands 0.5, 1.0, 1.0 → total 2.5 > 1.
+        // share: small = {0.5}? 0.5 < (1-0)/3=0.333? No, 0.5 > 0.333 →
+        // no small flows; share = 1/3 each; all three capped to 1/3.
+        // Then h0's other flow grows to 2/3.
+        let d = demands(&[(0, 3), (0, 4), (1, 3), (2, 3)]);
+        assert!((d[0] - 1.0 / 3.0).abs() < 1e-6, "{d:?}");
+        assert!((d[2] - 1.0 / 3.0).abs() < 1e-6, "{d:?}");
+        assert!((d[3] - 1.0 / 3.0).abs() < 1e-6, "{d:?}");
+        assert!((d[1] - 2.0 / 3.0).abs() < 1e-6, "{d:?}");
+    }
+
+    #[test]
+    fn permutation_traffic_all_full_rate() {
+        // A permutation: every host sends one flow, receives one flow.
+        let flows: Vec<(u32, u32)> = (0..16).map(|i| (i, (i + 1) % 16)).collect();
+        let d = demands(&flows);
+        for v in d {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(estimate_demands(&[]).is_empty());
+    }
+
+    #[test]
+    fn demands_bounded_by_nic() {
+        // Random-ish dense matrix: all demands must stay in [0, 1] and
+        // per-receiver totals ≤ 1 (+eps).
+        let mut flows = Vec::new();
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                if s != d && (s + d) % 3 != 0 {
+                    flows.push((s, d));
+                }
+            }
+        }
+        let est = estimate_demands(
+            &flows
+                .iter()
+                .map(|(a, b)| (n(*a), n(*b)))
+                .collect::<Vec<_>>(),
+        );
+        let mut per_dst: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut per_src: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for f in &est {
+            assert!(f.demand >= -1e-9 && f.demand <= 1.0 + 1e-9, "{f:?}");
+            *per_dst.entry(f.dst).or_default() += f.demand;
+            *per_src.entry(f.src).or_default() += f.demand;
+        }
+        for (d, total) in per_dst {
+            assert!(total <= 1.0 + 1e-6, "receiver {d} oversubscribed: {total}");
+        }
+        for (s, total) in per_src {
+            assert!(total <= 1.0 + 1e-6, "sender {s} oversubscribed: {total}");
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The controller's view of the fabric: topology, datapath ids, and path
+//! computation with rule synthesis.
+
+use horse_dataplane::flowtable::Match;
+use horse_net::flow::FiveTuple;
+use horse_net::topology::{LinkId, NodeId, NodeKind, PortId, Topology};
+use horse_openflow::wire::{FlowMod, FlowModCommand, OfAction, OFPP_NONE};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The fabric as the controller sees it.
+#[derive(Debug, Clone)]
+pub struct FabricView {
+    topo: Topology,
+    node_of_dpid: BTreeMap<u64, NodeId>,
+    dpid_of_node: BTreeMap<NodeId, u64>,
+    host_of_ip: BTreeMap<Ipv4Addr, NodeId>,
+    /// Cache of shortest path sets between host pairs.
+    path_cache: std::cell::RefCell<BTreeMap<(NodeId, NodeId), Vec<Vec<LinkId>>>>,
+}
+
+impl FabricView {
+    /// Builds a view where every switch's datapath id is its node id (the
+    /// convention `horse-topo` uses).
+    pub fn new(topo: Topology) -> FabricView {
+        let mut node_of_dpid = BTreeMap::new();
+        let mut dpid_of_node = BTreeMap::new();
+        let mut host_of_ip = BTreeMap::new();
+        for id in topo.node_ids() {
+            match topo.node(id).kind {
+                NodeKind::Switch => {
+                    node_of_dpid.insert(u64::from(id.0), id);
+                    dpid_of_node.insert(id, u64::from(id.0));
+                }
+                NodeKind::Host => {
+                    host_of_ip.insert(topo.node(id).ip, id);
+                }
+                NodeKind::Router => {}
+            }
+        }
+        FabricView {
+            topo,
+            node_of_dpid,
+            dpid_of_node,
+            host_of_ip,
+            path_cache: std::cell::RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Switch node for a datapath id.
+    pub fn node_of(&self, dpid: u64) -> Option<NodeId> {
+        self.node_of_dpid.get(&dpid).copied()
+    }
+
+    /// Datapath id of a switch node.
+    pub fn dpid_of(&self, node: NodeId) -> Option<u64> {
+        self.dpid_of_node.get(&node).copied()
+    }
+
+    /// Host owning an IP.
+    pub fn host_of(&self, ip: Ipv4Addr) -> Option<NodeId> {
+        self.host_of_ip.get(&ip).copied()
+    }
+
+    /// All switch dpids.
+    pub fn switch_dpids(&self) -> Vec<u64> {
+        self.node_of_dpid.keys().copied().collect()
+    }
+
+    /// Edge switches: switches with at least one host neighbor.
+    pub fn edge_dpids(&self) -> Vec<u64> {
+        self.node_of_dpid
+            .iter()
+            .filter(|(_, n)| {
+                self.topo
+                    .neighbors(**n)
+                    .iter()
+                    .any(|(_, _, nb)| self.topo.node(*nb).kind == NodeKind::Host)
+            })
+            .map(|(d, _)| *d)
+            .collect()
+    }
+
+    /// Marks the link attached to `(switch, port)` up or down in the
+    /// controller's copy of the topology (what a PORT_STATUS teaches a real
+    /// controller via its link-discovery layer), invalidating cached paths.
+    /// Returns the affected link, if the port is wired.
+    pub fn set_link_state(&mut self, node: NodeId, port: PortId, up: bool) -> Option<LinkId> {
+        let lid = self.topo.link_at(node, port)?;
+        if self.topo.link(lid).up != up {
+            self.topo.link_mut(lid).up = up;
+            self.path_cache.borrow_mut().clear();
+        }
+        Some(lid)
+    }
+
+    /// All equal-cost shortest paths between two hosts (cached; the fabric
+    /// is static during an experiment).
+    pub fn paths(&self, src: NodeId, dst: NodeId) -> Vec<Vec<LinkId>> {
+        if let Some(p) = self.path_cache.borrow().get(&(src, dst)) {
+            return p.clone();
+        }
+        let paths = self.topo.all_shortest_paths(src, dst);
+        self.path_cache
+            .borrow_mut()
+            .insert((src, dst), paths.clone());
+        paths
+    }
+
+    /// Synthesizes the exact-match FLOW_MODs pinning `tuple` along `path`
+    /// (one per switch on the path). Returns `(dpid, flow_mod)` pairs.
+    pub fn rules_along(
+        &self,
+        src: NodeId,
+        path: &[LinkId],
+        tuple: &FiveTuple,
+        priority: u16,
+        idle_timeout: u16,
+    ) -> Vec<(u64, FlowMod)> {
+        let mut out = Vec::new();
+        let mut cur = src;
+        for lid in path {
+            let link = self.topo.link(*lid);
+            let Some(ep) = link.endpoint_on(cur) else {
+                return Vec::new(); // disconnected path: caller bug
+            };
+            if let Some(dpid) = self.dpid_of(cur) {
+                out.push((dpid, exact_flow_mod(*tuple, ep.port, priority, idle_timeout)));
+            }
+            cur = link.other(cur);
+        }
+        out
+    }
+}
+
+/// An exact-match ADD rule sending `tuple` out `port`.
+pub fn exact_flow_mod(tuple: FiveTuple, port: PortId, priority: u16, idle_timeout: u16) -> FlowMod {
+    FlowMod {
+        matcher: Match::exact(tuple),
+        cookie: 0,
+        command: FlowModCommand::Add,
+        idle_timeout,
+        hard_timeout: 0,
+        priority,
+        buffer_id: 0xffff_ffff,
+        out_port: OFPP_NONE,
+        flags: 0,
+        actions: vec![OfAction::Output {
+            port: port.0,
+            max_len: 0,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_net::addr::Ipv4Prefix;
+
+    fn square() -> (FabricView, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let sn: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let a = t.add_host("a", Ipv4Addr::new(10, 0, 0, 1), sn);
+        let b = t.add_host("b", Ipv4Addr::new(10, 0, 0, 2), sn);
+        let x = t.add_switch("x", Ipv4Addr::new(10, 255, 0, 1));
+        let y = t.add_switch("y", Ipv4Addr::new(10, 255, 0, 2));
+        t.add_link(a, x, 1e9, 0);
+        t.add_link(a, y, 1e9, 0);
+        t.add_link(x, b, 1e9, 0);
+        t.add_link(y, b, 1e9, 0);
+        (FabricView::new(t), a, b)
+    }
+
+    #[test]
+    fn lookups() {
+        let (f, a, _) = square();
+        assert_eq!(f.host_of(Ipv4Addr::new(10, 0, 0, 1)), Some(a));
+        assert_eq!(f.switch_dpids().len(), 2);
+        let x = f.topo().find("x").unwrap();
+        assert_eq!(f.node_of(f.dpid_of(x).unwrap()), Some(x));
+        // Both switches touch hosts → both are edge.
+        assert_eq!(f.edge_dpids().len(), 2);
+    }
+
+    #[test]
+    fn paths_cached_and_correct() {
+        let (f, a, b) = square();
+        let p1 = f.paths(a, b);
+        assert_eq!(p1.len(), 2);
+        let p2 = f.paths(a, b);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn rules_cover_switches_on_path() {
+        let (f, a, b) = square();
+        let path = &f.paths(a, b)[0];
+        let tuple = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2,
+        );
+        let rules = f.rules_along(a, path, &tuple, 100, 0);
+        // Path: a → switch → b. Only the switch gets a rule (hosts have no
+        // dpid).
+        assert_eq!(rules.len(), 1);
+        let (_, fm) = &rules[0];
+        assert_eq!(fm.matcher, Match::exact(tuple));
+        assert_eq!(fm.priority, 100);
+    }
+
+    #[test]
+    fn broken_path_yields_no_rules() {
+        let (f, a, b) = square();
+        let path = f.paths(a, b)[0].clone();
+        // Start the walk at the wrong node.
+        let rules = f.rules_along(b, &path, &FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2,
+        ), 1, 0);
+        assert!(rules.is_empty());
+    }
+}

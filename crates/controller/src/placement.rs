@@ -1,0 +1,372 @@
+//! Elephant-flow placement: Global First Fit and Simulated Annealing
+//! (Hedera, NSDI'10 §V).
+//!
+//! Given the elephants (flows with estimated demand ≥ the threshold), their
+//! equal-cost path candidates and link capacities, choose a path per
+//! elephant so that capacity reservations fit:
+//!
+//! * **Global First Fit** — scan elephants in deterministic order; for each,
+//!   linearly search its path list and reserve the first path whose every
+//!   link has headroom for the flow's demand. Fall back to the current
+//!   (hash) path when nothing fits.
+//! * **Simulated Annealing** — search the joint assignment space
+//!   minimizing the estimated maximum link over-subscription; better
+//!   placements for near-full fabrics at the cost of more computation.
+
+use crate::demand::FlowDemand;
+use horse_net::flow::FiveTuple;
+use horse_net::topology::{LinkId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The placement algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementAlgo {
+    /// Hedera's default scheduler.
+    GlobalFirstFit,
+    /// Hedera's probabilistic scheduler.
+    SimulatedAnnealing {
+        /// Annealing iterations.
+        iters: u32,
+        /// RNG seed (runs are reproducible).
+        seed: u64,
+    },
+}
+
+/// One elephant to place.
+#[derive(Debug, Clone)]
+pub struct PlacementInput {
+    /// The flow's identity (used to key the result).
+    pub tuple: FiveTuple,
+    /// Estimated natural demand in bits/s.
+    pub demand_bps: f64,
+    /// Equal-cost candidate paths (link sequences from the source host).
+    pub paths: Vec<Vec<LinkId>>,
+    /// Index of the path the flow currently uses (hash placement).
+    pub current: usize,
+}
+
+/// Chosen path index per flow.
+pub type Placement = BTreeMap<FiveTuple, usize>;
+
+/// Runs the placement algorithm. Reservation state starts from
+/// `background_load` (bits/s already reserved per link, e.g. mice traffic;
+/// usually empty).
+pub fn place_flows(
+    topo: &Topology,
+    inputs: &[PlacementInput],
+    algo: PlacementAlgo,
+    background_load: &BTreeMap<LinkId, f64>,
+) -> Placement {
+    match algo {
+        PlacementAlgo::GlobalFirstFit => global_first_fit(topo, inputs, background_load),
+        PlacementAlgo::SimulatedAnnealing { iters, seed } => {
+            simulated_annealing(topo, inputs, background_load, iters, seed)
+        }
+    }
+}
+
+fn global_first_fit(
+    topo: &Topology,
+    inputs: &[PlacementInput],
+    background: &BTreeMap<LinkId, f64>,
+) -> Placement {
+    let mut reserved: BTreeMap<LinkId, f64> = background.clone();
+    let mut out = Placement::new();
+    for input in inputs {
+        let mut chosen = input.current;
+        for (i, path) in input.paths.iter().enumerate() {
+            let fits = path.iter().all(|lid| {
+                let cap = topo.link(*lid).capacity_bps;
+                reserved.get(lid).copied().unwrap_or(0.0) + input.demand_bps <= cap + 1e-6
+            });
+            if fits {
+                chosen = i;
+                break;
+            }
+        }
+        if let Some(path) = input.paths.get(chosen) {
+            for lid in path {
+                *reserved.entry(*lid).or_default() += input.demand_bps;
+            }
+        }
+        out.insert(input.tuple, chosen);
+    }
+    out
+}
+
+/// Energy: the maximum link over-subscription ratio (reserved/capacity)
+/// plus a small term for total excess, so the search has gradient even when
+/// the max is tied.
+fn energy(
+    topo: &Topology,
+    inputs: &[PlacementInput],
+    assignment: &[usize],
+    background: &BTreeMap<LinkId, f64>,
+) -> f64 {
+    let mut load: BTreeMap<LinkId, f64> = background.clone();
+    for (input, &choice) in inputs.iter().zip(assignment) {
+        if let Some(path) = input.paths.get(choice) {
+            for lid in path {
+                *load.entry(*lid).or_default() += input.demand_bps;
+            }
+        }
+    }
+    let mut max_ratio = 0.0f64;
+    let mut excess = 0.0f64;
+    for (lid, l) in &load {
+        let cap = topo.link(*lid).capacity_bps;
+        let ratio = l / cap;
+        max_ratio = max_ratio.max(ratio);
+        excess += (ratio - 1.0).max(0.0);
+    }
+    max_ratio + 0.01 * excess
+}
+
+fn simulated_annealing(
+    topo: &Topology,
+    inputs: &[PlacementInput],
+    background: &BTreeMap<LinkId, f64>,
+    iters: u32,
+    seed: u64,
+) -> Placement {
+    if inputs.is_empty() {
+        return Placement::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Start from the current (hash) assignment.
+    let mut assign: Vec<usize> = inputs.iter().map(|i| i.current).collect();
+    let mut e = energy(topo, inputs, &assign, background);
+    let mut best = assign.clone();
+    let mut best_e = e;
+    let t0 = 1.0f64;
+    for step in 0..iters {
+        // Neighbor: move one elephant to a random alternative path.
+        let which = rng.gen_range(0..inputs.len());
+        let n_paths = inputs[which].paths.len();
+        if n_paths < 2 {
+            continue;
+        }
+        let old = assign[which];
+        let mut candidate = rng.gen_range(0..n_paths);
+        if candidate == old {
+            candidate = (candidate + 1) % n_paths;
+        }
+        assign[which] = candidate;
+        let e2 = energy(topo, inputs, &assign, background);
+        let temp = t0 * (1.0 - f64::from(step) / f64::from(iters)).max(1e-3);
+        let accept = e2 <= e || rng.gen::<f64>() < ((e - e2) / temp).exp();
+        if accept {
+            e = e2;
+            if e < best_e {
+                best_e = e;
+                best = assign.clone();
+            }
+        } else {
+            assign[which] = old;
+        }
+    }
+    inputs
+        .iter()
+        .zip(best)
+        .map(|(i, c)| (i.tuple, c))
+        .collect()
+}
+
+/// Helper to build [`PlacementInput`]s from estimated demands: filters
+/// elephants (demand ≥ `threshold` fraction of `nic_bps`).
+pub fn elephants(
+    demands: &[(FiveTuple, FlowDemand)],
+    nic_bps: f64,
+    threshold: f64,
+) -> Vec<(FiveTuple, f64)> {
+    demands
+        .iter()
+        .filter(|(_, d)| d.demand >= threshold)
+        .map(|(t, d)| (*t, d.demand * nic_bps))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_net::addr::Ipv4Prefix;
+    use horse_net::topology::NodeId;
+    use std::net::Ipv4Addr;
+
+    const G: f64 = 1e9;
+
+    /// a-{x,y}-b square: two disjoint 2-hop paths between hosts a and b.
+    fn square() -> (Topology, NodeId, NodeId, Vec<Vec<LinkId>>) {
+        let mut t = Topology::new();
+        let sn: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let a = t.add_host("a", Ipv4Addr::new(10, 0, 0, 1), sn);
+        let b = t.add_host("b", Ipv4Addr::new(10, 0, 0, 2), sn);
+        let x = t.add_switch("x", Ipv4Addr::new(10, 255, 0, 1));
+        let y = t.add_switch("y", Ipv4Addr::new(10, 255, 0, 2));
+        t.add_link(a, x, G, 0);
+        t.add_link(a, y, G, 0);
+        t.add_link(x, b, G, 0);
+        t.add_link(y, b, G, 0);
+        let paths = t.all_shortest_paths(a, b);
+        (t, a, b, paths)
+    }
+
+    fn tup(sp: u16) -> FiveTuple {
+        FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sp,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
+    }
+
+    #[test]
+    fn gff_separates_two_elephants() {
+        let (t, _, _, paths) = square();
+        assert_eq!(paths.len(), 2);
+        let inputs = vec![
+            PlacementInput {
+                tuple: tup(1),
+                demand_bps: 0.9 * G,
+                paths: paths.clone(),
+                current: 0,
+            },
+            PlacementInput {
+                tuple: tup(2),
+                demand_bps: 0.9 * G,
+                paths: paths.clone(),
+                current: 0, // hash collision: both on path 0
+            },
+        ];
+        let placement = place_flows(&t, &inputs, PlacementAlgo::GlobalFirstFit, &BTreeMap::new());
+        assert_ne!(
+            placement[&tup(1)],
+            placement[&tup(2)],
+            "GFF must split colliding elephants"
+        );
+    }
+
+    #[test]
+    fn gff_falls_back_to_current_when_nothing_fits() {
+        let (t, _, _, paths) = square();
+        let inputs: Vec<PlacementInput> = (0..3)
+            .map(|i| PlacementInput {
+                tuple: tup(i),
+                demand_bps: 0.9 * G,
+                paths: paths.clone(),
+                current: 1,
+            })
+            .collect();
+        let placement = place_flows(&t, &inputs, PlacementAlgo::GlobalFirstFit, &BTreeMap::new());
+        // Two fit (one per path); the third falls back to its current path.
+        assert_eq!(placement[&tup(2)], 1);
+    }
+
+    #[test]
+    fn gff_respects_background_load() {
+        let (t, _, _, paths) = square();
+        let mut bg = BTreeMap::new();
+        for lid in &paths[0] {
+            bg.insert(*lid, 0.5 * G);
+        }
+        let inputs = vec![PlacementInput {
+            tuple: tup(1),
+            demand_bps: 0.9 * G,
+            paths: paths.clone(),
+            current: 0,
+        }];
+        let placement = place_flows(&t, &inputs, PlacementAlgo::GlobalFirstFit, &bg);
+        assert_eq!(placement[&tup(1)], 1, "path 0 is half full; pick path 1");
+    }
+
+    #[test]
+    fn annealing_matches_gff_on_simple_case() {
+        let (t, _, _, paths) = square();
+        let inputs = vec![
+            PlacementInput {
+                tuple: tup(1),
+                demand_bps: 0.9 * G,
+                paths: paths.clone(),
+                current: 0,
+            },
+            PlacementInput {
+                tuple: tup(2),
+                demand_bps: 0.9 * G,
+                paths: paths.clone(),
+                current: 0,
+            },
+        ];
+        let placement = place_flows(
+            &t,
+            &inputs,
+            PlacementAlgo::SimulatedAnnealing {
+                iters: 500,
+                seed: 3,
+            },
+            &BTreeMap::new(),
+        );
+        assert_ne!(placement[&tup(1)], placement[&tup(2)]);
+    }
+
+    #[test]
+    fn annealing_deterministic_per_seed() {
+        let (t, _, _, paths) = square();
+        let inputs: Vec<PlacementInput> = (0..6)
+            .map(|i| PlacementInput {
+                tuple: tup(i),
+                demand_bps: 0.4 * G,
+                paths: paths.clone(),
+                current: 0,
+            })
+            .collect();
+        let algo = PlacementAlgo::SimulatedAnnealing {
+            iters: 200,
+            seed: 11,
+        };
+        let p1 = place_flows(&t, &inputs, algo, &BTreeMap::new());
+        let p2 = place_flows(&t, &inputs, algo, &BTreeMap::new());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn empty_inputs_ok() {
+        let (t, ..) = square();
+        assert!(place_flows(&t, &[], PlacementAlgo::GlobalFirstFit, &BTreeMap::new()).is_empty());
+        assert!(place_flows(
+            &t,
+            &[],
+            PlacementAlgo::SimulatedAnnealing { iters: 10, seed: 1 },
+            &BTreeMap::new()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn elephant_filter_thresholds() {
+        use crate::demand::FlowDemand;
+        let d = vec![
+            (
+                tup(1),
+                FlowDemand {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    demand: 0.5,
+                },
+            ),
+            (
+                tup(2),
+                FlowDemand {
+                    src: NodeId(0),
+                    dst: NodeId(2),
+                    demand: 0.05,
+                },
+            ),
+        ];
+        let e = elephants(&d, G, 0.1);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].0, tup(1));
+        assert!((e[0].1 - 0.5 * G).abs() < 1.0);
+    }
+}

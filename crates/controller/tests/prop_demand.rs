@@ -1,0 +1,167 @@
+//! Property tests on Hedera's demand estimator and placement algorithms.
+
+use horse_controller::demand::estimate_demands;
+use horse_controller::placement::{place_flows, PlacementAlgo, PlacementInput};
+use horse_net::addr::Ipv4Prefix;
+use horse_net::flow::FiveTuple;
+use horse_net::topology::{NodeId, Topology};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+fn flow_sets() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec(
+        (0u32..10, 0u32..10).prop_filter("no self flows", |(a, b)| a != b),
+        1..40,
+    )
+}
+
+proptest! {
+    /// The estimator's fixed point respects both NIC constraints and never
+    /// wastes a sender that could legally send more (work conservation at
+    /// senders: a sender below capacity has all its flows receiver-limited).
+    #[test]
+    fn demand_estimation_invariants(flows in flow_sets()) {
+        let input: Vec<(NodeId, NodeId)> = flows
+            .iter()
+            .map(|(a, b)| (NodeId(*a), NodeId(*b)))
+            .collect();
+        let est = estimate_demands(&input);
+        prop_assert_eq!(est.len(), input.len());
+
+        let mut per_src: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut per_dst: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for f in &est {
+            prop_assert!(f.demand >= -1e-9, "negative demand {}", f.demand);
+            prop_assert!(f.demand <= 1.0 + 1e-9, "demand {} > NIC", f.demand);
+            *per_src.entry(f.src).or_default() += f.demand;
+            *per_dst.entry(f.dst).or_default() += f.demand;
+        }
+        for (s, total) in &per_src {
+            prop_assert!(*total <= 1.0 + 1e-6, "sender {s} over NIC: {total}");
+        }
+        for (d, total) in &per_dst {
+            prop_assert!(*total <= 1.0 + 1e-6, "receiver {d} over NIC: {total}");
+        }
+        // Work conservation: each sender either saturates its NIC or all
+        // its flows hit saturated receivers.
+        for (s, total) in &per_src {
+            if *total < 1.0 - 1e-6 {
+                for f in est.iter().filter(|f| f.src == *s) {
+                    let dst_total = per_dst[&f.dst];
+                    prop_assert!(
+                        dst_total >= 1.0 - 1e-6,
+                        "sender {s} idles at {total} while receiver {} has headroom ({dst_total})",
+                        f.dst
+                    );
+                }
+            }
+        }
+    }
+
+    /// The estimator is deterministic and order-insensitive in total mass.
+    #[test]
+    fn demand_estimation_deterministic(flows in flow_sets()) {
+        let input: Vec<(NodeId, NodeId)> = flows
+            .iter()
+            .map(|(a, b)| (NodeId(*a), NodeId(*b)))
+            .collect();
+        let a = estimate_demands(&input);
+        let b = estimate_demands(&input);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A two-spine leaf fabric for placement tests.
+fn fabric() -> (Topology, Vec<Vec<horse_net::LinkId>>) {
+    let mut t = Topology::new();
+    let sn: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+    let a = t.add_host("a", Ipv4Addr::new(10, 0, 0, 1), sn);
+    let b = t.add_host("b", Ipv4Addr::new(10, 0, 0, 2), sn);
+    let x = t.add_switch("x", Ipv4Addr::new(10, 255, 0, 1));
+    let y = t.add_switch("y", Ipv4Addr::new(10, 255, 0, 2));
+    t.add_link(a, x, 1e9, 0);
+    t.add_link(a, y, 1e9, 0);
+    t.add_link(x, b, 1e9, 0);
+    t.add_link(y, b, 1e9, 0);
+    let paths = t.all_shortest_paths(a, b);
+    (t, paths)
+}
+
+proptest! {
+    /// GFF reservations never oversubscribe a link when a feasible greedy
+    /// assignment exists, and the output always names a valid path index.
+    #[test]
+    fn gff_outputs_valid_indices(demands in prop::collection::vec(0.1f64..1.0, 1..8)) {
+        let (t, paths) = fabric();
+        let inputs: Vec<PlacementInput> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| PlacementInput {
+                tuple: FiveTuple::udp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    i as u16,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    80,
+                ),
+                demand_bps: d * 1e9,
+                paths: paths.clone(),
+                current: i % paths.len(),
+            })
+            .collect();
+        for algo in [
+            PlacementAlgo::GlobalFirstFit,
+            PlacementAlgo::SimulatedAnnealing { iters: 100, seed: 9 },
+        ] {
+            let placement = place_flows(&t, &inputs, algo, &BTreeMap::new());
+            prop_assert_eq!(placement.len(), inputs.len());
+            for input in &inputs {
+                let idx = placement[&input.tuple];
+                prop_assert!(idx < input.paths.len(), "index {idx} out of range");
+            }
+        }
+    }
+
+    /// Annealing never produces a worse max-link-load than the identity
+    /// (current) assignment it starts from.
+    #[test]
+    fn annealing_does_not_regress(demands in prop::collection::vec(0.1f64..1.0, 1..8), seed in 0u64..50) {
+        let (t, paths) = fabric();
+        let inputs: Vec<PlacementInput> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, d)| PlacementInput {
+                tuple: FiveTuple::udp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    i as u16,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    80,
+                ),
+                demand_bps: d * 1e9,
+                paths: paths.clone(),
+                current: 0,
+            })
+            .collect();
+        let max_load = |assign: &dyn Fn(&PlacementInput) -> usize| -> f64 {
+            let mut load: BTreeMap<horse_net::LinkId, f64> = BTreeMap::new();
+            for input in &inputs {
+                for lid in &input.paths[assign(input)] {
+                    *load.entry(*lid).or_default() += input.demand_bps;
+                }
+            }
+            load.values().fold(0.0f64, |m, v| m.max(*v))
+        };
+        let before = max_load(&|i: &PlacementInput| i.current);
+        let placement = place_flows(
+            &t,
+            &inputs,
+            PlacementAlgo::SimulatedAnnealing { iters: 300, seed },
+            &BTreeMap::new(),
+        );
+        let after = max_load(&|i: &PlacementInput| placement[&i.tuple]);
+        prop_assert!(
+            after <= before + 1.0,
+            "annealing regressed: {before} -> {after}"
+        );
+    }
+}

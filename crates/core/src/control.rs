@@ -1,0 +1,655 @@
+//! Control-plane adapters: the Connection Manager's runtime side.
+//!
+//! The runner is control-plane-agnostic; it owns a [`ControlPlane`] and
+//! calls [`ControlPlane::pump`] once per engine step. A pump delivers the
+//! bytes queued on the previous step (so each message hop costs one FTI
+//! increment of virtual time — the same latency granularity the paper's
+//! CM provides), polls protocol timers, applies control decisions to the
+//! simulated data plane, and reports whether any control activity happened
+//! — the signal that holds the experiment clock in FTI mode.
+
+use horse_bgp::speaker::{BgpSpeaker, SpeakerOutput};
+use horse_cm::FibInstaller;
+use horse_controller::{EcmpApp, HederaApp};
+use horse_dataplane::flowtable::FlowEntry as DpFlowEntry;
+use horse_dataplane::path::DataPlane;
+use horse_net::fluid::FluidNetwork;
+use horse_net::topology::{NodeId, PortId, Topology};
+use horse_openflow::agent::{AgentEvent, SwitchAgent};
+use horse_openflow::controller::{Controller, ControllerApp, ControllerEvent};
+use horse_openflow::wire::{
+    FlowMod, FlowModCommand, FlowStatsEntry, OfAction, PortDesc,
+};
+use horse_sim::SimTime;
+use horse_topo::fattree::BgpNodeSetup;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// What one pump step did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpOutcome {
+    /// Any control-plane message moved or state changed (→ FTI).
+    pub activity: bool,
+    /// Forwarding state changed (→ re-resolve flows).
+    pub tables_changed: bool,
+}
+
+/// The SDN application running on the controller.
+pub enum SdnApp {
+    /// Reactive 5-tuple ECMP.
+    Ecmp(EcmpApp),
+    /// Hedera flow scheduling.
+    Hedera(HederaApp),
+}
+
+impl SdnApp {
+    fn as_dyn(&mut self) -> &mut dyn ControllerApp {
+        match self {
+            SdnApp::Ecmp(a) => a,
+            SdnApp::Hedera(a) => a,
+        }
+    }
+
+    /// Flows placed so far (both apps track this).
+    pub fn placed(&self) -> usize {
+        match self {
+            SdnApp::Ecmp(a) => a.placed.len(),
+            SdnApp::Hedera(a) => a.placement().len(),
+        }
+    }
+
+    /// Hedera scheduling moves (0 for plain ECMP).
+    pub fn moves(&self) -> u64 {
+        match self {
+            SdnApp::Ecmp(_) => 0,
+            SdnApp::Hedera(a) => a.moves,
+        }
+    }
+}
+
+/// The experiment's control plane.
+pub enum ControlPlane {
+    /// No control plane: forwarding state is static (installed by hand).
+    None,
+    /// One emulated BGP daemon per router.
+    Bgp(BgpControl),
+    /// An OpenFlow controller plus one switch agent per switch.
+    Sdn(SdnControl),
+}
+
+impl ControlPlane {
+    /// Starts daemons/handshakes at time `now`.
+    pub fn start(&mut self, now: SimTime, dp: &mut DataPlane) {
+        match self {
+            ControlPlane::None => {}
+            ControlPlane::Bgp(b) => b.start(now, dp),
+            ControlPlane::Sdn(s) => s.start(now),
+        }
+    }
+
+    /// One engine step of control-plane work.
+    pub fn pump(
+        &mut self,
+        now: SimTime,
+        dp: &mut DataPlane,
+        fluid: &FluidNetwork,
+        flows_by_tuple: &BTreeMap<horse_net::flow::FiveTuple, horse_net::flow::FlowId>,
+    ) -> PumpOutcome {
+        match self {
+            ControlPlane::None => PumpOutcome::default(),
+            ControlPlane::Bgp(b) => b.pump(now, dp),
+            ControlPlane::Sdn(s) => s.pump(now, dp, fluid, flows_by_tuple),
+        }
+    }
+
+    /// Earliest pending control-plane timer (keepalives, Hedera polls) —
+    /// the DES clock must not jump past it.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        match self {
+            ControlPlane::None => None,
+            ControlPlane::Bgp(b) => b.next_deadline(),
+            ControlPlane::Sdn(s) => s.next_deadline(),
+        }
+    }
+
+    /// True while messages are queued for delivery (the step must stay
+    /// "busy" even if the event queue is empty).
+    pub fn has_pending(&self) -> bool {
+        match self {
+            ControlPlane::None => false,
+            ControlPlane::Bgp(b) => !b.in_flight.is_empty(),
+            ControlPlane::Sdn(s) => !s.to_agents.is_empty() || !s.to_controller.is_empty(),
+        }
+    }
+
+    /// Total control messages exchanged (for reports).
+    pub fn msgs_total(&self) -> u64 {
+        match self {
+            ControlPlane::None => 0,
+            ControlPlane::Bgp(b) => b.speakers.values().map(|s| s.msgs_sent()).sum(),
+            ControlPlane::Sdn(s) => {
+                s.controller.msgs_sent
+                    + s.controller.msgs_received
+                    + s.agents.values().map(|a| a.msgs_sent).sum::<u64>()
+            }
+        }
+    }
+
+    /// The SDN app, when present (for report details).
+    pub fn sdn_app(&self) -> Option<&SdnApp> {
+        match self {
+            ControlPlane::Sdn(s) => Some(&s.app),
+            _ => None,
+        }
+    }
+
+    /// True when every BGP session is Established (always true otherwise).
+    pub fn sessions_converged(&self) -> bool {
+        match self {
+            ControlPlane::Bgp(b) => b
+                .speakers
+                .values()
+                .all(|s| s.fully_converged_sessions()),
+            _ => true,
+        }
+    }
+
+    /// A link changed state. BGP sessions riding the link see their
+    /// transport drop (down) or come back (up) and reconverge; OpenFlow
+    /// switches report PORT_STATUS to the controller, whose apps re-place
+    /// affected flows over the surviving paths.
+    pub fn on_link_change(
+        &mut self,
+        link: horse_net::topology::LinkId,
+        up: bool,
+        topo: &Topology,
+        now: SimTime,
+    ) {
+        match self {
+            ControlPlane::Bgp(b) => b.on_link_change(link, up, topo, now),
+            ControlPlane::Sdn(s) => s.on_link_change(link, up, topo),
+            ControlPlane::None => {}
+        }
+    }
+}
+
+/// The BGP control plane: one speaker per router, wired over the CM.
+pub struct BgpControl {
+    /// Speakers by router node.
+    pub speakers: BTreeMap<NodeId, BgpSpeaker>,
+    /// `(node, its local addr)` → node on the other end of that session.
+    route_of_addr: BTreeMap<(NodeId, Ipv4Addr), NodeId>,
+    /// `(node, peer addr)` → the link that session rides (failure scoping).
+    link_of_session: BTreeMap<(NodeId, Ipv4Addr), horse_net::topology::LinkId>,
+    installer: FibInstaller,
+    connected: Vec<(NodeId, horse_net::addr::Ipv4Prefix, PortId)>,
+    /// Messages awaiting delivery next step: (dst node, from-addr, bytes).
+    in_flight: Vec<(NodeId, Ipv4Addr, bytes::Bytes)>,
+    /// FIB route installs performed.
+    pub installs: u64,
+}
+
+impl BgpControl {
+    /// Builds from per-router setups (e.g. [`horse_topo::FatTree::bgp_setups`]).
+    pub fn new(topo: &Topology, setups: BTreeMap<NodeId, BgpNodeSetup>) -> BgpControl {
+        let mut speakers = BTreeMap::new();
+        let mut route_of_addr = BTreeMap::new();
+        let mut link_of_session = BTreeMap::new();
+        let mut installer = FibInstaller::new();
+        let mut connected = Vec::new();
+        for (node, setup) in &setups {
+            installer.register(*node, setup.addr_to_port.clone());
+            for (pfx, port) in &setup.connected {
+                connected.push((*node, *pfx, *port));
+            }
+            // peer_addr → port → link → other node; the *peer's* local addr
+            // is our peer_addr, so sending to peer_addr means delivering to
+            // that node.
+            for peer in &setup.config.peers {
+                let port = setup.addr_to_port[&peer.peer_addr];
+                let lid = topo.link_at(*node, port).expect("peer port wired");
+                let other = topo.link(lid).other(*node);
+                route_of_addr.insert((*node, peer.peer_addr), other);
+                link_of_session.insert((*node, peer.peer_addr), lid);
+            }
+            speakers.insert(*node, BgpSpeaker::new(setup.config.clone()));
+        }
+        BgpControl {
+            speakers,
+            route_of_addr,
+            link_of_session,
+            installer,
+            connected,
+            in_flight: Vec::new(),
+            installs: 0,
+        }
+    }
+
+    fn start(&mut self, now: SimTime, dp: &mut DataPlane) {
+        // Connected (host-facing) routes exist before BGP does.
+        for (node, pfx, port) in self.connected.clone() {
+            self.installer.install_connected(dp, node, pfx, port);
+        }
+        for s in self.speakers.values_mut() {
+            s.start(now);
+        }
+        // The CM wires all transports immediately (the harness "dials").
+        let nodes: Vec<NodeId> = self.speakers.keys().copied().collect();
+        for node in nodes {
+            let peers: Vec<Ipv4Addr> = self.speakers[&node]
+                .config
+                .peers
+                .iter()
+                .map(|p| p.peer_addr)
+                .collect();
+            for p in peers {
+                self.speakers
+                    .get_mut(&node)
+                    .expect("known node")
+                    .on_transport_up(p, now);
+            }
+        }
+    }
+
+    fn pump(&mut self, now: SimTime, dp: &mut DataPlane) -> PumpOutcome {
+        let mut out = PumpOutcome::default();
+        // 1. Deliver last step's messages.
+        let deliveries = std::mem::take(&mut self.in_flight);
+        if !deliveries.is_empty() {
+            out.activity = true;
+        }
+        for (dst, from_addr, bytes) in deliveries {
+            if let Some(s) = self.speakers.get_mut(&dst) {
+                s.on_bytes(from_addr, now, &bytes);
+            }
+        }
+        // 2. Poll timers.
+        for s in self.speakers.values_mut() {
+            s.poll_timers(now);
+        }
+        // 3. Collect outputs: queue bytes for next step, apply routes now.
+        let nodes: Vec<NodeId> = self.speakers.keys().copied().collect();
+        for node in nodes {
+            let outputs = self
+                .speakers
+                .get_mut(&node)
+                .expect("known node")
+                .take_outputs();
+            for o in outputs {
+                match o {
+                    SpeakerOutput::SendBytes { peer, bytes } => {
+                        out.activity = true;
+                        // `peer` is the remote's address on this session;
+                        // our local address on it is what the remote knows
+                        // us by.
+                        let from = self.speakers[&node]
+                            .config
+                            .peers
+                            .iter()
+                            .find(|p| p.peer_addr == peer)
+                            .map(|p| p.local_addr)
+                            .expect("configured peer");
+                        if let Some(dst) = self.route_of_addr.get(&(node, peer)) {
+                            self.in_flight.push((*dst, from, bytes));
+                        }
+                    }
+                    SpeakerOutput::RouteChanged { prefix, next_hops } => {
+                        out.activity = true;
+                        if self.installer.apply(dp, node, prefix, &next_hops) {
+                            out.tables_changed = true;
+                            self.installs += 1;
+                        }
+                    }
+                    SpeakerOutput::SessionUp { .. } | SpeakerOutput::SessionDown { .. } => {
+                        out.activity = true;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.speakers.values().filter_map(|s| s.next_deadline()).min()
+    }
+
+    /// Drops (or restores) the transports of every session riding `link`.
+    fn on_link_change(
+        &mut self,
+        link: horse_net::topology::LinkId,
+        up: bool,
+        topo: &Topology,
+        now: SimTime,
+    ) {
+        let l = topo.link(link);
+        for node in [l.a.node, l.b.node] {
+            let Some(speaker) = self.speakers.get(&node) else {
+                continue;
+            };
+            // Only the session(s) riding exactly this link are affected —
+            // parallel links between the same routers carry independent
+            // sessions.
+            let peers: Vec<Ipv4Addr> = speaker
+                .config
+                .peers
+                .iter()
+                .map(|p| p.peer_addr)
+                .filter(|pa| self.link_of_session.get(&(node, *pa)) == Some(&link))
+                .collect();
+            let speaker = self.speakers.get_mut(&node).expect("checked");
+            for peer in peers {
+                if up {
+                    speaker.on_transport_up(peer, now);
+                } else {
+                    speaker.on_transport_down(peer, now);
+                }
+            }
+        }
+        if !up {
+            // In-flight messages on the dead link are lost. The receiver of
+            // a queued `(dst, from, _)` keys that session by the sender's
+            // address `from`, so the session's link is
+            // `link_of_session[(dst, from)]`.
+            self.in_flight
+                .retain(|(dst, from, _)| self.link_of_session.get(&(*dst, *from)) != Some(&link));
+        }
+    }
+}
+
+/// The SDN control plane: controller + per-switch agents over the CM.
+pub struct SdnControl {
+    /// The controller core.
+    pub controller: Controller,
+    /// The application.
+    pub app: SdnApp,
+    /// Switch agents by node.
+    pub agents: BTreeMap<NodeId, SwitchAgent>,
+    /// Bytes queued controller → agent (by node).
+    to_agents: Vec<(NodeId, bytes::Bytes)>,
+    /// Bytes queued agent → controller (by conn id).
+    to_controller: Vec<(u32, bytes::Bytes)>,
+    /// Pending app wake-up.
+    wake_at: Option<SimTime>,
+    conn_of_node: BTreeMap<NodeId, u32>,
+    node_of_conn: BTreeMap<u32, NodeId>,
+    /// FLOW_MODs applied to simulated tables.
+    pub flow_mods_applied: u64,
+}
+
+impl SdnControl {
+    /// Builds a controller + agents for every switch in `topo`.
+    pub fn new(topo: &Topology, app: SdnApp) -> SdnControl {
+        let mut agents = BTreeMap::new();
+        let mut conn_of_node = BTreeMap::new();
+        let mut node_of_conn = BTreeMap::new();
+        for node in topo.node_ids() {
+            if topo.node(node).kind == horse_net::topology::NodeKind::Switch {
+                let ports: Vec<PortDesc> = (0..topo.node(node).port_count() as u16)
+                    .map(|p| PortDesc {
+                        port_no: p,
+                        hw_addr: horse_net::addr::MacAddr::for_port(node.0, p),
+                        name: format!("eth{p}"),
+                    })
+                    .collect();
+                agents.insert(node, SwitchAgent::new(u64::from(node.0), ports));
+                conn_of_node.insert(node, node.0);
+                node_of_conn.insert(node.0, node);
+            }
+        }
+        SdnControl {
+            controller: Controller::new(),
+            app,
+            agents,
+            to_agents: Vec::new(),
+            to_controller: Vec::new(),
+            wake_at: None,
+            conn_of_node,
+            node_of_conn,
+            flow_mods_applied: 0,
+        }
+    }
+
+    fn start(&mut self, _now: SimTime) {
+        for (node, agent) in &mut self.agents {
+            agent.on_connect();
+            self.controller.on_switch_connected(self.conn_of_node[node]);
+        }
+    }
+
+    /// Lets the runner hand a table-miss packet to the right agent.
+    pub fn packet_in(&mut self, node: NodeId, in_port: u16, data: bytes::Bytes) {
+        if let Some(agent) = self.agents.get_mut(&node) {
+            agent.send_packet_in(in_port, horse_openflow::wire::OFPR_NO_MATCH, data);
+        }
+    }
+
+    fn pump(
+        &mut self,
+        now: SimTime,
+        dp: &mut DataPlane,
+        fluid: &FluidNetwork,
+        flows_by_tuple: &BTreeMap<horse_net::flow::FiveTuple, horse_net::flow::FlowId>,
+    ) -> PumpOutcome {
+        let mut out = PumpOutcome::default();
+        // 0. App timer due?
+        if let Some(t) = self.wake_at {
+            if now >= t {
+                self.wake_at = None;
+                self.controller.on_timer(now, self.app.as_dyn());
+                out.activity = true;
+            }
+        }
+        // 1. Deliver queued bytes (one hop per step).
+        let to_agents = std::mem::take(&mut self.to_agents);
+        let to_controller = std::mem::take(&mut self.to_controller);
+        if !to_agents.is_empty() || !to_controller.is_empty() {
+            out.activity = true;
+        }
+        for (node, bytes) in to_agents {
+            if let Some(agent) = self.agents.get_mut(&node) {
+                agent.on_bytes(&bytes);
+            }
+        }
+        for (conn, bytes) in to_controller {
+            self.controller.on_bytes(conn, now, &bytes, self.app.as_dyn());
+        }
+        // 2. Drain agent events.
+        let nodes: Vec<NodeId> = self.agents.keys().copied().collect();
+        for node in nodes {
+            let events = self.agents.get_mut(&node).expect("agent").take_events();
+            for ev in events {
+                match ev {
+                    AgentEvent::SendBytes(bytes) => {
+                        out.activity = true;
+                        self.to_controller.push((self.conn_of_node[&node], bytes));
+                    }
+                    AgentEvent::FlowMod(fm) => {
+                        out.activity = true;
+                        if Self::apply_flow_mod(dp, node, &fm, now) {
+                            out.tables_changed = true;
+                            self.flow_mods_applied += 1;
+                        }
+                    }
+                    AgentEvent::FlowStatsRequest { xid, .. } => {
+                        out.activity = true;
+                        let entries = Self::flow_stats_of(dp, node, fluid, flows_by_tuple, now);
+                        self.agents
+                            .get_mut(&node)
+                            .expect("agent")
+                            .send_flow_stats(xid, entries);
+                    }
+                    AgentEvent::PortStatsRequest { xid, .. } => {
+                        out.activity = true;
+                        self.agents
+                            .get_mut(&node)
+                            .expect("agent")
+                            .send_port_stats(xid, vec![]);
+                    }
+                    AgentEvent::PacketOut(_) => {
+                        // The fluid model has no packets to re-inject; the
+                        // first packet of each flow is synthetic.
+                        out.activity = true;
+                    }
+                    AgentEvent::ProtocolError(_) => {
+                        out.activity = true;
+                    }
+                }
+            }
+        }
+        // 2b. Expire timed-out flow entries; the switch reports each as a
+        // FLOW_REMOVED (OFPFF_SEND_FLOW_REM is implied in this model).
+        // Active fluid flows count as traffic: they refresh the idle timer
+        // of the entry they match (the CM stands in for the per-packet
+        // counters a real switch would have).
+        let nodes: Vec<NodeId> = self.agents.keys().copied().collect();
+        for node in nodes {
+            let Some(table) = dp.table_mut(node) else {
+                continue;
+            };
+            if table
+                .entries()
+                .iter()
+                .any(|e| !e.idle_timeout.is_zero())
+            {
+                for (tuple, fid) in flows_by_tuple {
+                    if fluid.rate_of(*fid).unwrap_or(0.0) <= 0.0 {
+                        continue;
+                    }
+                    let key = horse_dataplane::flowtable::FlowKey::ipv4(None, *tuple);
+                    if let Some(e) = table.lookup_mut(&key) {
+                        e.last_hit = now;
+                    }
+                }
+            }
+            let expired = table.expire(now);
+            if expired.is_empty() {
+                continue;
+            }
+            out.activity = true;
+            out.tables_changed = true;
+            let agent = self.agents.get_mut(&node).expect("agent");
+            for e in expired {
+                let idle = !e.idle_timeout.is_zero()
+                    && now.duration_since(e.last_hit) >= e.idle_timeout;
+                agent.send_flow_removed(horse_openflow::wire::FlowRemoved {
+                    matcher: e.matcher,
+                    cookie: e.cookie,
+                    priority: e.priority,
+                    reason: if idle { 0 } else { 1 },
+                    duration_sec: now.duration_since(e.installed).as_secs_f64() as u32,
+                    idle_timeout: e.idle_timeout.as_secs_f64() as u16,
+                    packet_count: e.packet_count,
+                    byte_count: e.byte_count,
+                });
+            }
+        }
+        // 3. Drain controller events.
+        for ev in self.controller.take_events() {
+            match ev {
+                ControllerEvent::SendBytes { conn, bytes } => {
+                    out.activity = true;
+                    if let Some(node) = self.node_of_conn.get(&conn) {
+                        self.to_agents.push((*node, bytes));
+                    }
+                }
+                ControllerEvent::WakeAt(t) => {
+                    self.wake_at = Some(match self.wake_at {
+                        Some(cur) => cur.min(t),
+                        None => t,
+                    });
+                }
+                ControllerEvent::ProtocolError { .. } => {
+                    out.activity = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies a FLOW_MOD to the node's simulated table. Returns true if
+    /// the table changed.
+    fn apply_flow_mod(dp: &mut DataPlane, node: NodeId, fm: &FlowMod, now: SimTime) -> bool {
+        let Some(table) = dp.table_mut(node) else {
+            return false;
+        };
+        match fm.command {
+            FlowModCommand::Add | FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                let actions = fm
+                    .actions
+                    .iter()
+                    .map(|a| match a {
+                        OfAction::Output { port, .. } => {
+                            if *port == horse_openflow::wire::OFPP_CONTROLLER {
+                                horse_dataplane::flowtable::Action::Controller
+                            } else {
+                                horse_dataplane::flowtable::Action::Output(PortId(*port))
+                            }
+                        }
+                    })
+                    .collect();
+                let mut entry = DpFlowEntry::new(fm.matcher, fm.priority, actions);
+                entry.cookie = fm.cookie;
+                entry.idle_timeout =
+                    horse_sim::SimDuration::from_secs(u64::from(fm.idle_timeout));
+                entry.hard_timeout =
+                    horse_sim::SimDuration::from_secs(u64::from(fm.hard_timeout));
+                table.add(entry, now);
+                true
+            }
+            FlowModCommand::DeleteStrict => table.delete_strict(&fm.matcher, fm.priority).is_some(),
+            FlowModCommand::Delete => table.delete_matching(&fm.matcher) > 0,
+        }
+    }
+
+    /// Builds flow-stats entries from the node's table, with byte counts
+    /// taken from the fluid model's per-flow progress (the CM's job: the
+    /// simulated data plane is the source of truth for counters).
+    fn flow_stats_of(
+        dp: &DataPlane,
+        node: NodeId,
+        fluid: &FluidNetwork,
+        flows_by_tuple: &BTreeMap<horse_net::flow::FiveTuple, horse_net::flow::FlowId>,
+        now: SimTime,
+    ) -> Vec<FlowStatsEntry> {
+        let Some(table) = dp.table(node) else {
+            return Vec::new();
+        };
+        table
+            .entries()
+            .iter()
+            .filter_map(|e| {
+                let tuple = horse_controller::hedera::tuple_of_match(&e.matcher)?;
+                let bytes = flows_by_tuple
+                    .get(&tuple)
+                    .and_then(|fid| fluid.progress(*fid))
+                    .map(|p| p.bytes_sent as u64)
+                    .unwrap_or(0);
+                Some(FlowStatsEntry {
+                    matcher: e.matcher,
+                    duration_sec: now.duration_since(e.installed).as_secs_f64() as u32,
+                    priority: e.priority,
+                    idle_timeout: 0,
+                    hard_timeout: 0,
+                    cookie: e.cookie,
+                    packet_count: 1,
+                    byte_count: bytes,
+                    actions: vec![],
+                })
+            })
+            .collect()
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.wake_at
+    }
+
+    /// A link changed state: every attached switch reports PORT_STATUS.
+    fn on_link_change(&mut self, link: horse_net::topology::LinkId, up: bool, topo: &Topology) {
+        let l = topo.link(link);
+        for ep in [l.a, l.b] {
+            if let Some(agent) = self.agents.get_mut(&ep.node) {
+                agent.send_port_status(ep.port.0, !up);
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The experiment builder — Horse's user-facing API (the paper's Python
+//! API, in Rust).
+
+use crate::control::{BgpControl, ControlPlane, SdnApp, SdnControl};
+use crate::report::ExperimentReport;
+use crate::runner::Runner;
+use horse_controller::{EcmpApp, FabricView, HederaApp, HederaConfig};
+use horse_dataplane::hash::HashMode;
+use horse_dataplane::path::DataPlane;
+use horse_net::flow::FlowSpec;
+use horse_net::topology::Topology;
+use horse_sim::{FtiConfig, Pacing, SimDuration, SimTime};
+use horse_topo::fattree::{BgpNodeSetup, FatTree, SwitchRole};
+use horse_topo::pattern::{demo_tuple, TrafficPattern};
+use std::collections::BTreeMap;
+
+/// The demo's three traffic-engineering approaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeApproach {
+    /// BGP routing with ECMP by hashing of IP source and destination.
+    BgpEcmp,
+    /// Hedera dynamic flow scheduling (stats poll every 5 s).
+    Hedera,
+    /// SDN reactive 5-tuple ECMP.
+    SdnEcmp,
+}
+
+impl TeApproach {
+    /// Short label used in reports and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TeApproach::BgpEcmp => "bgp-ecmp",
+            TeApproach::Hedera => "hedera",
+            TeApproach::SdnEcmp => "sdn-ecmp",
+        }
+    }
+}
+
+/// One traffic demand: start a flow, optionally stop it later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficEvent {
+    /// When the flow starts.
+    pub start: SimTime,
+    /// The flow.
+    pub spec: FlowSpec,
+    /// Optional hard stop (CBR flows in the demo run until the horizon).
+    pub stop: Option<SimTime>,
+}
+
+/// A scheduled link state change (failure injection / repair).
+///
+/// On a link that carries a BGP session, the session's transport drops,
+/// routes are withdrawn and the network reconverges — pulling the
+/// experiment clock back into FTI mode mid-run. (SDN controllers in this
+/// model have no port-status channel, so an SDN fabric blackholes the
+/// affected flows until rules are reinstalled — see `horse-core::control`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// When the change happens.
+    pub at: SimTime,
+    /// The link.
+    pub link: horse_net::topology::LinkId,
+    /// New state.
+    pub up: bool,
+}
+
+/// Deferred control-plane description (built at [`Experiment::run`]).
+pub enum ControlBuild {
+    /// Static forwarding only.
+    None,
+    /// BGP daemons from per-router setups.
+    Bgp(BTreeMap<horse_net::topology::NodeId, BgpNodeSetup>),
+    /// SDN controller with reactive 5-tuple ECMP.
+    SdnEcmp,
+    /// SDN controller with Hedera.
+    Hedera(HederaConfig),
+}
+
+/// A complete experiment description.
+pub struct Experiment {
+    /// The network.
+    pub topo: Topology,
+    /// Control-plane choice.
+    pub control: ControlBuild,
+    /// Traffic demands.
+    pub traffic: Vec<TrafficEvent>,
+    /// Scheduled link failures / repairs.
+    pub link_events: Vec<LinkEvent>,
+    /// FTI clock configuration.
+    pub fti: FtiConfig,
+    /// Pacing (Virtual for benches/tests, RealTime for live emulation).
+    pub pacing: Pacing,
+    /// Experiment end (virtual time).
+    pub horizon: SimTime,
+    /// Goodput sampling interval.
+    pub sample_interval: SimDuration,
+    /// Router ECMP hash mode (the demo's BGP case hashes src+dst IP).
+    pub router_hash: HashMode,
+    /// Seed for hashing/apps.
+    pub seed: u64,
+    /// Idle timeout (seconds) for SDN-installed flow rules; 0 = permanent.
+    pub sdn_idle_timeout_s: u16,
+    /// Report label.
+    pub label: String,
+}
+
+impl Experiment {
+    /// An experiment over `topo` with no control plane and no traffic.
+    pub fn new(topo: Topology) -> Experiment {
+        Experiment {
+            topo,
+            control: ControlBuild::None,
+            traffic: Vec::new(),
+            link_events: Vec::new(),
+            fti: FtiConfig {
+                increment: SimDuration::from_millis(1),
+                quiescence: SimDuration::from_millis(100),
+            },
+            pacing: Pacing::Virtual,
+            horizon: SimTime::from_secs(20),
+            sample_interval: SimDuration::from_millis(100),
+            router_hash: HashMode::SrcDst,
+            seed: 1,
+            sdn_idle_timeout_s: 0,
+            label: String::from("experiment"),
+        }
+    }
+
+    /// The paper's demo scenario: a `pods`-pod fat-tree with 1 Gbps links,
+    /// every host sending one 1 Gbps UDP flow to another host (random
+    /// permutation), scheduled by the chosen TE approach.
+    pub fn demo(pods: usize, te: TeApproach, seed: u64) -> Experiment {
+        let role = match te {
+            TeApproach::BgpEcmp => SwitchRole::BgpRouter,
+            _ => SwitchRole::OpenFlow,
+        };
+        let ft = FatTree::build(pods, role, 1e9, 1_000);
+        let control = match te {
+            TeApproach::BgpEcmp => ControlBuild::Bgp(ft.bgp_setups(
+                horse_bgp::session::TimerConfig {
+                    hold_time: SimDuration::from_secs(30),
+                    connect_retry: SimDuration::from_secs(1),
+                    mrai: SimDuration::ZERO,
+                },
+            )),
+            TeApproach::SdnEcmp => ControlBuild::SdnEcmp,
+            TeApproach::Hedera => ControlBuild::Hedera(HederaConfig::default()),
+        };
+        let pairs = TrafficPattern::RandomPermutation.pairs(&ft.hosts, seed);
+        let mut traffic = Vec::new();
+        for (i, p) in pairs.iter().enumerate() {
+            let tuple = demo_tuple(&ft.topo, p.src, p.dst, i as u16);
+            traffic.push(TrafficEvent {
+                start: SimTime::ZERO,
+                spec: FlowSpec::cbr(p.src, p.dst, tuple, 1e9),
+                stop: None,
+            });
+        }
+        let mut e = Experiment::new(ft.topo);
+        e.control = control;
+        e.traffic = traffic;
+        e.seed = seed;
+        e.label = format!("{}-k{pods}", te.label());
+        e
+    }
+
+    /// Adds a traffic event.
+    pub fn flow(mut self, start: SimTime, spec: FlowSpec) -> Experiment {
+        self.traffic.push(TrafficEvent {
+            start,
+            spec,
+            stop: None,
+        });
+        self
+    }
+
+    /// Schedules a link failure at `at`.
+    pub fn link_down(mut self, at: SimTime, link: horse_net::topology::LinkId) -> Experiment {
+        self.link_events.push(LinkEvent {
+            at,
+            link,
+            up: false,
+        });
+        self
+    }
+
+    /// Schedules a link repair at `at`.
+    pub fn link_up(mut self, at: SimTime, link: horse_net::topology::LinkId) -> Experiment {
+        self.link_events.push(LinkEvent { at, link, up: true });
+        self
+    }
+
+    /// Adds a traffic event with an explicit stop time.
+    pub fn flow_until(mut self, start: SimTime, spec: FlowSpec, stop: SimTime) -> Experiment {
+        self.traffic.push(TrafficEvent {
+            start,
+            spec,
+            stop: Some(stop),
+        });
+        self
+    }
+
+    /// Sets the experiment horizon in seconds.
+    pub fn horizon_secs(mut self, secs: f64) -> Experiment {
+        self.horizon = SimTime::from_secs_f64(secs);
+        self
+    }
+
+    /// Sets the FTI increment and quiescence timeout.
+    pub fn fti(mut self, increment: SimDuration, quiescence: SimDuration) -> Experiment {
+        self.fti = FtiConfig {
+            increment,
+            quiescence,
+        };
+        self
+    }
+
+    /// Sets the pacing policy.
+    pub fn pacing(mut self, pacing: Pacing) -> Experiment {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Sets the goodput sampling interval.
+    pub fn sample_every(mut self, interval: SimDuration) -> Experiment {
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Sets the idle timeout of SDN-installed rules (0 = permanent).
+    pub fn sdn_idle_timeout(mut self, secs: u16) -> Experiment {
+        self.sdn_idle_timeout_s = secs;
+        self
+    }
+
+    /// Sets the report label.
+    pub fn label(mut self, label: impl Into<String>) -> Experiment {
+        self.label = label.into();
+        self
+    }
+
+    /// Builds and runs the experiment, returning its report.
+    pub fn run(self) -> ExperimentReport {
+        let setup_start = std::time::Instant::now();
+        let dp = DataPlane::from_topology(&self.topo, self.router_hash, HashMode::FiveTuple);
+        let control = match &self.control {
+            ControlBuild::None => ControlPlane::None,
+            ControlBuild::Bgp(setups) => {
+                ControlPlane::Bgp(BgpControl::new(&self.topo, setups.clone()))
+            }
+            ControlBuild::SdnEcmp => {
+                let fabric = FabricView::new(self.topo.clone());
+                ControlPlane::Sdn(SdnControl::new(
+                    &self.topo,
+                    SdnApp::Ecmp(
+                        EcmpApp::new(fabric, self.seed)
+                            .with_idle_timeout(self.sdn_idle_timeout_s),
+                    ),
+                ))
+            }
+            ControlBuild::Hedera(cfg) => {
+                let fabric = FabricView::new(self.topo.clone());
+                ControlPlane::Sdn(SdnControl::new(
+                    &self.topo,
+                    SdnApp::Hedera(HederaApp::new(fabric, *cfg, self.seed)),
+                ))
+            }
+        };
+        let wall_setup_secs = setup_start.elapsed().as_secs_f64();
+        let mut runner = Runner::new(
+            self.topo,
+            dp,
+            control,
+            self.traffic,
+            self.link_events,
+            self.fti,
+            self.pacing,
+            self.horizon,
+            self.sample_interval,
+            self.label,
+        );
+        runner.run(wall_setup_secs)
+    }
+}

@@ -1,0 +1,125 @@
+//! Experiment results.
+
+use horse_net::flow::FlowId;
+use horse_sim::{ClockMode, ModeTransition, SimDuration, SimTime};
+use horse_stats::SeriesSet;
+use serde::{Deserialize, Serialize};
+
+/// Everything a finished experiment reports — the inputs for the demo's
+/// goodput graph (per TE approach) and for Figure 3's execution times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Scenario label (e.g. `"sdn-ecmp-k4"`).
+    pub label: String,
+    /// Virtual time the experiment covered.
+    pub horizon: SimTime,
+    /// Time series; `"aggregate"` holds the total host arrival rate in
+    /// bits/s (the demo's goodput graph).
+    pub goodput: SeriesSet,
+    /// DES↔FTI transitions (Figure 1's timeline).
+    pub transitions: Vec<ModeTransition>,
+    /// Virtual time spent in FTI mode.
+    pub fti_time: SimDuration,
+    /// Virtual time spent in DES mode.
+    pub des_time: SimDuration,
+    /// Wall-clock seconds spent building topology + control plane
+    /// ("time required to create the topology").
+    pub wall_setup_secs: f64,
+    /// Wall-clock seconds spent executing the experiment.
+    pub wall_run_secs: f64,
+    /// Data-plane events processed by the engine.
+    pub events_processed: u64,
+    /// Control-plane messages exchanged.
+    pub control_msgs: u64,
+    /// FIB installs (BGP) or FLOW_MODs applied (SDN).
+    pub table_writes: u64,
+    /// Flows the workload requested.
+    pub flows_requested: usize,
+    /// Flows that obtained a path.
+    pub flows_routed: usize,
+    /// Bounded flows that completed, with completion times.
+    pub completions: Vec<(FlowId, SimTime)>,
+    /// Flow completion times (seconds from each flow's start) for bounded
+    /// transfers — the FCT distribution flow-level workloads report.
+    pub flow_completion_secs: Vec<f64>,
+    /// When the last requested flow obtained a path (BGP convergence /
+    /// SDN rule installation done).
+    pub all_routed_at: Option<SimTime>,
+    /// Hedera elephant moves (0 elsewhere).
+    pub scheduler_moves: u64,
+}
+
+impl ExperimentReport {
+    /// Time-weighted mean of the aggregate goodput, bits/s.
+    pub fn goodput_mean_bps(&self) -> f64 {
+        self.goodput
+            .get("aggregate")
+            .and_then(|s| s.time_weighted_mean())
+            .unwrap_or(0.0)
+    }
+
+    /// Final aggregate goodput sample, bits/s.
+    pub fn goodput_final_bps(&self) -> f64 {
+        self.goodput
+            .get("aggregate")
+            .and_then(|s| s.last())
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Peak aggregate goodput, bits/s.
+    pub fn goodput_peak_bps(&self) -> f64 {
+        self.goodput
+            .get("aggregate")
+            .and_then(|s| s.max())
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of virtual time spent in FTI mode.
+    pub fn fti_fraction(&self) -> f64 {
+        let total = self.fti_time.as_secs_f64() + self.des_time.as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.fti_time.as_secs_f64() / total
+        }
+    }
+
+    /// Number of mode transitions after the initial DES entry.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len().saturating_sub(1)
+    }
+
+    /// Renders the transition log as `(t, mode)` rows (Figure 1 data).
+    pub fn transition_rows(&self) -> Vec<(f64, &'static str)> {
+        self.transitions
+            .iter()
+            .map(|t| {
+                (
+                    t.at.as_secs_f64(),
+                    match t.mode {
+                        ClockMode::Des => "DES",
+                        ClockMode::Fti => "FTI",
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// FCT percentile over completed transfers (`q` in `[0, 1]`); `None` when
+    /// nothing completed.
+    pub fn fct_quantile(&self, q: f64) -> Option<f64> {
+        if self.flow_completion_secs.is_empty() {
+            return None;
+        }
+        let mut v = self.flow_completion_secs.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN FCTs"));
+        let idx = ((q.clamp(0.0, 1.0) * (v.len() - 1) as f64).round()) as usize;
+        Some(v[idx])
+    }
+
+    /// JSON dump for the bench harnesses.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}

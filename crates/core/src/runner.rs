@@ -1,0 +1,471 @@
+//! The hybrid runner: Horse's main loop.
+//!
+//! One iteration of the loop is one "step" of the experiment:
+//!
+//! 1. **Pump the control plane** (deliver queued protocol bytes, poll
+//!    timers, apply RIB→FIB installs and FLOW_MODs). Any movement is
+//!    control activity → the clock is promoted to (or held in) FTI mode.
+//! 2. **React to table changes**: retry unrouted flows, re-resolve routed
+//!    flows whose forwarding state changed (rerouting them in the fluid
+//!    model).
+//! 3. **Advance the clock**: in FTI, one fixed increment (paced against
+//!    wall time under [`Pacing::RealTime`]); in DES, jump straight to the
+//!    next event — including pending control-plane timer deadlines
+//!    (keepalives, Hedera's 5 s polls), so protocol timing survives the
+//!    jumps.
+//! 4. **Execute due data-plane events**: flow starts/stops, fluid-model
+//!    completions, goodput samples.
+
+use crate::control::ControlPlane;
+use crate::experiment::{LinkEvent, TrafficEvent};
+use crate::report::ExperimentReport;
+use horse_dataplane::path::{DataPlane, ResolveError};
+use horse_net::addr::MacAddr;
+use horse_net::flow::{FiveTuple, FlowId, FlowSpec};
+use horse_net::fluid::FluidNetwork;
+use horse_net::packet::Packet;
+use horse_net::topology::{NodeId, Topology};
+use horse_sim::clock::Advance;
+use horse_sim::{
+    ClockMode, EventId, EventQueue, FtiConfig, HybridClock, Pacer, Pacing, SimDuration, SimTime,
+};
+use horse_stats::SeriesSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Start traffic event `idx`.
+    FlowStart(usize),
+    /// Stop traffic event `idx` (if its flow is active).
+    FlowStop(usize),
+    /// A bounded flow may have completed.
+    Completion(FlowId),
+    /// Periodic goodput sample.
+    Sample,
+    /// A control-plane timer deadline (handled by the pump; the event only
+    /// exists so DES jumps land on it).
+    CtrlTick,
+    /// Re-attempt pending (unrouted) flows — models hosts retransmitting
+    /// the first packet of a flow that was dropped while the control plane
+    /// was not ready yet.
+    Retry,
+    /// Apply scheduled link event `idx` (failure injection / repair).
+    LinkChange(usize),
+}
+
+/// How often hosts "retransmit" a flow's first packet while unrouted.
+const RETRY_INTERVAL: SimDuration = SimDuration::from_millis(50);
+
+/// The hybrid DES/FTI experiment executor.
+pub struct Runner {
+    topo: Topology,
+    dp: DataPlane,
+    control: ControlPlane,
+    fluid: FluidNetwork,
+    clock: HybridClock,
+    queue: EventQueue<Ev>,
+    pacer: Pacer,
+    traffic: Vec<TrafficEvent>,
+    link_events: Vec<LinkEvent>,
+    horizon: SimTime,
+    sample_interval: SimDuration,
+    label: String,
+
+    /// Traffic events waiting for a route / rules.
+    pending: BTreeMap<usize, FlowSpec>,
+    /// PACKET_INs already sent for (traffic idx, switch) pairs.
+    miss_sent: BTreeSet<(usize, NodeId)>,
+    active_by_idx: BTreeMap<usize, FlowId>,
+    idx_by_flow: BTreeMap<FlowId, usize>,
+    flows_by_tuple: BTreeMap<FiveTuple, FlowId>,
+    completion_event: Option<(EventId, FlowId)>,
+    ctrl_event: Option<(SimTime, EventId)>,
+    retry_scheduled: bool,
+
+    goodput: SeriesSet,
+    completions: Vec<(FlowId, SimTime)>,
+    fcts: Vec<f64>,
+    all_routed_at: Option<SimTime>,
+    events_processed: u64,
+}
+
+impl Runner {
+    /// Builds a runner. Most users go through
+    /// [`crate::Experiment::run`] instead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        topo: Topology,
+        dp: DataPlane,
+        control: ControlPlane,
+        traffic: Vec<TrafficEvent>,
+        link_events: Vec<LinkEvent>,
+        fti: FtiConfig,
+        pacing: Pacing,
+        horizon: SimTime,
+        sample_interval: SimDuration,
+        label: String,
+    ) -> Runner {
+        Runner {
+            topo,
+            dp,
+            control,
+            fluid: FluidNetwork::new(),
+            clock: HybridClock::new(fti),
+            queue: EventQueue::new(),
+            pacer: Pacer::new(pacing, SimTime::ZERO),
+            traffic,
+            link_events,
+            horizon,
+            sample_interval,
+            label,
+            pending: BTreeMap::new(),
+            miss_sent: BTreeSet::new(),
+            active_by_idx: BTreeMap::new(),
+            idx_by_flow: BTreeMap::new(),
+            flows_by_tuple: BTreeMap::new(),
+            completion_event: None,
+            ctrl_event: None,
+            retry_scheduled: false,
+            goodput: SeriesSet::new(),
+            completions: Vec::new(),
+            fcts: Vec::new(),
+            all_routed_at: None,
+            events_processed: 0,
+        }
+    }
+
+    /// Read access to the data plane (tests).
+    pub fn dataplane(&self) -> &DataPlane {
+        &self.dp
+    }
+
+    /// Read access to the fluid network (tests).
+    pub fn fluid(&self) -> &FluidNetwork {
+        &self.fluid
+    }
+
+    /// Executes the experiment to its horizon and builds the report.
+    pub fn run(&mut self, wall_setup_secs: f64) -> ExperimentReport {
+        let wall_start = std::time::Instant::now();
+        self.control.start(SimTime::ZERO, &mut self.dp);
+        for (idx, t) in self.traffic.clone().iter().enumerate() {
+            self.queue.push(t.start.min(self.horizon), Ev::FlowStart(idx));
+            if let Some(stop) = t.stop {
+                self.queue.push(stop.min(self.horizon), Ev::FlowStop(idx));
+            }
+        }
+        for (idx, le) in self.link_events.clone().iter().enumerate() {
+            if le.at <= self.horizon {
+                self.queue.push(le.at, Ev::LinkChange(idx));
+            }
+        }
+        if !self.sample_interval.is_zero() {
+            self.queue.push(SimTime::ZERO, Ev::Sample);
+        }
+
+        loop {
+            let now = self.clock.now();
+            let outcome =
+                self.control
+                    .pump(now, &mut self.dp, &self.fluid, &self.flows_by_tuple);
+            if outcome.activity {
+                self.clock.on_control_activity();
+            }
+            if outcome.tables_changed {
+                self.on_tables_changed(now);
+            }
+            self.sync_ctrl_event();
+            if self.clock.now() >= self.horizon {
+                break;
+            }
+            let next = self.queue.peek_time();
+            match self.clock.plan(next, self.horizon) {
+                Advance::RunTo(target) => {
+                    if self.clock.mode() == ClockMode::Fti {
+                        self.pacer.pace_to(target);
+                    } else {
+                        self.pacer.rebase(target);
+                    }
+                    self.step_to(target);
+                }
+                Advance::Idle => {
+                    if self.control.has_pending() {
+                        // Messages still queued: stay busy.
+                        self.clock.on_control_activity();
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        self.finish(wall_setup_secs, wall_start.elapsed().as_secs_f64())
+    }
+
+    fn step_to(&mut self, target: SimTime) {
+        while let Some((time, ev)) = self.queue.pop_due(target) {
+            self.clock.advance_to(time);
+            self.events_processed += 1;
+            self.handle(time, ev);
+        }
+        self.clock.advance_to(target);
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::FlowStart(idx) => {
+                let spec = self.traffic[idx].spec;
+                self.try_start_flow(now, idx, spec);
+            }
+            Ev::FlowStop(idx) => {
+                if let Some(fid) = self.active_by_idx.remove(&idx) {
+                    self.idx_by_flow.remove(&fid);
+                    if let Some(spec) = self.fluid.spec(fid) {
+                        self.flows_by_tuple.remove(&spec.tuple);
+                    }
+                    let _ = self.fluid.stop(now, fid, &self.topo);
+                    self.resync_completion(now);
+                    self.sample(now);
+                }
+                self.pending.remove(&idx);
+            }
+            Ev::Completion(fid) => {
+                // May be stale (rates changed since scheduling); re-check.
+                if self.completion_event.map(|(_, f)| f) == Some(fid) {
+                    self.completion_event = None;
+                }
+                self.fluid.advance(now);
+                if self.fluid.is_complete(fid) {
+                    if let Some(idx) = self.idx_by_flow.remove(&fid) {
+                        self.active_by_idx.remove(&idx);
+                        self.fcts
+                            .push(now.duration_since(self.traffic[idx].start).as_secs_f64());
+                    }
+                    if let Some(spec) = self.fluid.spec(fid) {
+                        self.flows_by_tuple.remove(&spec.tuple);
+                    }
+                    let _ = self.fluid.stop(now, fid, &self.topo);
+                    self.completions.push((fid, now));
+                    self.sample(now);
+                }
+                self.resync_completion(now);
+            }
+            Ev::Sample => {
+                self.sample(now);
+                let next = now + self.sample_interval;
+                if next <= self.horizon {
+                    self.queue.push(next, Ev::Sample);
+                }
+            }
+            Ev::CtrlTick => {
+                // The pump at the top of the loop does the work; the event
+                // exists so the DES clock lands on the deadline.
+                self.ctrl_event = None;
+            }
+            Ev::LinkChange(idx) => {
+                let le = self.link_events[idx];
+                if self.topo.link(le.link).up != le.up {
+                    self.topo.link_mut(le.link).up = le.up;
+                    // A failed link starves its flows immediately.
+                    self.fluid.advance(now);
+                    self.fluid.recompute(&self.topo);
+                    self.resync_completion(now);
+                    self.sample(now);
+                    // The control plane notices (BGP transports ride the
+                    // link) and reconverges; this is control activity.
+                    self.control.on_link_change(le.link, le.up, &self.topo, now);
+                    self.clock.on_control_activity();
+                    // Surviving routes may offer alternate paths right away.
+                    self.on_tables_changed(now);
+                }
+            }
+            Ev::Retry => {
+                self.retry_scheduled = false;
+                // A fresh "first packet" may be punted again.
+                self.miss_sent
+                    .retain(|(idx, _)| !self.pending.contains_key(idx));
+                let retry: Vec<(usize, FlowSpec)> =
+                    self.pending.iter().map(|(i, s)| (*i, *s)).collect();
+                for (idx, spec) in retry {
+                    self.try_start_flow(now, idx, spec);
+                }
+                self.ensure_retry(now);
+            }
+        }
+    }
+
+    /// Keeps a retry event scheduled while any flow is unrouted.
+    fn ensure_retry(&mut self, now: SimTime) {
+        if !self.pending.is_empty() && !self.retry_scheduled {
+            let at = (now + RETRY_INTERVAL).min(self.horizon);
+            if at > now {
+                self.queue.push(at, Ev::Retry);
+                self.retry_scheduled = true;
+            }
+        }
+    }
+
+    fn try_start_flow(&mut self, now: SimTime, idx: usize, spec: FlowSpec) {
+        match self.dp.resolve(&self.topo, spec.src, spec.dst, &spec.tuple) {
+            Ok(path) => {
+                match self.fluid.start(now, spec, path, &self.topo) {
+                    Ok((fid, _)) => {
+                        self.pending.remove(&idx);
+                        self.active_by_idx.insert(idx, fid);
+                        self.idx_by_flow.insert(fid, idx);
+                        self.flows_by_tuple.insert(spec.tuple, fid);
+                        self.resync_completion(now);
+                        self.sample(now);
+                        if self.pending.is_empty()
+                            && self.all_routed_at.is_none()
+                            && self.active_by_idx.len() + self.completions.len()
+                                >= self.traffic.len()
+                        {
+                            self.all_routed_at = Some(now);
+                        }
+                    }
+                    Err(_) => {
+                        self.pending.insert(idx, spec);
+                    }
+                }
+            }
+            Err(ResolveError::TableMiss { node, in_port }) => {
+                self.pending.insert(idx, spec);
+                // Synthesize the flow's first packet and punt it — this is
+                // the "control plane packets are actually sent to the data
+                // plane" path of the paper's SDN mode.
+                if self.miss_sent.insert((idx, node)) {
+                    if let ControlPlane::Sdn(sdn) = &mut self.control {
+                        let pkt = Packet::first_of(
+                            spec.tuple,
+                            MacAddr::for_port(spec.src.0, 0),
+                            MacAddr::for_port(spec.dst.0, 0),
+                        );
+                        sdn.packet_in(node, in_port.0, pkt.encode());
+                        self.clock.on_control_activity();
+                    }
+                }
+            }
+            Err(_) => {
+                // No route yet (BGP still converging), link down, …: park.
+                self.pending.insert(idx, spec);
+            }
+        }
+        self.ensure_retry(now);
+    }
+
+    /// Forwarding state changed: retry pending flows, re-path active ones.
+    fn on_tables_changed(&mut self, now: SimTime) {
+        let retry: Vec<(usize, FlowSpec)> =
+            self.pending.iter().map(|(i, s)| (*i, *s)).collect();
+        for (idx, spec) in retry {
+            self.try_start_flow(now, idx, spec);
+        }
+        let mut rerouted = false;
+        let active: Vec<(FlowId, FlowSpec)> = self
+            .idx_by_flow
+            .keys()
+            .filter_map(|fid| self.fluid.spec(*fid).map(|s| (*fid, *s)))
+            .collect();
+        for (fid, spec) in active {
+            if let Ok(path) = self.dp.resolve(&self.topo, spec.src, spec.dst, &spec.tuple) {
+                if self.fluid.path(fid) != Some(path.as_slice())
+                    && self.fluid.reroute(now, fid, path, &self.topo).is_ok()
+                {
+                    rerouted = true;
+                }
+            }
+        }
+        if rerouted {
+            self.resync_completion(now);
+            self.sample(now);
+        }
+    }
+
+    fn resync_completion(&mut self, _now: SimTime) {
+        if let Some((id, _)) = self.completion_event.take() {
+            self.queue.cancel(id);
+        }
+        if let Some((t, fid)) = self.fluid.next_completion() {
+            let id = self.queue.push(t.max(self.clock.now()), Ev::Completion(fid));
+            self.completion_event = Some((id, fid));
+        }
+    }
+
+    fn sync_ctrl_event(&mut self) {
+        let deadline = self.control.next_deadline().filter(|d| *d <= self.horizon);
+        match (deadline, self.ctrl_event) {
+            (Some(d), Some((t, _))) if d == t => {}
+            (Some(d), prev) => {
+                if let Some((_, id)) = prev {
+                    self.queue.cancel(id);
+                }
+                let id = self.queue.push(d.max(self.clock.now()), Ev::CtrlTick);
+                self.ctrl_event = Some((d, id));
+            }
+            (None, Some((_, id))) => {
+                self.queue.cancel(id);
+                self.ctrl_event = None;
+            }
+            (None, None) => {}
+        }
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        self.fluid.advance(now);
+        self.goodput
+            .push("aggregate", now, self.fluid.total_arrival_rate());
+        // Fabric utilization: the highest and mean per-direction link load
+        // fraction. (The demo's goodput graph is the headline; these series
+        // explain *why* — hash collisions show up as max_link_util pinned
+        // at 1.0 while the mean stays low.)
+        let loads = self.fluid.all_link_loads();
+        let mut max_util = 0.0f64;
+        let mut total_util = 0.0f64;
+        for (dlink, load) in &loads {
+            let link = self.topo.link(dlink.link);
+            if !link.up {
+                continue;
+            }
+            let u = load / link.capacity_bps;
+            max_util = max_util.max(u);
+            total_util += u;
+        }
+        self.goodput.push("max_link_util", now, max_util);
+        // Mean over *all* directed links (idle ones included), so the
+        // number reads as fabric occupancy.
+        let dirs = 2 * self.topo.link_count();
+        if dirs > 0 {
+            self.goodput
+                .push("mean_link_util", now, total_util / dirs as f64);
+        }
+    }
+
+    fn finish(&mut self, wall_setup_secs: f64, wall_run_secs: f64) -> ExperimentReport {
+        let end = self.clock.now().min(self.horizon);
+        self.fluid.advance(end);
+        self.sample(end);
+        ExperimentReport {
+            label: std::mem::take(&mut self.label),
+            horizon: end,
+            goodput: std::mem::take(&mut self.goodput),
+            transitions: self.clock.transitions().to_vec(),
+            fti_time: self.clock.fti_time(),
+            des_time: self.clock.des_time(),
+            wall_setup_secs,
+            wall_run_secs,
+            events_processed: self.events_processed,
+            control_msgs: self.control.msgs_total(),
+            table_writes: match &self.control {
+                ControlPlane::Bgp(b) => b.installs,
+                ControlPlane::Sdn(s) => s.flow_mods_applied,
+                ControlPlane::None => 0,
+            },
+            flows_requested: self.traffic.len(),
+            flows_routed: self.active_by_idx.len() + self.completions.len(),
+            completions: std::mem::take(&mut self.completions),
+            flow_completion_secs: std::mem::take(&mut self.fcts),
+            all_routed_at: self.all_routed_at,
+            scheduler_moves: self.control.sdn_app().map_or(0, |a| a.moves()),
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Flow-level workload generation (à la fs / fs-sdn, which the paper cites
+//! as prior work on fast SDN simulation).
+//!
+//! Instead of the demo's static permutation of CBR flows, these workloads
+//! model data-center traffic as a stochastic process: each host starts
+//! elastic (TCP-like) transfers with exponential inter-arrival times, to
+//! uniformly chosen destinations, with sizes drawn from an exponential or
+//! bounded-Pareto (heavy-tailed, mice-and-elephants) distribution. The
+//! report's flow-completion-time distribution is the standard metric.
+
+use crate::experiment::TrafficEvent;
+use horse_net::flow::{FiveTuple, FlowSpec};
+use horse_net::topology::{NodeId, Topology};
+use horse_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Transfer size distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Exponential with the given mean (bytes).
+    Exponential {
+        /// Mean size in bytes.
+        mean_bytes: f64,
+    },
+    /// Bounded Pareto: heavy-tailed mice/elephants mix.
+    BoundedPareto {
+        /// Minimum transfer size (bytes).
+        min_bytes: f64,
+        /// Maximum transfer size (bytes).
+        max_bytes: f64,
+        /// Tail index (smaller = heavier tail; web traffic ≈ 1.1–1.3).
+        alpha: f64,
+    },
+}
+
+impl SizeDist {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            SizeDist::Exponential { mean_bytes } => {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                (-u.ln() * mean_bytes).max(1.0) as u64
+            }
+            SizeDist::BoundedPareto {
+                min_bytes,
+                max_bytes,
+                alpha,
+            } => {
+                // Inverse-CDF sampling of the bounded Pareto.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let l = min_bytes.powf(alpha);
+                let h = max_bytes.powf(alpha);
+                let x = (-(u * h - u * l - h) / (h * l)).powf(-1.0 / alpha);
+                x.clamp(min_bytes, max_bytes) as u64
+            }
+        }
+    }
+}
+
+/// Parameters of a Poisson flow-level workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonWorkload {
+    /// Flow arrival rate per host, flows/second.
+    pub lambda_per_host: f64,
+    /// Transfer size distribution.
+    pub sizes: SizeDist,
+    /// Stop generating arrivals at this time (flows may finish later).
+    pub until: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PoissonWorkload {
+    /// Generates the traffic events: every host starts elastic transfers
+    /// at exponential intervals, each to a uniformly random *other* host.
+    pub fn generate(&self, topo: &Topology, hosts: &[NodeId]) -> Vec<TrafficEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        if hosts.len() < 2 || self.lambda_per_host <= 0.0 {
+            return out;
+        }
+        let mut flow_idx: u16 = 0;
+        for (hi, src) in hosts.iter().enumerate() {
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                t += -u.ln() / self.lambda_per_host;
+                let start = SimTime::from_secs_f64(t);
+                if start >= self.until {
+                    break;
+                }
+                let mut di = rng.gen_range(0..hosts.len());
+                if di == hi {
+                    di = (di + 1) % hosts.len();
+                }
+                let dst = hosts[di];
+                let size = self.sizes.sample(&mut rng);
+                let tuple = FiveTuple::tcp(
+                    topo.node(*src).ip,
+                    30_000 + flow_idx,
+                    topo.node(dst).ip,
+                    5_201,
+                );
+                flow_idx = flow_idx.wrapping_add(1);
+                out.push(TrafficEvent {
+                    start,
+                    spec: FlowSpec::elastic(*src, dst, tuple, Some(size)),
+                    stop: None,
+                });
+            }
+        }
+        out.sort_by_key(|e| e.start);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_topo::fattree::{FatTree, SwitchRole};
+
+    fn workload(lambda: f64, seed: u64) -> (FatTree, Vec<TrafficEvent>) {
+        let ft = FatTree::build(4, SwitchRole::OpenFlow, 1e9, 1_000);
+        let w = PoissonWorkload {
+            lambda_per_host: lambda,
+            sizes: SizeDist::Exponential { mean_bytes: 1e6 },
+            until: SimTime::from_secs(10),
+            seed,
+        };
+        let events = w.generate(&ft.topo, &ft.hosts.clone());
+        (ft, events)
+    }
+
+    #[test]
+    fn arrival_count_matches_rate() {
+        let (ft, events) = workload(2.0, 1);
+        // 16 hosts × 2 flows/s × 10 s = 320 expected.
+        let expect = ft.hosts.len() as f64 * 2.0 * 10.0;
+        assert!(
+            (events.len() as f64 - expect).abs() < expect * 0.3,
+            "{} arrivals vs ~{expect}",
+            events.len()
+        );
+        for e in &events {
+            assert!(e.start < SimTime::from_secs(10));
+            assert_ne!(e.spec.src, e.spec.dst);
+            assert!(e.spec.size_bytes.is_some());
+            assert!(e.spec.demand_bps.is_infinite(), "elastic transfers");
+        }
+    }
+
+    #[test]
+    fn events_sorted_and_deterministic() {
+        let (_, a) = workload(1.0, 7);
+        let (_, b) = workload(1.0, 7);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        let (_, c) = workload(1.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exponential_sizes_have_roughly_right_mean() {
+        let (_, events) = workload(5.0, 3);
+        let mean = events
+            .iter()
+            .filter_map(|e| e.spec.size_bytes)
+            .map(|s| s as f64)
+            .sum::<f64>()
+            / events.len() as f64;
+        assert!(
+            (mean - 1e6).abs() < 0.2e6,
+            "sample mean {mean} vs 1e6"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let ft = FatTree::build(4, SwitchRole::OpenFlow, 1e9, 1_000);
+        let w = PoissonWorkload {
+            lambda_per_host: 5.0,
+            sizes: SizeDist::BoundedPareto {
+                min_bytes: 1e4,
+                max_bytes: 1e9,
+                alpha: 1.2,
+            },
+            until: SimTime::from_secs(5),
+            seed: 2,
+        };
+        let events = w.generate(&ft.topo, &ft.hosts.clone());
+        assert!(!events.is_empty());
+        let sizes: Vec<f64> = events
+            .iter()
+            .filter_map(|e| e.spec.size_bytes)
+            .map(|s| s as f64)
+            .collect();
+        for s in &sizes {
+            assert!((1e4..=1e9).contains(s), "{s}");
+        }
+        // Heavy tail: the max should dwarf the median.
+        let mut sorted = sizes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let max = sorted[sorted.len() - 1];
+        assert!(max > median * 20.0, "median {median}, max {max}");
+    }
+
+    #[test]
+    fn zero_rate_or_tiny_host_list_is_empty() {
+        let ft = FatTree::build(4, SwitchRole::OpenFlow, 1e9, 1_000);
+        let w = PoissonWorkload {
+            lambda_per_host: 0.0,
+            sizes: SizeDist::Exponential { mean_bytes: 1e6 },
+            until: SimTime::from_secs(10),
+            seed: 1,
+        };
+        assert!(w.generate(&ft.topo, &ft.hosts.clone()).is_empty());
+        let w2 = PoissonWorkload {
+            lambda_per_host: 1.0,
+            ..w
+        };
+        assert!(w2.generate(&ft.topo, &[]).is_empty());
+    }
+}

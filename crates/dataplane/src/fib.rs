@@ -1,0 +1,341 @@
+//! A longest-prefix-match forwarding table (binary trie) with ECMP
+//! next-hop sets.
+//!
+//! The trie is bit-indexed on the IPv4 destination: each node has two
+//! children (bit 0 / bit 1) and an optional route. Lookup walks at most 32
+//! levels remembering the deepest route seen. Nodes live in a `Vec` arena;
+//! removal clears the route but leaves structural nodes in place (tables in
+//! these experiments are rewritten far more often than shrunk, and the arena
+//! keeps the hot lookup path allocation-free).
+
+use horse_net::addr::Ipv4Prefix;
+use horse_net::topology::PortId;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Where a route came from — used to prefer more specific sources when the
+/// control plane rewrites state, and for debugging dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteOrigin {
+    /// Directly connected subnet.
+    Connected,
+    /// Installed statically by the experiment script.
+    Static,
+    /// Learned from the emulated BGP daemon.
+    Bgp,
+}
+
+/// One ECMP next hop: the local output port (and, for debugging, the
+/// gateway address it corresponds to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NextHop {
+    /// Output port on this node.
+    pub port: PortId,
+    /// The neighbor address this hop points at (informational).
+    pub gateway: Ipv4Addr,
+}
+
+/// A routing entry: one or more equal-cost next hops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Equal-cost next hops, in deterministic (sorted) order.
+    pub next_hops: Vec<NextHop>,
+    /// Provenance.
+    pub origin: RouteOrigin,
+}
+
+impl RouteEntry {
+    /// Builds an entry, sorting hops for determinism and dropping duplicates.
+    pub fn new(mut next_hops: Vec<NextHop>, origin: RouteOrigin) -> RouteEntry {
+        next_hops.sort();
+        next_hops.dedup();
+        RouteEntry { next_hops, origin }
+    }
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct TrieNode {
+    children: [Option<u32>; 2],
+    route: Option<RouteEntry>,
+}
+
+/// A longest-prefix-match FIB.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fib {
+    nodes: Vec<TrieNode>,
+    route_count: usize,
+}
+
+impl Default for Fib {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fib {
+    /// An empty FIB.
+    pub fn new() -> Fib {
+        Fib {
+            nodes: vec![TrieNode::default()],
+            route_count: 0,
+        }
+    }
+
+    /// Number of installed routes.
+    pub fn len(&self) -> usize {
+        self.route_count
+    }
+
+    /// True if no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.route_count == 0
+    }
+
+    /// Inserts (or replaces) the route for `prefix`. Returns the previous
+    /// entry if one existed.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, entry: RouteEntry) -> Option<RouteEntry> {
+        let idx = self.walk_to(prefix, true).expect("create=true always finds");
+        let old = self.nodes[idx as usize].route.replace(entry);
+        if old.is_none() {
+            self.route_count += 1;
+        }
+        old
+    }
+
+    /// Removes the route for `prefix`, returning it if present.
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<RouteEntry> {
+        let idx = self.walk_to(prefix, false)?;
+        let old = self.nodes[idx as usize].route.take();
+        if old.is_some() {
+            self.route_count -= 1;
+        }
+        old
+    }
+
+    /// The exact-match entry for `prefix`, if installed.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&RouteEntry> {
+        let idx = self.walk_to_ref(prefix)?;
+        self.nodes[idx as usize].route.as_ref()
+    }
+
+    /// Longest-prefix-match lookup: the most specific entry covering `dst`.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<(Ipv4Prefix, &RouteEntry)> {
+        let bits = u32::from(dst);
+        let mut idx = 0u32;
+        let mut best: Option<(u8, u32)> = self.nodes[0].route.as_ref().map(|_| (0u8, 0u32));
+        for depth in 0..32u8 {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            match self.nodes[idx as usize].children[bit] {
+                Some(next) => {
+                    idx = next;
+                    if self.nodes[idx as usize].route.is_some() {
+                        best = Some((depth + 1, idx));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, idx)| {
+            let entry = self.nodes[idx as usize].route.as_ref().expect("tracked");
+            // Reconstruct the prefix from dst + len (host bits masked).
+            (Ipv4Prefix::new(dst, len), entry)
+        })
+    }
+
+    /// All installed `(prefix, entry)` pairs, in trie (lexicographic) order.
+    pub fn iter(&self) -> Vec<(Ipv4Prefix, &RouteEntry)> {
+        let mut out = Vec::with_capacity(self.route_count);
+        self.collect(0, 0, 0, &mut out);
+        out
+    }
+
+    /// Drops every route of a given origin (e.g. flush BGP routes on session
+    /// reset), returning how many were removed.
+    pub fn flush_origin(&mut self, origin: RouteOrigin) -> usize {
+        let mut removed = 0;
+        for n in &mut self.nodes {
+            if n.route.as_ref().is_some_and(|r| r.origin == origin) {
+                n.route = None;
+                removed += 1;
+            }
+        }
+        self.route_count -= removed;
+        removed
+    }
+
+    fn collect<'a>(
+        &'a self,
+        idx: u32,
+        acc: u32,
+        depth: u8,
+        out: &mut Vec<(Ipv4Prefix, &'a RouteEntry)>,
+    ) {
+        let node = &self.nodes[idx as usize];
+        if let Some(route) = &node.route {
+            let addr = Ipv4Addr::from(if depth == 0 { 0 } else { acc << (32 - depth) });
+            out.push((Ipv4Prefix::new(addr, depth), route));
+        }
+        for bit in 0..2u32 {
+            if let Some(child) = node.children[bit as usize] {
+                self.collect(child, (acc << 1) | bit, depth + 1, out);
+            }
+        }
+    }
+
+    fn walk_to(&mut self, prefix: Ipv4Prefix, create: bool) -> Option<u32> {
+        let bits = u32::from(prefix.network());
+        let mut idx = 0u32;
+        for depth in 0..prefix.len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            idx = match self.nodes[idx as usize].children[bit] {
+                Some(next) => next,
+                None if create => {
+                    let next = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[idx as usize].children[bit] = Some(next);
+                    next
+                }
+                None => return None,
+            };
+        }
+        Some(idx)
+    }
+
+    fn walk_to_ref(&self, prefix: Ipv4Prefix) -> Option<u32> {
+        let bits = u32::from(prefix.network());
+        let mut idx = 0u32;
+        for depth in 0..prefix.len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            idx = self.nodes[idx as usize].children[bit]?;
+        }
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(port: u16) -> NextHop {
+        NextHop {
+            port: PortId(port),
+            gateway: Ipv4Addr::UNSPECIFIED,
+        }
+    }
+
+    fn entry(ports: &[u16]) -> RouteEntry {
+        RouteEntry::new(ports.iter().map(|p| hop(*p)).collect(), RouteOrigin::Static)
+    }
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.insert(p("10.0.0.0/8"), entry(&[1]));
+        fib.insert(p("10.1.0.0/16"), entry(&[2]));
+        fib.insert(p("10.1.2.0/24"), entry(&[3]));
+        let (pre, e) = fib.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+        assert_eq!(pre, p("10.1.2.0/24"));
+        assert_eq!(e.next_hops[0].port, PortId(3));
+        let (pre, e) = fib.lookup(Ipv4Addr::new(10, 1, 9, 9)).unwrap();
+        assert_eq!(pre, p("10.1.0.0/16"));
+        assert_eq!(e.next_hops[0].port, PortId(2));
+        let (pre, _) = fib.lookup(Ipv4Addr::new(10, 200, 0, 1)).unwrap();
+        assert_eq!(pre, p("10.0.0.0/8"));
+        assert!(fib.lookup(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn default_route_catches_all() {
+        let mut fib = Fib::new();
+        fib.insert(Ipv4Prefix::DEFAULT, entry(&[7]));
+        let (pre, e) = fib.lookup(Ipv4Addr::new(203, 0, 113, 1)).unwrap();
+        assert_eq!(pre, Ipv4Prefix::DEFAULT);
+        assert_eq!(e.next_hops[0].port, PortId(7));
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut fib = Fib::new();
+        assert!(fib.insert(p("10.0.0.0/24"), entry(&[1])).is_none());
+        let old = fib.insert(p("10.0.0.0/24"), entry(&[2])).unwrap();
+        assert_eq!(old.next_hops[0].port, PortId(1));
+        assert_eq!(fib.len(), 1);
+    }
+
+    #[test]
+    fn remove_restores_shorter_match() {
+        let mut fib = Fib::new();
+        fib.insert(p("10.0.0.0/8"), entry(&[1]));
+        fib.insert(p("10.1.0.0/16"), entry(&[2]));
+        assert!(fib.remove(p("10.1.0.0/16")).is_some());
+        let (pre, _) = fib.lookup(Ipv4Addr::new(10, 1, 0, 1)).unwrap();
+        assert_eq!(pre, p("10.0.0.0/8"));
+        assert!(fib.remove(p("10.1.0.0/16")).is_none(), "double remove");
+        assert_eq!(fib.len(), 1);
+    }
+
+    #[test]
+    fn ecmp_hops_sorted_and_deduped() {
+        let e = RouteEntry::new(
+            vec![hop(3), hop(1), hop(3), hop(2)],
+            RouteOrigin::Bgp,
+        );
+        let ports: Vec<u16> = e.next_hops.iter().map(|h| h.port.0).collect();
+        assert_eq!(ports, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn host_route_matches_single_address() {
+        let mut fib = Fib::new();
+        fib.insert(Ipv4Prefix::host(Ipv4Addr::new(10, 0, 0, 5)), entry(&[9]));
+        assert!(fib.lookup(Ipv4Addr::new(10, 0, 0, 5)).is_some());
+        assert!(fib.lookup(Ipv4Addr::new(10, 0, 0, 6)).is_none());
+    }
+
+    #[test]
+    fn iter_lists_all_routes() {
+        let mut fib = Fib::new();
+        let prefixes = ["0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/24"];
+        for (i, s) in prefixes.iter().enumerate() {
+            fib.insert(p(s), entry(&[i as u16]));
+        }
+        let got: Vec<String> = fib.iter().iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(got.len(), 4);
+        for s in prefixes {
+            assert!(got.contains(&s.to_string()), "{s} missing from {got:?}");
+        }
+    }
+
+    #[test]
+    fn flush_origin_removes_only_that_origin() {
+        let mut fib = Fib::new();
+        fib.insert(
+            p("10.0.0.0/24"),
+            RouteEntry::new(vec![hop(1)], RouteOrigin::Connected),
+        );
+        fib.insert(
+            p("10.0.1.0/24"),
+            RouteEntry::new(vec![hop(2)], RouteOrigin::Bgp),
+        );
+        fib.insert(
+            p("10.0.2.0/24"),
+            RouteEntry::new(vec![hop(3)], RouteOrigin::Bgp),
+        );
+        assert_eq!(fib.flush_origin(RouteOrigin::Bgp), 2);
+        assert_eq!(fib.len(), 1);
+        assert!(fib.lookup(Ipv4Addr::new(10, 0, 0, 1)).is_some());
+        assert!(fib.lookup(Ipv4Addr::new(10, 0, 1, 1)).is_none());
+    }
+
+    #[test]
+    fn get_is_exact_not_lpm() {
+        let mut fib = Fib::new();
+        fib.insert(p("10.0.0.0/8"), entry(&[1]));
+        assert!(fib.get(p("10.0.0.0/8")).is_some());
+        assert!(fib.get(p("10.0.0.0/16")).is_none());
+    }
+}

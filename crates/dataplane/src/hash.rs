@@ -1,0 +1,138 @@
+//! Deterministic ECMP hashing.
+//!
+//! Hardware ECMP picks among equal-cost next hops by hashing header fields.
+//! The demo's BGP scenario hashes source and destination IP only; the SDN
+//! scenario hashes the full 5-tuple (the finer granularity is exactly what
+//! the demo contrasts). The hash is FNV-1a over the selected fields plus a
+//! per-device seed, so distinct switches make independent choices yet every
+//! run is reproducible.
+
+use horse_net::flow::FiveTuple;
+use serde::{Deserialize, Serialize};
+
+/// Which header fields participate in the hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HashMode {
+    /// Source and destination IPv4 address only (the demo's "BGP plus ECMP
+    /// path selection by hashing of IP source and destination").
+    SrcDst,
+    /// Full transport 5-tuple (the demo's "SDN 5-tuple ECMP").
+    FiveTuple,
+}
+
+/// A seeded ECMP hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EcmpHasher {
+    /// Field selection.
+    pub mode: HashMode,
+    /// Per-device seed (e.g. the node id) to decorrelate choices.
+    pub seed: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(FNV_PRIME);
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl EcmpHasher {
+    /// A hasher with the given mode and seed.
+    pub fn new(mode: HashMode, seed: u64) -> EcmpHasher {
+        EcmpHasher { mode, seed }
+    }
+
+    /// Hashes the selected fields of `tuple`.
+    pub fn hash(&self, tuple: &FiveTuple) -> u64 {
+        let mut buf = [0u8; 13];
+        buf[0..4].copy_from_slice(&tuple.src_ip.octets());
+        buf[4..8].copy_from_slice(&tuple.dst_ip.octets());
+        match self.mode {
+            HashMode::SrcDst => fnv1a(self.seed, &buf[0..8]),
+            HashMode::FiveTuple => {
+                buf[8] = tuple.proto.number();
+                buf[9..11].copy_from_slice(&tuple.src_port.to_be_bytes());
+                buf[11..13].copy_from_slice(&tuple.dst_port.to_be_bytes());
+                fnv1a(self.seed, &buf)
+            }
+        }
+    }
+
+    /// Picks an index into a choice set of size `n` (n must be non-zero).
+    pub fn select(&self, tuple: &FiveTuple, n: usize) -> usize {
+        debug_assert!(n > 0, "empty ECMP set");
+        (self.hash(tuple) % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn tuple(sp: u16) -> FiveTuple {
+        FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sp,
+            Ipv4Addr::new(10, 0, 1, 1),
+            80,
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = EcmpHasher::new(HashMode::FiveTuple, 42);
+        assert_eq!(h.hash(&tuple(5)), h.hash(&tuple(5)));
+        assert_eq!(h.select(&tuple(5), 4), h.select(&tuple(5), 4));
+    }
+
+    #[test]
+    fn srcdst_ignores_ports() {
+        let h = EcmpHasher::new(HashMode::SrcDst, 42);
+        assert_eq!(h.hash(&tuple(1)), h.hash(&tuple(2)));
+    }
+
+    #[test]
+    fn five_tuple_sees_ports() {
+        let h = EcmpHasher::new(HashMode::FiveTuple, 42);
+        let mut distinct = std::collections::HashSet::new();
+        for sp in 0..64 {
+            distinct.insert(h.hash(&tuple(sp)));
+        }
+        assert!(distinct.len() > 60, "port changes must disperse the hash");
+    }
+
+    #[test]
+    fn seeds_decorrelate_devices() {
+        let a = EcmpHasher::new(HashMode::FiveTuple, 1);
+        let b = EcmpHasher::new(HashMode::FiveTuple, 2);
+        let mut differ = 0;
+        for sp in 0..128 {
+            if a.select(&tuple(sp), 4) != b.select(&tuple(sp), 4) {
+                differ += 1;
+            }
+        }
+        assert!(differ > 32, "different seeds should pick differently often");
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform() {
+        let h = EcmpHasher::new(HashMode::FiveTuple, 7);
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for sp in 0..4000u16 {
+            counts[h.select(&tuple(sp), n)] += 1;
+        }
+        for c in &counts {
+            assert!(
+                (700..1300).contains(c),
+                "bucket badly skewed: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # horse-dataplane — simulated forwarding models
+//!
+//! The simulated data plane forwards *flows*, not packets: when a flow
+//! starts (or the control plane rewrites state), Horse resolves the flow's
+//! path hop by hop through each node's forwarding state. This crate holds
+//! those forwarding states and the resolution logic:
+//!
+//! * [`fib`] — a longest-prefix-match FIB (binary trie) with ECMP next-hop
+//!   sets, used by routers whose routes are installed by the emulated BGP
+//!   daemons.
+//! * [`flowtable`] — an OpenFlow 1.0 style match/action table with
+//!   priorities and wildcards, used by SDN switches.
+//! * [`hash`] — deterministic ECMP hash functions: the BGP demo hashes
+//!   (src IP, dst IP); the SDN demo hashes the full 5-tuple.
+//! * [`path`] — the hop-by-hop resolver: walk a flow from its source host
+//!   through FIBs and flow tables to its destination, yielding the link
+//!   path the fluid engine needs — or a `TableMiss` that becomes an
+//!   OpenFlow `PACKET_IN`.
+
+pub mod fib;
+pub mod flowtable;
+pub mod hash;
+pub mod path;
+
+pub use fib::{Fib, NextHop, RouteEntry, RouteOrigin};
+pub use flowtable::{Action, FlowEntry, FlowTable, Match};
+pub use hash::{EcmpHasher, HashMode};
+pub use path::{DataPlane, NodeForwarding, ResolveError};

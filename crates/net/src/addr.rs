@@ -1,0 +1,260 @@
+//! Link-layer and network-layer addressing.
+//!
+//! IPv4 addresses reuse `std::net::Ipv4Addr`; this module adds MAC addresses
+//! and CIDR prefixes with the matching semantics a FIB needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Deterministically derives a locally administered unicast MAC from a
+    /// node id and port index. Used when building topologies.
+    pub fn for_port(node: u32, port: u16) -> MacAddr {
+        let n = node.to_be_bytes();
+        let p = port.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, n[1], n[2], n[3], p[0], p[1]])
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group (multicast) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Raw bytes.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// Error parsing a MAC address or prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrParseError(pub String);
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "address parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for MacAddr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 6 {
+            return Err(AddrParseError(format!("bad MAC {s:?}")));
+        }
+        let mut out = [0u8; 6];
+        for (i, p) in parts.iter().enumerate() {
+            out[i] =
+                u8::from_str_radix(p, 16).map_err(|_| AddrParseError(format!("bad MAC {s:?}")))?;
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+/// An IPv4 CIDR prefix (`address/len`), canonicalized so that host bits are
+/// zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    network: Ipv4Addr,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Ipv4Prefix = Ipv4Prefix {
+        network: Ipv4Addr::UNSPECIFIED,
+        len: 0,
+    };
+
+    /// Creates a prefix, masking away host bits. Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Ipv4Prefix {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Ipv4Prefix {
+            network: Ipv4Addr::from(u32::from(addr) & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// A /32 host route.
+    pub fn host(addr: Ipv4Addr) -> Ipv4Prefix {
+        Ipv4Prefix::new(addr, 32)
+    }
+
+    /// The network address (host bits zero).
+    pub fn network(&self) -> Ipv4Addr {
+        self.network
+    }
+
+    /// The prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask for a given prefix length.
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// True if `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.len)) == u32::from(self.network)
+    }
+
+    /// True if `other` is fully covered by this prefix (including equality).
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && self.contains(other.network)
+    }
+
+    /// The `i`-th host address inside the prefix (0 = network address).
+    /// Wraps silently if `i` exceeds the prefix size; callers building
+    /// topologies stay well within bounds.
+    pub fn nth(&self, i: u32) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.network).wrapping_add(i))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network, self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| AddrParseError(format!("missing '/' in {s:?}")))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| AddrParseError(format!("bad address in {s:?}")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| AddrParseError(format!("bad length in {s:?}")))?;
+        if len > 32 {
+            return Err(AddrParseError(format!("length {len} > 32")));
+        }
+        Ok(Ipv4Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_parse_roundtrip() {
+        let m = MacAddr([0x02, 0x00, 0x00, 0x01, 0x00, 0x02]);
+        let s = m.to_string();
+        assert_eq!(s, "02:00:00:01:00:02");
+        assert_eq!(s.parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn mac_parse_rejects_garbage() {
+        assert!("not-a-mac".parse::<MacAddr>().is_err());
+        assert!("02:00:00:01:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:01:00:zz".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn mac_flags() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::for_port(1, 2).is_multicast());
+    }
+
+    #[test]
+    fn for_port_is_unique_per_port() {
+        assert_ne!(MacAddr::for_port(1, 0), MacAddr::for_port(1, 1));
+        assert_ne!(MacAddr::for_port(1, 0), MacAddr::for_port(2, 0));
+    }
+
+    #[test]
+    fn prefix_canonicalizes_host_bits() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 24);
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 2, 0));
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p: Ipv4Prefix = "192.168.4.0/22".parse().unwrap();
+        assert!(p.contains(Ipv4Addr::new(192, 168, 5, 77)));
+        assert!(!p.contains(Ipv4Addr::new(192, 168, 8, 1)));
+        assert!(Ipv4Prefix::DEFAULT.contains(Ipv4Addr::new(8, 8, 8, 8)));
+    }
+
+    #[test]
+    fn prefix_covers() {
+        let wide: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let narrow: Ipv4Prefix = "10.5.0.0/16".parse().unwrap();
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(wide.covers(&wide));
+    }
+
+    #[test]
+    fn prefix_parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn nth_host() {
+        let p: Ipv4Prefix = "10.0.1.0/24".parse().unwrap();
+        assert_eq!(p.nth(0), Ipv4Addr::new(10, 0, 1, 0));
+        assert_eq!(p.nth(2), Ipv4Addr::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn host_route() {
+        let h = Ipv4Prefix::host(Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(h.len(), 32);
+        assert!(h.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!h.contains(Ipv4Addr::new(1, 2, 3, 5)));
+    }
+}

@@ -1,0 +1,204 @@
+//! Flow identities and specifications for the fluid data plane.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::topology::NodeId;
+
+/// IP protocol numbers used by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IpProto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, by protocol number.
+    Other(u8),
+}
+
+impl IpProto {
+    /// The wire protocol number.
+    pub fn number(&self) -> u8 {
+        match self {
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(n) => *n,
+        }
+    }
+
+    /// From a wire protocol number.
+    pub fn from_number(n: u8) -> IpProto {
+        match n {
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for IpProto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProto::Tcp => write!(f, "tcp"),
+            IpProto::Udp => write!(f, "udp"),
+            IpProto::Other(n) => write!(f, "proto{n}"),
+        }
+    }
+}
+
+/// The classic transport 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// IP protocol.
+    pub proto: IpProto,
+    /// Transport source port.
+    pub src_port: u16,
+    /// Transport destination port.
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// Convenience constructor for a UDP flow.
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            proto: IpProto::Udp,
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// Convenience constructor for a TCP flow.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            proto: IpProto::Tcp,
+            src_port,
+            dst_port,
+        }
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({})",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto
+        )
+    }
+}
+
+/// Unique identifier of a flow within an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// What a flow wants to do: its endpoints, identity and demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Transport identity (drives ECMP hashing and OpenFlow matching).
+    pub tuple: FiveTuple,
+    /// Offered load in bits per second (the paper's demo uses constant-rate
+    /// 1 Gbps UDP flows — the fluid model caps the achieved rate at this
+    /// demand even when more bandwidth is available).
+    pub demand_bps: f64,
+    /// Total bytes to transfer; `None` means the flow runs until stopped.
+    pub size_bytes: Option<u64>,
+}
+
+impl FlowSpec {
+    /// A constant-bit-rate flow that runs until explicitly stopped.
+    pub fn cbr(src: NodeId, dst: NodeId, tuple: FiveTuple, demand_bps: f64) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            tuple,
+            demand_bps,
+            size_bytes: None,
+        }
+    }
+
+    /// An elastic flow (TCP-like): no demand cap — it takes whatever
+    /// max–min fair share the network grants. `size_bytes` bounds the
+    /// transfer; `None` runs until stopped.
+    pub fn elastic(src: NodeId, dst: NodeId, tuple: FiveTuple, size_bytes: Option<u64>) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            tuple,
+            demand_bps: f64::INFINITY,
+            size_bytes,
+        }
+    }
+
+    /// A bounded transfer of `size_bytes` at up to `demand_bps`.
+    pub fn transfer(
+        src: NodeId,
+        dst: NodeId,
+        tuple: FiveTuple,
+        demand_bps: f64,
+        size_bytes: u64,
+    ) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            tuple,
+            demand_bps,
+            size_bytes: Some(size_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_roundtrip() {
+        for n in 0..=255u8 {
+            assert_eq!(IpProto::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn tuple_display() {
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        assert_eq!(t.to_string(), "10.0.0.1:1234 -> 10.0.0.2:80 (udp)");
+    }
+
+    #[test]
+    fn spec_constructors() {
+        let t = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2,
+        );
+        let cbr = FlowSpec::cbr(NodeId(0), NodeId(1), t, 1e9);
+        assert_eq!(cbr.size_bytes, None);
+        let xfer = FlowSpec::transfer(NodeId(0), NodeId(1), t, 1e9, 1_000_000);
+        assert_eq!(xfer.size_bytes, Some(1_000_000));
+    }
+}

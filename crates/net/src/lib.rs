@@ -1,0 +1,30 @@
+//! # horse-net — network model for the simulated data plane
+//!
+//! Horse's data plane is *simulated*, not emulated: traffic is a set of
+//! fluid-rate flows over a topology graph, and bandwidth is shared max–min
+//! fairly on every link. This crate provides:
+//!
+//! * [`addr`] — MAC addresses and IPv4 prefixes (with longest-prefix-match
+//!   semantics used by the FIB in `horse-dataplane`).
+//! * [`packet`] — real wire-layout Ethernet/IPv4/UDP/TCP headers. The fluid
+//!   model never serializes data packets, but control-plane machinery does:
+//!   OpenFlow `PACKET_IN` carries genuine packet bytes, and ECMP hashing is
+//!   defined over genuine header fields.
+//! * [`topology`] — nodes (hosts / switches / routers), ports, and
+//!   capacitated links.
+//! * [`flow`] — flow identities and specifications (5-tuples, demands,
+//!   bounded or unbounded transfers).
+//! * [`fluid`] — the event-driven max–min fair bandwidth allocator and flow
+//!   progress tracker.
+
+pub mod addr;
+pub mod flow;
+pub mod fluid;
+pub mod packet;
+pub mod topology;
+
+pub use addr::{Ipv4Prefix, MacAddr};
+pub use flow::{FiveTuple, FlowId, FlowSpec, IpProto};
+pub use fluid::{FluidNetwork, RateChange};
+pub use packet::{EthernetHeader, Ipv4Header, Packet, TransportHeader};
+pub use topology::{LinkId, NodeId, NodeKind, PortId, Topology};

@@ -1,0 +1,553 @@
+//! Wire-format packet headers.
+//!
+//! The fluid data plane never moves per-packet bytes, but Horse's control
+//! plane does: an OpenFlow `PACKET_IN` carries the first bytes of a real
+//! packet, and controllers parse those bytes to extract the 5-tuple. To keep
+//! that path realistic we encode genuine Ethernet/IPv4/UDP/TCP layouts,
+//! including a correct IPv4 header checksum.
+
+use crate::addr::MacAddr;
+use crate::flow::{FiveTuple, IpProto};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for ARP (parsed but otherwise unused by the model).
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+
+/// Errors produced when decoding packet bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer bytes than the fixed header requires.
+    Truncated(&'static str),
+    /// A header field holds an unsupported value.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated(what) => write!(f, "truncated {what}"),
+            PacketError::Unsupported(what) => write!(f, "unsupported {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A 14-byte Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType (e.g. [`ETHERTYPE_IPV4`]).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 14;
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, PacketError> {
+        if buf.len() < Self::LEN {
+            return Err(PacketError::Truncated("ethernet header"));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        buf.copy_to_slice(&mut dst);
+        buf.copy_to_slice(&mut src);
+        let ethertype = buf.get_u16();
+        Ok(EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+        })
+    }
+}
+
+/// A 20-byte (optionless) IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Type of service / DSCP byte.
+    pub tos: u8,
+    /// Identification field.
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: IpProto,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Total length (header + payload). Filled in by [`Packet::encode`].
+    pub total_len: u16,
+}
+
+impl Ipv4Header {
+    /// Encoded size in bytes (no options).
+    pub const LEN: usize = 20;
+
+    /// A fresh header with common defaults (TTL 64).
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, proto: IpProto) -> Ipv4Header {
+        Ipv4Header {
+            tos: 0,
+            ident: 0,
+            ttl: 64,
+            proto,
+            src,
+            dst,
+            total_len: Self::LEN as u16,
+        }
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(self.tos);
+        buf.put_u16(self.total_len);
+        buf.put_u16(self.ident);
+        buf.put_u16(0); // flags / fragment offset
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.proto.number());
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+        let cksum = internet_checksum(&buf[start..start + Self::LEN]);
+        buf[start + 10..start + 12].copy_from_slice(&cksum.to_be_bytes());
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, PacketError> {
+        if buf.len() < Self::LEN {
+            return Err(PacketError::Truncated("ipv4 header"));
+        }
+        let vihl = buf.get_u8();
+        if vihl >> 4 != 4 {
+            return Err(PacketError::Unsupported("ip version"));
+        }
+        let ihl = (vihl & 0x0f) as usize * 4;
+        if ihl < Self::LEN {
+            return Err(PacketError::Unsupported("ipv4 ihl < 20"));
+        }
+        let tos = buf.get_u8();
+        let total_len = buf.get_u16();
+        let ident = buf.get_u16();
+        let _flags_frag = buf.get_u16();
+        let ttl = buf.get_u8();
+        let proto = IpProto::from_number(buf.get_u8());
+        let _cksum = buf.get_u16();
+        let mut src = [0u8; 4];
+        let mut dst = [0u8; 4];
+        buf.copy_to_slice(&mut src);
+        buf.copy_to_slice(&mut dst);
+        // Skip options if present.
+        let opts = ihl - Self::LEN;
+        if buf.len() < opts {
+            return Err(PacketError::Truncated("ipv4 options"));
+        }
+        buf.advance(opts);
+        Ok(Ipv4Header {
+            tos,
+            ident,
+            ttl,
+            proto,
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+            total_len,
+        })
+    }
+}
+
+/// Transport-layer header: UDP (8 bytes) or TCP (20 bytes, optionless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportHeader {
+    /// UDP header.
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+    },
+    /// TCP header (sequence/ack/flags carried for realism; the fluid model
+    /// ignores them).
+    Tcp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgement number.
+        ack: u32,
+        /// Flag bits (FIN=0x01, SYN=0x02, …).
+        flags: u8,
+    },
+}
+
+impl TransportHeader {
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        match self {
+            TransportHeader::Udp { src_port, .. } | TransportHeader::Tcp { src_port, .. } => {
+                *src_port
+            }
+        }
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        match self {
+            TransportHeader::Udp { dst_port, .. } | TransportHeader::Tcp { dst_port, .. } => {
+                *dst_port
+            }
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            TransportHeader::Udp { .. } => 8,
+            TransportHeader::Tcp { .. } => 20,
+        }
+    }
+
+    /// Always false; present for clippy's `len-without-is-empty` lint.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn encode(&self, buf: &mut BytesMut, payload_len: usize) {
+        match *self {
+            TransportHeader::Udp { src_port, dst_port } => {
+                buf.put_u16(src_port);
+                buf.put_u16(dst_port);
+                buf.put_u16((8 + payload_len) as u16);
+                buf.put_u16(0); // checksum optional in IPv4 UDP
+            }
+            TransportHeader::Tcp {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+            } => {
+                buf.put_u16(src_port);
+                buf.put_u16(dst_port);
+                buf.put_u32(seq);
+                buf.put_u32(ack);
+                buf.put_u8(5 << 4); // data offset 5 words
+                buf.put_u8(flags);
+                buf.put_u16(65535); // window
+                buf.put_u16(0); // checksum (not computed for the model)
+                buf.put_u16(0); // urgent pointer
+            }
+        }
+    }
+
+    fn decode(proto: IpProto, buf: &mut &[u8]) -> Result<Option<Self>, PacketError> {
+        match proto {
+            IpProto::Udp => {
+                if buf.len() < 8 {
+                    return Err(PacketError::Truncated("udp header"));
+                }
+                let src_port = buf.get_u16();
+                let dst_port = buf.get_u16();
+                let _len = buf.get_u16();
+                let _cksum = buf.get_u16();
+                Ok(Some(TransportHeader::Udp { src_port, dst_port }))
+            }
+            IpProto::Tcp => {
+                if buf.len() < 20 {
+                    return Err(PacketError::Truncated("tcp header"));
+                }
+                let src_port = buf.get_u16();
+                let dst_port = buf.get_u16();
+                let seq = buf.get_u32();
+                let ack = buf.get_u32();
+                let offset = buf.get_u8() >> 4;
+                let flags = buf.get_u8();
+                let _window = buf.get_u16();
+                let _cksum = buf.get_u16();
+                let _urgent = buf.get_u16();
+                let opts = (offset as usize * 4).saturating_sub(20);
+                if buf.len() < opts {
+                    return Err(PacketError::Truncated("tcp options"));
+                }
+                buf.advance(opts);
+                Ok(Some(TransportHeader::Tcp {
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack,
+                    flags,
+                }))
+            }
+            IpProto::Other(_) => Ok(None),
+        }
+    }
+}
+
+/// A parsed (or to-be-encoded) packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Link-layer header.
+    pub eth: EthernetHeader,
+    /// Network-layer header (absent for non-IP frames such as ARP).
+    pub ipv4: Option<Ipv4Header>,
+    /// Transport-layer header, when the IP protocol is TCP or UDP.
+    pub transport: Option<TransportHeader>,
+    /// Remaining payload bytes.
+    #[serde(with = "serde_bytes_compat")]
+    pub payload: Bytes,
+}
+
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Packet {
+    /// Builds a UDP packet with the given 5-tuple and payload.
+    pub fn udp(src_mac: MacAddr, dst_mac: MacAddr, tuple: FiveTuple, payload: Bytes) -> Packet {
+        Packet {
+            eth: EthernetHeader {
+                dst: dst_mac,
+                src: src_mac,
+                ethertype: ETHERTYPE_IPV4,
+            },
+            ipv4: Some(Ipv4Header::new(tuple.src_ip, tuple.dst_ip, IpProto::Udp)),
+            transport: Some(TransportHeader::Udp {
+                src_port: tuple.src_port,
+                dst_port: tuple.dst_port,
+            }),
+            payload,
+        }
+    }
+
+    /// Builds a TCP SYN packet with the given 5-tuple (used as the "first
+    /// packet" of SDN flows, triggering PACKET_IN at switches).
+    pub fn tcp_syn(src_mac: MacAddr, dst_mac: MacAddr, tuple: FiveTuple) -> Packet {
+        Packet {
+            eth: EthernetHeader {
+                dst: dst_mac,
+                src: src_mac,
+                ethertype: ETHERTYPE_IPV4,
+            },
+            ipv4: Some(Ipv4Header::new(tuple.src_ip, tuple.dst_ip, IpProto::Tcp)),
+            transport: Some(TransportHeader::Tcp {
+                src_port: tuple.src_port,
+                dst_port: tuple.dst_port,
+                seq: 0,
+                ack: 0,
+                flags: 0x02, // SYN
+            }),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Builds the first packet of an arbitrary flow spec.
+    pub fn first_of(tuple: FiveTuple, src_mac: MacAddr, dst_mac: MacAddr) -> Packet {
+        match tuple.proto {
+            IpProto::Tcp => Packet::tcp_syn(src_mac, dst_mac, tuple),
+            _ => Packet::udp(src_mac, dst_mac, tuple, Bytes::new()),
+        }
+    }
+
+    /// Serializes the packet to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.payload.len());
+        self.eth.encode(&mut buf);
+        if let Some(mut ip) = self.ipv4 {
+            let t_len = self.transport.as_ref().map_or(0, |t| t.len());
+            ip.total_len = (Ipv4Header::LEN + t_len + self.payload.len()) as u16;
+            ip.encode(&mut buf);
+            if let Some(t) = &self.transport {
+                t.encode(&mut buf, self.payload.len());
+            }
+        }
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses wire bytes into a packet. Non-IPv4 frames keep everything
+    /// after the Ethernet header as payload.
+    pub fn decode(bytes: &[u8]) -> Result<Packet, PacketError> {
+        let mut buf = bytes;
+        let eth = EthernetHeader::decode(&mut buf)?;
+        if eth.ethertype != ETHERTYPE_IPV4 {
+            return Ok(Packet {
+                eth,
+                ipv4: None,
+                transport: None,
+                payload: Bytes::copy_from_slice(buf),
+            });
+        }
+        let ip = Ipv4Header::decode(&mut buf)?;
+        let transport = TransportHeader::decode(ip.proto, &mut buf)?;
+        Ok(Packet {
+            eth,
+            ipv4: Some(ip),
+            transport,
+            payload: Bytes::copy_from_slice(buf),
+        })
+    }
+
+    /// Extracts the transport 5-tuple if this is a TCP/UDP-over-IPv4 packet.
+    pub fn five_tuple(&self) -> Option<FiveTuple> {
+        let ip = self.ipv4.as_ref()?;
+        let t = self.transport.as_ref()?;
+        Some(FiveTuple {
+            src_ip: ip.src,
+            dst_ip: ip.dst,
+            proto: ip.proto,
+            src_port: t.src_port(),
+            dst_port: t.dst_port(),
+        })
+    }
+}
+
+/// RFC 1071 internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 1, 2),
+            4321,
+            Ipv4Addr::new(10, 2, 0, 3),
+            9999,
+        )
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let p = Packet::udp(
+            MacAddr::for_port(1, 0),
+            MacAddr::for_port(2, 0),
+            tuple(),
+            Bytes::from_static(b"hello"),
+        );
+        let bytes = p.encode();
+        let q = Packet::decode(&bytes).unwrap();
+        assert_eq!(q.five_tuple(), Some(tuple()));
+        assert_eq!(q.payload, Bytes::from_static(b"hello"));
+        assert_eq!(q.eth, p.eth);
+    }
+
+    #[test]
+    fn tcp_syn_roundtrip() {
+        let t = FiveTuple::tcp(
+            Ipv4Addr::new(192, 168, 0, 1),
+            1000,
+            Ipv4Addr::new(192, 168, 0, 2),
+            80,
+        );
+        let p = Packet::tcp_syn(MacAddr::for_port(1, 0), MacAddr::for_port(2, 0), t);
+        let q = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(q.five_tuple(), Some(t));
+        match q.transport {
+            Some(TransportHeader::Tcp { flags, .. }) => assert_eq!(flags, 0x02),
+            other => panic!("expected TCP header, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ipv4_checksum_is_valid() {
+        let p = Packet::udp(
+            MacAddr::for_port(1, 0),
+            MacAddr::for_port(2, 0),
+            tuple(),
+            Bytes::new(),
+        );
+        let bytes = p.encode();
+        // Checksum over the received IPv4 header must be zero.
+        let ip_hdr = &bytes[EthernetHeader::LEN..EthernetHeader::LEN + Ipv4Header::LEN];
+        assert_eq!(internet_checksum(ip_hdr), 0);
+    }
+
+    #[test]
+    fn non_ip_frames_pass_through() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0xff; 6]);
+        raw.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]);
+        raw.extend_from_slice(&ETHERTYPE_ARP.to_be_bytes());
+        raw.extend_from_slice(b"arp-body");
+        let p = Packet::decode(&raw).unwrap();
+        assert!(p.ipv4.is_none());
+        assert!(p.five_tuple().is_none());
+        assert_eq!(&p.payload[..], b"arp-body");
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let p = Packet::udp(
+            MacAddr::for_port(1, 0),
+            MacAddr::for_port(2, 0),
+            tuple(),
+            Bytes::new(),
+        );
+        let bytes = p.encode();
+        for cut in 0..bytes.len() {
+            // Any prefix must decode cleanly or error; never panic.
+            let _ = Packet::decode(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn total_len_reflects_payload() {
+        let p = Packet::udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            tuple(),
+            Bytes::from(vec![0u8; 100]),
+        );
+        let q = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(q.ipv4.unwrap().total_len, (20 + 8 + 100) as u16);
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Hand-computed RFC 1071 vector: words 0001 f203 f4f5 f6f7 sum to
+        // 0x2ddf0, fold to 0xddf2, complement to 0x220d.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+        // Odd-length input pads the final byte with zero.
+        assert_eq!(internet_checksum(&[0xffu8]), !0xff00);
+    }
+}

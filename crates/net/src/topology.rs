@@ -1,0 +1,527 @@
+//! The topology graph: nodes, ports and capacitated links.
+//!
+//! A [`Topology`] is an undirected multigraph. Each link attaches to a
+//! specific *port* on each endpoint; forwarding decisions in the data plane
+//! are expressed in terms of output ports, so port↔link resolution is the
+//! hot query and is answered from a per-node vector.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::addr::{Ipv4Prefix, MacAddr};
+
+/// Index of a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node-local port index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortId(pub u16);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Index of a link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// What role a node plays in the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host (traffic source/sink).
+    Host,
+    /// An OpenFlow-style switch (controlled by an SDN controller).
+    Switch,
+    /// An IP router (runs an emulated routing daemon, e.g. BGP).
+    Router,
+}
+
+/// A node in the topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Role.
+    pub kind: NodeKind,
+    /// Human-readable name (e.g. `"pod0-edge1"` or `"h3"`).
+    pub name: String,
+    /// Primary IPv4 address (hosts have exactly one; switches/routers use it
+    /// as a router-id / datapath address).
+    pub ip: Ipv4Addr,
+    /// Subnet the node's primary address lives in.
+    pub subnet: Ipv4Prefix,
+    /// Per-port link attachment; `ports[p]` is the link on port `p`.
+    ports: Vec<Option<LinkId>>,
+}
+
+impl Node {
+    /// Number of ports allocated so far.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// MAC address of a port (derived deterministically).
+    pub fn port_mac(&self, node: NodeId, port: PortId) -> MacAddr {
+        MacAddr::for_port(node.0, port.0)
+    }
+}
+
+/// One end of a link: a (node, port) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The node.
+    pub node: NodeId,
+    /// The port on that node.
+    pub port: PortId,
+}
+
+/// A bidirectional link. Capacity applies independently to each direction
+/// (full duplex), matching how the fluid allocator treats it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: Endpoint,
+    /// The other endpoint.
+    pub b: Endpoint,
+    /// Capacity per direction, bits per second.
+    pub capacity_bps: f64,
+    /// One-way propagation delay in nanoseconds.
+    pub delay_ns: u64,
+    /// Administrative/operational state.
+    pub up: bool,
+}
+
+impl Link {
+    /// Given one endpoint's node, returns the node at the other end.
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if self.a.node == node {
+            self.b.node
+        } else {
+            self.a.node
+        }
+    }
+
+    /// The endpoint residing on `node`, if the link touches it.
+    pub fn endpoint_on(&self, node: NodeId) -> Option<Endpoint> {
+        if self.a.node == node {
+            Some(self.a)
+        } else if self.b.node == node {
+            Some(self.b)
+        } else {
+            None
+        }
+    }
+}
+
+/// The experiment topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    by_name: HashMap<String, NodeId>,
+    by_ip: HashMap<Ipv4Addr, NodeId>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a node. Panics on duplicate names (these are builder bugs).
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        name: impl Into<String>,
+        ip: Ipv4Addr,
+        subnet: Ipv4Prefix,
+    ) -> NodeId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.by_ip.insert(ip, id);
+        self.nodes.push(Node {
+            kind,
+            name,
+            ip,
+            subnet,
+            ports: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a host with a /24-style subnet.
+    pub fn add_host(&mut self, name: impl Into<String>, ip: Ipv4Addr, subnet: Ipv4Prefix) -> NodeId {
+        self.add_node(NodeKind::Host, name, ip, subnet)
+    }
+
+    /// Adds an OpenFlow switch.
+    pub fn add_switch(&mut self, name: impl Into<String>, ip: Ipv4Addr) -> NodeId {
+        self.add_node(NodeKind::Switch, name, ip, Ipv4Prefix::host(ip))
+    }
+
+    /// Adds a router.
+    pub fn add_router(&mut self, name: impl Into<String>, ip: Ipv4Addr) -> NodeId {
+        self.add_node(NodeKind::Router, name, ip, Ipv4Prefix::host(ip))
+    }
+
+    /// Connects two nodes with a new link, allocating the next free port on
+    /// each side. Returns the link id and both ports.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_bps: f64,
+        delay_ns: u64,
+    ) -> (LinkId, PortId, PortId) {
+        assert!(a != b, "self-links are not supported");
+        let id = LinkId(self.links.len() as u32);
+        let pa = self.alloc_port(a, id);
+        let pb = self.alloc_port(b, id);
+        self.links.push(Link {
+            a: Endpoint { node: a, port: pa },
+            b: Endpoint { node: b, port: pb },
+            capacity_bps,
+            delay_ns,
+            up: true,
+        });
+        (id, pa, pb)
+    }
+
+    fn alloc_port(&mut self, node: NodeId, link: LinkId) -> PortId {
+        let ports = &mut self.nodes[node.0 as usize].ports;
+        let p = PortId(ports.len() as u16);
+        ports.push(Some(link));
+        p
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Link accessor.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Mutable link accessor (to flip `up`, change capacity in scenarios).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Nodes of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|id| self.node(*id).kind == kind)
+            .collect()
+    }
+
+    /// Looks a node up by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a node up by its primary IPv4 address.
+    pub fn find_by_ip(&self, ip: Ipv4Addr) -> Option<NodeId> {
+        self.by_ip.get(&ip).copied()
+    }
+
+    /// The link attached to `port` of `node`, if any.
+    pub fn link_at(&self, node: NodeId, port: PortId) -> Option<LinkId> {
+        self.nodes[node.0 as usize]
+            .ports
+            .get(port.0 as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// The (link, local port, neighbor) triples of a node, in port order.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(LinkId, PortId, NodeId)> {
+        let n = &self.nodes[node.0 as usize];
+        n.ports
+            .iter()
+            .enumerate()
+            .filter_map(|(p, l)| {
+                l.map(|lid| {
+                    let link = &self.links[lid.0 as usize];
+                    (lid, PortId(p as u16), link.other(node))
+                })
+            })
+            .collect()
+    }
+
+    /// The first up link directly connecting `a` and `b`, with the port on
+    /// `a`'s side.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<(LinkId, PortId)> {
+        self.neighbors(a)
+            .into_iter()
+            .find(|(lid, _, n)| *n == b && self.link(*lid).up)
+            .map(|(lid, p, _)| (lid, p))
+    }
+
+    /// Shortest-path hop distance between two nodes over up links (BFS).
+    /// Returns `None` if disconnected.
+    pub fn hop_distance(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.nodes.len()];
+        dist[from.0 as usize] = 0;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for (lid, _, next) in self.neighbors(n) {
+                if !self.link(lid).up {
+                    continue;
+                }
+                if dist[next.0 as usize] == usize::MAX {
+                    dist[next.0 as usize] = dist[n.0 as usize] + 1;
+                    if next == to {
+                        return Some(dist[next.0 as usize]);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// All shortest paths between two nodes as port-by-port link sequences,
+    /// over up links. Used by SDN controllers to enumerate ECMP candidates.
+    pub fn all_shortest_paths(&self, from: NodeId, to: NodeId) -> Vec<Vec<LinkId>> {
+        if from == to {
+            return vec![vec![]];
+        }
+        // BFS computing distance-from-`from`.
+        let mut dist = vec![usize::MAX; self.nodes.len()];
+        dist[from.0 as usize] = 0;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for (lid, _, next) in self.neighbors(n) {
+                if !self.link(lid).up {
+                    continue;
+                }
+                if dist[next.0 as usize] == usize::MAX {
+                    dist[next.0 as usize] = dist[n.0 as usize] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if dist[to.0 as usize] == usize::MAX {
+            return vec![];
+        }
+        // DFS backwards from `to` along strictly decreasing distances.
+        let mut paths = Vec::new();
+        let mut stack: Vec<LinkId> = Vec::new();
+        self.collect_paths(from, to, &dist, &mut stack, &mut paths);
+        paths
+    }
+
+    fn collect_paths(
+        &self,
+        from: NodeId,
+        cur: NodeId,
+        dist: &[usize],
+        stack: &mut Vec<LinkId>,
+        out: &mut Vec<Vec<LinkId>>,
+    ) {
+        if cur == from {
+            let mut p = stack.clone();
+            p.reverse();
+            out.push(p);
+            return;
+        }
+        for (lid, _, prev) in self.neighbors(cur) {
+            if !self.link(lid).up {
+                continue;
+            }
+            if dist[prev.0 as usize] + 1 == dist[cur.0 as usize] {
+                stack.push(lid);
+                self.collect_paths(from, prev, dist, stack, out);
+                stack.pop();
+            }
+        }
+    }
+
+    /// Translates a link path starting at `from` into the node sequence it
+    /// visits. Returns `None` if the path is not connected.
+    pub fn path_nodes(&self, from: NodeId, path: &[LinkId]) -> Option<Vec<NodeId>> {
+        let mut nodes = vec![from];
+        let mut cur = from;
+        for lid in path {
+            let link = self.link(*lid);
+            link.endpoint_on(cur)?;
+            cur = link.other(cur);
+            nodes.push(cur);
+        }
+        Some(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+        // h1 - s1 - s2 - h2  with a second parallel middle path s1 - s3 - s2
+        let mut t = Topology::new();
+        let subnet: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let h1 = t.add_host("h1", Ipv4Addr::new(10, 0, 0, 1), subnet);
+        let h2 = t.add_host("h2", Ipv4Addr::new(10, 0, 0, 2), subnet);
+        let s1 = t.add_switch("s1", Ipv4Addr::new(10, 255, 0, 1));
+        let s2 = t.add_switch("s2", Ipv4Addr::new(10, 255, 0, 2));
+        let s3 = t.add_switch("s3", Ipv4Addr::new(10, 255, 0, 3));
+        t.add_link(h1, s1, 1e9, 1000);
+        t.add_link(s1, s2, 1e9, 1000);
+        t.add_link(s1, s3, 1e9, 1000);
+        t.add_link(s3, s2, 1e9, 1000);
+        t.add_link(s2, h2, 1e9, 1000);
+        (t, h1, h2, s1, s2)
+    }
+
+    #[test]
+    fn lookup_by_name_and_ip() {
+        let (t, h1, ..) = diamond();
+        assert_eq!(t.find("h1"), Some(h1));
+        assert_eq!(t.find("nope"), None);
+        assert_eq!(t.find_by_ip(Ipv4Addr::new(10, 0, 0, 1)), Some(h1));
+    }
+
+    #[test]
+    fn ports_allocate_sequentially() {
+        let (t, _, _, s1, _) = diamond();
+        // s1 has 3 links: to h1, s2, s3.
+        assert_eq!(t.node(s1).port_count(), 3);
+        let nbrs = t.neighbors(s1);
+        assert_eq!(nbrs.len(), 3);
+        assert_eq!(nbrs[0].1, PortId(0));
+        assert_eq!(nbrs[2].1, PortId(2));
+    }
+
+    #[test]
+    fn link_between_and_other() {
+        let (t, h1, _, s1, _) = diamond();
+        let (lid, port) = t.link_between(h1, s1).unwrap();
+        assert_eq!(port, PortId(0));
+        assert_eq!(t.link(lid).other(h1), s1);
+        assert_eq!(t.link(lid).other(s1), h1);
+        assert!(t.link_between(h1, NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn hop_distance_bfs() {
+        let (t, h1, h2, ..) = diamond();
+        assert_eq!(t.hop_distance(h1, h2), Some(3));
+        assert_eq!(t.hop_distance(h1, h1), Some(0));
+    }
+
+    #[test]
+    fn down_links_ignored() {
+        let (mut t, h1, h2, s1, s2) = diamond();
+        let (direct, _) = t.link_between(s1, s2).unwrap();
+        t.link_mut(direct).up = false;
+        assert_eq!(t.hop_distance(h1, h2), Some(4), "must detour via s3");
+        assert!(t.link_between(s1, s2).is_none());
+    }
+
+    #[test]
+    fn all_shortest_paths_finds_ecmp() {
+        let (mut t, h1, h2, s1, s2) = diamond();
+        // Two paths of length 3 vs 4: only the short one qualifies.
+        assert_eq!(t.all_shortest_paths(h1, h2).len(), 1);
+        // Take the direct s1-s2 link down: single path of length 4 remains.
+        let (direct, _) = t.link_between(s1, s2).unwrap();
+        t.link_mut(direct).up = false;
+        let paths = t.all_shortest_paths(h1, h2);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 4);
+    }
+
+    #[test]
+    fn equal_cost_paths_enumerated() {
+        // Square: a - {x,y} - b gives two equal-cost 2-hop paths.
+        let mut t = Topology::new();
+        let sn: Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let a = t.add_host("a", Ipv4Addr::new(10, 0, 0, 1), sn);
+        let b = t.add_host("b", Ipv4Addr::new(10, 0, 0, 2), sn);
+        let x = t.add_switch("x", Ipv4Addr::new(10, 255, 0, 1));
+        let y = t.add_switch("y", Ipv4Addr::new(10, 255, 0, 2));
+        t.add_link(a, x, 1e9, 0);
+        t.add_link(a, y, 1e9, 0);
+        t.add_link(x, b, 1e9, 0);
+        t.add_link(y, b, 1e9, 0);
+        let paths = t.all_shortest_paths(a, b);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.len(), 2);
+            assert_eq!(
+                t.path_nodes(a, p).unwrap().last().copied(),
+                Some(b),
+                "path must terminate at b"
+            );
+        }
+    }
+
+    #[test]
+    fn path_nodes_rejects_disconnected() {
+        let (t, h1, _, _, s2) = diamond();
+        let (far_link, _) = t.link_between(s2, t.find("h2").unwrap()).unwrap();
+        assert!(t.path_nodes(h1, &[far_link]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_panic() {
+        let mut t = Topology::new();
+        let sn = Ipv4Prefix::DEFAULT;
+        t.add_host("h", Ipv4Addr::new(1, 1, 1, 1), sn);
+        t.add_host("h", Ipv4Addr::new(1, 1, 1, 2), sn);
+    }
+
+    #[test]
+    fn nodes_of_kind() {
+        let (t, ..) = diamond();
+        assert_eq!(t.nodes_of_kind(NodeKind::Host).len(), 2);
+        assert_eq!(t.nodes_of_kind(NodeKind::Switch).len(), 3);
+        assert_eq!(t.nodes_of_kind(NodeKind::Router).len(), 0);
+    }
+}

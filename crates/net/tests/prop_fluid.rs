@@ -1,0 +1,216 @@
+//! Property tests on the max–min fair fluid allocator.
+//!
+//! For random chain topologies with random flows the solution must satisfy
+//! the defining properties of max–min fairness with demand caps:
+//!
+//! 1. feasibility — every directed link's load ≤ its capacity;
+//! 2. demand caps — 0 ≤ rate ≤ demand for every flow;
+//! 3. bottleneck justification — a flow below its demand traverses at
+//!    least one link that is saturated *in the flow's direction* and on
+//!    which the flow's rate is maximal among same-direction flows (the
+//!    textbook characterization of the max–min allocation).
+//!
+//! Note what is deliberately *not* asserted: removing a flow does not
+//! monotonically help the others — in a parking-lot topology, freeing an
+//! upstream link lets a long flow grab more of a downstream link, hurting
+//! the short flow there. The removal property that does hold is that the
+//! invariants above are re-established after every change.
+
+use horse_net::addr::Ipv4Prefix;
+use horse_net::flow::{FiveTuple, FlowId, FlowSpec};
+use horse_net::fluid::FluidNetwork;
+use horse_net::topology::{LinkId, NodeId, Topology};
+use horse_sim::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const G: f64 = 1e9;
+const TOL: f64 = 1e6; // 1 Mbps tolerance on 1 Gbps links
+
+fn scenario() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..6).prop_flat_map(|n| {
+        let flows = prop::collection::vec(
+            (0..n, 0..n, 0.05f64..1.5).prop_filter("distinct endpoints", |(a, b, _)| a != b),
+            1..12,
+        );
+        (Just(n), flows)
+    })
+}
+
+fn build_chain(n: usize) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let sn: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+    let switches: Vec<NodeId> = (0..n)
+        .map(|i| t.add_switch(format!("s{i}"), Ipv4Addr::new(10, 255, 0, i as u8 + 1)))
+        .collect();
+    for w in switches.windows(2) {
+        t.add_link(w[0], w[1], G, 0);
+    }
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let h = t.add_host(format!("h{i}"), Ipv4Addr::new(10, 0, i as u8, 1), sn);
+            t.add_link(h, switches[i], G, 0);
+            h
+        })
+        .collect();
+    (t, hosts)
+}
+
+fn chain_path(t: &Topology, hosts: &[NodeId], a: usize, b: usize) -> Vec<LinkId> {
+    t.all_shortest_paths(hosts[a], hosts[b])
+        .into_iter()
+        .next()
+        .expect("chain is connected")
+}
+
+/// The direction (`true` = a→b) in which `flow` traverses `lid`, if at all.
+fn dir_of(net: &FluidNetwork, topo: &Topology, flow: FlowId, lid: LinkId) -> Option<bool> {
+    let spec = net.spec(flow)?;
+    let path = net.path(flow)?;
+    let mut cur = spec.src;
+    for l in path {
+        let link = topo.link(*l);
+        let forward = link.a.node == cur;
+        if *l == lid {
+            return Some(forward);
+        }
+        cur = link.other(cur);
+    }
+    None
+}
+
+/// Checks the three max–min invariants for the current allocation.
+fn assert_invariants(
+    net: &FluidNetwork,
+    topo: &Topology,
+    demands: &[(FlowId, f64)],
+) -> Result<(), TestCaseError> {
+    // (2) demand caps.
+    for (id, demand) in demands {
+        if net.rate_of(*id).is_none() {
+            continue; // stopped
+        }
+        let r = net.rate_of(*id).unwrap();
+        prop_assert!(r >= -TOL, "negative rate {r}");
+        prop_assert!(r <= demand + TOL, "rate {r} > demand {demand}");
+    }
+    // (1) feasibility.
+    for lid in topo.link_ids() {
+        let (fwd, rev) = net.link_load(lid);
+        let cap = topo.link(lid).capacity_bps;
+        prop_assert!(fwd <= cap + TOL, "link {lid} fwd {fwd} > {cap}");
+        prop_assert!(rev <= cap + TOL, "link {lid} rev {rev} > {cap}");
+    }
+    // (3) bottleneck justification, same-direction only.
+    for (id, demand) in demands {
+        let Some(r) = net.rate_of(*id) else { continue };
+        if r >= demand - TOL {
+            continue;
+        }
+        let path = net.path(*id).unwrap().to_vec();
+        let mut justified = false;
+        for lid in path {
+            let my_dir = dir_of(net, topo, *id, lid).expect("on own path");
+            let (fwd, rev) = net.link_load(lid);
+            let load = if my_dir { fwd } else { rev };
+            let cap = topo.link(lid).capacity_bps;
+            if load < cap - TOL {
+                continue; // not saturated in my direction
+            }
+            let max_same_dir = net
+                .flows_on_link(lid)
+                .into_iter()
+                .filter(|(f, _)| dir_of(net, topo, *f, lid) == Some(my_dir))
+                .map(|(_, rate)| rate)
+                .fold(0.0f64, f64::max);
+            if r >= max_same_dir - TOL {
+                justified = true;
+                break;
+            }
+        }
+        prop_assert!(
+            justified,
+            "flow {id} at {r} below demand {demand} without bottleneck"
+        );
+    }
+    Ok(())
+}
+
+fn start_all(
+    net: &mut FluidNetwork,
+    topo: &Topology,
+    hosts: &[NodeId],
+    flows: &[(usize, usize, f64)],
+) -> Vec<(FlowId, f64)> {
+    flows
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b, demand))| {
+            let tuple = FiveTuple::udp(
+                Ipv4Addr::new(10, 0, *a as u8, 1),
+                1000 + i as u16,
+                Ipv4Addr::new(10, 0, *b as u8, 1),
+                2000,
+            );
+            let spec = FlowSpec::cbr(hosts[*a], hosts[*b], tuple, demand * G);
+            let path = chain_path(topo, hosts, *a, *b);
+            let (id, _) = net.start(SimTime::ZERO, spec, path, topo).unwrap();
+            (id, demand * G)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn max_min_invariants((n, flows) in scenario()) {
+        let (topo, hosts) = build_chain(n);
+        let mut net = FluidNetwork::new();
+        let demands = start_all(&mut net, &topo, &hosts, &flows);
+        assert_invariants(&net, &topo, &demands)?;
+    }
+
+    /// The invariants are re-established after every removal, in any order.
+    #[test]
+    fn invariants_survive_removals(
+        (n, flows) in scenario(),
+        stop_order in prop::collection::vec(0usize..12, 0..12),
+    ) {
+        let (topo, hosts) = build_chain(n);
+        let mut net = FluidNetwork::new();
+        let demands = start_all(&mut net, &topo, &hosts, &flows);
+        let mut t = 1u64;
+        for s in stop_order {
+            if let Some((id, _)) = demands.get(s) {
+                if net.rate_of(*id).is_some() {
+                    net.stop(SimTime::from_millis(t), *id, &topo).unwrap();
+                    t += 1;
+                    assert_invariants(&net, &topo, &demands)?;
+                }
+            }
+        }
+    }
+
+    /// Byte accounting: advancing time in arbitrary increments accrues
+    /// exactly rate × time (for a stable single flow).
+    #[test]
+    fn byte_accounting_is_exact(steps in prop::collection::vec(1u64..1_000, 1..20)) {
+        let (topo, hosts) = build_chain(2);
+        let mut net = FluidNetwork::new();
+        let tuple = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 1, 1), 2,
+        );
+        let spec = FlowSpec::cbr(hosts[0], hosts[1], tuple, 0.25 * G);
+        let path = chain_path(&topo, &hosts, 0, 1);
+        let (id, _) = net.start(SimTime::ZERO, spec, path, &topo).unwrap();
+        let mut now_ms = 0u64;
+        for s in &steps {
+            now_ms += s;
+            net.advance(SimTime::from_millis(now_ms));
+        }
+        let expect = 0.25 * G / 8.0 * (now_ms as f64 / 1e3);
+        let got = net.progress(id).unwrap().bytes_sent;
+        prop_assert!((got - expect).abs() < 1.0, "{got} vs {expect}");
+    }
+}

@@ -1,0 +1,411 @@
+//! The switch-side OpenFlow agent.
+//!
+//! Each simulated switch runs one agent: a sans-IO state machine speaking
+//! OF 1.0 to the controller. The agent handles the handshake (HELLO,
+//! FEATURES, ECHO, BARRIER) itself; table-touching messages (FLOW_MOD,
+//! stats requests, PACKET_OUT) are surfaced as [`AgentEvent`]s because the
+//! flow table lives in the simulated data plane (`horse-dataplane`) and is
+//! edited by the Connection Manager, which also answers stats requests from
+//! the fluid model's counters.
+
+use crate::wire::{
+    FeaturesReply, FlowMod, FlowRemoved, FlowStatsEntry, OfMessage, OfPacket, PacketIn,
+    PacketOut, PortDesc, PortStatsEntry, PortStatus, StatsBody, StreamDecoder, WireError,
+};
+use bytes::Bytes;
+use horse_dataplane::flowtable::Match;
+
+/// Outputs of the agent, drained by the Connection Manager.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentEvent {
+    /// Bytes for the controller connection.
+    SendBytes(Bytes),
+    /// A FLOW_MOD to apply to this switch's table.
+    FlowMod(FlowMod),
+    /// A PACKET_OUT to inject into the data plane.
+    PacketOut(PacketOut),
+    /// The controller asked for flow stats; answer with
+    /// [`SwitchAgent::send_flow_stats`] using the same xid.
+    FlowStatsRequest {
+        /// Transaction id to echo.
+        xid: u32,
+        /// Match filter.
+        matcher: Match,
+        /// Out-port filter (OFPP_NONE = any).
+        out_port: u16,
+    },
+    /// The controller asked for port stats; answer with
+    /// [`SwitchAgent::send_port_stats`] using the same xid.
+    PortStatsRequest {
+        /// Transaction id to echo.
+        xid: u32,
+        /// Port filter (OFPP_NONE = all).
+        port_no: u16,
+    },
+    /// The byte stream was unparseable; the connection should be reset.
+    ProtocolError(WireError),
+}
+
+/// The switch agent.
+#[derive(Debug)]
+pub struct SwitchAgent {
+    dpid: u64,
+    ports: Vec<PortDesc>,
+    decoder: StreamDecoder,
+    events: Vec<AgentEvent>,
+    next_xid: u32,
+    hello_sent: bool,
+    /// Messages received (observability; every one is control activity).
+    pub msgs_received: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+}
+
+impl SwitchAgent {
+    /// Creates an agent for a switch with the given datapath id and ports.
+    pub fn new(dpid: u64, ports: Vec<PortDesc>) -> SwitchAgent {
+        SwitchAgent {
+            dpid,
+            ports,
+            decoder: StreamDecoder::new(),
+            events: Vec::new(),
+            next_xid: 1,
+            hello_sent: false,
+            msgs_received: 0,
+            msgs_sent: 0,
+        }
+    }
+
+    /// Datapath id.
+    pub fn dpid(&self) -> u64 {
+        self.dpid
+    }
+
+    /// Drains queued events.
+    pub fn take_events(&mut self) -> Vec<AgentEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The transport to the controller came up: send HELLO.
+    pub fn on_connect(&mut self) {
+        if !self.hello_sent {
+            self.hello_sent = true;
+            self.send(OfMessage::Hello);
+        }
+    }
+
+    /// Bytes arrived from the controller.
+    pub fn on_bytes(&mut self, bytes: &[u8]) {
+        self.decoder.push(bytes);
+        loop {
+            match self.decoder.next() {
+                Ok(Some(pkt)) => {
+                    self.msgs_received += 1;
+                    self.dispatch(pkt);
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    self.events.push(AgentEvent::ProtocolError(e));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, pkt: OfPacket) {
+        match pkt.msg {
+            OfMessage::Hello => {}
+            OfMessage::EchoRequest(data) => {
+                self.send_with_xid(pkt.xid, OfMessage::EchoReply(data));
+            }
+            OfMessage::FeaturesRequest => {
+                let reply = FeaturesReply {
+                    datapath_id: self.dpid,
+                    n_buffers: 256,
+                    n_tables: 1,
+                    capabilities: 0x1, // OFPC_FLOW_STATS
+                    actions: 0x1,      // OFPAT_OUTPUT
+                    ports: self.ports.clone(),
+                };
+                self.send_with_xid(pkt.xid, OfMessage::FeaturesReply(reply));
+            }
+            OfMessage::BarrierRequest => {
+                self.send_with_xid(pkt.xid, OfMessage::BarrierReply);
+            }
+            OfMessage::FlowMod(fm) => {
+                self.events.push(AgentEvent::FlowMod(fm));
+            }
+            OfMessage::PacketOut(po) => {
+                self.events.push(AgentEvent::PacketOut(po));
+            }
+            OfMessage::StatsRequest(StatsBody::FlowRequest { matcher, out_port }) => {
+                self.events.push(AgentEvent::FlowStatsRequest {
+                    xid: pkt.xid,
+                    matcher,
+                    out_port,
+                });
+            }
+            OfMessage::StatsRequest(StatsBody::PortRequest { port_no }) => {
+                self.events.push(AgentEvent::PortStatsRequest {
+                    xid: pkt.xid,
+                    port_no,
+                });
+            }
+            OfMessage::EchoReply(_) | OfMessage::BarrierReply | OfMessage::Error { .. } => {}
+            // Switch-bound streams should not carry these; report errors.
+            OfMessage::FeaturesReply(_)
+            | OfMessage::PacketIn(_)
+            | OfMessage::FlowRemoved(_)
+            | OfMessage::PortStatus(_)
+            | OfMessage::StatsRequest(_)
+            | OfMessage::StatsReply(_) => {
+                self.send(OfMessage::Error {
+                    err_type: 1, // OFPET_BAD_REQUEST
+                    code: 1,     // OFPBRC_BAD_TYPE
+                });
+            }
+        }
+    }
+
+    /// Punts a packet to the controller (table miss or explicit action).
+    pub fn send_packet_in(&mut self, in_port: u16, reason: u8, data: Bytes) {
+        let total_len = data.len() as u16;
+        self.send(OfMessage::PacketIn(PacketIn {
+            buffer_id: 0xffff_ffff,
+            total_len,
+            in_port,
+            reason,
+            data,
+        }));
+    }
+
+    /// Answers a flow-stats request.
+    pub fn send_flow_stats(&mut self, xid: u32, entries: Vec<FlowStatsEntry>) {
+        self.send_with_xid(xid, OfMessage::StatsReply(StatsBody::FlowReply(entries)));
+    }
+
+    /// Answers a port-stats request.
+    pub fn send_port_stats(&mut self, xid: u32, entries: Vec<PortStatsEntry>) {
+        self.send_with_xid(xid, OfMessage::StatsReply(StatsBody::PortReply(entries)));
+    }
+
+    /// Notifies the controller of an expired entry.
+    pub fn send_flow_removed(&mut self, removed: FlowRemoved) {
+        self.send(OfMessage::FlowRemoved(removed));
+    }
+
+    /// Notifies the controller that a port's link changed state.
+    pub fn send_port_status(&mut self, port_no: u16, link_down: bool) {
+        let desc = self
+            .ports
+            .iter()
+            .find(|p| p.port_no == port_no)
+            .cloned()
+            .unwrap_or(PortDesc {
+                port_no,
+                hw_addr: horse_net::addr::MacAddr::ZERO,
+                name: format!("eth{port_no}"),
+            });
+        self.send(OfMessage::PortStatus(PortStatus {
+            reason: crate::wire::OFPPR_MODIFY,
+            link_down,
+            desc,
+        }));
+    }
+
+    /// Sends an unsolicited echo request (keepalive).
+    pub fn send_echo(&mut self) {
+        self.send(OfMessage::EchoRequest(vec![]));
+    }
+
+    fn send(&mut self, msg: OfMessage) {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        self.send_with_xid(xid, msg);
+    }
+
+    fn send_with_xid(&mut self, xid: u32, msg: OfMessage) {
+        self.msgs_sent += 1;
+        self.events
+            .push(AgentEvent::SendBytes(OfPacket::new(xid, msg).encode()));
+    }
+}
+
+/// Builds the `PortDesc` list for a switch from its port count, using the
+/// deterministic per-port MACs the topology assigns.
+pub fn ports_for(node_id: u32, count: u16) -> Vec<PortDesc> {
+    (0..count)
+        .map(|p| PortDesc {
+            port_no: p,
+            hw_addr: horse_net::addr::MacAddr::for_port(node_id, p),
+            name: format!("eth{p}"),
+        })
+        .collect()
+}
+
+// Re-export used by tests and the CM.
+pub use crate::wire::{OFPP_CONTROLLER, OFPP_NONE};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{FlowModCommand, OfAction, OFPR_NO_MATCH};
+
+    fn agent() -> SwitchAgent {
+        SwitchAgent::new(42, ports_for(7, 3))
+    }
+
+    fn bytes_of(events: &[AgentEvent]) -> Vec<Bytes> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                AgentEvent::SendBytes(b) => Some(b.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn connect_sends_hello_once() {
+        let mut a = agent();
+        a.on_connect();
+        a.on_connect();
+        let evs = a.take_events();
+        let sent = bytes_of(&evs);
+        assert_eq!(sent.len(), 1);
+        let (pkt, _) = OfPacket::decode(&sent[0]).unwrap().unwrap();
+        assert_eq!(pkt.msg, OfMessage::Hello);
+    }
+
+    #[test]
+    fn features_handshake() {
+        let mut a = agent();
+        a.on_connect();
+        a.take_events();
+        let req = OfPacket::new(77, OfMessage::FeaturesRequest).encode();
+        a.on_bytes(&req);
+        let evs = a.take_events();
+        let sent = bytes_of(&evs);
+        assert_eq!(sent.len(), 1);
+        let (pkt, _) = OfPacket::decode(&sent[0]).unwrap().unwrap();
+        assert_eq!(pkt.xid, 77, "reply echoes request xid");
+        match pkt.msg {
+            OfMessage::FeaturesReply(f) => {
+                assert_eq!(f.datapath_id, 42);
+                assert_eq!(f.ports.len(), 3);
+            }
+            other => panic!("expected features reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_replied_with_same_payload() {
+        let mut a = agent();
+        a.on_bytes(&OfPacket::new(5, OfMessage::EchoRequest(vec![9, 9])).encode());
+        let sent = bytes_of(&a.take_events());
+        let (pkt, _) = OfPacket::decode(&sent[0]).unwrap().unwrap();
+        assert_eq!(pkt.msg, OfMessage::EchoReply(vec![9, 9]));
+    }
+
+    #[test]
+    fn flow_mod_surfaces_as_event() {
+        let mut a = agent();
+        let fm = FlowMod {
+            matcher: Match::any(),
+            cookie: 1,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 10,
+            buffer_id: 0xffffffff,
+            out_port: OFPP_NONE,
+            flags: 0,
+            actions: vec![OfAction::Output { port: 2, max_len: 0 }],
+        };
+        a.on_bytes(&OfPacket::new(1, OfMessage::FlowMod(fm.clone())).encode());
+        let evs = a.take_events();
+        assert!(evs.iter().any(|e| matches!(e, AgentEvent::FlowMod(got) if *got == fm)));
+    }
+
+    #[test]
+    fn stats_request_and_reply_cycle() {
+        let mut a = agent();
+        a.on_bytes(
+            &OfPacket::new(
+                33,
+                OfMessage::StatsRequest(StatsBody::FlowRequest {
+                    matcher: Match::any(),
+                    out_port: OFPP_NONE,
+                }),
+            )
+            .encode(),
+        );
+        let evs = a.take_events();
+        let (xid, _, _) = evs
+            .iter()
+            .find_map(|e| match e {
+                AgentEvent::FlowStatsRequest {
+                    xid,
+                    matcher,
+                    out_port,
+                } => Some((*xid, *matcher, *out_port)),
+                _ => None,
+            })
+            .expect("stats request surfaced");
+        assert_eq!(xid, 33);
+        a.send_flow_stats(xid, vec![]);
+        let sent = bytes_of(&a.take_events());
+        let (pkt, _) = OfPacket::decode(&sent[0]).unwrap().unwrap();
+        assert_eq!(pkt.xid, 33);
+        assert!(matches!(
+            pkt.msg,
+            OfMessage::StatsReply(StatsBody::FlowReply(_))
+        ));
+    }
+
+    #[test]
+    fn packet_in_encodes() {
+        let mut a = agent();
+        a.send_packet_in(2, OFPR_NO_MATCH, Bytes::from_static(b"pkt"));
+        let sent = bytes_of(&a.take_events());
+        let (pkt, _) = OfPacket::decode(&sent[0]).unwrap().unwrap();
+        match pkt.msg {
+            OfMessage::PacketIn(pi) => {
+                assert_eq!(pi.in_port, 2);
+                assert_eq!(&pi.data[..], b"pkt");
+            }
+            other => panic!("expected packet_in, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_raises_protocol_error() {
+        let mut a = agent();
+        a.on_bytes(&[0x04, 0, 0, 8, 0, 0, 0, 0]); // OF 1.3 version byte
+        let evs = a.take_events();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, AgentEvent::ProtocolError(_))));
+    }
+
+    #[test]
+    fn controller_only_messages_rejected() {
+        let mut a = agent();
+        a.on_bytes(
+            &OfPacket::new(
+                1,
+                OfMessage::PacketIn(PacketIn {
+                    buffer_id: 0,
+                    total_len: 0,
+                    in_port: 0,
+                    reason: 0,
+                    data: Bytes::new(),
+                }),
+            )
+            .encode(),
+        );
+        let sent = bytes_of(&a.take_events());
+        let (pkt, _) = OfPacket::decode(&sent[0]).unwrap().unwrap();
+        assert!(matches!(pkt.msg, OfMessage::Error { .. }));
+    }
+}

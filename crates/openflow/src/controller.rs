@@ -1,0 +1,495 @@
+//! The controller-side connection core.
+//!
+//! A [`Controller`] manages one OpenFlow connection per switch, performs
+//! the handshake (HELLO → FEATURES_REQUEST → FEATURES_REPLY), and
+//! dispatches asynchronous messages into a [`ControllerApp`] — the pluggable
+//! application layer (ECMP, Hedera) that actually decides what rules to
+//! install. Apps issue commands through a [`Ctx`], mirroring how apps on
+//! Ryu/NOX issue OpenFlow calls through the controller runtime.
+
+use crate::wire::{
+    FlowMod, FlowStatsEntry, OfMessage, OfPacket, PacketIn, PacketOut, PortDesc, PortStatsEntry,
+    PortStatus, StatsBody, StreamDecoder, WireError, OFPP_NONE,
+};
+use bytes::Bytes;
+use horse_dataplane::flowtable::Match;
+use horse_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Identifies a switch connection (assigned by the harness).
+pub type ConnId = u32;
+
+/// Commands an app can issue.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    FlowMod(u64, FlowMod),
+    PacketOut(u64, PacketOut),
+    FlowStats(u64, Match, u16),
+    PortStats(u64, u16),
+    WakeAt(SimTime),
+}
+
+/// The app's handle for issuing controller actions.
+pub struct Ctx {
+    now: SimTime,
+    commands: Vec<Command>,
+}
+
+impl Ctx {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Installs/removes a flow entry on switch `dpid`.
+    pub fn flow_mod(&mut self, dpid: u64, fm: FlowMod) {
+        self.commands.push(Command::FlowMod(dpid, fm));
+    }
+
+    /// Injects a packet at switch `dpid`.
+    pub fn packet_out(&mut self, dpid: u64, po: PacketOut) {
+        self.commands.push(Command::PacketOut(dpid, po));
+    }
+
+    /// Requests flow statistics from `dpid`.
+    pub fn request_flow_stats(&mut self, dpid: u64) {
+        self.commands
+            .push(Command::FlowStats(dpid, Match::any(), OFPP_NONE));
+    }
+
+    /// Requests port statistics from `dpid` (all ports).
+    pub fn request_port_stats(&mut self, dpid: u64) {
+        self.commands.push(Command::PortStats(dpid, OFPP_NONE));
+    }
+
+    /// Asks the runtime to call [`ControllerApp::on_timer`] at `when`.
+    pub fn wake_at(&mut self, when: SimTime) {
+        self.commands.push(Command::WakeAt(when));
+    }
+}
+
+/// An SDN application driven by the controller core.
+pub trait ControllerApp {
+    /// A switch finished its handshake.
+    fn on_switch_ready(&mut self, dpid: u64, ports: &[PortDesc], ctx: &mut Ctx);
+
+    /// A PACKET_IN arrived from `dpid`.
+    fn on_packet_in(&mut self, dpid: u64, pkt: &PacketIn, ctx: &mut Ctx);
+
+    /// A flow-stats reply arrived.
+    fn on_flow_stats(&mut self, _dpid: u64, _stats: &[FlowStatsEntry], _ctx: &mut Ctx) {}
+
+    /// A port-stats reply arrived.
+    fn on_port_stats(&mut self, _dpid: u64, _stats: &[PortStatsEntry], _ctx: &mut Ctx) {}
+
+    /// A PORT_STATUS arrived: a switch port's link changed state.
+    fn on_port_status(&mut self, _dpid: u64, _port_no: u16, _link_down: bool, _ctx: &mut Ctx) {}
+
+    /// A previously requested wake-up fired.
+    fn on_timer(&mut self, _now: SimTime, _ctx: &mut Ctx) {}
+}
+
+/// Events emitted by the controller core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerEvent {
+    /// Bytes for a switch connection.
+    SendBytes {
+        /// Connection to write to.
+        conn: ConnId,
+        /// Encoded message.
+        bytes: Bytes,
+    },
+    /// The app asked to be woken at this time; the harness must schedule it
+    /// and call [`Controller::on_timer`] then.
+    WakeAt(SimTime),
+    /// A connection produced unparseable bytes.
+    ProtocolError {
+        /// The offending connection.
+        conn: ConnId,
+        /// The error.
+        error: WireError,
+    },
+}
+
+#[derive(Debug)]
+struct Conn {
+    decoder: StreamDecoder,
+    dpid: Option<u64>,
+}
+
+/// The OpenFlow controller runtime (sans-IO).
+pub struct Controller {
+    conns: BTreeMap<ConnId, Conn>,
+    by_dpid: BTreeMap<u64, ConnId>,
+    events: Vec<ControllerEvent>,
+    next_xid: u32,
+    /// Total messages received (observability / control-activity counting).
+    pub msgs_received: u64,
+    /// Total messages sent.
+    pub msgs_sent: u64,
+}
+
+impl Default for Controller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Controller {
+    /// An empty controller.
+    pub fn new() -> Controller {
+        Controller {
+            conns: BTreeMap::new(),
+            by_dpid: BTreeMap::new(),
+            events: Vec::new(),
+            next_xid: 1,
+            msgs_received: 0,
+            msgs_sent: 0,
+        }
+    }
+
+    /// Drains queued events.
+    pub fn take_events(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Datapath ids of switches that completed the handshake.
+    pub fn ready_switches(&self) -> Vec<u64> {
+        self.by_dpid.keys().copied().collect()
+    }
+
+    /// A new switch connection: send HELLO and FEATURES_REQUEST.
+    pub fn on_switch_connected(&mut self, conn: ConnId) {
+        self.conns.insert(
+            conn,
+            Conn {
+                decoder: StreamDecoder::new(),
+                dpid: None,
+            },
+        );
+        self.send(conn, OfMessage::Hello);
+        self.send(conn, OfMessage::FeaturesRequest);
+    }
+
+    /// A switch connection dropped.
+    pub fn on_switch_disconnected(&mut self, conn: ConnId) {
+        if let Some(c) = self.conns.remove(&conn) {
+            if let Some(dpid) = c.dpid {
+                self.by_dpid.remove(&dpid);
+            }
+        }
+    }
+
+    /// Bytes arrived from a switch.
+    pub fn on_bytes(
+        &mut self,
+        conn: ConnId,
+        now: SimTime,
+        bytes: &[u8],
+        app: &mut dyn ControllerApp,
+    ) {
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        c.decoder.push(bytes);
+        loop {
+            let pkt = match self.conns.get_mut(&conn).expect("checked").decoder.next() {
+                Ok(Some(pkt)) => pkt,
+                Ok(None) => break,
+                Err(error) => {
+                    self.events
+                        .push(ControllerEvent::ProtocolError { conn, error });
+                    break;
+                }
+            };
+            self.msgs_received += 1;
+            self.dispatch(conn, now, pkt, app);
+        }
+    }
+
+    /// The harness-scheduled timer fired.
+    pub fn on_timer(&mut self, now: SimTime, app: &mut dyn ControllerApp) {
+        let mut ctx = Ctx {
+            now,
+            commands: Vec::new(),
+        };
+        app.on_timer(now, &mut ctx);
+        self.apply(ctx);
+    }
+
+    fn dispatch(&mut self, conn: ConnId, now: SimTime, pkt: OfPacket, app: &mut dyn ControllerApp) {
+        let mut ctx = Ctx {
+            now,
+            commands: Vec::new(),
+        };
+        match pkt.msg {
+            OfMessage::Hello => {}
+            OfMessage::EchoRequest(data) => {
+                self.send_with_xid(conn, pkt.xid, OfMessage::EchoReply(data));
+            }
+            OfMessage::FeaturesReply(f) => {
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.dpid = Some(f.datapath_id);
+                }
+                self.by_dpid.insert(f.datapath_id, conn);
+                app.on_switch_ready(f.datapath_id, &f.ports, &mut ctx);
+            }
+            OfMessage::PacketIn(pi) => {
+                if let Some(dpid) = self.dpid_of(conn) {
+                    app.on_packet_in(dpid, &pi, &mut ctx);
+                }
+            }
+            OfMessage::StatsReply(StatsBody::FlowReply(entries)) => {
+                if let Some(dpid) = self.dpid_of(conn) {
+                    app.on_flow_stats(dpid, &entries, &mut ctx);
+                }
+            }
+            OfMessage::StatsReply(StatsBody::PortReply(entries)) => {
+                if let Some(dpid) = self.dpid_of(conn) {
+                    app.on_port_stats(dpid, &entries, &mut ctx);
+                }
+            }
+            OfMessage::PortStatus(PortStatus {
+                link_down, desc, ..
+            }) => {
+                if let Some(dpid) = self.dpid_of(conn) {
+                    app.on_port_status(dpid, desc.port_no, link_down, &mut ctx);
+                }
+            }
+            OfMessage::EchoReply(_)
+            | OfMessage::BarrierReply
+            | OfMessage::Error { .. }
+            | OfMessage::FlowRemoved(_) => {}
+            // Switch-bound messages on a controller connection: protocol
+            // violation; answer with an error.
+            _ => {
+                self.send(
+                    conn,
+                    OfMessage::Error {
+                        err_type: 1,
+                        code: 1,
+                    },
+                );
+            }
+        }
+        self.apply(ctx);
+    }
+
+    fn dpid_of(&self, conn: ConnId) -> Option<u64> {
+        self.conns.get(&conn).and_then(|c| c.dpid)
+    }
+
+    fn apply(&mut self, ctx: Ctx) {
+        for cmd in ctx.commands {
+            match cmd {
+                Command::FlowMod(dpid, fm) => {
+                    if let Some(conn) = self.by_dpid.get(&dpid).copied() {
+                        self.send(conn, OfMessage::FlowMod(fm));
+                    }
+                }
+                Command::PacketOut(dpid, po) => {
+                    if let Some(conn) = self.by_dpid.get(&dpid).copied() {
+                        self.send(conn, OfMessage::PacketOut(po));
+                    }
+                }
+                Command::FlowStats(dpid, matcher, out_port) => {
+                    if let Some(conn) = self.by_dpid.get(&dpid).copied() {
+                        self.send(
+                            conn,
+                            OfMessage::StatsRequest(StatsBody::FlowRequest { matcher, out_port }),
+                        );
+                    }
+                }
+                Command::PortStats(dpid, port_no) => {
+                    if let Some(conn) = self.by_dpid.get(&dpid).copied() {
+                        self.send(conn, OfMessage::StatsRequest(StatsBody::PortRequest { port_no }));
+                    }
+                }
+                Command::WakeAt(t) => self.events.push(ControllerEvent::WakeAt(t)),
+            }
+        }
+    }
+
+    fn send(&mut self, conn: ConnId, msg: OfMessage) {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        self.send_with_xid(conn, xid, msg);
+    }
+
+    fn send_with_xid(&mut self, conn: ConnId, xid: u32, msg: OfMessage) {
+        self.msgs_sent += 1;
+        self.events.push(ControllerEvent::SendBytes {
+            conn,
+            bytes: OfPacket::new(xid, msg).encode(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{ports_for, AgentEvent, SwitchAgent};
+    use crate::wire::{FlowModCommand, OfAction, OFPR_NO_MATCH};
+    use horse_net::topology::PortId;
+
+    /// A trivial app: pins every PACKET_IN's flow out port 1 and records
+    /// callbacks.
+    #[derive(Default)]
+    struct RecorderApp {
+        ready: Vec<u64>,
+        packet_ins: Vec<(u64, u16)>,
+        stats: Vec<(u64, usize)>,
+        timers: Vec<SimTime>,
+    }
+
+    impl ControllerApp for RecorderApp {
+        fn on_switch_ready(&mut self, dpid: u64, _ports: &[PortDesc], ctx: &mut Ctx) {
+            self.ready.push(dpid);
+            ctx.wake_at(SimTime::from_secs(5));
+        }
+
+        fn on_packet_in(&mut self, dpid: u64, pkt: &PacketIn, ctx: &mut Ctx) {
+            self.packet_ins.push((dpid, pkt.in_port));
+            ctx.flow_mod(
+                dpid,
+                FlowMod {
+                    matcher: Match {
+                        in_port: Some(PortId(pkt.in_port)),
+                        ..Match::default()
+                    },
+                    cookie: 0,
+                    command: FlowModCommand::Add,
+                    idle_timeout: 0,
+                    hard_timeout: 0,
+                    priority: 10,
+                    buffer_id: 0xffffffff,
+                    out_port: OFPP_NONE,
+                    flags: 0,
+                    actions: vec![OfAction::Output { port: 1, max_len: 0 }],
+                },
+            );
+        }
+
+        fn on_flow_stats(&mut self, dpid: u64, stats: &[FlowStatsEntry], _ctx: &mut Ctx) {
+            self.stats.push((dpid, stats.len()));
+        }
+
+        fn on_timer(&mut self, now: SimTime, ctx: &mut Ctx) {
+            self.timers.push(now);
+            // Poll stats from every ready switch — Hedera-style.
+            ctx.request_flow_stats(42);
+        }
+    }
+
+    /// Wires a controller and one agent together, shuttling until quiet.
+    fn shuttle(ctl: &mut Controller, agent: &mut SwitchAgent, app: &mut RecorderApp, now: SimTime) {
+        loop {
+            let mut moved = false;
+            for ev in ctl.take_events() {
+                if let ControllerEvent::SendBytes { bytes, .. } = ev {
+                    agent.on_bytes(&bytes);
+                    moved = true;
+                }
+            }
+            for ev in agent.take_events() {
+                match ev {
+                    AgentEvent::SendBytes(bytes) => {
+                        ctl.on_bytes(0, now, &bytes, app);
+                        moved = true;
+                    }
+                    AgentEvent::FlowStatsRequest { xid, .. } => {
+                        agent.send_flow_stats(xid, vec![]);
+                        moved = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !moved {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_reports_switch_ready() {
+        let mut ctl = Controller::new();
+        let mut agent = SwitchAgent::new(42, ports_for(1, 4));
+        let mut app = RecorderApp::default();
+        ctl.on_switch_connected(0);
+        agent.on_connect();
+        shuttle(&mut ctl, &mut agent, &mut app, SimTime::ZERO);
+        assert_eq!(app.ready, vec![42]);
+        assert_eq!(ctl.ready_switches(), vec![42]);
+        // The app's wake request surfaced.
+        // (already drained in shuttle; request a timer directly)
+        ctl.on_timer(SimTime::from_secs(5), &mut app);
+        assert_eq!(app.timers, vec![SimTime::from_secs(5)]);
+    }
+
+    #[test]
+    fn packet_in_triggers_flow_mod() {
+        let mut ctl = Controller::new();
+        let mut agent = SwitchAgent::new(42, ports_for(1, 4));
+        let mut app = RecorderApp::default();
+        ctl.on_switch_connected(0);
+        agent.on_connect();
+        shuttle(&mut ctl, &mut agent, &mut app, SimTime::ZERO);
+        agent.send_packet_in(3, OFPR_NO_MATCH, Bytes::from_static(b"x"));
+        // Deliver PACKET_IN to controller; its FLOW_MOD flows back.
+        let mut fm_seen = false;
+        for _ in 0..4 {
+            for ev in agent.take_events() {
+                match ev {
+                    AgentEvent::SendBytes(b) => ctl.on_bytes(0, SimTime::ZERO, &b, &mut app),
+                    AgentEvent::FlowMod(_) => fm_seen = true,
+                    _ => {}
+                }
+            }
+            for ev in ctl.take_events() {
+                if let ControllerEvent::SendBytes { bytes, .. } = ev {
+                    agent.on_bytes(&bytes);
+                }
+            }
+        }
+        assert_eq!(app.packet_ins, vec![(42, 3)]);
+        assert!(fm_seen, "flow mod reached the switch");
+    }
+
+    #[test]
+    fn timer_drives_stats_polling() {
+        let mut ctl = Controller::new();
+        let mut agent = SwitchAgent::new(42, ports_for(1, 2));
+        let mut app = RecorderApp::default();
+        ctl.on_switch_connected(0);
+        agent.on_connect();
+        shuttle(&mut ctl, &mut agent, &mut app, SimTime::ZERO);
+        ctl.on_timer(SimTime::from_secs(5), &mut app);
+        shuttle(&mut ctl, &mut agent, &mut app, SimTime::from_secs(5));
+        assert_eq!(app.stats, vec![(42, 0)], "empty stats reply delivered");
+    }
+
+    #[test]
+    fn disconnect_forgets_switch() {
+        let mut ctl = Controller::new();
+        let mut agent = SwitchAgent::new(42, ports_for(1, 2));
+        let mut app = RecorderApp::default();
+        ctl.on_switch_connected(0);
+        agent.on_connect();
+        shuttle(&mut ctl, &mut agent, &mut app, SimTime::ZERO);
+        ctl.on_switch_disconnected(0);
+        assert!(ctl.ready_switches().is_empty());
+    }
+
+    #[test]
+    fn protocol_error_surfaces() {
+        let mut ctl = Controller::new();
+        let mut app = RecorderApp::default();
+        ctl.on_switch_connected(0);
+        ctl.take_events();
+        ctl.on_bytes(0, SimTime::ZERO, &[0x09, 0, 0, 8, 0, 0, 0, 0], &mut app);
+        assert!(ctl
+            .take_events()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::ProtocolError { .. })));
+    }
+}

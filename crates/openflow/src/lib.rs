@@ -1,0 +1,27 @@
+//! # horse-openflow — OpenFlow 1.0 for the emulated SDN control plane
+//!
+//! Horse's SDN scenarios run a real controller over a real protocol: this
+//! crate implements the OpenFlow 1.0 wire format and the two endpoints —
+//! a switch-side agent and a controller-side connection core — both sans-IO
+//! state machines, mirroring how `horse-bgp` emulates routing daemons.
+//!
+//! * [`wire`] — byte-exact OF 1.0 codec: HELLO, ECHO, FEATURES,
+//!   PACKET_IN/OUT, FLOW_MOD, FLOW_REMOVED, PORT_STATUS, STATS
+//!   (flow + port), BARRIER; `ofp_match` with prefix-mask wildcards.
+//! * [`agent`] — the switch agent: handshake, echo, translating FLOW_MODs
+//!   into flow-table edits (applied by the Connection Manager), punting
+//!   unmatched flows as PACKET_INs.
+//! * [`controller`] — the controller core: per-switch handshake and
+//!   dispatch into a [`controller::ControllerApp`] (the ECMP and Hedera
+//!   apps live in `horse-controller`).
+
+pub mod agent;
+pub mod controller;
+pub mod wire;
+
+pub use agent::{AgentEvent, SwitchAgent};
+pub use controller::{Controller, ControllerApp, ControllerEvent, Ctx};
+pub use wire::{
+    FlowModCommand, FlowStatsEntry, OfAction, OfMessage, OfPacket, PacketIn, PortDesc,
+    PortStatsEntry, StatsBody, OFPP_CONTROLLER, OFPP_FLOOD, OFPP_NONE,
+};

@@ -1,0 +1,1291 @@
+//! OpenFlow 1.0 wire codec.
+//!
+//! Implements the subset of OF 1.0 the experiments exercise, with exact
+//! on-wire layouts (struct sizes match the spec: `ofp_match` is 40 bytes,
+//! `ofp_phy_port` 48, `ofp_flow_stats` 88 + actions, `ofp_port_stats` 104).
+//! Decoding is total: malformed input produces [`WireError`], never panics.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use horse_dataplane::flowtable::Match;
+use horse_net::addr::{Ipv4Prefix, MacAddr};
+use horse_net::topology::PortId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Protocol version byte for OF 1.0.
+pub const OFP_VERSION: u8 = 0x01;
+/// Fixed header size.
+pub const OFP_HEADER_LEN: usize = 8;
+
+/// Virtual port: send to controller.
+pub const OFPP_CONTROLLER: u16 = 0xfffd;
+/// Virtual port: flood.
+pub const OFPP_FLOOD: u16 = 0xfffb;
+/// Virtual port: none.
+pub const OFPP_NONE: u16 = 0xffff;
+
+// Wildcard bit positions (ofp_flow_wildcards).
+const OFPFW_IN_PORT: u32 = 1 << 0;
+const OFPFW_DL_VLAN: u32 = 1 << 1;
+const OFPFW_DL_SRC: u32 = 1 << 2;
+const OFPFW_DL_DST: u32 = 1 << 3;
+const OFPFW_DL_TYPE: u32 = 1 << 4;
+const OFPFW_NW_PROTO: u32 = 1 << 5;
+const OFPFW_TP_SRC: u32 = 1 << 6;
+const OFPFW_TP_DST: u32 = 1 << 7;
+const OFPFW_NW_SRC_SHIFT: u32 = 8;
+const OFPFW_NW_DST_SHIFT: u32 = 14;
+const OFPFW_DL_VLAN_PCP: u32 = 1 << 20;
+const OFPFW_NW_TOS: u32 = 1 << 21;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Not enough bytes for the declared structure.
+    Truncated(&'static str),
+    /// Version byte other than 0x01.
+    BadVersion(u8),
+    /// Unknown message type.
+    BadType(u8),
+    /// Structurally invalid field.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated(w) => write!(f, "truncated {w}"),
+            WireError::BadVersion(v) => write!(f, "bad version {v:#x}"),
+            WireError::BadType(t) => write!(f, "bad message type {t}"),
+            WireError::Malformed(w) => write!(f, "malformed {w}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Physical port description (`ofp_phy_port`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortDesc {
+    /// Port number.
+    pub port_no: u16,
+    /// MAC address.
+    pub hw_addr: MacAddr,
+    /// Port name (up to 15 bytes + NUL on the wire).
+    pub name: String,
+}
+
+/// Switch features (`ofp_switch_features` reply body).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeaturesReply {
+    /// Datapath id.
+    pub datapath_id: u64,
+    /// Packet buffer count.
+    pub n_buffers: u32,
+    /// Number of tables.
+    pub n_tables: u8,
+    /// Capability bitmap.
+    pub capabilities: u32,
+    /// Supported action bitmap.
+    pub actions: u32,
+    /// Physical ports.
+    pub ports: Vec<PortDesc>,
+}
+
+/// Reason codes for PACKET_IN.
+pub const OFPR_NO_MATCH: u8 = 0;
+/// Explicit send-to-controller action.
+pub const OFPR_ACTION: u8 = 1;
+
+/// PACKET_IN body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketIn {
+    /// Buffer id at the switch (`0xffffffff` = unbuffered).
+    pub buffer_id: u32,
+    /// Full length of the original frame.
+    pub total_len: u16,
+    /// Arrival port.
+    pub in_port: u16,
+    /// Why it was punted.
+    pub reason: u8,
+    /// (Partial) packet bytes.
+    #[serde(skip, default)]
+    pub data: Bytes,
+}
+
+/// PACKET_OUT body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketOut {
+    /// Buffer to release, or `0xffffffff` with inline data.
+    pub buffer_id: u32,
+    /// Port the packet "arrived" on (or OFPP_NONE).
+    pub in_port: u16,
+    /// Actions to apply.
+    pub actions: Vec<OfAction>,
+    /// Inline packet data (when unbuffered).
+    #[serde(skip, default)]
+    pub data: Bytes,
+}
+
+/// An OF 1.0 action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OfAction {
+    /// Forward out a port (`max_len` caps controller copies).
+    Output {
+        /// Output port (physical or virtual).
+        port: u16,
+        /// Bytes to send to controller when port = OFPP_CONTROLLER.
+        max_len: u16,
+    },
+}
+
+/// FLOW_MOD commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowModCommand {
+    /// Install.
+    Add,
+    /// Modify matching flows.
+    Modify,
+    /// Modify strictly matching flow.
+    ModifyStrict,
+    /// Delete matching flows.
+    Delete,
+    /// Delete strictly matching flow.
+    DeleteStrict,
+}
+
+impl FlowModCommand {
+    fn code(self) -> u16 {
+        match self {
+            FlowModCommand::Add => 0,
+            FlowModCommand::Modify => 1,
+            FlowModCommand::ModifyStrict => 2,
+            FlowModCommand::Delete => 3,
+            FlowModCommand::DeleteStrict => 4,
+        }
+    }
+
+    fn from_code(c: u16) -> Result<Self, WireError> {
+        Ok(match c {
+            0 => FlowModCommand::Add,
+            1 => FlowModCommand::Modify,
+            2 => FlowModCommand::ModifyStrict,
+            3 => FlowModCommand::Delete,
+            4 => FlowModCommand::DeleteStrict,
+            _ => return Err(WireError::Malformed("flow_mod command")),
+        })
+    }
+}
+
+/// FLOW_MOD body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowMod {
+    /// Match condition.
+    pub matcher: Match,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Command.
+    pub command: FlowModCommand,
+    /// Idle timeout, seconds.
+    pub idle_timeout: u16,
+    /// Hard timeout, seconds.
+    pub hard_timeout: u16,
+    /// Priority.
+    pub priority: u16,
+    /// Buffered packet to apply to, or `0xffffffff`.
+    pub buffer_id: u32,
+    /// Output-port filter for deletes.
+    pub out_port: u16,
+    /// OFPFF_* flags (bit 0 = send FLOW_REMOVED).
+    pub flags: u16,
+    /// Actions.
+    pub actions: Vec<OfAction>,
+}
+
+/// FLOW_REMOVED body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRemoved {
+    /// The removed entry's match.
+    pub matcher: Match,
+    /// Its cookie.
+    pub cookie: u64,
+    /// Its priority.
+    pub priority: u16,
+    /// Removal reason (0 = idle, 1 = hard, 2 = delete).
+    pub reason: u8,
+    /// Lifetime seconds.
+    pub duration_sec: u32,
+    /// Its idle timeout.
+    pub idle_timeout: u16,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+}
+
+/// One `ofp_flow_stats` entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowStatsEntry {
+    /// The entry's match.
+    pub matcher: Match,
+    /// Seconds alive.
+    pub duration_sec: u32,
+    /// Priority.
+    pub priority: u16,
+    /// Idle timeout.
+    pub idle_timeout: u16,
+    /// Hard timeout.
+    pub hard_timeout: u16,
+    /// Cookie.
+    pub cookie: u64,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// Actions.
+    pub actions: Vec<OfAction>,
+}
+
+/// One `ofp_port_stats` entry (only the counters the apps read are
+/// surfaced; the rest encode as zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PortStatsEntry {
+    /// Port number.
+    pub port_no: u16,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Packets sent.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+}
+
+/// STATS request/reply bodies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StatsBody {
+    /// Flow stats request: match filter + out-port filter.
+    FlowRequest {
+        /// Filter match.
+        matcher: Match,
+        /// Filter on output port (OFPP_NONE = any).
+        out_port: u16,
+    },
+    /// Flow stats reply.
+    FlowReply(Vec<FlowStatsEntry>),
+    /// Port stats request (OFPP_NONE = all ports).
+    PortRequest {
+        /// Port to query.
+        port_no: u16,
+    },
+    /// Port stats reply.
+    PortReply(Vec<PortStatsEntry>),
+}
+
+/// PORT_STATUS reason codes.
+pub const OFPPR_ADD: u8 = 0;
+/// Port deleted.
+pub const OFPPR_DELETE: u8 = 1;
+/// Port state/config changed (link up/down).
+pub const OFPPR_MODIFY: u8 = 2;
+
+/// PORT_STATUS body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortStatus {
+    /// Why (OFPPR_*).
+    pub reason: u8,
+    /// True when the port's link is down (mirrors OFPPS_LINK_DOWN in the
+    /// `state` field of the wire struct).
+    pub link_down: bool,
+    /// The port.
+    pub desc: PortDesc,
+}
+
+/// An OpenFlow message (without the xid, carried by [`OfPacket`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OfMessage {
+    /// Version negotiation.
+    Hello,
+    /// Error report.
+    Error {
+        /// Error type.
+        err_type: u16,
+        /// Error code.
+        code: u16,
+    },
+    /// Liveness probe.
+    EchoRequest(Vec<u8>),
+    /// Liveness answer.
+    EchoReply(Vec<u8>),
+    /// Ask the switch for its features.
+    FeaturesRequest,
+    /// The switch's features.
+    FeaturesReply(FeaturesReply),
+    /// Unmatched (or punted) packet.
+    PacketIn(PacketIn),
+    /// Controller-originated packet.
+    PacketOut(PacketOut),
+    /// Table modification.
+    FlowMod(FlowMod),
+    /// Entry expired/deleted.
+    FlowRemoved(FlowRemoved),
+    /// A port changed state (link up/down).
+    PortStatus(PortStatus),
+    /// Statistics request.
+    StatsRequest(StatsBody),
+    /// Statistics reply.
+    StatsReply(StatsBody),
+    /// Barrier request.
+    BarrierRequest,
+    /// Barrier reply.
+    BarrierReply,
+}
+
+impl OfMessage {
+    fn type_code(&self) -> u8 {
+        match self {
+            OfMessage::Hello => 0,
+            OfMessage::Error { .. } => 1,
+            OfMessage::EchoRequest(_) => 2,
+            OfMessage::EchoReply(_) => 3,
+            OfMessage::FeaturesRequest => 5,
+            OfMessage::FeaturesReply(_) => 6,
+            OfMessage::PacketIn(_) => 10,
+            OfMessage::FlowRemoved(_) => 11,
+            OfMessage::PortStatus(_) => 12,
+            OfMessage::PacketOut(_) => 13,
+            OfMessage::FlowMod(_) => 14,
+            OfMessage::StatsRequest(_) => 16,
+            OfMessage::StatsReply(_) => 17,
+            OfMessage::BarrierRequest => 18,
+            OfMessage::BarrierReply => 19,
+        }
+    }
+}
+
+/// A framed message: xid + payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfPacket {
+    /// Transaction id (replies echo the request's).
+    pub xid: u32,
+    /// The message.
+    pub msg: OfMessage,
+}
+
+impl OfPacket {
+    /// Frames a message.
+    pub fn new(xid: u32, msg: OfMessage) -> OfPacket {
+        OfPacket { xid, msg }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        match &self.msg {
+            OfMessage::Hello | OfMessage::FeaturesRequest | OfMessage::BarrierRequest
+            | OfMessage::BarrierReply => {}
+            OfMessage::Error { err_type, code } => {
+                body.put_u16(*err_type);
+                body.put_u16(*code);
+            }
+            OfMessage::EchoRequest(d) | OfMessage::EchoReply(d) => body.put_slice(d),
+            OfMessage::FeaturesReply(f) => {
+                body.put_u64(f.datapath_id);
+                body.put_u32(f.n_buffers);
+                body.put_u8(f.n_tables);
+                body.put_slice(&[0; 3]);
+                body.put_u32(f.capabilities);
+                body.put_u32(f.actions);
+                for p in &f.ports {
+                    encode_port(p, &mut body);
+                }
+            }
+            OfMessage::PacketIn(p) => {
+                body.put_u32(p.buffer_id);
+                body.put_u16(p.total_len);
+                body.put_u16(p.in_port);
+                body.put_u8(p.reason);
+                body.put_u8(0);
+                body.put_slice(&p.data);
+            }
+            OfMessage::PacketOut(p) => {
+                body.put_u32(p.buffer_id);
+                body.put_u16(p.in_port);
+                let mut acts = BytesMut::new();
+                encode_actions(&p.actions, &mut acts);
+                body.put_u16(acts.len() as u16);
+                body.put_slice(&acts);
+                body.put_slice(&p.data);
+            }
+            OfMessage::FlowMod(m) => {
+                encode_match(&m.matcher, &mut body);
+                body.put_u64(m.cookie);
+                body.put_u16(m.command.code());
+                body.put_u16(m.idle_timeout);
+                body.put_u16(m.hard_timeout);
+                body.put_u16(m.priority);
+                body.put_u32(m.buffer_id);
+                body.put_u16(m.out_port);
+                body.put_u16(m.flags);
+                encode_actions(&m.actions, &mut body);
+            }
+            OfMessage::FlowRemoved(r) => {
+                encode_match(&r.matcher, &mut body);
+                body.put_u64(r.cookie);
+                body.put_u16(r.priority);
+                body.put_u8(r.reason);
+                body.put_u8(0);
+                body.put_u32(r.duration_sec);
+                body.put_u32(0); // duration_nsec
+                body.put_u16(r.idle_timeout);
+                body.put_slice(&[0; 2]);
+                body.put_u64(r.packet_count);
+                body.put_u64(r.byte_count);
+            }
+            OfMessage::PortStatus(ps) => {
+                body.put_u8(ps.reason);
+                body.put_slice(&[0; 7]);
+                encode_port_with_state(&ps.desc, ps.link_down, &mut body);
+            }
+            OfMessage::StatsRequest(s) => encode_stats(s, &mut body, true),
+            OfMessage::StatsReply(s) => encode_stats(s, &mut body, false),
+        }
+        let mut out = BytesMut::with_capacity(OFP_HEADER_LEN + body.len());
+        out.put_u8(OFP_VERSION);
+        out.put_u8(self.msg.type_code());
+        out.put_u16((OFP_HEADER_LEN + body.len()) as u16);
+        out.put_u32(self.xid);
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    /// Decodes one message if a complete one is buffered.
+    /// Returns `(packet, bytes_consumed)`.
+    pub fn decode(buf: &[u8]) -> Result<Option<(OfPacket, usize)>, WireError> {
+        if buf.len() < OFP_HEADER_LEN {
+            return Ok(None);
+        }
+        if buf[0] != OFP_VERSION {
+            return Err(WireError::BadVersion(buf[0]));
+        }
+        let msg_type = buf[1];
+        let len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if len < OFP_HEADER_LEN {
+            return Err(WireError::Malformed("length"));
+        }
+        if buf.len() < len {
+            return Ok(None);
+        }
+        let xid = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        let mut body = &buf[OFP_HEADER_LEN..len];
+        let msg = match msg_type {
+            0 => OfMessage::Hello,
+            1 => {
+                if body.len() < 4 {
+                    return Err(WireError::Truncated("error"));
+                }
+                OfMessage::Error {
+                    err_type: body.get_u16(),
+                    code: body.get_u16(),
+                }
+            }
+            2 => OfMessage::EchoRequest(body.to_vec()),
+            3 => OfMessage::EchoReply(body.to_vec()),
+            5 => OfMessage::FeaturesRequest,
+            6 => {
+                if body.len() < 24 {
+                    return Err(WireError::Truncated("features reply"));
+                }
+                let datapath_id = body.get_u64();
+                let n_buffers = body.get_u32();
+                let n_tables = body.get_u8();
+                body.advance(3);
+                let capabilities = body.get_u32();
+                let actions = body.get_u32();
+                let mut ports = Vec::new();
+                while body.len() >= 48 {
+                    ports.push(decode_port(&mut body)?);
+                }
+                if !body.is_empty() {
+                    return Err(WireError::Malformed("features port padding"));
+                }
+                OfMessage::FeaturesReply(FeaturesReply {
+                    datapath_id,
+                    n_buffers,
+                    n_tables,
+                    capabilities,
+                    actions,
+                    ports,
+                })
+            }
+            10 => {
+                if body.len() < 10 {
+                    return Err(WireError::Truncated("packet_in"));
+                }
+                let buffer_id = body.get_u32();
+                let total_len = body.get_u16();
+                let in_port = body.get_u16();
+                let reason = body.get_u8();
+                body.advance(1);
+                OfMessage::PacketIn(PacketIn {
+                    buffer_id,
+                    total_len,
+                    in_port,
+                    reason,
+                    data: Bytes::copy_from_slice(body),
+                })
+            }
+            11 => {
+                if body.len() < 80 {
+                    return Err(WireError::Truncated("flow_removed"));
+                }
+                let matcher = decode_match(&mut body)?;
+                let cookie = body.get_u64();
+                let priority = body.get_u16();
+                let reason = body.get_u8();
+                body.advance(1);
+                let duration_sec = body.get_u32();
+                let _dur_nsec = body.get_u32();
+                let idle_timeout = body.get_u16();
+                body.advance(2);
+                let packet_count = body.get_u64();
+                let byte_count = body.get_u64();
+                OfMessage::FlowRemoved(FlowRemoved {
+                    matcher,
+                    cookie,
+                    priority,
+                    reason,
+                    duration_sec,
+                    idle_timeout,
+                    packet_count,
+                    byte_count,
+                })
+            }
+            13 => {
+                if body.len() < 8 {
+                    return Err(WireError::Truncated("packet_out"));
+                }
+                let buffer_id = body.get_u32();
+                let in_port = body.get_u16();
+                let actions_len = body.get_u16() as usize;
+                if body.len() < actions_len {
+                    return Err(WireError::Truncated("packet_out actions"));
+                }
+                let mut abuf = &body[..actions_len];
+                body.advance(actions_len);
+                let actions = decode_actions(&mut abuf)?;
+                OfMessage::PacketOut(PacketOut {
+                    buffer_id,
+                    in_port,
+                    actions,
+                    data: Bytes::copy_from_slice(body),
+                })
+            }
+            14 => {
+                if body.len() < 64 {
+                    return Err(WireError::Truncated("flow_mod"));
+                }
+                let matcher = decode_match(&mut body)?;
+                let cookie = body.get_u64();
+                let command = FlowModCommand::from_code(body.get_u16())?;
+                let idle_timeout = body.get_u16();
+                let hard_timeout = body.get_u16();
+                let priority = body.get_u16();
+                let buffer_id = body.get_u32();
+                let out_port = body.get_u16();
+                let flags = body.get_u16();
+                let actions = decode_actions(&mut body)?;
+                OfMessage::FlowMod(FlowMod {
+                    matcher,
+                    cookie,
+                    command,
+                    idle_timeout,
+                    hard_timeout,
+                    priority,
+                    buffer_id,
+                    out_port,
+                    flags,
+                    actions,
+                })
+            }
+            12 => {
+                if body.len() < 56 {
+                    return Err(WireError::Truncated("port_status"));
+                }
+                let reason = body.get_u8();
+                body.advance(7);
+                let (desc, link_down) = decode_port_with_state(&mut body)?;
+                OfMessage::PortStatus(PortStatus {
+                    reason,
+                    link_down,
+                    desc,
+                })
+            }
+            16 => OfMessage::StatsRequest(decode_stats(&mut body, true)?),
+            17 => OfMessage::StatsReply(decode_stats(&mut body, false)?),
+            18 => OfMessage::BarrierRequest,
+            19 => OfMessage::BarrierReply,
+            t => return Err(WireError::BadType(t)),
+        };
+        Ok(Some((OfPacket { xid, msg }, len)))
+    }
+}
+
+fn encode_port(p: &PortDesc, buf: &mut BytesMut) {
+    encode_port_with_state(p, false, buf);
+}
+
+fn encode_port_with_state(p: &PortDesc, link_down: bool, buf: &mut BytesMut) {
+    buf.put_u16(p.port_no);
+    buf.put_slice(&p.hw_addr.0);
+    let mut name = [0u8; 16];
+    let bytes = p.name.as_bytes();
+    let n = bytes.len().min(15);
+    name[..n].copy_from_slice(&bytes[..n]);
+    buf.put_slice(&name);
+    buf.put_u32(0); // config
+    buf.put_u32(if link_down { 0x1 } else { 0 }); // state: OFPPS_LINK_DOWN
+    buf.put_slice(&[0; 16]); // curr/advertised/supported/peer
+}
+
+fn decode_port(buf: &mut &[u8]) -> Result<PortDesc, WireError> {
+    decode_port_with_state(buf).map(|(d, _)| d)
+}
+
+fn decode_port_with_state(buf: &mut &[u8]) -> Result<(PortDesc, bool), WireError> {
+    if buf.len() < 48 {
+        return Err(WireError::Truncated("phy_port"));
+    }
+    let port_no = buf.get_u16();
+    let mut mac = [0u8; 6];
+    buf.copy_to_slice(&mut mac);
+    let mut name = [0u8; 16];
+    buf.copy_to_slice(&mut name);
+    let _config = buf.get_u32();
+    let state = buf.get_u32();
+    buf.advance(16);
+    let end = name.iter().position(|b| *b == 0).unwrap_or(16);
+    Ok((
+        PortDesc {
+            port_no,
+            hw_addr: MacAddr(mac),
+            name: String::from_utf8_lossy(&name[..end]).into_owned(),
+        },
+        state & 0x1 != 0,
+    ))
+}
+
+fn encode_actions(actions: &[OfAction], buf: &mut BytesMut) {
+    for a in actions {
+        match a {
+            OfAction::Output { port, max_len } => {
+                buf.put_u16(0); // OFPAT_OUTPUT
+                buf.put_u16(8);
+                buf.put_u16(*port);
+                buf.put_u16(*max_len);
+            }
+        }
+    }
+}
+
+fn decode_actions(buf: &mut &[u8]) -> Result<Vec<OfAction>, WireError> {
+    let mut out = Vec::new();
+    while !buf.is_empty() {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated("action header"));
+        }
+        let a_type = buf.get_u16();
+        let a_len = buf.get_u16() as usize;
+        if a_len < 4 || buf.len() < a_len - 4 {
+            return Err(WireError::Truncated("action body"));
+        }
+        let mut val = &buf[..a_len - 4];
+        buf.advance(a_len - 4);
+        match a_type {
+            0 => {
+                if val.len() < 4 {
+                    return Err(WireError::Truncated("output action"));
+                }
+                out.push(OfAction::Output {
+                    port: val.get_u16(),
+                    max_len: val.get_u16(),
+                });
+            }
+            _ => {
+                // Unknown actions are skipped (value already advanced).
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes a `horse-dataplane` [`Match`] as a 40-byte `ofp_match`.
+pub fn encode_match(m: &Match, buf: &mut BytesMut) {
+    let mut wildcards = OFPFW_DL_VLAN | OFPFW_DL_VLAN_PCP | OFPFW_NW_TOS;
+    if m.in_port.is_none() {
+        wildcards |= OFPFW_IN_PORT;
+    }
+    if m.dl_src.is_none() {
+        wildcards |= OFPFW_DL_SRC;
+    }
+    if m.dl_dst.is_none() {
+        wildcards |= OFPFW_DL_DST;
+    }
+    if m.dl_type.is_none() {
+        wildcards |= OFPFW_DL_TYPE;
+    }
+    if m.nw_proto.is_none() {
+        wildcards |= OFPFW_NW_PROTO;
+    }
+    if m.tp_src.is_none() {
+        wildcards |= OFPFW_TP_SRC;
+    }
+    if m.tp_dst.is_none() {
+        wildcards |= OFPFW_TP_DST;
+    }
+    let src_wild = 32 - u32::from(m.nw_src.map_or(0, |p| p.len()));
+    let dst_wild = 32 - u32::from(m.nw_dst.map_or(0, |p| p.len()));
+    wildcards |= src_wild << OFPFW_NW_SRC_SHIFT;
+    wildcards |= dst_wild << OFPFW_NW_DST_SHIFT;
+    buf.put_u32(wildcards);
+    buf.put_u16(m.in_port.map_or(0, |p| p.0));
+    buf.put_slice(&m.dl_src.unwrap_or(MacAddr::ZERO).0);
+    buf.put_slice(&m.dl_dst.unwrap_or(MacAddr::ZERO).0);
+    buf.put_u16(0); // dl_vlan
+    buf.put_u8(0); // dl_vlan_pcp
+    buf.put_u8(0); // pad
+    buf.put_u16(m.dl_type.unwrap_or(0));
+    buf.put_u8(0); // nw_tos
+    buf.put_u8(m.nw_proto.unwrap_or(0));
+    buf.put_slice(&[0; 2]);
+    buf.put_u32(m.nw_src.map_or(0, |p| u32::from(p.network())));
+    buf.put_u32(m.nw_dst.map_or(0, |p| u32::from(p.network())));
+    buf.put_u16(m.tp_src.unwrap_or(0));
+    buf.put_u16(m.tp_dst.unwrap_or(0));
+}
+
+/// Decodes a 40-byte `ofp_match` into a `horse-dataplane` [`Match`].
+pub fn decode_match(buf: &mut &[u8]) -> Result<Match, WireError> {
+    if buf.len() < 40 {
+        return Err(WireError::Truncated("match"));
+    }
+    let wildcards = buf.get_u32();
+    let in_port = buf.get_u16();
+    let mut dl_src = [0u8; 6];
+    buf.copy_to_slice(&mut dl_src);
+    let mut dl_dst = [0u8; 6];
+    buf.copy_to_slice(&mut dl_dst);
+    let _dl_vlan = buf.get_u16();
+    let _pcp = buf.get_u8();
+    buf.advance(1);
+    let dl_type = buf.get_u16();
+    let _tos = buf.get_u8();
+    let nw_proto = buf.get_u8();
+    buf.advance(2);
+    let nw_src = buf.get_u32();
+    let nw_dst = buf.get_u32();
+    let tp_src = buf.get_u16();
+    let tp_dst = buf.get_u16();
+    let src_wild = (wildcards >> OFPFW_NW_SRC_SHIFT) & 0x3f;
+    let dst_wild = (wildcards >> OFPFW_NW_DST_SHIFT) & 0x3f;
+    Ok(Match {
+        in_port: (wildcards & OFPFW_IN_PORT == 0).then_some(PortId(in_port)),
+        dl_src: (wildcards & OFPFW_DL_SRC == 0).then_some(MacAddr(dl_src)),
+        dl_dst: (wildcards & OFPFW_DL_DST == 0).then_some(MacAddr(dl_dst)),
+        dl_type: (wildcards & OFPFW_DL_TYPE == 0).then_some(dl_type),
+        nw_proto: (wildcards & OFPFW_NW_PROTO == 0).then_some(nw_proto),
+        nw_src: (src_wild < 32)
+            .then(|| Ipv4Prefix::new(Ipv4Addr::from(nw_src), (32 - src_wild) as u8)),
+        nw_dst: (dst_wild < 32)
+            .then(|| Ipv4Prefix::new(Ipv4Addr::from(nw_dst), (32 - dst_wild) as u8)),
+        tp_src: (wildcards & OFPFW_TP_SRC == 0).then_some(tp_src),
+        tp_dst: (wildcards & OFPFW_TP_DST == 0).then_some(tp_dst),
+    })
+}
+
+fn encode_stats(s: &StatsBody, buf: &mut BytesMut, is_request: bool) {
+    match s {
+        StatsBody::FlowRequest { matcher, out_port } => {
+            debug_assert!(is_request);
+            buf.put_u16(1); // OFPST_FLOW
+            buf.put_u16(0); // flags
+            encode_match(matcher, buf);
+            buf.put_u8(0xff); // table_id: all
+            buf.put_u8(0);
+            buf.put_u16(*out_port);
+        }
+        StatsBody::FlowReply(entries) => {
+            buf.put_u16(1);
+            buf.put_u16(0);
+            for e in entries {
+                let mut acts = BytesMut::new();
+                encode_actions(&e.actions, &mut acts);
+                buf.put_u16((88 + acts.len()) as u16);
+                buf.put_u8(0); // table
+                buf.put_u8(0);
+                encode_match(&e.matcher, buf);
+                buf.put_u32(e.duration_sec);
+                buf.put_u32(0);
+                buf.put_u16(e.priority);
+                buf.put_u16(e.idle_timeout);
+                buf.put_u16(e.hard_timeout);
+                buf.put_slice(&[0; 6]);
+                buf.put_u64(e.cookie);
+                buf.put_u64(e.packet_count);
+                buf.put_u64(e.byte_count);
+                buf.put_slice(&acts);
+            }
+        }
+        StatsBody::PortRequest { port_no } => {
+            buf.put_u16(4); // OFPST_PORT
+            buf.put_u16(0);
+            buf.put_u16(*port_no);
+            buf.put_slice(&[0; 6]);
+        }
+        StatsBody::PortReply(entries) => {
+            buf.put_u16(4);
+            buf.put_u16(0);
+            for e in entries {
+                buf.put_u16(e.port_no);
+                buf.put_slice(&[0; 6]);
+                buf.put_u64(e.rx_packets);
+                buf.put_u64(e.tx_packets);
+                buf.put_u64(e.rx_bytes);
+                buf.put_u64(e.tx_bytes);
+                buf.put_slice(&[0u8; 64]); // dropped/error/collision counters
+            }
+        }
+    }
+}
+
+fn decode_stats(buf: &mut &[u8], is_request: bool) -> Result<StatsBody, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated("stats header"));
+    }
+    let stype = buf.get_u16();
+    let _flags = buf.get_u16();
+    match (stype, is_request) {
+        (1, true) => {
+            let matcher = decode_match(buf)?;
+            if buf.len() < 4 {
+                return Err(WireError::Truncated("flow stats request tail"));
+            }
+            let _table = buf.get_u8();
+            buf.advance(1);
+            let out_port = buf.get_u16();
+            Ok(StatsBody::FlowRequest { matcher, out_port })
+        }
+        (1, false) => {
+            let mut entries = Vec::new();
+            while !buf.is_empty() {
+                if buf.len() < 88 {
+                    return Err(WireError::Truncated("flow stats entry"));
+                }
+                let length = buf.get_u16() as usize;
+                if length < 88 || buf.len() < length - 2 {
+                    return Err(WireError::Malformed("flow stats length"));
+                }
+                let _table = buf.get_u8();
+                buf.advance(1);
+                let matcher = decode_match(buf)?;
+                let duration_sec = buf.get_u32();
+                let _nsec = buf.get_u32();
+                let priority = buf.get_u16();
+                let idle_timeout = buf.get_u16();
+                let hard_timeout = buf.get_u16();
+                buf.advance(6);
+                let cookie = buf.get_u64();
+                let packet_count = buf.get_u64();
+                let byte_count = buf.get_u64();
+                let mut abuf = &buf[..length - 88];
+                buf.advance(length - 88);
+                let actions = decode_actions(&mut abuf)?;
+                entries.push(FlowStatsEntry {
+                    matcher,
+                    duration_sec,
+                    priority,
+                    idle_timeout,
+                    hard_timeout,
+                    cookie,
+                    packet_count,
+                    byte_count,
+                    actions,
+                });
+            }
+            Ok(StatsBody::FlowReply(entries))
+        }
+        (4, true) => {
+            if buf.len() < 8 {
+                return Err(WireError::Truncated("port stats request"));
+            }
+            let port_no = buf.get_u16();
+            buf.advance(6);
+            Ok(StatsBody::PortRequest { port_no })
+        }
+        (4, false) => {
+            let mut entries = Vec::new();
+            while !buf.is_empty() {
+                if buf.len() < 104 {
+                    return Err(WireError::Truncated("port stats entry"));
+                }
+                let port_no = buf.get_u16();
+                buf.advance(6);
+                let rx_packets = buf.get_u64();
+                let tx_packets = buf.get_u64();
+                let rx_bytes = buf.get_u64();
+                let tx_bytes = buf.get_u64();
+                buf.advance(64);
+                entries.push(PortStatsEntry {
+                    port_no,
+                    rx_packets,
+                    tx_packets,
+                    rx_bytes,
+                    tx_bytes,
+                });
+            }
+            Ok(StatsBody::PortReply(entries))
+        }
+        _ => Err(WireError::Malformed("stats type")),
+    }
+}
+
+/// Streaming decoder over a byte stream of OF messages.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+}
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder::default()
+    }
+
+    /// Appends bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete message if available.
+    pub fn next(&mut self) -> Result<Option<OfPacket>, WireError> {
+        match OfPacket::decode(&self.buf)? {
+            Some((pkt, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(pkt))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_net::flow::FiveTuple;
+
+    fn roundtrip(msg: OfMessage) -> OfMessage {
+        let pkt = OfPacket::new(0x1234, msg);
+        let bytes = pkt.encode();
+        let (decoded, consumed) = OfPacket::decode(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded.xid, 0x1234);
+        decoded.msg
+    }
+
+    fn sample_match() -> Match {
+        Match::exact(FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            5000,
+            Ipv4Addr::new(10, 0, 1, 1),
+            80,
+        ))
+    }
+
+    #[test]
+    fn hello_echo_barrier_roundtrip() {
+        assert_eq!(roundtrip(OfMessage::Hello), OfMessage::Hello);
+        assert_eq!(
+            roundtrip(OfMessage::EchoRequest(vec![1, 2, 3])),
+            OfMessage::EchoRequest(vec![1, 2, 3])
+        );
+        assert_eq!(
+            roundtrip(OfMessage::EchoReply(vec![])),
+            OfMessage::EchoReply(vec![])
+        );
+        assert_eq!(roundtrip(OfMessage::BarrierRequest), OfMessage::BarrierRequest);
+        assert_eq!(roundtrip(OfMessage::BarrierReply), OfMessage::BarrierReply);
+    }
+
+    #[test]
+    fn features_roundtrip() {
+        let f = FeaturesReply {
+            datapath_id: 0xdeadbeef,
+            n_buffers: 256,
+            n_tables: 1,
+            capabilities: 0x87,
+            actions: 0xfff,
+            ports: vec![
+                PortDesc {
+                    port_no: 0,
+                    hw_addr: MacAddr::for_port(5, 0),
+                    name: "eth0".into(),
+                },
+                PortDesc {
+                    port_no: 1,
+                    hw_addr: MacAddr::for_port(5, 1),
+                    name: "eth1".into(),
+                },
+            ],
+        };
+        assert_eq!(
+            roundtrip(OfMessage::FeaturesReply(f.clone())),
+            OfMessage::FeaturesReply(f)
+        );
+        assert_eq!(roundtrip(OfMessage::FeaturesRequest), OfMessage::FeaturesRequest);
+    }
+
+    #[test]
+    fn match_roundtrip_exact() {
+        let m = sample_match();
+        let mut buf = BytesMut::new();
+        encode_match(&m, &mut buf);
+        assert_eq!(buf.len(), 40, "ofp_match must be 40 bytes");
+        let mut slice = &buf[..];
+        assert_eq!(decode_match(&mut slice).unwrap(), m);
+    }
+
+    #[test]
+    fn match_roundtrip_wildcards_and_prefixes() {
+        let m = Match {
+            in_port: Some(PortId(7)),
+            nw_dst: Some("10.2.0.0/16".parse().unwrap()),
+            dl_type: Some(0x0800),
+            ..Match::default()
+        };
+        let mut buf = BytesMut::new();
+        encode_match(&m, &mut buf);
+        let mut slice = &buf[..];
+        assert_eq!(decode_match(&mut slice).unwrap(), m);
+        // Fully wildcarded.
+        let any = Match::any();
+        let mut buf = BytesMut::new();
+        encode_match(&any, &mut buf);
+        let mut slice = &buf[..];
+        assert_eq!(decode_match(&mut slice).unwrap(), any);
+    }
+
+    #[test]
+    fn flow_mod_roundtrip() {
+        let fm = FlowMod {
+            matcher: sample_match(),
+            cookie: 42,
+            command: FlowModCommand::Add,
+            idle_timeout: 10,
+            hard_timeout: 30,
+            priority: 100,
+            buffer_id: 0xffffffff,
+            out_port: OFPP_NONE,
+            flags: 1,
+            actions: vec![OfAction::Output { port: 3, max_len: 0 }],
+        };
+        assert_eq!(
+            roundtrip(OfMessage::FlowMod(fm.clone())),
+            OfMessage::FlowMod(fm)
+        );
+    }
+
+    #[test]
+    fn packet_in_out_roundtrip() {
+        let pi = PacketIn {
+            buffer_id: 0xffffffff,
+            total_len: 60,
+            in_port: 2,
+            reason: OFPR_NO_MATCH,
+            data: Bytes::from_static(b"frame-bytes"),
+        };
+        assert_eq!(
+            roundtrip(OfMessage::PacketIn(pi.clone())),
+            OfMessage::PacketIn(pi)
+        );
+        let po = PacketOut {
+            buffer_id: 0xffffffff,
+            in_port: OFPP_NONE,
+            actions: vec![OfAction::Output {
+                port: 1,
+                max_len: 0,
+            }],
+            data: Bytes::from_static(b"payload"),
+        };
+        assert_eq!(
+            roundtrip(OfMessage::PacketOut(po.clone())),
+            OfMessage::PacketOut(po)
+        );
+    }
+
+    #[test]
+    fn flow_stats_roundtrip() {
+        let req = StatsBody::FlowRequest {
+            matcher: Match::any(),
+            out_port: OFPP_NONE,
+        };
+        assert_eq!(
+            roundtrip(OfMessage::StatsRequest(req.clone())),
+            OfMessage::StatsRequest(req)
+        );
+        let reply = StatsBody::FlowReply(vec![
+            FlowStatsEntry {
+                matcher: sample_match(),
+                duration_sec: 12,
+                priority: 100,
+                idle_timeout: 0,
+                hard_timeout: 0,
+                cookie: 7,
+                packet_count: 1000,
+                byte_count: 1_000_000,
+                actions: vec![OfAction::Output { port: 2, max_len: 0 }],
+            },
+            FlowStatsEntry {
+                matcher: Match::any(),
+                duration_sec: 1,
+                priority: 1,
+                idle_timeout: 5,
+                hard_timeout: 0,
+                cookie: 0,
+                packet_count: 0,
+                byte_count: 0,
+                actions: vec![],
+            },
+        ]);
+        assert_eq!(
+            roundtrip(OfMessage::StatsReply(reply.clone())),
+            OfMessage::StatsReply(reply)
+        );
+    }
+
+    #[test]
+    fn port_stats_roundtrip() {
+        let req = StatsBody::PortRequest { port_no: OFPP_NONE };
+        assert_eq!(
+            roundtrip(OfMessage::StatsRequest(req.clone())),
+            OfMessage::StatsRequest(req)
+        );
+        let reply = StatsBody::PortReply(vec![PortStatsEntry {
+            port_no: 1,
+            rx_packets: 10,
+            tx_packets: 20,
+            rx_bytes: 1000,
+            tx_bytes: 2000,
+        }]);
+        assert_eq!(
+            roundtrip(OfMessage::StatsReply(reply.clone())),
+            OfMessage::StatsReply(reply)
+        );
+    }
+
+    #[test]
+    fn flow_removed_roundtrip() {
+        let fr = FlowRemoved {
+            matcher: sample_match(),
+            cookie: 9,
+            priority: 10,
+            reason: 0,
+            duration_sec: 55,
+            idle_timeout: 5,
+            packet_count: 3,
+            byte_count: 300,
+        };
+        assert_eq!(
+            roundtrip(OfMessage::FlowRemoved(fr.clone())),
+            OfMessage::FlowRemoved(fr)
+        );
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        let e = OfMessage::Error {
+            err_type: 1,
+            code: 2,
+        };
+        assert_eq!(roundtrip(e.clone()), e);
+    }
+
+    #[test]
+    fn truncated_prefixes_never_panic() {
+        let msgs = vec![
+            OfMessage::Hello,
+            OfMessage::FeaturesReply(FeaturesReply {
+                datapath_id: 1,
+                n_buffers: 0,
+                n_tables: 1,
+                capabilities: 0,
+                actions: 0,
+                ports: vec![PortDesc {
+                    port_no: 0,
+                    hw_addr: MacAddr::ZERO,
+                    name: "p".into(),
+                }],
+            }),
+            OfMessage::FlowMod(FlowMod {
+                matcher: Match::any(),
+                cookie: 0,
+                command: FlowModCommand::Add,
+                idle_timeout: 0,
+                hard_timeout: 0,
+                priority: 0,
+                buffer_id: 0,
+                out_port: 0,
+                flags: 0,
+                actions: vec![],
+            }),
+        ];
+        for m in msgs {
+            let bytes = OfPacket::new(1, m).encode();
+            for cut in 0..bytes.len() {
+                let _ = OfPacket::decode(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = OfPacket::new(1, OfMessage::Hello).encode().to_vec();
+        bytes[0] = 0x04;
+        assert_eq!(
+            OfPacket::decode(&bytes),
+            Err(WireError::BadVersion(0x04))
+        );
+    }
+
+    #[test]
+    fn stream_decoder_splits_messages() {
+        let mut dec = StreamDecoder::new();
+        let a = OfPacket::new(1, OfMessage::Hello).encode();
+        let b = OfPacket::new(2, OfMessage::BarrierRequest).encode();
+        let joined = [a.as_ref(), b.as_ref()].concat();
+        for chunk in joined.chunks(3) {
+            dec.push(chunk);
+        }
+        let m1 = dec.next().unwrap().unwrap();
+        let m2 = dec.next().unwrap().unwrap();
+        assert_eq!(m1.xid, 1);
+        assert_eq!(m2.xid, 2);
+        assert!(dec.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn long_port_names_truncate_safely() {
+        let p = PortDesc {
+            port_no: 1,
+            hw_addr: MacAddr::ZERO,
+            name: "a-very-long-interface-name-that-exceeds".into(),
+        };
+        let mut buf = BytesMut::new();
+        encode_port(&p, &mut buf);
+        assert_eq!(buf.len(), 48);
+        let mut slice = &buf[..];
+        let d = decode_port(&mut slice).unwrap();
+        assert_eq!(d.name.len(), 15);
+    }
+}

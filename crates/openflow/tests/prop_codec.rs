@@ -1,0 +1,198 @@
+//! Property tests on the OpenFlow 1.0 codec: arbitrary messages
+//! round-trip, arbitrary bytes never panic, streams reassemble.
+
+use bytes::Bytes;
+use horse_dataplane::flowtable::Match;
+use horse_net::addr::{Ipv4Prefix, MacAddr};
+use horse_net::topology::PortId;
+use horse_openflow::wire::{
+    FeaturesReply, FlowMod, FlowModCommand, FlowStatsEntry, OfAction, OfMessage, OfPacket,
+    PacketIn, PacketOut, PortDesc, PortStatsEntry, StatsBody, StreamDecoder, OFPP_NONE,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn matches() -> impl Strategy<Value = Match> {
+    (
+        prop::option::of(0u16..48),
+        prop::option::of(any::<[u8; 6]>()),
+        prop::option::of(any::<[u8; 6]>()),
+        prop::option::of(any::<u16>()),
+        prop::option::of(any::<u8>()),
+        prop::option::of((any::<u32>(), 1u8..=32)),
+        prop::option::of((any::<u32>(), 1u8..=32)),
+        prop::option::of(any::<u16>()),
+        prop::option::of(any::<u16>()),
+    )
+        .prop_map(
+            |(in_port, src, dst, dl_type, proto, nw_src, nw_dst, tp_src, tp_dst)| Match {
+                in_port: in_port.map(PortId),
+                dl_src: src.map(MacAddr),
+                dl_dst: dst.map(MacAddr),
+                dl_type,
+                nw_proto: proto,
+                nw_src: nw_src.map(|(b, l)| Ipv4Prefix::new(Ipv4Addr::from(b), l)),
+                nw_dst: nw_dst.map(|(b, l)| Ipv4Prefix::new(Ipv4Addr::from(b), l)),
+                tp_src,
+                tp_dst,
+            },
+        )
+}
+
+fn actions() -> impl Strategy<Value = Vec<OfAction>> {
+    prop::collection::vec(
+        (any::<u16>(), any::<u16>()).prop_map(|(port, max_len)| OfAction::Output { port, max_len }),
+        0..4,
+    )
+}
+
+fn commands() -> impl Strategy<Value = FlowModCommand> {
+    prop_oneof![
+        Just(FlowModCommand::Add),
+        Just(FlowModCommand::Modify),
+        Just(FlowModCommand::ModifyStrict),
+        Just(FlowModCommand::Delete),
+        Just(FlowModCommand::DeleteStrict),
+    ]
+}
+
+fn messages() -> impl Strategy<Value = OfMessage> {
+    prop_oneof![
+        Just(OfMessage::Hello),
+        Just(OfMessage::FeaturesRequest),
+        Just(OfMessage::BarrierRequest),
+        Just(OfMessage::BarrierReply),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(err_type, code)| OfMessage::Error { err_type, code }),
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(OfMessage::EchoRequest),
+        (any::<u64>(), 0u16..64, prop::collection::vec((0u16..48, any::<[u8;6]>()), 0..6))
+            .prop_map(|(dpid, nb, ports)| OfMessage::FeaturesReply(FeaturesReply {
+                datapath_id: dpid,
+                n_buffers: u32::from(nb),
+                n_tables: 1,
+                capabilities: 0x1,
+                actions: 0x1,
+                ports: ports
+                    .into_iter()
+                    .map(|(no, mac)| PortDesc {
+                        port_no: no,
+                        hw_addr: MacAddr(mac),
+                        name: format!("eth{no}"),
+                    })
+                    .collect(),
+            })),
+        (any::<u16>(), 0u16..48, 0u8..2, prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(total_len, in_port, reason, data)| OfMessage::PacketIn(PacketIn {
+                buffer_id: 0xffff_ffff,
+                total_len,
+                in_port,
+                reason,
+                data: Bytes::from(data),
+            })),
+        (actions(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(actions, data)| {
+            OfMessage::PacketOut(PacketOut {
+                buffer_id: 0xffff_ffff,
+                in_port: OFPP_NONE,
+                actions,
+                data: Bytes::from(data),
+            })
+        }),
+        (matches(), commands(), any::<u64>(), any::<u16>(), any::<u16>(), any::<u16>(), actions())
+            .prop_map(|(matcher, command, cookie, idle, hard, priority, actions)| {
+                OfMessage::FlowMod(FlowMod {
+                    matcher,
+                    cookie,
+                    command,
+                    idle_timeout: idle,
+                    hard_timeout: hard,
+                    priority,
+                    buffer_id: 0xffff_ffff,
+                    out_port: OFPP_NONE,
+                    flags: 0,
+                    actions,
+                })
+            }),
+        matches().prop_map(|matcher| OfMessage::StatsRequest(StatsBody::FlowRequest {
+            matcher,
+            out_port: OFPP_NONE,
+        })),
+        prop::collection::vec(
+            (matches(), any::<u32>(), any::<u16>(), any::<u64>(), any::<u64>(), actions()),
+            0..4
+        )
+        .prop_map(|entries| OfMessage::StatsReply(StatsBody::FlowReply(
+            entries
+                .into_iter()
+                .map(|(matcher, dur, prio, pkts, bytes, actions)| FlowStatsEntry {
+                    matcher,
+                    duration_sec: dur,
+                    priority: prio,
+                    idle_timeout: 0,
+                    hard_timeout: 0,
+                    cookie: 0,
+                    packet_count: pkts,
+                    byte_count: bytes,
+                    actions,
+                })
+                .collect()
+        ))),
+        prop::collection::vec((0u16..48, any::<u64>(), any::<u64>()), 0..4).prop_map(|rows| {
+            OfMessage::StatsReply(StatsBody::PortReply(
+                rows.into_iter()
+                    .map(|(port_no, rx, tx)| PortStatsEntry {
+                        port_no,
+                        rx_packets: rx,
+                        tx_packets: tx,
+                        rx_bytes: rx.saturating_mul(1500),
+                        tx_bytes: tx.saturating_mul(1500),
+                    })
+                    .collect(),
+            ))
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(xid in any::<u32>(), msg in messages()) {
+        let pkt = OfPacket::new(xid, msg);
+        let bytes = pkt.encode();
+        let (decoded, consumed) = OfPacket::decode(&bytes)
+            .expect("own encoding decodes")
+            .expect("complete");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn decode_total(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = OfPacket::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_corrupted(msg in messages(), flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)) {
+        let mut bytes = OfPacket::new(1, msg).encode().to_vec();
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] = val;
+        }
+        let _ = OfPacket::decode(&bytes);
+    }
+
+    #[test]
+    fn stream_reassembly(msgs in prop::collection::vec(messages(), 1..5), chunk in 1usize..64) {
+        let mut all = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            all.extend_from_slice(&OfPacket::new(i as u32, m.clone()).encode());
+        }
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for c in all.chunks(chunk) {
+            dec.push(c);
+            while let Some(p) = dec.next().expect("valid stream") {
+                got.push(p.msg);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+    }
+}

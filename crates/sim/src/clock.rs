@@ -1,0 +1,301 @@
+//! The hybrid DES/FTI clock — the heart of Horse's speed-up.
+//!
+//! The clock is a small state machine with two modes:
+//!
+//! * [`ClockMode::Des`]: virtual time jumps directly to the next event.
+//! * [`ClockMode::Fti`]: virtual time advances in fixed increments so that it
+//!   can be paced against wall-clock time while emulated control-plane
+//!   processes are talking.
+//!
+//! Transitions:
+//!
+//! * `Des → Fti` whenever control-plane activity is reported
+//!   ([`HybridClock::on_control_activity`]).
+//! * `Fti → Des` once `quiescence` virtual time has elapsed since the last
+//!   reported control activity.
+//!
+//! Every transition is recorded in a log (Figure 1 of the paper shows exactly
+//! this timeline for a two-router BGP scenario).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which time-advance discipline the experiment clock is currently using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockMode {
+    /// Discrete Event Simulation: jump to the next event.
+    Des,
+    /// Fixed Time Increment: step in small fixed quanta (control plane live).
+    Fti,
+}
+
+/// Configuration of the FTI mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtiConfig {
+    /// Size of one fixed step of virtual time.
+    pub increment: SimDuration,
+    /// How long without control activity before falling back to DES.
+    pub quiescence: SimDuration,
+}
+
+impl Default for FtiConfig {
+    fn default() -> Self {
+        FtiConfig {
+            increment: SimDuration::from_millis(1),
+            quiescence: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// One recorded mode change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeTransition {
+    /// Virtual time at which the mode changed.
+    pub at: SimTime,
+    /// The mode entered at `at`.
+    pub mode: ClockMode,
+}
+
+/// What the engine should do next, as decided by the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advance {
+    /// Process all events up to and including this time, then set the clock
+    /// there. In FTI mode this is `now + increment`; in DES mode it is the
+    /// next event's timestamp.
+    RunTo(SimTime),
+    /// No pending events and no control activity: the experiment is idle.
+    Idle,
+}
+
+/// The hybrid DES/FTI clock state machine.
+#[derive(Debug, Clone)]
+pub struct HybridClock {
+    now: SimTime,
+    mode: ClockMode,
+    fti: FtiConfig,
+    last_activity: Option<SimTime>,
+    transitions: Vec<ModeTransition>,
+    fti_time: SimDuration,
+    des_time: SimDuration,
+}
+
+impl HybridClock {
+    /// Creates a clock at time zero in DES mode.
+    pub fn new(fti: FtiConfig) -> Self {
+        HybridClock {
+            now: SimTime::ZERO,
+            mode: ClockMode::Des,
+            fti,
+            last_activity: None,
+            transitions: vec![ModeTransition {
+                at: SimTime::ZERO,
+                mode: ClockMode::Des,
+            }],
+            fti_time: SimDuration::ZERO,
+            des_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// The FTI configuration in force.
+    pub fn fti_config(&self) -> FtiConfig {
+        self.fti
+    }
+
+    /// The full transition log (starts with the initial DES entry at t=0).
+    pub fn transitions(&self) -> &[ModeTransition] {
+        &self.transitions
+    }
+
+    /// Total virtual time spent in FTI mode so far.
+    pub fn fti_time(&self) -> SimDuration {
+        self.fti_time
+    }
+
+    /// Total virtual time spent in DES mode so far.
+    pub fn des_time(&self) -> SimDuration {
+        self.des_time
+    }
+
+    /// Reports control-plane activity observed at the current instant.
+    /// Switches to FTI mode if not already there.
+    pub fn on_control_activity(&mut self) {
+        self.last_activity = Some(self.now);
+        if self.mode == ClockMode::Des {
+            self.set_mode(ClockMode::Fti);
+        }
+    }
+
+    /// Decides the next time step given the earliest pending event (if any).
+    ///
+    /// In FTI mode this first checks the quiescence timeout (demoting to DES
+    /// when expired), then returns `now + increment` capped so we never step
+    /// past `horizon`. In DES mode it returns the next event time, or `Idle`
+    /// when the queue is empty.
+    pub fn plan(&mut self, next_event: Option<SimTime>, horizon: SimTime) -> Advance {
+        if self.mode == ClockMode::Fti {
+            let quiesced = match self.last_activity {
+                Some(last) => self.now.duration_since(last) >= self.fti.quiescence,
+                None => true,
+            };
+            if quiesced {
+                self.set_mode(ClockMode::Des);
+            }
+        }
+        match self.mode {
+            ClockMode::Fti => {
+                let target = (self.now + self.fti.increment).min(horizon);
+                Advance::RunTo(target)
+            }
+            ClockMode::Des => match next_event {
+                Some(t) if t <= horizon => Advance::RunTo(t.max(self.now)),
+                _ => Advance::Idle,
+            },
+        }
+    }
+
+    /// Moves the clock forward to `target` (never backwards), attributing the
+    /// elapsed virtual time to the current mode.
+    pub fn advance_to(&mut self, target: SimTime) {
+        if target <= self.now {
+            return;
+        }
+        let delta = target.duration_since(self.now);
+        match self.mode {
+            ClockMode::Fti => self.fti_time = self.fti_time + delta,
+            ClockMode::Des => self.des_time = self.des_time + delta,
+        }
+        self.now = target;
+    }
+
+    fn set_mode(&mut self, mode: ClockMode) {
+        if self.mode != mode {
+            self.mode = mode;
+            self.transitions.push(ModeTransition { at: self.now, mode });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> HybridClock {
+        HybridClock::new(FtiConfig {
+            increment: SimDuration::from_millis(1),
+            quiescence: SimDuration::from_millis(10),
+        })
+    }
+
+    #[test]
+    fn starts_in_des() {
+        let c = clock();
+        assert_eq!(c.mode(), ClockMode::Des);
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.transitions().len(), 1);
+    }
+
+    #[test]
+    fn des_jumps_to_next_event() {
+        let mut c = clock();
+        let ev = SimTime::from_secs(5);
+        match c.plan(Some(ev), SimTime::MAX) {
+            Advance::RunTo(t) => assert_eq!(t, ev),
+            other => panic!("expected RunTo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn des_idle_when_no_events() {
+        let mut c = clock();
+        assert_eq!(c.plan(None, SimTime::MAX), Advance::Idle);
+    }
+
+    #[test]
+    fn control_activity_enters_fti() {
+        let mut c = clock();
+        c.on_control_activity();
+        assert_eq!(c.mode(), ClockMode::Fti);
+        // In FTI the step ignores the (far) next event and uses the increment.
+        match c.plan(Some(SimTime::from_secs(100)), SimTime::MAX) {
+            Advance::RunTo(t) => assert_eq!(t, SimTime::from_millis(1)),
+            other => panic!("expected RunTo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fti_demotes_after_quiescence() {
+        let mut c = clock();
+        c.on_control_activity();
+        // Step the clock past the quiescence window without new activity.
+        for _ in 0..10 {
+            match c.plan(None, SimTime::MAX) {
+                Advance::RunTo(t) => c.advance_to(t),
+                Advance::Idle => break,
+            }
+        }
+        assert_eq!(c.now(), SimTime::from_millis(10));
+        // Next plan notices quiescence and demotes to DES.
+        assert_eq!(c.plan(None, SimTime::MAX), Advance::Idle);
+        assert_eq!(c.mode(), ClockMode::Des);
+        let modes: Vec<_> = c.transitions().iter().map(|t| t.mode).collect();
+        assert_eq!(modes, vec![ClockMode::Des, ClockMode::Fti, ClockMode::Des]);
+    }
+
+    #[test]
+    fn activity_resets_quiescence() {
+        let mut c = clock();
+        c.on_control_activity();
+        for step in 0..30 {
+            match c.plan(None, SimTime::MAX) {
+                Advance::RunTo(t) => c.advance_to(t),
+                Advance::Idle => panic!("demoted too early at step {step}"),
+            }
+            if step % 5 == 0 {
+                c.on_control_activity(); // keep it alive
+            }
+            if step >= 25 {
+                break;
+            }
+        }
+        assert_eq!(c.mode(), ClockMode::Fti);
+    }
+
+    #[test]
+    fn horizon_caps_fti_step() {
+        let mut c = clock();
+        c.on_control_activity();
+        let horizon = SimTime::from_nanos(500);
+        match c.plan(None, horizon) {
+            Advance::RunTo(t) => assert_eq!(t, horizon),
+            other => panic!("expected RunTo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn advance_never_goes_backwards() {
+        let mut c = clock();
+        c.advance_to(SimTime::from_secs(1));
+        c.advance_to(SimTime::from_millis(1));
+        assert_eq!(c.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn time_attribution_per_mode() {
+        let mut c = clock();
+        c.advance_to(SimTime::from_secs(1)); // DES
+        c.on_control_activity();
+        c.advance_to(SimTime::from_secs(2)); // FTI
+        assert_eq!(c.des_time(), SimDuration::from_secs(1));
+        assert_eq!(c.fti_time(), SimDuration::from_secs(1));
+    }
+}

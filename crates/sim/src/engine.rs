@@ -1,0 +1,314 @@
+//! A ready-made hybrid run loop for models expressible as an
+//! [`EventHandler`].
+//!
+//! The engine owns the event queue, the [`HybridClock`] and a [`Pacer`], and
+//! repeats a simple cycle:
+//!
+//! 1. poll the handler for control-plane activity (promotes the clock to FTI),
+//! 2. ask the clock how far to advance ([`HybridClock::plan`]),
+//! 3. pace that step against wall time if in FTI,
+//! 4. execute all events due within the step.
+//!
+//! The full Horse runner (in `horse-core`) drives the clock and queue
+//! directly because it must also shuttle bytes between emulated daemons and
+//! the Connection Manager mid-step; this engine is the distilled version
+//! used by tests, the baseline simulator and simple models.
+
+use crate::clock::{Advance, ClockMode, FtiConfig, HybridClock};
+use crate::event::{EventId, EventQueue};
+use crate::pacing::{Pacer, Pacing};
+use crate::time::{SimDuration, SimTime};
+
+/// Handle given to event handlers for scheduling follow-up events.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+    control_activity: bool,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time (clamped to now if in the past).
+    pub fn at(&mut self, time: SimTime, event: E) -> EventId {
+        self.queue.push(time.max(self.now), event)
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Reports emulated control-plane activity at the current instant,
+    /// promoting (or keeping) the experiment clock in FTI mode.
+    pub fn control_activity(&mut self) {
+        self.control_activity = true;
+    }
+}
+
+/// A simulation model driven by the engine.
+pub trait EventHandler<E> {
+    /// Processes one event at virtual time `now`. New events are scheduled
+    /// through `sched`.
+    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<'_, E>);
+
+    /// Polled once per engine step: return `true` if external (off-queue)
+    /// control-plane activity happened since the last poll. The default is
+    /// a pure-DES model with no external control plane.
+    fn poll_control_activity(&mut self, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// Outcome of a [`HybridEngine::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The horizon was reached with events potentially still pending.
+    HorizonReached,
+    /// The event queue drained and the clock was in DES mode (nothing left
+    /// to do).
+    Drained,
+}
+
+/// Generic hybrid DES/FTI simulation engine.
+pub struct HybridEngine<E> {
+    queue: EventQueue<E>,
+    clock: HybridClock,
+    pacer: Pacer,
+    events_processed: u64,
+}
+
+impl<E> HybridEngine<E> {
+    /// Creates an engine with the given FTI configuration and pacing policy.
+    pub fn new(fti: FtiConfig, pacing: Pacing) -> Self {
+        HybridEngine {
+            queue: EventQueue::new(),
+            clock: HybridClock::new(fti),
+            pacer: Pacer::new(pacing, SimTime::ZERO),
+            events_processed: 0,
+        }
+    }
+
+    /// A pure-DES engine (FTI never entered unless activity is reported).
+    pub fn pure_des() -> Self {
+        Self::new(FtiConfig::default(), Pacing::Virtual)
+    }
+
+    /// Schedules an initial event.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        self.queue.push(time, event)
+    }
+
+    /// Cancels a scheduled event.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Read access to the clock (time, mode, transition log).
+    pub fn clock(&self) -> &HybridClock {
+        &self.clock
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs the model until `horizon` (inclusive) or until the queue drains
+    /// in DES mode, whichever comes first.
+    pub fn run_until<H: EventHandler<E>>(&mut self, horizon: SimTime, handler: &mut H) -> RunOutcome {
+        loop {
+            if self.clock.now() >= horizon {
+                return RunOutcome::HorizonReached;
+            }
+            if handler.poll_control_activity(self.clock.now()) {
+                self.clock.on_control_activity();
+            }
+            let next = self.queue.peek_time();
+            match self.clock.plan(next, horizon) {
+                Advance::RunTo(target) => {
+                    if self.clock.mode() == ClockMode::Fti {
+                        self.pacer.pace_to(target);
+                    } else {
+                        // DES jumps must not accrue wall-clock debt.
+                        self.pacer.rebase(target);
+                    }
+                    self.step_to(target, handler);
+                }
+                Advance::Idle => {
+                    if self.queue.is_empty() {
+                        return RunOutcome::Drained;
+                    }
+                    // Events exist but all lie beyond the horizon.
+                    self.clock.advance_to(horizon);
+                    return RunOutcome::HorizonReached;
+                }
+            }
+        }
+    }
+
+    /// Executes every event due at or before `target`, then advances the
+    /// clock to `target`.
+    fn step_to<H: EventHandler<E>>(&mut self, target: SimTime, handler: &mut H) {
+        while let Some((time, event)) = self.queue.pop_due(target) {
+            self.clock.advance_to(time);
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: time,
+                control_activity: false,
+            };
+            handler.handle(time, event, &mut sched);
+            let activity = sched.control_activity;
+            self.events_processed += 1;
+            if activity {
+                self.clock.on_control_activity();
+            }
+        }
+        self.clock.advance_to(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that counts events and optionally chains follow-ups.
+    struct Chain {
+        hops: u32,
+        delay: SimDuration,
+        fired: Vec<SimTime>,
+    }
+
+    impl EventHandler<u32> for Chain {
+        fn handle(&mut self, now: SimTime, hop: u32, sched: &mut Scheduler<'_, u32>) {
+            self.fired.push(now);
+            if hop < self.hops {
+                sched.after(self.delay, hop + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn des_chain_runs_to_completion() {
+        let mut engine = HybridEngine::pure_des();
+        engine.schedule(SimTime::from_millis(10), 1);
+        let mut model = Chain {
+            hops: 5,
+            delay: SimDuration::from_millis(10),
+            fired: vec![],
+        };
+        let outcome = engine.run_until(SimTime::from_secs(10), &mut model);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(model.fired.len(), 5);
+        assert_eq!(*model.fired.last().unwrap(), SimTime::from_millis(50));
+        assert_eq!(engine.events_processed(), 5);
+        // Pure DES: virtual time far outruns wall time.
+        assert_eq!(engine.clock().mode(), ClockMode::Des);
+    }
+
+    #[test]
+    fn horizon_stops_run() {
+        let mut engine = HybridEngine::pure_des();
+        engine.schedule(SimTime::from_secs(100), 1);
+        let mut model = Chain {
+            hops: 1,
+            delay: SimDuration::ZERO,
+            fired: vec![],
+        };
+        let outcome = engine.run_until(SimTime::from_secs(1), &mut model);
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert!(model.fired.is_empty());
+        assert_eq!(engine.pending(), 1);
+    }
+
+    /// A model that reports control activity during a window, like a BGP
+    /// session converging.
+    struct Bursty {
+        active_until: SimTime,
+        handled: u32,
+    }
+
+    impl EventHandler<&'static str> for Bursty {
+        fn handle(&mut self, _now: SimTime, _e: &'static str, _s: &mut Scheduler<'_, &'static str>) {
+            self.handled += 1;
+        }
+
+        fn poll_control_activity(&mut self, now: SimTime) -> bool {
+            now < self.active_until
+        }
+    }
+
+    #[test]
+    fn control_activity_drives_fti_then_des() {
+        let fti = FtiConfig {
+            increment: SimDuration::from_millis(1),
+            quiescence: SimDuration::from_millis(5),
+        };
+        let mut engine = HybridEngine::new(fti, Pacing::Virtual);
+        engine.schedule(SimTime::from_millis(50), "late-data-event");
+        let mut model = Bursty {
+            active_until: SimTime::from_millis(10),
+            handled: 0,
+        };
+        let outcome = engine.run_until(SimTime::from_secs(1), &mut model);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(model.handled, 1);
+        let modes: Vec<_> = engine.clock().transitions().iter().map(|t| t.mode).collect();
+        assert_eq!(
+            modes,
+            vec![ClockMode::Des, ClockMode::Fti, ClockMode::Des],
+            "Des at start, Fti during the burst, Des after quiescence"
+        );
+        // FTI covered activity window + quiescence tail, stepped at 1ms.
+        assert!(engine.clock().fti_time() >= SimDuration::from_millis(14));
+    }
+
+    #[test]
+    fn scheduler_control_activity_promotes_clock() {
+        struct Promoter;
+        impl EventHandler<()> for Promoter {
+            fn handle(&mut self, _now: SimTime, _e: (), sched: &mut Scheduler<'_, ()>) {
+                sched.control_activity();
+            }
+        }
+        let mut engine = HybridEngine::new(
+            FtiConfig {
+                increment: SimDuration::from_millis(1),
+                quiescence: SimDuration::from_millis(2),
+            },
+            Pacing::Virtual,
+        );
+        engine.schedule(SimTime::from_millis(1), ());
+        engine.run_until(SimTime::from_secs(1), &mut Promoter);
+        let modes: Vec<_> = engine.clock().transitions().iter().map(|t| t.mode).collect();
+        assert!(modes.contains(&ClockMode::Fti));
+    }
+
+    #[test]
+    fn cancelled_event_not_delivered() {
+        let mut engine = HybridEngine::pure_des();
+        let id = engine.schedule(SimTime::from_millis(1), 1);
+        engine.schedule(SimTime::from_millis(2), 2);
+        engine.cancel(id);
+        let mut model = Chain {
+            hops: 0,
+            delay: SimDuration::ZERO,
+            fired: vec![],
+        };
+        engine.run_until(SimTime::from_secs(1), &mut model);
+        assert_eq!(model.fired, vec![SimTime::from_millis(2)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Pacing couples FTI steps to wall-clock time.
+//!
+//! In FTI mode the point is that the emulated control plane — real protocol
+//! engines running on real threads with real timers — should observe a
+//! simulation clock that advances like their own wall clock. The
+//! [`Pacer`] enforces this: before the engine executes a step that ends at
+//! virtual time `t`, it waits until at least `anchor + (t - t0)` of wall time
+//! has passed.
+//!
+//! Two policies are provided:
+//!
+//! * [`Pacing::RealTime`] — sleep as needed; optionally scaled (a `speed` of
+//!   2.0 runs virtual time twice as fast as wall time).
+//! * [`Pacing::Virtual`] — never sleep. Deterministic; used in tests and in
+//!   benchmark harnesses where the control plane is also virtualized.
+
+use crate::time::SimTime;
+use std::time::Instant;
+
+/// Pacing policy for FTI steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Pace virtual time against wall time, scaled by `speed` (virtual
+    /// seconds per wall second). `speed = 1.0` is true real time.
+    RealTime {
+        /// Virtual seconds per wall-clock second.
+        speed: f64,
+    },
+    /// Run as fast as possible; fully deterministic.
+    Virtual,
+}
+
+impl Pacing {
+    /// Plain 1:1 real-time pacing.
+    pub fn real_time() -> Self {
+        Pacing::RealTime { speed: 1.0 }
+    }
+}
+
+/// Stateful pacer: anchors virtual time zero to a wall-clock instant.
+#[derive(Debug)]
+pub struct Pacer {
+    policy: Pacing,
+    anchor_wall: Instant,
+    anchor_sim: SimTime,
+}
+
+impl Pacer {
+    /// Creates a pacer anchored "now" at the given virtual time.
+    pub fn new(policy: Pacing, sim_now: SimTime) -> Self {
+        Pacer {
+            policy,
+            anchor_wall: Instant::now(),
+            anchor_sim: sim_now,
+        }
+    }
+
+    /// The pacing policy.
+    pub fn policy(&self) -> Pacing {
+        self.policy
+    }
+
+    /// Re-anchors the pacer at the current wall instant and the given
+    /// virtual time. Called when the engine leaves DES mode: the virtual
+    /// time that DES skipped must not be "owed" as wall-clock sleep.
+    pub fn rebase(&mut self, sim_now: SimTime) {
+        self.anchor_wall = Instant::now();
+        self.anchor_sim = sim_now;
+    }
+
+    /// Blocks (if pacing in real time) until wall time has caught up with
+    /// virtual time `target`. Returns the wall-clock lag (how far behind
+    /// real time the simulation was when the call was made); a large lag
+    /// means the machine cannot keep up with the configured speed.
+    pub fn pace_to(&mut self, target: SimTime) -> std::time::Duration {
+        match self.policy {
+            Pacing::Virtual => std::time::Duration::ZERO,
+            Pacing::RealTime { speed } => {
+                let sim_elapsed = target.duration_since(self.anchor_sim).as_secs_f64();
+                let wall_needed = if speed > 0.0 {
+                    sim_elapsed / speed
+                } else {
+                    sim_elapsed
+                };
+                let wall_elapsed = self.anchor_wall.elapsed().as_secs_f64();
+                if wall_elapsed < wall_needed {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(
+                        wall_needed - wall_elapsed,
+                    ));
+                    std::time::Duration::ZERO
+                } else {
+                    std::time::Duration::from_secs_f64(wall_elapsed - wall_needed)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn virtual_pacing_never_sleeps() {
+        let mut p = Pacer::new(Pacing::Virtual, SimTime::ZERO);
+        let start = Instant::now();
+        p.pace_to(SimTime::from_secs(3600));
+        assert!(start.elapsed().as_millis() < 100);
+    }
+
+    #[test]
+    fn real_time_pacing_sleeps() {
+        let mut p = Pacer::new(Pacing::real_time(), SimTime::ZERO);
+        let start = Instant::now();
+        p.pace_to(SimTime::from_millis(30));
+        assert!(start.elapsed().as_millis() >= 25, "should sleep ~30ms");
+    }
+
+    #[test]
+    fn speedup_scales_sleep() {
+        let mut p = Pacer::new(Pacing::RealTime { speed: 10.0 }, SimTime::ZERO);
+        let start = Instant::now();
+        p.pace_to(SimTime::from_millis(100));
+        let el = start.elapsed().as_millis();
+        assert!((5..60).contains(&el), "100ms virtual at 10x ≈ 10ms wall, got {el}ms");
+    }
+
+    #[test]
+    fn rebase_forgives_skipped_time() {
+        let mut p = Pacer::new(Pacing::real_time(), SimTime::ZERO);
+        // Jump far ahead in virtual time (as DES would), then rebase.
+        p.rebase(SimTime::from_secs(1000));
+        let start = Instant::now();
+        p.pace_to(SimTime::from_secs(1000) + SimDuration::from_millis(10));
+        let el = start.elapsed().as_millis();
+        assert!(el < 100, "only the 10ms past the rebase point is owed, got {el}ms");
+    }
+
+    #[test]
+    fn lag_reported_when_behind() {
+        let mut p = Pacer::new(Pacing::real_time(), SimTime::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let lag = p.pace_to(SimTime::from_millis(1));
+        assert!(lag.as_millis() >= 10, "we were ~19ms behind, got {lag:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the event queue is a stable priority queue under any
+//! interleaving of pushes, pops and cancels.
+
+use horse_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+    CancelNth(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1_000).prop_map(Op::Push),
+            Just(Op::Pop),
+            (0usize..64).prop_map(Op::CancelNth),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// Whatever we do, pops come out in (time, insertion) order and the
+    /// queue agrees with a naive reference model.
+    #[test]
+    fn matches_reference_model(ops in ops()) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Reference: Vec of (time, seq, value, alive).
+        let mut model: Vec<(u64, u32, bool)> = Vec::new();
+        let mut ids = Vec::new();
+        let mut next_val = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Push(t) => {
+                    let id = q.push(SimTime::from_nanos(t), next_val);
+                    ids.push(id);
+                    model.push((t, next_val, true));
+                    next_val += 1;
+                }
+                Op::Pop => {
+                    let got = q.pop();
+                    // Reference pop: earliest alive by (time, insertion).
+                    let pick = model
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (_, _, alive))| *alive)
+                        .min_by_key(|(i, (t, _, _))| (*t, *i))
+                        .map(|(i, _)| i);
+                    match (got, pick) {
+                        (Some((t, v)), Some(i)) => {
+                            prop_assert_eq!(t.as_nanos(), model[i].0);
+                            prop_assert_eq!(v, model[i].1);
+                            model[i].2 = false;
+                        }
+                        (None, None) => {}
+                        (g, p) => prop_assert!(false, "mismatch {:?} vs {:?}", g, p),
+                    }
+                }
+                Op::CancelNth(n) => {
+                    if let Some(id) = ids.get(n) {
+                        let was_alive = model.get(n).map(|m| m.2).unwrap_or(false);
+                        let cancelled = q.cancel(*id);
+                        prop_assert_eq!(cancelled, was_alive);
+                        if let Some(m) = model.get_mut(n) {
+                            m.2 = false;
+                        }
+                    }
+                }
+            }
+            let alive = model.iter().filter(|m| m.2).count();
+            prop_assert_eq!(q.len(), alive);
+        }
+        // Drain: remaining events come out fully ordered.
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, v)) = q.pop() {
+            let idx = model.iter().position(|(_, mv, alive)| *alive && *mv == v)
+                .expect("popped value must be alive in model");
+            if let Some((lt, li)) = last {
+                prop_assert!((lt, li) <= (t.as_nanos(), idx));
+            }
+            last = Some((t.as_nanos(), idx));
+            model[idx].2 = false;
+        }
+        prop_assert!(model.iter().all(|m| !m.2));
+    }
+
+    /// peek_time always names the next pop's timestamp.
+    #[test]
+    fn peek_predicts_pop(times in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(*t), i);
+        }
+        while let Some(peeked) = q.peek_time() {
+            let (t, _) = q.pop().expect("peek implies pop");
+            prop_assert_eq!(t, peeked);
+        }
+        prop_assert!(q.is_empty());
+    }
+}

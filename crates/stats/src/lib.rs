@@ -1,0 +1,363 @@
+//! # horse-stats — metrics collection for experiments
+//!
+//! Horse's demo ends each run with "a graph of the aggregated rate of all
+//! flows arriving at the hosts for each TE case". This crate provides the
+//! plumbing: [`TimeSeries`] (timestamped samples with summary statistics),
+//! [`SeriesSet`] (named series, CSV/JSON export) and [`Histogram`] (for
+//! latency/throughput distributions in the extended benchmarks).
+
+use horse_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A time-ordered sequence of `(time, value)` samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample. Samples must arrive in non-decreasing time order;
+    /// out-of-order samples are clamped to the latest time seen (the
+    /// collectors all sample from the monotonic simulation clock, so this
+    /// only defends against misuse).
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        let t = match self.points.last() {
+            Some((last, _)) if *last > t => *last,
+            _ => t,
+        };
+        self.points.push((t, v));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The last sample.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|(_, v)| *v).fold(None, |m, v| {
+            Some(match m {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Arithmetic mean of the values (unweighted by time).
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Time-weighted average between the first and last sample (each value
+    /// holds until the next sample). This is the honest "average rate over
+    /// the run" number.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return self.points.first().map(|(_, v)| *v);
+        }
+        let mut acc = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0.duration_since(w[0].0).as_secs_f64();
+            acc += w[0].1 * dt;
+        }
+        let span = self
+            .points
+            .last()
+            .expect("non-empty")
+            .0
+            .duration_since(self.points[0].0)
+            .as_secs_f64();
+        if span <= 0.0 {
+            return self.mean();
+        }
+        Some(acc / span)
+    }
+
+    /// The value in force at time `t` (last sample at or before `t`).
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.partition_point(|(pt, _)| *pt <= t) {
+            0 => None,
+            i => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Downsamples to one point per `interval` (keeping the last value of
+    /// each bucket) — for plotting long runs compactly.
+    pub fn resample(&self, interval: SimDuration) -> TimeSeries {
+        if interval.is_zero() || self.points.is_empty() {
+            return self.clone();
+        }
+        let mut out = TimeSeries::new();
+        let mut bucket_end = self.points[0].0 + interval;
+        let mut pending: Option<(SimTime, f64)> = None;
+        for (t, v) in &self.points {
+            while *t >= bucket_end {
+                if let Some(p) = pending.take() {
+                    out.points.push(p);
+                }
+                bucket_end = bucket_end + interval;
+            }
+            pending = Some((*t, *v));
+        }
+        if let Some(p) = pending {
+            out.points.push(p);
+        }
+        out
+    }
+}
+
+/// A named collection of series with export helpers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SeriesSet {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl SeriesSet {
+    /// An empty set.
+    pub fn new() -> SeriesSet {
+        SeriesSet::default()
+    }
+
+    /// Appends a sample to the named series (created on first use).
+    pub fn push(&mut self, name: &str, t: SimTime, v: f64) {
+        self.series.entry(name.to_string()).or_default().push(t, v);
+    }
+
+    /// The named series.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// All series names.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Long-format CSV: `series,time_s,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,time_s,value\n");
+        for (name, s) in &self.series {
+            for (t, v) in s.points() {
+                let _ = writeln!(out, "{name},{:.6},{v}", t.as_secs_f64());
+            }
+        }
+        out
+    }
+
+    /// JSON export (series name → [[t, v], …]).
+    pub fn to_json(&self) -> String {
+        let view: BTreeMap<&str, Vec<(f64, f64)>> = self
+            .series
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.as_str(),
+                    s.points()
+                        .iter()
+                        .map(|(t, v)| (t.as_secs_f64(), *v))
+                        .collect(),
+                )
+            })
+            .collect();
+        serde_json::to_string_pretty(&view).expect("plain data serializes")
+    }
+}
+
+/// A simple fixed-bucket histogram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// `n` equal buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Histogram {
+        assert!(hi > lo && n > 0);
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((v - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Approximate quantile (bucket-resolution; in-range values only).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let in_range: u64 = self.buckets.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * in_range as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                let w = (self.hi - self.lo) / self.buckets.len() as f64;
+                return Some(self.lo + w * (i as f64 + 0.5));
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn series_basics() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 1.0);
+        s.push(t(1), 3.0);
+        s.push(t(2), 2.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.last(), Some((t(2), 2.0)));
+    }
+
+    #[test]
+    fn out_of_order_clamped() {
+        let mut s = TimeSeries::new();
+        s.push(t(5), 1.0);
+        s.push(t(3), 2.0);
+        assert_eq!(s.points()[1].0, t(5));
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 10.0); // holds 1s
+        s.push(t(1), 0.0); // holds 9s
+        s.push(t(10), 0.0);
+        // (10*1 + 0*9) / 10 = 1.0
+        assert!((s.time_weighted_mean().unwrap() - 1.0).abs() < 1e-9);
+        // Plain mean would say 3.33.
+        assert!((s.mean().unwrap() - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut s = TimeSeries::new();
+        s.push(t(1), 5.0);
+        s.push(t(3), 7.0);
+        assert_eq!(s.value_at(t(0)), None);
+        assert_eq!(s.value_at(t(1)), Some(5.0));
+        assert_eq!(s.value_at(t(2)), Some(5.0));
+        assert_eq!(s.value_at(t(3)), Some(7.0));
+        assert_eq!(s.value_at(t(99)), Some(7.0));
+    }
+
+    #[test]
+    fn resample_keeps_bucket_last() {
+        let mut s = TimeSeries::new();
+        for ms in 0..1000u64 {
+            s.push(SimTime::from_millis(ms), ms as f64);
+        }
+        let r = s.resample(SimDuration::from_millis(100));
+        assert!(r.len() <= 11, "got {}", r.len());
+        assert_eq!(r.last().unwrap().1, 999.0);
+    }
+
+    #[test]
+    fn series_set_csv_and_json() {
+        let mut set = SeriesSet::new();
+        set.push("a", t(0), 1.5);
+        set.push("a", t(1), 2.5);
+        set.push("b", t(0), 9.0);
+        let csv = set.to_csv();
+        assert!(csv.starts_with("series,time_s,value\n"));
+        assert!(csv.contains("a,0.000000,1.5"));
+        assert!(csv.contains("b,0.000000,9"));
+        let json = set.to_json();
+        assert!(json.contains("\"a\""));
+        assert_eq!(set.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean().unwrap() - 49.5).abs() < 1e-9);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() <= 1.0, "{p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 97.0, "{p99}");
+    }
+
+    #[test]
+    fn histogram_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-5.0);
+        h.record(50.0);
+        h.record(5.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.5), Some(5.5));
+    }
+}

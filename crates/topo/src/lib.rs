@@ -1,0 +1,22 @@
+//! # horse-topo — topology builders
+//!
+//! Builders for the network shapes the Horse demo uses (Al-Fares fat-trees
+//! with 4/6/8 pods) plus the usual suspects for other experiments (linear,
+//! star, leaf–spine, Waxman random WANs), and the traffic patterns the
+//! demo's workload and the Hedera evaluation use (random permutation,
+//! stride, staggered).
+//!
+//! For BGP scenarios the fat-tree builder also synthesizes RFC 7938-style
+//! configurations: a private AS number per switch, eBGP sessions on every
+//! inter-switch link over /30-style link addresses, multipath enabled, and
+//! each edge (ToR) switch originating its host subnet.
+
+pub mod fattree;
+pub mod pattern;
+pub mod shapes;
+pub mod synth;
+
+pub use fattree::{BgpNodeSetup, FatTree, SwitchRole};
+pub use pattern::{TrafficPattern, TrafficPair};
+pub use shapes::{leaf_spine, linear, star, waxman_wan};
+pub use synth::bgp_setups_for;

@@ -1,0 +1,220 @@
+//! Traffic patterns.
+//!
+//! The demo's workload: "each server of the DC sends a single UDP flow to
+//! another server inside the DC, at the constant rate of 1 Gbps" — a random
+//! permutation. Stride and staggered patterns (from the Hedera evaluation)
+//! are provided for the extended benchmarks.
+
+use horse_net::flow::FiveTuple;
+use horse_net::topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One src→dst demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficPair {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+}
+
+/// Workload shapes over a host list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Random permutation with no self-pairs (the demo's pattern).
+    RandomPermutation,
+    /// Host `i` sends to host `(i + stride) mod n`.
+    Stride(usize),
+    /// With probability `p_edge`% stay under the same edge switch, with
+    /// `p_pod`% stay in the pod, else go anywhere (Hedera's "staggered
+    /// prob" pattern, here approximated by index locality).
+    Staggered {
+        /// Percent of flows staying within the same edge group.
+        p_edge: u8,
+        /// Percent of flows staying within the same pod (beyond `p_edge`).
+        p_pod: u8,
+        /// Hosts per edge group.
+        hosts_per_edge: usize,
+        /// Hosts per pod.
+        hosts_per_pod: usize,
+    },
+}
+
+impl TrafficPattern {
+    /// Generates the src→dst pairs for `hosts` using a seeded RNG.
+    pub fn pairs(&self, hosts: &[NodeId], seed: u64) -> Vec<TrafficPair> {
+        let n = hosts.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            TrafficPattern::RandomPermutation => {
+                // Sattolo's algorithm: a uniform cyclic permutation, which
+                // guarantees no host sends to itself.
+                let mut idx: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    let j = rng.gen_range(0..i);
+                    idx.swap(i, j);
+                }
+                (0..n)
+                    .map(|i| TrafficPair {
+                        src: hosts[i],
+                        dst: hosts[idx[i]],
+                    })
+                    .collect()
+            }
+            TrafficPattern::Stride(s) => (0..n)
+                .map(|i| TrafficPair {
+                    src: hosts[i],
+                    dst: hosts[(i + s) % n],
+                })
+                .filter(|p| p.src != p.dst)
+                .collect(),
+            TrafficPattern::Staggered {
+                p_edge,
+                p_pod,
+                hosts_per_edge,
+                hosts_per_pod,
+            } => {
+                let hpe = (*hosts_per_edge).max(1);
+                let hpp = (*hosts_per_pod).max(hpe);
+                (0..n)
+                    .map(|i| {
+                        let r: u8 = rng.gen_range(0..100);
+                        let dst = if r < *p_edge && hpe > 1 {
+                            // Same edge group.
+                            let base = i / hpe * hpe;
+                            let mut d = base + rng.gen_range(0..hpe);
+                            if d == i {
+                                d = base + (i - base + 1) % hpe;
+                            }
+                            d % n
+                        } else if r < p_edge + p_pod && hpp > 1 {
+                            let base = i / hpp * hpp;
+                            let span = hpp.min(n - base);
+                            let mut d = base + rng.gen_range(0..span);
+                            if d == i {
+                                d = base + (i - base + 1) % span;
+                            }
+                            d % n
+                        } else {
+                            let mut d = rng.gen_range(0..n);
+                            if d == i {
+                                d = (i + 1) % n;
+                            }
+                            d
+                        };
+                        TrafficPair {
+                            src: hosts[i],
+                            dst: hosts[dst],
+                        }
+                    })
+                    .filter(|p| p.src != p.dst)
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Builds the UDP 5-tuple the demo's flow from `src` to `dst` uses:
+/// distinct source ports per sender keep 5-tuple hashing meaningful.
+pub fn demo_tuple(topo: &Topology, src: NodeId, dst: NodeId, flow_index: u16) -> FiveTuple {
+    FiveTuple::udp(
+        topo.node(src).ip,
+        10_000 + flow_index,
+        topo.node(dst).ip,
+        20_000,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::{FatTree, SwitchRole};
+
+    fn hosts(n: usize) -> Vec<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    #[test]
+    fn permutation_covers_all_and_no_self() {
+        let h = hosts(64);
+        let pairs = TrafficPattern::RandomPermutation.pairs(&h, 1);
+        assert_eq!(pairs.len(), 64);
+        let mut dsts: Vec<NodeId> = pairs.iter().map(|p| p.dst).collect();
+        dsts.sort();
+        dsts.dedup();
+        assert_eq!(dsts.len(), 64, "permutation: every host receives once");
+        for p in &pairs {
+            assert_ne!(p.src, p.dst);
+        }
+    }
+
+    #[test]
+    fn permutation_deterministic_per_seed() {
+        let h = hosts(16);
+        let a = TrafficPattern::RandomPermutation.pairs(&h, 5);
+        let b = TrafficPattern::RandomPermutation.pairs(&h, 5);
+        let c = TrafficPattern::RandomPermutation.pairs(&h, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stride_wraps() {
+        let h = hosts(8);
+        let pairs = TrafficPattern::Stride(3).pairs(&h, 0);
+        assert_eq!(pairs[0].dst, NodeId(3));
+        assert_eq!(pairs[7].dst, NodeId(2));
+    }
+
+    #[test]
+    fn stride_zero_yields_empty() {
+        let h = hosts(4);
+        assert!(TrafficPattern::Stride(0).pairs(&h, 0).is_empty());
+    }
+
+    #[test]
+    fn staggered_respects_locality_statistically() {
+        let h = hosts(64);
+        let pat = TrafficPattern::Staggered {
+            p_edge: 50,
+            p_pod: 30,
+            hosts_per_edge: 2,
+            hosts_per_pod: 8,
+        };
+        let pairs = pat.pairs(&h, 42);
+        let same_edge = pairs
+            .iter()
+            .filter(|p| p.src.0 / 2 == p.dst.0 / 2)
+            .count();
+        assert!(
+            same_edge > pairs.len() / 4,
+            "expected heavy edge locality, got {same_edge}/{}",
+            pairs.len()
+        );
+        for p in &pairs {
+            assert_ne!(p.src, p.dst);
+        }
+    }
+
+    #[test]
+    fn demo_tuple_unique_per_flow_index() {
+        let ft = FatTree::build(4, SwitchRole::OpenFlow, 1e9, 0);
+        let t1 = demo_tuple(&ft.topo, ft.hosts[0], ft.hosts[1], 0);
+        let t2 = demo_tuple(&ft.topo, ft.hosts[0], ft.hosts[1], 1);
+        assert_ne!(t1, t2);
+        assert_eq!(t1.src_ip, ft.topo.node(ft.hosts[0]).ip);
+    }
+
+    #[test]
+    fn tiny_host_lists_handled() {
+        assert!(TrafficPattern::RandomPermutation.pairs(&hosts(1), 0).is_empty());
+        assert!(TrafficPattern::RandomPermutation.pairs(&[], 0).is_empty());
+        let two = TrafficPattern::RandomPermutation.pairs(&hosts(2), 0);
+        assert_eq!(two.len(), 2);
+    }
+}

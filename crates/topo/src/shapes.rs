@@ -1,0 +1,211 @@
+//! Simple topology shapes: linear, star, leaf–spine, random WAN.
+//!
+//! The paper notes Horse "is not restricted to DCs and can also be used for
+//! other types of networks, e.g. Wide Area Networks" — [`waxman_wan`]
+//! provides that: a Waxman random graph of routers, each with one attached
+//! host subnet, suitable for BGP experiments.
+
+use horse_net::addr::Ipv4Prefix;
+use horse_net::topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// `h0 - s0 - s1 - … - s(n-1) - h1`: a chain of `n` switches with a host at
+/// each end. Returns `(topo, h0, h1, switches)`.
+pub fn linear(n: usize, link_bps: f64) -> (Topology, NodeId, NodeId, Vec<NodeId>) {
+    assert!(n >= 1);
+    let mut t = Topology::new();
+    let sn: Ipv4Prefix = "10.0.0.0/24".parse().expect("static prefix");
+    let h0 = t.add_host("h0", Ipv4Addr::new(10, 0, 0, 1), sn);
+    let h1 = t.add_host("h1", Ipv4Addr::new(10, 0, 0, 2), sn);
+    let switches: Vec<NodeId> = (0..n)
+        .map(|i| t.add_switch(format!("s{i}"), Ipv4Addr::new(10, 255, 0, i as u8 + 1)))
+        .collect();
+    t.add_link(h0, switches[0], link_bps, 1000);
+    for w in switches.windows(2) {
+        t.add_link(w[0], w[1], link_bps, 1000);
+    }
+    t.add_link(switches[n - 1], h1, link_bps, 1000);
+    (t, h0, h1, switches)
+}
+
+/// `n` hosts hanging off one switch. Returns `(topo, hosts, switch)`.
+pub fn star(n: usize, link_bps: f64) -> (Topology, Vec<NodeId>, NodeId) {
+    assert!(n >= 1 && n <= 250);
+    let mut t = Topology::new();
+    let sn: Ipv4Prefix = "10.0.0.0/24".parse().expect("static prefix");
+    let s = t.add_switch("s0", Ipv4Addr::new(10, 255, 0, 1));
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let h = t.add_host(
+                format!("h{i}"),
+                Ipv4Addr::new(10, 0, 0, i as u8 + 1),
+                sn,
+            );
+            t.add_link(h, s, link_bps, 1000);
+            h
+        })
+        .collect();
+    (t, hosts, s)
+}
+
+/// A two-tier leaf–spine fabric: every leaf connects to every spine, with
+/// `hosts_per_leaf` hosts per leaf. Returns `(topo, hosts, leaves, spines)`.
+pub fn leaf_spine(
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    link_bps: f64,
+) -> (Topology, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
+    assert!(leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1);
+    let mut t = Topology::new();
+    let spine_ids: Vec<NodeId> = (0..spines)
+        .map(|i| t.add_switch(format!("spine{i}"), Ipv4Addr::new(10, 255, 1, i as u8 + 1)))
+        .collect();
+    let mut hosts = Vec::new();
+    let leaf_ids: Vec<NodeId> = (0..leaves)
+        .map(|l| {
+            let leaf = t.add_switch(format!("leaf{l}"), Ipv4Addr::new(10, 255, 0, l as u8 + 1));
+            let sn = Ipv4Prefix::new(Ipv4Addr::new(10, 0, l as u8, 0), 24);
+            for h in 0..hosts_per_leaf {
+                let host = t.add_host(
+                    format!("l{l}-h{h}"),
+                    Ipv4Addr::new(10, 0, l as u8, h as u8 + 1),
+                    sn,
+                );
+                t.add_link(host, leaf, link_bps, 1000);
+                hosts.push(host);
+            }
+            for s in &spine_ids {
+                t.add_link(leaf, *s, link_bps, 1000);
+            }
+            leaf
+        })
+        .collect();
+    (t, hosts, leaf_ids, spine_ids)
+}
+
+/// A Waxman random WAN of `n` routers on a unit square: routers `u`,`v`
+/// connect with probability `alpha * exp(-d(u,v) / (beta * L))`. Each
+/// router gets one host subnet. A spanning chain guarantees connectivity.
+/// Returns `(topo, hosts, routers)`.
+pub fn waxman_wan(
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    link_bps: f64,
+    seed: u64,
+) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+    assert!(n >= 2 && n <= 200);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let routers: Vec<NodeId> = (0..n)
+        .map(|i| {
+            t.add_router(
+                format!("r{i}"),
+                Ipv4Addr::new(10, 200 + (i / 250) as u8, (i % 250) as u8, 1),
+            )
+        })
+        .collect();
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let sn = Ipv4Prefix::new(Ipv4Addr::new(10, (i / 250) as u8, (i % 250) as u8, 0), 24);
+            let h = t.add_host(
+                format!("r{i}-host"),
+                Ipv4Addr::new(10, (i / 250) as u8, (i % 250) as u8, 2),
+                sn,
+            );
+            t.add_link(h, routers[i], link_bps, 1000);
+            h
+        })
+        .collect();
+    // Spanning chain for connectivity.
+    for i in 1..n {
+        t.add_link(routers[i - 1], routers[i], link_bps, wan_delay(&positions, i - 1, i));
+    }
+    // Waxman extra links.
+    let l = 2f64.sqrt(); // max distance on the unit square
+    for i in 0..n {
+        for j in i + 2..n {
+            let d = dist(positions[i], positions[j]);
+            let p = alpha * (-d / (beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                t.add_link(routers[i], routers[j], link_bps, wan_delay(&positions, i, j));
+            }
+        }
+    }
+    (t, hosts, routers)
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Distance-proportional delay: unit square diagonal ≈ 20 ms coast-to-coast.
+fn wan_delay(pos: &[(f64, f64)], i: usize, j: usize) -> u64 {
+    let d = dist(pos[i], pos[j]);
+    (d / 2f64.sqrt() * 20e6) as u64 + 100_000 // ≥ 0.1 ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horse_net::topology::NodeKind;
+
+    #[test]
+    fn linear_connects_ends() {
+        let (t, h0, h1, switches) = linear(5, 1e9);
+        assert_eq!(switches.len(), 5);
+        assert_eq!(t.hop_distance(h0, h1), Some(6));
+    }
+
+    #[test]
+    fn star_counts() {
+        let (t, hosts, s) = star(10, 1e9);
+        assert_eq!(hosts.len(), 10);
+        assert_eq!(t.neighbors(s).len(), 10);
+        assert_eq!(t.hop_distance(hosts[0], hosts[9]), Some(2));
+    }
+
+    #[test]
+    fn leaf_spine_full_bipartite() {
+        let (t, hosts, leaves, spines) = leaf_spine(4, 3, 2, 1e9);
+        assert_eq!(hosts.len(), 8);
+        for l in &leaves {
+            for s in &spines {
+                assert!(t.link_between(*l, *s).is_some());
+            }
+        }
+        // Cross-leaf hosts have one ECMP path per spine.
+        let paths = t.all_shortest_paths(hosts[0], hosts[2]);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let (t1, hosts, routers) = waxman_wan(30, 0.4, 0.2, 1e9, 7);
+        assert_eq!(hosts.len(), 30);
+        assert_eq!(routers.len(), 30);
+        for h in &hosts[1..] {
+            assert!(t1.hop_distance(hosts[0], *h).is_some());
+        }
+        let (t2, ..) = waxman_wan(30, 0.4, 0.2, 1e9, 7);
+        assert_eq!(t1.link_count(), t2.link_count(), "same seed, same graph");
+        let (t3, ..) = waxman_wan(30, 0.4, 0.2, 1e9, 8);
+        // Different seeds almost surely differ in link count.
+        assert!(
+            t1.link_count() != t3.link_count() || t1.node_count() == t3.node_count(),
+            "sanity"
+        );
+        assert_eq!(t1.nodes_of_kind(NodeKind::Router).len(), 30);
+    }
+
+    #[test]
+    fn wan_delays_scale_with_distance() {
+        let pos = vec![(0.0, 0.0), (1.0, 1.0), (0.0, 0.01)];
+        assert!(wan_delay(&pos, 0, 1) > wan_delay(&pos, 0, 2));
+        assert!(wan_delay(&pos, 0, 2) >= 100_000);
+    }
+}

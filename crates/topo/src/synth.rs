@@ -1,0 +1,141 @@
+//! Generic BGP configuration synthesis for arbitrary router topologies.
+//!
+//! [`crate::FatTree::bgp_setups`] hand-tailors the data-center case; this
+//! module generalizes the same recipe to any topology whose forwarding
+//! nodes are routers (e.g. the Waxman WANs from [`crate::shapes`]):
+//! a distinct private ASN per router, eBGP on every router–router link over
+//! deterministic /30-style addresses, /32 adjacencies for attached hosts,
+//! and each router originating the subnets of its attached hosts.
+
+use crate::fattree::BgpNodeSetup;
+use horse_bgp::session::{PeerConfig, TimerConfig};
+use horse_bgp::speaker::BgpConfig;
+use horse_net::addr::Ipv4Prefix;
+use horse_net::topology::{LinkId, NodeId, NodeKind, Topology};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Deterministic point-to-point addresses for a link (172.20/14 pool, so
+/// they collide with neither data addresses nor the fat-tree's 172.16 pool).
+fn p2p_addrs(lid: LinkId) -> (Ipv4Addr, Ipv4Addr) {
+    let base: u32 = u32::from(Ipv4Addr::new(172, 20, 0, 0)) + 4 * lid.0;
+    (Ipv4Addr::from(base + 1), Ipv4Addr::from(base + 2))
+}
+
+/// Synthesizes per-router BGP setups for every [`NodeKind::Router`] in
+/// `topo`. ASNs are `64512 + router-index` (in node-id order); multipath
+/// is enabled.
+pub fn bgp_setups_for(topo: &Topology, timers: TimerConfig) -> BTreeMap<NodeId, BgpNodeSetup> {
+    let routers = topo.nodes_of_kind(NodeKind::Router);
+    let asn_of: BTreeMap<NodeId, u16> = routers
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (*n, 64512 + i as u16))
+        .collect();
+    let mut out = BTreeMap::new();
+    for (&node, &asn) in &asn_of {
+        let mut peers = Vec::new();
+        let mut addr_to_port = BTreeMap::new();
+        let mut connected = Vec::new();
+        let mut networks: Vec<Ipv4Prefix> = Vec::new();
+        for (lid, port, neighbor) in topo.neighbors(node) {
+            if let Some(&peer_as) = asn_of.get(&neighbor) {
+                let link = topo.link(lid);
+                let (a, b) = p2p_addrs(lid);
+                let (local_addr, peer_addr) = if link.a.node == node { (a, b) } else { (b, a) };
+                peers.push(PeerConfig {
+                    peer_addr,
+                    local_addr,
+                    remote_as: peer_as,
+                });
+                addr_to_port.insert(peer_addr, port);
+            } else if topo.node(neighbor).kind == NodeKind::Host {
+                let h = topo.node(neighbor);
+                connected.push((Ipv4Prefix::host(h.ip), port));
+                networks.push(h.subnet);
+            }
+        }
+        networks.sort();
+        networks.dedup();
+        out.insert(
+            node,
+            BgpNodeSetup {
+                config: BgpConfig {
+                    asn,
+                    router_id: topo.node(node).ip,
+                    timers,
+                    peers,
+                    networks,
+                    multipath: true,
+                },
+                addr_to_port,
+                connected,
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::waxman_wan;
+    use horse_sim::SimDuration;
+
+    fn timers() -> TimerConfig {
+        TimerConfig {
+            hold_time: SimDuration::from_secs(30),
+            connect_retry: SimDuration::from_secs(1),
+            mrai: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn wan_setups_cover_all_routers() {
+        let (topo, _hosts, routers) = waxman_wan(20, 0.4, 0.2, 1e9, 3);
+        let setups = bgp_setups_for(&topo, timers());
+        assert_eq!(setups.len(), routers.len());
+        // Unique ASNs.
+        let mut asns: Vec<u16> = setups.values().map(|s| s.config.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert_eq!(asns.len(), 20);
+        // Every router originates its host's subnet and has a /32 adjacency.
+        for s in setups.values() {
+            assert_eq!(s.config.networks.len(), 1);
+            assert_eq!(s.connected.len(), 1);
+            assert_eq!(s.connected[0].0.len(), 32);
+        }
+    }
+
+    #[test]
+    fn peerings_symmetric() {
+        let (topo, _, _) = waxman_wan(15, 0.5, 0.3, 1e9, 9);
+        let setups = bgp_setups_for(&topo, timers());
+        for (node, setup) in &setups {
+            for peer in &setup.config.peers {
+                let port = setup.addr_to_port[&peer.peer_addr];
+                let lid = topo.link_at(*node, port).unwrap();
+                let other = topo.link(lid).other(*node);
+                let os = &setups[&other];
+                assert!(os.config.peers.iter().any(|p| {
+                    p.peer_addr == peer.local_addr
+                        && p.local_addr == peer.peer_addr
+                        && p.remote_as == setup.config.asn
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_unique() {
+        let (topo, _, _) = waxman_wan(25, 0.4, 0.2, 1e9, 5);
+        let setups = bgp_setups_for(&topo, timers());
+        let mut seen = std::collections::HashSet::new();
+        for s in setups.values() {
+            for p in &s.config.peers {
+                assert!(seen.insert((p.local_addr, p.peer_addr)));
+            }
+        }
+    }
+}

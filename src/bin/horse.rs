@@ -1,0 +1,206 @@
+//! `horse` — command-line front end for the experiment library.
+//!
+//! ```text
+//! horse demo    [--pods K] [--te bgp-ecmp|hedera|sdn-ecmp|all] [--seed N]
+//!               [--horizon S] [--realtime] [--json FILE]
+//! horse wan     [--routers N] [--seed N] [--horizon S]
+//! horse failure [--pods K] [--at S] [--repair S] [--horizon S]
+//! horse help
+//! ```
+//!
+//! The paper drives Horse through a Python API; this binary plays the same
+//! role for shell users: one command per demo scenario, human-readable
+//! tables on stdout, optional JSON reports for scripts.
+
+use horse::net::flow::FlowSpec;
+use horse::sim::{Pacing, SimDuration, SimTime};
+use horse::topo::fattree::{FatTree, SwitchRole};
+use horse::topo::pattern::demo_tuple;
+use horse::topo::{bgp_setups_for, waxman_wan};
+use horse::{ControlBuild, Experiment, ExperimentReport, TeApproach};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Minimal `--flag value` parser: flags may appear in any order.
+struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut flags = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            if name == "realtime" {
+                flags.insert(name.to_string(), String::from("true"));
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn print_report(report: &ExperimentReport, ideal_gbps: f64) {
+    println!(
+        "{:<12} flows {:>4}/{:<4} goodput {:>7.2}/{:.0} Gbps  ctl-msgs {:>6}  \
+         FTI {:>7.1} ms  wall {:>7.3} s",
+        report.label,
+        report.flows_routed,
+        report.flows_requested,
+        report.goodput_final_bps() / 1e9,
+        ideal_gbps,
+        report.control_msgs,
+        report.fti_time.as_millis_f64(),
+        report.wall_setup_secs + report.wall_run_secs,
+    );
+}
+
+fn maybe_write_json(args: &Args, reports: &[ExperimentReport]) -> Result<(), String> {
+    if let Some(path) = args.flags.get("json") {
+        let body = if reports.len() == 1 {
+            reports[0].to_json()
+        } else {
+            let parts: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+            format!("[\n{}\n]", parts.join(",\n"))
+        };
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("[wrote {path}]");
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &Args) -> Result<(), String> {
+    let pods: usize = args.get("pods", 4)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let horizon: f64 = args.get("horizon", 20.0)?;
+    let te_arg: String = args.get("te", String::from("all"))?;
+    let tes: Vec<TeApproach> = match te_arg.as_str() {
+        "bgp-ecmp" => vec![TeApproach::BgpEcmp],
+        "hedera" => vec![TeApproach::Hedera],
+        "sdn-ecmp" => vec![TeApproach::SdnEcmp],
+        "all" => vec![TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp],
+        other => return Err(format!("--te: unknown approach {other:?}")),
+    };
+    let ideal = (pods * pods * pods / 4) as f64;
+    let mut reports = Vec::new();
+    for te in tes {
+        let mut e = Experiment::demo(pods, te, seed).horizon_secs(horizon);
+        if args.has("realtime") {
+            e = e.pacing(Pacing::real_time());
+        }
+        let report = e.run();
+        print_report(&report, ideal);
+        reports.push(report);
+    }
+    maybe_write_json(args, &reports)
+}
+
+fn cmd_wan(args: &Args) -> Result<(), String> {
+    let routers: usize = args.get("routers", 25)?;
+    let seed: u64 = args.get("seed", 7)?;
+    let horizon: f64 = args.get("horizon", 30.0)?;
+    let (topo, hosts, _) = waxman_wan(routers, 0.4, 0.2, 10e9, seed);
+    let setups = bgp_setups_for(
+        &topo,
+        horse::bgp::session::TimerConfig {
+            hold_time: SimDuration::from_secs(90),
+            connect_retry: SimDuration::from_secs(2),
+            mrai: SimDuration::ZERO,
+        },
+    );
+    let mut e = Experiment::new(topo.clone())
+        .horizon_secs(horizon)
+        .label(format!("wan-{routers}"));
+    for i in 0..hosts.len().min(8) {
+        let a = hosts[i];
+        let b = hosts[(i + hosts.len() / 2) % hosts.len()];
+        let tuple = demo_tuple(&topo, a, b, i as u16);
+        e = e.flow(SimTime::from_millis(10), FlowSpec::cbr(a, b, tuple, 1e9));
+    }
+    e.control = ControlBuild::Bgp(setups);
+    let report = e.run();
+    print_report(&report, 8.0);
+    maybe_write_json(args, &[report])
+}
+
+fn cmd_failure(args: &Args) -> Result<(), String> {
+    let pods: usize = args.get("pods", 4)?;
+    let at: f64 = args.get("at", 3.0)?;
+    let repair: f64 = args.get("repair", 7.0)?;
+    let horizon: f64 = args.get("horizon", 10.0)?;
+    let ft = FatTree::build(pods, SwitchRole::BgpRouter, 1e9, 1_000);
+    let (victim, _) = ft
+        .topo
+        .link_between(ft.aggs[0], ft.cores[0])
+        .ok_or("no agg-core link")?;
+    let report = Experiment::demo(pods, TeApproach::BgpEcmp, 42)
+        .horizon_secs(horizon)
+        .link_down(SimTime::from_secs_f64(at), victim)
+        .link_up(SimTime::from_secs_f64(repair), victim)
+        .run();
+    print_report(&report, (pods * pods * pods / 4) as f64);
+    println!("mode timeline:");
+    for (t, mode) in report.transition_rows() {
+        println!("  t={t:>8.4}s -> {mode}");
+    }
+    maybe_write_json(args, &[report])
+}
+
+fn usage() {
+    eprintln!(
+        "horse — hybrid network experimentation (SIGCOMM'19 Horse, in Rust)\n\
+         \n\
+         USAGE:\n\
+         \x20 horse demo    [--pods K] [--te bgp-ecmp|hedera|sdn-ecmp|all]\n\
+         \x20               [--seed N] [--horizon S] [--realtime] [--json FILE]\n\
+         \x20 horse wan     [--routers N] [--seed N] [--horizon S] [--json FILE]\n\
+         \x20 horse failure [--pods K] [--at S] [--repair S] [--horizon S]\n\
+         \x20 horse help"
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "demo" => cmd_demo(&args),
+        "wan" => cmd_wan(&args),
+        "failure" => cmd_failure(&args),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

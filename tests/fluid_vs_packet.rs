@@ -1,0 +1,174 @@
+//! The fluid model and the packet-level baseline must agree on physics:
+//! same flows, same paths → comparable goodput, wildly different cost.
+
+use horse::baseline::{PacketFlow, PacketLevelSim, PacketSimConfig};
+use horse::dataplane::hash::{EcmpHasher, HashMode};
+use horse::net::flow::FlowSpec;
+use horse::net::fluid::FluidNetwork;
+use horse::sim::SimTime;
+use horse::topo::fattree::{FatTree, SwitchRole};
+use horse::topo::pattern::{demo_tuple, TrafficPattern};
+
+const G: f64 = 1e9;
+
+fn demo_paths(
+    ft: &FatTree,
+    seed: u64,
+) -> Vec<(horse::net::FiveTuple, horse::net::NodeId, horse::net::NodeId, Vec<horse::net::LinkId>)>
+{
+    let pairs = TrafficPattern::RandomPermutation.pairs(&ft.hosts, seed);
+    let hasher = EcmpHasher::new(HashMode::FiveTuple, seed);
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let tuple = demo_tuple(&ft.topo, p.src, p.dst, i as u16);
+            let paths = ft.topo.all_shortest_paths(p.src, p.dst);
+            let path = paths[hasher.select(&tuple, paths.len())].clone();
+            (tuple, p.src, p.dst, path)
+        })
+        .collect()
+}
+
+#[test]
+fn goodput_agreement_within_ten_percent() {
+    let ft = FatTree::build(4, SwitchRole::OpenFlow, G, 1_000);
+    let flows = demo_paths(&ft, 42);
+    let horizon = SimTime::from_millis(100);
+
+    let mut fluid = FluidNetwork::new();
+    for (tuple, src, dst, path) in &flows {
+        fluid
+            .start(
+                SimTime::ZERO,
+                FlowSpec::cbr(*src, *dst, *tuple, G),
+                path.clone(),
+                &ft.topo,
+            )
+            .unwrap();
+    }
+    fluid.advance(horizon);
+    let fluid_goodput = fluid.total_arrival_rate();
+
+    let mut pkt = PacketLevelSim::new(
+        ft.topo.clone(),
+        flows
+            .iter()
+            .map(|(_, src, dst, path)| PacketFlow {
+                src: *src,
+                dst: *dst,
+                path: path.clone(),
+                rate_bps: G,
+                start: SimTime::ZERO,
+            })
+            .collect(),
+        PacketSimConfig {
+            horizon,
+            ..PacketSimConfig::default()
+        },
+    );
+    let pr = pkt.run();
+
+    let rel = (fluid_goodput - pr.goodput_bps).abs() / fluid_goodput;
+    assert!(
+        rel < 0.10,
+        "fluid {:.2}G vs packet {:.2}G differ {:.1}%",
+        fluid_goodput / G,
+        pr.goodput_bps / G,
+        rel * 100.0
+    );
+}
+
+#[test]
+fn fluid_is_orders_of_magnitude_cheaper() {
+    let ft = FatTree::build(4, SwitchRole::OpenFlow, G, 1_000);
+    let flows = demo_paths(&ft, 7);
+    let horizon = SimTime::from_millis(50);
+
+    let mut fluid = FluidNetwork::new();
+    let mut fluid_events = 0u64;
+    for (tuple, src, dst, path) in &flows {
+        fluid
+            .start(
+                SimTime::ZERO,
+                FlowSpec::cbr(*src, *dst, *tuple, G),
+                path.clone(),
+                &ft.topo,
+            )
+            .unwrap();
+        fluid_events += 1;
+    }
+    fluid.advance(horizon);
+
+    let mut pkt = PacketLevelSim::new(
+        ft.topo.clone(),
+        flows
+            .iter()
+            .map(|(_, src, dst, path)| PacketFlow {
+                src: *src,
+                dst: *dst,
+                path: path.clone(),
+                rate_bps: G,
+                start: SimTime::ZERO,
+            })
+            .collect(),
+        PacketSimConfig {
+            horizon,
+            ..PacketSimConfig::default()
+        },
+    );
+    let pr = pkt.run();
+    assert!(
+        pr.events > fluid_events * 1000,
+        "packet {} vs fluid {} events",
+        pr.events,
+        fluid_events
+    );
+}
+
+#[test]
+fn uncongested_single_flow_agrees_exactly() {
+    let ft = FatTree::build(4, SwitchRole::OpenFlow, G, 1_000);
+    let a = ft.hosts[0];
+    let b = *ft.hosts.last().unwrap();
+    let tuple = demo_tuple(&ft.topo, a, b, 0);
+    let path = ft.topo.all_shortest_paths(a, b)[0].clone();
+    let horizon = SimTime::from_millis(100);
+    let rate = 0.4 * G;
+
+    let mut fluid = FluidNetwork::new();
+    fluid
+        .start(
+            SimTime::ZERO,
+            FlowSpec::cbr(a, b, tuple, rate),
+            path.clone(),
+            &ft.topo,
+        )
+        .unwrap();
+    fluid.advance(horizon);
+    let fg = fluid.total_arrival_rate();
+    assert!((fg - rate).abs() < 1.0);
+
+    let mut pkt = PacketLevelSim::new(
+        ft.topo.clone(),
+        vec![PacketFlow {
+            src: a,
+            dst: b,
+            path,
+            rate_bps: rate,
+            start: SimTime::ZERO,
+        }],
+        PacketSimConfig {
+            horizon,
+            ..PacketSimConfig::default()
+        },
+    );
+    let pr = pkt.run();
+    assert!(
+        (pr.goodput_bps - rate).abs() / rate < 0.02,
+        "packet goodput {} vs {}",
+        pr.goodput_bps,
+        rate
+    );
+    assert_eq!(pr.dropped, 0);
+}

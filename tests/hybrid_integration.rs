@@ -1,0 +1,124 @@
+//! Cross-crate integration: the hybrid clock, the control planes and the
+//! fluid data plane working together through the facade crate.
+
+use horse::sim::{ClockMode, SimDuration};
+use horse::{Experiment, TeApproach};
+
+const G: f64 = 1e9;
+
+#[test]
+fn all_three_te_approaches_route_everything_on_k4() {
+    for te in [TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp] {
+        let report = Experiment::demo(4, te, 42).horizon_secs(8.0).run();
+        assert_eq!(
+            report.flows_routed, 16,
+            "{}: all 16 permutation flows must route",
+            te.label()
+        );
+        assert!(
+            report.goodput_final_bps() > 8.0 * G,
+            "{}: goodput {}",
+            te.label(),
+            report.goodput_final_bps()
+        );
+    }
+}
+
+#[test]
+fn k6_scales_and_keeps_shape() {
+    let report = Experiment::demo(6, TeApproach::SdnEcmp, 42)
+        .horizon_secs(5.0)
+        .run();
+    assert_eq!(report.flows_requested, 54);
+    assert_eq!(report.flows_routed, 54);
+    // 54 hosts × 1 Gbps ideal; hashing collisions keep it below, but more
+    // than half must arrive.
+    assert!(report.goodput_final_bps() > 27.0 * G);
+}
+
+#[test]
+fn sdn_beats_bgp_hashing_granularity() {
+    // The demo's central comparison: 5-tuple hashing spreads flows at
+    // least as well as src/dst-IP hashing on the same permutation.
+    // (One flow per host pair makes the hash inputs equivalent per flow,
+    // but the hash functions differ; average over seeds to compare.)
+    let mut sdn_total = 0.0;
+    let mut bgp_total = 0.0;
+    for seed in [1, 2, 3, 4, 5] {
+        sdn_total += Experiment::demo(4, TeApproach::SdnEcmp, seed)
+            .horizon_secs(3.0)
+            .run()
+            .goodput_final_bps();
+        bgp_total += Experiment::demo(4, TeApproach::BgpEcmp, seed)
+            .horizon_secs(3.0)
+            .run()
+            .goodput_final_bps();
+    }
+    assert!(
+        sdn_total >= bgp_total * 0.9,
+        "sdn {sdn_total} should not trail bgp {bgp_total} materially"
+    );
+}
+
+#[test]
+fn clock_mode_history_is_well_formed() {
+    let report = Experiment::demo(4, TeApproach::Hedera, 3)
+        .horizon_secs(12.0)
+        .run();
+    let ts = &report.transitions;
+    assert_eq!(ts[0].mode, ClockMode::Des, "experiments start in DES");
+    for w in ts.windows(2) {
+        assert!(w[0].at <= w[1].at, "transitions ordered");
+        assert_ne!(w[0].mode, w[1].mode, "transitions alternate");
+    }
+    // Time accounting adds up to the horizon.
+    let total = report.fti_time + report.des_time;
+    assert_eq!(total, SimDuration::from_nanos(report.horizon.as_nanos()));
+}
+
+#[test]
+fn bgp_convergence_precedes_traffic() {
+    let report = Experiment::demo(4, TeApproach::BgpEcmp, 8)
+        .horizon_secs(5.0)
+        .run();
+    let converged = report.all_routed_at.expect("converges");
+    // The first FTI period covers the convergence instant.
+    let first_fti = report
+        .transitions
+        .iter()
+        .find(|t| t.mode == ClockMode::Fti)
+        .expect("BGP causes FTI");
+    assert!(first_fti.at <= converged);
+    // And convergence happened while routing chatter was still fresh —
+    // inside the first second of virtual time.
+    assert!(converged.as_secs_f64() < 1.0, "{converged}");
+}
+
+#[test]
+fn goodput_series_monotone_time() {
+    let report = Experiment::demo(4, TeApproach::SdnEcmp, 4)
+        .horizon_secs(4.0)
+        .run();
+    let series = report.goodput.get("aggregate").expect("series exists");
+    let pts = series.points();
+    assert!(pts.len() > 10);
+    for w in pts.windows(2) {
+        assert!(w[0].0 <= w[1].0);
+    }
+    // Values bounded by physics: 0 ≤ rate ≤ 16 Gbps.
+    for (_, v) in pts {
+        assert!(*v >= 0.0 && *v <= 16.0 * G + 1.0, "{v}");
+    }
+}
+
+#[test]
+fn report_json_round_trips() {
+    let report = Experiment::demo(4, TeApproach::SdnEcmp, 6)
+        .horizon_secs(2.0)
+        .run();
+    let json = report.to_json();
+    let back: horse::ExperimentReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.label, report.label);
+    assert_eq!(back.flows_routed, report.flows_routed);
+    assert_eq!(back.transitions, report.transitions);
+}

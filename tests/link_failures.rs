@@ -1,0 +1,193 @@
+//! Failure injection: link failures mid-experiment, BGP withdawals and
+//! reconvergence, and the clock's return to FTI mode — the "control plane
+//! experimentation" Horse is for.
+
+use horse::net::flow::{FiveTuple, FlowSpec};
+use horse::net::topology::Topology;
+use horse::net::Ipv4Prefix;
+use horse::sim::{ClockMode, SimDuration, SimTime};
+use horse::topo::bgp_setups_for;
+use horse::topo::fattree::{FatTree, SwitchRole};
+use horse::{ControlBuild, Experiment, TeApproach};
+use std::net::Ipv4Addr;
+
+const G: f64 = 1e9;
+
+/// h1 - r1 = r2 - h2 with two parallel r1-r2 links.
+fn dual_path() -> (Experiment, horse::net::LinkId, horse::net::LinkId) {
+    let mut topo = Topology::new();
+    let sn1: Ipv4Prefix = "10.0.1.0/24".parse().unwrap();
+    let sn2: Ipv4Prefix = "10.0.2.0/24".parse().unwrap();
+    let h1 = topo.add_host("h1", Ipv4Addr::new(10, 0, 1, 2), sn1);
+    let h2 = topo.add_host("h2", Ipv4Addr::new(10, 0, 2, 2), sn2);
+    let r1 = topo.add_router("r1", Ipv4Addr::new(10, 0, 1, 1));
+    let r2 = topo.add_router("r2", Ipv4Addr::new(10, 0, 2, 1));
+    topo.add_link(h1, r1, G, 1_000);
+    let (la, ..) = topo.add_link(r1, r2, G, 5_000);
+    let (lb, ..) = topo.add_link(r1, r2, G, 5_000);
+    topo.add_link(r2, h2, G, 1_000);
+    let setups = bgp_setups_for(
+        &topo,
+        horse::bgp::session::TimerConfig {
+            hold_time: SimDuration::from_secs(30),
+            connect_retry: SimDuration::from_secs(1),
+            mrai: SimDuration::ZERO,
+        },
+    );
+    let tuple = FiveTuple::udp(
+        Ipv4Addr::new(10, 0, 1, 2),
+        5000,
+        Ipv4Addr::new(10, 0, 2, 2),
+        5001,
+    );
+    let mut e = Experiment::new(topo)
+        .flow(SimTime::ZERO, FlowSpec::cbr(h1, h2, tuple, 0.8 * G))
+        .horizon_secs(10.0)
+        .label("dual-path-failure");
+    e.control = ControlBuild::Bgp(setups);
+    (e, la, lb)
+}
+
+#[test]
+fn single_path_failure_blackholes_then_recovers() {
+    // Sever the only inter-router link at t=3, repair at t=6.
+    let mut topo = Topology::new();
+    let sn1: Ipv4Prefix = "10.0.1.0/24".parse().unwrap();
+    let sn2: Ipv4Prefix = "10.0.2.0/24".parse().unwrap();
+    let h1 = topo.add_host("h1", Ipv4Addr::new(10, 0, 1, 2), sn1);
+    let h2 = topo.add_host("h2", Ipv4Addr::new(10, 0, 2, 2), sn2);
+    let r1 = topo.add_router("r1", Ipv4Addr::new(10, 0, 1, 1));
+    let r2 = topo.add_router("r2", Ipv4Addr::new(10, 0, 2, 1));
+    topo.add_link(h1, r1, G, 1_000);
+    let (mid, ..) = topo.add_link(r1, r2, G, 5_000);
+    topo.add_link(r2, h2, G, 1_000);
+    let setups = bgp_setups_for(
+        &topo,
+        horse::bgp::session::TimerConfig {
+            hold_time: SimDuration::from_secs(30),
+            connect_retry: SimDuration::from_secs(1),
+            mrai: SimDuration::ZERO,
+        },
+    );
+    let tuple = FiveTuple::udp(
+        Ipv4Addr::new(10, 0, 1, 2),
+        5000,
+        Ipv4Addr::new(10, 0, 2, 2),
+        5001,
+    );
+    let mut e = Experiment::new(topo)
+        .flow(SimTime::ZERO, FlowSpec::cbr(h1, h2, tuple, 0.8 * G))
+        .horizon_secs(10.0)
+        .link_down(SimTime::from_secs(3), mid)
+        .link_up(SimTime::from_secs(6), mid)
+        .label("single-path-failure");
+    e.control = ControlBuild::Bgp(setups);
+    let report = e.run();
+
+    let series = report.goodput.get("aggregate").unwrap();
+    let at = |s: f64| series.value_at(SimTime::from_secs_f64(s)).unwrap_or(-1.0);
+    assert!((at(2.0) - 0.8 * G).abs() < 1e6, "before failure: {}", at(2.0));
+    assert!(at(4.5) < 1e6, "during failure traffic blackholes: {}", at(4.5));
+    assert!(
+        (at(9.0) - 0.8 * G).abs() < 1e6,
+        "after repair traffic recovers: {}",
+        at(9.0)
+    );
+    // The failure and the repair both produced control-plane activity
+    // after t=3 (session drop/withdraw + re-establishment).
+    let late_fti = report
+        .transitions
+        .iter()
+        .filter(|t| t.mode == ClockMode::Fti && t.at >= SimTime::from_secs(3))
+        .count();
+    assert!(late_fti >= 1, "failure must re-enter FTI: {:?}", report.transitions);
+}
+
+#[test]
+fn parallel_link_failure_fails_over() {
+    let (e, la, _lb) = dual_path();
+    let e = e.link_down(SimTime::from_secs(3), la);
+    let report = e.run();
+    let series = report.goodput.get("aggregate").unwrap();
+    let at = |s: f64| series.value_at(SimTime::from_secs_f64(s)).unwrap_or(-1.0);
+    assert!((at(2.0) - 0.8 * G).abs() < 1e6, "before: {}", at(2.0));
+    // ECMP multipath + the surviving session: traffic recovers quickly and
+    // is back to full rate well before the end.
+    assert!(
+        (at(9.0) - 0.8 * G).abs() < 1e6,
+        "failover to the parallel link: {}",
+        at(9.0)
+    );
+}
+
+#[test]
+fn fattree_agg_core_failure_is_absorbed() {
+    // k=4 BGP fat-tree: kill one agg-core link at t=2. ECMP fans traffic
+    // over (k/2)^2 = 4 core paths; losing one must not collapse goodput.
+    let ft = FatTree::build(4, SwitchRole::BgpRouter, G, 1_000);
+    let agg = ft.aggs[0];
+    let core = ft.cores[0];
+    let (victim, _) = ft.topo.link_between(agg, core).expect("agg-core link");
+    let mut e = Experiment::demo(4, TeApproach::BgpEcmp, 42).horizon_secs(8.0);
+    e = e.link_down(SimTime::from_secs(2), victim);
+    let report = e.run();
+    let series = report.goodput.get("aggregate").unwrap();
+    let before = series.value_at(SimTime::from_secs_f64(1.9)).unwrap();
+    let after = series.value_at(SimTime::from_secs_f64(7.5)).unwrap();
+    assert!(before > 8.0 * G, "healthy before: {before}");
+    assert!(
+        after > before * 0.7,
+        "fabric absorbs a single link loss: {before} -> {after}"
+    );
+    // Withdawals and re-advertisements happened after the failure.
+    assert!(
+        report
+            .transitions
+            .iter()
+            .any(|t| t.mode == ClockMode::Fti && t.at >= SimTime::from_secs(2)),
+        "reconvergence chatter re-enters FTI"
+    );
+}
+
+#[test]
+fn sdn_fabric_recovers_via_port_status() {
+    // k=4 SDN ECMP fat-tree: kill an agg-core link at t=2. The adjacent
+    // switches send PORT_STATUS, the controller re-places the affected
+    // flows over surviving paths, and goodput recovers.
+    let ft = FatTree::build(4, SwitchRole::OpenFlow, G, 1_000);
+    let agg = ft.aggs[0];
+    let core = ft.cores[0];
+    let (victim, _) = ft.topo.link_between(agg, core).expect("agg-core link");
+    let mut e = Experiment::demo(4, TeApproach::SdnEcmp, 42).horizon_secs(8.0);
+    e = e.link_down(SimTime::from_secs(2), victim);
+    let report = e.run();
+    let series = report.goodput.get("aggregate").unwrap();
+    let before = series.value_at(SimTime::from_secs_f64(1.9)).unwrap();
+    let after = series.value_at(SimTime::from_secs_f64(7.5)).unwrap();
+    assert!(before > 8.0 * G, "healthy before: {before}");
+    assert!(
+        after >= before * 0.9,
+        "controller re-placement restores goodput: {before} -> {after}"
+    );
+    // PORT_STATUS → FLOW_MODs is control chatter after t=2.
+    assert!(
+        report
+            .transitions
+            .iter()
+            .any(|t| t.mode == ClockMode::Fti && t.at >= SimTime::from_secs(2)),
+        "failure handling re-enters FTI: {:?}",
+        report.transitions
+    );
+}
+
+#[test]
+fn link_events_are_deterministic() {
+    let run = || {
+        let (e, la, _) = dual_path();
+        e.link_down(SimTime::from_secs(3), la).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.goodput.get("aggregate"), b.goodput.get("aggregate"));
+    assert_eq!(a.control_msgs, b.control_msgs);
+}

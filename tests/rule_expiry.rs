@@ -1,0 +1,76 @@
+//! OpenFlow rule lifecycle: idle timeouts fire only on idle flows, expired
+//! rules produce FLOW_REMOVED chatter, and a re-arriving flow is re-placed
+//! via PACKET_IN.
+
+use horse::net::flow::FlowSpec;
+use horse::sim::SimTime;
+use horse::topo::fattree::{FatTree, SwitchRole};
+use horse::topo::pattern::demo_tuple;
+use horse::{ControlBuild, Experiment};
+
+const G: f64 = 1e9;
+
+fn one_flow_experiment(idle_secs: u16, stop_at: Option<f64>, horizon: f64) -> horse::ExperimentReport {
+    let ft = FatTree::build(4, SwitchRole::OpenFlow, G, 1_000);
+    let src = ft.hosts[0];
+    let dst = ft.hosts[8]; // inter-pod
+    let tuple = demo_tuple(&ft.topo, src, dst, 0);
+    let mut e = Experiment::new(ft.topo)
+        .horizon_secs(horizon)
+        .sdn_idle_timeout(idle_secs)
+        .label("rule-expiry");
+    e = match stop_at {
+        Some(s) => e.flow_until(
+            SimTime::ZERO,
+            FlowSpec::cbr(src, dst, tuple, 0.5 * G),
+            SimTime::from_secs_f64(s),
+        ),
+        None => e.flow(SimTime::ZERO, FlowSpec::cbr(src, dst, tuple, 0.5 * G)),
+    };
+    e.control = ControlBuild::SdnEcmp;
+    e.run()
+}
+
+#[test]
+fn active_flow_keeps_its_rules_alive() {
+    // Idle timeout 2 s, flow runs the whole 10 s: rules must not expire,
+    // goodput stays flat.
+    let report = one_flow_experiment(2, None, 10.0);
+    let series = report.goodput.get("aggregate").unwrap();
+    let at = |s: f64| series.value_at(SimTime::from_secs_f64(s)).unwrap_or(-1.0);
+    assert!((at(9.5) - 0.5 * G).abs() < 1e6, "still flowing at the end: {}", at(9.5));
+    // One placement, no re-placement churn: exactly one FTI window.
+    let fti_windows = report
+        .transitions
+        .iter()
+        .filter(|t| t.mode == horse::sim::ClockMode::Fti)
+        .count();
+    assert_eq!(fti_windows, 1, "{:?}", report.transitions);
+}
+
+#[test]
+fn idle_rules_expire_after_flow_stops() {
+    // Flow stops at t=2; idle timeout 2 s → rules expire around t=4,
+    // producing FLOW_REMOVED control traffic (a late FTI window).
+    let report = one_flow_experiment(2, Some(2.0), 10.0);
+    let late_fti = report
+        .transitions
+        .iter()
+        .any(|t| t.mode == horse::sim::ClockMode::Fti && t.at >= SimTime::from_secs(3));
+    assert!(
+        late_fti,
+        "FLOW_REMOVED must wake the clock after expiry: {:?}",
+        report.transitions
+    );
+}
+
+#[test]
+fn permanent_rules_never_expire() {
+    let report = one_flow_experiment(0, Some(2.0), 10.0);
+    // No expiry → no control traffic after the initial placement.
+    let late_fti = report
+        .transitions
+        .iter()
+        .any(|t| t.mode == horse::sim::ClockMode::Fti && t.at >= SimTime::from_secs(3));
+    assert!(!late_fti, "{:?}", report.transitions);
+}

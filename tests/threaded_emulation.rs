@@ -1,0 +1,175 @@
+//! True emulation mode under test: BGP daemons on real OS threads over
+//! Connection Manager byte pipes, with the hybrid clock paced against the
+//! wall clock. This is the architecture of the paper's prototype; the
+//! `realtime_emulation` example narrates it, this test asserts it.
+//!
+//! Timing assertions are deliberately loose (threads + sleeps), but the
+//! *logical* outcomes — convergence, route installation, fluid accounting —
+//! are exact.
+
+use horse::bgp::session::TimerConfig;
+use horse::bgp::speaker::{BgpSpeaker, SpeakerOutput};
+use horse::cm::{pipe, ActivityProbe, FibInstaller};
+use horse::dataplane::hash::HashMode;
+use horse::dataplane::path::DataPlane;
+use horse::net::addr::Ipv4Prefix;
+use horse::net::flow::{FiveTuple, FlowSpec};
+use horse::net::fluid::FluidNetwork;
+use horse::net::topology::Topology;
+use horse::sim::clock::Advance;
+use horse::sim::{ClockMode, FtiConfig, HybridClock, Pacer, Pacing, SimDuration, SimTime};
+use horse::topo::bgp_setups_for;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[test]
+fn threaded_daemons_converge_and_route_traffic() {
+    // h1 - r1 - r2 - h2.
+    let mut topo = Topology::new();
+    let sn1: Ipv4Prefix = "10.0.1.0/24".parse().unwrap();
+    let sn2: Ipv4Prefix = "10.0.2.0/24".parse().unwrap();
+    let h1 = topo.add_host("h1", Ipv4Addr::new(10, 0, 1, 2), sn1);
+    let h2 = topo.add_host("h2", Ipv4Addr::new(10, 0, 2, 2), sn2);
+    let r1 = topo.add_router("r1", Ipv4Addr::new(10, 0, 1, 1));
+    let r2 = topo.add_router("r2", Ipv4Addr::new(10, 0, 2, 1));
+    topo.add_link(h1, r1, 1e9, 1_000);
+    topo.add_link(r1, r2, 1e9, 5_000);
+    topo.add_link(r2, h2, 1e9, 1_000);
+    let setups = bgp_setups_for(
+        &topo,
+        TimerConfig {
+            hold_time: SimDuration::from_secs(30),
+            connect_retry: SimDuration::from_secs(1),
+            mrai: SimDuration::ZERO,
+        },
+    );
+
+    let probe = ActivityProbe::new();
+    let (end_r1, end_r2) = pipe(&probe);
+    let (route_tx, route_rx) =
+        crossbeam::channel::unbounded::<(horse::net::NodeId, Ipv4Prefix, Vec<Ipv4Addr>)>();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut daemons = Vec::new();
+    for (node, endpoint) in [(r1, end_r1), (r2, end_r2)] {
+        let setup = setups[&node].clone();
+        let route_tx = route_tx.clone();
+        let stop = stop.clone();
+        daemons.push(std::thread::spawn(move || {
+            let mut speaker = BgpSpeaker::new(setup.config.clone());
+            let t0 = Instant::now();
+            let now = |t0: Instant| SimTime::from_secs_f64(t0.elapsed().as_secs_f64());
+            speaker.start(now(t0));
+            let peer = setup.config.peers[0].peer_addr;
+            speaker.on_transport_up(peer, now(t0));
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(bytes) = endpoint.recv_timeout(std::time::Duration::from_millis(2)) {
+                    speaker.on_bytes(peer, now(t0), &bytes);
+                }
+                speaker.poll_timers(now(t0));
+                for out in speaker.take_outputs() {
+                    match out {
+                        SpeakerOutput::SendBytes { bytes, .. } => endpoint.send(bytes),
+                        SpeakerOutput::RouteChanged { prefix, next_hops } => {
+                            let _ = route_tx.send((node, prefix, next_hops));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            speaker.msgs_sent()
+        }));
+    }
+
+    let mut dp = DataPlane::from_topology(&topo, HashMode::SrcDst, HashMode::FiveTuple);
+    let mut installer = FibInstaller::new();
+    for (node, setup) in &setups {
+        installer.register(*node, setup.addr_to_port.clone());
+        for (pfx, port) in &setup.connected {
+            installer.install_connected(&mut dp, *node, *pfx, *port);
+        }
+    }
+    let mut fluid = FluidNetwork::new();
+    let mut clock = HybridClock::new(FtiConfig {
+        increment: SimDuration::from_millis(1),
+        quiescence: SimDuration::from_millis(150),
+    });
+    let mut pacer = Pacer::new(Pacing::real_time(), SimTime::ZERO);
+    let mut last_activity = 0u64;
+    let mut flow_id = None;
+    let horizon = SimTime::from_millis(1500);
+    let tuple = FiveTuple::udp(
+        Ipv4Addr::new(10, 0, 1, 2),
+        5000,
+        Ipv4Addr::new(10, 0, 2, 2),
+        5001,
+    );
+
+    while clock.now() < horizon {
+        if probe.changed_since(&mut last_activity) {
+            clock.on_control_activity();
+        }
+        while let Ok((node, prefix, hops)) = route_rx.try_recv() {
+            installer.apply(&mut dp, node, prefix, &hops);
+        }
+        if flow_id.is_none() {
+            if let Ok(path) = dp.resolve(&topo, h1, h2, &tuple) {
+                let (id, _) = fluid
+                    .start(clock.now(), FlowSpec::cbr(h1, h2, tuple, 0.5e9), path, &topo)
+                    .expect("valid path");
+                flow_id = Some(id);
+            }
+        }
+        let next = clock.now() + SimDuration::from_millis(10);
+        match clock.plan(Some(next), horizon) {
+            Advance::RunTo(t) => {
+                if clock.mode() == ClockMode::Fti {
+                    pacer.pace_to(t);
+                } else {
+                    pacer.rebase(t);
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                clock.advance_to(t);
+            }
+            Advance::Idle => break,
+        }
+    }
+    fluid.advance(horizon);
+    stop.store(true, Ordering::Relaxed);
+    let msgs: u64 = daemons.into_iter().map(|d| d.join().expect("daemon")).sum();
+
+    // Logical outcomes.
+    let id = flow_id.expect("BGP converged and the flow started");
+    let progress = fluid.progress(id).expect("flow exists");
+    assert!(
+        (progress.rate_bps - 0.5e9).abs() < 1.0,
+        "flow runs at its demand: {}",
+        progress.rate_bps
+    );
+    assert!(progress.bytes_sent > 0.0);
+    assert!(msgs >= 6, "full handshake + updates: {msgs} messages");
+    assert!(probe.snapshot() >= 6, "CM observed the control traffic");
+    // Clock behavior: FTI happened (during convergence) and ended (after
+    // quiescence) — despite wall-clock noise, a 1.5 s horizon is far
+    // longer than handshake + 150 ms quiescence.
+    let modes: Vec<ClockMode> = clock.transitions().iter().map(|t| t.mode).collect();
+    assert!(modes.contains(&ClockMode::Fti), "{modes:?}");
+    assert_eq!(
+        clock.mode(),
+        ClockMode::Des,
+        "quiet control plane at the end: {modes:?}"
+    );
+    // Both routers' FIBs hold the opposite subnet.
+    assert!(dp
+        .fib(r1)
+        .unwrap()
+        .lookup(Ipv4Addr::new(10, 0, 2, 2))
+        .is_some());
+    assert!(dp
+        .fib(r2)
+        .unwrap()
+        .lookup(Ipv4Addr::new(10, 0, 1, 2))
+        .is_some());
+}

@@ -22,10 +22,8 @@
 //! predict any particular machine's absolute numbers. Both knobs are
 //! public: calibrate them against a real Mininet install if you have one.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost model for a Mininet-class container emulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MininetModel {
     /// Seconds to create one host (namespace + veth + config).
     pub per_host_s: f64,

@@ -16,11 +16,10 @@
 use horse_net::fluid::DirLink;
 use horse_net::topology::{LinkId, NodeId, Topology};
 use horse_sim::{EventQueue, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration for a packet-level run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketSimConfig {
     /// Packet size (the demo's UDP flows; default 1500-byte MTU frames).
     pub packet_size_bytes: u32,
@@ -41,7 +40,7 @@ impl Default for PacketSimConfig {
 }
 
 /// One CBR flow with a fixed path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PacketFlow {
     /// Source host.
     pub src: NodeId,
@@ -56,7 +55,7 @@ pub struct PacketFlow {
 }
 
 /// Results of a packet-level run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketSimReport {
     /// Packets generated at sources.
     pub generated: u64,
@@ -159,7 +158,13 @@ impl PacketLevelSim {
                     queue.push(now + interval, Ev::Generate { f });
                     // The packet starts its journey at hop 0.
                     self.transmit(
-                        f, 0, now, &mut queue, &mut free_at, &mut queued, &mut dropped,
+                        f,
+                        0,
+                        now,
+                        &mut queue,
+                        &mut free_at,
+                        &mut queued,
+                        &mut dropped,
                         &mut packet_hops,
                     );
                 }
@@ -174,7 +179,13 @@ impl PacketLevelSim {
                         delivered_bytes += u64::from(self.cfg.packet_size_bytes);
                     } else {
                         self.transmit(
-                            f, hop, now, &mut queue, &mut free_at, &mut queued, &mut dropped,
+                            f,
+                            hop,
+                            now,
+                            &mut queue,
+                            &mut free_at,
+                            &mut queued,
+                            &mut dropped,
                             &mut packet_hops,
                         );
                     }
@@ -216,8 +227,9 @@ impl PacketLevelSim {
         *q += 1;
         *packet_hops += 1;
         let link = self.topo.link(d.link);
-        let tx_time =
-            SimDuration::from_secs_f64(f64::from(self.cfg.packet_size_bytes) * 8.0 / link.capacity_bps);
+        let tx_time = SimDuration::from_secs_f64(
+            f64::from(self.cfg.packet_size_bytes) * 8.0 / link.capacity_bps,
+        );
         let start = (*free_at.get(&d).unwrap_or(&SimTime::ZERO)).max(now);
         let done = start + tx_time;
         free_at.insert(d, done);
@@ -330,7 +342,11 @@ mod tests {
             "cannot exceed bottleneck: {}",
             r.goodput_bps
         );
-        assert!(r.goodput_bps > 0.9e9, "bottleneck saturated: {}", r.goodput_bps);
+        assert!(
+            r.goodput_bps > 0.9e9,
+            "bottleneck saturated: {}",
+            r.goodput_bps
+        );
     }
 
     #[test]
@@ -365,11 +381,8 @@ mod tests {
     #[test]
     fn zero_rate_flow_is_silent() {
         let (t, a, b, path) = line();
-        let mut sim = PacketLevelSim::new(
-            t,
-            vec![flow(a, b, path, 0.0)],
-            PacketSimConfig::default(),
-        );
+        let mut sim =
+            PacketLevelSim::new(t, vec![flow(a, b, path, 0.0)], PacketSimConfig::default());
         let r = sim.run();
         assert_eq!(r.generated, 0);
         assert_eq!(r.events, 0);

@@ -108,6 +108,66 @@ fn bench_fluid_solver(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fluid_incremental(c: &mut Criterion) {
+    // One flow of a saturated k=8 permutation flaps between its two ECMP
+    // paths; the scoped solver re-solves only the touched component, the
+    // full solver re-runs the global water-fill. Same mutation, different
+    // solver — the steady-state churn cost of the hybrid runner.
+    let k = 8;
+    let ft = FatTree::build(k, SwitchRole::OpenFlow, 1e9, 1_000);
+    let pairs = TrafficPattern::RandomPermutation.pairs(&ft.hosts, 42);
+    let hasher = EcmpHasher::new(HashMode::FiveTuple, 42);
+    let build = || {
+        let mut fluid = FluidNetwork::new();
+        let mut ids = Vec::new();
+        for (i, p) in pairs.iter().enumerate() {
+            let tuple = demo_tuple(&ft.topo, p.src, p.dst, i as u16);
+            let paths = ft.topo.all_shortest_paths(p.src, p.dst);
+            let path = paths[hasher.select(&tuple, paths.len())].clone();
+            let (id, _) = fluid
+                .start(
+                    SimTime::ZERO,
+                    FlowSpec::cbr(p.src, p.dst, tuple, 1e9),
+                    path,
+                    &ft.topo,
+                )
+                .unwrap();
+            ids.push(id);
+        }
+        (fluid, ids)
+    };
+    let (mut fluid, ids) = build();
+    let victim = ids[0];
+    let spec = *fluid.spec(victim).unwrap();
+    let alts = ft.topo.all_shortest_paths(spec.src, spec.dst);
+    assert!(alts.len() >= 2, "fat-tree pairs have ECMP choice");
+
+    let mut group = c.benchmark_group("fluid/reroute_one_of_permutation");
+    group.bench_function(BenchmarkId::new("incremental", k), |b| {
+        let mut flip = 0usize;
+        b.iter(|| {
+            flip ^= 1;
+            black_box(
+                fluid
+                    .reroute(SimTime::ZERO, victim, alts[flip].clone(), &ft.topo)
+                    .unwrap(),
+            )
+        })
+    });
+    let (mut fluid, _) = build();
+    group.bench_function(BenchmarkId::new("full", k), |b| {
+        let mut flip = 0usize;
+        b.iter(|| {
+            flip ^= 1;
+            fluid
+                .reroute_deferred(SimTime::ZERO, victim, alts[flip].clone(), &ft.topo)
+                .unwrap();
+            black_box(fluid.recompute(&ft.topo))
+        })
+    });
+    group.finish();
+}
+
 fn bench_bgp_codec(c: &mut Criterion) {
     let update = Message::Update(UpdateMsg {
         withdrawn: vec![],
@@ -144,7 +204,10 @@ fn bench_of_codec(c: &mut Criterion) {
             buffer_id: 0xffff_ffff,
             out_port: OFPP_NONE,
             flags: 0,
-            actions: vec![OfAction::Output { port: 2, max_len: 0 }],
+            actions: vec![OfAction::Output {
+                port: 2,
+                max_len: 0,
+            }],
         }),
     );
     let bytes = fm.encode();
@@ -198,6 +261,7 @@ criterion_group!(
     bench_event_queue,
     bench_fib,
     bench_fluid_solver,
+    bench_fluid_incremental,
     bench_bgp_codec,
     bench_of_codec,
     bench_ecmp_hash,

@@ -12,8 +12,8 @@
 
 use horse_baseline::{PacketFlow, PacketLevelSim, PacketSimConfig};
 use horse_dataplane::hash::{EcmpHasher, HashMode};
-use horse_net::fluid::FluidNetwork;
 use horse_net::flow::FlowSpec;
+use horse_net::fluid::FluidNetwork;
 use horse_sim::SimTime;
 use horse_topo::fattree::{FatTree, SwitchRole};
 use horse_topo::pattern::{demo_tuple, TrafficPattern};

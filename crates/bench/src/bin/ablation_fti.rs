@@ -76,7 +76,10 @@ fn main() {
             report.wall_run_secs,
             report.fti_time.as_millis_f64(),
             report.events_processed,
-            report.all_routed_at.map(|t| t.as_secs_f64()).unwrap_or(-1.0),
+            report
+                .all_routed_at
+                .map(|t| t.as_secs_f64())
+                .unwrap_or(-1.0),
         );
         let _ = writeln!(
             json,

@@ -105,9 +105,7 @@ fn main() {
         let mut restored = f64::NAN;
         let mut t = 10.0;
         while t <= 40.0 {
-            let v = series
-                .value_at(SimTime::from_secs_f64(t))
-                .unwrap_or(0.0);
+            let v = series.value_at(SimTime::from_secs_f64(t)).unwrap_or(0.0);
             if v > 0.99e9 {
                 restored = t;
                 break;

@@ -9,8 +9,8 @@
 //! Run: `cargo run --release -p horse-bench --bin fct_workload -- \
 //!       [pods] [lambda_per_host] [seed]`   (defaults: 4, 4.0, 42)
 
-use horse_core::{ControlBuild, Experiment, PoissonWorkload, SizeDist};
 use horse_controller::HederaConfig;
+use horse_core::{ControlBuild, Experiment, PoissonWorkload, SizeDist};
 use horse_sim::SimTime;
 use horse_topo::fattree::{FatTree, SwitchRole};
 use std::fmt::Write as _;
@@ -20,9 +20,9 @@ fn run(pods: usize, lambda: f64, seed: u64, hedera: bool) -> horse_core::Experim
     let workload = PoissonWorkload {
         lambda_per_host: lambda,
         sizes: SizeDist::BoundedPareto {
-            min_bytes: 1e5,   // 100 kB mice
-            max_bytes: 2e9,   // 2 GB elephants
-            alpha: 1.05,      // heavy tail: most bytes live in the elephants
+            min_bytes: 1e5, // 100 kB mice
+            max_bytes: 2e9, // 2 GB elephants
+            alpha: 1.05,    // heavy tail: most bytes live in the elephants
         },
         until: SimTime::from_secs(20),
         seed,

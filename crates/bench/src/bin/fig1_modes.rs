@@ -11,8 +11,8 @@
 //! Run: `cargo run --release -p horse-bench --bin fig1_modes`
 
 use horse_core::{ControlBuild, Experiment};
-use horse_net::flow::{FiveTuple, FlowSpec};
 use horse_net::addr::Ipv4Prefix;
+use horse_net::flow::{FiveTuple, FlowSpec};
 use horse_net::topology::Topology;
 use horse_sim::{SimDuration, SimTime};
 use horse_topo::bgp_setups_for;

@@ -1,0 +1,203 @@
+//! **Solver cost**: incremental (scoped) vs full fluid re-solves on the
+//! Figure-3 convergence workload.
+//!
+//! The demo's convergence phase on a k = 8 fat-tree is a burst-heavy
+//! churn: the control plane installs rules and 128 permutation flows come
+//! up in batches; afterwards link failures/repairs reroute the affected
+//! flows. Before this optimization every mutation re-ran the global
+//! water-fill over all flows and links; the incremental solver re-solves
+//! only the component of flows transitively sharing a directed link with
+//! the change.
+//!
+//! Both arms replay the *identical* mutation sequence; only the solver
+//! differs. Cost is compared two ways:
+//!
+//! * **FLOP-equivalents** — [`SolverStats::work`], the solver's own count
+//!   of flow/link visits in its water-fill rounds (machine-independent);
+//! * **wall time** — elapsed seconds for the whole replay.
+//!
+//! Run: `cargo run --release -p horse-bench --bin solver_churn -- [pods]`
+//! (default: 8). Writes `bench_results/solver_churn.json`.
+
+use horse_dataplane::hash::{EcmpHasher, HashMode};
+use horse_net::flow::FlowSpec;
+use horse_net::fluid::{Dirty, FluidNetwork, SolverStats};
+use horse_net::topology::LinkId;
+use horse_sim::SimTime;
+use horse_topo::fattree::{FatTree, SwitchRole};
+use horse_topo::pattern::{demo_tuple, TrafficPattern};
+
+const SEED: u64 = 42;
+/// Flows the control plane routes per pump step during convergence.
+const BURST: usize = 8;
+
+/// One replayable control-plane mutation.
+enum Op {
+    /// A burst of flow starts (one control burst → one solve).
+    StartBurst(Vec<(FlowSpec, Vec<LinkId>)>),
+    /// A link state flip; flows crossing it re-resolve their paths.
+    LinkToggle(LinkId),
+}
+
+/// Builds the convergence + link-churn script for a k-pod fat-tree.
+fn build_script(ft: &FatTree) -> Vec<Op> {
+    let pairs = TrafficPattern::RandomPermutation.pairs(&ft.hosts, SEED);
+    let hasher = EcmpHasher::new(HashMode::FiveTuple, SEED);
+    let mut ops = Vec::new();
+    for chunk in pairs.chunks(BURST) {
+        let burst = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let tuple = demo_tuple(&ft.topo, p.src, p.dst, (ops.len() * BURST + i) as u16);
+                let paths = ft.topo.all_shortest_paths(p.src, p.dst);
+                let path = paths[hasher.select(&tuple, paths.len())].clone();
+                (FlowSpec::cbr(p.src, p.dst, tuple, 1e9), path)
+            })
+            .collect();
+        ops.push(Op::StartBurst(burst));
+    }
+    // Fail and repair a handful of spread-out fabric links (each toggle
+    // appears twice: down, then up).
+    let fabric: Vec<LinkId> = ft
+        .topo
+        .link_ids()
+        .filter(|l| {
+            let link = ft.topo.link(*l);
+            ft.topo.node(link.a.node).kind != horse_net::topology::NodeKind::Host
+                && ft.topo.node(link.b.node).kind != horse_net::topology::NodeKind::Host
+        })
+        .collect();
+    for i in 0..8 {
+        let lid = fabric[(i * fabric.len()) / 11 % fabric.len()];
+        ops.push(Op::LinkToggle(lid));
+        ops.push(Op::LinkToggle(lid));
+    }
+    ops
+}
+
+/// Replays the script; `full` forces a global re-solve per mutation
+/// (the pre-optimization behavior), otherwise the scoped solver runs.
+fn replay(ft: &FatTree, ops: &[Op], full: bool) -> (SolverStats, f64, f64) {
+    let mut topo = ft.topo.clone();
+    let hasher = EcmpHasher::new(HashMode::FiveTuple, SEED);
+    let mut net = FluidNetwork::new();
+    let mut t = 0u64;
+    let start = std::time::Instant::now();
+    for op in ops {
+        t += 1;
+        let now = SimTime::from_millis(t);
+        match op {
+            Op::StartBurst(burst) => {
+                for (spec, path) in burst {
+                    net.start_deferred(now, *spec, path.clone(), &topo)
+                        .expect("valid flow");
+                }
+                if full {
+                    net.recompute(&topo);
+                } else {
+                    net.flush(&topo);
+                }
+            }
+            Op::LinkToggle(lid) => {
+                let up = !topo.link(*lid).up;
+                topo.link_mut(*lid).up = up;
+                net.advance(now);
+                // Affected flows re-resolve, as the runner's
+                // on_tables_changed does after the control plane reacts.
+                let crossing: Vec<_> = net
+                    .flow_ids()
+                    .filter(|f| net.path(*f).is_some_and(|p| p.contains(lid)))
+                    .collect();
+                for f in crossing {
+                    let spec = *net.spec(f).expect("active");
+                    let paths = topo.all_shortest_paths(spec.src, spec.dst);
+                    if paths.is_empty() {
+                        continue;
+                    }
+                    let path = paths[hasher.select(&spec.tuple, paths.len())].clone();
+                    let _ = net.reroute_deferred(now, f, path, &topo);
+                }
+                if full {
+                    net.recompute(&topo);
+                } else {
+                    net.recompute_incremental(&topo, &[Dirty::Link(*lid)]);
+                }
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (net.solver_stats(), wall, net.total_arrival_rate())
+}
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().unwrap())
+        .unwrap_or(8);
+    let ft = FatTree::build(k, SwitchRole::OpenFlow, 1e9, 1_000);
+    let ops = build_script(&ft);
+    let n_bursts = ops
+        .iter()
+        .filter(|o| matches!(o, Op::StartBurst(_)))
+        .count();
+    let n_toggles = ops.len() - n_bursts;
+
+    let (inc, inc_wall, inc_rate) = replay(&ft, &ops, false);
+    let (full, full_wall, full_rate) = replay(&ft, &ops, true);
+    assert!(
+        (inc_rate - full_rate).abs() < 1.0,
+        "solvers disagree: incremental {inc_rate} vs full {full_rate}"
+    );
+
+    let work_ratio = full.work as f64 / inc.work.max(1) as f64;
+    let wall_ratio = full_wall / inc_wall.max(1e-9);
+
+    println!("== Solver cost: incremental vs full (fat-tree k={k}) ==");
+    println!(
+        "workload: {} hosts, {} flow-start bursts of {BURST}, {n_toggles} link events",
+        ft.hosts.len(),
+        n_bursts
+    );
+    println!();
+    println!(
+        "{:<12} {:>14} {:>12} {:>10} {:>12} {:>10}",
+        "solver", "work (FLOPeq)", "iterations", "solves", "full solves", "wall (ms)"
+    );
+    for (name, s, wall) in [("incremental", &inc, inc_wall), ("full", &full, full_wall)] {
+        println!(
+            "{:<12} {:>14} {:>12} {:>10} {:>12} {:>10.2}",
+            name,
+            s.work,
+            s.iterations,
+            s.solves,
+            s.full_solves,
+            wall * 1e3
+        );
+    }
+    println!();
+    println!("work ratio (full/incremental): {work_ratio:.1}x");
+    println!("wall ratio (full/incremental): {wall_ratio:.1}x");
+    assert!(
+        work_ratio >= 2.0,
+        "expected >=2x fewer FLOP-equivalents, got {work_ratio:.2}x"
+    );
+
+    let stats_json = |s: &SolverStats, wall: f64| {
+        format!(
+            "{{\"work\": {}, \"iterations\": {}, \"solves\": {}, \"full_solves\": {}, \
+             \"flows_touched\": {}, \"links_touched\": {}, \"wall_secs\": {wall}}}",
+            s.work, s.iterations, s.solves, s.full_solves, s.flows_touched, s.links_touched
+        )
+    };
+    let json = format!(
+        "{{\n  \"topology\": \"fat-tree k={k}\",\n  \"hosts\": {},\n  \
+         \"flow_bursts\": {n_bursts},\n  \"burst_size\": {BURST},\n  \
+         \"link_events\": {n_toggles},\n  \"incremental\": {},\n  \"full\": {},\n  \
+         \"work_ratio\": {work_ratio},\n  \"wall_ratio\": {wall_ratio}\n}}\n",
+        ft.hosts.len(),
+        stats_json(&inc, inc_wall),
+        stats_json(&full, full_wall),
+    );
+    horse_bench::write_result("solver_churn.json", &json);
+}

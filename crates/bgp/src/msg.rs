@@ -13,7 +13,6 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use horse_net::addr::Ipv4Prefix;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -54,7 +53,7 @@ impl fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Route origin attribute values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Origin {
     /// Interior (IGP).
     Igp,
@@ -84,7 +83,7 @@ impl Origin {
 }
 
 /// One AS_PATH segment.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AsPathSegment {
     /// Ordered sequence of ASNs.
     Sequence(Vec<u16>),
@@ -104,7 +103,7 @@ impl AsPathSegment {
 }
 
 /// The path attributes the model understands, plus opaque unknown ones.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PathAttributes {
     /// ORIGIN (well-known mandatory).
     pub origin: Origin,
@@ -173,7 +172,7 @@ impl PathAttributes {
 }
 
 /// OPEN-message capabilities (RFC 5492 TLVs).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Capability {
     /// Multiprotocol extensions (AFI, SAFI).
     Multiprotocol {
@@ -189,7 +188,7 @@ pub enum Capability {
 }
 
 /// An OPEN message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpenMsg {
     /// Protocol version (always 4).
     pub version: u8,
@@ -204,7 +203,7 @@ pub struct OpenMsg {
 }
 
 /// An UPDATE message.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct UpdateMsg {
     /// Prefixes withdrawn.
     pub withdrawn: Vec<Ipv4Prefix>,
@@ -215,7 +214,7 @@ pub struct UpdateMsg {
 }
 
 /// A NOTIFICATION message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Notification {
     /// Major error code.
     pub code: u8,
@@ -255,7 +254,7 @@ impl Notification {
 }
 
 /// A BGP message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Session establishment offer.
     Open(OpenMsg),
@@ -682,6 +681,9 @@ impl StreamDecoder {
 
     /// Pops the next complete message, if any. After an error the stream is
     /// unrecoverable (the session should send a NOTIFICATION and close).
+    // Fallible Result<Option<_>> pull, not an Iterator — decode errors must
+    // reach the session so it can emit a NOTIFICATION before closing.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Message>, CodecError> {
         match Message::decode(&self.buf)? {
             Some((msg, consumed)) => {

@@ -19,12 +19,11 @@
 
 use crate::msg::{Origin, PathAttributes, UpdateMsg};
 use horse_net::addr::Ipv4Prefix;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// A candidate path for a prefix.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutePath {
     /// Path attributes as received (or as originated).
     pub attrs: PathAttributes,
@@ -225,11 +224,7 @@ impl LocRib {
         }
         // 5. Lower MED wins, only between the same neighbor AS.
         if a.attrs.neighbor_as().is_some() && a.attrs.neighbor_as() == b.attrs.neighbor_as() {
-            let o = a
-                .attrs
-                .med
-                .unwrap_or(0)
-                .cmp(&b.attrs.med.unwrap_or(0));
+            let o = a.attrs.med.unwrap_or(0).cmp(&b.attrs.med.unwrap_or(0));
             if o != Ordering::Equal {
                 return o;
             }

@@ -15,11 +15,10 @@ use crate::msg::{
 };
 use bytes::Bytes;
 use horse_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// Static configuration of one peering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeerConfig {
     /// The neighbor's address (session key; also the expected next hop).
     pub peer_addr: Ipv4Addr,
@@ -30,7 +29,7 @@ pub struct PeerConfig {
 }
 
 /// FSM states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SessionState {
     /// Not trying.
     Idle,
@@ -77,7 +76,7 @@ pub enum SessionEvent {
 /// Timer configuration. The defaults are deliberately snappier than RFC
 /// suggestions (hold 90 s) so laptop-scale experiments converge quickly;
 /// the fat-tree scenarios override them further.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimerConfig {
     /// Proposed hold time (0 disables keepalives entirely).
     pub hold_time: SimDuration,
@@ -254,10 +253,14 @@ impl Session {
     /// The earliest pending timer deadline, if any (lets a DES harness
     /// schedule the next poll precisely).
     pub fn next_deadline(&self) -> Option<SimTime> {
-        [self.connect_deadline, self.hold_deadline, self.keepalive_deadline]
-            .into_iter()
-            .flatten()
-            .min()
+        [
+            self.connect_deadline,
+            self.hold_deadline,
+            self.keepalive_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     fn on_message(&mut self, now: SimTime, msg: Message) {

@@ -24,12 +24,11 @@ use crate::session::{PeerConfig, Session, SessionEvent, SessionState, TimerConfi
 use bytes::Bytes;
 use horse_net::addr::Ipv4Prefix;
 use horse_sim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// Speaker configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BgpConfig {
     /// Local AS number.
     pub asn: u16,
@@ -178,7 +177,11 @@ impl BgpSpeaker {
 
     /// Earliest pending timer across sessions, including MRAI flushes.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        let session_min = self.sessions.values().filter_map(|s| s.next_deadline()).min();
+        let session_min = self
+            .sessions
+            .values()
+            .filter_map(|s| s.next_deadline())
+            .min();
         let mrai_min = self
             .mrai_pending
             .iter()
@@ -329,8 +332,8 @@ impl BgpSpeaker {
     /// §9.2.1.1) and are batched for the flush in [`BgpSpeaker::poll_timers`].
     fn sync_peer(&mut self, peer: Ipv4Addr, prefixes: &BTreeSet<Ipv4Prefix>, now: SimTime) {
         let mrai = self.config.timers.mrai;
-        let held = !mrai.is_zero()
-            && now < self.mrai_ready.get(&peer).copied().unwrap_or(SimTime::ZERO);
+        let held =
+            !mrai.is_zero() && now < self.mrai_ready.get(&peer).copied().unwrap_or(SimTime::ZERO);
         let mut withdraws: Vec<Ipv4Prefix> = Vec::new();
         let mut announces: Vec<(PathAttributes, Vec<Ipv4Prefix>)> = Vec::new();
         for prefix in prefixes {
@@ -484,8 +487,8 @@ mod tests {
                             SpeakerOutput::RouteChanged { prefix, next_hops } => {
                                 self.route_events[i].push((prefix, next_hops));
                             }
-                            SpeakerOutput::SessionUp { .. }
-                            | SpeakerOutput::SessionDown { .. } => {}
+                            SpeakerOutput::SessionUp { .. } | SpeakerOutput::SessionDown { .. } => {
+                            }
                         }
                     }
                 }
@@ -707,9 +710,7 @@ mod tests {
         assert!(h.fib_of(1).is_empty());
         h.speakers[0].originate("10.42.0.0/16".parse().unwrap(), SimTime::from_secs(1));
         h.run(SimTime::from_secs(1));
-        assert!(h
-            .fib_of(1)
-            .contains_key(&"10.42.0.0/16".parse().unwrap()));
+        assert!(h.fib_of(1).contains_key(&"10.42.0.0/16".parse().unwrap()));
         // And runtime withdraw.
         h.speakers[0].withdraw("10.42.0.0/16".parse().unwrap(), SimTime::from_secs(2));
         h.run(SimTime::from_secs(2));
@@ -804,7 +805,10 @@ mod tests {
         // After expiry the batch flushes.
         h.speakers[1].poll_timers(SimTime::from_secs(5));
         h.run(SimTime::from_secs(5));
-        assert!(h.speakers[2].rib().decide(p2).is_some(), "flushed after MRAI");
+        assert!(
+            h.speakers[2].rib().decide(p2).is_some(),
+            "flushed after MRAI"
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ fn prefixes() -> impl Strategy<Value = Ipv4Prefix> {
 }
 
 fn origins() -> impl Strategy<Value = Origin> {
-    prop_oneof![Just(Origin::Igp), Just(Origin::Egp), Just(Origin::Incomplete)]
+    prop_oneof![
+        Just(Origin::Igp),
+        Just(Origin::Egp),
+        Just(Origin::Incomplete)
+    ]
 }
 
 fn segments() -> impl Strategy<Value = AsPathSegment> {
@@ -70,7 +74,11 @@ fn messages() -> impl Strategy<Value = Message> {
                     nlri,
                 })
             }),
-        (any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 0..32))
+        (
+            any::<u8>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..32)
+        )
             .prop_map(|(code, subcode, data)| Message::Notification(Notification {
                 code,
                 subcode,

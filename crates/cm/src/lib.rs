@@ -76,13 +76,17 @@ pub struct PipeEndpoint {
 }
 
 impl PipeEndpoint {
-    /// Sends bytes to the other end, bumping the activity probe.
+    /// Sends bytes to the other end, bumping the activity probe on
+    /// successful delivery.
     pub fn send(&self, bytes: Bytes) {
-        self.probe.bump();
-        self.sent.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let len = bytes.len() as u64;
         // The peer endpoint may have been dropped (experiment teardown);
-        // losing bytes then is correct.
-        let _ = self.tx.send(bytes);
+        // losing bytes then is correct — but lost bytes are not control
+        // activity and must not hold the clock in FTI.
+        if self.tx.send(bytes).is_ok() {
+            self.probe.bump();
+            self.sent.fetch_add(len, Ordering::Relaxed);
+        }
     }
 
     /// Non-blocking receive of one chunk.
@@ -174,35 +178,44 @@ impl FibInstaller {
                 })
             })
             .collect();
-        self.installs += 1;
-        if hops.is_empty() {
+        let changed = if hops.is_empty() {
             fib.remove(prefix).is_some()
         } else {
             let entry = RouteEntry::new(hops, RouteOrigin::Bgp);
             fib.insert(prefix, entry.clone()) != Some(entry)
+        };
+        // Only actual FIB mutations count; redundant re-announcements of
+        // the same route are a no-op.
+        if changed {
+            self.installs += 1;
         }
+        changed
     }
 
     /// Installs a connected route (host-facing subnet) on a router.
+    /// Returns true if the FIB changed; mutations count as installs.
     pub fn install_connected(
         &mut self,
         dp: &mut DataPlane,
         node: NodeId,
         prefix: Ipv4Prefix,
         port: PortId,
-    ) {
-        if let Some(fib) = dp.fib_mut(node) {
-            fib.insert(
-                prefix,
-                RouteEntry::new(
-                    vec![NextHop {
-                        port,
-                        gateway: Ipv4Addr::UNSPECIFIED,
-                    }],
-                    RouteOrigin::Connected,
-                ),
-            );
+    ) -> bool {
+        let Some(fib) = dp.fib_mut(node) else {
+            return false;
+        };
+        let entry = RouteEntry::new(
+            vec![NextHop {
+                port,
+                gateway: Ipv4Addr::UNSPECIFIED,
+            }],
+            RouteOrigin::Connected,
+        );
+        let changed = fib.insert(prefix, entry.clone()) != Some(entry);
+        if changed {
+            self.installs += 1;
         }
+        changed
     }
 }
 
@@ -265,11 +278,13 @@ mod tests {
     }
 
     #[test]
-    fn send_to_dropped_peer_does_not_panic() {
+    fn send_to_dropped_peer_does_not_panic_or_count_as_activity() {
         let probe = ActivityProbe::new();
         let (a, b) = pipe(&probe);
         drop(b);
         a.send(Bytes::from_static(b"into the void"));
+        assert_eq!(probe.snapshot(), 0, "lost bytes are not control activity");
+        assert_eq!(a.bytes_sent(), 0);
     }
 
     #[test]
@@ -285,13 +300,42 @@ mod tests {
         inst.register(r, BTreeMap::from([(gw, r_port)]));
         let prefix: Ipv4Prefix = "10.9.0.0/16".parse().unwrap();
         assert!(inst.apply(&mut dp, r, prefix, &[gw]));
-        let (_, entry) = dp.fib(r).unwrap().lookup(Ipv4Addr::new(10, 9, 1, 1)).unwrap();
+        let (_, entry) = dp
+            .fib(r)
+            .unwrap()
+            .lookup(Ipv4Addr::new(10, 9, 1, 1))
+            .unwrap();
         assert_eq!(entry.next_hops[0].port, r_port);
         // Idempotent re-install reports no change.
         assert!(!inst.apply(&mut dp, r, prefix, &[gw]));
         // Withdrawal.
         assert!(inst.apply(&mut dp, r, prefix, &[]));
-        assert!(dp.fib(r).unwrap().lookup(Ipv4Addr::new(10, 9, 1, 1)).is_none());
+        assert!(dp
+            .fib(r)
+            .unwrap()
+            .lookup(Ipv4Addr::new(10, 9, 1, 1))
+            .is_none());
+        // Install + withdrawal mutated the FIB; the idempotent re-install
+        // and the redundant withdrawal below must not count.
+        assert!(!inst.apply(&mut dp, r, prefix, &[]));
+        assert_eq!(inst.installs, 2, "installs == actual FIB mutations");
+    }
+
+    #[test]
+    fn connected_routes_count_as_installs() {
+        let mut dp = DataPlane::new();
+        let r = NodeId(0);
+        dp.add_router(r, HashMode::SrcDst);
+        let mut inst = FibInstaller::new();
+        let prefix: Ipv4Prefix = "10.1.0.0/24".parse().unwrap();
+        assert!(inst.install_connected(&mut dp, r, prefix, PortId(3)));
+        assert_eq!(inst.installs, 1);
+        // Re-installing the identical connected route is a no-op.
+        assert!(!inst.install_connected(&mut dp, r, prefix, PortId(3)));
+        assert_eq!(inst.installs, 1);
+        // Moving it to a different port is a mutation.
+        assert!(inst.install_connected(&mut dp, r, prefix, PortId(4)));
+        assert_eq!(inst.installs, 2);
     }
 
     #[test]
@@ -304,10 +348,17 @@ mod tests {
         let prefix: Ipv4Prefix = "10.9.0.0/16".parse().unwrap();
         // Pre-install something, then apply with an unresolvable hop.
         inst.install_connected(&mut dp, r, prefix, PortId(0));
-        assert!(dp.fib(r).unwrap().lookup(Ipv4Addr::new(10, 9, 0, 1)).is_some());
+        assert!(dp
+            .fib(r)
+            .unwrap()
+            .lookup(Ipv4Addr::new(10, 9, 0, 1))
+            .is_some());
         inst.apply(&mut dp, r, prefix, &[Ipv4Addr::new(9, 9, 9, 9)]);
         assert!(
-            dp.fib(r).unwrap().lookup(Ipv4Addr::new(10, 9, 0, 1)).is_none(),
+            dp.fib(r)
+                .unwrap()
+                .lookup(Ipv4Addr::new(10, 9, 0, 1))
+                .is_none(),
             "unresolvable hops remove the prefix"
         );
     }

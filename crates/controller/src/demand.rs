@@ -14,11 +14,10 @@
 //! Demands are expressed as fractions of NIC rate (1.0 = a full NIC).
 
 use horse_net::topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One flow's estimated demand.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowDemand {
     /// Sending host.
     pub src: NodeId,
@@ -57,8 +56,7 @@ pub fn estimate_demands(flows: &[(NodeId, NodeId)]) -> Vec<FlowDemand> {
                 .filter(|i| converged[**i])
                 .map(|i| demand[*i])
                 .sum();
-            let unconverged: Vec<usize> =
-                idxs.iter().copied().filter(|i| !converged[*i]).collect();
+            let unconverged: Vec<usize> = idxs.iter().copied().filter(|i| !converged[*i]).collect();
             if unconverged.is_empty() {
                 continue;
             }

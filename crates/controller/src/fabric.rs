@@ -8,6 +8,9 @@ use horse_openflow::wire::{FlowMod, FlowModCommand, OfAction, OFPP_NONE};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
+/// Cached equal-cost shortest path sets, keyed by host pair.
+type PathCache = std::cell::RefCell<BTreeMap<(NodeId, NodeId), Vec<Vec<LinkId>>>>;
+
 /// The fabric as the controller sees it.
 #[derive(Debug, Clone)]
 pub struct FabricView {
@@ -16,7 +19,7 @@ pub struct FabricView {
     dpid_of_node: BTreeMap<NodeId, u64>,
     host_of_ip: BTreeMap<Ipv4Addr, NodeId>,
     /// Cache of shortest path sets between host pairs.
-    path_cache: std::cell::RefCell<BTreeMap<(NodeId, NodeId), Vec<Vec<LinkId>>>>,
+    path_cache: PathCache,
 }
 
 impl FabricView {
@@ -130,7 +133,10 @@ impl FabricView {
                 return Vec::new(); // disconnected path: caller bug
             };
             if let Some(dpid) = self.dpid_of(cur) {
-                out.push((dpid, exact_flow_mod(*tuple, ep.port, priority, idle_timeout)));
+                out.push((
+                    dpid,
+                    exact_flow_mod(*tuple, ep.port, priority, idle_timeout),
+                ));
             }
             cur = link.other(cur);
         }
@@ -200,12 +206,7 @@ mod tests {
     fn rules_cover_switches_on_path() {
         let (f, a, b) = square();
         let path = &f.paths(a, b)[0];
-        let tuple = FiveTuple::udp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            1,
-            Ipv4Addr::new(10, 0, 0, 2),
-            2,
-        );
+        let tuple = FiveTuple::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2);
         let rules = f.rules_along(a, path, &tuple, 100, 0);
         // Path: a → switch → b. Only the switch gets a rule (hosts have no
         // dpid).
@@ -220,12 +221,13 @@ mod tests {
         let (f, a, b) = square();
         let path = f.paths(a, b)[0].clone();
         // Start the walk at the wrong node.
-        let rules = f.rules_along(b, &path, &FiveTuple::udp(
-            Ipv4Addr::new(10, 0, 0, 1),
+        let rules = f.rules_along(
+            b,
+            &path,
+            &FiveTuple::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2),
             1,
-            Ipv4Addr::new(10, 0, 0, 2),
-            2,
-        ), 1, 0);
+            0,
+        );
         assert!(rules.is_empty());
     }
 }

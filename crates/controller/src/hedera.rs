@@ -136,12 +136,7 @@ impl HederaApp {
         if inputs.is_empty() {
             return;
         }
-        let placement = place_flows(
-            fabric.topo(),
-            &inputs,
-            self.cfg.algo,
-            &BTreeMap::new(),
-        );
+        let placement = place_flows(fabric.topo(), &inputs, self.cfg.algo, &BTreeMap::new());
         // Apply moves.
         for input in &inputs {
             let chosen = placement[&input.tuple];
@@ -237,9 +232,7 @@ mod tests {
     use horse_net::packet::Packet;
     use horse_net::topology::Topology;
     use horse_openflow::controller::{Controller, ControllerEvent};
-    use horse_openflow::wire::{
-        FeaturesReply, OfMessage, OfPacket, StatsBody, OFPR_NO_MATCH,
-    };
+    use horse_openflow::wire::{FeaturesReply, OfMessage, OfPacket, StatsBody, OFPR_NO_MATCH};
     use horse_sim::SimTime;
     use std::net::Ipv4Addr;
 
@@ -430,7 +423,13 @@ mod tests {
         ctl.on_timer(SimTime::from_secs(5), &mut app);
         let bytes_5s = (0.5 * G / 8.0 * 5.0) as u64; // measured (congested)
         let entries = vec![entry(t1, bytes_5s), entry(t2, bytes_5s)];
-        stats_reply(&mut ctl, &mut app, 0, SimTime::from_secs(5), entries.clone());
+        stats_reply(
+            &mut ctl,
+            &mut app,
+            0,
+            SimTime::from_secs(5),
+            entries.clone(),
+        );
         stats_reply(&mut ctl, &mut app, 1, SimTime::from_secs(5), vec![]);
         assert_eq!(app.rounds, 1);
         assert_eq!(app.moves, 1, "one elephant moved off the shared spine");
@@ -452,7 +451,13 @@ mod tests {
         // Tiny byte counts → mice → no moves. (Demand estimation would say
         // 0.5 each based on the matrix, but mice are filtered by measured
         // inactivity: zero delta.)
-        stats_reply(&mut ctl, &mut app, 0, SimTime::from_secs(5), vec![entry(t1, 0), entry(t2, 0)]);
+        stats_reply(
+            &mut ctl,
+            &mut app,
+            0,
+            SimTime::from_secs(5),
+            vec![entry(t1, 0), entry(t2, 0)],
+        );
         stats_reply(&mut ctl, &mut app, 1, SimTime::from_secs(5), vec![]);
         assert_eq!(app.rounds, 1);
         assert_eq!(app.moves, 0);
@@ -465,7 +470,13 @@ mod tests {
         let x = app.fabric().topo().find("x").unwrap();
         let xd = app.fabric().dpid_of(x).unwrap();
         connect_switch(&mut ctl, &mut app, 0, xd);
-        stats_reply(&mut ctl, &mut app, 0, SimTime::ZERO, vec![entry(tup(1), 999)]);
+        stats_reply(
+            &mut ctl,
+            &mut app,
+            0,
+            SimTime::ZERO,
+            vec![entry(tup(1), 999)],
+        );
         assert_eq!(app.rounds, 0);
     }
 
@@ -478,12 +489,24 @@ mod tests {
         let bytes_5s = (0.5 * G / 8.0 * 5.0) as u64;
         // Round 1: counters at N.
         ctl.on_timer(SimTime::from_secs(5), &mut app);
-        stats_reply(&mut ctl, &mut app, 0, SimTime::from_secs(5), vec![entry(t1, bytes_5s), entry(t2, bytes_5s)]);
+        stats_reply(
+            &mut ctl,
+            &mut app,
+            0,
+            SimTime::from_secs(5),
+            vec![entry(t1, bytes_5s), entry(t2, bytes_5s)],
+        );
         stats_reply(&mut ctl, &mut app, 1, SimTime::from_secs(5), vec![]);
         let moves_after_1 = app.moves;
         // Round 2: counters unchanged → flows idle → no further moves.
         ctl.on_timer(SimTime::from_secs(10), &mut app);
-        stats_reply(&mut ctl, &mut app, 0, SimTime::from_secs(10), vec![entry(t1, bytes_5s), entry(t2, bytes_5s)]);
+        stats_reply(
+            &mut ctl,
+            &mut app,
+            0,
+            SimTime::from_secs(10),
+            vec![entry(t1, bytes_5s), entry(t2, bytes_5s)],
+        );
         stats_reply(&mut ctl, &mut app, 1, SimTime::from_secs(10), vec![]);
         assert_eq!(app.rounds, 2);
         assert_eq!(app.moves, moves_after_1, "idle flows are not rescheduled");

@@ -167,11 +167,7 @@ fn simulated_annealing(
             assign[which] = old;
         }
     }
-    inputs
-        .iter()
-        .zip(best)
-        .map(|(i, c)| (i.tuple, c))
-        .collect()
+    inputs.iter().zip(best).map(|(i, c)| (i.tuple, c)).collect()
 }
 
 /// Helper to build [`PlacementInput`]s from estimated demands: filters

@@ -17,9 +17,7 @@ use horse_net::fluid::FluidNetwork;
 use horse_net::topology::{NodeId, PortId, Topology};
 use horse_openflow::agent::{AgentEvent, SwitchAgent};
 use horse_openflow::controller::{Controller, ControllerApp, ControllerEvent};
-use horse_openflow::wire::{
-    FlowMod, FlowModCommand, FlowStatsEntry, OfAction, PortDesc,
-};
+use horse_openflow::wire::{FlowMod, FlowModCommand, FlowStatsEntry, OfAction, PortDesc};
 use horse_sim::SimTime;
 use horse_topo::fattree::BgpNodeSetup;
 use std::collections::BTreeMap;
@@ -74,7 +72,7 @@ pub enum ControlPlane {
     /// One emulated BGP daemon per router.
     Bgp(BgpControl),
     /// An OpenFlow controller plus one switch agent per switch.
-    Sdn(SdnControl),
+    Sdn(Box<SdnControl>),
 }
 
 impl ControlPlane {
@@ -88,17 +86,11 @@ impl ControlPlane {
     }
 
     /// One engine step of control-plane work.
-    pub fn pump(
-        &mut self,
-        now: SimTime,
-        dp: &mut DataPlane,
-        fluid: &FluidNetwork,
-        flows_by_tuple: &BTreeMap<horse_net::flow::FiveTuple, horse_net::flow::FlowId>,
-    ) -> PumpOutcome {
+    pub fn pump(&mut self, now: SimTime, dp: &mut DataPlane, fluid: &FluidNetwork) -> PumpOutcome {
         match self {
             ControlPlane::None => PumpOutcome::default(),
             ControlPlane::Bgp(b) => b.pump(now, dp),
-            ControlPlane::Sdn(s) => s.pump(now, dp, fluid, flows_by_tuple),
+            ControlPlane::Sdn(s) => s.pump(now, dp, fluid),
         }
     }
 
@@ -146,10 +138,7 @@ impl ControlPlane {
     /// True when every BGP session is Established (always true otherwise).
     pub fn sessions_converged(&self) -> bool {
         match self {
-            ControlPlane::Bgp(b) => b
-                .speakers
-                .values()
-                .all(|s| s.fully_converged_sessions()),
+            ControlPlane::Bgp(b) => b.speakers.values().all(|s| s.fully_converged_sessions()),
             _ => true,
         }
     }
@@ -310,7 +299,10 @@ impl BgpControl {
     }
 
     fn next_deadline(&self) -> Option<SimTime> {
-        self.speakers.values().filter_map(|s| s.next_deadline()).min()
+        self.speakers
+            .values()
+            .filter_map(|s| s.next_deadline())
+            .min()
     }
 
     /// Drops (or restores) the transports of every session riding `link`.
@@ -423,13 +415,7 @@ impl SdnControl {
         }
     }
 
-    fn pump(
-        &mut self,
-        now: SimTime,
-        dp: &mut DataPlane,
-        fluid: &FluidNetwork,
-        flows_by_tuple: &BTreeMap<horse_net::flow::FiveTuple, horse_net::flow::FlowId>,
-    ) -> PumpOutcome {
+    fn pump(&mut self, now: SimTime, dp: &mut DataPlane, fluid: &FluidNetwork) -> PumpOutcome {
         let mut out = PumpOutcome::default();
         // 0. App timer due?
         if let Some(t) = self.wake_at {
@@ -451,7 +437,8 @@ impl SdnControl {
             }
         }
         for (conn, bytes) in to_controller {
-            self.controller.on_bytes(conn, now, &bytes, self.app.as_dyn());
+            self.controller
+                .on_bytes(conn, now, &bytes, self.app.as_dyn());
         }
         // 2. Drain agent events.
         let nodes: Vec<NodeId> = self.agents.keys().copied().collect();
@@ -472,7 +459,7 @@ impl SdnControl {
                     }
                     AgentEvent::FlowStatsRequest { xid, .. } => {
                         out.activity = true;
-                        let entries = Self::flow_stats_of(dp, node, fluid, flows_by_tuple, now);
+                        let entries = Self::flow_stats_of(dp, node, fluid, now);
                         self.agents
                             .get_mut(&node)
                             .expect("agent")
@@ -506,16 +493,23 @@ impl SdnControl {
             let Some(table) = dp.table_mut(node) else {
                 continue;
             };
-            if table
-                .entries()
-                .iter()
-                .any(|e| !e.idle_timeout.is_zero())
-            {
-                for (tuple, fid) in flows_by_tuple {
-                    if fluid.rate_of(*fid).unwrap_or(0.0) <= 0.0 {
+            if table.entries().iter().any(|e| !e.idle_timeout.is_zero()) {
+                // The fluid model's flow index stands in for per-packet
+                // counters: an entry whose 5-tuple maps to a flow that is
+                // actually moving bits counts as recently hit.
+                let tuples: Vec<horse_net::flow::FiveTuple> = table
+                    .entries()
+                    .iter()
+                    .filter_map(|e| horse_controller::hedera::tuple_of_match(&e.matcher))
+                    .collect();
+                for tuple in tuples {
+                    let Some(fid) = fluid.flow_by_tuple(&tuple) else {
+                        continue;
+                    };
+                    if fluid.rate_of(fid).unwrap_or(0.0) <= 0.0 {
                         continue;
                     }
-                    let key = horse_dataplane::flowtable::FlowKey::ipv4(None, *tuple);
+                    let key = horse_dataplane::flowtable::FlowKey::ipv4(None, tuple);
                     if let Some(e) = table.lookup_mut(&key) {
                         e.last_hit = now;
                     }
@@ -529,8 +523,8 @@ impl SdnControl {
             out.tables_changed = true;
             let agent = self.agents.get_mut(&node).expect("agent");
             for e in expired {
-                let idle = !e.idle_timeout.is_zero()
-                    && now.duration_since(e.last_hit) >= e.idle_timeout;
+                let idle =
+                    !e.idle_timeout.is_zero() && now.duration_since(e.last_hit) >= e.idle_timeout;
                 agent.send_flow_removed(horse_openflow::wire::FlowRemoved {
                     matcher: e.matcher,
                     cookie: e.cookie,
@@ -589,10 +583,8 @@ impl SdnControl {
                     .collect();
                 let mut entry = DpFlowEntry::new(fm.matcher, fm.priority, actions);
                 entry.cookie = fm.cookie;
-                entry.idle_timeout =
-                    horse_sim::SimDuration::from_secs(u64::from(fm.idle_timeout));
-                entry.hard_timeout =
-                    horse_sim::SimDuration::from_secs(u64::from(fm.hard_timeout));
+                entry.idle_timeout = horse_sim::SimDuration::from_secs(u64::from(fm.idle_timeout));
+                entry.hard_timeout = horse_sim::SimDuration::from_secs(u64::from(fm.hard_timeout));
                 table.add(entry, now);
                 true
             }
@@ -608,7 +600,6 @@ impl SdnControl {
         dp: &DataPlane,
         node: NodeId,
         fluid: &FluidNetwork,
-        flows_by_tuple: &BTreeMap<horse_net::flow::FiveTuple, horse_net::flow::FlowId>,
         now: SimTime,
     ) -> Vec<FlowStatsEntry> {
         let Some(table) = dp.table(node) else {
@@ -619,9 +610,9 @@ impl SdnControl {
             .iter()
             .filter_map(|e| {
                 let tuple = horse_controller::hedera::tuple_of_match(&e.matcher)?;
-                let bytes = flows_by_tuple
-                    .get(&tuple)
-                    .and_then(|fid| fluid.progress(*fid))
+                let bytes = fluid
+                    .flow_by_tuple(&tuple)
+                    .and_then(|fid| fluid.progress(fid))
                     .map(|p| p.bytes_sent as u64)
                     .unwrap_or(0);
                 Some(FlowStatsEntry {

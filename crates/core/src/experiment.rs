@@ -136,13 +136,13 @@ impl Experiment {
         };
         let ft = FatTree::build(pods, role, 1e9, 1_000);
         let control = match te {
-            TeApproach::BgpEcmp => ControlBuild::Bgp(ft.bgp_setups(
-                horse_bgp::session::TimerConfig {
+            TeApproach::BgpEcmp => {
+                ControlBuild::Bgp(ft.bgp_setups(horse_bgp::session::TimerConfig {
                     hold_time: SimDuration::from_secs(30),
                     connect_retry: SimDuration::from_secs(1),
                     mrai: SimDuration::ZERO,
-                },
-            )),
+                }))
+            }
             TeApproach::SdnEcmp => ControlBuild::SdnEcmp,
             TeApproach::Hedera => ControlBuild::Hedera(HederaConfig::default()),
         };
@@ -250,20 +250,19 @@ impl Experiment {
             }
             ControlBuild::SdnEcmp => {
                 let fabric = FabricView::new(self.topo.clone());
-                ControlPlane::Sdn(SdnControl::new(
+                ControlPlane::Sdn(Box::new(SdnControl::new(
                     &self.topo,
                     SdnApp::Ecmp(
-                        EcmpApp::new(fabric, self.seed)
-                            .with_idle_timeout(self.sdn_idle_timeout_s),
+                        EcmpApp::new(fabric, self.seed).with_idle_timeout(self.sdn_idle_timeout_s),
                     ),
-                ))
+                )))
             }
             ControlBuild::Hedera(cfg) => {
                 let fabric = FabricView::new(self.topo.clone());
-                ControlPlane::Sdn(SdnControl::new(
+                ControlPlane::Sdn(Box::new(SdnControl::new(
                     &self.topo,
                     SdnApp::Hedera(HederaApp::new(fabric, *cfg, self.seed)),
-                ))
+                )))
             }
         };
         let wall_setup_secs = setup_start.elapsed().as_secs_f64();

@@ -2,12 +2,11 @@
 
 use horse_net::flow::FlowId;
 use horse_sim::{ClockMode, ModeTransition, SimDuration, SimTime};
-use horse_stats::SeriesSet;
-use serde::{Deserialize, Serialize};
+use horse_stats::{json_f64, json_string, Json, SeriesSet};
 
 /// Everything a finished experiment reports — the inputs for the demo's
 /// goodput graph (per TE approach) and for Figure 3's execution times.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Scenario label (e.g. `"sdn-ecmp-k4"`).
     pub label: String,
@@ -118,8 +117,162 @@ impl ExperimentReport {
         Some(v[idx])
     }
 
-    /// JSON dump for the bench harnesses.
+    /// JSON dump for the bench harnesses. Times are nanosecond integers so
+    /// [`ExperimentReport::from_json`] round-trips exactly.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"label\": {},", json_string(&self.label));
+        let _ = writeln!(out, "  \"horizon_ns\": {},", self.horizon.as_nanos());
+        out.push_str("  \"goodput\": {");
+        for (i, name) in self.goodput.names().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: [", json_string(name));
+            let series = self.goodput.get(name).expect("name from names()");
+            for (j, (t, v)) in series.points().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}, {}]", t.as_nanos(), json_f64(*v));
+            }
+            out.push(']');
+        }
+        out.push_str("\n  },\n");
+        out.push_str("  \"transitions\": [");
+        for (i, tr) in self.transitions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let mode = match tr.mode {
+                ClockMode::Des => "DES",
+                ClockMode::Fti => "FTI",
+            };
+            let _ = write!(out, "[{}, \"{mode}\"]", tr.at.as_nanos());
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "  \"fti_time_ns\": {},", self.fti_time.as_nanos());
+        let _ = writeln!(out, "  \"des_time_ns\": {},", self.des_time.as_nanos());
+        let _ = writeln!(
+            out,
+            "  \"wall_setup_secs\": {},",
+            json_f64(self.wall_setup_secs)
+        );
+        let _ = writeln!(
+            out,
+            "  \"wall_run_secs\": {},",
+            json_f64(self.wall_run_secs)
+        );
+        let _ = writeln!(out, "  \"events_processed\": {},", self.events_processed);
+        let _ = writeln!(out, "  \"control_msgs\": {},", self.control_msgs);
+        let _ = writeln!(out, "  \"table_writes\": {},", self.table_writes);
+        let _ = writeln!(out, "  \"flows_requested\": {},", self.flows_requested);
+        let _ = writeln!(out, "  \"flows_routed\": {},", self.flows_routed);
+        out.push_str("  \"completions\": [");
+        for (i, (id, t)) in self.completions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{}, {}]", id.0, t.as_nanos());
+        }
+        out.push_str("],\n");
+        out.push_str("  \"flow_completion_secs\": [");
+        for (i, s) in self.flow_completion_secs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_f64(*s));
+        }
+        out.push_str("],\n");
+        match self.all_routed_at {
+            Some(t) => {
+                let _ = writeln!(out, "  \"all_routed_at_ns\": {},", t.as_nanos());
+            }
+            None => out.push_str("  \"all_routed_at_ns\": null,\n"),
+        }
+        let _ = writeln!(out, "  \"scheduler_moves\": {}", self.scheduler_moves);
+        out.push('}');
+        out
+    }
+
+    /// Parses a report produced by [`ExperimentReport::to_json`].
+    pub fn from_json(text: &str) -> Result<ExperimentReport, String> {
+        let v = Json::parse(text)?;
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field '{k}'"));
+        let num =
+            |k: &str| -> Result<u64, String> { field(k)?.as_u64().ok_or(format!("bad '{k}'")) };
+        let f64_of =
+            |k: &str| -> Result<f64, String> { field(k)?.as_f64().ok_or(format!("bad '{k}'")) };
+
+        let mut goodput = SeriesSet::new();
+        if let Json::Obj(series) = field("goodput")? {
+            for (name, pts) in series {
+                let pts = pts.as_array().ok_or("bad series")?;
+                for p in pts {
+                    let p = p.as_array().ok_or("bad point")?;
+                    let t = p[0].as_u64().ok_or("bad point time")?;
+                    let val = p[1].as_f64().ok_or("bad point value")?;
+                    goodput.push(name, SimTime::from_nanos(t), val);
+                }
+            }
+        } else {
+            return Err("bad 'goodput'".into());
+        }
+
+        let mut transitions = Vec::new();
+        for tr in field("transitions")?.as_array().ok_or("bad transitions")? {
+            let tr = tr.as_array().ok_or("bad transition")?;
+            let at = SimTime::from_nanos(tr[0].as_u64().ok_or("bad transition time")?);
+            let mode = match tr[1].as_str() {
+                Some("DES") => ClockMode::Des,
+                Some("FTI") => ClockMode::Fti,
+                other => return Err(format!("bad transition mode {other:?}")),
+            };
+            transitions.push(ModeTransition { at, mode });
+        }
+
+        let mut completions = Vec::new();
+        for c in field("completions")?.as_array().ok_or("bad completions")? {
+            let c = c.as_array().ok_or("bad completion")?;
+            completions.push((
+                FlowId(c[0].as_u64().ok_or("bad completion id")?),
+                SimTime::from_nanos(c[1].as_u64().ok_or("bad completion time")?),
+            ));
+        }
+
+        let flow_completion_secs = field("flow_completion_secs")?
+            .as_array()
+            .ok_or("bad flow_completion_secs")?
+            .iter()
+            .map(|s| s.as_f64().ok_or("bad fct"))
+            .collect::<Result<Vec<f64>, _>>()?;
+
+        let all_routed_at = match field("all_routed_at_ns")? {
+            Json::Null => None,
+            other => Some(SimTime::from_nanos(
+                other.as_u64().ok_or("bad all_routed_at_ns")?,
+            )),
+        };
+
+        Ok(ExperimentReport {
+            label: field("label")?.as_str().ok_or("bad label")?.to_string(),
+            horizon: SimTime::from_nanos(num("horizon_ns")?),
+            goodput,
+            transitions,
+            fti_time: SimDuration::from_nanos(num("fti_time_ns")?),
+            des_time: SimDuration::from_nanos(num("des_time_ns")?),
+            wall_setup_secs: f64_of("wall_setup_secs")?,
+            wall_run_secs: f64_of("wall_run_secs")?,
+            events_processed: num("events_processed")?,
+            control_msgs: num("control_msgs")?,
+            table_writes: num("table_writes")?,
+            flows_requested: num("flows_requested")? as usize,
+            flows_routed: num("flows_routed")? as usize,
+            completions,
+            flow_completion_secs,
+            all_routed_at,
+            scheduler_moves: num("scheduler_moves")?,
+        })
     }
 }

@@ -21,8 +21,8 @@ use crate::experiment::{LinkEvent, TrafficEvent};
 use crate::report::ExperimentReport;
 use horse_dataplane::path::{DataPlane, ResolveError};
 use horse_net::addr::MacAddr;
-use horse_net::flow::{FiveTuple, FlowId, FlowSpec};
-use horse_net::fluid::FluidNetwork;
+use horse_net::flow::{FlowId, FlowSpec};
+use horse_net::fluid::{Dirty, FluidNetwork};
 use horse_net::packet::Packet;
 use horse_net::topology::{NodeId, Topology};
 use horse_sim::clock::Advance;
@@ -77,7 +77,6 @@ pub struct Runner {
     miss_sent: BTreeSet<(usize, NodeId)>,
     active_by_idx: BTreeMap<usize, FlowId>,
     idx_by_flow: BTreeMap<FlowId, usize>,
-    flows_by_tuple: BTreeMap<FiveTuple, FlowId>,
     completion_event: Option<(EventId, FlowId)>,
     ctrl_event: Option<(SimTime, EventId)>,
     retry_scheduled: bool,
@@ -122,7 +121,6 @@ impl Runner {
             miss_sent: BTreeSet::new(),
             active_by_idx: BTreeMap::new(),
             idx_by_flow: BTreeMap::new(),
-            flows_by_tuple: BTreeMap::new(),
             completion_event: None,
             ctrl_event: None,
             retry_scheduled: false,
@@ -149,7 +147,8 @@ impl Runner {
         let wall_start = std::time::Instant::now();
         self.control.start(SimTime::ZERO, &mut self.dp);
         for (idx, t) in self.traffic.clone().iter().enumerate() {
-            self.queue.push(t.start.min(self.horizon), Ev::FlowStart(idx));
+            self.queue
+                .push(t.start.min(self.horizon), Ev::FlowStart(idx));
             if let Some(stop) = t.stop {
                 self.queue.push(stop.min(self.horizon), Ev::FlowStop(idx));
             }
@@ -165,9 +164,7 @@ impl Runner {
 
         loop {
             let now = self.clock.now();
-            let outcome =
-                self.control
-                    .pump(now, &mut self.dp, &self.fluid, &self.flows_by_tuple);
+            let outcome = self.control.pump(now, &mut self.dp, &self.fluid);
             if outcome.activity {
                 self.clock.on_control_activity();
             }
@@ -215,13 +212,11 @@ impl Runner {
             Ev::FlowStart(idx) => {
                 let spec = self.traffic[idx].spec;
                 self.try_start_flow(now, idx, spec);
+                self.flush_fluid(now);
             }
             Ev::FlowStop(idx) => {
                 if let Some(fid) = self.active_by_idx.remove(&idx) {
                     self.idx_by_flow.remove(&fid);
-                    if let Some(spec) = self.fluid.spec(fid) {
-                        self.flows_by_tuple.remove(&spec.tuple);
-                    }
                     let _ = self.fluid.stop(now, fid, &self.topo);
                     self.resync_completion(now);
                     self.sample(now);
@@ -239,9 +234,6 @@ impl Runner {
                         self.active_by_idx.remove(&idx);
                         self.fcts
                             .push(now.duration_since(self.traffic[idx].start).as_secs_f64());
-                    }
-                    if let Some(spec) = self.fluid.spec(fid) {
-                        self.flows_by_tuple.remove(&spec.tuple);
                     }
                     let _ = self.fluid.stop(now, fid, &self.topo);
                     self.completions.push((fid, now));
@@ -265,9 +257,12 @@ impl Runner {
                 let le = self.link_events[idx];
                 if self.topo.link(le.link).up != le.up {
                     self.topo.link_mut(le.link).up = le.up;
-                    // A failed link starves its flows immediately.
+                    // A failed link starves its flows immediately. Only the
+                    // component sharing links with the changed one needs a
+                    // new solution.
                     self.fluid.advance(now);
-                    self.fluid.recompute(&self.topo);
+                    self.fluid
+                        .recompute_incremental(&self.topo, &[Dirty::Link(le.link)]);
                     self.resync_completion(now);
                     self.sample(now);
                     // The control plane notices (BGP transports ride the
@@ -288,8 +283,19 @@ impl Runner {
                 for (idx, spec) in retry {
                     self.try_start_flow(now, idx, spec);
                 }
+                self.flush_fluid(now);
                 self.ensure_retry(now);
             }
+        }
+    }
+
+    /// Solves once for every flow start/reroute deferred since the last
+    /// flush — one control burst, one solve.
+    fn flush_fluid(&mut self, now: SimTime) {
+        if self.fluid.has_pending() {
+            self.fluid.flush(&self.topo);
+            self.resync_completion(now);
+            self.sample(now);
         }
     }
 
@@ -307,14 +313,13 @@ impl Runner {
     fn try_start_flow(&mut self, now: SimTime, idx: usize, spec: FlowSpec) {
         match self.dp.resolve(&self.topo, spec.src, spec.dst, &spec.tuple) {
             Ok(path) => {
-                match self.fluid.start(now, spec, path, &self.topo) {
-                    Ok((fid, _)) => {
+                // Deferred: the caller runs one fluid solve for the whole
+                // burst of starts/reroutes via [`Runner::flush_fluid`].
+                match self.fluid.start_deferred(now, spec, path, &self.topo) {
+                    Ok(fid) => {
                         self.pending.remove(&idx);
                         self.active_by_idx.insert(idx, fid);
                         self.idx_by_flow.insert(fid, idx);
-                        self.flows_by_tuple.insert(spec.tuple, fid);
-                        self.resync_completion(now);
-                        self.sample(now);
                         if self.pending.is_empty()
                             && self.all_routed_at.is_none()
                             && self.active_by_idx.len() + self.completions.len()
@@ -354,13 +359,13 @@ impl Runner {
     }
 
     /// Forwarding state changed: retry pending flows, re-path active ones.
+    /// All starts and reroutes triggered by one control burst are deferred
+    /// into a single scoped fluid solve.
     fn on_tables_changed(&mut self, now: SimTime) {
-        let retry: Vec<(usize, FlowSpec)> =
-            self.pending.iter().map(|(i, s)| (*i, *s)).collect();
+        let retry: Vec<(usize, FlowSpec)> = self.pending.iter().map(|(i, s)| (*i, *s)).collect();
         for (idx, spec) in retry {
             self.try_start_flow(now, idx, spec);
         }
-        let mut rerouted = false;
         let active: Vec<(FlowId, FlowSpec)> = self
             .idx_by_flow
             .keys()
@@ -368,17 +373,12 @@ impl Runner {
             .collect();
         for (fid, spec) in active {
             if let Ok(path) = self.dp.resolve(&self.topo, spec.src, spec.dst, &spec.tuple) {
-                if self.fluid.path(fid) != Some(path.as_slice())
-                    && self.fluid.reroute(now, fid, path, &self.topo).is_ok()
-                {
-                    rerouted = true;
+                if self.fluid.path(fid) != Some(path.as_slice()) {
+                    let _ = self.fluid.reroute_deferred(now, fid, path, &self.topo);
                 }
             }
         }
-        if rerouted {
-            self.resync_completion(now);
-            self.sample(now);
-        }
+        self.flush_fluid(now);
     }
 
     fn resync_completion(&mut self, _now: SimTime) {
@@ -386,7 +386,9 @@ impl Runner {
             self.queue.cancel(id);
         }
         if let Some((t, fid)) = self.fluid.next_completion() {
-            let id = self.queue.push(t.max(self.clock.now()), Ev::Completion(fid));
+            let id = self
+                .queue
+                .push(t.max(self.clock.now()), Ev::Completion(fid));
             self.completion_event = Some((id, fid));
         }
     }

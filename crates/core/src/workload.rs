@@ -170,10 +170,7 @@ mod tests {
             .map(|s| s as f64)
             .sum::<f64>()
             / events.len() as f64;
-        assert!(
-            (mean - 1e6).abs() < 0.2e6,
-            "sample mean {mean} vs 1e6"
-        );
+        assert!((mean - 1e6).abs() < 0.2e6, "sample mean {mean} vs 1e6");
     }
 
     #[test]

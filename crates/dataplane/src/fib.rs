@@ -10,12 +10,11 @@
 
 use horse_net::addr::Ipv4Prefix;
 use horse_net::topology::PortId;
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// Where a route came from — used to prefer more specific sources when the
 /// control plane rewrites state, and for debugging dumps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RouteOrigin {
     /// Directly connected subnet.
     Connected,
@@ -27,7 +26,7 @@ pub enum RouteOrigin {
 
 /// One ECMP next hop: the local output port (and, for debugging, the
 /// gateway address it corresponds to).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NextHop {
     /// Output port on this node.
     pub port: PortId,
@@ -36,7 +35,7 @@ pub struct NextHop {
 }
 
 /// A routing entry: one or more equal-cost next hops.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouteEntry {
     /// Equal-cost next hops, in deterministic (sorted) order.
     pub next_hops: Vec<NextHop>,
@@ -53,14 +52,14 @@ impl RouteEntry {
     }
 }
 
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct TrieNode {
     children: [Option<u32>; 2],
     route: Option<RouteEntry>,
 }
 
 /// A longest-prefix-match FIB.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fib {
     nodes: Vec<TrieNode>,
     route_count: usize,
@@ -94,7 +93,9 @@ impl Fib {
     /// Inserts (or replaces) the route for `prefix`. Returns the previous
     /// entry if one existed.
     pub fn insert(&mut self, prefix: Ipv4Prefix, entry: RouteEntry) -> Option<RouteEntry> {
-        let idx = self.walk_to(prefix, true).expect("create=true always finds");
+        let idx = self
+            .walk_to(prefix, true)
+            .expect("create=true always finds");
         let old = self.nodes[idx as usize].route.replace(entry);
         if old.is_none() {
             self.route_count += 1;
@@ -280,10 +281,7 @@ mod tests {
 
     #[test]
     fn ecmp_hops_sorted_and_deduped() {
-        let e = RouteEntry::new(
-            vec![hop(3), hop(1), hop(3), hop(2)],
-            RouteOrigin::Bgp,
-        );
+        let e = RouteEntry::new(vec![hop(3), hop(1), hop(3), hop(2)], RouteOrigin::Bgp);
         let ports: Vec<u16> = e.next_hops.iter().map(|h| h.port.0).collect();
         assert_eq!(ports, vec![1, 2, 3]);
     }

@@ -12,7 +12,6 @@ use horse_net::addr::{Ipv4Prefix, MacAddr};
 use horse_net::flow::FiveTuple;
 use horse_net::topology::PortId;
 use horse_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The lookup key presented to a flow table: arrival port plus the flow's
 /// header fields.
@@ -46,7 +45,7 @@ impl FlowKey {
 }
 
 /// An OF 1.0 match: `None`/default means wildcard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Match {
     /// Match on the arrival port.
     pub in_port: Option<PortId>,
@@ -149,7 +148,7 @@ impl Match {
 }
 
 /// What to do with a matching flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Forward out a port.
     Output(PortId),
@@ -164,7 +163,7 @@ pub enum Action {
 }
 
 /// One table entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowEntry {
     /// Match condition.
     pub matcher: Match,
@@ -208,24 +207,22 @@ impl FlowEntry {
         }
     }
 
-    /// Resolves this entry's forwarding decision for `tuple`.
+    /// Resolves this entry's forwarding decision for `tuple`. Only the
+    /// first action is consulted: Horse's pipeline is single-action.
     pub fn decide(&self, tuple: &FiveTuple, hasher: &EcmpHasher) -> Action {
-        for a in &self.actions {
-            match a {
-                Action::EcmpHash if !self.ecmp_ports.is_empty() => {
-                    let idx = hasher.select(tuple, self.ecmp_ports.len());
-                    return Action::Output(self.ecmp_ports[idx]);
-                }
-                Action::EcmpHash => return Action::Drop,
-                other => return *other,
+        match self.actions.first() {
+            Some(Action::EcmpHash) if !self.ecmp_ports.is_empty() => {
+                let idx = hasher.select(tuple, self.ecmp_ports.len());
+                Action::Output(self.ecmp_ports[idx])
             }
+            Some(Action::EcmpHash) | None => Action::Drop,
+            Some(other) => *other,
         }
-        Action::Drop
     }
 }
 
 /// A priority-ordered flow table.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
 }
@@ -307,8 +304,10 @@ impl FlowTable {
     pub fn expire(&mut self, now: SimTime) -> Vec<FlowEntry> {
         let mut expired = Vec::new();
         self.entries.retain(|e| {
-            let hard = !e.hard_timeout.is_zero() && now.duration_since(e.installed) >= e.hard_timeout;
-            let idle = !e.idle_timeout.is_zero() && now.duration_since(e.last_hit) >= e.idle_timeout;
+            let hard =
+                !e.hard_timeout.is_zero() && now.duration_since(e.installed) >= e.hard_timeout;
+            let idle =
+                !e.idle_timeout.is_zero() && now.duration_since(e.last_hit) >= e.idle_timeout;
             if hard || idle {
                 expired.push(e.clone());
                 false
@@ -414,8 +413,14 @@ mod tests {
             tp_src: Some(5000),
             ..Match::default()
         };
-        t.add(FlowEntry::new(m1, 10, vec![Action::Output(PortId(1))]), SimTime::ZERO);
-        t.add(FlowEntry::new(m2, 10, vec![Action::Output(PortId(2))]), SimTime::ZERO);
+        t.add(
+            FlowEntry::new(m1, 10, vec![Action::Output(PortId(1))]),
+            SimTime::ZERO,
+        );
+        t.add(
+            FlowEntry::new(m2, 10, vec![Action::Output(PortId(2))]),
+            SimTime::ZERO,
+        );
         let e = t.lookup(&key()).unwrap();
         assert_eq!(e.actions[0], Action::Output(PortId(1)));
     }
@@ -424,10 +429,19 @@ mod tests {
     fn add_replaces_same_match_and_priority() {
         let mut t = FlowTable::new();
         let m = Match::exact(tuple());
-        t.add(FlowEntry::new(m, 5, vec![Action::Output(PortId(1))]), SimTime::ZERO);
-        t.add(FlowEntry::new(m, 5, vec![Action::Output(PortId(2))]), SimTime::ZERO);
+        t.add(
+            FlowEntry::new(m, 5, vec![Action::Output(PortId(1))]),
+            SimTime::ZERO,
+        );
+        t.add(
+            FlowEntry::new(m, 5, vec![Action::Output(PortId(2))]),
+            SimTime::ZERO,
+        );
         assert_eq!(t.len(), 1);
-        assert_eq!(t.lookup(&key()).unwrap().actions[0], Action::Output(PortId(2)));
+        assert_eq!(
+            t.lookup(&key()).unwrap().actions[0],
+            Action::Output(PortId(2))
+        );
     }
 
     #[test]
@@ -467,7 +481,10 @@ mod tests {
         e.idle_timeout = SimDuration::from_secs(5);
         t.add(e, SimTime::ZERO);
         t.account(&key(), 1000, SimTime::from_secs(4));
-        assert!(t.expire(SimTime::from_secs(8)).is_empty(), "hit at t=4 keeps it");
+        assert!(
+            t.expire(SimTime::from_secs(8)).is_empty(),
+            "hit at t=4 keeps it"
+        );
         let gone = t.expire(SimTime::from_secs(9));
         assert_eq!(gone.len(), 1);
         assert_eq!(gone[0].byte_count, 1000);

@@ -8,10 +8,9 @@
 //! run is reproducible.
 
 use horse_net::flow::FiveTuple;
-use serde::{Deserialize, Serialize};
 
 /// Which header fields participate in the hash.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HashMode {
     /// Source and destination IPv4 address only (the demo's "BGP plus ECMP
     /// path selection by hashing of IP source and destination").
@@ -21,7 +20,7 @@ pub enum HashMode {
 }
 
 /// A seeded ECMP hasher.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EcmpHasher {
     /// Field selection.
     pub mode: HashMode,
@@ -129,10 +128,7 @@ mod tests {
             counts[h.select(&tuple(sp), n)] += 1;
         }
         for c in &counts {
-            assert!(
-                (700..1300).contains(c),
-                "bucket badly skewed: {counts:?}"
-            );
+            assert!((700..1300).contains(c), "bucket badly skewed: {counts:?}");
         }
     }
 }

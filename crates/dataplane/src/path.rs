@@ -145,7 +145,11 @@ impl DataPlane {
     }
 
     /// Registers every node of `topo` by its declared kind.
-    pub fn from_topology(topo: &Topology, router_mode: HashMode, switch_mode: HashMode) -> DataPlane {
+    pub fn from_topology(
+        topo: &Topology,
+        router_mode: HashMode,
+        switch_mode: HashMode,
+    ) -> DataPlane {
         let mut dp = DataPlane::new();
         for id in topo.node_ids() {
             match topo.node(id).kind {
@@ -509,8 +513,14 @@ mod tests {
             dn,
             RouteEntry::new(
                 vec![
-                    NextHop { port: r_a, gateway: gw },
-                    NextHop { port: r_b, gateway: gw },
+                    NextHop {
+                        port: r_a,
+                        gateway: gw,
+                    },
+                    NextHop {
+                        port: r_b,
+                        gateway: gw,
+                    },
                 ],
                 RouteOrigin::Bgp,
             ),
@@ -519,13 +529,25 @@ mod tests {
             let (_, out) = t.link_between(via, m).unwrap();
             dp.fib_mut(via).unwrap().insert(
                 dn,
-                RouteEntry::new(vec![NextHop { port: out, gateway: gw }], RouteOrigin::Bgp),
+                RouteEntry::new(
+                    vec![NextHop {
+                        port: out,
+                        gateway: gw,
+                    }],
+                    RouteOrigin::Bgp,
+                ),
             );
         }
         let (_, m_h1) = t.link_between(m, h1).unwrap();
         dp.fib_mut(m).unwrap().insert(
             dn,
-            RouteEntry::new(vec![NextHop { port: m_h1, gateway: gw }], RouteOrigin::Connected),
+            RouteEntry::new(
+                vec![NextHop {
+                    port: m_h1,
+                    gateway: gw,
+                }],
+                RouteOrigin::Connected,
+            ),
         );
         // Many flows with different ports must use both middle routers.
         let mut used = std::collections::HashSet::new();

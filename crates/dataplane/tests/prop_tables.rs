@@ -12,9 +12,8 @@ use std::net::Ipv4Addr;
 
 fn prefixes() -> impl Strategy<Value = Ipv4Prefix> {
     // Cluster prefixes in 10/8 so inserts overlap heavily.
-    (0u32..=0xffff, 8u8..=32).prop_map(|(bits, len)| {
-        Ipv4Prefix::new(Ipv4Addr::from(0x0a00_0000 | bits), len)
-    })
+    (0u32..=0xffff, 8u8..=32)
+        .prop_map(|(bits, len)| Ipv4Prefix::new(Ipv4Addr::from(0x0a00_0000 | bits), len))
 }
 
 #[derive(Debug, Clone)]

@@ -3,13 +3,12 @@
 //! IPv4 addresses reuse `std::net::Ipv4Addr`; this module adds MAC addresses
 //! and CIDR prefixes with the matching semantics a FIB needs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::str::FromStr;
 
 /// A 48-bit Ethernet MAC address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {
@@ -85,7 +84,7 @@ impl FromStr for MacAddr {
 
 /// An IPv4 CIDR prefix (`address/len`), canonicalized so that host bits are
 /// zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ipv4Prefix {
     network: Ipv4Addr,
     len: u8,

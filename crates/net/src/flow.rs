@@ -1,13 +1,12 @@
 //! Flow identities and specifications for the fluid data plane.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
 use crate::topology::NodeId;
 
 /// IP protocol numbers used by the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IpProto {
     /// TCP (6).
     Tcp,
@@ -48,7 +47,7 @@ impl fmt::Display for IpProto {
 }
 
 /// The classic transport 5-tuple identifying a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
     /// Source IPv4 address.
     pub src_ip: Ipv4Addr,
@@ -97,7 +96,7 @@ impl fmt::Display for FiveTuple {
 }
 
 /// Unique identifier of a flow within an experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(pub u64);
 
 impl fmt::Display for FlowId {
@@ -107,7 +106,7 @@ impl fmt::Display for FlowId {
 }
 
 /// What a flow wants to do: its endpoints, identity and demand.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
     /// Sending host.
     pub src: NodeId,
@@ -138,7 +137,12 @@ impl FlowSpec {
     /// An elastic flow (TCP-like): no demand cap — it takes whatever
     /// max–min fair share the network grants. `size_bytes` bounds the
     /// transfer; `None` runs until stopped.
-    pub fn elastic(src: NodeId, dst: NodeId, tuple: FiveTuple, size_bytes: Option<u64>) -> FlowSpec {
+    pub fn elastic(
+        src: NodeId,
+        dst: NodeId,
+        tuple: FiveTuple,
+        size_bytes: Option<u64>,
+    ) -> FlowSpec {
         FlowSpec {
             src,
             dst,
@@ -190,12 +194,7 @@ mod tests {
 
     #[test]
     fn spec_constructors() {
-        let t = FiveTuple::tcp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            1,
-            Ipv4Addr::new(10, 0, 0, 2),
-            2,
-        );
+        let t = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2);
         let cbr = FlowSpec::cbr(NodeId(0), NodeId(1), t, 1e9);
         assert_eq!(cbr.size_bytes, None);
         let xfer = FlowSpec::transfer(NodeId(0), NodeId(1), t, 1e9, 1_000_000);

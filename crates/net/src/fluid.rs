@@ -12,16 +12,15 @@
 //! capacity. A flow's direction over each link on its path is derived from
 //! walking the path from the flow's source.
 
-use crate::flow::{FlowId, FlowSpec};
+use crate::flow::{FiveTuple, FlowId, FlowSpec};
 use crate::topology::{LinkId, NodeId, Topology};
 use horse_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 const EPS: f64 = 1e-6;
 
 /// A directed traversal of a link: `forward` means a→b.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DirLink {
     /// The underlying link.
     pub link: LinkId,
@@ -30,7 +29,7 @@ pub struct DirLink {
 }
 
 /// A rate change produced by a re-solve, for observers (stats, tracing).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateChange {
     /// The affected flow.
     pub flow: FlowId,
@@ -41,7 +40,7 @@ pub struct RateChange {
 }
 
 /// Progress snapshot of one flow.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowProgress {
     /// When the flow started.
     pub started: SimTime,
@@ -84,11 +83,91 @@ impl std::fmt::Display for FluidError {
 
 impl std::error::Error for FluidError {}
 
+/// An entity whose state changed since the last solve, for
+/// [`FluidNetwork::recompute_incremental`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dirty {
+    /// A flow started, stopped, was rerouted, or otherwise changed.
+    Flow(FlowId),
+    /// A link went up or down, or its capacity changed.
+    Link(LinkId),
+}
+
+/// Cumulative solver-effort counters, for benchmarking the incremental
+/// solver against full re-solves. "Work" approximates FLOP-equivalents:
+/// each waterfill round costs one unit per participating flow plus one
+/// per constrained directed link.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SolverStats {
+    /// Scoped (incremental) solves run.
+    pub solves: u64,
+    /// Full oracle re-solves run.
+    pub full_solves: u64,
+    /// Flows included across all solved subproblems.
+    pub flows_touched: u64,
+    /// Directed links included across all solved subproblems.
+    pub links_touched: u64,
+    /// Waterfill rounds across all solves.
+    pub iterations: u64,
+    /// FLOP-equivalent units of solver work.
+    pub work: u64,
+}
+
+/// Reusable scratch buffers for the scoped solver: cleared, never
+/// dropped, so the steady path allocates nothing once warmed up.
+#[derive(Debug, Default)]
+struct SolverArena {
+    /// BFS frontier of directed links still to expand.
+    link_queue: Vec<DirLink>,
+    /// Directed links already pulled into the component.
+    visited: HashSet<DirLink>,
+    /// Flows in the component, in discovery order.
+    affected: Vec<FlowId>,
+    /// Membership filter for `affected`.
+    affected_set: HashSet<FlowId>,
+    /// Tentative rate per affected flow.
+    new_rate: HashMap<FlowId, f64>,
+    /// Affected flows still rising with the water level.
+    unfrozen: Vec<FlowId>,
+    /// Remaining capacity per constrained directed link.
+    remaining: HashMap<DirLink, f64>,
+    /// Unfrozen member count per constrained directed link, maintained
+    /// incrementally as flows freeze (no per-round rebuilds).
+    n_unfrozen: HashMap<DirLink, usize>,
+}
+
+impl SolverArena {
+    fn clear(&mut self) {
+        self.link_queue.clear();
+        self.visited.clear();
+        self.affected.clear();
+        self.affected_set.clear();
+        self.new_rate.clear();
+        self.unfrozen.clear();
+        self.remaining.clear();
+        self.n_unfrozen.clear();
+    }
+}
+
 /// The set of active fluid flows and their current allocation.
 #[derive(Debug, Default)]
 pub struct FluidNetwork {
     flows: BTreeMap<FlowId, ActiveFlow>,
     next_id: u64,
+    /// Directed link → flows traversing it. Structural (includes blocked
+    /// and zero-demand flows); the basis of incremental re-solves and of
+    /// O(members) [`FluidNetwork::flows_on_link`].
+    link_members: HashMap<DirLink, BTreeSet<FlowId>>,
+    /// Five-tuple → flow id, for the controller stats path.
+    by_tuple: HashMap<FiveTuple, FlowId>,
+    /// Directed links touched by deferred (batched) operations, awaiting
+    /// [`FluidNetwork::flush`].
+    pending_seeds: Vec<DirLink>,
+    /// Rate changes synthesized by deferred operations on flows with no
+    /// constrained links (granted rates), reported at the next flush.
+    pending_changes: Vec<RateChange>,
+    arena: SolverArena,
+    stats: SolverStats,
 }
 
 impl FluidNetwork {
@@ -135,8 +214,101 @@ impl FluidNetwork {
         })
     }
 
+    /// The flow currently carrying this five-tuple, if any. O(1) via a
+    /// persistent index — the controller stats path resolves table entries
+    /// to flows through this.
+    pub fn flow_by_tuple(&self, tuple: &FiveTuple) -> Option<FlowId> {
+        self.by_tuple.get(tuple).copied()
+    }
+
+    /// Cumulative solver-effort counters.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Zeroes the solver-effort counters (for benchmarking windows).
+    pub fn reset_solver_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// The rate a flow gets without solving: demand for zero-demand or
+    /// pathless flows (which consume no shared capacity), `None` when the
+    /// flow actually competes.
+    fn granted_rate(spec: &FlowSpec, dlinks: &[DirLink]) -> Option<f64> {
+        if spec.demand_bps <= EPS || dlinks.is_empty() {
+            // Zero demand stays at zero; empty path (src == dst or
+            // loopback) is unconstrained: grant the full demand — except
+            // elastic (infinite-demand) flows, which have no finite
+            // number to grant and get zero.
+            Some(if spec.demand_bps.is_finite() {
+                spec.demand_bps.max(0.0)
+            } else {
+                0.0
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a flow and indexes its directed links; no solve.
+    fn insert_flow(
+        &mut self,
+        now: SimTime,
+        spec: FlowSpec,
+        path: Vec<LinkId>,
+        topo: &Topology,
+    ) -> Result<FlowId, FluidError> {
+        let dlinks = Self::orient(&path, spec.src, spec.dst, topo)?;
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        for d in &dlinks {
+            self.link_members.entry(*d).or_default().insert(id);
+        }
+        self.by_tuple.insert(spec.tuple, id);
+        // Flows that consume no shared capacity get their rate up front;
+        // no solve will visit them (they are in no link's member set).
+        let rate_bps = Self::granted_rate(&spec, &dlinks).unwrap_or(0.0);
+        if rate_bps > EPS {
+            self.pending_changes.push(RateChange {
+                flow: id,
+                old_bps: 0.0,
+                new_bps: rate_bps,
+            });
+        }
+        self.flows.insert(
+            id,
+            ActiveFlow {
+                spec,
+                path,
+                dlinks,
+                rate_bps,
+                bytes_sent: 0.0,
+                last_update: now,
+                started: now,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a flow from the member index and the tuple index.
+    fn unindex_flow(&mut self, id: FlowId, flow: &ActiveFlow) {
+        for d in &flow.dlinks {
+            if let Some(members) = self.link_members.get_mut(d) {
+                members.remove(&id);
+                if members.is_empty() {
+                    self.link_members.remove(d);
+                }
+            }
+        }
+        if self.by_tuple.get(&flow.spec.tuple) == Some(&id) {
+            self.by_tuple.remove(&flow.spec.tuple);
+        }
+    }
+
     /// Starts a flow on the given path. The path must connect
-    /// `spec.src` to `spec.dst` in `topo`. Re-solves the allocation.
+    /// `spec.src` to `spec.dst` in `topo`. Re-solves the affected
+    /// component incrementally.
     pub fn start(
         &mut self,
         now: SimTime,
@@ -144,24 +316,24 @@ impl FluidNetwork {
         path: Vec<LinkId>,
         topo: &Topology,
     ) -> Result<(FlowId, Vec<RateChange>), FluidError> {
-        let dlinks = Self::orient(&path, spec.src, spec.dst, topo)?;
-        self.advance(now);
-        let id = FlowId(self.next_id);
-        self.next_id += 1;
-        self.flows.insert(
-            id,
-            ActiveFlow {
-                spec,
-                path,
-                dlinks,
-                rate_bps: 0.0,
-                bytes_sent: 0.0,
-                last_update: now,
-                started: now,
-            },
-        );
-        let changes = self.recompute(topo);
+        let id = self.start_deferred(now, spec, path, topo)?;
+        let changes = self.flush(topo);
         Ok((id, changes))
+    }
+
+    /// Starts a flow without solving; call [`FluidNetwork::flush`] after
+    /// the control burst to solve once for the whole batch.
+    pub fn start_deferred(
+        &mut self,
+        now: SimTime,
+        spec: FlowSpec,
+        path: Vec<LinkId>,
+        topo: &Topology,
+    ) -> Result<FlowId, FluidError> {
+        let id = self.insert_flow(now, spec, path, topo)?;
+        let dlinks = &self.flows[&id].dlinks;
+        self.pending_seeds.extend(dlinks.iter().copied());
+        Ok(id)
     }
 
     /// Stops (removes) a flow, returning its final progress and the rate
@@ -174,13 +346,16 @@ impl FluidNetwork {
     ) -> Result<(FlowProgress, Vec<RateChange>), FluidError> {
         self.advance(now);
         let progress = self.progress(id).ok_or(FluidError::NoSuchFlow)?;
-        self.flows.remove(&id);
-        let changes = self.recompute(topo);
+        let flow = self.flows.remove(&id).expect("progress implies presence");
+        self.unindex_flow(id, &flow);
+        self.pending_seeds.extend(flow.dlinks.iter().copied());
+        let changes = self.flush(topo);
         Ok((progress, changes))
     }
 
     /// Moves a flow onto a new path (e.g. after a Hedera re-placement or a
-    /// FIB update), preserving its progress. Re-solves the allocation.
+    /// FIB update), preserving its progress. Re-solves the affected
+    /// component incrementally.
     pub fn reroute(
         &mut self,
         now: SimTime,
@@ -188,13 +363,96 @@ impl FluidNetwork {
         new_path: Vec<LinkId>,
         topo: &Topology,
     ) -> Result<Vec<RateChange>, FluidError> {
+        self.reroute_deferred(now, id, new_path, topo)?;
+        Ok(self.flush(topo))
+    }
+
+    /// Reroutes without solving; call [`FluidNetwork::flush`] after the
+    /// control burst. Returns whether the path actually changed.
+    pub fn reroute_deferred(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        new_path: Vec<LinkId>,
+        topo: &Topology,
+    ) -> Result<bool, FluidError> {
         self.advance(now);
         let flow = self.flows.get(&id).ok_or(FluidError::NoSuchFlow)?;
+        if flow.path == new_path {
+            return Ok(false);
+        }
         let dlinks = Self::orient(&new_path, flow.spec.src, flow.spec.dst, topo)?;
+        for d in &dlinks {
+            self.link_members.entry(*d).or_default().insert(id);
+            self.pending_seeds.push(*d);
+        }
         let flow = self.flows.get_mut(&id).expect("checked above");
+        let old_dlinks = std::mem::replace(&mut flow.dlinks, dlinks);
         flow.path = new_path;
-        flow.dlinks = dlinks;
-        Ok(self.recompute(topo))
+        for d in &old_dlinks {
+            // Only unindex directions the new path no longer uses.
+            if self.flows[&id].dlinks.contains(d) {
+                continue;
+            }
+            if let Some(members) = self.link_members.get_mut(d) {
+                members.remove(&id);
+                if members.is_empty() {
+                    self.link_members.remove(d);
+                }
+            }
+        }
+        self.pending_seeds.extend(old_dlinks);
+        Ok(true)
+    }
+
+    /// True when deferred operations are waiting for a solve.
+    pub fn has_pending(&self) -> bool {
+        !self.pending_seeds.is_empty() || !self.pending_changes.is_empty()
+    }
+
+    /// Solves once for everything deferred since the last flush, scoped to
+    /// the affected component(s). One control burst → one solve.
+    pub fn flush(&mut self, topo: &Topology) -> Vec<RateChange> {
+        let seeds = std::mem::take(&mut self.pending_seeds);
+        let mut changes = std::mem::take(&mut self.pending_changes);
+        if !seeds.is_empty() {
+            changes.extend(self.recompute_scoped(topo, &seeds));
+        }
+        changes
+    }
+
+    /// Incrementally re-solves only the component affected by the given
+    /// dirty entities: the flows transitively sharing directed links with
+    /// them. Untouched bottleneck groups keep their rates. Equivalent to
+    /// [`FluidNetwork::recompute`] (the full oracle) restricted to the
+    /// affected flows — max–min allocations decompose across components
+    /// that share no directed link.
+    pub fn recompute_incremental(&mut self, topo: &Topology, dirty: &[Dirty]) -> Vec<RateChange> {
+        let mut seeds = std::mem::take(&mut self.pending_seeds);
+        let mut changes = std::mem::take(&mut self.pending_changes);
+        for d in dirty {
+            match d {
+                Dirty::Flow(id) => {
+                    if let Some(f) = self.flows.get(id) {
+                        seeds.extend(f.dlinks.iter().copied());
+                    }
+                }
+                Dirty::Link(lid) => {
+                    for forward in [true, false] {
+                        seeds.push(DirLink {
+                            link: *lid,
+                            forward,
+                        });
+                    }
+                }
+            }
+        }
+        if !seeds.is_empty() {
+            changes.extend(self.recompute_scoped(topo, &seeds));
+        }
+        seeds.clear();
+        self.pending_seeds = seeds; // hand the buffer back, emptied
+        changes
     }
 
     /// Accrues delivered bytes for every flow up to `now`. Idempotent for a
@@ -225,7 +483,7 @@ impl FluidNetwork {
             if remaining <= EPS {
                 // Already done: complete "now" (at its last update instant).
                 let t = f.last_update;
-                if best.map_or(true, |(bt, _)| t < bt) {
+                if best.is_none_or(|(bt, _)| t < bt) {
                     best = Some((t, *id));
                 }
                 continue;
@@ -237,10 +495,9 @@ impl FluidNetwork {
             // Never round a positive completion delay down to zero: a
             // sub-nanosecond tail would otherwise reschedule at `now`
             // forever without the clock (and thus byte accrual) advancing.
-            let delay =
-                SimDuration::from_secs_f64(secs).max(SimDuration::from_nanos(1));
+            let delay = SimDuration::from_secs_f64(secs).max(SimDuration::from_nanos(1));
             let t = f.last_update + delay;
-            if best.map_or(true, |(bt, _)| t < bt) {
+            if best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, *id));
             }
         }
@@ -304,14 +561,21 @@ impl FluidNetwork {
         loads
     }
 
-    /// Flows (with current rates) traversing `link` in either direction.
-    /// Used by switch port/flow statistics.
+    /// Flows (with current rates) traversing `link` in either direction,
+    /// in id order. O(members) via the persistent link→flows index — used
+    /// by switch port/flow statistics.
     pub fn flows_on_link(&self, link: LinkId) -> Vec<(FlowId, f64)> {
-        self.flows
-            .iter()
-            .filter(|(_, f)| f.dlinks.iter().any(|d| d.link == link))
-            .map(|(id, f)| (*id, f.rate_bps))
-            .collect()
+        let mut out: Vec<(FlowId, f64)> = Vec::new();
+        for forward in [true, false] {
+            if let Some(members) = self.link_members.get(&DirLink { link, forward }) {
+                for id in members {
+                    out.push((*id, self.flows[id].rate_bps));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out.dedup_by_key(|(id, _)| *id);
+        out
     }
 
     /// Walks `path` from `src`, checking connectivity and ending at `dst`,
@@ -345,9 +609,15 @@ impl FluidNetwork {
         Ok(out)
     }
 
-    /// Max–min fair re-solve by progressive filling with demand caps.
-    /// Returns the rate changes (only flows whose rate moved > EPS).
+    /// Full max–min fair re-solve by progressive filling with demand caps,
+    /// over every flow. Returns the rate changes (only flows whose rate
+    /// moved > EPS). Kept allocation-heavy and simple — this is the oracle
+    /// the incremental solver is differentially tested against; the hot
+    /// path is [`FluidNetwork::recompute_incremental`] /
+    /// [`FluidNetwork::flush`].
     pub fn recompute(&mut self, topo: &Topology) -> Vec<RateChange> {
+        self.stats.full_solves += 1;
+        self.stats.flows_touched += self.flows.len() as u64;
         // Directed-link remaining capacities and memberships.
         let mut remaining: HashMap<DirLink, f64> = HashMap::new();
         let mut members: HashMap<DirLink, Vec<FlowId>> = HashMap::new();
@@ -383,11 +653,15 @@ impl FluidNetwork {
             }
         }
 
+        self.stats.links_touched += members.len() as u64;
         loop {
-            // Count unfrozen members per directed link.
+            // Count unfrozen members per directed link (rebuilt per round:
+            // oracle simplicity over speed; the cost is what the counters
+            // charge it for).
             let mut n_unfrozen: HashMap<DirLink, usize> = HashMap::new();
             for (d, flows) in &members {
                 let n = flows.iter().filter(|f| !frozen.contains(f)).count();
+                self.stats.work += flows.len() as u64;
                 if n > 0 {
                     n_unfrozen.insert(*d, n);
                 }
@@ -400,6 +674,8 @@ impl FluidNetwork {
             if unfrozen.is_empty() {
                 break;
             }
+            self.stats.iterations += 1;
+            self.stats.work += unfrozen.len() as u64 + n_unfrozen.len() as u64;
 
             // The water level rises by the tightest constraint.
             let mut delta = f64::INFINITY;
@@ -444,8 +720,10 @@ impl FluidNetwork {
             }
         }
 
-        // Apply and report.
-        let mut changes = Vec::new();
+        // Apply and report. A full solve supersedes anything deferred:
+        // fold in pending granted-rate changes and drop pending seeds.
+        self.pending_seeds.clear();
+        let mut changes = std::mem::take(&mut self.pending_changes);
         for (id, f) in &mut self.flows {
             let nr = new_rate[id];
             if (nr - f.rate_bps).abs() > EPS {
@@ -457,6 +735,142 @@ impl FluidNetwork {
             }
             f.rate_bps = nr;
         }
+        changes
+    }
+
+    /// Scoped max–min re-solve: expands `seeds` to the affected component
+    /// (flows transitively sharing directed links) and water-fills only
+    /// that subgraph, reusing the solver arena. Flows outside the
+    /// component keep their rates — max–min fair allocations decompose
+    /// across link-disjoint components, so the result matches a full
+    /// solve restricted to the component.
+    fn recompute_scoped(&mut self, topo: &Topology, seeds: &[DirLink]) -> Vec<RateChange> {
+        let mut arena = std::mem::take(&mut self.arena);
+        arena.clear();
+        self.stats.solves += 1;
+
+        // Component closure: BFS over the flow↔directed-link sharing graph.
+        for d in seeds {
+            if arena.visited.insert(*d) {
+                arena.link_queue.push(*d);
+            }
+        }
+        while let Some(d) = arena.link_queue.pop() {
+            let Some(members) = self.link_members.get(&d) else {
+                continue;
+            };
+            for id in members {
+                if arena.affected_set.insert(*id) {
+                    arena.affected.push(*id);
+                    for d2 in &self.flows[id].dlinks {
+                        if arena.visited.insert(*d2) {
+                            arena.link_queue.push(*d2);
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.flows_touched += arena.affected.len() as u64;
+
+        // Subproblem setup over affected flows only, with full capacities:
+        // every flow on a component link is itself in the component.
+        for id in &arena.affected {
+            let f = &self.flows[id];
+            if f.dlinks.iter().any(|d| !topo.link(d.link).up) {
+                arena.new_rate.insert(*id, 0.0); // down link: starved at 0
+                continue;
+            }
+            if let Some(granted) = Self::granted_rate(&f.spec, &f.dlinks) {
+                arena.new_rate.insert(*id, granted);
+                continue;
+            }
+            arena.new_rate.insert(*id, 0.0);
+            arena.unfrozen.push(*id);
+            for d in &f.dlinks {
+                arena
+                    .remaining
+                    .entry(*d)
+                    .or_insert_with(|| topo.link(d.link).capacity_bps);
+                *arena.n_unfrozen.entry(*d).or_insert(0) += 1;
+            }
+        }
+        self.stats.links_touched += arena.remaining.len() as u64;
+
+        // Progressive filling. Per-dlink unfrozen counts are maintained
+        // incrementally as flows freeze, so each round costs O(unfrozen
+        // flows + constrained links) instead of a full membership rebuild.
+        while !arena.unfrozen.is_empty() {
+            self.stats.iterations += 1;
+            self.stats.work += arena.unfrozen.len() as u64 + arena.n_unfrozen.len() as u64;
+
+            // The water level rises by the tightest constraint.
+            let mut delta = f64::INFINITY;
+            for (d, n) in &arena.n_unfrozen {
+                if *n > 0 {
+                    delta = delta.min(arena.remaining[d].max(0.0) / *n as f64);
+                }
+            }
+            for id in &arena.unfrozen {
+                let headroom = self.flows[id].spec.demand_bps - arena.new_rate[id];
+                delta = delta.min(headroom);
+            }
+            if delta.is_infinite() {
+                break; // defensive: no constraints at all
+            }
+            if delta > EPS {
+                for id in &arena.unfrozen {
+                    *arena.new_rate.get_mut(id).expect("flow present") += delta;
+                }
+                for (d, n) in &arena.n_unfrozen {
+                    if *n > 0 {
+                        *arena.remaining.get_mut(d).expect("dlink present") -= delta * *n as f64;
+                    }
+                }
+            }
+
+            // Freeze demand-satisfied flows and flows on saturated links,
+            // decrementing the per-dlink counts as they leave.
+            let mut progressed = false;
+            let mut i = 0;
+            while i < arena.unfrozen.len() {
+                let id = arena.unfrozen[i];
+                let f = &self.flows[&id];
+                let satisfied = arena.new_rate[&id] >= f.spec.demand_bps - EPS;
+                let bottlenecked = f
+                    .dlinks
+                    .iter()
+                    .any(|d| arena.remaining.get(d).copied().unwrap_or(0.0) <= EPS);
+                if satisfied || bottlenecked {
+                    for d in &f.dlinks {
+                        *arena.n_unfrozen.get_mut(d).expect("indexed above") -= 1;
+                    }
+                    arena.unfrozen.swap_remove(i);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                break; // numerically stuck; everything left stays put
+            }
+        }
+
+        // Apply to affected flows only; the rest keep their rates.
+        let mut changes = Vec::with_capacity(arena.affected.len().min(16));
+        arena.affected.sort_unstable();
+        for id in &arena.affected {
+            let f = self.flows.get_mut(id).expect("affected flows exist");
+            let nr = arena.new_rate[id];
+            if (nr - f.rate_bps).abs() > EPS {
+                changes.push(RateChange {
+                    flow: *id,
+                    old_bps: f.rate_bps,
+                    new_bps: nr,
+                });
+            }
+            f.rate_bps = nr;
+        }
+        self.arena = arena;
         changes
     }
 }
@@ -854,5 +1268,153 @@ mod tests {
         let on = net.flows_on_link(lid);
         assert_eq!(on.len(), 1);
         assert_eq!(on[0].0, a);
+    }
+
+    #[test]
+    fn tuple_index_tracks_start_stop() {
+        let (t, h, _) = star();
+        let mut net = FluidNetwork::new();
+        let spec = FlowSpec::cbr(h[0], h[1], tuple(1), GBPS);
+        let (id, _) = net
+            .start(SimTime::ZERO, spec, path_between(&t, h[0], h[1]), &t)
+            .unwrap();
+        assert_eq!(net.flow_by_tuple(&tuple(1)), Some(id));
+        assert_eq!(net.flow_by_tuple(&tuple(2)), None);
+        net.stop(SimTime::ZERO, id, &t).unwrap();
+        assert_eq!(net.flow_by_tuple(&tuple(1)), None);
+    }
+
+    #[test]
+    fn deferred_burst_solves_once() {
+        let (t, h, _) = star();
+        let mut net = FluidNetwork::new();
+        // Two flows into the same sink, queued as one burst.
+        let ids: Vec<FlowId> = [0, 2]
+            .iter()
+            .map(|&i| {
+                net.start_deferred(
+                    SimTime::ZERO,
+                    FlowSpec::cbr(h[i], h[1], tuple(i as u8 + 1), GBPS),
+                    path_between(&t, h[i], h[1]),
+                    &t,
+                )
+                .unwrap()
+            })
+            .collect();
+        assert!(net.has_pending());
+        let before = net.solver_stats().solves;
+        net.flush(&t);
+        assert!(!net.has_pending());
+        assert_eq!(
+            net.solver_stats().solves,
+            before + 1,
+            "one burst, one solve"
+        );
+        for id in ids {
+            assert!((net.rate_of(id).unwrap() - 0.5 * GBPS).abs() < 1.0);
+        }
+        // A second flush with nothing queued is free.
+        net.flush(&t);
+        assert_eq!(net.solver_stats().solves, before + 1);
+    }
+
+    #[test]
+    fn incremental_solution_is_a_fixed_point_of_the_full_solver() {
+        let (mut t, h, s) = star();
+        let mut net = FluidNetwork::new();
+        for (i, pair) in [(0, 1), (2, 1), (1, 0)].iter().enumerate() {
+            net.start(
+                SimTime::ZERO,
+                FlowSpec::cbr(h[pair.0], h[pair.1], tuple(i as u8 + 1), GBPS),
+                path_between(&t, h[pair.0], h[pair.1]),
+                &t,
+            )
+            .unwrap();
+        }
+        let (lid, _) = t.link_between(h[2], s).unwrap();
+        t.link_mut(lid).up = false;
+        net.recompute_incremental(&t, &[Dirty::Link(lid)]);
+        // The full oracle must agree: re-solving from scratch changes no
+        // rate beyond EPS.
+        let residual = net.recompute(&t);
+        assert!(
+            residual.is_empty(),
+            "full solve disagreed with incremental: {residual:?}"
+        );
+    }
+
+    #[test]
+    fn link_down_then_up_restores_rates() {
+        let (mut t, h, s) = star();
+        let mut net = FluidNetwork::new();
+        let (a, _) = net
+            .start(
+                SimTime::ZERO,
+                FlowSpec::cbr(h[0], h[1], tuple(1), GBPS),
+                path_between(&t, h[0], h[1]),
+                &t,
+            )
+            .unwrap();
+        let (b, _) = net
+            .start(
+                SimTime::ZERO,
+                FlowSpec::cbr(h[2], h[1], tuple(2), GBPS),
+                path_between(&t, h[2], h[1]),
+                &t,
+            )
+            .unwrap();
+        let rate_a = net.rate_of(a).unwrap();
+        let rate_b = net.rate_of(b).unwrap();
+        let (lid, _) = t.link_between(h[2], s).unwrap();
+        t.link_mut(lid).up = false;
+        net.recompute_incremental(&t, &[Dirty::Link(lid)]);
+        assert_eq!(net.rate_of(b), Some(0.0), "starved by the failure");
+        assert!(
+            (net.rate_of(a).unwrap() - GBPS).abs() < 1.0,
+            "survivor picks up the slack"
+        );
+        t.link_mut(lid).up = true;
+        net.recompute_incremental(&t, &[Dirty::Link(lid)]);
+        assert!((net.rate_of(a).unwrap() - rate_a).abs() < 1.0, "restored");
+        assert!((net.rate_of(b).unwrap() - rate_b).abs() < 1.0, "restored");
+    }
+
+    #[test]
+    fn disjoint_components_are_untouched_by_incremental_solves() {
+        // Two independent bottlenecks; churn on one must not count work on
+        // the other.
+        let mut t = Topology::new();
+        let sn: crate::addr::Ipv4Prefix = "10.0.0.0/24".parse().unwrap();
+        let hosts: Vec<NodeId> = (0..4)
+            .map(|i| t.add_host(format!("h{i}"), Ipv4Addr::new(10, 0, 0, i + 1), sn))
+            .collect();
+        let (_l01, ..) = t.add_link(hosts[0], hosts[1], GBPS, 0);
+        let (l23, ..) = t.add_link(hosts[2], hosts[3], GBPS, 0);
+        let mut net = FluidNetwork::new();
+        let (a, _) = net
+            .start(
+                SimTime::ZERO,
+                FlowSpec::cbr(hosts[0], hosts[1], tuple(1), GBPS),
+                path_between(&t, hosts[0], hosts[1]),
+                &t,
+            )
+            .unwrap();
+        net.reset_solver_stats();
+        // Start a second flow on the *other* pair: the solve must only
+        // touch that one flow.
+        let (b, _) = net
+            .start(
+                SimTime::ZERO,
+                FlowSpec::cbr(hosts[2], hosts[3], tuple(2), 0.4 * GBPS),
+                vec![l23],
+                &t,
+            )
+            .unwrap();
+        let stats = net.solver_stats();
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.full_solves, 0);
+        assert_eq!(stats.flows_touched, 1, "only the new flow's component");
+        assert!((net.rate_of(a).unwrap() - GBPS).abs() < 1.0);
+        assert!((net.rate_of(b).unwrap() - 0.4 * GBPS).abs() < 1.0);
     }
 }

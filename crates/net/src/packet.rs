@@ -9,7 +9,6 @@
 use crate::addr::MacAddr;
 use crate::flow::{FiveTuple, IpProto};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -39,7 +38,7 @@ impl fmt::Display for PacketError {
 impl std::error::Error for PacketError {}
 
 /// A 14-byte Ethernet II header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EthernetHeader {
     /// Destination MAC.
     pub dst: MacAddr,
@@ -77,7 +76,7 @@ impl EthernetHeader {
 }
 
 /// A 20-byte (optionless) IPv4 header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ipv4Header {
     /// Type of service / DSCP byte.
     pub tos: u8,
@@ -170,7 +169,7 @@ impl Ipv4Header {
 }
 
 /// Transport-layer header: UDP (8 bytes) or TCP (20 bytes, optionless).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportHeader {
     /// UDP header.
     Udp {
@@ -299,7 +298,7 @@ impl TransportHeader {
 }
 
 /// A parsed (or to-be-encoded) packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Link-layer header.
     pub eth: EthernetHeader,
@@ -308,22 +307,7 @@ pub struct Packet {
     /// Transport-layer header, when the IP protocol is TCP or UDP.
     pub transport: Option<TransportHeader>,
     /// Remaining payload bytes.
-    #[serde(with = "serde_bytes_compat")]
     pub payload: Bytes,
-}
-
-mod serde_bytes_compat {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl Packet {

@@ -5,7 +5,6 @@
 //! are expressed in terms of output ports, so port↔link resolution is the
 //! hot query and is answered from a per-node vector.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -13,7 +12,7 @@ use std::net::Ipv4Addr;
 use crate::addr::{Ipv4Prefix, MacAddr};
 
 /// Index of a node in the topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -23,7 +22,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A node-local port index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortId(pub u16);
 
 impl fmt::Display for PortId {
@@ -33,7 +32,7 @@ impl fmt::Display for PortId {
 }
 
 /// Index of a link in the topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 impl fmt::Display for LinkId {
@@ -43,7 +42,7 @@ impl fmt::Display for LinkId {
 }
 
 /// What role a node plays in the experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// An end host (traffic source/sink).
     Host,
@@ -54,7 +53,7 @@ pub enum NodeKind {
 }
 
 /// A node in the topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Role.
     pub kind: NodeKind,
@@ -82,7 +81,7 @@ impl Node {
 }
 
 /// One end of a link: a (node, port) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     /// The node.
     pub node: NodeId,
@@ -92,7 +91,7 @@ pub struct Endpoint {
 
 /// A bidirectional link. Capacity applies independently to each direction
 /// (full duplex), matching how the fluid allocator treats it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// One endpoint.
     pub a: Endpoint,
@@ -129,7 +128,7 @@ impl Link {
 }
 
 /// The experiment topology.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -170,7 +169,12 @@ impl Topology {
     }
 
     /// Adds a host with a /24-style subnet.
-    pub fn add_host(&mut self, name: impl Into<String>, ip: Ipv4Addr, subnet: Ipv4Prefix) -> NodeId {
+    pub fn add_host(
+        &mut self,
+        name: impl Into<String>,
+        ip: Ipv4Addr,
+        subnet: Ipv4Prefix,
+    ) -> NodeId {
         self.add_node(NodeKind::Host, name, ip, subnet)
     }
 

@@ -18,7 +18,7 @@
 
 use horse_net::addr::Ipv4Prefix;
 use horse_net::flow::{FiveTuple, FlowId, FlowSpec};
-use horse_net::fluid::FluidNetwork;
+use horse_net::fluid::{Dirty, FluidNetwork};
 use horse_net::topology::{LinkId, NodeId, Topology};
 use horse_sim::SimTime;
 use proptest::prelude::*;
@@ -26,6 +26,11 @@ use std::net::Ipv4Addr;
 
 const G: f64 = 1e9;
 const TOL: f64 = 1e6; // 1 Mbps tolerance on 1 Gbps links
+
+/// Differential tolerance: the incremental and the full solver run the
+/// same water-filling arithmetic, so they must agree far tighter than the
+/// fairness tolerance — 1 kbps on 1 Gbps links.
+const DIFF_TOL: f64 = 1e3;
 
 fn scenario() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (2usize..6).prop_flat_map(|n| {
@@ -192,6 +197,90 @@ proptest! {
         }
     }
 
+    /// Differential: after any churn sequence of flow starts (batched),
+    /// stops, and link failures/repairs handled *incrementally*, a full
+    /// from-scratch solve must agree on every rate. This is the oracle
+    /// check for the scoped solver: its component-local water-fill must be
+    /// a fixed point of the global one.
+    #[test]
+    fn incremental_matches_full_solver_under_churn(
+        (n, flows) in scenario(),
+        ops in prop::collection::vec((0usize..3, 0usize..32), 1..16),
+    ) {
+        let (mut topo, hosts) = build_chain(n);
+        let mut net = FluidNetwork::new();
+        let mut demands = start_all(&mut net, &topo, &hosts, &flows);
+        let links: Vec<LinkId> = topo.link_ids().collect();
+        let mut t = 1u64;
+        for (op, pick) in ops {
+            let now = SimTime::from_millis(t);
+            t += 1;
+            match op {
+                // Stop one of the flows started so far.
+                0 => {
+                    let (id, _) = demands[pick % demands.len()];
+                    if net.rate_of(id).is_some() {
+                        net.stop(now, id, &topo).unwrap();
+                    }
+                }
+                // Fail or repair a link; only the touched component is
+                // re-solved.
+                1 => {
+                    let lid = links[pick % links.len()];
+                    let up = !topo.link(lid).up;
+                    topo.link_mut(lid).up = up;
+                    net.advance(now);
+                    net.recompute_incremental(&topo, &[Dirty::Link(lid)]);
+                }
+                // Start a small burst of fresh flows, deferred into one
+                // scoped solve (the runner's control-burst pattern).
+                _ => {
+                    for i in 0..(pick % 3) + 1 {
+                        let a = (pick + i) % hosts.len();
+                        let b = (pick + i + 1) % hosts.len();
+                        let tuple = FiveTuple::udp(
+                            Ipv4Addr::new(10, 0, a as u8, 1),
+                            5000 + t as u16 * 8 + i as u16,
+                            Ipv4Addr::new(10, 0, b as u8, 1),
+                            2000,
+                        );
+                        let demand = (0.1 + 0.2 * i as f64) * G;
+                        let spec = FlowSpec::cbr(hosts[a], hosts[b], tuple, demand);
+                        // A failed link may disconnect the pair; hosts
+                        // simply can't start such flows.
+                        let Some(path) = topo
+                            .all_shortest_paths(hosts[a], hosts[b])
+                            .into_iter()
+                            .next()
+                        else {
+                            continue;
+                        };
+                        let id = net.start_deferred(now, spec, path, &topo).unwrap();
+                        demands.push((id, demand));
+                    }
+                    net.flush(&topo);
+                }
+            }
+            // Oracle: a full solve from the incremental solution must not
+            // move any rate.
+            let residual = net.recompute(&topo);
+            for ch in &residual {
+                prop_assert!(
+                    (ch.new_bps - ch.old_bps).abs() < DIFF_TOL,
+                    "flow {} diverged: incremental {} vs full {}",
+                    ch.flow, ch.old_bps, ch.new_bps
+                );
+            }
+            // And the allocation must still be max–min fair (links that
+            // are down carry zero-rate flows, which invariant (3) skips
+            // via the demand-cap guard only if rate 0 is justified — a
+            // down link is saturated at capacity 0 in both directions).
+            if topo.link_ids().all(|l| topo.link(l).up) {
+                assert_invariants(&net, &topo, &demands)?;
+            }
+        }
+    }
+
     /// Byte accounting: advancing time in arbitrary increments accrues
     /// exactly rate × time (for a stable single flow).
     #[test]
@@ -212,5 +301,46 @@ proptest! {
         let expect = 0.25 * G / 8.0 * (now_ms as f64 / 1e3);
         let got = net.progress(id).unwrap().bytes_sent;
         prop_assert!((got - expect).abs() < 1.0, "{got} vs {expect}");
+    }
+}
+
+/// Regression: failing and repairing a link must return every flow to its
+/// pre-failure rate — the incremental solver may not leave stale state
+/// (memberships, frozen rates) behind from the failure interval.
+#[test]
+fn link_down_then_up_restores_all_rates() {
+    let (mut topo, hosts) = build_chain(4);
+    let mut net = FluidNetwork::new();
+    // Three flows sharing the chain's spine in the same direction, one
+    // counter-flow: an asymmetric allocation worth restoring exactly.
+    let flows = [(0, 3, 1.5), (1, 3, 0.2), (2, 3, 1.5), (3, 0, 0.7)];
+    let demands = start_all(&mut net, &topo, &hosts, &flows);
+    let before: Vec<Option<f64>> = demands.iter().map(|(id, _)| net.rate_of(*id)).collect();
+
+    // Fail the link between the last two switches — it carries every flow.
+    let spine = topo
+        .link_ids()
+        .find(|l| {
+            let link = topo.link(*l);
+            link.a.node == NodeId(2) && link.b.node == NodeId(3)
+        })
+        .expect("chain spine link");
+    topo.link_mut(spine).up = false;
+    net.advance(SimTime::from_millis(1));
+    net.recompute_incremental(&topo, &[Dirty::Link(spine)]);
+    for (id, _) in &demands {
+        assert_eq!(net.rate_of(*id), Some(0.0), "all flows cross the cut");
+    }
+
+    topo.link_mut(spine).up = true;
+    net.advance(SimTime::from_millis(2));
+    net.recompute_incremental(&topo, &[Dirty::Link(spine)]);
+    for ((id, _), old) in demands.iter().zip(&before) {
+        let now = net.rate_of(*id).expect("still active");
+        let old = old.expect("was active");
+        assert!(
+            (now - old).abs() < DIFF_TOL,
+            "flow {id}: {old} before failure, {now} after repair"
+        );
     }
 }

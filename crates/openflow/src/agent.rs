@@ -9,8 +9,8 @@
 //! the fluid model's counters.
 
 use crate::wire::{
-    FeaturesReply, FlowMod, FlowRemoved, FlowStatsEntry, OfMessage, OfPacket, PacketIn,
-    PacketOut, PortDesc, PortStatsEntry, PortStatus, StatsBody, StreamDecoder, WireError,
+    FeaturesReply, FlowMod, FlowRemoved, FlowStatsEntry, OfMessage, OfPacket, PacketIn, PacketOut,
+    PortDesc, PortStatsEntry, PortStatus, StatsBody, StreamDecoder, WireError,
 };
 use bytes::Bytes;
 use horse_dataplane::flowtable::Match;
@@ -320,11 +320,16 @@ mod tests {
             buffer_id: 0xffffffff,
             out_port: OFPP_NONE,
             flags: 0,
-            actions: vec![OfAction::Output { port: 2, max_len: 0 }],
+            actions: vec![OfAction::Output {
+                port: 2,
+                max_len: 0,
+            }],
         };
         a.on_bytes(&OfPacket::new(1, OfMessage::FlowMod(fm.clone())).encode());
         let evs = a.take_events();
-        assert!(evs.iter().any(|e| matches!(e, AgentEvent::FlowMod(got) if *got == fm)));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, AgentEvent::FlowMod(got) if *got == fm)));
     }
 
     #[test]

@@ -302,7 +302,10 @@ impl Controller {
                 }
                 Command::PortStats(dpid, port_no) => {
                     if let Some(conn) = self.by_dpid.get(&dpid).copied() {
-                        self.send(conn, OfMessage::StatsRequest(StatsBody::PortRequest { port_no }));
+                        self.send(
+                            conn,
+                            OfMessage::StatsRequest(StatsBody::PortRequest { port_no }),
+                        );
                     }
                 }
                 Command::WakeAt(t) => self.events.push(ControllerEvent::WakeAt(t)),
@@ -365,7 +368,10 @@ mod tests {
                     buffer_id: 0xffffffff,
                     out_port: OFPP_NONE,
                     flags: 0,
-                    actions: vec![OfAction::Output { port: 1, max_len: 0 }],
+                    actions: vec![OfAction::Output {
+                        port: 1,
+                        max_len: 0,
+                    }],
                 },
             );
         }

@@ -9,7 +9,6 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use horse_dataplane::flowtable::Match;
 use horse_net::addr::{Ipv4Prefix, MacAddr};
 use horse_net::topology::PortId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -66,7 +65,7 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Physical port description (`ofp_phy_port`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortDesc {
     /// Port number.
     pub port_no: u16,
@@ -77,7 +76,7 @@ pub struct PortDesc {
 }
 
 /// Switch features (`ofp_switch_features` reply body).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeaturesReply {
     /// Datapath id.
     pub datapath_id: u64,
@@ -99,7 +98,7 @@ pub const OFPR_NO_MATCH: u8 = 0;
 pub const OFPR_ACTION: u8 = 1;
 
 /// PACKET_IN body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PacketIn {
     /// Buffer id at the switch (`0xffffffff` = unbuffered).
     pub buffer_id: u32,
@@ -110,12 +109,11 @@ pub struct PacketIn {
     /// Why it was punted.
     pub reason: u8,
     /// (Partial) packet bytes.
-    #[serde(skip, default)]
     pub data: Bytes,
 }
 
 /// PACKET_OUT body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PacketOut {
     /// Buffer to release, or `0xffffffff` with inline data.
     pub buffer_id: u32,
@@ -124,12 +122,11 @@ pub struct PacketOut {
     /// Actions to apply.
     pub actions: Vec<OfAction>,
     /// Inline packet data (when unbuffered).
-    #[serde(skip, default)]
     pub data: Bytes,
 }
 
 /// An OF 1.0 action.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OfAction {
     /// Forward out a port (`max_len` caps controller copies).
     Output {
@@ -141,7 +138,7 @@ pub enum OfAction {
 }
 
 /// FLOW_MOD commands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlowModCommand {
     /// Install.
     Add,
@@ -179,7 +176,7 @@ impl FlowModCommand {
 }
 
 /// FLOW_MOD body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowMod {
     /// Match condition.
     pub matcher: Match,
@@ -204,7 +201,7 @@ pub struct FlowMod {
 }
 
 /// FLOW_REMOVED body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowRemoved {
     /// The removed entry's match.
     pub matcher: Match,
@@ -225,7 +222,7 @@ pub struct FlowRemoved {
 }
 
 /// One `ofp_flow_stats` entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowStatsEntry {
     /// The entry's match.
     pub matcher: Match,
@@ -249,7 +246,7 @@ pub struct FlowStatsEntry {
 
 /// One `ofp_port_stats` entry (only the counters the apps read are
 /// surfaced; the rest encode as zero).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PortStatsEntry {
     /// Port number.
     pub port_no: u16,
@@ -264,7 +261,7 @@ pub struct PortStatsEntry {
 }
 
 /// STATS request/reply bodies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StatsBody {
     /// Flow stats request: match filter + out-port filter.
     FlowRequest {
@@ -292,7 +289,7 @@ pub const OFPPR_DELETE: u8 = 1;
 pub const OFPPR_MODIFY: u8 = 2;
 
 /// PORT_STATUS body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortStatus {
     /// Why (OFPPR_*).
     pub reason: u8,
@@ -304,7 +301,7 @@ pub struct PortStatus {
 }
 
 /// An OpenFlow message (without the xid, carried by [`OfPacket`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OfMessage {
     /// Version negotiation.
     Hello,
@@ -366,7 +363,7 @@ impl OfMessage {
 }
 
 /// A framed message: xid + payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OfPacket {
     /// Transaction id (replies echo the request's).
     pub xid: u32,
@@ -384,7 +381,9 @@ impl OfPacket {
     pub fn encode(&self) -> Bytes {
         let mut body = BytesMut::new();
         match &self.msg {
-            OfMessage::Hello | OfMessage::FeaturesRequest | OfMessage::BarrierRequest
+            OfMessage::Hello
+            | OfMessage::FeaturesRequest
+            | OfMessage::BarrierRequest
             | OfMessage::BarrierReply => {}
             OfMessage::Error { err_type, code } => {
                 body.put_u16(*err_type);
@@ -969,6 +968,9 @@ impl StreamDecoder {
     }
 
     /// Pops the next complete message if available.
+    // Fallible Result<Option<_>> pull, not an Iterator — framing errors
+    // must surface to the caller rather than silently ending iteration.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<OfPacket>, WireError> {
         match OfPacket::decode(&self.buf)? {
             Some((pkt, consumed)) => {
@@ -1014,7 +1016,10 @@ mod tests {
             roundtrip(OfMessage::EchoReply(vec![])),
             OfMessage::EchoReply(vec![])
         );
-        assert_eq!(roundtrip(OfMessage::BarrierRequest), OfMessage::BarrierRequest);
+        assert_eq!(
+            roundtrip(OfMessage::BarrierRequest),
+            OfMessage::BarrierRequest
+        );
         assert_eq!(roundtrip(OfMessage::BarrierReply), OfMessage::BarrierReply);
     }
 
@@ -1043,7 +1048,10 @@ mod tests {
             roundtrip(OfMessage::FeaturesReply(f.clone())),
             OfMessage::FeaturesReply(f)
         );
-        assert_eq!(roundtrip(OfMessage::FeaturesRequest), OfMessage::FeaturesRequest);
+        assert_eq!(
+            roundtrip(OfMessage::FeaturesRequest),
+            OfMessage::FeaturesRequest
+        );
     }
 
     #[test]
@@ -1088,7 +1096,10 @@ mod tests {
             buffer_id: 0xffffffff,
             out_port: OFPP_NONE,
             flags: 1,
-            actions: vec![OfAction::Output { port: 3, max_len: 0 }],
+            actions: vec![OfAction::Output {
+                port: 3,
+                max_len: 0,
+            }],
         };
         assert_eq!(
             roundtrip(OfMessage::FlowMod(fm.clone())),
@@ -1144,7 +1155,10 @@ mod tests {
                 cookie: 7,
                 packet_count: 1000,
                 byte_count: 1_000_000,
-                actions: vec![OfAction::Output { port: 2, max_len: 0 }],
+                actions: vec![OfAction::Output {
+                    port: 2,
+                    max_len: 0,
+                }],
             },
             FlowStatsEntry {
                 matcher: Match::any(),
@@ -1252,10 +1266,7 @@ mod tests {
     fn wrong_version_rejected() {
         let mut bytes = OfPacket::new(1, OfMessage::Hello).encode().to_vec();
         bytes[0] = 0x04;
-        assert_eq!(
-            OfPacket::decode(&bytes),
-            Err(WireError::BadVersion(0x04))
-        );
+        assert_eq!(OfPacket::decode(&bytes), Err(WireError::BadVersion(0x04)));
     }
 
     #[test]

@@ -65,7 +65,11 @@ fn messages() -> impl Strategy<Value = OfMessage> {
         (any::<u16>(), any::<u16>())
             .prop_map(|(err_type, code)| OfMessage::Error { err_type, code }),
         prop::collection::vec(any::<u8>(), 0..32).prop_map(OfMessage::EchoRequest),
-        (any::<u64>(), 0u16..64, prop::collection::vec((0u16..48, any::<[u8;6]>()), 0..6))
+        (
+            any::<u64>(),
+            0u16..64,
+            prop::collection::vec((0u16..48, any::<[u8; 6]>()), 0..6)
+        )
             .prop_map(|(dpid, nb, ports)| OfMessage::FeaturesReply(FeaturesReply {
                 datapath_id: dpid,
                 n_buffers: u32::from(nb),
@@ -81,14 +85,21 @@ fn messages() -> impl Strategy<Value = OfMessage> {
                     })
                     .collect(),
             })),
-        (any::<u16>(), 0u16..48, 0u8..2, prop::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(total_len, in_port, reason, data)| OfMessage::PacketIn(PacketIn {
-                buffer_id: 0xffff_ffff,
-                total_len,
-                in_port,
-                reason,
-                data: Bytes::from(data),
-            })),
+        (
+            any::<u16>(),
+            0u16..48,
+            0u8..2,
+            prop::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(
+                |(total_len, in_port, reason, data)| OfMessage::PacketIn(PacketIn {
+                    buffer_id: 0xffff_ffff,
+                    total_len,
+                    in_port,
+                    reason,
+                    data: Bytes::from(data),
+                })
+            ),
         (actions(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(actions, data)| {
             OfMessage::PacketOut(PacketOut {
                 buffer_id: 0xffff_ffff,
@@ -97,43 +108,62 @@ fn messages() -> impl Strategy<Value = OfMessage> {
                 data: Bytes::from(data),
             })
         }),
-        (matches(), commands(), any::<u64>(), any::<u16>(), any::<u16>(), any::<u16>(), actions())
-            .prop_map(|(matcher, command, cookie, idle, hard, priority, actions)| {
-                OfMessage::FlowMod(FlowMod {
-                    matcher,
-                    cookie,
-                    command,
-                    idle_timeout: idle,
-                    hard_timeout: hard,
-                    priority,
-                    buffer_id: 0xffff_ffff,
-                    out_port: OFPP_NONE,
-                    flags: 0,
-                    actions,
-                })
-            }),
+        (
+            matches(),
+            commands(),
+            any::<u64>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            actions()
+        )
+            .prop_map(
+                |(matcher, command, cookie, idle, hard, priority, actions)| {
+                    OfMessage::FlowMod(FlowMod {
+                        matcher,
+                        cookie,
+                        command,
+                        idle_timeout: idle,
+                        hard_timeout: hard,
+                        priority,
+                        buffer_id: 0xffff_ffff,
+                        out_port: OFPP_NONE,
+                        flags: 0,
+                        actions,
+                    })
+                }
+            ),
         matches().prop_map(|matcher| OfMessage::StatsRequest(StatsBody::FlowRequest {
             matcher,
             out_port: OFPP_NONE,
         })),
         prop::collection::vec(
-            (matches(), any::<u32>(), any::<u16>(), any::<u64>(), any::<u64>(), actions()),
+            (
+                matches(),
+                any::<u32>(),
+                any::<u16>(),
+                any::<u64>(),
+                any::<u64>(),
+                actions()
+            ),
             0..4
         )
         .prop_map(|entries| OfMessage::StatsReply(StatsBody::FlowReply(
             entries
                 .into_iter()
-                .map(|(matcher, dur, prio, pkts, bytes, actions)| FlowStatsEntry {
-                    matcher,
-                    duration_sec: dur,
-                    priority: prio,
-                    idle_timeout: 0,
-                    hard_timeout: 0,
-                    cookie: 0,
-                    packet_count: pkts,
-                    byte_count: bytes,
-                    actions,
-                })
+                .map(
+                    |(matcher, dur, prio, pkts, bytes, actions)| FlowStatsEntry {
+                        matcher,
+                        duration_sec: dur,
+                        priority: prio,
+                        idle_timeout: 0,
+                        hard_timeout: 0,
+                        cookie: 0,
+                        packet_count: pkts,
+                        byte_count: bytes,
+                        actions,
+                    }
+                )
                 .collect()
         ))),
         prop::collection::vec((0u16..48, any::<u64>(), any::<u64>()), 0..4).prop_map(|rows| {

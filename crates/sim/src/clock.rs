@@ -18,10 +18,9 @@
 //! this timeline for a two-router BGP scenario).
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Which time-advance discipline the experiment clock is currently using.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClockMode {
     /// Discrete Event Simulation: jump to the next event.
     Des,
@@ -30,7 +29,7 @@ pub enum ClockMode {
 }
 
 /// Configuration of the FTI mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FtiConfig {
     /// Size of one fixed step of virtual time.
     pub increment: SimDuration,
@@ -48,7 +47,7 @@ impl Default for FtiConfig {
 }
 
 /// One recorded mode change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModeTransition {
     /// Virtual time at which the mode changed.
     pub at: SimTime,

@@ -129,7 +129,11 @@ impl<E> HybridEngine<E> {
 
     /// Runs the model until `horizon` (inclusive) or until the queue drains
     /// in DES mode, whichever comes first.
-    pub fn run_until<H: EventHandler<E>>(&mut self, horizon: SimTime, handler: &mut H) -> RunOutcome {
+    pub fn run_until<H: EventHandler<E>>(
+        &mut self,
+        horizon: SimTime,
+        handler: &mut H,
+    ) -> RunOutcome {
         loop {
             if self.clock.now() >= horizon {
                 return RunOutcome::HorizonReached;
@@ -242,7 +246,12 @@ mod tests {
     }
 
     impl EventHandler<&'static str> for Bursty {
-        fn handle(&mut self, _now: SimTime, _e: &'static str, _s: &mut Scheduler<'_, &'static str>) {
+        fn handle(
+            &mut self,
+            _now: SimTime,
+            _e: &'static str,
+            _s: &mut Scheduler<'_, &'static str>,
+        ) {
             self.handled += 1;
         }
 
@@ -266,7 +275,12 @@ mod tests {
         let outcome = engine.run_until(SimTime::from_secs(1), &mut model);
         assert_eq!(outcome, RunOutcome::Drained);
         assert_eq!(model.handled, 1);
-        let modes: Vec<_> = engine.clock().transitions().iter().map(|t| t.mode).collect();
+        let modes: Vec<_> = engine
+            .clock()
+            .transitions()
+            .iter()
+            .map(|t| t.mode)
+            .collect();
         assert_eq!(
             modes,
             vec![ClockMode::Des, ClockMode::Fti, ClockMode::Des],
@@ -293,7 +307,12 @@ mod tests {
         );
         engine.schedule(SimTime::from_millis(1), ());
         engine.run_until(SimTime::from_secs(1), &mut Promoter);
-        let modes: Vec<_> = engine.clock().transitions().iter().map(|t| t.mode).collect();
+        let modes: Vec<_> = engine
+            .clock()
+            .transitions()
+            .iter()
+            .map(|t| t.mode)
+            .collect();
         assert!(modes.contains(&ClockMode::Fti));
     }
 

@@ -123,7 +123,10 @@ mod tests {
         let start = Instant::now();
         p.pace_to(SimTime::from_millis(100));
         let el = start.elapsed().as_millis();
-        assert!((5..60).contains(&el), "100ms virtual at 10x ≈ 10ms wall, got {el}ms");
+        assert!(
+            (5..60).contains(&el),
+            "100ms virtual at 10x ≈ 10ms wall, got {el}ms"
+        );
     }
 
     #[test]
@@ -134,7 +137,10 @@ mod tests {
         let start = Instant::now();
         p.pace_to(SimTime::from_secs(1000) + SimDuration::from_millis(10));
         let el = start.elapsed().as_millis();
-        assert!(el < 100, "only the 10ms past the rebase point is owed, got {el}ms");
+        assert!(
+            el < 100,
+            "only the 10ms past the rebase point is owed, got {el}ms"
+        );
     }
 
     #[test]

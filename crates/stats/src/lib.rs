@@ -7,12 +7,14 @@
 //! latency/throughput distributions in the extended benchmarks).
 
 use horse_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+mod json;
+pub use json::Json;
+
 /// A time-ordered sequence of `(time, value)` samples.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }
@@ -120,7 +122,7 @@ impl TimeSeries {
                 if let Some(p) = pending.take() {
                     out.points.push(p);
                 }
-                bucket_end = bucket_end + interval;
+                bucket_end += interval;
             }
             pending = Some((*t, *v));
         }
@@ -132,7 +134,7 @@ impl TimeSeries {
 }
 
 /// A named collection of series with export helpers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SeriesSet {
     series: BTreeMap<String, TimeSeries>,
 }
@@ -169,27 +171,67 @@ impl SeriesSet {
         out
     }
 
-    /// JSON export (series name → [[t, v], …]).
+    /// JSON export (series name → [[t, v], …]), hand-rolled so the crate
+    /// carries no serialization dependency.
     pub fn to_json(&self) -> String {
-        let view: BTreeMap<&str, Vec<(f64, f64)>> = self
-            .series
-            .iter()
-            .map(|(k, s)| {
-                (
-                    k.as_str(),
-                    s.points()
-                        .iter()
-                        .map(|(t, v)| (t.as_secs_f64(), *v))
-                        .collect(),
-                )
-            })
-            .collect();
-        serde_json::to_string_pretty(&view).expect("plain data serializes")
+        let mut out = String::from("{\n");
+        for (i, (name, s)) in self.series.iter().enumerate() {
+            let _ = write!(out, "  {}: [", json_string(name));
+            for (j, (t, v)) in s.points().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}, {}]", json_f64(t.as_secs_f64()), json_f64(*v));
+            }
+            out.push(']');
+            if i + 1 < self.series.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity, so those
+/// are emitted as `null`).
+pub fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return String::from("null");
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        // Keep integral values readable ("5.0" not "5").
+        format!("{v:.1}")
+    } else {
+        // Shortest round-trippable representation.
+        format!("{v}")
     }
 }
 
 /// A simple fixed-bucket histogram.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -65,7 +65,10 @@ impl FatTree {
     /// Builds a k-ary fat-tree. `k` must be even and ≥ 2. All links get
     /// `link_bps` capacity (the demo uses 1 Gbps) and `delay_ns` latency.
     pub fn build(k: usize, role: SwitchRole, link_bps: f64, delay_ns: u64) -> FatTree {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree needs even k >= 2, got {k}");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree needs even k >= 2, got {k}"
+        );
         let half = k / 2;
         let mut topo = Topology::new();
         let mut hosts = Vec::new();
@@ -325,10 +328,13 @@ mod tests {
         }
         // Same edge: 1 path of 2 hops.
         let d = ft.topo.find("p0-e0-h1").unwrap();
-        assert_eq!(ft.topo.all_shortest_paths(a, d), vec![vec![
-            ft.topo.link_between(a, ft.edges[0]).unwrap().0,
-            ft.topo.link_between(ft.edges[0], d).unwrap().0,
-        ]]);
+        assert_eq!(
+            ft.topo.all_shortest_paths(a, d),
+            vec![vec![
+                ft.topo.link_between(a, ft.edges[0]).unwrap().0,
+                ft.topo.link_between(ft.edges[0], d).unwrap().0,
+            ]]
+        );
     }
 
     #[test]

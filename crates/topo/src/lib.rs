@@ -17,6 +17,6 @@ pub mod shapes;
 pub mod synth;
 
 pub use fattree::{BgpNodeSetup, FatTree, SwitchRole};
-pub use pattern::{TrafficPattern, TrafficPair};
+pub use pattern::{TrafficPair, TrafficPattern};
 pub use shapes::{leaf_spine, linear, star, waxman_wan};
 pub use synth::bgp_setups_for;

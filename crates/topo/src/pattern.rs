@@ -9,10 +9,9 @@ use horse_net::flow::FiveTuple;
 use horse_net::topology::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// One src→dst demand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrafficPair {
     /// Sender.
     pub src: NodeId,
@@ -21,7 +20,7 @@ pub struct TrafficPair {
 }
 
 /// Workload shapes over a host list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrafficPattern {
     /// Random permutation with no self-pairs (the demo's pattern).
     RandomPermutation,
@@ -187,10 +186,7 @@ mod tests {
             hosts_per_pod: 8,
         };
         let pairs = pat.pairs(&h, 42);
-        let same_edge = pairs
-            .iter()
-            .filter(|p| p.src.0 / 2 == p.dst.0 / 2)
-            .count();
+        let same_edge = pairs.iter().filter(|p| p.src.0 / 2 == p.dst.0 / 2).count();
         assert!(
             same_edge > pairs.len() / 4,
             "expected heavy edge locality, got {same_edge}/{}",
@@ -212,7 +208,9 @@ mod tests {
 
     #[test]
     fn tiny_host_lists_handled() {
-        assert!(TrafficPattern::RandomPermutation.pairs(&hosts(1), 0).is_empty());
+        assert!(TrafficPattern::RandomPermutation
+            .pairs(&hosts(1), 0)
+            .is_empty());
         assert!(TrafficPattern::RandomPermutation.pairs(&[], 0).is_empty());
         let two = TrafficPattern::RandomPermutation.pairs(&hosts(2), 0);
         assert_eq!(two.len(), 2);

@@ -32,17 +32,13 @@ pub fn linear(n: usize, link_bps: f64) -> (Topology, NodeId, NodeId, Vec<NodeId>
 
 /// `n` hosts hanging off one switch. Returns `(topo, hosts, switch)`.
 pub fn star(n: usize, link_bps: f64) -> (Topology, Vec<NodeId>, NodeId) {
-    assert!(n >= 1 && n <= 250);
+    assert!((1..=250).contains(&n));
     let mut t = Topology::new();
     let sn: Ipv4Prefix = "10.0.0.0/24".parse().expect("static prefix");
     let s = t.add_switch("s0", Ipv4Addr::new(10, 255, 0, 1));
     let hosts: Vec<NodeId> = (0..n)
         .map(|i| {
-            let h = t.add_host(
-                format!("h{i}"),
-                Ipv4Addr::new(10, 0, 0, i as u8 + 1),
-                sn,
-            );
+            let h = t.add_host(format!("h{i}"), Ipv4Addr::new(10, 0, 0, i as u8 + 1), sn);
             t.add_link(h, s, link_bps, 1000);
             h
         })
@@ -97,7 +93,7 @@ pub fn waxman_wan(
     link_bps: f64,
     seed: u64,
 ) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
-    assert!(n >= 2 && n <= 200);
+    assert!((2..=200).contains(&n));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Topology::new();
     let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
@@ -123,7 +119,12 @@ pub fn waxman_wan(
         .collect();
     // Spanning chain for connectivity.
     for i in 1..n {
-        t.add_link(routers[i - 1], routers[i], link_bps, wan_delay(&positions, i - 1, i));
+        t.add_link(
+            routers[i - 1],
+            routers[i],
+            link_bps,
+            wan_delay(&positions, i - 1, i),
+        );
     }
     // Waxman extra links.
     let l = 2f64.sqrt(); // max distance on the unit square
@@ -132,7 +133,12 @@ pub fn waxman_wan(
             let d = dist(positions[i], positions[j]);
             let p = alpha * (-d / (beta * l)).exp();
             if rng.gen::<f64>() < p {
-                t.add_link(routers[i], routers[j], link_bps, wan_delay(&positions, i, j));
+                t.add_link(
+                    routers[i],
+                    routers[j],
+                    link_bps,
+                    wan_delay(&positions, i, j),
+                );
             }
         }
     }

@@ -33,11 +33,8 @@ fn main() {
     println!("{:>6} {:>14}", "t[s]", "goodput [Gbps]");
     let mut t = 0.0;
     while t <= 10.0 {
-        let v = series
-            .value_at(SimTime::from_secs_f64(t))
-            .unwrap_or(0.0)
-            / 1e9;
-        let bar: String = std::iter::repeat('#').take((v * 2.5) as usize).collect();
+        let v = series.value_at(SimTime::from_secs_f64(t)).unwrap_or(0.0) / 1e9;
+        let bar = "#".repeat((v * 2.5) as usize);
         println!("{t:>6.1} {v:>14.2}  {bar}");
         t += 0.5;
     }

@@ -26,15 +26,16 @@ fn main() {
         .run();
 
     let max_gbps = (pods * pods * pods / 4) as f64;
-    println!(
-        "k={pods} fat-tree, permutation workload (seed {seed}), ideal {max_gbps:.0} Gbps"
-    );
+    println!("k={pods} fat-tree, permutation workload (seed {seed}), ideal {max_gbps:.0} Gbps");
     println!(
         "hedera moved {} elephants across {} table writes",
         hedera.scheduler_moves, hedera.table_writes
     );
     println!();
-    println!("{:>6}  {:>12}  {:>12}", "t[s]", "ecmp [Gbps]", "hedera [Gbps]");
+    println!(
+        "{:>6}  {:>12}  {:>12}",
+        "t[s]", "ecmp [Gbps]", "hedera [Gbps]"
+    );
     let es = ecmp.goodput.get("aggregate").unwrap();
     let hs = hedera.goodput.get("aggregate").unwrap();
     let mut t = 0.0;
@@ -42,9 +43,7 @@ fn main() {
         let at = horse::sim::SimTime::from_secs_f64(t);
         let ev = es.value_at(at).unwrap_or(0.0) / 1e9;
         let hv = hs.value_at(at).unwrap_or(0.0) / 1e9;
-        let bar: String = std::iter::repeat('#')
-            .take((hv / max_gbps * 40.0) as usize)
-            .collect();
+        let bar = "#".repeat((hv / max_gbps * 40.0) as usize);
         println!("{t:>6.1}  {ev:>12.2}  {hv:>12.2}  {bar}");
         t += 1.0;
     }

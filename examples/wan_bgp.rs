@@ -33,7 +33,9 @@ fn main() {
 
     // Five long-haul transfers between "random" host pairs.
     let pairs = [(0usize, 13usize), (3, 20), (7, 24), (10, 2), (18, 5)];
-    let mut e = Experiment::new(topo.clone()).horizon_secs(30.0).label("wan-bgp");
+    let mut e = Experiment::new(topo.clone())
+        .horizon_secs(30.0)
+        .label("wan-bgp");
     for (i, (a, b)) in pairs.iter().enumerate() {
         let tuple = horse::topo::pattern::demo_tuple(&topo, hosts[*a], hosts[*b], i as u16);
         e = e.flow(

@@ -38,9 +38,7 @@ impl Args {
                 flags.insert(name.to_string(), String::from("true"));
                 continue;
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), value.clone());
         }
         Ok(Args { flags })

@@ -14,8 +14,12 @@ const G: f64 = 1e9;
 fn demo_paths(
     ft: &FatTree,
     seed: u64,
-) -> Vec<(horse::net::FiveTuple, horse::net::NodeId, horse::net::NodeId, Vec<horse::net::LinkId>)>
-{
+) -> Vec<(
+    horse::net::FiveTuple,
+    horse::net::NodeId,
+    horse::net::NodeId,
+    Vec<horse::net::LinkId>,
+)> {
     let pairs = TrafficPattern::RandomPermutation.pairs(&ft.hosts, seed);
     let hasher = EcmpHasher::new(HashMode::FiveTuple, seed);
     pairs

@@ -86,8 +86,16 @@ fn single_path_failure_blackholes_then_recovers() {
 
     let series = report.goodput.get("aggregate").unwrap();
     let at = |s: f64| series.value_at(SimTime::from_secs_f64(s)).unwrap_or(-1.0);
-    assert!((at(2.0) - 0.8 * G).abs() < 1e6, "before failure: {}", at(2.0));
-    assert!(at(4.5) < 1e6, "during failure traffic blackholes: {}", at(4.5));
+    assert!(
+        (at(2.0) - 0.8 * G).abs() < 1e6,
+        "before failure: {}",
+        at(2.0)
+    );
+    assert!(
+        at(4.5) < 1e6,
+        "during failure traffic blackholes: {}",
+        at(4.5)
+    );
     assert!(
         (at(9.0) - 0.8 * G).abs() < 1e6,
         "after repair traffic recovers: {}",
@@ -100,7 +108,11 @@ fn single_path_failure_blackholes_then_recovers() {
         .iter()
         .filter(|t| t.mode == ClockMode::Fti && t.at >= SimTime::from_secs(3))
         .count();
-    assert!(late_fti >= 1, "failure must re-enter FTI: {:?}", report.transitions);
+    assert!(
+        late_fti >= 1,
+        "failure must re-enter FTI: {:?}",
+        report.transitions
+    );
 }
 
 #[test]

@@ -10,7 +10,11 @@ use horse::{ControlBuild, Experiment};
 
 const G: f64 = 1e9;
 
-fn one_flow_experiment(idle_secs: u16, stop_at: Option<f64>, horizon: f64) -> horse::ExperimentReport {
+fn one_flow_experiment(
+    idle_secs: u16,
+    stop_at: Option<f64>,
+    horizon: f64,
+) -> horse::ExperimentReport {
     let ft = FatTree::build(4, SwitchRole::OpenFlow, G, 1_000);
     let src = ft.hosts[0];
     let dst = ft.hosts[8]; // inter-pod
@@ -38,7 +42,11 @@ fn active_flow_keeps_its_rules_alive() {
     let report = one_flow_experiment(2, None, 10.0);
     let series = report.goodput.get("aggregate").unwrap();
     let at = |s: f64| series.value_at(SimTime::from_secs_f64(s)).unwrap_or(-1.0);
-    assert!((at(9.5) - 0.5 * G).abs() < 1e6, "still flowing at the end: {}", at(9.5));
+    assert!(
+        (at(9.5) - 0.5 * G).abs() < 1e6,
+        "still flowing at the end: {}",
+        at(9.5)
+    );
     // One placement, no re-placement churn: exactly one FTI window.
     let fti_windows = report
         .transitions

@@ -117,7 +117,12 @@ fn threaded_daemons_converge_and_route_traffic() {
         if flow_id.is_none() {
             if let Ok(path) = dp.resolve(&topo, h1, h2, &tuple) {
                 let (id, _) = fluid
-                    .start(clock.now(), FlowSpec::cbr(h1, h2, tuple, 0.5e9), path, &topo)
+                    .start(
+                        clock.now(),
+                        FlowSpec::cbr(h1, h2, tuple, 0.5e9),
+                        path,
+                        &topo,
+                    )
                     .expect("valid path");
                 flow_id = Some(id);
             }

@@ -1,0 +1,156 @@
+//! **Pump cost**: readiness-driven vs poll-everyone control-plane pump on
+//! the Figure-3 BGP convergence workload.
+//!
+//! The legacy pump touched every emulated node every engine step: polled
+//! each BGP speaker's timers, drained each switch agent, and walked each
+//! flow table looking for expired rules — O(all nodes) per step even when
+//! one message was in flight. The readiness pump touches only nodes with
+//! something to do (a delivery, a fired timer-wheel deadline, a transport
+//! event), making a step O(active nodes).
+//!
+//! Both arms run the *identical* experiment (same seed, `Pacing::Virtual`)
+//! and must produce byte-identical reports modulo cost counters; only the
+//! scheduling differs. Cost is compared two ways:
+//!
+//! * **pump work** — `PumpStats`' own counters: speaker polls / agent
+//!   drains plus full table walks (machine-independent);
+//! * **wall time** — elapsed seconds for the run (min over repetitions).
+//!
+//! Run: `cargo run --release -p horse-bench --bin pump_scaling -- [k...]`
+//! (default: 4 8 10 12; assertions apply at k=8, or the largest k run).
+//! Writes `bench_results/pump_scaling.json`.
+
+use horse_core::{Experiment, ExperimentReport, PumpMode, TeApproach};
+
+const SEED: u64 = 42;
+/// Repetitions at the assertion size (wall time is min-of-reps; the work
+/// counters are deterministic, so one rep decides those).
+const REPS: usize = 3;
+
+struct Arm {
+    report: ExperimentReport,
+    wall: f64,
+}
+
+fn run_arm(k: usize, mode: PumpMode, reps: usize) -> Arm {
+    let mut best: Option<Arm> = None;
+    for _ in 0..reps {
+        let report = Experiment::demo(k, TeApproach::BgpEcmp, SEED)
+            .pump_mode(mode)
+            .run();
+        let wall = report.wall_run_secs;
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(Arm { report, wall });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn work_of(r: &ExperimentReport) -> u64 {
+    r.pump_nodes_touched + r.pump_table_scans
+}
+
+fn main() {
+    let ks: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("pod count"))
+            .collect();
+        if args.is_empty() {
+            vec![4, 8, 10, 12]
+        } else {
+            args
+        }
+    };
+    let assert_k = if ks.contains(&8) {
+        8
+    } else {
+        *ks.iter().max().expect("at least one k")
+    };
+
+    println!("== Pump cost: readiness vs full poll (fig-3 BGP convergence, seed {SEED}) ==");
+    println!();
+    println!(
+        "{:<5} {:>7} {:>9} {:>13} {:>13} {:>11} {:>11} {:>11} {:>10}",
+        "k",
+        "nodes",
+        "steps",
+        "touched(rdy)",
+        "touched(poll)",
+        "scans(rdy)",
+        "work ratio",
+        "wall(rdy)",
+        "wall(poll)"
+    );
+
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let reps = if k == assert_k { REPS } else { 1 };
+        let ready = run_arm(k, PumpMode::Readiness, reps);
+        let polled = run_arm(k, PumpMode::FullPoll, reps);
+        assert_eq!(
+            ready.report.semantic_json(),
+            polled.report.semantic_json(),
+            "k={k}: pump modes must be observably identical"
+        );
+        let work_ratio = work_of(&polled.report) as f64 / work_of(&ready.report).max(1) as f64;
+        let wall_ratio = polled.wall / ready.wall.max(1e-9);
+        let nodes = polled.report.pump_nodes_total / polled.report.pump_steps.max(1);
+        println!(
+            "{:<5} {:>7} {:>9} {:>13} {:>13} {:>11} {:>10.1}x {:>10.4}s {:>9.4}s",
+            k,
+            nodes,
+            ready.report.pump_steps,
+            ready.report.pump_nodes_touched,
+            polled.report.pump_nodes_touched,
+            ready.report.pump_table_scans,
+            work_ratio,
+            ready.wall,
+            polled.wall
+        );
+
+        if k == assert_k {
+            assert!(
+                work_ratio >= 5.0,
+                "k={k}: expected >=5x less pump work, got {work_ratio:.2}x \
+                 (readiness {}, full poll {})",
+                work_of(&ready.report),
+                work_of(&polled.report)
+            );
+            assert!(
+                ready.wall < polled.wall,
+                "k={k}: readiness must be faster: {:.4}s vs {:.4}s",
+                ready.wall,
+                polled.wall
+            );
+        }
+
+        let arm_json = |a: &Arm| {
+            format!(
+                "{{\"nodes_touched\": {}, \"table_scans\": {}, \"work\": {}, \"wall_secs\": {}}}",
+                a.report.pump_nodes_touched,
+                a.report.pump_table_scans,
+                work_of(&a.report),
+                a.wall
+            )
+        };
+        rows.push(format!(
+            "    {{\"k\": {k}, \"nodes\": {nodes}, \"pump_steps\": {}, \
+             \"readiness\": {}, \"full_poll\": {}, \
+             \"work_ratio\": {work_ratio}, \"wall_ratio\": {wall_ratio}}}",
+            ready.report.pump_steps,
+            arm_json(&ready),
+            arm_json(&polled),
+        ));
+    }
+
+    println!();
+    println!("(work = nodes touched + table walks; both modes produce byte-identical reports)");
+
+    let json = format!(
+        "{{\n  \"workload\": \"bgp-ecmp demo, seed {SEED}\",\n  \"assert_k\": {assert_k},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    horse_bench::write_result("pump_scaling.json", &json);
+}

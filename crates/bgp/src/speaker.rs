@@ -89,6 +89,11 @@ pub struct BgpSpeaker {
     mrai_ready: BTreeMap<Ipv4Addr, SimTime>,
     /// Per peer: prefixes whose announcements are waiting out the MRAI.
     mrai_pending: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Prefix>>,
+    /// Set whenever an entry point may have moved [`BgpSpeaker::next_deadline`];
+    /// cleared by [`BgpSpeaker::take_deadline_dirty`]. Lets a scheduler
+    /// re-index this speaker's deadline only when it was touched, instead
+    /// of polling every speaker every step.
+    deadline_dirty: bool,
 }
 
 impl BgpSpeaker {
@@ -115,11 +120,13 @@ impl BgpSpeaker {
             started: false,
             mrai_ready: BTreeMap::new(),
             mrai_pending: BTreeMap::new(),
+            deadline_dirty: true,
         }
     }
 
     /// Starts every session.
     pub fn start(&mut self, now: SimTime) {
+        self.deadline_dirty = true;
         self.started = true;
         for s in self.sessions.values_mut() {
             s.start(now);
@@ -129,6 +136,7 @@ impl BgpSpeaker {
 
     /// The transport to `peer` is connected.
     pub fn on_transport_up(&mut self, peer: Ipv4Addr, now: SimTime) {
+        self.deadline_dirty = true;
         if let Some(s) = self.sessions.get_mut(&peer) {
             s.on_transport_up(now);
         }
@@ -137,6 +145,7 @@ impl BgpSpeaker {
 
     /// The transport to `peer` dropped.
     pub fn on_transport_down(&mut self, peer: Ipv4Addr, now: SimTime) {
+        self.deadline_dirty = true;
         if let Some(s) = self.sessions.get_mut(&peer) {
             s.on_transport_down(now);
         }
@@ -145,6 +154,7 @@ impl BgpSpeaker {
 
     /// Bytes arrived from `peer`.
     pub fn on_bytes(&mut self, peer: Ipv4Addr, now: SimTime, bytes: &[u8]) {
+        self.deadline_dirty = true;
         if let Some(s) = self.sessions.get_mut(&peer) {
             s.on_bytes(now, bytes);
         }
@@ -154,6 +164,7 @@ impl BgpSpeaker {
     /// Fires due timers on every session, and flushes announcement batches
     /// whose MRAI hold-down has expired.
     pub fn poll_timers(&mut self, now: SimTime) {
+        self.deadline_dirty = true;
         for s in self.sessions.values_mut() {
             s.poll_timers(now);
         }
@@ -196,6 +207,7 @@ impl BgpSpeaker {
 
     /// Originates a new network at runtime.
     pub fn originate(&mut self, prefix: Ipv4Prefix, now: SimTime) {
+        self.deadline_dirty = true;
         self.rib.originate(prefix, self.config.router_id);
         let mut set = BTreeSet::new();
         set.insert(prefix);
@@ -205,6 +217,7 @@ impl BgpSpeaker {
 
     /// Withdraws a locally originated network at runtime.
     pub fn withdraw(&mut self, prefix: Ipv4Prefix, now: SimTime) {
+        self.deadline_dirty = true;
         if self.rib.withdraw_local(prefix) {
             let mut set = BTreeSet::new();
             set.insert(prefix);
@@ -216,6 +229,15 @@ impl BgpSpeaker {
     /// Drains accumulated outputs.
     pub fn take_outputs(&mut self) -> Vec<SpeakerOutput> {
         std::mem::take(&mut self.outputs)
+    }
+
+    /// True when the speaker was touched since the last call and its
+    /// [`BgpSpeaker::next_deadline`] may have changed (cleared on read).
+    /// Timers only move through the speaker's entry points, so a scheduler
+    /// that re-reads the deadline whenever this reports true always holds
+    /// the current value.
+    pub fn take_deadline_dirty(&mut self) -> bool {
+        std::mem::replace(&mut self.deadline_dirty, false)
     }
 
     /// Read access to the RIB (tests, dumps).

@@ -7,21 +7,48 @@
 //! CM provides), polls protocol timers, applies control decisions to the
 //! simulated data plane, and reports whether any control activity happened
 //! — the signal that holds the experiment clock in FTI mode.
+//!
+//! ## Readiness-driven scheduling
+//!
+//! A pump step costs O(nodes with something to do), not O(all nodes). The
+//! CM keeps, per control plane:
+//!
+//! * a **dirty set** of nodes that received bytes this step, emitted
+//!   events since the last drain, or saw a transport/link change;
+//! * a [`TimerWheel`] indexing one deadline per node — a BGP speaker's
+//!   earliest protocol timer (re-registered whenever the speaker reports
+//!   its deadline moved), or a switch flow table's earliest idle/hard
+//!   expiry (re-registered whenever the table or its `last_hit` state
+//!   changes).
+//!
+//! Only dirty or fired nodes get `poll_timers` / `take_outputs` /
+//! `take_events`; untouched nodes cannot hold queued work, because every
+//! path that gives a node work also marks it dirty. `next_deadline()` is
+//! the wheel's O(1) minimum instead of a linear scan. The legacy
+//! poll-everyone behavior survives as [`PumpMode::FullPoll`] — a debug
+//! mode whose observable semantics are identical (same deliveries, same
+//! sweep instants, same outputs) and whose only difference is cost, which
+//! [`PumpStats`] makes visible.
 
 use horse_bgp::speaker::{BgpSpeaker, SpeakerOutput};
 use horse_cm::FibInstaller;
 use horse_controller::{EcmpApp, HederaApp};
-use horse_dataplane::flowtable::FlowEntry as DpFlowEntry;
+use horse_dataplane::flowtable::{FlowEntry as DpFlowEntry, FlowKey};
 use horse_dataplane::path::DataPlane;
+use horse_net::flow::FiveTuple;
 use horse_net::fluid::FluidNetwork;
 use horse_net::topology::{NodeId, PortId, Topology};
 use horse_openflow::agent::{AgentEvent, SwitchAgent};
 use horse_openflow::controller::{Controller, ControllerApp, ControllerEvent};
 use horse_openflow::wire::{FlowMod, FlowModCommand, FlowStatsEntry, OfAction, PortDesc};
-use horse_sim::SimTime;
+use horse_sim::{SimTime, TimerWheel};
 use horse_topo::fattree::BgpNodeSetup;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+
+/// MTU used to derive packet estimates from fluid byte counts (the fluid
+/// model moves bits, not packets; OF counters want both).
+const MTU_BYTES: u64 = 1_500;
 
 /// What one pump step did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,6 +57,40 @@ pub struct PumpOutcome {
     pub activity: bool,
     /// Forwarding state changed (→ re-resolve flows).
     pub tables_changed: bool,
+}
+
+/// How the Connection Manager schedules per-node pump work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PumpMode {
+    /// Touch only nodes with something to do (dirty set + timer wheel).
+    #[default]
+    Readiness,
+    /// Touch every node every step (the legacy behavior; observably
+    /// identical, kept as the differential-testing and costing baseline).
+    FullPoll,
+}
+
+/// Pump cost counters, wired into `ExperimentReport` so the scheduling
+/// win is observable. "Work" is `nodes_touched + table_scans`: speaker
+/// polls / agent drains plus full flow-table walks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Pump steps executed.
+    pub steps: u64,
+    /// Cumulative emulated nodes across steps (`n × steps`): what a
+    /// polled pump would have touched.
+    pub nodes_total: u64,
+    /// Nodes actually polled/drained.
+    pub nodes_touched: u64,
+    /// Full flow-table walks (timeout checks and expiry sweeps).
+    pub table_scans: u64,
+}
+
+impl PumpStats {
+    /// Total per-node pump work performed.
+    pub fn work(&self) -> u64 {
+        self.nodes_touched + self.table_scans
+    }
 }
 
 /// The SDN application running on the controller.
@@ -70,12 +131,30 @@ pub enum ControlPlane {
     /// No control plane: forwarding state is static (installed by hand).
     None,
     /// One emulated BGP daemon per router.
-    Bgp(BgpControl),
+    Bgp(Box<BgpControl>),
     /// An OpenFlow controller plus one switch agent per switch.
     Sdn(Box<SdnControl>),
 }
 
 impl ControlPlane {
+    /// Selects the pump scheduling mode (before [`ControlPlane::start`]).
+    pub fn set_pump_mode(&mut self, mode: PumpMode) {
+        match self {
+            ControlPlane::None => {}
+            ControlPlane::Bgp(b) => b.mode = mode,
+            ControlPlane::Sdn(s) => s.mode = mode,
+        }
+    }
+
+    /// Pump cost counters accumulated so far.
+    pub fn pump_stats(&self) -> PumpStats {
+        match self {
+            ControlPlane::None => PumpStats::default(),
+            ControlPlane::Bgp(b) => b.stats,
+            ControlPlane::Sdn(s) => s.stats,
+        }
+    }
+
     /// Starts daemons/handshakes at time `now`.
     pub fn start(&mut self, now: SimTime, dp: &mut DataPlane) {
         match self {
@@ -94,8 +173,8 @@ impl ControlPlane {
         }
     }
 
-    /// Earliest pending control-plane timer (keepalives, Hedera polls) —
-    /// the DES clock must not jump past it.
+    /// Earliest pending control-plane timer (keepalives, Hedera polls,
+    /// flow-rule expiries) — the DES clock must not jump past it.
     pub fn next_deadline(&self) -> Option<SimTime> {
         match self {
             ControlPlane::None => None,
@@ -104,13 +183,15 @@ impl ControlPlane {
         }
     }
 
-    /// True while messages are queued for delivery (the step must stay
-    /// "busy" even if the event queue is empty).
+    /// True while messages are queued for delivery or nodes hold undrained
+    /// work (the step must stay "busy" even if the event queue is empty).
     pub fn has_pending(&self) -> bool {
         match self {
             ControlPlane::None => false,
-            ControlPlane::Bgp(b) => !b.in_flight.is_empty(),
-            ControlPlane::Sdn(s) => !s.to_agents.is_empty() || !s.to_controller.is_empty(),
+            ControlPlane::Bgp(b) => !b.in_flight.is_empty() || !b.dirty.is_empty(),
+            ControlPlane::Sdn(s) => {
+                !s.to_agents.is_empty() || !s.to_controller.is_empty() || !s.dirty.is_empty()
+            }
         }
     }
 
@@ -160,6 +241,22 @@ impl ControlPlane {
             ControlPlane::None => {}
         }
     }
+
+    /// A fluid flow stopped or completed. The CM credits the rules the
+    /// flow was using with traffic up to this instant (`last_hit = now`),
+    /// so idle expiry counts from when the traffic actually ceased — the
+    /// event-driven replacement for re-walking every table every step.
+    pub fn on_flow_retired(
+        &mut self,
+        tuple: &FiveTuple,
+        nodes: &[NodeId],
+        now: SimTime,
+        dp: &mut DataPlane,
+    ) {
+        if let ControlPlane::Sdn(s) = self {
+            s.on_flow_retired(tuple, nodes, now, dp);
+        }
+    }
 }
 
 /// The BGP control plane: one speaker per router, wired over the CM.
@@ -168,12 +265,22 @@ pub struct BgpControl {
     pub speakers: BTreeMap<NodeId, BgpSpeaker>,
     /// `(node, its local addr)` → node on the other end of that session.
     route_of_addr: BTreeMap<(NodeId, Ipv4Addr), NodeId>,
+    /// `(node, peer addr)` → our local addr on that session — precomputed
+    /// so queueing a message is a map hit, not a peer-list scan.
+    local_addr_of: BTreeMap<(NodeId, Ipv4Addr), Ipv4Addr>,
     /// `(node, peer addr)` → the link that session rides (failure scoping).
     link_of_session: BTreeMap<(NodeId, Ipv4Addr), horse_net::topology::LinkId>,
     installer: FibInstaller,
     connected: Vec<(NodeId, horse_net::addr::Ipv4Prefix, PortId)>,
     /// Messages awaiting delivery next step: (dst node, from-addr, bytes).
     in_flight: Vec<(NodeId, Ipv4Addr, bytes::Bytes)>,
+    /// Nodes woken outside the pump (start, transport/link events).
+    dirty: BTreeSet<NodeId>,
+    /// Earliest protocol deadline per speaker.
+    wheel: TimerWheel<NodeId>,
+    mode: PumpMode,
+    /// Pump cost counters.
+    pub stats: PumpStats,
     /// FIB route installs performed.
     pub installs: u64,
 }
@@ -183,6 +290,7 @@ impl BgpControl {
     pub fn new(topo: &Topology, setups: BTreeMap<NodeId, BgpNodeSetup>) -> BgpControl {
         let mut speakers = BTreeMap::new();
         let mut route_of_addr = BTreeMap::new();
+        let mut local_addr_of = BTreeMap::new();
         let mut link_of_session = BTreeMap::new();
         let mut installer = FibInstaller::new();
         let mut connected = Vec::new();
@@ -199,6 +307,7 @@ impl BgpControl {
                 let lid = topo.link_at(*node, port).expect("peer port wired");
                 let other = topo.link(lid).other(*node);
                 route_of_addr.insert((*node, peer.peer_addr), other);
+                local_addr_of.insert((*node, peer.peer_addr), peer.local_addr);
                 link_of_session.insert((*node, peer.peer_addr), lid);
             }
             speakers.insert(*node, BgpSpeaker::new(setup.config.clone()));
@@ -206,10 +315,15 @@ impl BgpControl {
         BgpControl {
             speakers,
             route_of_addr,
+            local_addr_of,
             link_of_session,
             installer,
             connected,
             in_flight: Vec::new(),
+            dirty: BTreeSet::new(),
+            wheel: TimerWheel::new(),
+            mode: PumpMode::default(),
+            stats: PumpStats::default(),
             installs: 0,
         }
     }
@@ -238,32 +352,64 @@ impl BgpControl {
                     .on_transport_up(p, now);
             }
         }
+        // Every speaker has startup output queued: register its deadline
+        // and put it on the ready list for the first pump.
+        for (node, s) in &mut self.speakers {
+            let _ = s.take_deadline_dirty();
+            if let Some(d) = s.next_deadline() {
+                self.wheel.schedule(*node, d);
+            }
+            self.dirty.insert(*node);
+        }
     }
 
     fn pump(&mut self, now: SimTime, dp: &mut DataPlane) -> PumpOutcome {
+        self.stats.steps += 1;
+        self.stats.nodes_total += self.speakers.len() as u64;
         let mut out = PumpOutcome::default();
-        // 1. Deliver last step's messages.
+        // 1. Ready set: last step's message destinations, fired deadlines,
+        // and nodes woken by transport/link events.
+        let mut ready = std::mem::take(&mut self.dirty);
         let deliveries = std::mem::take(&mut self.in_flight);
         if !deliveries.is_empty() {
             out.activity = true;
         }
+        let mut by_dst: BTreeMap<NodeId, Vec<(Ipv4Addr, bytes::Bytes)>> = BTreeMap::new();
         for (dst, from_addr, bytes) in deliveries {
-            if let Some(s) = self.speakers.get_mut(&dst) {
-                s.on_bytes(from_addr, now, &bytes);
+            ready.insert(dst);
+            by_dst.entry(dst).or_default().push((from_addr, bytes));
+        }
+        for (node, _) in self.wheel.advance(now) {
+            ready.insert(node);
+        }
+        if self.mode == PumpMode::FullPoll {
+            ready.extend(self.speakers.keys().copied());
+        }
+        // 2. Deliver, poll and drain only the ready speakers. A clean
+        // speaker cannot hold queued outputs or a moved deadline: both
+        // only change when the speaker is touched, and every touch marks
+        // it ready.
+        for node in ready {
+            let Some(s) = self.speakers.get_mut(&node) else {
+                continue;
+            };
+            self.stats.nodes_touched += 1;
+            if let Some(msgs) = by_dst.remove(&node) {
+                for (from_addr, bytes) in msgs {
+                    s.on_bytes(from_addr, now, &bytes);
+                }
             }
-        }
-        // 2. Poll timers.
-        for s in self.speakers.values_mut() {
             s.poll_timers(now);
-        }
-        // 3. Collect outputs: queue bytes for next step, apply routes now.
-        let nodes: Vec<NodeId> = self.speakers.keys().copied().collect();
-        for node in nodes {
-            let outputs = self
-                .speakers
-                .get_mut(&node)
-                .expect("known node")
-                .take_outputs();
+            let outputs = s.take_outputs();
+            if s.take_deadline_dirty() {
+                match s.next_deadline() {
+                    Some(d) => self.wheel.schedule(node, d),
+                    None => {
+                        self.wheel.cancel(node);
+                    }
+                }
+            }
+            // Queue bytes for next step, apply routes now.
             for o in outputs {
                 match o {
                     SpeakerOutput::SendBytes { peer, bytes } => {
@@ -271,13 +417,7 @@ impl BgpControl {
                         // `peer` is the remote's address on this session;
                         // our local address on it is what the remote knows
                         // us by.
-                        let from = self.speakers[&node]
-                            .config
-                            .peers
-                            .iter()
-                            .find(|p| p.peer_addr == peer)
-                            .map(|p| p.local_addr)
-                            .expect("configured peer");
+                        let from = self.local_addr_of[&(node, peer)];
                         if let Some(dst) = self.route_of_addr.get(&(node, peer)) {
                             self.in_flight.push((*dst, from, bytes));
                         }
@@ -299,10 +439,17 @@ impl BgpControl {
     }
 
     fn next_deadline(&self) -> Option<SimTime> {
-        self.speakers
-            .values()
-            .filter_map(|s| s.next_deadline())
-            .min()
+        match self.mode {
+            // O(1): the wheel's per-level occupancy bitmaps.
+            PumpMode::Readiness => self.wheel.next_deadline(),
+            // Legacy cost on purpose: scan every speaker. Same value as
+            // the wheel — the wheel re-indexes on every touch.
+            PumpMode::FullPoll => self
+                .speakers
+                .values()
+                .filter_map(|s| s.next_deadline())
+                .min(),
+        }
     }
 
     /// Drops (or restores) the transports of every session riding `link`.
@@ -336,6 +483,14 @@ impl BgpControl {
                     speaker.on_transport_down(peer, now);
                 }
             }
+            let _ = speaker.take_deadline_dirty();
+            match speaker.next_deadline() {
+                Some(d) => self.wheel.schedule(node, d),
+                None => {
+                    self.wheel.cancel(node);
+                }
+            }
+            self.dirty.insert(node);
         }
         if !up {
             // In-flight messages on the dead link are lost. The receiver of
@@ -364,6 +519,14 @@ pub struct SdnControl {
     wake_at: Option<SimTime>,
     conn_of_node: BTreeMap<NodeId, u32>,
     node_of_conn: BTreeMap<u32, NodeId>,
+    /// Agents holding undrained events (deliveries, packet-ins, replies
+    /// queued after the last drain, port status, expiry reports).
+    dirty: BTreeSet<NodeId>,
+    /// Earliest flow-entry expiry per switch table.
+    expiry_wheel: TimerWheel<NodeId>,
+    mode: PumpMode,
+    /// Pump cost counters.
+    pub stats: PumpStats,
     /// FLOW_MODs applied to simulated tables.
     pub flow_mods_applied: u64,
 }
@@ -397,6 +560,10 @@ impl SdnControl {
             wake_at: None,
             conn_of_node,
             node_of_conn,
+            dirty: BTreeSet::new(),
+            expiry_wheel: TimerWheel::new(),
+            mode: PumpMode::default(),
+            stats: PumpStats::default(),
             flow_mods_applied: 0,
         }
     }
@@ -405,6 +572,8 @@ impl SdnControl {
         for (node, agent) in &mut self.agents {
             agent.on_connect();
             self.controller.on_switch_connected(self.conn_of_node[node]);
+            // The handshake bytes the agent queued drain at the first pump.
+            self.dirty.insert(*node);
         }
     }
 
@@ -412,10 +581,13 @@ impl SdnControl {
     pub fn packet_in(&mut self, node: NodeId, in_port: u16, data: bytes::Bytes) {
         if let Some(agent) = self.agents.get_mut(&node) {
             agent.send_packet_in(in_port, horse_openflow::wire::OFPR_NO_MATCH, data);
+            self.dirty.insert(node);
         }
     }
 
     fn pump(&mut self, now: SimTime, dp: &mut DataPlane, fluid: &FluidNetwork) -> PumpOutcome {
+        self.stats.steps += 1;
+        self.stats.nodes_total += self.agents.len() as u64;
         let mut out = PumpOutcome::default();
         // 0. App timer due?
         if let Some(t) = self.wake_at {
@@ -434,16 +606,64 @@ impl SdnControl {
         for (node, bytes) in to_agents {
             if let Some(agent) = self.agents.get_mut(&node) {
                 agent.on_bytes(&bytes);
+                self.dirty.insert(node);
             }
         }
         for (conn, bytes) in to_controller {
             self.controller
                 .on_bytes(conn, now, &bytes, self.app.as_dyn());
         }
-        // 2. Drain agent events.
-        let nodes: Vec<NodeId> = self.agents.keys().copied().collect();
-        for node in nodes {
+        // 2. Expire timed-out flow entries — but only in tables whose
+        // earliest-expiry deadline has been reached; quiet tables cost
+        // nothing. Both modes sweep at the same instants (the full poll
+        // re-derives due-ness from each table instead of the wheel).
+        let due: Vec<NodeId> = match self.mode {
+            PumpMode::Readiness => self
+                .expiry_wheel
+                .advance(now)
+                .into_iter()
+                .map(|(node, _)| node)
+                .collect(),
+            PumpMode::FullPoll => {
+                let _ = self.expiry_wheel.advance(now);
+                let mut v = Vec::new();
+                for node in self.agents.keys().copied() {
+                    let Some(table) = dp.table(node) else {
+                        continue;
+                    };
+                    if table.is_empty() {
+                        continue;
+                    }
+                    // Legacy cost on purpose: a full walk per table per
+                    // step to find out nothing is due.
+                    self.stats.table_scans += 1;
+                    if table.next_expiry().is_some_and(|d| d <= now) {
+                        v.push(node);
+                    }
+                }
+                v
+            }
+        };
+        for node in due {
+            let (activity, tables_changed) = self.sweep_table(node, now, dp, fluid);
+            out.activity |= activity;
+            out.tables_changed |= tables_changed;
+        }
+        // 3. Drain agent events — only agents holding work.
+        let drain: Vec<NodeId> = match self.mode {
+            PumpMode::Readiness => std::mem::take(&mut self.dirty).into_iter().collect(),
+            PumpMode::FullPoll => {
+                self.dirty.clear();
+                self.agents.keys().copied().collect()
+            }
+        };
+        for node in drain {
+            if !self.agents.contains_key(&node) {
+                continue;
+            }
+            self.stats.nodes_touched += 1;
             let events = self.agents.get_mut(&node).expect("agent").take_events();
+            let mut table_touched = false;
             for ev in events {
                 match ev {
                     AgentEvent::SendBytes(bytes) => {
@@ -454,6 +674,7 @@ impl SdnControl {
                         out.activity = true;
                         if Self::apply_flow_mod(dp, node, &fm, now) {
                             out.tables_changed = true;
+                            table_touched = true;
                             self.flow_mods_applied += 1;
                         }
                     }
@@ -482,62 +703,16 @@ impl SdnControl {
                     }
                 }
             }
-        }
-        // 2b. Expire timed-out flow entries; the switch reports each as a
-        // FLOW_REMOVED (OFPFF_SEND_FLOW_REM is implied in this model).
-        // Active fluid flows count as traffic: they refresh the idle timer
-        // of the entry they match (the CM stands in for the per-packet
-        // counters a real switch would have).
-        let nodes: Vec<NodeId> = self.agents.keys().copied().collect();
-        for node in nodes {
-            let Some(table) = dp.table_mut(node) else {
-                continue;
-            };
-            if table.entries().iter().any(|e| !e.idle_timeout.is_zero()) {
-                // The fluid model's flow index stands in for per-packet
-                // counters: an entry whose 5-tuple maps to a flow that is
-                // actually moving bits counts as recently hit.
-                let tuples: Vec<horse_net::flow::FiveTuple> = table
-                    .entries()
-                    .iter()
-                    .filter_map(|e| horse_controller::hedera::tuple_of_match(&e.matcher))
-                    .collect();
-                for tuple in tuples {
-                    let Some(fid) = fluid.flow_by_tuple(&tuple) else {
-                        continue;
-                    };
-                    if fluid.rate_of(fid).unwrap_or(0.0) <= 0.0 {
-                        continue;
-                    }
-                    let key = horse_dataplane::flowtable::FlowKey::ipv4(None, tuple);
-                    if let Some(e) = table.lookup_mut(&key) {
-                        e.last_hit = now;
-                    }
-                }
+            // Replies queued while handling events (stats responses) drain
+            // next step, keeping the one-hop-per-step delivery latency.
+            if self.agents[&node].has_events() {
+                self.dirty.insert(node);
             }
-            let expired = table.expire(now);
-            if expired.is_empty() {
-                continue;
-            }
-            out.activity = true;
-            out.tables_changed = true;
-            let agent = self.agents.get_mut(&node).expect("agent");
-            for e in expired {
-                let idle =
-                    !e.idle_timeout.is_zero() && now.duration_since(e.last_hit) >= e.idle_timeout;
-                agent.send_flow_removed(horse_openflow::wire::FlowRemoved {
-                    matcher: e.matcher,
-                    cookie: e.cookie,
-                    priority: e.priority,
-                    reason: if idle { 0 } else { 1 },
-                    duration_sec: now.duration_since(e.installed).as_secs_f64() as u32,
-                    idle_timeout: e.idle_timeout.as_secs_f64() as u16,
-                    packet_count: e.packet_count,
-                    byte_count: e.byte_count,
-                });
+            if table_touched {
+                self.reindex_expiry(node, dp);
             }
         }
-        // 3. Drain controller events.
+        // 4. Drain controller events.
         for ev in self.controller.take_events() {
             match ev {
                 ControllerEvent::SendBytes { conn, bytes } => {
@@ -558,6 +733,113 @@ impl SdnControl {
             }
         }
         out
+    }
+
+    /// One table's expiry sweep: credit entries whose flows are actually
+    /// moving bits (the CM stands in for the per-packet counters a real
+    /// switch would have), expire the rest, report each expiry as a
+    /// FLOW_REMOVED (OFPFF_SEND_FLOW_REM is implied in this model), and
+    /// re-index the table's next deadline.
+    fn sweep_table(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        dp: &mut DataPlane,
+        fluid: &FluidNetwork,
+    ) -> (bool, bool) {
+        let Some(table) = dp.table_mut(node) else {
+            return (false, false);
+        };
+        self.stats.table_scans += 1;
+        if table.entries().iter().any(|e| !e.idle_timeout.is_zero()) {
+            // The fluid model's flow index stands in for per-packet
+            // counters: an entry whose 5-tuple maps to a flow that is
+            // actually moving bits counts as recently hit.
+            let tuples: Vec<FiveTuple> = table
+                .entries()
+                .iter()
+                .filter_map(|e| horse_controller::hedera::tuple_of_match(&e.matcher))
+                .collect();
+            for tuple in tuples {
+                let Some(fid) = fluid.flow_by_tuple(&tuple) else {
+                    continue;
+                };
+                if fluid.rate_of(fid).unwrap_or(0.0) <= 0.0 {
+                    continue;
+                }
+                let key = FlowKey::ipv4(None, tuple);
+                if let Some(e) = table.lookup_mut(&key) {
+                    e.last_hit = now;
+                }
+            }
+        }
+        let expired = table.expire(now);
+        let next = table.next_expiry();
+        match next {
+            Some(d) => self.expiry_wheel.schedule(node, d),
+            None => {
+                self.expiry_wheel.cancel(node);
+            }
+        }
+        if expired.is_empty() {
+            return (false, false);
+        }
+        let agent = self.agents.get_mut(&node).expect("agent");
+        for e in expired {
+            let idle =
+                !e.idle_timeout.is_zero() && now.duration_since(e.last_hit) >= e.idle_timeout;
+            agent.send_flow_removed(horse_openflow::wire::FlowRemoved {
+                matcher: e.matcher,
+                cookie: e.cookie,
+                priority: e.priority,
+                reason: if idle { 0 } else { 1 },
+                duration_sec: now.duration_since(e.installed).as_secs_f64() as u32,
+                idle_timeout: e.idle_timeout.as_secs_f64() as u16,
+                packet_count: e.packet_count,
+                byte_count: e.byte_count,
+            });
+        }
+        self.dirty.insert(node);
+        (true, true)
+    }
+
+    /// Re-registers `node`'s earliest table expiry in the wheel.
+    fn reindex_expiry(&mut self, node: NodeId, dp: &DataPlane) {
+        let next = dp.table(node).and_then(|t| t.next_expiry());
+        match next {
+            Some(d) => self.expiry_wheel.schedule(node, d),
+            None => {
+                self.expiry_wheel.cancel(node);
+            }
+        }
+    }
+
+    /// A fluid flow stopped: refresh the idle timers of the rules it was
+    /// using along its path, so expiry counts from traffic cessation.
+    fn on_flow_retired(
+        &mut self,
+        tuple: &FiveTuple,
+        nodes: &[NodeId],
+        now: SimTime,
+        dp: &mut DataPlane,
+    ) {
+        let key = FlowKey::ipv4(None, *tuple);
+        for node in nodes {
+            if !self.agents.contains_key(node) {
+                continue;
+            }
+            let Some(table) = dp.table_mut(*node) else {
+                continue;
+            };
+            let Some(e) = table.lookup_mut(&key) else {
+                continue;
+            };
+            if e.idle_timeout.is_zero() {
+                continue;
+            }
+            e.last_hit = now;
+            self.reindex_expiry(*node, dp);
+        }
     }
 
     /// Applies a FLOW_MOD to the node's simulated table. Returns true if
@@ -595,7 +877,9 @@ impl SdnControl {
 
     /// Builds flow-stats entries from the node's table, with byte counts
     /// taken from the fluid model's per-flow progress (the CM's job: the
-    /// simulated data plane is the source of truth for counters).
+    /// simulated data plane is the source of truth for counters) and a
+    /// packet estimate derived at MTU granularity, so demand estimators
+    /// see byte and packet counters that agree.
     fn flow_stats_of(
         dp: &DataPlane,
         node: NodeId,
@@ -622,7 +906,8 @@ impl SdnControl {
                     idle_timeout: 0,
                     hard_timeout: 0,
                     cookie: e.cookie,
-                    packet_count: 1,
+                    // At least the flow's first (synthetic) packet exists.
+                    packet_count: bytes.div_ceil(MTU_BYTES).max(1),
                     byte_count: bytes,
                     actions: vec![],
                 })
@@ -631,7 +916,14 @@ impl SdnControl {
     }
 
     fn next_deadline(&self) -> Option<SimTime> {
-        self.wake_at
+        // The wheel holds each table's earliest expiry in both modes (the
+        // full poll keeps it registered too, so the engine lands on the
+        // same instants); the app timer rides alongside.
+        let expiry = self.expiry_wheel.next_deadline();
+        match (self.wake_at, expiry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// A link changed state: every attached switch reports PORT_STATUS.
@@ -640,6 +932,7 @@ impl SdnControl {
         for ep in [l.a, l.b] {
             if let Some(agent) = self.agents.get_mut(&ep.node) {
                 agent.send_port_status(ep.port.0, !up);
+                self.dirty.insert(ep.node);
             }
         }
     }

@@ -1,7 +1,7 @@
 //! The experiment builder — Horse's user-facing API (the paper's Python
 //! API, in Rust).
 
-use crate::control::{BgpControl, ControlPlane, SdnApp, SdnControl};
+use crate::control::{BgpControl, ControlPlane, PumpMode, SdnApp, SdnControl};
 use crate::report::ExperimentReport;
 use crate::runner::Runner;
 use horse_controller::{EcmpApp, FabricView, HederaApp, HederaConfig};
@@ -100,6 +100,9 @@ pub struct Experiment {
     pub seed: u64,
     /// Idle timeout (seconds) for SDN-installed flow rules; 0 = permanent.
     pub sdn_idle_timeout_s: u16,
+    /// Pump scheduling mode (readiness-driven by default; `FullPoll` is
+    /// the legacy cost model for differential tests and benches).
+    pub pump_mode: PumpMode,
     /// Report label.
     pub label: String,
 }
@@ -122,6 +125,7 @@ impl Experiment {
             router_hash: HashMode::SrcDst,
             seed: 1,
             sdn_idle_timeout_s: 0,
+            pump_mode: PumpMode::default(),
             label: String::from("experiment"),
         }
     }
@@ -233,6 +237,12 @@ impl Experiment {
         self
     }
 
+    /// Sets the pump scheduling mode.
+    pub fn pump_mode(mut self, mode: PumpMode) -> Experiment {
+        self.pump_mode = mode;
+        self
+    }
+
     /// Sets the report label.
     pub fn label(mut self, label: impl Into<String>) -> Experiment {
         self.label = label.into();
@@ -243,10 +253,10 @@ impl Experiment {
     pub fn run(self) -> ExperimentReport {
         let setup_start = std::time::Instant::now();
         let dp = DataPlane::from_topology(&self.topo, self.router_hash, HashMode::FiveTuple);
-        let control = match &self.control {
+        let mut control = match &self.control {
             ControlBuild::None => ControlPlane::None,
             ControlBuild::Bgp(setups) => {
-                ControlPlane::Bgp(BgpControl::new(&self.topo, setups.clone()))
+                ControlPlane::Bgp(Box::new(BgpControl::new(&self.topo, setups.clone())))
             }
             ControlBuild::SdnEcmp => {
                 let fabric = FabricView::new(self.topo.clone());
@@ -265,6 +275,7 @@ impl Experiment {
                 )))
             }
         };
+        control.set_pump_mode(self.pump_mode);
         let wall_setup_secs = setup_start.elapsed().as_secs_f64();
         let mut runner = Runner::new(
             self.topo,

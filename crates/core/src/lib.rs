@@ -26,7 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod workload;
 
-pub use control::{ControlPlane, SdnApp};
+pub use control::{ControlPlane, PumpMode, PumpStats, SdnApp};
 pub use experiment::{ControlBuild, Experiment, TeApproach, TrafficEvent};
 pub use report::ExperimentReport;
 pub use runner::Runner;

@@ -46,6 +46,15 @@ pub struct ExperimentReport {
     pub all_routed_at: Option<SimTime>,
     /// Hedera elephant moves (0 elsewhere).
     pub scheduler_moves: u64,
+    /// Control-plane pump steps executed.
+    pub pump_steps: u64,
+    /// Cumulative emulated nodes across pump steps (`n × steps`) — the
+    /// work a poll-everyone pump would do.
+    pub pump_nodes_total: u64,
+    /// Nodes the pump actually polled/drained.
+    pub pump_nodes_touched: u64,
+    /// Full flow-table walks (timeout checks + expiry sweeps).
+    pub pump_table_scans: u64,
 }
 
 impl ExperimentReport {
@@ -191,9 +200,31 @@ impl ExperimentReport {
             }
             None => out.push_str("  \"all_routed_at_ns\": null,\n"),
         }
-        let _ = writeln!(out, "  \"scheduler_moves\": {}", self.scheduler_moves);
+        let _ = writeln!(out, "  \"scheduler_moves\": {},", self.scheduler_moves);
+        let _ = writeln!(out, "  \"pump_steps\": {},", self.pump_steps);
+        let _ = writeln!(out, "  \"pump_nodes_total\": {},", self.pump_nodes_total);
+        let _ = writeln!(
+            out,
+            "  \"pump_nodes_touched\": {},",
+            self.pump_nodes_touched
+        );
+        let _ = writeln!(out, "  \"pump_table_scans\": {}", self.pump_table_scans);
         out.push('}');
         out
+    }
+
+    /// JSON with cost-only fields (wall times, pump counters) zeroed —
+    /// two runs are semantically identical iff these strings are
+    /// byte-identical, regardless of how the pump was scheduled.
+    pub fn semantic_json(&self) -> String {
+        let mut r = self.clone();
+        r.wall_setup_secs = 0.0;
+        r.wall_run_secs = 0.0;
+        r.pump_steps = 0;
+        r.pump_nodes_total = 0;
+        r.pump_nodes_touched = 0;
+        r.pump_table_scans = 0;
+        r.to_json()
     }
 
     /// Parses a report produced by [`ExperimentReport::to_json`].
@@ -204,6 +235,7 @@ impl ExperimentReport {
             |k: &str| -> Result<u64, String> { field(k)?.as_u64().ok_or(format!("bad '{k}'")) };
         let f64_of =
             |k: &str| -> Result<f64, String> { field(k)?.as_f64().ok_or(format!("bad '{k}'")) };
+        let opt_num = |k: &str| -> u64 { v.get(k).and_then(|j| j.as_u64()).unwrap_or(0) };
 
         let mut goodput = SeriesSet::new();
         if let Json::Obj(series) = field("goodput")? {
@@ -273,6 +305,11 @@ impl ExperimentReport {
             flow_completion_secs,
             all_routed_at,
             scheduler_moves: num("scheduler_moves")?,
+            // Absent in pre-pump-stats dumps: default to 0.
+            pump_steps: opt_num("pump_steps"),
+            pump_nodes_total: opt_num("pump_nodes_total"),
+            pump_nodes_touched: opt_num("pump_nodes_touched"),
+            pump_table_scans: opt_num("pump_table_scans"),
         })
     }
 }

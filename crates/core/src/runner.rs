@@ -132,6 +132,11 @@ impl Runner {
         }
     }
 
+    /// Selects the pump scheduling mode (call before [`Runner::run`]).
+    pub fn set_pump_mode(&mut self, mode: crate::control::PumpMode) {
+        self.control.set_pump_mode(mode);
+    }
+
     /// Read access to the data plane (tests).
     pub fn dataplane(&self) -> &DataPlane {
         &self.dp
@@ -146,14 +151,14 @@ impl Runner {
     pub fn run(&mut self, wall_setup_secs: f64) -> ExperimentReport {
         let wall_start = std::time::Instant::now();
         self.control.start(SimTime::ZERO, &mut self.dp);
-        for (idx, t) in self.traffic.clone().iter().enumerate() {
+        for (idx, t) in self.traffic.iter().enumerate() {
             self.queue
                 .push(t.start.min(self.horizon), Ev::FlowStart(idx));
             if let Some(stop) = t.stop {
                 self.queue.push(stop.min(self.horizon), Ev::FlowStop(idx));
             }
         }
-        for (idx, le) in self.link_events.clone().iter().enumerate() {
+        for (idx, le) in self.link_events.iter().enumerate() {
             if le.at <= self.horizon {
                 self.queue.push(le.at, Ev::LinkChange(idx));
             }
@@ -217,6 +222,7 @@ impl Runner {
             Ev::FlowStop(idx) => {
                 if let Some(fid) = self.active_by_idx.remove(&idx) {
                     self.idx_by_flow.remove(&fid);
+                    self.notify_flow_retired(now, fid);
                     let _ = self.fluid.stop(now, fid, &self.topo);
                     self.resync_completion(now);
                     self.sample(now);
@@ -235,6 +241,7 @@ impl Runner {
                         self.fcts
                             .push(now.duration_since(self.traffic[idx].start).as_secs_f64());
                     }
+                    self.notify_flow_retired(now, fid);
                     let _ = self.fluid.stop(now, fid, &self.topo);
                     self.completions.push((fid, now));
                     self.sample(now);
@@ -287,6 +294,30 @@ impl Runner {
                 self.ensure_retry(now);
             }
         }
+    }
+
+    /// Tells the control plane a flow is about to stop, with the switches
+    /// its traffic crossed, so idle-timeout accounting can credit the
+    /// rules up to this instant instead of re-walking tables every step.
+    fn notify_flow_retired(&mut self, now: SimTime, fid: FlowId) {
+        if !matches!(self.control, ControlPlane::Sdn(_)) {
+            return;
+        }
+        let Some(spec) = self.fluid.spec(fid).copied() else {
+            return;
+        };
+        let Some(path) = self.fluid.path(fid) else {
+            return;
+        };
+        let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+        for lid in path {
+            let link = self.topo.link(*lid);
+            nodes.insert(link.a.node);
+            nodes.insert(link.b.node);
+        }
+        let nodes: Vec<NodeId> = nodes.into_iter().collect();
+        self.control
+            .on_flow_retired(&spec.tuple, &nodes, now, &mut self.dp);
     }
 
     /// Solves once for every flow start/reroute deferred since the last
@@ -446,6 +477,7 @@ impl Runner {
         let end = self.clock.now().min(self.horizon);
         self.fluid.advance(end);
         self.sample(end);
+        let pump = self.control.pump_stats();
         ExperimentReport {
             label: std::mem::take(&mut self.label),
             horizon: end,
@@ -468,6 +500,10 @@ impl Runner {
             flow_completion_secs: std::mem::take(&mut self.fcts),
             all_routed_at: self.all_routed_at,
             scheduler_moves: self.control.sdn_app().map_or(0, |a| a.moves()),
+            pump_steps: pump.steps,
+            pump_nodes_total: pump.nodes_total,
+            pump_nodes_touched: pump.nodes_touched,
+            pump_table_scans: pump.table_scans,
         }
     }
 }

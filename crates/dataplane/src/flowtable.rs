@@ -318,6 +318,26 @@ impl FlowTable {
         expired
     }
 
+    /// The earliest instant any entry can expire: the min over entries of
+    /// `installed + hard_timeout` and `last_hit + idle_timeout` (zero
+    /// timeouts never expire). `None` when no entry carries a timeout.
+    /// An expiry *index* over tables built on this makes timeout sweeps
+    /// event-driven: a sweep is only needed when this deadline is reached,
+    /// not every engine step.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .filter_map(|e| {
+                let hard = (!e.hard_timeout.is_zero()).then(|| e.installed + e.hard_timeout);
+                let idle = (!e.idle_timeout.is_zero()).then(|| e.last_hit + e.idle_timeout);
+                match (hard, idle) {
+                    (Some(h), Some(i)) => Some(h.min(i)),
+                    (h, i) => h.or(i),
+                }
+            })
+            .min()
+    }
+
     /// All entries, highest priority first.
     pub fn entries(&self) -> &[FlowEntry] {
         &self.entries
@@ -488,6 +508,32 @@ mod tests {
         let gone = t.expire(SimTime::from_secs(9));
         assert_eq!(gone.len(), 1);
         assert_eq!(gone[0].byte_count, 1000);
+    }
+
+    #[test]
+    fn next_expiry_tracks_min_over_timeouts() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.next_expiry(), None);
+        let mut permanent = FlowEntry::new(Match::any(), 1, vec![Action::Drop]);
+        permanent.priority = 1;
+        t.add(permanent, SimTime::ZERO);
+        assert_eq!(t.next_expiry(), None, "zero timeouts never expire");
+        let mut idle = FlowEntry::new(Match::exact(tuple()), 2, vec![Action::Drop]);
+        idle.idle_timeout = SimDuration::from_secs(5);
+        t.add(idle, SimTime::from_secs(1));
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(6)));
+        let mut hard = Match::default();
+        hard.tp_dst = Some(99);
+        let mut hard_e = FlowEntry::new(hard, 3, vec![Action::Drop]);
+        hard_e.hard_timeout = SimDuration::from_secs(3);
+        t.add(hard_e, SimTime::from_secs(1));
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(4)));
+        // A hit pushes the idle deadline out but not the hard one.
+        t.account(&key(), 10, SimTime::from_secs(3));
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(4)));
+        let gone = t.expire(SimTime::from_secs(4));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(8)));
     }
 
     #[test]

@@ -551,8 +551,10 @@ impl FluidNetwork {
 
     /// Load on every directed link in one pass over the flows — O(flows ×
     /// path length), independent of the number of links. Used by samplers.
-    pub fn all_link_loads(&self) -> HashMap<DirLink, f64> {
-        let mut loads: HashMap<DirLink, f64> = HashMap::new();
+    pub fn all_link_loads(&self) -> BTreeMap<DirLink, f64> {
+        // Ordered, so accumulating over the result is deterministic (float
+        // addition is order-sensitive at the ulp level).
+        let mut loads: BTreeMap<DirLink, f64> = BTreeMap::new();
         for f in self.flows.values() {
             for d in &f.dlinks {
                 *loads.entry(*d).or_default() += f.rate_bps;

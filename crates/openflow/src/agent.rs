@@ -86,6 +86,13 @@ impl SwitchAgent {
         std::mem::take(&mut self.events)
     }
 
+    /// True while events are queued — lets the Connection Manager keep
+    /// this agent on its ready list instead of draining every agent every
+    /// step.
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
     /// The transport to the controller came up: send HELLO.
     pub fn on_connect(&mut self) {
         if !self.hello_sent {

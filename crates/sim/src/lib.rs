@@ -19,6 +19,9 @@
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
 //! * [`EventQueue`] — a stable (FIFO within equal timestamps) priority queue
 //!   with O(log n) push/pop and cancellable entries.
+//! * [`TimerWheel`] — a hierarchical timing wheel indexing one re-armable
+//!   deadline per key (per-node protocol timers), with O(1) schedule/cancel
+//!   and an O(1) global minimum off per-level occupancy bitmaps.
 //! * [`HybridClock`] — the DES/FTI mode state machine with a transition log.
 //! * [`Pacer`] — couples FTI steps to wall-clock time (`RealTime`) or runs
 //!   them as fast as possible (`Virtual`) for deterministic tests/benches.
@@ -31,9 +34,11 @@ pub mod engine;
 pub mod event;
 pub mod pacing;
 pub mod time;
+pub mod wheel;
 
 pub use clock::{ClockMode, FtiConfig, HybridClock, ModeTransition};
 pub use engine::{EventHandler, HybridEngine, Scheduler};
 pub use event::{EventId, EventQueue};
 pub use pacing::{Pacer, Pacing};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;

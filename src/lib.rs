@@ -45,7 +45,9 @@
 //! | Mininet model & packet DES | `horse-baseline` | [`baseline`] |
 //! | Metrics | `horse-stats` | [`stats`] |
 
-pub use horse_core::{ControlPlane, Experiment, ExperimentReport, Runner, SdnApp, TeApproach};
+pub use horse_core::{
+    ControlPlane, Experiment, ExperimentReport, PumpMode, PumpStats, Runner, SdnApp, TeApproach,
+};
 
 /// The paper's three traffic-engineering demo scenarios, re-exported.
 pub use horse_core::experiment::{ControlBuild, TrafficEvent};

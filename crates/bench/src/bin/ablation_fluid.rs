@@ -7,17 +7,85 @@
 //! goodput they report — speed should differ by orders of magnitude while
 //! the aggregate goodput agrees.
 //!
+//! The two engines run concurrently on the `horse-sweep` pool over the
+//! same flow set (`HORSE_THREADS=1` for serial).
+//!
 //! Run: `cargo run --release -p horse-bench --bin ablation_fluid -- \
 //!       [pods] [duration_ms]`   (defaults: 4, 200)
 
 use horse_baseline::{PacketFlow, PacketLevelSim, PacketSimConfig};
 use horse_dataplane::hash::{EcmpHasher, HashMode};
-use horse_net::flow::FlowSpec;
+use horse_net::flow::{FiveTuple, FlowSpec};
 use horse_net::fluid::FluidNetwork;
+use horse_net::topology::{LinkId, NodeId};
 use horse_sim::SimTime;
+use horse_sweep::{run_indexed, threads_from_env};
 use horse_topo::fattree::{FatTree, SwitchRole};
 use horse_topo::pattern::{demo_tuple, TrafficPattern};
 use std::fmt::Write as _;
+
+struct EngineResult {
+    events: u64,
+    wall_s: f64,
+    goodput_bps: f64,
+    dropped: u64,
+}
+
+fn run_fluid(
+    ft: &FatTree,
+    flows: &[(FiveTuple, NodeId, NodeId, Vec<LinkId>)],
+    horizon: SimTime,
+) -> EngineResult {
+    let wall = std::time::Instant::now();
+    let mut fluid = FluidNetwork::new();
+    let mut solves = 0u64;
+    for (tuple, src, dst, path) in flows {
+        let spec = FlowSpec::cbr(*src, *dst, *tuple, 1e9);
+        fluid
+            .start(SimTime::ZERO, spec, path.clone(), &ft.topo)
+            .expect("valid path");
+        solves += 1;
+    }
+    fluid.advance(horizon);
+    EngineResult {
+        events: solves,
+        wall_s: wall.elapsed().as_secs_f64(),
+        goodput_bps: fluid.total_arrival_rate(),
+        dropped: 0,
+    }
+}
+
+fn run_packet(
+    ft: &FatTree,
+    flows: &[(FiveTuple, NodeId, NodeId, Vec<LinkId>)],
+    horizon: SimTime,
+) -> EngineResult {
+    let pkt_flows: Vec<PacketFlow> = flows
+        .iter()
+        .map(|(_, src, dst, path)| PacketFlow {
+            src: *src,
+            dst: *dst,
+            path: path.clone(),
+            rate_bps: 1e9,
+            start: SimTime::ZERO,
+        })
+        .collect();
+    let mut pkt = PacketLevelSim::new(
+        (*ft.topo).clone(),
+        pkt_flows,
+        PacketSimConfig {
+            horizon,
+            ..PacketSimConfig::default()
+        },
+    );
+    let pr = pkt.run();
+    EngineResult {
+        events: pr.events,
+        wall_s: pr.wall_secs,
+        goodput_bps: pr.goodput_bps,
+        dropped: pr.dropped,
+    }
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -25,6 +93,7 @@ fn main() {
     let duration_ms: u64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(200);
     let horizon = SimTime::from_millis(duration_ms);
     let seed = 42;
+    let threads = threads_from_env();
 
     let ft = FatTree::build(pods, SwitchRole::OpenFlow, 1e9, 1_000);
     let pairs = TrafficPattern::RandomPermutation.pairs(&ft.hosts, seed);
@@ -39,41 +108,15 @@ fn main() {
         flows.push((tuple, p.src, p.dst, path));
     }
 
-    // ----- Fluid engine. -----
-    let wall = std::time::Instant::now();
-    let mut fluid = FluidNetwork::new();
-    let mut solves = 0u64;
-    for (tuple, src, dst, path) in &flows {
-        let spec = FlowSpec::cbr(*src, *dst, *tuple, 1e9);
-        fluid
-            .start(SimTime::ZERO, spec, path.clone(), &ft.topo)
-            .expect("valid path");
-        solves += 1;
-    }
-    fluid.advance(horizon);
-    let fluid_goodput = fluid.total_arrival_rate();
-    let fluid_wall = wall.elapsed().as_secs_f64();
-
-    // ----- Packet engine. -----
-    let pkt_flows: Vec<PacketFlow> = flows
-        .iter()
-        .map(|(_, src, dst, path)| PacketFlow {
-            src: *src,
-            dst: *dst,
-            path: path.clone(),
-            rate_bps: 1e9,
-            start: SimTime::ZERO,
-        })
-        .collect();
-    let mut pkt = PacketLevelSim::new(
-        ft.topo.clone(),
-        pkt_flows,
-        PacketSimConfig {
-            horizon,
-            ..PacketSimConfig::default()
-        },
-    );
-    let pr = pkt.run();
+    let (results, stats) = run_indexed(2, threads, |i| {
+        if i == 0 {
+            run_fluid(&ft, &flows, horizon)
+        } else {
+            run_packet(&ft, &flows, horizon)
+        }
+    });
+    let fluid = &results[0].value;
+    let packet = &results[1].value;
 
     println!("== A3: fluid vs packet-level data plane ==");
     println!(
@@ -89,19 +132,19 @@ fn main() {
     println!(
         "{:<16} {:>14} {:>14.4} {:>14.2}",
         "fluid (Horse)",
-        solves,
-        fluid_wall,
-        fluid_goodput / 1e9
+        fluid.events,
+        fluid.wall_s,
+        fluid.goodput_bps / 1e9
     );
     println!(
         "{:<16} {:>14} {:>14.4} {:>14.2}",
         "packet-level",
-        pr.events,
-        pr.wall_secs,
-        pr.goodput_bps / 1e9
+        packet.events,
+        packet.wall_s,
+        packet.goodput_bps / 1e9
     );
-    let event_ratio = pr.events as f64 / solves.max(1) as f64;
-    let wall_ratio = pr.wall_secs / fluid_wall.max(1e-9);
+    let event_ratio = packet.events as f64 / fluid.events.max(1) as f64;
+    let wall_ratio = packet.wall_s / fluid.wall_s.max(1e-9);
     println!();
     println!(
         "packet engine does {event_ratio:.0}x the events and takes \
@@ -110,19 +153,33 @@ fn main() {
     println!(
         "goodput agreement: fluid {:.2} G vs packet {:.2} G (fluid max-min vs\n\
          FIFO tail-drop differ where queues overload; shapes track)",
-        fluid_goodput / 1e9,
-        pr.goodput_bps / 1e9
+        fluid.goodput_bps / 1e9,
+        packet.goodput_bps / 1e9
     );
 
-    let mut json = String::new();
+    let mut rows = String::new();
     let _ = write!(
-        json,
+        rows,
         "{{\"pods\": {pods}, \"duration_ms\": {duration_ms}, \
-         \"fluid_events\": {solves}, \"fluid_wall_s\": {fluid_wall}, \
-         \"fluid_goodput_bps\": {fluid_goodput}, \
+         \"fluid_events\": {}, \"fluid_wall_s\": {}, \
+         \"fluid_goodput_bps\": {}, \
          \"packet_events\": {}, \"packet_wall_s\": {}, \
          \"packet_goodput_bps\": {}, \"packet_drops\": {}}}",
-        pr.events, pr.wall_secs, pr.goodput_bps, pr.dropped
+        fluid.events,
+        fluid.wall_s,
+        fluid.goodput_bps,
+        packet.events,
+        packet.wall_s,
+        packet.goodput_bps,
+        packet.dropped
     );
-    horse_bench::write_result("ablation_fluid.json", &json);
+    let runs: Vec<(String, usize, f64)> = results
+        .iter()
+        .zip(["fluid", "packet"])
+        .map(|(r, label)| (label.to_string(), r.worker, r.wall_ms))
+        .collect();
+    horse_bench::write_result(
+        "ablation_fluid.json",
+        &horse_bench::pool_envelope(&stats, &runs, &rows),
+    );
 }

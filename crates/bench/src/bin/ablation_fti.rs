@@ -12,13 +12,17 @@
 //!   fixed-increment mode throughout — the regime where Horse degenerates
 //!   to an ordinary time-stepped emulator.
 //!
+//! Both sweeps' points are independent and run together on the
+//! `horse-sweep` pool (`HORSE_THREADS=1` for serial).
+//!
 //! Run: `cargo run --release -p horse-bench --bin ablation_fti`
 
-use horse_core::{ControlBuild, Experiment, TeApproach};
+use horse_core::{ControlBuild, Experiment, ExperimentReport, TeApproach};
 use horse_net::addr::Ipv4Prefix;
 use horse_net::flow::{FiveTuple, FlowSpec};
 use horse_net::topology::Topology;
 use horse_sim::{SimDuration, SimTime};
+use horse_sweep::{run_indexed, threads_from_env, TopoCache};
 use horse_topo::bgp_setups_for;
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
@@ -60,16 +64,59 @@ fn two_router(increment_ms: f64, quiescence_ms: f64) -> Experiment {
     e
 }
 
-fn main() {
-    let mut json = String::from("{\n  \"a1_increment_sweep\": [\n");
+const A1_INCREMENTS_MS: [f64; 4] = [0.1, 1.0, 10.0, 100.0];
+const A2_QUIESCENCE_MS: [f64; 4] = [50.0, 200.0, 1000.0, 5000.0];
 
+enum Task {
+    A1 { incr_ms: f64 },
+    A2 { quiesce_ms: f64 },
+}
+
+impl Task {
+    fn label(&self) -> String {
+        match self {
+            Task::A1 { incr_ms } => format!("a1-incr{incr_ms}ms"),
+            Task::A2 { quiesce_ms } => format!("a2-quiesce{quiesce_ms}ms"),
+        }
+    }
+}
+
+fn main() {
+    let threads = threads_from_env();
+    let tasks: Vec<Task> = A1_INCREMENTS_MS
+        .iter()
+        .map(|&incr_ms| Task::A1 { incr_ms })
+        .chain(
+            A2_QUIESCENCE_MS
+                .iter()
+                .map(|&quiesce_ms| Task::A2 { quiesce_ms }),
+        )
+        .collect();
+
+    let cache = TopoCache::new();
+    let (results, stats) = run_indexed(tasks.len(), threads, |i| match tasks[i] {
+        Task::A1 { incr_ms } => two_router(incr_ms, 100.0).run(),
+        Task::A2 { quiesce_ms } => {
+            let ft = cache.fattree(4, TeApproach::Hedera.switch_role());
+            Experiment::demo_on(&ft, TeApproach::Hedera, 42)
+                .horizon_secs(15.0)
+                .fti(
+                    SimDuration::from_millis(1),
+                    SimDuration::from_secs_f64(quiesce_ms / 1e3),
+                )
+                .run()
+        }
+    });
+    let reports: Vec<&ExperimentReport> = results.iter().map(|r| &r.value).collect();
+    let (a1, a2) = reports.split_at(A1_INCREMENTS_MS.len());
+
+    let mut rows = String::from("{\n    \"a1_increment_sweep\": [\n");
     println!("== A1: FTI increment sweep (two-router BGP, quiescence 100 ms) ==");
     println!(
         "{:>12} {:>10} {:>12} {:>12} {:>12}",
         "incr [ms]", "wall [s]", "FTI [ms]", "events", "converged[s]"
     );
-    for incr_ms in [0.1, 1.0, 10.0, 100.0] {
-        let report = two_router(incr_ms, 100.0).run();
+    for (incr_ms, report) in A1_INCREMENTS_MS.iter().zip(a1) {
         println!(
             "{:>12.1} {:>10.4} {:>12.1} {:>12} {:>12.4}",
             incr_ms,
@@ -82,19 +129,19 @@ fn main() {
                 .unwrap_or(-1.0),
         );
         let _ = writeln!(
-            json,
-            "    {{\"increment_ms\": {incr_ms}, \"wall_s\": {}, \"fti_ms\": {}, \
+            rows,
+            "      {{\"increment_ms\": {incr_ms}, \"wall_s\": {}, \"fti_ms\": {}, \
              \"events\": {}}},",
             report.wall_run_secs,
             report.fti_time.as_millis_f64(),
             report.events_processed
         );
     }
-    if json.ends_with(",\n") {
-        json.truncate(json.len() - 2);
-        json.push('\n');
+    if rows.ends_with(",\n") {
+        rows.truncate(rows.len() - 2);
+        rows.push('\n');
     }
-    json.push_str("  ],\n  \"a2_quiescence_sweep\": [\n");
+    rows.push_str("    ],\n    \"a2_quiescence_sweep\": [\n");
 
     println!();
     println!("== A2: quiescence sweep (Hedera k=4, polls every 5 s, 15 s run) ==");
@@ -102,14 +149,7 @@ fn main() {
         "{:>14} {:>12} {:>12} {:>12}",
         "quiesce [ms]", "FTI frac", "transitions", "wall [s]"
     );
-    for quiesce_ms in [50.0, 200.0, 1000.0, 5000.0] {
-        let report = Experiment::demo(4, TeApproach::Hedera, 42)
-            .horizon_secs(15.0)
-            .fti(
-                SimDuration::from_millis(1),
-                SimDuration::from_secs_f64(quiesce_ms / 1e3),
-            )
-            .run();
+    for (quiesce_ms, report) in A2_QUIESCENCE_MS.iter().zip(a2) {
         println!(
             "{:>14.0} {:>12.3} {:>12} {:>12.4}",
             quiesce_ms,
@@ -118,19 +158,19 @@ fn main() {
             report.wall_run_secs,
         );
         let _ = writeln!(
-            json,
-            "    {{\"quiescence_ms\": {quiesce_ms}, \"fti_fraction\": {}, \
+            rows,
+            "      {{\"quiescence_ms\": {quiesce_ms}, \"fti_fraction\": {}, \
              \"transitions\": {}, \"wall_s\": {}}},",
             report.fti_fraction(),
             report.transition_count(),
             report.wall_run_secs
         );
     }
-    if json.ends_with(",\n") {
-        json.truncate(json.len() - 2);
-        json.push('\n');
+    if rows.ends_with(",\n") {
+        rows.truncate(rows.len() - 2);
+        rows.push('\n');
     }
-    json.push_str("  ]\n}\n");
+    rows.push_str("    ]\n  }");
 
     println!();
     println!(
@@ -141,5 +181,13 @@ fn main() {
          plane's inter-message gaps tolerate."
     );
 
-    horse_bench::write_result("ablation_fti.json", &json);
+    let runs: Vec<(String, usize, f64)> = tasks
+        .iter()
+        .zip(&results)
+        .map(|(t, r)| (t.label(), r.worker, r.wall_ms))
+        .collect();
+    horse_bench::write_result(
+        "ablation_fti.json",
+        &horse_bench::pool_envelope(&stats, &runs, &rows),
+    );
 }

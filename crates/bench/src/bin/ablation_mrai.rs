@@ -10,11 +10,15 @@
 //! over a WAN link-failure scenario — each run is an *emulated* BGP
 //! network of 20–25 daemons that executes in milliseconds of wall time.
 //!
+//! All nine sweep points run together on the `horse-sweep` pool
+//! (`HORSE_THREADS=1` for serial).
+//!
 //! Run: `cargo run --release -p horse-bench --bin ablation_mrai`
 
-use horse_core::{ControlBuild, Experiment, TeApproach};
+use horse_core::{ControlBuild, Experiment, ExperimentReport, TeApproach};
 use horse_net::flow::FlowSpec;
 use horse_sim::{SimDuration, SimTime};
+use horse_sweep::{run_indexed, threads_from_env, TopoCache};
 use horse_topo::pattern::demo_tuple;
 use horse_topo::{bgp_setups_for, waxman_wan};
 use std::fmt::Write as _;
@@ -27,18 +31,86 @@ fn set_mrai(e: &mut Experiment, mrai: SimDuration) {
     }
 }
 
-fn main() {
-    let mut json = String::from("{\n  \"fattree_initial_convergence\": [\n");
+fn wan_failure(mrai_ms: u64) -> Experiment {
+    let (topo, hosts, routers) = waxman_wan(25, 0.4, 0.2, 10e9, 7);
+    let setups = bgp_setups_for(
+        &topo,
+        horse_bgp::session::TimerConfig {
+            hold_time: SimDuration::from_secs(90),
+            connect_retry: SimDuration::from_secs(1),
+            mrai: SimDuration::from_millis(mrai_ms),
+        },
+    );
+    // Cut a link on the (initial) path between the flow's endpoints:
+    // use the direct neighbor link of the source router if present,
+    // else the first router-router link.
+    let src = hosts[0];
+    let dst = hosts[13];
+    let victim = topo
+        .neighbors(routers[0])
+        .into_iter()
+        .find(|(_, _, n)| routers.contains(n))
+        .map(|(lid, _, _)| lid)
+        .expect("router-router link");
+    let tuple = demo_tuple(&topo, src, dst, 0);
+    let mut e = Experiment::new(topo)
+        .flow(SimTime::ZERO, FlowSpec::cbr(src, dst, tuple, 1e9))
+        .horizon_secs(40.0)
+        .link_down(SimTime::from_secs(10), victim)
+        .label("wan-mrai");
+    e.control = ControlBuild::Bgp(setups);
+    e
+}
 
+const FATTREE_MRAI_MS: [u64; 5] = [0, 100, 500, 1000, 5000];
+const WAN_MRAI_MS: [u64; 4] = [0, 100, 1000, 5000];
+
+enum Task {
+    FatTreeConvergence { mrai_ms: u64 },
+    WanFailure { mrai_ms: u64 },
+}
+
+impl Task {
+    fn label(&self) -> String {
+        match self {
+            Task::FatTreeConvergence { mrai_ms } => format!("a4a-mrai{mrai_ms}ms"),
+            Task::WanFailure { mrai_ms } => format!("a4b-mrai{mrai_ms}ms"),
+        }
+    }
+}
+
+fn main() {
+    let threads = threads_from_env();
+    let tasks: Vec<Task> = FATTREE_MRAI_MS
+        .iter()
+        .map(|&mrai_ms| Task::FatTreeConvergence { mrai_ms })
+        .chain(
+            WAN_MRAI_MS
+                .iter()
+                .map(|&mrai_ms| Task::WanFailure { mrai_ms }),
+        )
+        .collect();
+
+    let cache = TopoCache::new();
+    let (results, stats) = run_indexed(tasks.len(), threads, |i| match tasks[i] {
+        Task::FatTreeConvergence { mrai_ms } => {
+            let ft = cache.fattree(4, TeApproach::BgpEcmp.switch_role());
+            let mut e = Experiment::demo_on(&ft, TeApproach::BgpEcmp, 42).horizon_secs(30.0);
+            set_mrai(&mut e, SimDuration::from_millis(mrai_ms));
+            e.run()
+        }
+        Task::WanFailure { mrai_ms } => wan_failure(mrai_ms).run(),
+    });
+    let reports: Vec<&ExperimentReport> = results.iter().map(|r| &r.value).collect();
+    let (a4a, a4b) = reports.split_at(FATTREE_MRAI_MS.len());
+
+    let mut rows = String::from("{\n    \"fattree_initial_convergence\": [\n");
     println!("== A4a: MRAI sweep — initial convergence, k=4 BGP fat-tree ==");
     println!(
         "{:>11} {:>14} {:>12} {:>12}",
         "mrai [ms]", "converged [s]", "msgs", "FTI [ms]"
     );
-    for mrai_ms in [0u64, 100, 500, 1000, 5000] {
-        let mut e = Experiment::demo(4, TeApproach::BgpEcmp, 42).horizon_secs(30.0);
-        set_mrai(&mut e, SimDuration::from_millis(mrai_ms));
-        let report = e.run();
+    for (mrai_ms, report) in FATTREE_MRAI_MS.iter().zip(a4a) {
         let conv = report
             .all_routed_at
             .map(|t| t.as_secs_f64())
@@ -51,18 +123,18 @@ fn main() {
             report.fti_time.as_millis_f64()
         );
         let _ = writeln!(
-            json,
-            "    {{\"mrai_ms\": {mrai_ms}, \"converged_s\": {conv}, \
+            rows,
+            "      {{\"mrai_ms\": {mrai_ms}, \"converged_s\": {conv}, \
              \"msgs\": {}, \"fti_ms\": {}}},",
             report.control_msgs,
             report.fti_time.as_millis_f64()
         );
     }
-    if json.ends_with(",\n") {
-        json.truncate(json.len() - 2);
-        json.push('\n');
+    if rows.ends_with(",\n") {
+        rows.truncate(rows.len() - 2);
+        rows.push('\n');
     }
-    json.push_str("  ],\n  \"wan_failure_reconvergence\": [\n");
+    rows.push_str("    ],\n    \"wan_failure_reconvergence\": [\n");
 
     println!();
     println!("== A4b: MRAI sweep — reconvergence after a WAN link failure ==");
@@ -71,35 +143,7 @@ fn main() {
         "{:>11} {:>16} {:>12}",
         "mrai [ms]", "restored by [s]", "msgs"
     );
-    for mrai_ms in [0u64, 100, 1000, 5000] {
-        let (topo, hosts, routers) = waxman_wan(25, 0.4, 0.2, 10e9, 7);
-        let setups = bgp_setups_for(
-            &topo,
-            horse_bgp::session::TimerConfig {
-                hold_time: SimDuration::from_secs(90),
-                connect_retry: SimDuration::from_secs(1),
-                mrai: SimDuration::from_millis(mrai_ms),
-            },
-        );
-        // Cut a link on the (initial) path between the flow's endpoints:
-        // use the direct neighbor link of the source router if present,
-        // else the first router-router link.
-        let src = hosts[0];
-        let dst = hosts[13];
-        let victim = topo
-            .neighbors(routers[0])
-            .into_iter()
-            .find(|(_, _, n)| routers.contains(n))
-            .map(|(lid, _, _)| lid)
-            .expect("router-router link");
-        let tuple = demo_tuple(&topo, src, dst, 0);
-        let mut e = Experiment::new(topo.clone())
-            .flow(SimTime::ZERO, FlowSpec::cbr(src, dst, tuple, 1e9))
-            .horizon_secs(40.0)
-            .link_down(SimTime::from_secs(10), victim)
-            .label("wan-mrai");
-        e.control = ControlBuild::Bgp(setups);
-        let report = e.run();
+    for (mrai_ms, report) in WAN_MRAI_MS.iter().zip(a4b) {
         // When did goodput return to full rate after the cut?
         let series = report.goodput.get("aggregate").expect("series");
         let mut restored = f64::NAN;
@@ -117,17 +161,17 @@ fn main() {
             mrai_ms, restored, report.control_msgs
         );
         let _ = writeln!(
-            json,
-            "    {{\"mrai_ms\": {mrai_ms}, \"restored_by_s\": {restored}, \
+            rows,
+            "      {{\"mrai_ms\": {mrai_ms}, \"restored_by_s\": {restored}, \
              \"msgs\": {}}},",
             report.control_msgs
         );
     }
-    if json.ends_with(",\n") {
-        json.truncate(json.len() - 2);
-        json.push('\n');
+    if rows.ends_with(",\n") {
+        rows.truncate(rows.len() - 2);
+        rows.push('\n');
     }
-    json.push_str("  ]\n}\n");
+    rows.push_str("    ]\n  }");
 
     println!();
     println!(
@@ -139,5 +183,13 @@ fn main() {
          The canonical BGP timer trade-off, measured across dozens of\n\
          emulated daemons in milliseconds of wall time per run."
     );
-    horse_bench::write_result("ablation_mrai.json", &json);
+    let runs: Vec<(String, usize, f64)> = tasks
+        .iter()
+        .zip(&results)
+        .map(|(t, r)| (t.label(), r.worker, r.wall_ms))
+        .collect();
+    horse_bench::write_result(
+        "ablation_mrai.json",
+        &horse_bench::pool_envelope(&stats, &runs, &rows),
+    );
 }

@@ -6,17 +6,21 @@
 //! tailed sizes on a fat-tree, comparing the flow-completion-time
 //! distribution under reactive 5-tuple ECMP vs Hedera scheduling.
 //!
+//! The two schedulers run concurrently on the `horse-sweep` pool over a
+//! shared `Arc` of the same fat-tree (`HORSE_THREADS=1` for serial).
+//!
 //! Run: `cargo run --release -p horse-bench --bin fct_workload -- \
 //!       [pods] [lambda_per_host] [seed]`   (defaults: 4, 4.0, 42)
 
 use horse_controller::HederaConfig;
 use horse_core::{ControlBuild, Experiment, PoissonWorkload, SizeDist};
 use horse_sim::SimTime;
+use horse_sweep::{run_indexed, threads_from_env, TopoCache};
 use horse_topo::fattree::{FatTree, SwitchRole};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-fn run(pods: usize, lambda: f64, seed: u64, hedera: bool) -> horse_core::ExperimentReport {
-    let ft = FatTree::build(pods, SwitchRole::OpenFlow, 1e9, 1_000);
+fn run(ft: &FatTree, lambda: f64, seed: u64, hedera: bool) -> horse_core::ExperimentReport {
     let workload = PoissonWorkload {
         lambda_per_host: lambda,
         sizes: SizeDist::BoundedPareto {
@@ -28,7 +32,7 @@ fn run(pods: usize, lambda: f64, seed: u64, hedera: bool) -> horse_core::Experim
         seed,
     };
     let traffic = workload.generate(&ft.topo, &ft.hosts.clone());
-    let mut e = Experiment::new(ft.topo)
+    let mut e = Experiment::new(Arc::clone(&ft.topo))
         .horizon_secs(40.0) // tail time for elephants to finish
         .label(if hedera { "fct-hedera" } else { "fct-ecmp" });
     e.traffic = traffic;
@@ -46,19 +50,27 @@ fn main() {
     let pods: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(4);
     let lambda: f64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(4.0);
     let seed: u64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(42);
+    let threads = threads_from_env();
 
     println!("== FCT under a Poisson flow-level workload (fs-sdn style) ==");
     println!(
         "(k={pods}, {lambda} flows/s/host for 20 s, bounded-Pareto sizes 100 kB–2 GB, α=1.05)"
     );
     println!();
+
+    let cache = TopoCache::new();
+    let (results, stats) = run_indexed(2, threads, |i| {
+        let ft = cache.fattree(pods, SwitchRole::OpenFlow);
+        run(&ft, lambda, seed, i == 1)
+    });
+
     println!(
         "{:<12} {:>8} {:>10} | {:>10} {:>10} {:>10} {:>10}",
         "scheduler", "flows", "completed", "p50 [s]", "p95 [s]", "p99 [s]", "mean [s]"
     );
-    let mut json = String::from("[\n");
-    for hedera in [false, true] {
-        let report = run(pods, lambda, seed, hedera);
+    let mut rows = String::from("[\n");
+    for r in &results {
+        let report = &r.value;
         let n = report.flow_completion_secs.len();
         let mean = if n > 0 {
             report.flow_completion_secs.iter().sum::<f64>() / n as f64
@@ -77,8 +89,8 @@ fn main() {
             mean
         );
         let _ = writeln!(
-            json,
-            "  {{\"scheduler\": \"{}\", \"flows\": {}, \"completed\": {n}, \
+            rows,
+            "    {{\"scheduler\": \"{}\", \"flows\": {}, \"completed\": {n}, \
              \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"mean_s\": {mean}, \
              \"moves\": {}}},",
             report.label,
@@ -89,11 +101,11 @@ fn main() {
             report.scheduler_moves
         );
     }
-    if json.ends_with(",\n") {
-        json.truncate(json.len() - 2);
-        json.push('\n');
+    if rows.ends_with(",\n") {
+        rows.truncate(rows.len() - 2);
+        rows.push('\n');
     }
-    json.push_str("]\n");
+    rows.push_str("  ]");
 
     println!();
     println!(
@@ -101,5 +113,12 @@ fn main() {
          (p95/p99) is where elephant placement matters, which is exactly\n\
          the population Hedera re-places every 5 s."
     );
-    horse_bench::write_result("fct_workload.json", &json);
+    let runs: Vec<(String, usize, f64)> = results
+        .iter()
+        .map(|r| (r.value.label.clone(), r.worker, r.wall_ms))
+        .collect();
+    horse_bench::write_result(
+        "fct_workload.json",
+        &horse_bench::pool_envelope(&stats, &runs, &rows),
+    );
 }

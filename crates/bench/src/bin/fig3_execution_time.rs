@@ -19,32 +19,33 @@
 //! stretched by software-forwarding saturation, capped by sender
 //! load-shedding) — see DESIGN.md §1 for the substitution argument.
 //!
+//! The 18 runs (3 sizes × 2 pacings × 3 TE approaches) are independent,
+//! so they execute on the `horse-sweep` pool; set `HORSE_THREADS=1` for
+//! the serial path. Real-time runs parallelize too — each worker paces
+//! its own run against the wall clock.
+//!
 //! Run: `cargo run --release -p horse-bench --bin fig3_execution_time -- \
 //!       [duration_s] [pods...]`   (defaults: 60 s, pods 4 6 8)
 
 use horse_baseline::MininetModel;
 use horse_core::{Experiment, TeApproach};
 use horse_sim::Pacing;
+use horse_sweep::{run_indexed, threads_from_env, TopoCache};
 use horse_topo::fattree::{FatTree, SwitchRole};
 use horse_topo::pattern::TrafficPattern;
 use std::fmt::Write as _;
 
-fn run_horse(k: usize, duration: f64, seed: u64, pacing: Pacing) -> (f64, f64) {
-    let mut create = 0.0;
-    let mut exec = 0.0;
-    for te in [TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp] {
-        let report = Experiment::demo(k, te, seed)
-            .horizon_secs(duration)
-            .pacing(pacing)
-            .run();
-        create += report.wall_setup_secs;
-        exec += report.wall_run_secs;
-        assert_eq!(
-            report.flows_routed, report.flows_requested,
-            "k={k} {te:?}: all flows must route"
-        );
+struct Task {
+    k: usize,
+    pacing: Pacing,
+    te: TeApproach,
+}
+
+fn pacing_tag(p: Pacing) -> &'static str {
+    match p {
+        Pacing::Virtual => "virt",
+        Pacing::RealTime { .. } => "rt",
     }
-    (create, exec)
 }
 
 fn main() {
@@ -60,10 +61,47 @@ fn main() {
     };
     let seed = 42;
     let mininet = MininetModel::default();
+    let threads = threads_from_env();
+
+    // One task per (size, pacing, approach); consolidated per (size,
+    // pacing) after collection, exactly as the serial loop summed them.
+    let tasks: Vec<Task> = pods
+        .iter()
+        .flat_map(|&k| {
+            [Pacing::Virtual, Pacing::real_time()]
+                .into_iter()
+                .flat_map(move |pacing| {
+                    [TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp]
+                        .into_iter()
+                        .map(move |te| Task { k, pacing, te })
+                })
+        })
+        .collect();
 
     println!("== Figure 3: execution time, Horse vs Mininet ==");
-    println!("(experiment duration {duration} s; three TE approaches per topology)");
+    println!(
+        "(experiment duration {duration} s; three TE approaches per topology; \
+         {} runs on {threads} worker(s))",
+        tasks.len()
+    );
     println!();
+
+    let cache = TopoCache::new();
+    let (results, stats) = run_indexed(tasks.len(), threads, |i| {
+        let t = &tasks[i];
+        let ft = cache.fattree(t.k, t.te.switch_role());
+        let report = Experiment::demo_on(&ft, t.te, seed)
+            .horizon_secs(duration)
+            .pacing(t.pacing)
+            .run();
+        assert_eq!(
+            report.flows_routed, report.flows_requested,
+            "k={} {:?}: all flows must route",
+            t.k, t.te
+        );
+        (report.wall_setup_secs, report.wall_run_secs)
+    });
+
     println!(
         "{:<5} {:>6} | {:>11} {:>11} | {:>10} {:>10} {:>10} | {:>8} {:>9}",
         "pods",
@@ -77,12 +115,21 @@ fn main() {
         "mn/virt"
     );
 
-    let mut json = String::from("[\n");
+    // Sum setup+run wall time over the three TE approaches of one
+    // (size, pacing) cell.
+    let cell = |k: usize, virt: bool| -> f64 {
+        tasks
+            .iter()
+            .zip(&results)
+            .filter(|(t, _)| t.k == k && matches!(t.pacing, Pacing::Virtual) == virt)
+            .map(|(_, r)| r.value.0 + r.value.1)
+            .sum()
+    };
+
+    let mut rows = String::from("[\n");
     for &k in &pods {
-        let (hv_create, hv_exec) = run_horse(k, duration, seed, Pacing::Virtual);
-        let horse_virtual = hv_create + hv_exec;
-        let (hr_create, hr_exec) = run_horse(k, duration, seed, Pacing::real_time());
-        let horse_rt = hr_create + hr_exec;
+        let horse_virtual = cell(k, true);
+        let horse_rt = cell(k, false);
 
         let ft = FatTree::build(k, SwitchRole::OpenFlow, 1e9, 1_000);
         let hosts = ft.hosts.len();
@@ -103,18 +150,18 @@ fn main() {
             k, hosts, horse_virtual, horse_rt, mn_create, mn_exec, mn_total, ratio_rt, ratio_virt
         );
         let _ = writeln!(
-            json,
-            "  {{\"pods\": {k}, \"hosts\": {hosts}, \
+            rows,
+            "    {{\"pods\": {k}, \"hosts\": {hosts}, \
              \"horse_virtual_s\": {horse_virtual}, \"horse_realtime_s\": {horse_rt}, \
              \"mininet_create_s\": {mn_create}, \"mininet_exec_s\": {mn_exec}, \
              \"ratio_vs_realtime\": {ratio_rt}, \"ratio_vs_virtual\": {ratio_virt}}},"
         );
     }
-    if json.ends_with(",\n") {
-        json.truncate(json.len() - 2);
-        json.push('\n');
+    if rows.ends_with(",\n") {
+        rows.truncate(rows.len() - 2);
+        rows.push('\n');
     }
-    json.push_str("]\n");
+    rows.push_str("  ]");
 
     println!();
     println!(
@@ -126,5 +173,19 @@ fn main() {
          claims)."
     );
 
-    horse_bench::write_result("fig3_execution_time.json", &json);
+    let runs: Vec<(String, usize, f64)> = tasks
+        .iter()
+        .zip(&results)
+        .map(|(t, r)| {
+            (
+                format!("{}-k{}-{}", t.te.label(), t.k, pacing_tag(t.pacing)),
+                r.worker,
+                r.wall_ms,
+            )
+        })
+        .collect();
+    horse_bench::write_result(
+        "fig3_execution_time.json",
+        &horse_bench::pool_envelope(&stats, &runs, &rows),
+    );
 }

@@ -79,7 +79,7 @@ fn build_script(ft: &FatTree) -> Vec<Op> {
 /// Replays the script; `full` forces a global re-solve per mutation
 /// (the pre-optimization behavior), otherwise the scoped solver runs.
 fn replay(ft: &FatTree, ops: &[Op], full: bool) -> (SolverStats, f64, f64) {
-    let mut topo = ft.topo.clone();
+    let mut topo = (*ft.topo).clone();
     let hasher = EcmpHasher::new(HashMode::FiveTuple, SEED);
     let mut net = FluidNetwork::new();
     let mut t = 0u64;

@@ -16,6 +16,8 @@
 //! Every binary prints a human-readable table and writes JSON/CSV into
 //! `bench_results/` at the workspace root.
 
+use horse_stats::{json_f64, json_string, SweepStats};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Directory where harnesses drop their machine-readable outputs.
@@ -32,6 +34,45 @@ pub fn write_result(name: &str, contents: &str) {
     let path = results_dir().join(name);
     std::fs::write(&path, contents).expect("write result file");
     eprintln!("[wrote {}]", path.display());
+}
+
+/// Wraps a harness's result rows in the standard pool envelope. Every
+/// bin that executes its runs on the `horse-sweep` pool emits
+///
+/// ```json
+/// {"threads": N, "wall_ms": …, "speedup_vs_serial": …,
+///  "pool": {…counters…},
+///  "runs": [{"label": …, "worker": …, "wall_ms": …}, …],
+///  "rows": <the bin's own rows, unchanged shape>}
+/// ```
+///
+/// so plotting scripts find a bin's data under `rows` and the execution
+/// metadata in one place. `runs` are `(label, worker, wall_ms)` in plan
+/// order; `rows` must already be valid JSON (array or object).
+pub fn pool_envelope(stats: &SweepStats, runs: &[(String, usize, f64)], rows: &str) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"threads\": {},\n  \"wall_ms\": {},\n  \"speedup_vs_serial\": {},",
+        stats.threads,
+        json_f64(stats.elapsed_ms),
+        json_f64(stats.speedup_vs_serial())
+    );
+    let _ = writeln!(out, "  \"pool\": {},", stats.to_json());
+    out.push_str("  \"runs\": [\n");
+    for (i, (label, worker, wall_ms)) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"label\": {}, \"worker\": {}, \"wall_ms\": {}}}",
+            json_string(label),
+            worker,
+            json_f64(*wall_ms)
+        );
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = write!(out, "  \"rows\": {rows}\n}}\n");
+    out
 }
 
 /// Average shortest-path hop count for a set of host pairs — used by the

@@ -7,14 +7,18 @@ use horse_net::topology::{LinkId, NodeId, NodeKind, PortId, Topology};
 use horse_openflow::wire::{FlowMod, FlowModCommand, OfAction, OFPP_NONE};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Cached equal-cost shortest path sets, keyed by host pair.
 type PathCache = std::cell::RefCell<BTreeMap<(NodeId, NodeId), Vec<Vec<LinkId>>>>;
 
-/// The fabric as the controller sees it.
+/// The fabric as the controller sees it. The topology is shared via
+/// [`Arc`] (one fat-tree serves every run of a sweep); link-state updates
+/// copy-on-write via [`Arc::make_mut`], so the controller's divergent view
+/// after a failure never leaks into other holders of the same topology.
 #[derive(Debug, Clone)]
 pub struct FabricView {
-    topo: Topology,
+    topo: Arc<Topology>,
     node_of_dpid: BTreeMap<u64, NodeId>,
     dpid_of_node: BTreeMap<NodeId, u64>,
     host_of_ip: BTreeMap<Ipv4Addr, NodeId>,
@@ -24,8 +28,10 @@ pub struct FabricView {
 
 impl FabricView {
     /// Builds a view where every switch's datapath id is its node id (the
-    /// convention `horse-topo` uses).
-    pub fn new(topo: Topology) -> FabricView {
+    /// convention `horse-topo` uses). Accepts an owned [`Topology`] or a
+    /// shared `Arc<Topology>`.
+    pub fn new(topo: impl Into<Arc<Topology>>) -> FabricView {
+        let topo = topo.into();
         let mut node_of_dpid = BTreeMap::new();
         let mut dpid_of_node = BTreeMap::new();
         let mut host_of_ip = BTreeMap::new();
@@ -96,7 +102,7 @@ impl FabricView {
     pub fn set_link_state(&mut self, node: NodeId, port: PortId, up: bool) -> Option<LinkId> {
         let lid = self.topo.link_at(node, port)?;
         if self.topo.link(lid).up != up {
-            self.topo.link_mut(lid).up = up;
+            Arc::make_mut(&mut self.topo).link_mut(lid).up = up;
             self.path_cache.borrow_mut().clear();
         }
         Some(lid)

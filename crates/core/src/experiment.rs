@@ -13,6 +13,7 @@ use horse_sim::{FtiConfig, Pacing, SimDuration, SimTime};
 use horse_topo::fattree::{BgpNodeSetup, FatTree, SwitchRole};
 use horse_topo::pattern::{demo_tuple, TrafficPattern};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The demo's three traffic-engineering approaches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +33,14 @@ impl TeApproach {
             TeApproach::BgpEcmp => "bgp-ecmp",
             TeApproach::Hedera => "hedera",
             TeApproach::SdnEcmp => "sdn-ecmp",
+        }
+    }
+
+    /// The fat-tree switch role this approach needs.
+    pub fn switch_role(&self) -> SwitchRole {
+        match self {
+            TeApproach::BgpEcmp => SwitchRole::BgpRouter,
+            _ => SwitchRole::OpenFlow,
         }
     }
 }
@@ -78,8 +87,11 @@ pub enum ControlBuild {
 
 /// A complete experiment description.
 pub struct Experiment {
-    /// The network.
-    pub topo: Topology,
+    /// The network, shared structurally: sweeps hand the same
+    /// `Arc<Topology>` to every run over a given shape, so building an
+    /// experiment never deep-copies the graph. Runs that inject link
+    /// failures copy-on-write their private view at mutation time.
+    pub topo: Arc<Topology>,
     /// Control-plane choice.
     pub control: ControlBuild,
     /// Traffic demands.
@@ -109,9 +121,10 @@ pub struct Experiment {
 
 impl Experiment {
     /// An experiment over `topo` with no control plane and no traffic.
-    pub fn new(topo: Topology) -> Experiment {
+    /// Accepts an owned [`Topology`] or a shared `Arc<Topology>`.
+    pub fn new(topo: impl Into<Arc<Topology>>) -> Experiment {
         Experiment {
-            topo,
+            topo: topo.into(),
             control: ControlBuild::None,
             traffic: Vec::new(),
             link_events: Vec::new(),
@@ -134,11 +147,21 @@ impl Experiment {
     /// every host sending one 1 Gbps UDP flow to another host (random
     /// permutation), scheduled by the chosen TE approach.
     pub fn demo(pods: usize, te: TeApproach, seed: u64) -> Experiment {
-        let role = match te {
-            TeApproach::BgpEcmp => SwitchRole::BgpRouter,
-            _ => SwitchRole::OpenFlow,
-        };
-        let ft = FatTree::build(pods, role, 1e9, 1_000);
+        let ft = FatTree::build(pods, te.switch_role(), 1e9, 1_000);
+        Experiment::demo_on(&ft, te, seed)
+    }
+
+    /// The demo scenario over an already-built fat-tree. The topology is
+    /// shared structurally (`Arc`), so a sweep can build each tree shape
+    /// once and hand it to many runs without per-run deep copies. The
+    /// tree's switch role must match the TE approach (BGP needs routers,
+    /// SDN needs OpenFlow switches).
+    pub fn demo_on(ft: &FatTree, te: TeApproach, seed: u64) -> Experiment {
+        assert_eq!(
+            ft.role,
+            te.switch_role(),
+            "fat-tree switch role must match the TE approach"
+        );
         let control = match te {
             TeApproach::BgpEcmp => {
                 ControlBuild::Bgp(ft.bgp_setups(horse_bgp::session::TimerConfig {
@@ -160,11 +183,11 @@ impl Experiment {
                 stop: None,
             });
         }
-        let mut e = Experiment::new(ft.topo);
+        let mut e = Experiment::new(Arc::clone(&ft.topo));
         e.control = control;
         e.traffic = traffic;
         e.seed = seed;
-        e.label = format!("{}-k{pods}", te.label());
+        e.label = format!("{}-k{}", te.label(), ft.k);
         e
     }
 
@@ -253,13 +276,16 @@ impl Experiment {
     pub fn run(self) -> ExperimentReport {
         let setup_start = std::time::Instant::now();
         let dp = DataPlane::from_topology(&self.topo, self.router_hash, HashMode::FiveTuple);
-        let mut control = match &self.control {
+        // The control plane is built from *shared* topology state: BGP
+        // setups are moved (not cloned) out of the description, and SDN
+        // fabrics clone the `Arc`, not the graph.
+        let mut control = match self.control {
             ControlBuild::None => ControlPlane::None,
             ControlBuild::Bgp(setups) => {
-                ControlPlane::Bgp(Box::new(BgpControl::new(&self.topo, setups.clone())))
+                ControlPlane::Bgp(Box::new(BgpControl::new(&self.topo, setups)))
             }
             ControlBuild::SdnEcmp => {
-                let fabric = FabricView::new(self.topo.clone());
+                let fabric = FabricView::new(Arc::clone(&self.topo));
                 ControlPlane::Sdn(Box::new(SdnControl::new(
                     &self.topo,
                     SdnApp::Ecmp(
@@ -268,10 +294,10 @@ impl Experiment {
                 )))
             }
             ControlBuild::Hedera(cfg) => {
-                let fabric = FabricView::new(self.topo.clone());
+                let fabric = FabricView::new(Arc::clone(&self.topo));
                 ControlPlane::Sdn(Box::new(SdnControl::new(
                     &self.topo,
-                    SdnApp::Hedera(HederaApp::new(fabric, *cfg, self.seed)),
+                    SdnApp::Hedera(HederaApp::new(fabric, cfg, self.seed)),
                 )))
             }
         };

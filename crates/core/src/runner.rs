@@ -31,6 +31,7 @@ use horse_sim::{
 };
 use horse_stats::SeriesSet;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
@@ -58,7 +59,9 @@ const RETRY_INTERVAL: SimDuration = SimDuration::from_millis(50);
 
 /// The hybrid DES/FTI experiment executor.
 pub struct Runner {
-    topo: Topology,
+    /// Shared topology; copy-on-write on the first injected link change,
+    /// so concurrent runs over the same `Arc` never observe each other.
+    topo: Arc<Topology>,
     dp: DataPlane,
     control: ControlPlane,
     fluid: FluidNetwork,
@@ -93,7 +96,7 @@ impl Runner {
     /// [`crate::Experiment::run`] instead.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        topo: Topology,
+        topo: Arc<Topology>,
         dp: DataPlane,
         control: ControlPlane,
         traffic: Vec<TrafficEvent>,
@@ -263,7 +266,7 @@ impl Runner {
             Ev::LinkChange(idx) => {
                 let le = self.link_events[idx];
                 if self.topo.link(le.link).up != le.up {
-                    self.topo.link_mut(le.link).up = le.up;
+                    Arc::make_mut(&mut self.topo).link_mut(le.link).up = le.up;
                     // A failed link starves its flows immediately. Only the
                     // component sharing links with the changed one needs a
                     // new solution.

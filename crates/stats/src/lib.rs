@@ -11,7 +11,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 mod json;
+mod sweep;
 pub use json::Json;
+pub use sweep::{OrderedCollector, SweepStats, WorkerStats};
 
 /// A time-ordered sequence of `(time, value)` samples.
 #[derive(Debug, Clone, Default, PartialEq)]

@@ -1,0 +1,236 @@
+//! Sweep execution accounting: ordered result collection and pool
+//! counters.
+//!
+//! `horse-sweep` runs independent experiments on a work-stealing pool, so
+//! results complete in a nondeterministic order. [`OrderedCollector`]
+//! re-assembles them by run index — the sweep's *output* is a pure
+//! function of its plan, whatever the schedule did. [`SweepStats`] records
+//! what the schedule did (per-worker runs, steals, busy time) so benches
+//! can report utilization and speedup next to the results.
+
+use crate::{json_f64, json_string};
+use std::fmt::Write as _;
+
+/// Collects `(index, value)` pairs produced in arbitrary order and hands
+/// them back sorted by index. Duplicate or out-of-range indices are a
+/// caller bug and panic.
+#[derive(Debug)]
+pub struct OrderedCollector<T> {
+    slots: Vec<Option<T>>,
+    received: usize,
+}
+
+impl<T> OrderedCollector<T> {
+    /// A collector expecting exactly `n` results with indices `0..n`.
+    pub fn new(n: usize) -> OrderedCollector<T> {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        OrderedCollector { slots, received: 0 }
+    }
+
+    /// Records the result for `index`.
+    pub fn insert(&mut self, index: usize, value: T) {
+        let slot = self
+            .slots
+            .get_mut(index)
+            .unwrap_or_else(|| panic!("result index {index} out of range"));
+        assert!(slot.is_none(), "duplicate result for index {index}");
+        *slot = Some(value);
+        self.received += 1;
+    }
+
+    /// Results recorded so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Results expected in total.
+    pub fn expected(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True once every index has a result.
+    pub fn is_complete(&self) -> bool {
+        self.received == self.slots.len()
+    }
+
+    /// The results in index order. Panics unless complete.
+    pub fn into_ordered(self) -> Vec<T> {
+        assert!(
+            self.is_complete(),
+            "collector incomplete: {}/{} results",
+            self.received,
+            self.slots.len()
+        );
+        self.slots
+            .into_iter()
+            .map(|s| s.expect("complete"))
+            .collect()
+    }
+}
+
+/// Per-worker counters from one sweep execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Runs this worker executed.
+    pub runs: u64,
+    /// Runs it stole from a sibling's queue.
+    pub steals: u64,
+    /// Wall time spent inside run closures, in milliseconds.
+    pub busy_ms: f64,
+}
+
+/// Counters from one sweep execution: how many workers, how the work
+/// spread across them, and what that bought in wall time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepStats {
+    /// Worker threads used (1 = serial in-place execution).
+    pub threads: usize,
+    /// Total runs executed.
+    pub runs: usize,
+    /// Wall time of the whole sweep, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl SweepStats {
+    /// Sum of per-worker busy time — the serial-equivalent wall time of
+    /// the run closures themselves (excludes plan/pool overhead).
+    pub fn total_busy_ms(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_ms).sum()
+    }
+
+    /// Total runs stolen across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Fraction of `threads × elapsed` spent inside run closures, in
+    /// `[0, 1]` on an idle machine (oversubscription can push it lower,
+    /// never meaningfully higher).
+    pub fn utilization(&self) -> f64 {
+        if self.threads == 0 || self.elapsed_ms <= 0.0 {
+            return 0.0;
+        }
+        self.total_busy_ms() / (self.threads as f64 * self.elapsed_ms)
+    }
+
+    /// Estimated speedup over running the same closures serially: total
+    /// busy time divided by actual elapsed time. On one worker this is
+    /// ≤ 1 (pool overhead); with N workers and enough work it approaches
+    /// N on an N-core machine.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            return 0.0;
+        }
+        self.total_busy_ms() / self.elapsed_ms
+    }
+
+    /// JSON object with the counters and derived ratios.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"threads\": {}, \"runs\": {}, \"elapsed_ms\": {}, ",
+            self.threads,
+            self.runs,
+            json_f64(self.elapsed_ms)
+        );
+        let _ = write!(
+            out,
+            "\"busy_ms\": {}, \"steals\": {}, \"utilization\": {}, \"speedup_vs_serial\": {}, ",
+            json_f64(self.total_busy_ms()),
+            self.total_steals(),
+            json_f64(self.utilization()),
+            json_f64(self.speedup_vs_serial())
+        );
+        out.push_str("\"workers\": [");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{{}: {}, {}: {}, {}: {}}}",
+                json_string("runs"),
+                w.runs,
+                json_string("steals"),
+                w.steals,
+                json_string("busy_ms"),
+                json_f64(w.busy_ms)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_reorders() {
+        let mut c = OrderedCollector::new(4);
+        c.insert(2, "c");
+        c.insert(0, "a");
+        assert!(!c.is_complete());
+        c.insert(3, "d");
+        c.insert(1, "b");
+        assert!(c.is_complete());
+        assert_eq!(c.into_ordered(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate result")]
+    fn collector_rejects_duplicates() {
+        let mut c = OrderedCollector::new(2);
+        c.insert(0, 1);
+        c.insert(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn collector_rejects_out_of_range() {
+        let mut c: OrderedCollector<i32> = OrderedCollector::new(1);
+        c.insert(1, 7);
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let s = SweepStats {
+            threads: 2,
+            runs: 4,
+            elapsed_ms: 100.0,
+            workers: vec![
+                WorkerStats {
+                    runs: 3,
+                    steals: 1,
+                    busy_ms: 90.0,
+                },
+                WorkerStats {
+                    runs: 1,
+                    steals: 0,
+                    busy_ms: 70.0,
+                },
+            ],
+        };
+        assert!((s.total_busy_ms() - 160.0).abs() < 1e-9);
+        assert_eq!(s.total_steals(), 1);
+        assert!((s.utilization() - 0.8).abs() < 1e-9);
+        assert!((s.speedup_vs_serial() - 1.6).abs() < 1e-9);
+        let j = s.to_json();
+        assert!(j.contains("\"threads\": 2"));
+        assert!(j.contains("\"steals\": 1"));
+        assert!(j.contains("\"workers\": ["));
+    }
+
+    #[test]
+    fn empty_stats_are_finite() {
+        let s = SweepStats::default();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.speedup_vs_serial(), 0.0);
+        assert!(s.to_json().contains("\"runs\": 0"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # horse-sweep — parallel experiment sweeps
+//!
+//! Horse's single-run speedup comes from simulating the data plane; this
+//! crate adds the second axis the paper's evaluation implies: running
+//! *many* experiments at once. A [`SweepPlan`] expands a parameter grid
+//! (fat-tree size, TE approach, FTI settings, failure scenarios,
+//! replicates) into an ordered run list; a work-stealing pool
+//! ([`pool::run_indexed`]) executes the runs across cores; results are
+//! re-assembled in plan order.
+//!
+//! ## Determinism contract
+//!
+//! A sweep's *semantic* output is a pure function of its plan:
+//!
+//! 1. Each run's seed is derived from `(base_seed, run_index)`
+//!    ([`seed::derive_seed`]) — never from execution order.
+//! 2. Runs share topology templates immutably (`Arc<Topology>`, built
+//!    once per shape in a [`TopoCache`]); runs that mutate link state
+//!    copy-on-write a private view.
+//! 3. Results are keyed by run index and re-ordered after collection,
+//!    so `SweepOutcome::semantic_json()` is byte-identical at any
+//!    worker count — `HORSE_THREADS=1` and `HORSE_THREADS=64` agree.
+//!
+//! Wall times, worker ids, and steal counts ([`SweepStats`]) are real
+//! measurements and *do* vary; they are excluded from the semantic view.
+//!
+//! ## Thread count
+//!
+//! [`pool::threads_from_env`] reads `HORSE_THREADS`, defaulting to the
+//! machine's available parallelism. `HORSE_THREADS=1` takes the inline
+//! serial path — the exact loop the bench bins ran before this crate.
+
+pub mod plan;
+pub mod pool;
+pub mod seed;
+
+pub use plan::{FailureScenario, RunSpec, SweepOutcome, SweepPlan, SweepRun, TopoCache};
+pub use pool::{run_indexed, threads_from_env, RunResult};
+pub use seed::derive_seed;
+
+// Re-exported so sweep callers name the stats type without a direct
+// horse-stats dependency.
+pub use horse_stats::{SweepStats, WorkerStats};

@@ -1,0 +1,461 @@
+//! Sweep plans: parameter grids expanded into a deterministic run list.
+//!
+//! A [`SweepPlan`] is a grid over the demo's experiment axes — fat-tree
+//! size, TE approach, FTI clock settings, link-failure scenario,
+//! replicate — expanded in a fixed nested order into [`RunSpec`]s. Each
+//! spec carries a seed derived from `(base_seed, run_index)`, so the
+//! plan, not the schedule, fixes every run's randomness. Executing the
+//! plan on the pool therefore yields byte-identical reports at any
+//! worker count.
+//!
+//! Topologies are built once per shape in a [`TopoCache`] and shared
+//! (`Arc`) across every run over that shape — an 8-pod fat-tree has 208
+//! nodes and 384 links, and a 3-approach × 10-replicate sweep would
+//! otherwise rebuild and copy it 30 times.
+
+use crate::pool::{self, RunResult};
+use crate::seed::derive_seed;
+use horse_core::{Experiment, ExperimentReport, TeApproach};
+use horse_net::topology::LinkId;
+use horse_sim::{Pacing, SimDuration, SimTime};
+use horse_stats::{json_string, SweepStats};
+use horse_topo::fattree::{FatTree, SwitchRole};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// A link-failure scenario applied to a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureScenario {
+    /// No failure injection.
+    None,
+    /// Fail pod 0's first aggregation→core uplink at `at`; optionally
+    /// repair it at `restore`. On a BGP fabric the session drops and the
+    /// network reconverges; an SDN fabric blackholes the affected flows
+    /// (this model has no port-status channel — see `horse-core`).
+    CoreUplinkDown {
+        /// Failure time.
+        at: SimTime,
+        /// Optional repair time.
+        restore: Option<SimTime>,
+    },
+}
+
+impl FailureScenario {
+    /// Short tag for run labels; `None` for the no-failure case.
+    pub fn tag(&self) -> Option<&'static str> {
+        match self {
+            FailureScenario::None => None,
+            FailureScenario::CoreUplinkDown { restore: None, .. } => Some("faildown"),
+            FailureScenario::CoreUplinkDown {
+                restore: Some(_), ..
+            } => Some("failflap"),
+        }
+    }
+}
+
+/// One fully-specified run of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Position in the expanded plan (also the result ordering key).
+    pub index: usize,
+    /// Fat-tree pod count `k`.
+    pub pods: usize,
+    /// TE approach.
+    pub te: TeApproach,
+    /// FTI `(increment, quiescence)`.
+    pub fti: (SimDuration, SimDuration),
+    /// Link-failure scenario.
+    pub failure: FailureScenario,
+    /// Replicate number within this grid point, `0..replicates`.
+    pub replicate: usize,
+    /// Seed derived from `(base_seed, index)`.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A label encoding every grid axis, unique within the plan.
+    pub fn label(&self) -> String {
+        let mut l = format!("{}-k{}", self.te.label(), self.pods);
+        let _ = write!(
+            l,
+            "-i{}q{}",
+            self.fti.0.as_millis_f64(),
+            self.fti.1.as_millis_f64()
+        );
+        if let Some(tag) = self.failure.tag() {
+            l.push('-');
+            l.push_str(tag);
+        }
+        let _ = write!(l, "-r{}", self.replicate);
+        l
+    }
+}
+
+/// Fat-tree templates shared across runs, keyed by shape. Thread-safe:
+/// pool workers building their experiments hit this concurrently.
+#[derive(Debug, Default)]
+pub struct TopoCache {
+    trees: Mutex<BTreeMap<(usize, bool), Arc<FatTree>>>,
+}
+
+impl TopoCache {
+    /// An empty cache.
+    pub fn new() -> TopoCache {
+        TopoCache::default()
+    }
+
+    /// The demo fat-tree for `(pods, role)` — 1 Gbps links, 1 µs delay —
+    /// built on first request and shared thereafter.
+    pub fn fattree(&self, pods: usize, role: SwitchRole) -> Arc<FatTree> {
+        let key = (pods, role == SwitchRole::BgpRouter);
+        let mut trees = self.trees.lock().unwrap();
+        Arc::clone(
+            trees
+                .entry(key)
+                .or_insert_with(|| Arc::new(FatTree::build(pods, role, 1e9, 1_000))),
+        )
+    }
+
+    /// Number of distinct shapes built so far.
+    pub fn len(&self) -> usize {
+        self.trees.lock().unwrap().len()
+    }
+
+    /// True when nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A parameter grid over the demo experiment, expanded in a fixed order.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    base_seed: u64,
+    pods: Vec<usize>,
+    approaches: Vec<TeApproach>,
+    ftis: Vec<(SimDuration, SimDuration)>,
+    failures: Vec<FailureScenario>,
+    replicates: usize,
+    horizon: SimTime,
+    pacing: Pacing,
+    sample_interval: SimDuration,
+}
+
+impl SweepPlan {
+    /// A single-point plan (4-pod, all three TE approaches, default FTI,
+    /// no failures, one replicate) to grow from with the builder methods.
+    pub fn new(base_seed: u64) -> SweepPlan {
+        SweepPlan {
+            base_seed,
+            pods: vec![4],
+            approaches: vec![TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp],
+            ftis: vec![(SimDuration::from_millis(1), SimDuration::from_millis(100))],
+            failures: vec![FailureScenario::None],
+            replicates: 1,
+            horizon: SimTime::from_secs(20),
+            pacing: Pacing::Virtual,
+            sample_interval: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Fat-tree pod counts to sweep.
+    pub fn pods(mut self, pods: impl IntoIterator<Item = usize>) -> SweepPlan {
+        self.pods = pods.into_iter().collect();
+        assert!(!self.pods.is_empty(), "empty pods axis");
+        self
+    }
+
+    /// TE approaches to sweep.
+    pub fn approaches(mut self, te: impl IntoIterator<Item = TeApproach>) -> SweepPlan {
+        self.approaches = te.into_iter().collect();
+        assert!(!self.approaches.is_empty(), "empty approaches axis");
+        self
+    }
+
+    /// FTI `(increment, quiescence)` settings to sweep.
+    pub fn ftis(mut self, ftis: impl IntoIterator<Item = (SimDuration, SimDuration)>) -> SweepPlan {
+        self.ftis = ftis.into_iter().collect();
+        assert!(!self.ftis.is_empty(), "empty FTI axis");
+        self
+    }
+
+    /// Link-failure scenarios to sweep.
+    pub fn failures(mut self, fs: impl IntoIterator<Item = FailureScenario>) -> SweepPlan {
+        self.failures = fs.into_iter().collect();
+        assert!(!self.failures.is_empty(), "empty failure axis");
+        self
+    }
+
+    /// Replicates per grid point (each gets its own derived seed).
+    pub fn replicates(mut self, n: usize) -> SweepPlan {
+        assert!(n >= 1, "need at least one replicate");
+        self.replicates = n;
+        self
+    }
+
+    /// Experiment horizon in virtual seconds.
+    pub fn horizon_secs(mut self, secs: f64) -> SweepPlan {
+        self.horizon = SimTime::from_secs_f64(secs);
+        self
+    }
+
+    /// Pacing policy (benches use `Virtual`; `RealTime` runs still
+    /// parallelize, each worker pacing its own run).
+    pub fn pacing(mut self, pacing: Pacing) -> SweepPlan {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Goodput sampling interval.
+    pub fn sample_every(mut self, interval: SimDuration) -> SweepPlan {
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Expands the grid into run specs. Axis order (outer→inner) is
+    /// pods → approach → FTI → failure → replicate; this order, with the
+    /// base seed, fully determines every spec, so callers at different
+    /// worker counts see the same list.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        for &pods in &self.pods {
+            for &te in &self.approaches {
+                for &fti in &self.ftis {
+                    for &failure in &self.failures {
+                        for replicate in 0..self.replicates {
+                            let index = specs.len();
+                            specs.push(RunSpec {
+                                index,
+                                pods,
+                                te,
+                                fti,
+                                failure,
+                                replicate,
+                                seed: derive_seed(self.base_seed, index as u64),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Builds the experiment for one spec, sharing topology via `cache`.
+    pub fn build_experiment(&self, spec: &RunSpec, cache: &TopoCache) -> Experiment {
+        let ft = cache.fattree(spec.pods, spec.te.switch_role());
+        let mut e = Experiment::demo_on(&ft, spec.te, spec.seed)
+            .fti(spec.fti.0, spec.fti.1)
+            .pacing(self.pacing)
+            .sample_every(self.sample_interval)
+            .label(spec.label());
+        e.horizon = self.horizon;
+        if let FailureScenario::CoreUplinkDown { at, restore } = spec.failure {
+            let link = core_uplink(&ft).expect("fat-tree has agg→core uplinks");
+            e = e.link_down(at, link);
+            if let Some(r) = restore {
+                e = e.link_up(r, link);
+            }
+        }
+        e
+    }
+
+    /// Runs the whole plan on `threads` workers ([`pool::run_indexed`]),
+    /// returning reports in plan order plus pool counters.
+    pub fn execute(&self, threads: usize) -> SweepOutcome {
+        let specs = self.expand();
+        let cache = TopoCache::new();
+        let n = specs.len();
+        let (results, stats) = pool::run_indexed(n, threads, |i| {
+            self.build_experiment(&specs[i], &cache).run()
+        });
+        let runs = specs
+            .into_iter()
+            .zip(results)
+            .map(
+                |(
+                    spec,
+                    RunResult {
+                        worker,
+                        wall_ms,
+                        value,
+                        ..
+                    },
+                )| SweepRun {
+                    spec,
+                    report: value,
+                    wall_ms,
+                    worker,
+                },
+            )
+            .collect();
+        SweepOutcome { runs, stats }
+    }
+}
+
+/// Pod 0's first aggregation→core uplink, the canonical failure victim.
+fn core_uplink(ft: &FatTree) -> Option<LinkId> {
+    let agg = *ft.aggs.first()?;
+    ft.topo
+        .neighbors(agg)
+        .into_iter()
+        .find(|(_, _, nb)| ft.cores.contains(nb))
+        .map(|(lid, _, _)| lid)
+}
+
+/// One executed run: its spec, report, and where/how long it ran.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// The grid point.
+    pub spec: RunSpec,
+    /// The experiment's report.
+    pub report: ExperimentReport,
+    /// Wall time of the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Worker that executed it.
+    pub worker: usize,
+}
+
+/// A completed sweep: runs in plan order plus pool counters.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Executed runs, ordered by `spec.index` regardless of completion
+    /// order.
+    pub runs: Vec<SweepRun>,
+    /// Pool counters for the whole sweep.
+    pub stats: SweepStats,
+}
+
+impl SweepOutcome {
+    /// JSON array of per-run semantic reports (wall times and pump cost
+    /// counters zeroed) — the determinism contract's comparison key:
+    /// byte-identical across worker counts.
+    pub fn semantic_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            out.push_str(&r.report.semantic_json());
+            if i + 1 < self.runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+
+    /// Full JSON: pool stats plus every run with its schedule placement
+    /// and complete report. (Not deterministic across executions — wall
+    /// times and worker ids are real.)
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(
+            out,
+            "  \"stats\": {},\n  \"runs\": [\n",
+            self.stats.to_json()
+        );
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"label\": {}, \"seed\": {}, \"worker\": {}, \"wall_ms\": {}, \"report\": {}}}",
+                r.spec.index,
+                json_string(&r.spec.label()),
+                r.spec.seed,
+                r.worker,
+                horse_stats::json_f64(r.wall_ms),
+                r.report.to_json()
+            );
+            if i + 1 < self.runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic_and_indexed() {
+        let plan = SweepPlan::new(42)
+            .pods([4, 6])
+            .approaches([TeApproach::BgpEcmp, TeApproach::SdnEcmp])
+            .replicates(3);
+        let a = plan.expand();
+        let b = plan.expand();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2 * 2 * 3);
+        for (i, s) in a.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.seed, derive_seed(42, i as u64));
+        }
+        // Outer axis (pods) changes slowest.
+        assert!(a[..6].iter().all(|s| s.pods == 4));
+        assert!(a[6..].iter().all(|s| s.pods == 6));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let plan = SweepPlan::new(1)
+            .pods([4])
+            .ftis([
+                (SimDuration::from_millis(1), SimDuration::from_millis(100)),
+                (SimDuration::from_millis(10), SimDuration::from_millis(100)),
+            ])
+            .failures([
+                FailureScenario::None,
+                FailureScenario::CoreUplinkDown {
+                    at: SimTime::from_secs(2),
+                    restore: None,
+                },
+            ])
+            .replicates(2);
+        let specs = plan.expand();
+        let labels: std::collections::BTreeSet<String> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), specs.len(), "label collision");
+    }
+
+    #[test]
+    fn cache_shares_topology_across_runs() {
+        let cache = TopoCache::new();
+        let a = cache.fattree(4, SwitchRole::OpenFlow);
+        let b = cache.fattree(4, SwitchRole::OpenFlow);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.fattree(4, SwitchRole::BgpRouter);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn built_experiments_share_the_cached_arc() {
+        let plan = SweepPlan::new(7).approaches([TeApproach::SdnEcmp, TeApproach::Hedera]);
+        let specs = plan.expand();
+        let cache = TopoCache::new();
+        let e0 = plan.build_experiment(&specs[0], &cache);
+        let e1 = plan.build_experiment(&specs[1], &cache);
+        // Both SDN approaches use OpenFlow switches → same template.
+        assert!(Arc::ptr_eq(&e0.topo, &e1.topo));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failure_scenario_schedules_link_events() {
+        let plan = SweepPlan::new(3)
+            .approaches([TeApproach::BgpEcmp])
+            .failures([FailureScenario::CoreUplinkDown {
+                at: SimTime::from_secs(5),
+                restore: Some(SimTime::from_secs(8)),
+            }]);
+        let specs = plan.expand();
+        let cache = TopoCache::new();
+        let e = plan.build_experiment(&specs[0], &cache);
+        assert_eq!(e.link_events.len(), 2);
+        assert!(!e.link_events[0].up);
+        assert!(e.link_events[1].up);
+        assert_eq!(e.link_events[0].link, e.link_events[1].link);
+    }
+}

@@ -1,0 +1,263 @@
+//! The work-stealing worker pool.
+//!
+//! Runs `n` independent, index-identified tasks on `threads` workers.
+//! Tasks are dealt round-robin into per-worker deques; a worker drains
+//! its own deque from the front and, when empty, steals from siblings'
+//! backs. Results flow through an MPMC channel and are re-ordered by
+//! index ([`horse_stats::OrderedCollector`]), so the returned vector is
+//! identical for every thread count — the scheduling shows up only in
+//! the [`SweepStats`] counters.
+//!
+//! With `threads == 1` the pool spawns nothing and runs the tasks inline
+//! in index order — byte-for-byte the serial loop the bench bins used to
+//! write by hand.
+
+use crossbeam::channel;
+use horse_stats::{OrderedCollector, SweepStats, WorkerStats};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One task's result, tagged with where and how long it ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult<T> {
+    /// The task's index in `0..n` (plan order).
+    pub index: usize,
+    /// Worker that executed it (0 on the serial path).
+    pub worker: usize,
+    /// Wall time inside the task closure, in milliseconds.
+    pub wall_ms: f64,
+    /// The closure's return value.
+    pub value: T,
+}
+
+/// Worker count from the `HORSE_THREADS` environment variable, falling
+/// back to the machine's available parallelism. `HORSE_THREADS=1` forces
+/// the serial path.
+///
+/// Panics on an unparsable or zero value — a typo'd override silently
+/// changing the thread count is worse than a crash.
+pub fn threads_from_env() -> usize {
+    match std::env::var("HORSE_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("HORSE_THREADS must be a positive integer, got {s:?}"),
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Executes `f(0..n)` on `threads` workers and returns the results in
+/// index order plus the pool's counters.
+///
+/// `f` must be a pure function of its index (up to shared read-only
+/// state): the determinism contract is that the returned vector does not
+/// depend on `threads`. Wall times and worker ids in [`RunResult`] *do*
+/// vary run to run; callers comparing results across thread counts must
+/// compare only the values (for experiments, their semantic JSON).
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> (Vec<RunResult<T>>, SweepStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let start = Instant::now();
+    if threads <= 1 || n <= 1 {
+        let mut worker = WorkerStats::default();
+        let mut out = Vec::with_capacity(n);
+        for index in 0..n {
+            let t0 = Instant::now();
+            let value = f(index);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            worker.runs += 1;
+            worker.busy_ms += wall_ms;
+            out.push(RunResult {
+                index,
+                worker: 0,
+                wall_ms,
+                value,
+            });
+        }
+        let stats = SweepStats {
+            threads: 1,
+            runs: n,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+            workers: vec![worker],
+        };
+        return (out, stats);
+    }
+
+    // No point spawning more workers than tasks.
+    let nw = threads.min(n);
+    // Deal tasks round-robin: worker w owns indices w, w+nw, w+2nw, …
+    // ascending, so its own pop_front walks the plan in order while
+    // thieves take pop_back (the victim's farthest-out work).
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..nw)
+        .map(|w| Mutex::new((w..n).step_by(nw).collect()))
+        .collect();
+    let per_worker: Vec<Mutex<WorkerStats>> = (0..nw)
+        .map(|_| Mutex::new(WorkerStats::default()))
+        .collect();
+    let (tx, rx) = channel::unbounded::<RunResult<T>>();
+
+    std::thread::scope(|s| {
+        for w in 0..nw {
+            let tx = tx.clone();
+            let queues = &queues;
+            let per_worker = &per_worker;
+            let f = &f;
+            s.spawn(move || {
+                let mut local = WorkerStats::default();
+                loop {
+                    let mut stolen = false;
+                    let index = match queues[w].lock().unwrap().pop_front() {
+                        Some(i) => Some(i),
+                        None => {
+                            // Scan siblings starting after ourselves so
+                            // thieves spread instead of mobbing worker 0.
+                            let mut found = None;
+                            for off in 1..nw {
+                                let victim = (w + off) % nw;
+                                if let Some(i) = queues[victim].lock().unwrap().pop_back() {
+                                    found = Some(i);
+                                    break;
+                                }
+                            }
+                            stolen = found.is_some();
+                            found
+                        }
+                    };
+                    // Every task was dealt up front, so empty queues all
+                    // around mean the sweep is drained (tasks already
+                    // popped are owned by the worker running them).
+                    let Some(index) = index else { break };
+                    if stolen {
+                        local.steals += 1;
+                    }
+                    let t0 = Instant::now();
+                    let value = f(index);
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    local.runs += 1;
+                    local.busy_ms += wall_ms;
+                    let _ = tx.send(RunResult {
+                        index,
+                        worker: w,
+                        wall_ms,
+                        value,
+                    });
+                }
+                *per_worker[w].lock().unwrap() = local;
+            });
+        }
+    });
+
+    // The scope joined every worker, so all n results are queued.
+    let mut collector = OrderedCollector::new(n);
+    while let Ok(r) = rx.try_recv() {
+        collector.insert(r.index, r);
+    }
+    let results = collector.into_ordered();
+    let stats = SweepStats {
+        threads: nw,
+        runs: n,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+        workers: per_worker
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values<T: Clone>(rs: &[RunResult<T>]) -> Vec<T> {
+        rs.iter().map(|r| r.value.clone()).collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as u64) * (i as u64) + 7;
+        let (serial, s1) = run_indexed(37, 1, f);
+        assert_eq!(s1.threads, 1);
+        for t in [2, 3, 8] {
+            let (par, st) = run_indexed(37, t, f);
+            assert_eq!(values(&serial), values(&par), "threads={t}");
+            assert_eq!(st.runs, 37);
+            assert_eq!(st.workers.iter().map(|w| w.runs).sum::<u64>(), 37);
+        }
+    }
+
+    #[test]
+    fn results_are_index_ordered() {
+        let (rs, _) = run_indexed(16, 4, |i| i);
+        for (pos, r) in rs.iter().enumerate() {
+            assert_eq!(r.index, pos);
+            assert_eq!(r.value, pos);
+            assert!(r.worker < 4);
+        }
+    }
+
+    #[test]
+    fn workers_capped_at_task_count() {
+        let (rs, st) = run_indexed(2, 8, |i| i);
+        assert_eq!(st.threads, 2);
+        assert_eq!(st.workers.len(), 2);
+        assert_eq!(values(&rs), vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let (rs, st) = run_indexed(8, 4, |i| i);
+        assert_eq!(rs.len(), 8);
+        let (rs, st0) = {
+            let (rs, st0) = run_indexed(0, 4, |i| i);
+            (rs, st0)
+        };
+        assert!(rs.is_empty());
+        assert_eq!(st0.runs, 0);
+        assert_eq!(st.runs, 8);
+    }
+
+    #[test]
+    fn uneven_work_gets_stolen() {
+        // Worker 0's own tasks are heavy; with 4 workers the others go
+        // idle and must steal to finish. We can't assert steals > 0 on a
+        // single-core box (worker 0 may drain everything before others
+        // are scheduled), but accounting must balance regardless.
+        let f = |i: usize| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        };
+        let (rs, st) = run_indexed(24, 4, f);
+        assert_eq!(values(&rs), (0..24).collect::<Vec<_>>());
+        let total_runs: u64 = st.workers.iter().map(|w| w.runs).sum();
+        let total_steals: u64 = st.workers.iter().map(|w| w.steals).sum();
+        assert_eq!(total_runs, 24);
+        assert!(total_steals <= 24);
+        assert!(st.total_busy_ms() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_THREADS")]
+    fn bad_env_panics() {
+        // Env vars are process-global; use a child-free check by setting
+        // and restoring around the call. Tests in this crate run
+        // single-process, and no other test reads HORSE_THREADS.
+        std::env::set_var("HORSE_THREADS", "zero");
+        let _guard = RestoreEnv;
+        let _ = threads_from_env();
+    }
+
+    struct RestoreEnv;
+    impl Drop for RestoreEnv {
+        fn drop(&mut self) {
+            std::env::remove_var("HORSE_THREADS");
+        }
+    }
+}

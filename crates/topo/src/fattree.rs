@@ -17,6 +17,7 @@ use horse_net::addr::Ipv4Prefix;
 use horse_net::topology::{LinkId, NodeId, PortId, Topology};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// How the fat-tree's switching elements participate in the control plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,8 +46,12 @@ pub struct BgpNodeSetup {
 pub struct FatTree {
     /// Pod count (the paper's 4, 6, 8).
     pub k: usize,
-    /// The graph.
-    pub topo: Topology,
+    /// Control-plane role the switches were built with.
+    pub role: SwitchRole,
+    /// The graph, behind an [`Arc`] so experiments (and parallel sweep
+    /// workers) share one immutable structure instead of deep-cloning it
+    /// per run. Mutating call sites clone out of the `Arc` explicitly.
+    pub topo: Arc<Topology>,
     /// All hosts, in (pod, edge, index) order.
     pub hosts: Vec<NodeId>,
     /// Edge (ToR) switches, in (pod, index) order.
@@ -135,7 +140,8 @@ impl FatTree {
         }
         FatTree {
             k,
-            topo,
+            role,
+            topo: Arc::new(topo),
             hosts,
             edges,
             aggs,

@@ -44,6 +44,7 @@
 //! | Connection Manager pieces | `horse-cm` | [`cm`] |
 //! | Mininet model & packet DES | `horse-baseline` | [`baseline`] |
 //! | Metrics | `horse-stats` | [`stats`] |
+//! | Parallel sweep engine | `horse-sweep` | [`sweep`] |
 
 pub use horse_core::{
     ControlPlane, Experiment, ExperimentReport, PumpMode, PumpStats, Runner, SdnApp, TeApproach,
@@ -61,4 +62,5 @@ pub use horse_net as net;
 pub use horse_openflow as openflow;
 pub use horse_sim as sim;
 pub use horse_stats as stats;
+pub use horse_sweep as sweep;
 pub use horse_topo as topo;

@@ -55,7 +55,7 @@ fn goodput_agreement_within_ten_percent() {
     let fluid_goodput = fluid.total_arrival_rate();
 
     let mut pkt = PacketLevelSim::new(
-        ft.topo.clone(),
+        (*ft.topo).clone(),
         flows
             .iter()
             .map(|(_, src, dst, path)| PacketFlow {
@@ -105,7 +105,7 @@ fn fluid_is_orders_of_magnitude_cheaper() {
     fluid.advance(horizon);
 
     let mut pkt = PacketLevelSim::new(
-        ft.topo.clone(),
+        (*ft.topo).clone(),
         flows
             .iter()
             .map(|(_, src, dst, path)| PacketFlow {
@@ -154,7 +154,7 @@ fn uncongested_single_flow_agrees_exactly() {
     assert!((fg - rate).abs() < 1.0);
 
     let mut pkt = PacketLevelSim::new(
-        ft.topo.clone(),
+        (*ft.topo).clone(),
         vec![PacketFlow {
             src: a,
             dst: b,

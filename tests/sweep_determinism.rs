@@ -1,0 +1,80 @@
+//! The sweep engine's determinism contract: a mixed plan — BGP, SDN-ECMP
+//! and Hedera control planes, with and without a link failure — must
+//! produce byte-identical semantic reports at 1, 2, and N workers.
+//!
+//! Semantic reports (`ExperimentReport::semantic_json`) zero the wall
+//! times and pump cost counters, which legitimately vary run to run;
+//! everything else — goodput series, control-message counts, FTI/DES
+//! occupancy, routed flows — must not depend on the schedule.
+
+use horse::sim::SimTime;
+use horse::sweep::{FailureScenario, SweepPlan};
+use horse::TeApproach;
+
+fn plan() -> SweepPlan {
+    SweepPlan::new(42)
+        .pods([4])
+        .approaches([TeApproach::BgpEcmp, TeApproach::SdnEcmp, TeApproach::Hedera])
+        .failures([
+            FailureScenario::None,
+            FailureScenario::CoreUplinkDown {
+                at: SimTime::from_secs(2),
+                restore: None,
+            },
+        ])
+        .horizon_secs(4.0)
+}
+
+#[test]
+fn mixed_plan_is_identical_across_worker_counts() {
+    let plan = plan();
+    let serial = plan.execute(1);
+    assert_eq!(serial.stats.threads, 1);
+    assert_eq!(serial.runs.len(), 6, "3 approaches x 2 failure scenarios");
+    // The serial run must do real work on every scenario.
+    for run in &serial.runs {
+        assert!(run.report.flows_routed > 0, "{}", run.spec.label());
+        assert!(run.report.control_msgs > 0, "{}", run.spec.label());
+    }
+    let baseline = serial.semantic_json();
+
+    for threads in [2, 4] {
+        let out = plan.execute(threads);
+        assert_eq!(out.stats.threads, threads);
+        assert_eq!(
+            out.stats.workers.iter().map(|w| w.runs).sum::<u64>(),
+            6,
+            "threads={threads}: every run accounted to a worker"
+        );
+        assert_eq!(
+            baseline,
+            out.semantic_json(),
+            "semantic reports diverged at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn replicates_get_distinct_seeds_and_results_stay_ordered() {
+    let plan = SweepPlan::new(7)
+        .pods([4])
+        .approaches([TeApproach::SdnEcmp])
+        .replicates(3)
+        .horizon_secs(2.0);
+    let out = plan.execute(2);
+    assert_eq!(out.runs.len(), 3);
+    let seeds: std::collections::BTreeSet<u64> = out.runs.iter().map(|r| r.spec.seed).collect();
+    assert_eq!(seeds.len(), 3, "replicates must draw distinct seeds");
+    for (i, run) in out.runs.iter().enumerate() {
+        assert_eq!(run.spec.index, i, "results must come back in plan order");
+        assert_eq!(run.spec.replicate, i);
+    }
+    // Different seeds hash flows onto different ECMP paths; the reports
+    // should not all be clones of one another.
+    let distinct: std::collections::BTreeSet<String> =
+        out.runs.iter().map(|r| r.report.semantic_json()).collect();
+    assert!(
+        distinct.len() > 1,
+        "replicates look identical — seeds unused?"
+    );
+}

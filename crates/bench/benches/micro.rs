@@ -171,7 +171,9 @@ fn bench_fluid_incremental(c: &mut Criterion) {
 fn bench_bgp_codec(c: &mut Criterion) {
     let update = Message::Update(UpdateMsg {
         withdrawn: vec![],
-        attrs: Some(PathAttributes::originated(Ipv4Addr::new(10, 0, 0, 1)).prepended(64512)),
+        attrs: Some(std::sync::Arc::new(
+            PathAttributes::originated(Ipv4Addr::new(10, 0, 0, 1)).prepended(64512),
+        )),
         nlri: (0..16)
             .map(|i| Ipv4Prefix::new(Ipv4Addr::new(10, i, 0, 0), 16))
             .collect(),

@@ -18,17 +18,23 @@
 //! * [`rib`] — Adj-RIB-In / Loc-RIB and the decision process, with ECMP
 //!   multipath relaxation (equal local-pref, AS-path length, origin and
 //!   MED routes form a multipath set, as `maximum-paths` does in real
-//!   routers — the demo's "BGP + ECMP" scenario depends on this).
+//!   routers — the demo's "BGP + ECMP" scenario depends on this). The RIB
+//!   is built around hash-consed path attributes ([`rib::AttrStore`]), an
+//!   inverted per-prefix candidate index and a memoized decision cache —
+//!   the route-churn fast path.
+//! * [`naive`] — the pre-index RIB kept as a reference model for
+//!   differential tests and the `rib_churn` bench baseline.
 //! * [`speaker`] — ties sessions and RIBs together: originates local
 //!   networks, floods UPDATEs with split-horizon and AS-path loop
 //!   prevention, and reports effective next-hop sets per prefix.
 
 pub mod msg;
+pub mod naive;
 pub mod rib;
 pub mod session;
 pub mod speaker;
 
 pub use msg::{Capability, Message, Notification, OpenMsg, Origin, PathAttributes, UpdateMsg};
-pub use rib::{LocRib, RoutePath};
+pub use rib::{AttrId, AttrStore, Decision, LocRib, RibStats, RouteInfo};
 pub use session::{PeerConfig, Session, SessionState};
 pub use speaker::{BgpConfig, BgpSpeaker, SpeakerOutput};

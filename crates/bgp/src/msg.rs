@@ -15,6 +15,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use horse_net::addr::Ipv4Prefix;
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// BGP version implemented.
 pub const BGP_VERSION: u8 = 4;
@@ -203,12 +204,17 @@ pub struct OpenMsg {
 }
 
 /// An UPDATE message.
+///
+/// Attributes ride behind an [`Arc`] so a message built from an interned
+/// attribute set (see [`crate::rib::AttrStore`]) shares the canonical
+/// allocation instead of deep-cloning the nested AS-path vectors; the wire
+/// encoding is unchanged.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct UpdateMsg {
     /// Prefixes withdrawn.
     pub withdrawn: Vec<Ipv4Prefix>,
     /// Attributes for the announced NLRI (None when only withdrawing).
-    pub attrs: Option<PathAttributes>,
+    pub attrs: Option<Arc<PathAttributes>>,
     /// Prefixes announced with `attrs`.
     pub nlri: Vec<Ipv4Prefix>,
 }
@@ -643,7 +649,7 @@ fn decode_update(buf: &mut &[u8]) -> Result<UpdateMsg, CodecError> {
     let attrs = if alen == 0 {
         None
     } else {
-        Some(decode_attrs(abuf)?)
+        Some(Arc::new(decode_attrs(abuf)?))
     };
     let mut nlri = Vec::new();
     let mut nbuf = *buf;
@@ -763,7 +769,7 @@ mod tests {
     fn update_roundtrip_announce() {
         let u = UpdateMsg {
             withdrawn: vec![],
-            attrs: Some(sample_attrs()),
+            attrs: Some(Arc::new(sample_attrs())),
             nlri: vec![pfx("10.1.0.0/16"), pfx("10.2.3.0/24"), pfx("0.0.0.0/0")],
         };
         assert_eq!(roundtrip(Message::Update(u.clone())), Message::Update(u));
@@ -890,7 +896,7 @@ mod tests {
         let m1 = Message::Keepalive.encode();
         let m2 = Message::Update(UpdateMsg {
             withdrawn: vec![],
-            attrs: Some(sample_attrs()),
+            attrs: Some(Arc::new(sample_attrs())),
             nlri: vec![pfx("10.0.0.0/8")],
         })
         .encode();
@@ -933,7 +939,7 @@ mod tests {
         a.unknown = vec![(ATTR_FLAG_OPTIONAL | ATTR_FLAG_TRANSITIVE, 16, vec![0; 300])];
         let u = UpdateMsg {
             withdrawn: vec![],
-            attrs: Some(a.clone()),
+            attrs: Some(Arc::new(a.clone())),
             nlri: vec![pfx("10.0.0.0/8")],
         };
         // 300-byte value exercises the extended-length flag path.

@@ -16,59 +16,240 @@
 //! joins the multipath set — the relaxation real routers call
 //! `maximum-paths`, which the demo's "BGP + ECMP" traffic engineering
 //! requires on the fat-tree.
+//!
+//! ## Route-churn fast path
+//!
+//! Fat-tree convergence produces thousands of routes but only a handful of
+//! distinct attribute sets, and the speaker reads each decision many times
+//! (once for the FIB, once per established peer). Three structures keep the
+//! per-UPDATE cost sub-linear in table size (the BIRD/FRR design):
+//!
+//! * [`AttrStore`] hash-conses [`PathAttributes`] into `Arc`-backed
+//!   canonical entries with stable [`AttrId`]s: adj-in, adj-out and UPDATE
+//!   construction share one allocation per distinct attribute set, and
+//!   equality is an id compare instead of a deep walk. Ranking inputs
+//!   (local-pref, path length, origin rank, MED, neighbor AS) are
+//!   precomputed once at intern time.
+//! * An inverted candidate index `prefix → {(peer, AttrId, ebgp)}` replaces
+//!   the per-peer probe loop: `decide` walks exactly the candidates for one
+//!   prefix, and the index is maintained incrementally by
+//!   [`LocRib::update_from_peer`] / [`LocRib::drop_peer`].
+//! * A per-prefix memoized [`Decision`] cache (best, multipath, next hops)
+//!   is invalidated by the affected-set of each mutation, so repeated reads
+//!   of an unchanged decision are O(log P) map hits.
+//!
+//! The naive pre-index implementation survives as [`crate::naive`], the
+//! reference model for differential tests and the `rib_churn` bench.
 
 use crate::msg::{Origin, PathAttributes, UpdateMsg};
 use horse_net::addr::Ipv4Prefix;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
-/// A candidate path for a prefix.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RoutePath {
-    /// Path attributes as received (or as originated).
-    pub attrs: PathAttributes,
+/// Stable identifier of an interned attribute set inside one [`AttrStore`].
+///
+/// Ids are assigned in first-intern order, so equal event sequences produce
+/// equal ids — they are deterministic and never reused or compacted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(u32);
+
+impl AttrId {
+    /// The raw index (observability/debug output).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// One interned attribute set plus its precomputed ranking inputs.
+#[derive(Debug, Clone)]
+struct AttrMeta {
+    attrs: Arc<PathAttributes>,
+    local_pref: u32,
+    path_len: u32,
+    origin_rank: u8,
+    med: u32,
+    neighbor_as: Option<u16>,
+}
+
+/// Hash-consing store for [`PathAttributes`].
+///
+/// `intern` returns the id of the canonical entry, creating one only for a
+/// never-seen attribute set. The map is keyed by the `Arc` (hashing the
+/// inner value), so lookups by borrowed `PathAttributes` never allocate.
+#[derive(Debug, Clone, Default)]
+pub struct AttrStore {
+    ids: HashMap<Arc<PathAttributes>, AttrId>,
+    metas: Vec<AttrMeta>,
+    /// Distinct sets created (cache misses).
+    interns: u64,
+    /// Deep clones avoided (cache hits).
+    reuses: u64,
+}
+
+impl AttrStore {
+    /// Interns a shared attribute set, reusing the caller's allocation on a
+    /// miss.
+    pub fn intern(&mut self, attrs: &Arc<PathAttributes>) -> AttrId {
+        if let Some(id) = self.ids.get(&**attrs) {
+            self.reuses += 1;
+            return *id;
+        }
+        self.insert_new(Arc::clone(attrs))
+    }
+
+    /// Interns an owned attribute set (allocates the `Arc` only on a miss).
+    pub fn intern_owned(&mut self, attrs: PathAttributes) -> AttrId {
+        if let Some(id) = self.ids.get(&attrs) {
+            self.reuses += 1;
+            return *id;
+        }
+        self.insert_new(Arc::new(attrs))
+    }
+
+    fn insert_new(&mut self, attrs: Arc<PathAttributes>) -> AttrId {
+        let id = AttrId(self.metas.len() as u32);
+        self.interns += 1;
+        let meta = AttrMeta {
+            local_pref: attrs.local_pref.unwrap_or(100),
+            path_len: attrs.as_path_len() as u32,
+            origin_rank: match attrs.origin {
+                Origin::Igp => 0,
+                Origin::Egp => 1,
+                Origin::Incomplete => 2,
+            },
+            med: attrs.med.unwrap_or(0),
+            neighbor_as: attrs.neighbor_as(),
+            attrs: Arc::clone(&attrs),
+        };
+        self.ids.insert(attrs, id);
+        self.metas.push(meta);
+        id
+    }
+
+    /// The canonical shared attributes for an id.
+    pub fn attrs(&self, id: AttrId) -> &Arc<PathAttributes> {
+        &self.metas[id.0 as usize].attrs
+    }
+
+    /// Number of distinct attribute sets interned so far (monotone — this
+    /// *is* the peak size).
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    fn meta(&self, id: AttrId) -> &AttrMeta {
+        &self.metas[id.0 as usize]
+    }
+}
+
+/// Work/effectiveness counters for the indexed RIB (and the speaker's
+/// export cache, merged in by [`crate::speaker::BgpSpeaker::rib_stats`]).
+///
+/// All counters are cost observability only: they never feed back into
+/// routing decisions or wire output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RibStats {
+    /// Decision-process invocations (cache hits included).
+    pub decide_calls: u64,
+    /// Calls answered from the memoized decision cache.
+    pub decide_cache_hits: u64,
+    /// Calls that ran the ranking over the candidate set.
+    pub decide_recomputes: u64,
+    /// Cached decisions dropped by mutations.
+    pub invalidations: u64,
+    /// Candidates examined across all recomputes.
+    pub candidate_touches: u64,
+    /// Distinct attribute sets created in the store.
+    pub attr_interns: u64,
+    /// Attribute-set intern hits (deep clones avoided).
+    pub attr_reuses: u64,
+    /// Attribute-store size (monotone, so also the peak).
+    pub attr_store_size: u64,
+    /// Export-policy results served from the per-peer cache.
+    pub export_cache_hits: u64,
+    /// Export-policy computations (cache misses).
+    pub export_cache_misses: u64,
+}
+
+impl RibStats {
+    /// Accumulates `other` (store sizes add — aggregated over speakers the
+    /// sum is the fleet-wide distinct-attribute footprint).
+    pub fn merge(&mut self, other: &RibStats) {
+        self.decide_calls += other.decide_calls;
+        self.decide_cache_hits += other.decide_cache_hits;
+        self.decide_recomputes += other.decide_recomputes;
+        self.invalidations += other.invalidations;
+        self.candidate_touches += other.candidate_touches;
+        self.attr_interns += other.attr_interns;
+        self.attr_reuses += other.attr_reuses;
+        self.attr_store_size += other.attr_store_size;
+        self.export_cache_hits += other.export_cache_hits;
+        self.export_cache_misses += other.export_cache_misses;
+    }
+
+    /// Decision-process work: every decide call costs at least its map
+    /// probe, and each recompute additionally walks its candidates. The
+    /// `rib_churn` bench compares this figure against the naive model's.
+    pub fn decision_work(&self) -> u64 {
+        self.decide_calls + self.candidate_touches
+    }
+}
+
+/// One candidate in the per-prefix index: who announced it and with what
+/// (interned) attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cand {
+    attr: AttrId,
+    ebgp: bool,
+}
+
+/// Candidate key: `(remote, peer address)`. Local origination is
+/// `(false, 0.0.0.0)` and sorts first; remote peers follow in ascending
+/// address order — exactly the gathering order of the naive decision loop,
+/// which the `min_by` tie-break depends on.
+type CandKey = (bool, Ipv4Addr);
+
+const LOCAL_KEY: CandKey = (false, Ipv4Addr::UNSPECIFIED);
+
+/// One route in a [`Decision`], sharing the interned attribute allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteInfo {
+    /// Canonical attributes as received (or as originated).
+    pub attrs: Arc<PathAttributes>,
+    /// Interned id of `attrs` in the owning RIB's store.
+    pub attr_id: AttrId,
     /// The peer this was learned from (`0.0.0.0` for local origination).
     pub peer: Ipv4Addr,
     /// True when learned over eBGP.
     pub ebgp: bool,
 }
 
-impl RoutePath {
-    /// A locally originated path.
-    pub fn local(next_hop: Ipv4Addr) -> RoutePath {
-        RoutePath {
-            attrs: PathAttributes::originated(next_hop),
-            peer: Ipv4Addr::UNSPECIFIED,
-            ebgp: false,
-        }
-    }
-
+impl RouteInfo {
     /// True for locally originated paths.
     pub fn is_local(&self) -> bool {
         self.peer == Ipv4Addr::UNSPECIFIED
     }
-
-    fn local_pref(&self) -> u32 {
-        self.attrs.local_pref.unwrap_or(100)
-    }
-
-    fn origin_rank(&self) -> u8 {
-        match self.attrs.origin {
-            Origin::Igp => 0,
-            Origin::Egp => 1,
-            Origin::Incomplete => 2,
-        }
-    }
 }
 
-/// Result of running the decision process for one prefix.
+/// Result of running the decision process for one prefix. Memoized per
+/// prefix behind an `Arc` so every reader (FIB reconcile, each established
+/// peer's sync) shares one computation.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Decision<'a> {
+pub struct Decision {
     /// The single best path.
-    pub best: &'a RoutePath,
+    pub best: RouteInfo,
     /// The ECMP set (always contains `best`; singleton when multipath is
     /// off or nothing ties).
-    pub multipath: Vec<&'a RoutePath>,
+    pub multipath: Vec<RouteInfo>,
+    /// Deduplicated, sorted next hops of the multipath set.
+    pub next_hops: Vec<Ipv4Addr>,
 }
 
 /// The speaker's RIB collection.
@@ -76,8 +257,17 @@ pub struct Decision<'a> {
 pub struct LocRib {
     local_as: u16,
     multipath: bool,
-    adj_in: BTreeMap<Ipv4Addr, BTreeMap<Ipv4Prefix, RoutePath>>,
-    local: BTreeMap<Ipv4Prefix, RoutePath>,
+    store: AttrStore,
+    /// Per peer: the prefixes it currently contributes (the candidate data
+    /// itself lives in `candidates`).
+    adj_in: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Prefix>>,
+    /// The inverted candidate index. Entries with no candidates are
+    /// removed, so the key set is exactly the live prefix set.
+    candidates: BTreeMap<Ipv4Prefix, BTreeMap<CandKey, Cand>>,
+    /// Memoized decisions; an absent entry means "not computed since the
+    /// last invalidation". Interior mutability keeps `decide(&self)`.
+    cache: RefCell<BTreeMap<Ipv4Prefix, Option<Arc<Decision>>>>,
+    stats: RefCell<RibStats>,
 }
 
 impl LocRib {
@@ -86,19 +276,38 @@ impl LocRib {
         LocRib {
             local_as,
             multipath,
-            adj_in: BTreeMap::new(),
-            local: BTreeMap::new(),
+            ..LocRib::default()
         }
     }
 
     /// Originates a local network.
     pub fn originate(&mut self, prefix: Ipv4Prefix, next_hop: Ipv4Addr) {
-        self.local.insert(prefix, RoutePath::local(next_hop));
+        let attr = self
+            .store
+            .intern_owned(PathAttributes::originated(next_hop));
+        self.candidates
+            .entry(prefix)
+            .or_default()
+            .insert(LOCAL_KEY, Cand { attr, ebgp: false });
+        self.invalidate(prefix);
     }
 
     /// Withdraws a locally originated network.
     pub fn withdraw_local(&mut self, prefix: Ipv4Prefix) -> bool {
-        self.local.remove(&prefix).is_some()
+        let removed = match self.candidates.get_mut(&prefix) {
+            Some(set) => {
+                let removed = set.remove(&LOCAL_KEY).is_some();
+                if set.is_empty() {
+                    self.candidates.remove(&prefix);
+                }
+                removed
+            }
+            None => false,
+        };
+        if removed {
+            self.invalidate(prefix);
+        }
+        removed
     }
 
     /// Applies an UPDATE from `peer`, returning every prefix whose candidate
@@ -112,29 +321,42 @@ impl LocRib {
         update: &UpdateMsg,
     ) -> BTreeSet<Ipv4Prefix> {
         let mut affected = BTreeSet::new();
-        let table = self.adj_in.entry(peer).or_default();
         for p in &update.withdrawn {
-            if table.remove(p).is_some() {
+            if self.remove_candidate(peer, *p) {
                 affected.insert(*p);
             }
         }
         if let Some(attrs) = &update.attrs {
             let looped = attrs.contains_asn(self.local_as);
-            for p in &update.nlri {
-                if looped {
-                    if table.remove(p).is_some() {
-                        affected.insert(*p);
-                    }
-                    continue;
-                }
-                let path = RoutePath {
-                    attrs: attrs.clone(),
-                    peer,
+            // One intern per UPDATE, not per prefix: every NLRI in the
+            // message shares the id (and the allocation).
+            let cand = if looped {
+                None
+            } else {
+                Some(Cand {
+                    attr: self.store.intern(attrs),
                     ebgp,
-                };
-                let prev = table.insert(*p, path.clone());
-                if prev.as_ref() != Some(&path) {
-                    affected.insert(*p);
+                })
+            };
+            for p in &update.nlri {
+                match cand {
+                    None => {
+                        if self.remove_candidate(peer, *p) {
+                            affected.insert(*p);
+                        }
+                    }
+                    Some(cand) => {
+                        let prev = self
+                            .candidates
+                            .entry(*p)
+                            .or_default()
+                            .insert((true, peer), cand);
+                        self.adj_in.entry(peer).or_default().insert(*p);
+                        if prev != Some(cand) {
+                            affected.insert(*p);
+                            self.invalidate(*p);
+                        }
+                    }
                 }
             }
         }
@@ -144,10 +366,48 @@ impl LocRib {
     /// Removes every route learned from `peer` (session down), returning the
     /// affected prefixes.
     pub fn drop_peer(&mut self, peer: Ipv4Addr) -> BTreeSet<Ipv4Prefix> {
-        self.adj_in
-            .remove(&peer)
-            .map(|t| t.into_keys().collect())
-            .unwrap_or_default()
+        let prefixes = self.adj_in.remove(&peer).unwrap_or_default();
+        for p in &prefixes {
+            if let Some(set) = self.candidates.get_mut(p) {
+                set.remove(&(true, peer));
+                if set.is_empty() {
+                    self.candidates.remove(p);
+                }
+            }
+            self.invalidate(*p);
+        }
+        prefixes
+    }
+
+    /// Drops `peer`'s candidate for one prefix, maintaining both indexes.
+    /// Returns true when a candidate actually existed.
+    fn remove_candidate(&mut self, peer: Ipv4Addr, prefix: Ipv4Prefix) -> bool {
+        let removed = match self.candidates.get_mut(&prefix) {
+            Some(set) => {
+                let removed = set.remove(&(true, peer)).is_some();
+                if set.is_empty() {
+                    self.candidates.remove(&prefix);
+                }
+                removed
+            }
+            None => false,
+        };
+        if removed {
+            if let Some(set) = self.adj_in.get_mut(&peer) {
+                set.remove(&prefix);
+                if set.is_empty() {
+                    self.adj_in.remove(&peer);
+                }
+            }
+            self.invalidate(prefix);
+        }
+        removed
+    }
+
+    fn invalidate(&mut self, prefix: Ipv4Prefix) {
+        if self.cache.get_mut().remove(&prefix).is_some() {
+            self.stats.get_mut().invalidations += 1;
+        }
     }
 
     /// Number of paths in a peer's Adj-RIB-In.
@@ -155,82 +415,139 @@ impl LocRib {
         self.adj_in.get(&peer).map_or(0, |t| t.len())
     }
 
-    /// Every prefix with at least one candidate path.
+    /// Every prefix with at least one candidate path — a read of the
+    /// persistent candidate index, not a union rebuild.
     pub fn prefixes(&self) -> BTreeSet<Ipv4Prefix> {
-        let mut out: BTreeSet<Ipv4Prefix> = self.local.keys().copied().collect();
-        for t in self.adj_in.values() {
-            out.extend(t.keys().copied());
-        }
-        out
+        self.candidates.keys().copied().collect()
     }
 
-    /// Runs the decision process for `prefix`.
-    pub fn decide(&self, prefix: Ipv4Prefix) -> Option<Decision<'_>> {
-        let mut candidates: Vec<&RoutePath> = Vec::new();
-        if let Some(l) = self.local.get(&prefix) {
-            candidates.push(l);
-        }
-        for t in self.adj_in.values() {
-            if let Some(p) = t.get(&prefix) {
-                candidates.push(p);
+    /// Number of live prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The attribute store (shared-allocation reads for UPDATE
+    /// construction).
+    pub fn attr_store(&self) -> &AttrStore {
+        &self.store
+    }
+
+    /// Interns an owned attribute set in this RIB's store (the speaker's
+    /// export path uses this so Adj-RIB-Out entries are ids too).
+    pub fn intern_attrs(&mut self, attrs: PathAttributes) -> AttrId {
+        self.store.intern_owned(attrs)
+    }
+
+    /// The canonical shared attributes for an id.
+    pub fn attrs_of(&self, id: AttrId) -> &Arc<PathAttributes> {
+        self.store.attrs(id)
+    }
+
+    /// Snapshot of the work counters (attr-store figures filled in here).
+    pub fn stats(&self) -> RibStats {
+        let mut s = *self.stats.borrow();
+        s.attr_interns = self.store.interns;
+        s.attr_reuses = self.store.reuses;
+        s.attr_store_size = self.store.len() as u64;
+        s
+    }
+
+    /// Runs the decision process for `prefix`, memoized until a mutation
+    /// touches the prefix.
+    pub fn decide(&self, prefix: Ipv4Prefix) -> Option<Arc<Decision>> {
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.decide_calls += 1;
+            if let Some(hit) = self.cache.borrow().get(&prefix) {
+                stats.decide_cache_hits += 1;
+                return hit.clone();
             }
+            stats.decide_recomputes += 1;
         }
-        if candidates.is_empty() {
-            return None;
-        }
-        let best = candidates
+        let decision = self.compute(prefix);
+        self.cache.borrow_mut().insert(prefix, decision.clone());
+        decision
+    }
+
+    /// The uncached decision process: rank the prefix's candidate set.
+    fn compute(&self, prefix: Ipv4Prefix) -> Option<Arc<Decision>> {
+        let cands = self.candidates.get(&prefix)?;
+        debug_assert!(!cands.is_empty(), "empty candidate sets are removed");
+        self.stats.borrow_mut().candidate_touches += cands.len() as u64;
+        // Iteration order is (local, peer-address) — the naive gathering
+        // order — and `min_by` keeps the earliest of rank-equal candidates,
+        // so step 7 (lowest peer address) falls out for free.
+        let best = cands
             .iter()
-            .copied()
-            .min_by(|a, b| Self::rank(a, b))
+            .min_by(|a, b| self.rank((a.0, a.1), (b.0, b.1)))
             .expect("non-empty");
-        let multipath = if self.multipath {
-            candidates
-                .into_iter()
-                .filter(|c| Self::rank(c, best) == std::cmp::Ordering::Equal)
+        let members: Vec<(&CandKey, &Cand)> = if self.multipath {
+            cands
+                .iter()
+                .filter(|c| self.rank((c.0, c.1), (best.0, best.1)) == std::cmp::Ordering::Equal)
                 .collect()
         } else {
             vec![best]
         };
-        Some(Decision { best, multipath })
+        let route = |(key, cand): (&CandKey, &Cand)| RouteInfo {
+            attrs: Arc::clone(self.store.attrs(cand.attr)),
+            attr_id: cand.attr,
+            peer: key.1,
+            ebgp: cand.ebgp,
+        };
+        let mut next_hops: Vec<Ipv4Addr> = members
+            .iter()
+            .map(|(_, c)| self.store.attrs(c.attr).next_hop)
+            .collect();
+        next_hops.sort();
+        next_hops.dedup();
+        Some(Arc::new(Decision {
+            best: route((best.0, best.1)),
+            multipath: members.into_iter().map(route).collect(),
+            next_hops,
+        }))
     }
 
     /// Total ordering used by the decision process; `Less` is better. Steps
     /// 1–6 define multipath equality; step 7 (peer address) only breaks the
     /// final tie for the single best path and is excluded from `rank` — the
     /// caller treats `Equal` as "same up to multipath" and `min_by` keeps
-    /// the earliest candidate, whose ordering is deterministic because
-    /// candidates are gathered in (local, peer-address) order.
-    fn rank(a: &RoutePath, b: &RoutePath) -> std::cmp::Ordering {
+    /// the earliest candidate (index order is local, then peer address).
+    fn rank(&self, a: (&CandKey, &Cand), b: (&CandKey, &Cand)) -> std::cmp::Ordering {
         use std::cmp::Ordering;
+        let (ak, ac) = a;
+        let (bk, bc) = b;
+        let am = self.store.meta(ac.attr);
+        let bm = self.store.meta(bc.attr);
         // 1. Higher local-pref wins.
-        let o = b.local_pref().cmp(&a.local_pref());
+        let o = bm.local_pref.cmp(&am.local_pref);
         if o != Ordering::Equal {
             return o;
         }
-        // 2. Local origination wins.
-        let o = b.is_local().cmp(&a.is_local());
+        // 2. Local origination wins (`!key.0` is "is local").
+        let o = ak.0.cmp(&bk.0);
         if o != Ordering::Equal {
             return o;
         }
         // 3. Shorter AS path wins.
-        let o = a.attrs.as_path_len().cmp(&b.attrs.as_path_len());
+        let o = am.path_len.cmp(&bm.path_len);
         if o != Ordering::Equal {
             return o;
         }
         // 4. Lower origin wins.
-        let o = a.origin_rank().cmp(&b.origin_rank());
+        let o = am.origin_rank.cmp(&bm.origin_rank);
         if o != Ordering::Equal {
             return o;
         }
         // 5. Lower MED wins, only between the same neighbor AS.
-        if a.attrs.neighbor_as().is_some() && a.attrs.neighbor_as() == b.attrs.neighbor_as() {
-            let o = a.attrs.med.unwrap_or(0).cmp(&b.attrs.med.unwrap_or(0));
+        if am.neighbor_as.is_some() && am.neighbor_as == bm.neighbor_as {
+            let o = am.med.cmp(&bm.med);
             if o != Ordering::Equal {
                 return o;
             }
         }
         // 6. eBGP beats iBGP.
-        b.ebgp.cmp(&a.ebgp)
+        bc.ebgp.cmp(&ac.ebgp)
     }
 
     /// The effective next-hop set for a prefix after the decision process:
@@ -238,16 +555,9 @@ impl LocRib {
     /// prefix is unreachable; `None` inner addresses never appear. Locally
     /// originated prefixes return their own next hop.
     pub fn next_hops(&self, prefix: Ipv4Prefix) -> Vec<Ipv4Addr> {
-        match self.decide(prefix) {
-            None => Vec::new(),
-            Some(d) => {
-                let mut hops: Vec<Ipv4Addr> =
-                    d.multipath.iter().map(|p| p.attrs.next_hop).collect();
-                hops.sort();
-                hops.dedup();
-                hops
-            }
-        }
+        self.decide(prefix)
+            .map(|d| d.next_hops.clone())
+            .unwrap_or_default()
     }
 }
 
@@ -274,7 +584,7 @@ mod tests {
     fn announce(rib: &mut LocRib, peer: [u8; 4], path: &[u16], prefix: &str) {
         let u = UpdateMsg {
             withdrawn: vec![],
-            attrs: Some(attrs(path, peer)),
+            attrs: Some(Arc::new(attrs(path, peer))),
             nlri: vec![pfx(prefix)],
         };
         rib.update_from_peer(Ipv4Addr::from(peer), true, &u);
@@ -325,7 +635,7 @@ mod tests {
             true,
             &UpdateMsg {
                 withdrawn: vec![],
-                attrs: Some(long),
+                attrs: Some(Arc::new(long)),
                 nlri: vec![pfx("10.9.0.0/16")],
             },
         );
@@ -354,7 +664,7 @@ mod tests {
             true,
             &UpdateMsg {
                 withdrawn: vec![],
-                attrs: Some(egp),
+                attrs: Some(Arc::new(egp)),
                 nlri: vec![pfx("10.9.0.0/16")],
             },
         );
@@ -377,7 +687,7 @@ mod tests {
                 true,
                 &UpdateMsg {
                     withdrawn: vec![],
-                    attrs: Some(a),
+                    attrs: Some(Arc::new(a)),
                     nlri: vec![pfx("10.9.0.0/16")],
                 },
             );
@@ -400,7 +710,7 @@ mod tests {
                 true,
                 &UpdateMsg {
                     withdrawn: vec![],
-                    attrs: Some(a),
+                    attrs: Some(Arc::new(a)),
                     nlri: vec![pfx("10.9.0.0/16")],
                 },
             );
@@ -424,7 +734,7 @@ mod tests {
         let affected = {
             let u = UpdateMsg {
                 withdrawn: vec![],
-                attrs: Some(attrs(&[1, 65000], [10, 0, 0, 1])),
+                attrs: Some(Arc::new(attrs(&[1, 65000], [10, 0, 0, 1]))),
                 nlri: vec![pfx("10.9.0.0/16")],
             };
             rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u)
@@ -454,7 +764,7 @@ mod tests {
         announce(&mut rib, [10, 0, 0, 1], &[1], "10.9.0.0/16");
         let u = UpdateMsg {
             withdrawn: vec![],
-            attrs: Some(attrs(&[1], [10, 0, 0, 1])),
+            attrs: Some(Arc::new(attrs(&[1], [10, 0, 0, 1]))),
             nlri: vec![pfx("10.9.0.0/16")],
         };
         let affected = rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u);
@@ -483,5 +793,79 @@ mod tests {
         assert!(ps.contains(&pfx("10.0.0.0/24")));
         assert!(ps.contains(&pfx("10.1.0.0/16")));
         assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn identical_attr_sets_share_one_interned_entry() {
+        let mut rib = LocRib::new(65000, true);
+        // Same attrs announced for many prefixes by one peer, and the same
+        // logical attrs (fresh allocation) by another.
+        let shared = Arc::new(attrs(&[1, 2], [10, 0, 0, 1]));
+        let u = UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(Arc::clone(&shared)),
+            nlri: vec![pfx("10.1.0.0/16"), pfx("10.2.0.0/16"), pfx("10.3.0.0/16")],
+        };
+        rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u);
+        let u2 = UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(Arc::new(attrs(&[1, 2], [10, 0, 0, 1]))),
+            nlri: vec![pfx("10.4.0.0/16")],
+        };
+        rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 2), true, &u2);
+        let s = rib.stats();
+        assert_eq!(s.attr_store_size, 1, "one distinct attribute set");
+        assert_eq!(s.attr_interns, 1);
+        assert_eq!(s.attr_reuses, 1, "second UPDATE reused the entry");
+        let d1 = rib.decide(pfx("10.1.0.0/16")).unwrap();
+        let d4 = rib.decide(pfx("10.4.0.0/16")).unwrap();
+        assert!(
+            Arc::ptr_eq(&d1.best.attrs, &d4.best.attrs),
+            "decisions share the canonical allocation"
+        );
+        assert_eq!(d1.best.attr_id, d4.best.attr_id);
+    }
+
+    #[test]
+    fn decide_is_memoized_until_invalidated() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1, 2], "10.9.0.0/16");
+        announce(&mut rib, [10, 0, 0, 2], &[3, 4], "10.9.0.0/16");
+        let p = pfx("10.9.0.0/16");
+        let d1 = rib.decide(p).unwrap();
+        let d2 = rib.decide(p).unwrap();
+        assert!(Arc::ptr_eq(&d1, &d2), "second read hits the cache");
+        let s = rib.stats();
+        assert_eq!(s.decide_calls, 2);
+        assert_eq!(s.decide_recomputes, 1);
+        assert_eq!(s.decide_cache_hits, 1);
+        assert_eq!(s.candidate_touches, 2, "one recompute over two candidates");
+        // A mutation touching the prefix invalidates the memo.
+        announce(&mut rib, [10, 0, 0, 3], &[9], "10.9.0.0/16");
+        let d3 = rib.decide(p).unwrap();
+        assert!(!Arc::ptr_eq(&d1, &d3));
+        let s = rib.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.decide_recomputes, 2);
+        // Unreachable prefixes are memoized too.
+        let other = pfx("10.250.0.0/16");
+        assert!(rib.decide(other).is_none());
+        assert!(rib.decide(other).is_none());
+        assert_eq!(rib.stats().decide_cache_hits, 2);
+    }
+
+    #[test]
+    fn redundant_update_keeps_memo() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.9.0.0/16");
+        let p = pfx("10.9.0.0/16");
+        let d1 = rib.decide(p).unwrap();
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.9.0.0/16");
+        let d2 = rib.decide(p).unwrap();
+        assert!(
+            Arc::ptr_eq(&d1, &d2),
+            "identical re-announcement must not invalidate"
+        );
+        assert_eq!(rib.stats().invalidations, 0);
     }
 }

@@ -453,8 +453,8 @@ mod tests {
         establish(&mut a, &mut b, SimTime::ZERO);
         let upd = UpdateMsg {
             withdrawn: vec![],
-            attrs: Some(crate::msg::PathAttributes::originated(Ipv4Addr::new(
-                10, 0, 0, 1,
+            attrs: Some(std::sync::Arc::new(crate::msg::PathAttributes::originated(
+                Ipv4Addr::new(10, 0, 0, 1),
             ))),
             nlri: vec!["10.9.0.0/16".parse().unwrap()],
         };

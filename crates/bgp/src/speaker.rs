@@ -17,15 +17,24 @@
 //! except the one it was learned from (split horizon), prepend the local
 //! AS, set next-hop-self, and strip LOCAL_PREF/MED. Announcements with the
 //! same attributes are batched into one UPDATE.
+//!
+//! The read path rides the RIB's route-churn fast path (see [`crate::rib`]):
+//! `reconcile` reads each affected decision once (memoized for the per-peer
+//! syncs), Adj-RIB-Out holds interned [`AttrId`]s instead of deep attribute
+//! copies, the export transform (prepend, next-hop-self, strip) is cached
+//! per `(peer, AttrId)` — it depends only on static session config — and
+//! announcement batching groups by id, replacing the old linear
+//! deep-equality scan while emitting byte-identical UPDATEs.
 
-use crate::msg::{PathAttributes, UpdateMsg};
-use crate::rib::LocRib;
+use crate::msg::UpdateMsg;
+use crate::rib::{AttrId, Decision, LocRib, RibStats};
 use crate::session::{PeerConfig, Session, SessionEvent, SessionState, TimerConfig};
 use bytes::Bytes;
 use horse_net::addr::Ipv4Prefix;
 use horse_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Speaker configuration.
 #[derive(Debug, Clone)]
@@ -80,7 +89,17 @@ pub struct BgpSpeaker {
     pub config: BgpConfig,
     sessions: BTreeMap<Ipv4Addr, Session>,
     rib: LocRib,
-    adj_out: BTreeMap<Ipv4Addr, BTreeMap<Ipv4Prefix, PathAttributes>>,
+    /// Adj-RIB-Out per peer: what we last advertised, as interned attr ids
+    /// (the canonical bytes live in the RIB's attribute store).
+    adj_out: BTreeMap<Ipv4Addr, BTreeMap<Ipv4Prefix, AttrId>>,
+    /// Memoized export policy per `(peer, best-path AttrId)`: `None` means
+    /// "suppressed" (AS-loop toward that peer). Split horizon is checked
+    /// outside the cache (it depends on where the best path was learned,
+    /// not on its attributes). Never invalidated — the transform reads only
+    /// static session config.
+    export_cache: BTreeMap<(Ipv4Addr, AttrId), Option<AttrId>>,
+    export_hits: u64,
+    export_misses: u64,
     fib_view: BTreeMap<Ipv4Prefix, Vec<Ipv4Addr>>,
     outputs: Vec<SpeakerOutput>,
     started: bool,
@@ -115,6 +134,9 @@ impl BgpSpeaker {
             sessions,
             rib,
             adj_out: BTreeMap::new(),
+            export_cache: BTreeMap::new(),
+            export_hits: 0,
+            export_misses: 0,
             fib_view: BTreeMap::new(),
             outputs: Vec::new(),
             started: false,
@@ -245,6 +267,15 @@ impl BgpSpeaker {
         &self.rib
     }
 
+    /// Snapshot of the RIB work counters with the speaker's export-cache
+    /// figures merged in (observability; see [`RibStats`]).
+    pub fn rib_stats(&self) -> RibStats {
+        let mut s = self.rib.stats();
+        s.export_cache_hits = self.export_hits;
+        s.export_cache_misses = self.export_misses;
+        s
+    }
+
     /// State of the session to `peer`.
     pub fn session_state(&self, peer: Ipv4Addr) -> Option<SessionState> {
         self.sessions.get(&peer).map(|s| s.state())
@@ -295,9 +326,14 @@ impl BgpSpeaker {
                     }
                 }
             }
-            for peer in newly_up {
+            if !newly_up.is_empty() {
+                // One read of the persistent prefix index serves every
+                // newly established peer (the old code rebuilt the union
+                // of all per-peer tables once per peer).
                 let all = self.rib.prefixes();
-                self.sync_peer(peer, &all, now);
+                for peer in newly_up {
+                    self.sync_peer(peer, &all, now);
+                }
             }
             if !affected.is_empty() {
                 self.reconcile(&affected, now);
@@ -308,20 +344,18 @@ impl BgpSpeaker {
     /// Recomputes decisions for `prefixes`: reports FIB changes and
     /// refreshes every established peer's advertisements.
     fn reconcile(&mut self, prefixes: &BTreeSet<Ipv4Prefix>, now: SimTime) {
-        // 1. FIB-facing next-hop sets.
+        // 1. FIB-facing next-hop sets — one decision read per prefix; the
+        //    memoized result also serves every peer sync below.
         for prefix in prefixes {
-            let decision_is_local = self
-                .rib
-                .decide(*prefix)
-                .map(|d| d.best.is_local())
-                .unwrap_or(false);
-            let hops = if decision_is_local {
-                // Locally originated prefixes are connected routes; the data
-                // plane already knows them. Report nothing.
-                self.fib_view.remove(prefix);
-                continue;
-            } else {
-                self.rib.next_hops(*prefix)
+            let hops = match self.rib.decide(*prefix) {
+                Some(d) if d.best.is_local() => {
+                    // Locally originated prefixes are connected routes; the
+                    // data plane already knows them. Report nothing.
+                    self.fib_view.remove(prefix);
+                    continue;
+                }
+                Some(d) => d.next_hops.clone(),
+                None => Vec::new(),
             };
             let changed = match self.fib_view.get(prefix) {
                 Some(prev) => prev != &hops,
@@ -357,13 +391,18 @@ impl BgpSpeaker {
         let held =
             !mrai.is_zero() && now < self.mrai_ready.get(&peer).copied().unwrap_or(SimTime::ZERO);
         let mut withdraws: Vec<Ipv4Prefix> = Vec::new();
-        let mut announces: Vec<(PathAttributes, Vec<Ipv4Prefix>)> = Vec::new();
+        // Announcement batches grouped by interned attr id. `group_of`
+        // replaces the old linear deep-equality scan while keeping the
+        // first-occurrence group order, so the emitted UPDATE sequence is
+        // byte-identical.
+        let mut announces: Vec<(AttrId, Vec<Ipv4Prefix>)> = Vec::new();
+        let mut group_of: BTreeMap<AttrId, usize> = BTreeMap::new();
         for prefix in prefixes {
-            let desired = self
-                .rib
-                .decide(*prefix)
-                .and_then(|d| self.export_attrs(peer, d.best.peer, &d.best.attrs));
-            let current = self.adj_out.get(&peer).and_then(|t| t.get(prefix));
+            let desired = match self.rib.decide(*prefix) {
+                Some(d) => self.export_route(peer, &d),
+                None => None,
+            };
+            let current = self.adj_out.get(&peer).and_then(|t| t.get(prefix)).copied();
             match (current, desired) {
                 (Some(_), None) => {
                     withdraws.push(*prefix);
@@ -374,14 +413,17 @@ impl BgpSpeaker {
                         p.remove(prefix);
                     }
                 }
-                (cur, Some(want)) if cur != Some(&want) => {
+                (cur, Some(want)) if cur != Some(want) => {
                     if held {
                         self.mrai_pending.entry(peer).or_default().insert(*prefix);
                         continue;
                     }
-                    match announces.iter_mut().find(|(a, _)| *a == want) {
-                        Some((_, ps)) => ps.push(*prefix),
-                        None => announces.push((want.clone(), vec![*prefix])),
+                    match group_of.get(&want) {
+                        Some(&g) => announces[g].1.push(*prefix),
+                        None => {
+                            group_of.insert(want, announces.len());
+                            announces.push((want, vec![*prefix]));
+                        }
                     }
                     self.adj_out.entry(peer).or_default().insert(*prefix, want);
                 }
@@ -389,15 +431,18 @@ impl BgpSpeaker {
             }
         }
         let sent_announcements = !announces.is_empty();
-        let session = self.sessions.get_mut(&peer).expect("known peer");
         if !withdraws.is_empty() {
+            let session = self.sessions.get_mut(&peer).expect("known peer");
             session.send_update(UpdateMsg {
                 withdrawn: withdraws,
                 attrs: None,
                 nlri: vec![],
             });
         }
-        for (attrs, nlri) in announces {
+        for (attr, nlri) in announces {
+            // The UPDATE shares the store's canonical allocation.
+            let attrs = Arc::clone(self.rib.attrs_of(attr));
+            let session = self.sessions.get_mut(&peer).expect("known peer");
             session.send_update(UpdateMsg {
                 withdrawn: vec![],
                 attrs: Some(attrs),
@@ -410,27 +455,35 @@ impl BgpSpeaker {
     }
 
     /// eBGP export policy for `peer`: split horizon, prepend own AS,
-    /// next-hop-self, strip LOCAL_PREF and MED.
-    fn export_attrs(
-        &self,
-        peer: Ipv4Addr,
-        learned_from: Ipv4Addr,
-        attrs: &PathAttributes,
-    ) -> Option<PathAttributes> {
-        if learned_from == peer {
+    /// next-hop-self, strip LOCAL_PREF and MED. The transform (everything
+    /// past split horizon) is memoized per `(peer, AttrId)`.
+    fn export_route(&mut self, peer: Ipv4Addr, decision: &Decision) -> Option<AttrId> {
+        if decision.best.peer == peer {
             return None; // split horizon
         }
-        let session = &self.sessions[&peer];
+        let key = (peer, decision.best.attr_id);
+        if let Some(cached) = self.export_cache.get(&key) {
+            self.export_hits += 1;
+            return *cached;
+        }
+        self.export_misses += 1;
+        let (remote_as, local_addr) = {
+            let cfg = &self.sessions[&peer].config;
+            (cfg.remote_as, cfg.local_addr)
+        };
         // Sending a path containing the peer's AS would be rejected by its
         // loop check anyway; suppress it to save messages (common policy).
-        if attrs.contains_asn(session.config.remote_as) {
-            return None;
-        }
-        let mut out = attrs.prepended(self.config.asn);
-        out.next_hop = session.config.local_addr;
-        out.local_pref = None;
-        out.med = None;
-        Some(out)
+        let exported = if decision.best.attrs.contains_asn(remote_as) {
+            None
+        } else {
+            let mut out = decision.best.attrs.prepended(self.config.asn);
+            out.next_hop = local_addr;
+            out.local_pref = None;
+            out.med = None;
+            Some(self.rib.intern_attrs(out))
+        };
+        self.export_cache.insert(key, exported);
+        exported
     }
 }
 
@@ -907,6 +960,117 @@ mod tests {
         assert!(
             d <= SimTime::from_secs(5),
             "scheduler would sleep past the MRAI flush: {d}"
+        );
+    }
+
+    #[test]
+    fn export_cache_batches_shared_attrs_and_keeps_withdrawal_bypass() {
+        // r1 -- r2 -- r3; r2 enforces a 5 s MRAI toward its peers. Two
+        // prefixes that share one attribute set must flush as a SINGLE
+        // UPDATE (grouping is by interned attr id now, not a deep scan),
+        // withdrawals must still bypass the hold-down, and a flap +
+        // re-announce must be served from r2's export cache.
+        let r1 = speaker(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr(12, 2), addr(12, 1), 65002)],
+            vec!["10.1.0.0/16"],
+        );
+        let r2 = speaker_mrai(
+            65002,
+            [2, 2, 2, 2],
+            vec![
+                (addr(12, 1), addr(12, 2), 65001),
+                (addr(23, 3), addr(23, 2), 65003),
+            ],
+            vec![],
+            5,
+        );
+        let r3 = speaker(
+            65003,
+            [3, 3, 3, 3],
+            vec![(addr(23, 2), addr(23, 3), 65002)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![r1, r2, r3]);
+        h.start(SimTime::ZERO);
+        let p2: Ipv4Prefix = "10.42.0.0/16".parse().unwrap();
+        let p3: Ipv4Prefix = "10.43.0.0/16".parse().unwrap();
+        // Two more networks at t=1; identical attributes from r1, so at r2
+        // they intern to the same id.
+        h.speakers[0].originate(p2, SimTime::from_secs(1));
+        h.speakers[0].originate(p3, SimTime::from_secs(1));
+        h.run(SimTime::from_secs(1));
+        assert!(h.speakers[2].rib().decide(p2).is_none(), "held by MRAI");
+        // Flush at t=5: intercept r2's wire output toward r3 before
+        // delivering it, to count UPDATE messages.
+        h.speakers[1].poll_timers(SimTime::from_secs(5));
+        let mut updates = 0usize;
+        let mut nlri: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+        for out in h.speakers[1].take_outputs() {
+            match out {
+                SpeakerOutput::SendBytes { peer, bytes } => {
+                    if peer == addr(23, 3) {
+                        let mut off = 0;
+                        while off < bytes.len() {
+                            let (m, used) = crate::msg::Message::decode(&bytes[off..])
+                                .expect("valid wire bytes")
+                                .expect("complete message");
+                            off += used;
+                            if let crate::msg::Message::Update(u) = m {
+                                updates += 1;
+                                nlri.extend(u.nlri.iter().copied());
+                            }
+                        }
+                    }
+                    let from = h.speakers[1]
+                        .config
+                        .peers
+                        .iter()
+                        .find(|p| p.peer_addr == peer)
+                        .map(|p| p.local_addr)
+                        .expect("configured peer");
+                    let j = h.addr_of[&peer];
+                    h.speakers[j].on_bytes(from, SimTime::from_secs(5), &bytes);
+                }
+                SpeakerOutput::RouteChanged { prefix, next_hops } => {
+                    h.route_events[1].push((prefix, next_hops));
+                }
+                _ => {}
+            }
+        }
+        h.run(SimTime::from_secs(5));
+        assert_eq!(updates, 1, "shared attrs must batch into one UPDATE");
+        assert_eq!(nlri, [p2, p3].into_iter().collect::<BTreeSet<_>>());
+        assert!(h.speakers[2].rib().decide(p2).is_some());
+        assert!(h.speakers[2].rib().decide(p3).is_some());
+        // Withdraw p2 at t=6 — deep inside the re-armed hold-down; the
+        // withdrawal must reach r3 immediately.
+        h.speakers[0].withdraw(p2, SimTime::from_secs(6));
+        h.run(SimTime::from_secs(6));
+        assert!(
+            h.speakers[2].rib().decide(p2).is_none(),
+            "withdrawal bypasses MRAI under the export cache"
+        );
+        // Re-announce p2 at t=11 (MRAI idle again): identical attributes
+        // re-intern to the same id, so r2 answers its export toward r3
+        // from the cache — hits grow, misses do not.
+        let before = h.speakers[1].rib_stats();
+        assert!(before.export_cache_hits > 0, "shared attrs already hit");
+        // (No poll_timers here: the harness never exchanges keepalives, so
+        // polling at t=11 would expire the 9 s hold timer. The MRAI is
+        // idle again by now, so the announce goes straight out.)
+        h.speakers[0].originate(p2, SimTime::from_secs(11));
+        h.run(SimTime::from_secs(11));
+        let after = h.speakers[1].rib_stats();
+        assert!(h.speakers[2].rib().decide(p2).is_some(), "re-learned");
+        assert!(
+            after.export_cache_hits > before.export_cache_hits,
+            "re-announce must be an export-cache hit"
+        );
+        assert_eq!(
+            after.export_cache_misses, before.export_cache_misses,
+            "no new export computation on a flap + re-announce"
         );
     }
 }

@@ -70,7 +70,7 @@ fn messages() -> impl Strategy<Value = Message> {
                 let nlri = if attrs.is_some() { nlri } else { vec![] };
                 Message::Update(UpdateMsg {
                     withdrawn,
-                    attrs,
+                    attrs: attrs.map(std::sync::Arc::new),
                     nlri,
                 })
             }),

@@ -30,6 +30,7 @@
 //! sweep instants, same outputs) and whose only difference is cost, which
 //! [`PumpStats`] makes visible.
 
+use horse_bgp::rib::RibStats;
 use horse_bgp::speaker::{BgpSpeaker, SpeakerOutput};
 use horse_cm::FibInstaller;
 use horse_controller::{EcmpApp, HederaApp};
@@ -152,6 +153,15 @@ impl ControlPlane {
             ControlPlane::None => PumpStats::default(),
             ControlPlane::Bgp(b) => b.stats,
             ControlPlane::Sdn(s) => s.stats,
+        }
+    }
+
+    /// RIB work counters summed over all BGP speakers (zero for non-BGP
+    /// control planes).
+    pub fn rib_stats(&self) -> RibStats {
+        match self {
+            ControlPlane::Bgp(b) => b.rib_stats(),
+            ControlPlane::None | ControlPlane::Sdn(_) => RibStats::default(),
         }
     }
 
@@ -326,6 +336,15 @@ impl BgpControl {
             stats: PumpStats::default(),
             installs: 0,
         }
+    }
+
+    /// RIB + export-cache work counters summed over every speaker.
+    pub fn rib_stats(&self) -> RibStats {
+        let mut out = RibStats::default();
+        for s in self.speakers.values() {
+            out.merge(&s.rib_stats());
+        }
+        out
     }
 
     fn start(&mut self, now: SimTime, dp: &mut DataPlane) {

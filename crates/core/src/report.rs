@@ -55,6 +55,24 @@ pub struct ExperimentReport {
     pub pump_nodes_touched: u64,
     /// Full flow-table walks (timeout checks + expiry sweeps).
     pub pump_table_scans: u64,
+    /// BGP decision-process invocations (all speakers).
+    pub rib_decide_calls: u64,
+    /// Decision calls answered from the per-prefix memo cache.
+    pub rib_decide_cache_hits: u64,
+    /// Cached decisions dropped by RIB mutations.
+    pub rib_invalidations: u64,
+    /// Candidates examined by decision recomputes.
+    pub rib_candidate_touches: u64,
+    /// Distinct path-attribute sets interned.
+    pub rib_attr_interns: u64,
+    /// Attribute-set intern hits (deep clones avoided).
+    pub rib_attr_reuses: u64,
+    /// Peak attribute-store size summed over speakers.
+    pub rib_attr_store_peak: u64,
+    /// Export-policy results served from per-peer caches.
+    pub rib_export_cache_hits: u64,
+    /// Export-policy computations (cache misses).
+    pub rib_export_cache_misses: u64,
 }
 
 impl ExperimentReport {
@@ -208,7 +226,36 @@ impl ExperimentReport {
             "  \"pump_nodes_touched\": {},",
             self.pump_nodes_touched
         );
-        let _ = writeln!(out, "  \"pump_table_scans\": {}", self.pump_table_scans);
+        let _ = writeln!(out, "  \"pump_table_scans\": {},", self.pump_table_scans);
+        let _ = writeln!(out, "  \"rib_decide_calls\": {},", self.rib_decide_calls);
+        let _ = writeln!(
+            out,
+            "  \"rib_decide_cache_hits\": {},",
+            self.rib_decide_cache_hits
+        );
+        let _ = writeln!(out, "  \"rib_invalidations\": {},", self.rib_invalidations);
+        let _ = writeln!(
+            out,
+            "  \"rib_candidate_touches\": {},",
+            self.rib_candidate_touches
+        );
+        let _ = writeln!(out, "  \"rib_attr_interns\": {},", self.rib_attr_interns);
+        let _ = writeln!(out, "  \"rib_attr_reuses\": {},", self.rib_attr_reuses);
+        let _ = writeln!(
+            out,
+            "  \"rib_attr_store_peak\": {},",
+            self.rib_attr_store_peak
+        );
+        let _ = writeln!(
+            out,
+            "  \"rib_export_cache_hits\": {},",
+            self.rib_export_cache_hits
+        );
+        let _ = writeln!(
+            out,
+            "  \"rib_export_cache_misses\": {}",
+            self.rib_export_cache_misses
+        );
         out.push('}');
         out
     }
@@ -224,6 +271,15 @@ impl ExperimentReport {
         r.pump_nodes_total = 0;
         r.pump_nodes_touched = 0;
         r.pump_table_scans = 0;
+        r.rib_decide_calls = 0;
+        r.rib_decide_cache_hits = 0;
+        r.rib_invalidations = 0;
+        r.rib_candidate_touches = 0;
+        r.rib_attr_interns = 0;
+        r.rib_attr_reuses = 0;
+        r.rib_attr_store_peak = 0;
+        r.rib_export_cache_hits = 0;
+        r.rib_export_cache_misses = 0;
         r.to_json()
     }
 
@@ -310,6 +366,16 @@ impl ExperimentReport {
             pump_nodes_total: opt_num("pump_nodes_total"),
             pump_nodes_touched: opt_num("pump_nodes_touched"),
             pump_table_scans: opt_num("pump_table_scans"),
+            // Absent in pre-rib-stats dumps: default to 0.
+            rib_decide_calls: opt_num("rib_decide_calls"),
+            rib_decide_cache_hits: opt_num("rib_decide_cache_hits"),
+            rib_invalidations: opt_num("rib_invalidations"),
+            rib_candidate_touches: opt_num("rib_candidate_touches"),
+            rib_attr_interns: opt_num("rib_attr_interns"),
+            rib_attr_reuses: opt_num("rib_attr_reuses"),
+            rib_attr_store_peak: opt_num("rib_attr_store_peak"),
+            rib_export_cache_hits: opt_num("rib_export_cache_hits"),
+            rib_export_cache_misses: opt_num("rib_export_cache_misses"),
         })
     }
 }

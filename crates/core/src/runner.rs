@@ -481,6 +481,7 @@ impl Runner {
         self.fluid.advance(end);
         self.sample(end);
         let pump = self.control.pump_stats();
+        let rib = self.control.rib_stats();
         ExperimentReport {
             label: std::mem::take(&mut self.label),
             horizon: end,
@@ -507,6 +508,15 @@ impl Runner {
             pump_nodes_total: pump.nodes_total,
             pump_nodes_touched: pump.nodes_touched,
             pump_table_scans: pump.table_scans,
+            rib_decide_calls: rib.decide_calls,
+            rib_decide_cache_hits: rib.decide_cache_hits,
+            rib_invalidations: rib.invalidations,
+            rib_candidate_touches: rib.candidate_touches,
+            rib_attr_interns: rib.attr_interns,
+            rib_attr_reuses: rib.attr_reuses,
+            rib_attr_store_peak: rib.attr_store_size,
+            rib_export_cache_hits: rib.export_cache_hits,
+            rib_export_cache_misses: rib.export_cache_misses,
         }
     }
 }

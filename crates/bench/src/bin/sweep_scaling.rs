@@ -14,6 +14,7 @@
 //! Run: `cargo run --release -p horse-bench --bin sweep_scaling -- \
 //!       [duration_s] [pods...]`   (defaults: 10 s, pods 4 6 8)
 
+use horse_core::RunConfig;
 use horse_stats::json_f64;
 use horse_sweep::SweepPlan;
 use std::fmt::Write as _;
@@ -21,6 +22,7 @@ use std::fmt::Write as _;
 const WORKER_RUNGS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
+    let cfg = RunConfig::from_env();
     let mut args = std::env::args().skip(1);
     let duration: f64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(10.0);
     let pods: Vec<usize> = {
@@ -117,10 +119,7 @@ fn main() {
     let _ = write!(json, "  \"rows\": {rows}\n}}\n");
     horse_bench::write_result("sweep_scaling.json", &json);
 
-    if let Ok(min) = std::env::var("HORSE_SWEEP_MIN_SPEEDUP") {
-        let min: f64 = min
-            .parse()
-            .expect("HORSE_SWEEP_MIN_SPEEDUP must be a number");
+    if let Some(min) = cfg.sweep_min_speedup {
         assert!(
             best_speedup >= min,
             "best speedup {best_speedup:.2}x below required {min}x \

@@ -20,11 +20,11 @@ use horse_stats::{json_f64, json_string, SweepStats};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// Directory where harnesses drop their machine-readable outputs.
+/// Directory where harnesses drop their machine-readable outputs
+/// (`HORSE_RESULTS_DIR`, via [`horse_core::RunConfig`] — the single
+/// `HORSE_*` parse point).
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("HORSE_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("bench_results"));
+    let dir = horse_core::RunConfig::from_env().results_dir;
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

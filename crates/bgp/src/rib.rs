@@ -443,6 +443,15 @@ impl LocRib {
         self.store.attrs(id)
     }
 
+    /// Just the decision-process counters `(decide_calls,
+    /// decide_cache_hits)` — the subset trace instrumentation diffs around
+    /// every `reconcile`. Much cheaper than [`LocRib::stats`], which also
+    /// assembles the attribute-store figures.
+    pub fn decide_counters(&self) -> (u64, u64) {
+        let s = self.stats.borrow();
+        (s.decide_calls, s.decide_cache_hits)
+    }
+
     /// Snapshot of the work counters (attr-store figures filled in here).
     pub fn stats(&self) -> RibStats {
         let mut s = *self.stats.borrow();

@@ -32,6 +32,7 @@ use crate::session::{PeerConfig, Session, SessionEvent, SessionState, TimerConfi
 use bytes::Bytes;
 use horse_net::addr::Ipv4Prefix;
 use horse_sim::SimTime;
+use horse_trace::{ComponentLog, TraceData, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -113,6 +114,21 @@ pub struct BgpSpeaker {
     /// re-index this speaker's deadline only when it was touched, instead
     /// of polling every speaker every step.
     deadline_dirty: bool,
+    /// Structured trace sink (FSM transitions, UPDATE tx/rx, MRAI flushes,
+    /// RIB work). Defaults to the null tracer: one discriminant check per
+    /// site, no snapshots, no allocation.
+    tracer: Tracer,
+}
+
+/// Short FSM-state label for trace events.
+fn state_name(s: SessionState) -> &'static str {
+    match s {
+        SessionState::Idle => "idle",
+        SessionState::Connect => "connect",
+        SessionState::OpenSent => "open-sent",
+        SessionState::OpenConfirm => "open-confirm",
+        SessionState::Established => "established",
+    }
 }
 
 impl BgpSpeaker {
@@ -143,6 +159,68 @@ impl BgpSpeaker {
             mrai_ready: BTreeMap::new(),
             mrai_pending: BTreeMap::new(),
             deadline_dirty: true,
+            tracer: Tracer::default(),
+        }
+    }
+
+    /// Installs a trace sink (see `horse-trace`). Pass [`Tracer::Null`] to
+    /// disable again.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Drains this speaker's trace buffer, if tracing is enabled.
+    pub fn take_trace_log(&mut self) -> Option<ComponentLog> {
+        self.tracer.take_log()
+    }
+
+    /// Per-session FSM states, captured before a multi-peer entry point
+    /// (`start`, `poll_timers`) mutates them. Only called when tracing is
+    /// enabled; the single-peer entry points compare one session's state
+    /// inline instead, so the hot receive path never allocates.
+    fn fsm_snapshot(&self) -> Vec<(Ipv4Addr, SessionState)> {
+        self.sessions.iter().map(|(p, s)| (*p, s.state())).collect()
+    }
+
+    /// Records a `BgpFsm` event for a single peer whose state moved from
+    /// `from` to `to`. FSM transitions are rare (a handful per session
+    /// lifetime), so the single-peer entry points compare states inline —
+    /// two field reads — and only reach this slow path on an actual change.
+    #[cold]
+    fn trace_fsm_one(
+        &mut self,
+        peer: Ipv4Addr,
+        from: SessionState,
+        to: SessionState,
+        now: SimTime,
+    ) {
+        self.tracer.record(
+            now,
+            TraceData::BgpFsm {
+                peer: u32::from(peer),
+                from: state_name(from),
+                to: state_name(to),
+            },
+        );
+    }
+
+    /// Records a `BgpFsm` event for every session whose state changed since
+    /// `before`.
+    fn trace_fsm_delta(&mut self, before: &[(Ipv4Addr, SessionState)], now: SimTime) {
+        for (peer, old) in before {
+            if let Some(s) = self.sessions.get(peer) {
+                let new = s.state();
+                if new != *old {
+                    self.tracer.record(
+                        now,
+                        TraceData::BgpFsm {
+                            peer: u32::from(*peer),
+                            from: state_name(*old),
+                            to: state_name(new),
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -150,17 +228,32 @@ impl BgpSpeaker {
     pub fn start(&mut self, now: SimTime) {
         self.deadline_dirty = true;
         self.started = true;
+        let before = if self.tracer.enabled() {
+            self.fsm_snapshot()
+        } else {
+            Vec::new()
+        };
         for s in self.sessions.values_mut() {
             s.start(now);
         }
+        self.trace_fsm_delta(&before, now);
         self.pump(now);
     }
 
     /// The transport to `peer` is connected.
     pub fn on_transport_up(&mut self, peer: Ipv4Addr, now: SimTime) {
         self.deadline_dirty = true;
+        let mut moved = None;
         if let Some(s) = self.sessions.get_mut(&peer) {
+            let before = s.state();
             s.on_transport_up(now);
+            let after = s.state();
+            if after != before {
+                moved = Some((before, after));
+            }
+        }
+        if let Some((from, to)) = moved {
+            self.trace_fsm_one(peer, from, to, now);
         }
         self.pump(now);
     }
@@ -168,8 +261,17 @@ impl BgpSpeaker {
     /// The transport to `peer` dropped.
     pub fn on_transport_down(&mut self, peer: Ipv4Addr, now: SimTime) {
         self.deadline_dirty = true;
+        let mut moved = None;
         if let Some(s) = self.sessions.get_mut(&peer) {
+            let before = s.state();
             s.on_transport_down(now);
+            let after = s.state();
+            if after != before {
+                moved = Some((before, after));
+            }
+        }
+        if let Some((from, to)) = moved {
+            self.trace_fsm_one(peer, from, to, now);
         }
         self.pump(now);
     }
@@ -177,8 +279,17 @@ impl BgpSpeaker {
     /// Bytes arrived from `peer`.
     pub fn on_bytes(&mut self, peer: Ipv4Addr, now: SimTime, bytes: &[u8]) {
         self.deadline_dirty = true;
+        let mut moved = None;
         if let Some(s) = self.sessions.get_mut(&peer) {
+            let before = s.state();
             s.on_bytes(now, bytes);
+            let after = s.state();
+            if after != before {
+                moved = Some((before, after));
+            }
+        }
+        if let Some((from, to)) = moved {
+            self.trace_fsm_one(peer, from, to, now);
         }
         self.pump(now);
     }
@@ -187,9 +298,15 @@ impl BgpSpeaker {
     /// whose MRAI hold-down has expired.
     pub fn poll_timers(&mut self, now: SimTime) {
         self.deadline_dirty = true;
+        let before = if self.tracer.enabled() {
+            self.fsm_snapshot()
+        } else {
+            Vec::new()
+        };
         for s in self.sessions.values_mut() {
             s.poll_timers(now);
         }
+        self.trace_fsm_delta(&before, now);
         let due: Vec<Ipv4Addr> = self
             .mrai_pending
             .iter()
@@ -202,6 +319,13 @@ impl BgpSpeaker {
         for peer in due {
             let pending = self.mrai_pending.remove(&peer).unwrap_or_default();
             if self.sessions.get(&peer).is_some_and(|s| s.is_established()) {
+                self.tracer.record(
+                    now,
+                    TraceData::MraiFlush {
+                        peer: u32::from(peer),
+                        prefixes: pending.len() as u32,
+                    },
+                );
                 self.sync_peer(peer, &pending, now);
             }
         }
@@ -322,6 +446,14 @@ impl BgpSpeaker {
                         self.outputs.push(SpeakerOutput::SessionDown { peer });
                     }
                     SessionEvent::Update(update) => {
+                        self.tracer.record(
+                            now,
+                            TraceData::BgpRx {
+                                peer: u32::from(peer),
+                                announced: update.nlri.len() as u32,
+                                withdrawn: update.withdrawn.len() as u32,
+                            },
+                        );
                         affected.extend(self.rib.update_from_peer(peer, true, &update));
                     }
                 }
@@ -344,6 +476,17 @@ impl BgpSpeaker {
     /// Recomputes decisions for `prefixes`: reports FIB changes and
     /// refreshes every established peer's advertisements.
     fn reconcile(&mut self, prefixes: &BTreeSet<Ipv4Prefix>, now: SimTime) {
+        // Diff only the two decision counters around the reconcile: a full
+        // `rib.stats()` snapshot here costs ~4% wall on the convergence
+        // replay, the counter pair is noise-level.
+        // Diff only the two decision counters around the reconcile: a full
+        // `rib.stats()` snapshot here costs ~4% wall on the convergence
+        // replay, the counter pair is noise-level.
+        let counters_before = if self.tracer.enabled() {
+            Some(self.rib.decide_counters())
+        } else {
+            None
+        };
         // 1. FIB-facing next-hop sets — one decision read per prefix; the
         //    memoized result also serves every peer sync below.
         for prefix in prefixes {
@@ -379,6 +522,16 @@ impl BgpSpeaker {
             if self.sessions[&peer].is_established() {
                 self.sync_peer(peer, prefixes, now);
             }
+        }
+        if let Some((decides_before, hits_before)) = counters_before {
+            let (decides, hits) = self.rib.decide_counters();
+            self.tracer.record(
+                now,
+                TraceData::RibWork {
+                    decides: (decides - decides_before) as u32,
+                    cache_hits: (hits - hits_before) as u32,
+                },
+            );
         }
     }
 
@@ -432,6 +585,14 @@ impl BgpSpeaker {
         }
         let sent_announcements = !announces.is_empty();
         if !withdraws.is_empty() {
+            self.tracer.record(
+                now,
+                TraceData::BgpTx {
+                    peer: u32::from(peer),
+                    announced: 0,
+                    withdrawn: withdraws.len() as u32,
+                },
+            );
             let session = self.sessions.get_mut(&peer).expect("known peer");
             session.send_update(UpdateMsg {
                 withdrawn: withdraws,
@@ -442,6 +603,14 @@ impl BgpSpeaker {
         for (attr, nlri) in announces {
             // The UPDATE shares the store's canonical allocation.
             let attrs = Arc::clone(self.rib.attrs_of(attr));
+            self.tracer.record(
+                now,
+                TraceData::BgpTx {
+                    peer: u32::from(peer),
+                    announced: nlri.len() as u32,
+                    withdrawn: 0,
+                },
+            );
             let session = self.sessions.get_mut(&peer).expect("known peer");
             session.send_update(UpdateMsg {
                 withdrawn: vec![],

@@ -1,0 +1,218 @@
+//! Typed run configuration — the single parse point for every `HORSE_*`
+//! environment variable.
+//!
+//! Historically each bench bin and the sweep pool read its own env var
+//! inline (`HORSE_THREADS` in the pool, `HORSE_RESULTS_DIR` in the bench
+//! lib, the `*_MIN_SPEEDUP` gates in individual bins). [`RunConfig`]
+//! replaces that sprawl: [`RunConfig::from_env`] parses everything once,
+//! and callers thread the struct (or read a field) instead of touching
+//! `std::env` themselves. The env vars still work — they are honored in
+//! exactly one place.
+//!
+//! | Variable | Field | Meaning |
+//! |---|---|---|
+//! | `HORSE_THREADS` | [`RunConfig::threads`] | Sweep worker count (1 = serial path) |
+//! | `HORSE_RESULTS_DIR` | [`RunConfig::results_dir`] | Bench output directory |
+//! | `HORSE_RIB_MIN_SPEEDUP` | [`RunConfig::rib_min_speedup`] | `rib_churn` wall-ratio gate |
+//! | `HORSE_SWEEP_MIN_SPEEDUP` | [`RunConfig::sweep_min_speedup`] | `sweep_scaling` gate |
+//! | `HORSE_TRACE_MAX_OVERHEAD` | [`RunConfig::trace_max_overhead`] | Tracing overhead gate (`rib_churn`) |
+//! | `HORSE_PUMP_MODE` | [`RunConfig::pump_mode`] | `readiness` (default) or `fullpoll` |
+//! | `HORSE_TRACE` | [`RunConfig::trace`]`.enabled` | Enable structured tracing |
+//! | `HORSE_TRACE_CAPACITY` | [`RunConfig::trace`]`.capacity` | Per-component ring capacity |
+
+use crate::control::PumpMode;
+use horse_trace::TraceOptions;
+use std::path::PathBuf;
+
+/// Typed configuration for experiment execution, replacing scattered
+/// `HORSE_*` env reads. Construct with [`RunConfig::from_env`] (the env
+/// vars keep working) or build a value directly in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Sweep worker count; `None` means "use available parallelism".
+    /// `Some(1)` forces the pool's inline serial path.
+    pub threads: Option<usize>,
+    /// Where bench harnesses drop machine-readable outputs.
+    pub results_dir: PathBuf,
+    /// Minimum wall speedup `rib_churn` must demonstrate, if gating.
+    pub rib_min_speedup: Option<f64>,
+    /// Minimum parallel speedup `sweep_scaling` must demonstrate.
+    pub sweep_min_speedup: Option<f64>,
+    /// Maximum fractional wall overhead the tracing layer may add
+    /// (e.g. `0.15` = 15%), enforced by the `rib_churn` smoke, which times
+    /// the live convergence replay traced vs untraced. That replay records
+    /// ~one event per microsecond of work — a deliberate stress case, so
+    /// the bound is a backstop against record-path regressions rather than
+    /// a statement about normal runs (a real experiment records a few
+    /// hundred events over seconds, where the same per-event cost is
+    /// unmeasurable). Bounding the *enabled* cost bounds the disabled
+    /// (null-sink) path a fortiori.
+    pub trace_max_overhead: Option<f64>,
+    /// Control-plane pump scheduling mode.
+    pub pump_mode: PumpMode,
+    /// Structured-tracing options for traced runs.
+    pub trace: TraceOptions,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: None,
+            results_dir: PathBuf::from("bench_results"),
+            rib_min_speedup: None,
+            sweep_min_speedup: None,
+            trace_max_overhead: None,
+            pump_mode: PumpMode::Readiness,
+            trace: TraceOptions::default(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parses the process environment. This is the only place in the
+    /// workspace that reads `HORSE_*` variables.
+    pub fn from_env() -> RunConfig {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// Parses from an arbitrary key→value lookup (tests pass closures so
+    /// they never touch the process-global environment).
+    ///
+    /// Panics on unparsable values — a typo'd override silently falling
+    /// back to a default is worse than a crash.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> RunConfig {
+        let threads = get("HORSE_THREADS").map(|s| match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("HORSE_THREADS must be a positive integer, got {s:?}"),
+        });
+        let results_dir = get("HORSE_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("bench_results"));
+        let float = |key: &str| {
+            get(key).map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("{key} must be a number, got {s:?}"))
+            })
+        };
+        let pump_mode = match get("HORSE_PUMP_MODE").as_deref().map(str::trim) {
+            None => PumpMode::Readiness,
+            Some("readiness") => PumpMode::Readiness,
+            Some("fullpoll") => PumpMode::FullPoll,
+            Some(other) => {
+                panic!("HORSE_PUMP_MODE must be \"readiness\" or \"fullpoll\", got {other:?}")
+            }
+        };
+        let trace_enabled = match get("HORSE_TRACE").as_deref().map(str::trim) {
+            None | Some("0") | Some("false") | Some("") => false,
+            Some("1") | Some("true") => true,
+            Some(other) => panic!("HORSE_TRACE must be 0/1/true/false, got {other:?}"),
+        };
+        let mut trace = if trace_enabled {
+            TraceOptions::enabled()
+        } else {
+            TraceOptions::default()
+        };
+        if let Some(s) = get("HORSE_TRACE_CAPACITY") {
+            match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => trace.capacity = n,
+                _ => panic!("HORSE_TRACE_CAPACITY must be a positive integer, got {s:?}"),
+            }
+        }
+        RunConfig {
+            threads,
+            results_dir,
+            rib_min_speedup: float("HORSE_RIB_MIN_SPEEDUP"),
+            sweep_min_speedup: float("HORSE_SWEEP_MIN_SPEEDUP"),
+            trace_max_overhead: float("HORSE_TRACE_MAX_OVERHEAD"),
+            pump_mode,
+            trace,
+        }
+    }
+
+    /// The worker count to actually use: the configured override, else
+    /// the machine's available parallelism (1 when unknown).
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |k| {
+            pairs
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn empty_env_gives_defaults() {
+        let cfg = RunConfig::from_lookup(|_| None);
+        assert_eq!(cfg, RunConfig::default());
+        assert!(cfg.threads() >= 1);
+        assert!(!cfg.trace.enabled);
+    }
+
+    #[test]
+    fn all_keys_parse() {
+        let cfg = RunConfig::from_lookup(lookup(&[
+            ("HORSE_THREADS", "4"),
+            ("HORSE_RESULTS_DIR", "/tmp/out"),
+            ("HORSE_RIB_MIN_SPEEDUP", "1.5"),
+            ("HORSE_SWEEP_MIN_SPEEDUP", "3"),
+            ("HORSE_TRACE_MAX_OVERHEAD", "0.02"),
+            ("HORSE_PUMP_MODE", "fullpoll"),
+            ("HORSE_TRACE", "1"),
+            ("HORSE_TRACE_CAPACITY", "1024"),
+        ]));
+        assert_eq!(cfg.threads, Some(4));
+        assert_eq!(cfg.threads(), 4);
+        assert_eq!(cfg.results_dir, PathBuf::from("/tmp/out"));
+        assert_eq!(cfg.rib_min_speedup, Some(1.5));
+        assert_eq!(cfg.sweep_min_speedup, Some(3.0));
+        assert_eq!(cfg.trace_max_overhead, Some(0.02));
+        assert_eq!(cfg.pump_mode, PumpMode::FullPoll);
+        assert!(cfg.trace.enabled);
+        assert_eq!(cfg.trace.capacity, 1024);
+    }
+
+    #[test]
+    fn trace_capacity_applies_without_enabling() {
+        let cfg = RunConfig::from_lookup(lookup(&[("HORSE_TRACE_CAPACITY", "64")]));
+        assert!(!cfg.trace.enabled);
+        assert_eq!(cfg.trace.capacity, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_THREADS must be a positive integer")]
+    fn bad_threads_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_THREADS", "zero")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_THREADS must be a positive integer")]
+    fn zero_threads_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_THREADS", "0")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_PUMP_MODE")]
+    fn bad_pump_mode_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_PUMP_MODE", "sometimes")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_RIB_MIN_SPEEDUP must be a number")]
+    fn bad_gate_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_RIB_MIN_SPEEDUP", "fast")]));
+    }
+}

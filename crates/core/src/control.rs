@@ -44,8 +44,10 @@ use horse_openflow::controller::{Controller, ControllerApp, ControllerEvent};
 use horse_openflow::wire::{FlowMod, FlowModCommand, FlowStatsEntry, OfAction, PortDesc};
 use horse_sim::{SimTime, TimerWheel};
 use horse_topo::fattree::BgpNodeSetup;
+use horse_trace::{Component, ComponentLog, PumpReason, TraceData, TraceOptions, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+use std::time::Instant;
 
 /// MTU used to derive packet estimates from fluid byte counts (the fluid
 /// model moves bits, not packets; OF counters want both).
@@ -145,6 +147,51 @@ impl ControlPlane {
             ControlPlane::Bgp(b) => b.mode = mode,
             ControlPlane::Sdn(s) => s.mode = mode,
         }
+    }
+
+    /// Installs ring-buffer tracers on the pump and every instrumented
+    /// sub-component (speakers, the OpenFlow controller). `epoch` is the
+    /// run's shared wall-clock origin.
+    pub fn set_tracers(&mut self, opts: &TraceOptions, epoch: Instant) {
+        if !opts.enabled {
+            return;
+        }
+        match self {
+            ControlPlane::None => {}
+            ControlPlane::Bgp(b) => {
+                b.tracer = Tracer::ring(Component::Pump, opts.capacity, epoch);
+                for (node, s) in &mut b.speakers {
+                    s.set_tracer(Tracer::ring(Component::Bgp(node.0), opts.capacity, epoch));
+                }
+            }
+            ControlPlane::Sdn(s) => {
+                s.tracer = Tracer::ring(Component::Pump, opts.capacity, epoch);
+                s.controller.set_tracer(Tracer::ring(
+                    Component::OfController,
+                    opts.capacity,
+                    epoch,
+                ));
+            }
+        }
+    }
+
+    /// Drains every component's trace buffer (empty when tracing is off).
+    pub fn take_trace_logs(&mut self) -> Vec<ComponentLog> {
+        let mut logs = Vec::new();
+        match self {
+            ControlPlane::None => {}
+            ControlPlane::Bgp(b) => {
+                logs.extend(b.tracer.take_log());
+                for s in b.speakers.values_mut() {
+                    logs.extend(s.take_trace_log());
+                }
+            }
+            ControlPlane::Sdn(s) => {
+                logs.extend(s.tracer.take_log());
+                logs.extend(s.controller.take_trace_log());
+            }
+        }
+        logs
     }
 
     /// Pump cost counters accumulated so far.
@@ -247,7 +294,7 @@ impl ControlPlane {
     ) {
         match self {
             ControlPlane::Bgp(b) => b.on_link_change(link, up, topo, now),
-            ControlPlane::Sdn(s) => s.on_link_change(link, up, topo),
+            ControlPlane::Sdn(s) => s.on_link_change(link, up, topo, now),
             ControlPlane::None => {}
         }
     }
@@ -293,6 +340,9 @@ pub struct BgpControl {
     pub stats: PumpStats,
     /// FIB route installs performed.
     pub installs: u64,
+    /// Structured trace sink for pump-level events (per-node pump reasons,
+    /// link changes).
+    tracer: Tracer,
 }
 
 impl BgpControl {
@@ -335,6 +385,7 @@ impl BgpControl {
             mode: PumpMode::default(),
             stats: PumpStats::default(),
             installs: 0,
+            tracer: Tracer::default(),
         }
     }
 
@@ -389,6 +440,17 @@ impl BgpControl {
         // 1. Ready set: last step's message destinations, fired deadlines,
         // and nodes woken by transport/link events.
         let mut ready = std::mem::take(&mut self.dirty);
+        if self.tracer.enabled() {
+            for node in &ready {
+                self.tracer.record(
+                    now,
+                    TraceData::PumpNode {
+                        node: node.0,
+                        reason: PumpReason::LinkEvent,
+                    },
+                );
+            }
+        }
         let deliveries = std::mem::take(&mut self.in_flight);
         if !deliveries.is_empty() {
             out.activity = true;
@@ -398,7 +460,25 @@ impl BgpControl {
             ready.insert(dst);
             by_dst.entry(dst).or_default().push((from_addr, bytes));
         }
+        if self.tracer.enabled() {
+            for node in by_dst.keys() {
+                self.tracer.record(
+                    now,
+                    TraceData::PumpNode {
+                        node: node.0,
+                        reason: PumpReason::Delivery,
+                    },
+                );
+            }
+        }
         for (node, _) in self.wheel.advance(now) {
+            self.tracer.record(
+                now,
+                TraceData::PumpNode {
+                    node: node.0,
+                    reason: PumpReason::Deadline,
+                },
+            );
             ready.insert(node);
         }
         if self.mode == PumpMode::FullPoll {
@@ -479,6 +559,8 @@ impl BgpControl {
         topo: &Topology,
         now: SimTime,
     ) {
+        self.tracer
+            .record(now, TraceData::LinkChange { link: link.0, up });
         let l = topo.link(link);
         for node in [l.a.node, l.b.node] {
             let Some(speaker) = self.speakers.get(&node) else {
@@ -548,6 +630,9 @@ pub struct SdnControl {
     pub stats: PumpStats,
     /// FLOW_MODs applied to simulated tables.
     pub flow_mods_applied: u64,
+    /// Structured trace sink for pump-level and agent-side OpenFlow events
+    /// (the agent API is wall-clock-free, so the CM records on its behalf).
+    tracer: Tracer,
 }
 
 impl SdnControl {
@@ -584,6 +669,7 @@ impl SdnControl {
             mode: PumpMode::default(),
             stats: PumpStats::default(),
             flow_mods_applied: 0,
+            tracer: Tracer::default(),
         }
     }
 
@@ -597,8 +683,15 @@ impl SdnControl {
     }
 
     /// Lets the runner hand a table-miss packet to the right agent.
-    pub fn packet_in(&mut self, node: NodeId, in_port: u16, data: bytes::Bytes) {
+    pub fn packet_in(&mut self, node: NodeId, in_port: u16, data: bytes::Bytes, now: SimTime) {
         if let Some(agent) = self.agents.get_mut(&node) {
+            self.tracer.record(
+                now,
+                TraceData::OfPacketIn {
+                    node: node.0,
+                    port: u32::from(in_port),
+                },
+            );
             agent.send_packet_in(in_port, horse_openflow::wire::OFPR_NO_MATCH, data);
             self.dirty.insert(node);
         }
@@ -624,11 +717,27 @@ impl SdnControl {
         }
         for (node, bytes) in to_agents {
             if let Some(agent) = self.agents.get_mut(&node) {
+                self.tracer.record(
+                    now,
+                    TraceData::PumpNode {
+                        node: node.0,
+                        reason: PumpReason::Delivery,
+                    },
+                );
                 agent.on_bytes(&bytes);
                 self.dirty.insert(node);
             }
         }
         for (conn, bytes) in to_controller {
+            if let Some(node) = self.node_of_conn.get(&conn) {
+                self.tracer.record(
+                    now,
+                    TraceData::PumpNode {
+                        node: node.0,
+                        reason: PumpReason::Delivery,
+                    },
+                );
+            }
             self.controller
                 .on_bytes(conn, now, &bytes, self.app.as_dyn());
         }
@@ -664,6 +773,13 @@ impl SdnControl {
             }
         };
         for node in due {
+            self.tracer.record(
+                now,
+                TraceData::PumpNode {
+                    node: node.0,
+                    reason: PumpReason::Deadline,
+                },
+            );
             let (activity, tables_changed) = self.sweep_table(node, now, dp, fluid);
             out.activity |= activity;
             out.tables_changed |= tables_changed;
@@ -692,6 +808,8 @@ impl SdnControl {
                     AgentEvent::FlowMod(fm) => {
                         out.activity = true;
                         if Self::apply_flow_mod(dp, node, &fm, now) {
+                            self.tracer
+                                .record(now, TraceData::OfFlowMod { node: node.0 });
                             out.tables_changed = true;
                             table_touched = true;
                             self.flow_mods_applied += 1;
@@ -700,6 +818,13 @@ impl SdnControl {
                     AgentEvent::FlowStatsRequest { xid, .. } => {
                         out.activity = true;
                         let entries = Self::flow_stats_of(dp, node, fluid, now);
+                        self.tracer.record(
+                            now,
+                            TraceData::OfStatsReply {
+                                node: node.0,
+                                entries: entries.len() as u32,
+                            },
+                        );
                         self.agents
                             .get_mut(&node)
                             .expect("agent")
@@ -803,6 +928,13 @@ impl SdnControl {
         if expired.is_empty() {
             return (false, false);
         }
+        self.tracer.record(
+            now,
+            TraceData::FlowRemoved {
+                node: node.0,
+                entries: expired.len() as u32,
+            },
+        );
         let agent = self.agents.get_mut(&node).expect("agent");
         for e in expired {
             let idle =
@@ -946,7 +1078,15 @@ impl SdnControl {
     }
 
     /// A link changed state: every attached switch reports PORT_STATUS.
-    fn on_link_change(&mut self, link: horse_net::topology::LinkId, up: bool, topo: &Topology) {
+    fn on_link_change(
+        &mut self,
+        link: horse_net::topology::LinkId,
+        up: bool,
+        topo: &Topology,
+        now: SimTime,
+    ) {
+        self.tracer
+            .record(now, TraceData::LinkChange { link: link.0, up });
         let l = topo.link(link);
         for ep in [l.a, l.b] {
             if let Some(agent) = self.agents.get_mut(&ep.node) {

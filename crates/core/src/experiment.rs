@@ -12,6 +12,7 @@ use horse_net::topology::Topology;
 use horse_sim::{FtiConfig, Pacing, SimDuration, SimTime};
 use horse_topo::fattree::{BgpNodeSetup, FatTree, SwitchRole};
 use horse_topo::pattern::{demo_tuple, TrafficPattern};
+use horse_trace::{TraceLog, TraceOptions};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -115,6 +116,9 @@ pub struct Experiment {
     /// Pump scheduling mode (readiness-driven by default; `FullPoll` is
     /// the legacy cost model for differential tests and benches).
     pub pump_mode: PumpMode,
+    /// Structured-tracing options (disabled by default; enabling records
+    /// span events across runner, pump, BGP speakers and the controller).
+    pub trace: TraceOptions,
     /// Report label.
     pub label: String,
 }
@@ -139,6 +143,7 @@ impl Experiment {
             seed: 1,
             sdn_idle_timeout_s: 0,
             pump_mode: PumpMode::default(),
+            trace: TraceOptions::default(),
             label: String::from("experiment"),
         }
     }
@@ -266,6 +271,12 @@ impl Experiment {
         self
     }
 
+    /// Sets the structured-tracing options (see [`horse_trace`]).
+    pub fn trace(mut self, opts: TraceOptions) -> Experiment {
+        self.trace = opts;
+        self
+    }
+
     /// Sets the report label.
     pub fn label(mut self, label: impl Into<String>) -> Experiment {
         self.label = label.into();
@@ -274,6 +285,13 @@ impl Experiment {
 
     /// Builds and runs the experiment, returning its report.
     pub fn run(self) -> ExperimentReport {
+        self.run_traced().0
+    }
+
+    /// Builds and runs the experiment, returning the report and — when
+    /// tracing was enabled via [`Experiment::trace`] — the merged
+    /// [`TraceLog`] for export and analysis.
+    pub fn run_traced(self) -> (ExperimentReport, Option<TraceLog>) {
         let setup_start = std::time::Instant::now();
         let dp = DataPlane::from_topology(&self.topo, self.router_hash, HashMode::FiveTuple);
         // The control plane is built from *shared* topology state: BGP
@@ -315,6 +333,8 @@ impl Experiment {
             self.sample_interval,
             self.label,
         );
-        runner.run(wall_setup_secs)
+        runner.set_trace(&self.trace);
+        let report = runner.run(wall_setup_secs);
+        (report, runner.take_trace())
     }
 }

@@ -20,12 +20,14 @@
 //! assert!(report.goodput_mean_bps() > 0.0);
 //! ```
 
+pub mod config;
 pub mod control;
 pub mod experiment;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
+pub use config::RunConfig;
 pub use control::{ControlPlane, PumpMode, PumpStats, SdnApp};
 pub use experiment::{ControlBuild, Experiment, TeApproach, TrafficEvent};
 pub use report::ExperimentReport;

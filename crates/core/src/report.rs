@@ -3,6 +3,7 @@
 use horse_net::flow::FlowId;
 use horse_sim::{ClockMode, ModeTransition, SimDuration, SimTime};
 use horse_stats::{json_f64, json_string, Json, SeriesSet};
+use horse_trace::TraceSummary;
 
 /// Everything a finished experiment reports — the inputs for the demo's
 /// goodput graph (per TE approach) and for Figure 3's execution times.
@@ -73,6 +74,8 @@ pub struct ExperimentReport {
     pub rib_export_cache_hits: u64,
     /// Export-policy computations (cache misses).
     pub rib_export_cache_misses: u64,
+    /// Trace totals for the run (all-zero when tracing was off).
+    pub trace: TraceSummary,
 }
 
 impl ExperimentReport {
@@ -253,11 +256,58 @@ impl ExperimentReport {
         );
         let _ = writeln!(
             out,
-            "  \"rib_export_cache_misses\": {}",
+            "  \"rib_export_cache_misses\": {},",
             self.rib_export_cache_misses
+        );
+        let _ = writeln!(out, "  \"trace_events\": {},", self.trace.events);
+        let _ = writeln!(out, "  \"trace_dropped\": {},", self.trace.dropped);
+        let _ = writeln!(
+            out,
+            "  \"trace_fti_attributed_ns\": {},",
+            self.trace.fti_attributed_ns
+        );
+        let _ = writeln!(
+            out,
+            "  \"trace_conversations\": {}",
+            self.trace.conversations
         );
         out.push('}');
         out
+    }
+
+    /// Every cost-only `u64` counter in the report, as one table. This is
+    /// the single place that decides what [`ExperimentReport::semantic_json`]
+    /// zeroes: any counter that measures *how hard the engine worked* (pump
+    /// effort, RIB caching, trace volume) belongs here; anything describing
+    /// *what the experiment computed* does not. Adding a counter to the
+    /// struct without adding it here would leak it into semantic
+    /// comparisons, so the unit test below checks every `pump_`/`rib_`/
+    /// `trace_`-prefixed JSON key comes out zero.
+    fn cost_counters_mut(&mut self) -> [&mut u64; 17] {
+        [
+            &mut self.pump_steps,
+            &mut self.pump_nodes_total,
+            &mut self.pump_nodes_touched,
+            &mut self.pump_table_scans,
+            &mut self.rib_decide_calls,
+            &mut self.rib_decide_cache_hits,
+            &mut self.rib_invalidations,
+            &mut self.rib_candidate_touches,
+            &mut self.rib_attr_interns,
+            &mut self.rib_attr_reuses,
+            &mut self.rib_attr_store_peak,
+            &mut self.rib_export_cache_hits,
+            &mut self.rib_export_cache_misses,
+            &mut self.trace.events,
+            &mut self.trace.dropped,
+            &mut self.trace.fti_attributed_ns,
+            &mut self.trace.conversations,
+        ]
+    }
+
+    /// The cost-only wall-clock fields, zeroed alongside the counters.
+    fn cost_walls_mut(&mut self) -> [&mut f64; 2] {
+        [&mut self.wall_setup_secs, &mut self.wall_run_secs]
     }
 
     /// JSON with cost-only fields (wall times, pump counters) zeroed —
@@ -265,21 +315,12 @@ impl ExperimentReport {
     /// byte-identical, regardless of how the pump was scheduled.
     pub fn semantic_json(&self) -> String {
         let mut r = self.clone();
-        r.wall_setup_secs = 0.0;
-        r.wall_run_secs = 0.0;
-        r.pump_steps = 0;
-        r.pump_nodes_total = 0;
-        r.pump_nodes_touched = 0;
-        r.pump_table_scans = 0;
-        r.rib_decide_calls = 0;
-        r.rib_decide_cache_hits = 0;
-        r.rib_invalidations = 0;
-        r.rib_candidate_touches = 0;
-        r.rib_attr_interns = 0;
-        r.rib_attr_reuses = 0;
-        r.rib_attr_store_peak = 0;
-        r.rib_export_cache_hits = 0;
-        r.rib_export_cache_misses = 0;
+        for wall in r.cost_walls_mut() {
+            *wall = 0.0;
+        }
+        for counter in r.cost_counters_mut() {
+            *counter = 0;
+        }
         r.to_json()
     }
 
@@ -376,6 +417,101 @@ impl ExperimentReport {
             rib_attr_store_peak: opt_num("rib_attr_store_peak"),
             rib_export_cache_hits: opt_num("rib_export_cache_hits"),
             rib_export_cache_misses: opt_num("rib_export_cache_misses"),
+            // Absent in pre-trace dumps: default to 0.
+            trace: TraceSummary {
+                events: opt_num("trace_events"),
+                dropped: opt_num("trace_dropped"),
+                fti_attributed_ns: opt_num("trace_fti_attributed_ns"),
+                conversations: opt_num("trace_conversations"),
+            },
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ExperimentReport {
+        ExperimentReport {
+            label: "t".to_string(),
+            horizon: SimTime::from_millis(10),
+            goodput: SeriesSet::new(),
+            transitions: vec![ModeTransition {
+                at: SimTime::ZERO,
+                mode: ClockMode::Des,
+            }],
+            fti_time: SimDuration::from_millis(3),
+            des_time: SimDuration::from_millis(7),
+            wall_setup_secs: 1.5,
+            wall_run_secs: 2.5,
+            events_processed: 11,
+            control_msgs: 22,
+            table_writes: 33,
+            flows_requested: 4,
+            flows_routed: 4,
+            completions: Vec::new(),
+            flow_completion_secs: Vec::new(),
+            all_routed_at: None,
+            scheduler_moves: 0,
+            pump_steps: 1,
+            pump_nodes_total: 2,
+            pump_nodes_touched: 3,
+            pump_table_scans: 4,
+            rib_decide_calls: 5,
+            rib_decide_cache_hits: 6,
+            rib_invalidations: 7,
+            rib_candidate_touches: 8,
+            rib_attr_interns: 9,
+            rib_attr_reuses: 10,
+            rib_attr_store_peak: 11,
+            rib_export_cache_hits: 12,
+            rib_export_cache_misses: 13,
+            trace: TraceSummary {
+                events: 14,
+                dropped: 15,
+                fti_attributed_ns: 16,
+                conversations: 17,
+            },
+        }
+    }
+
+    #[test]
+    fn semantic_json_zeroes_every_cost_key() {
+        let sem = sample_report().semantic_json();
+        let v = Json::parse(&sem).expect("semantic_json parses");
+        let Json::Obj(fields) = &v else {
+            panic!("semantic_json is not an object");
+        };
+        let mut checked = 0;
+        for (key, value) in fields {
+            let is_cost = key.starts_with("pump_")
+                || key.starts_with("rib_")
+                || key.starts_with("trace_")
+                || key.starts_with("wall_");
+            if !is_cost {
+                continue;
+            }
+            checked += 1;
+            assert_eq!(
+                value.as_f64(),
+                Some(0.0),
+                "cost key {key:?} not zeroed in semantic_json"
+            );
+        }
+        // 17 counters + 2 wall times; a miscount here means a counter was
+        // added to the struct but not to `cost_counters_mut`.
+        assert_eq!(checked, 19, "unexpected number of cost keys");
+    }
+
+    #[test]
+    fn trace_summary_round_trips_through_json() {
+        let r = sample_report();
+        let parsed = ExperimentReport::from_json(&r.to_json()).expect("parse");
+        assert_eq!(parsed.trace, r.trace);
+        // Pre-trace dumps (no trace_* keys) default to zero.
+        let legacy = sample_report().semantic_json();
+        let parsed = ExperimentReport::from_json(&legacy).expect("parse");
+        assert_eq!(parsed.trace, TraceSummary::default());
     }
 }

@@ -30,6 +30,7 @@ use horse_sim::{
     ClockMode, EventId, EventQueue, FtiConfig, HybridClock, Pacer, Pacing, SimDuration, SimTime,
 };
 use horse_stats::SeriesSet;
+use horse_trace::{Component, TraceData, TraceLog, TraceOptions, TraceSummary, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -56,6 +57,19 @@ enum Ev {
 
 /// How often hosts "retransmit" a flow's first packet while unrouted.
 const RETRY_INTERVAL: SimDuration = SimDuration::from_millis(50);
+
+/// Stable label for an event variant, used in `EventDispatch` trace records.
+fn ev_kind(ev: Ev) -> &'static str {
+    match ev {
+        Ev::FlowStart(_) => "flow_start",
+        Ev::FlowStop(_) => "flow_stop",
+        Ev::Completion(_) => "completion",
+        Ev::Sample => "sample",
+        Ev::CtrlTick => "ctrl_tick",
+        Ev::Retry => "retry",
+        Ev::LinkChange(_) => "link_change",
+    }
+}
 
 /// The hybrid DES/FTI experiment executor.
 pub struct Runner {
@@ -89,6 +103,17 @@ pub struct Runner {
     fcts: Vec<f64>,
     all_routed_at: Option<SimTime>,
     events_processed: u64,
+
+    /// Runner-side trace sink (mode transitions, event dispatches).
+    tracer: Tracer,
+    /// How many clock transitions have been mirrored into the trace.
+    traced_transitions: usize,
+    /// What drove the most recent control activity; becomes the `cause` of
+    /// the next FTI promotion mirrored by [`Runner::trace_modes`].
+    trace_cause: &'static str,
+    /// The assembled trace, available via [`Runner::take_trace`] after
+    /// [`Runner::run`].
+    trace: Option<TraceLog>,
 }
 
 impl Runner {
@@ -132,6 +157,51 @@ impl Runner {
             fcts: Vec::new(),
             all_routed_at: None,
             events_processed: 0,
+            tracer: Tracer::default(),
+            traced_transitions: 0,
+            trace_cause: "start",
+            trace: None,
+        }
+    }
+
+    /// Enables structured tracing (call before [`Runner::run`]). Allocates
+    /// one ring per component, all sharing a wall-clock epoch so exported
+    /// wall timestamps line up across components.
+    pub fn set_trace(&mut self, opts: &TraceOptions) {
+        if !opts.enabled {
+            return;
+        }
+        let epoch = std::time::Instant::now();
+        self.tracer = Tracer::ring(Component::Runner, opts.capacity, epoch);
+        self.control.set_tracers(opts, epoch);
+    }
+
+    /// The merged trace of the completed run (None when tracing was off or
+    /// the run hasn't finished).
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.trace.take()
+    }
+
+    /// Mirrors clock-mode transitions not yet seen into the trace, tagging
+    /// FTI promotions with the activity that caused them.
+    fn trace_modes(&mut self) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let transitions = self.clock.transitions();
+        while self.traced_transitions < transitions.len() {
+            let tr = transitions[self.traced_transitions];
+            let fti = tr.mode == ClockMode::Fti;
+            let cause = if self.traced_transitions == 0 {
+                "start"
+            } else if fti {
+                self.trace_cause
+            } else {
+                "quiescence"
+            };
+            self.tracer
+                .record(tr.at, TraceData::ModeEnter { fti, cause });
+            self.traced_transitions += 1;
         }
     }
 
@@ -174,6 +244,7 @@ impl Runner {
             let now = self.clock.now();
             let outcome = self.control.pump(now, &mut self.dp, &self.fluid);
             if outcome.activity {
+                self.trace_cause = "pump";
                 self.clock.on_control_activity();
             }
             if outcome.tables_changed {
@@ -184,7 +255,9 @@ impl Runner {
                 break;
             }
             let next = self.queue.peek_time();
-            match self.clock.plan(next, self.horizon) {
+            let advance = self.clock.plan(next, self.horizon);
+            self.trace_modes();
+            match advance {
                 Advance::RunTo(target) => {
                     if self.clock.mode() == ClockMode::Fti {
                         self.pacer.pace_to(target);
@@ -196,7 +269,9 @@ impl Runner {
                 Advance::Idle => {
                     if self.control.has_pending() {
                         // Messages still queued: stay busy.
+                        self.trace_cause = "pending";
                         self.clock.on_control_activity();
+                        self.trace_modes();
                         continue;
                     }
                     break;
@@ -210,6 +285,8 @@ impl Runner {
         while let Some((time, ev)) = self.queue.pop_due(target) {
             self.clock.advance_to(time);
             self.events_processed += 1;
+            self.tracer
+                .record(time, TraceData::EventDispatch { kind: ev_kind(ev) });
             self.handle(time, ev);
         }
         self.clock.advance_to(target);
@@ -278,7 +355,9 @@ impl Runner {
                     // The control plane notices (BGP transports ride the
                     // link) and reconverges; this is control activity.
                     self.control.on_link_change(le.link, le.up, &self.topo, now);
+                    self.trace_cause = "link-change";
                     self.clock.on_control_activity();
+                    self.trace_modes();
                     // Surviving routes may offer alternate paths right away.
                     self.on_tables_changed(now);
                 }
@@ -379,8 +458,10 @@ impl Runner {
                             MacAddr::for_port(spec.src.0, 0),
                             MacAddr::for_port(spec.dst.0, 0),
                         );
-                        sdn.packet_in(node, in_port.0, pkt.encode());
+                        sdn.packet_in(node, in_port.0, pkt.encode(), now);
+                        self.trace_cause = "packet-in";
                         self.clock.on_control_activity();
+                        self.trace_modes();
                     }
                 }
             }
@@ -482,6 +563,20 @@ impl Runner {
         self.sample(end);
         let pump = self.control.pump_stats();
         let rib = self.control.rib_stats();
+        let trace = if self.tracer.enabled() {
+            self.trace_modes();
+            let mut logs = Vec::new();
+            if let Some(log) = self.tracer.take_log() {
+                logs.push(log);
+            }
+            logs.extend(self.control.take_trace_logs());
+            let log = TraceLog::assemble(logs, end);
+            let summary = log.summary();
+            self.trace = Some(log);
+            summary
+        } else {
+            TraceSummary::default()
+        };
         ExperimentReport {
             label: std::mem::take(&mut self.label),
             horizon: end,
@@ -517,6 +612,7 @@ impl Runner {
             rib_attr_store_peak: rib.attr_store_size,
             rib_export_cache_hits: rib.export_cache_hits,
             rib_export_cache_misses: rib.export_cache_misses,
+            trace,
         }
     }
 }

@@ -14,6 +14,7 @@ use crate::wire::{
 use bytes::Bytes;
 use horse_dataplane::flowtable::Match;
 use horse_sim::SimTime;
+use horse_trace::{ComponentLog, TraceData, Tracer};
 use std::collections::BTreeMap;
 
 /// Identifies a switch connection (assigned by the harness).
@@ -127,6 +128,8 @@ pub struct Controller {
     pub msgs_received: u64,
     /// Total messages sent.
     pub msgs_sent: u64,
+    /// Structured trace sink (PACKET_IN / FLOW_MOD / STATS round-trips).
+    tracer: Tracer,
 }
 
 impl Default for Controller {
@@ -145,7 +148,19 @@ impl Controller {
             next_xid: 1,
             msgs_received: 0,
             msgs_sent: 0,
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Installs a trace sink (see `horse-trace`). Pass [`Tracer::Null`] to
+    /// disable again.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Drains the controller's trace buffer, if tracing is enabled.
+    pub fn take_trace_log(&mut self) -> Option<ComponentLog> {
+        self.tracer.take_log()
     }
 
     /// Drains queued events.
@@ -213,6 +228,7 @@ impl Controller {
             now,
             commands: Vec::new(),
         };
+        self.tracer.record(now, TraceData::OfTimer);
         app.on_timer(now, &mut ctx);
         self.apply(ctx);
     }
@@ -236,11 +252,19 @@ impl Controller {
             }
             OfMessage::PacketIn(pi) => {
                 if let Some(dpid) = self.dpid_of(conn) {
+                    self.tracer.record(now, TraceData::OfPacketInRx { dpid });
                     app.on_packet_in(dpid, &pi, &mut ctx);
                 }
             }
             OfMessage::StatsReply(StatsBody::FlowReply(entries)) => {
                 if let Some(dpid) = self.dpid_of(conn) {
+                    self.tracer.record(
+                        now,
+                        TraceData::OfStatsReplyRx {
+                            dpid,
+                            entries: entries.len() as u32,
+                        },
+                    );
                     app.on_flow_stats(dpid, &entries, &mut ctx);
                 }
             }
@@ -280,10 +304,12 @@ impl Controller {
     }
 
     fn apply(&mut self, ctx: Ctx) {
+        let now = ctx.now;
         for cmd in ctx.commands {
             match cmd {
                 Command::FlowMod(dpid, fm) => {
                     if let Some(conn) = self.by_dpid.get(&dpid).copied() {
+                        self.tracer.record(now, TraceData::OfFlowModTx { dpid });
                         self.send(conn, OfMessage::FlowMod(fm));
                     }
                 }
@@ -294,6 +320,7 @@ impl Controller {
                 }
                 Command::FlowStats(dpid, matcher, out_port) => {
                     if let Some(conn) = self.by_dpid.get(&dpid).copied() {
+                        self.tracer.record(now, TraceData::OfStatsReqTx { dpid });
                         self.send(
                             conn,
                             OfMessage::StatsRequest(StatsBody::FlowRequest { matcher, out_port }),

@@ -15,11 +15,12 @@
 
 use crate::pool::{self, RunResult};
 use crate::seed::derive_seed;
-use horse_core::{Experiment, ExperimentReport, TeApproach};
+use horse_core::{Experiment, ExperimentReport, PumpMode, RunConfig, TeApproach};
 use horse_net::topology::LinkId;
 use horse_sim::{Pacing, SimDuration, SimTime};
 use horse_stats::{json_string, SweepStats};
 use horse_topo::fattree::{FatTree, SwitchRole};
+use horse_trace::{TraceLog, TraceOptions};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -140,6 +141,8 @@ pub struct SweepPlan {
     horizon: SimTime,
     pacing: Pacing,
     sample_interval: SimDuration,
+    pump_mode: PumpMode,
+    trace: TraceOptions,
 }
 
 impl SweepPlan {
@@ -156,6 +159,8 @@ impl SweepPlan {
             horizon: SimTime::from_secs(20),
             pacing: Pacing::Virtual,
             sample_interval: SimDuration::from_millis(100),
+            pump_mode: PumpMode::default(),
+            trace: TraceOptions::default(),
         }
     }
 
@@ -213,6 +218,20 @@ impl SweepPlan {
         self
     }
 
+    /// Pump scheduling mode for every run.
+    pub fn pump_mode(mut self, mode: PumpMode) -> SweepPlan {
+        self.pump_mode = mode;
+        self
+    }
+
+    /// Structured-tracing options for every run. Each [`SweepRun`] then
+    /// carries its own [`TraceLog`]; since runs are re-assembled in plan
+    /// order, the set of logs is deterministic at any worker count.
+    pub fn trace(mut self, opts: TraceOptions) -> SweepPlan {
+        self.trace = opts;
+        self
+    }
+
     /// Expands the grid into run specs. Axis order (outer→inner) is
     /// pods → approach → FTI → failure → replicate; this order, with the
     /// base seed, fully determines every spec, so callers at different
@@ -249,6 +268,8 @@ impl SweepPlan {
             .fti(spec.fti.0, spec.fti.1)
             .pacing(self.pacing)
             .sample_every(self.sample_interval)
+            .pump_mode(self.pump_mode)
+            .trace(self.trace)
             .label(spec.label());
         e.horizon = self.horizon;
         if let FailureScenario::CoreUplinkDown { at, restore } = spec.failure {
@@ -268,7 +289,7 @@ impl SweepPlan {
         let cache = TopoCache::new();
         let n = specs.len();
         let (results, stats) = pool::run_indexed(n, threads, |i| {
-            self.build_experiment(&specs[i], &cache).run()
+            self.build_experiment(&specs[i], &cache).run_traced()
         });
         let runs = specs
             .into_iter()
@@ -279,18 +300,29 @@ impl SweepPlan {
                     RunResult {
                         worker,
                         wall_ms,
-                        value,
+                        value: (report, trace),
                         ..
                     },
                 )| SweepRun {
                     spec,
-                    report: value,
+                    report,
+                    trace,
                     wall_ms,
                     worker,
                 },
             )
             .collect();
         SweepOutcome { runs, stats }
+    }
+
+    /// Runs the plan under a [`RunConfig`]: worker count, pump mode and
+    /// trace options all come from the config (the one `HORSE_*` parse
+    /// point) instead of per-call arguments.
+    pub fn execute_with(&self, cfg: &RunConfig) -> SweepOutcome {
+        self.clone()
+            .pump_mode(cfg.pump_mode)
+            .trace(cfg.trace)
+            .execute(cfg.threads())
     }
 }
 
@@ -311,6 +343,10 @@ pub struct SweepRun {
     pub spec: RunSpec,
     /// The experiment's report.
     pub report: ExperimentReport,
+    /// The run's merged trace (None unless the plan enabled tracing).
+    /// Keyed by `spec.index` like everything else, so per-run traces are
+    /// deterministic across worker counts.
+    pub trace: Option<TraceLog>,
     /// Wall time of the run, in milliseconds.
     pub wall_ms: f64,
     /// Worker that executed it.

@@ -36,17 +36,12 @@ pub struct RunResult<T> {
 /// the serial path.
 ///
 /// Panics on an unparsable or zero value — a typo'd override silently
-/// changing the thread count is worse than a crash.
+/// changing the thread count is worse than a crash. This is a thin shim
+/// over [`horse_core::RunConfig`], the single `HORSE_*` parse point;
+/// callers holding a config should use [`horse_core::RunConfig::threads`]
+/// directly.
 pub fn threads_from_env() -> usize {
-    match std::env::var("HORSE_THREADS") {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("HORSE_THREADS must be a positive integer, got {s:?}"),
-        },
-        Err(_) => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+    horse_core::RunConfig::from_env().threads()
 }
 
 /// Executes `f(0..n)` on `threads` workers and returns the results in

@@ -1,0 +1,345 @@
+//! Merged trace logs and their JSON / Chrome `trace_event` exports.
+
+use crate::event::{Component, TraceData, TraceEvent};
+use horse_sim::SimTime;
+
+/// Events drained from one component's ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentLog {
+    /// Who recorded these events.
+    pub component: Component,
+    /// Events overwritten because the ring was full.
+    pub dropped: u64,
+    /// Buffered events in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A whole run's trace: per-component logs merged into one stream ordered by
+/// `(virtual time, component, sequence)`. The order is a pure function of
+/// the simulation, so the same seed produces a byte-identical semantic
+/// export at any sweep worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLog {
+    /// Virtual end time of the run (close of the final mode span).
+    pub end: SimTime,
+    /// Components that recorded, with their drop counts, sorted.
+    pub components: Vec<(Component, u64)>,
+    /// The merged event stream.
+    pub events: Vec<(Component, TraceEvent)>,
+}
+
+impl TraceLog {
+    /// Merges per-component logs into one deterministic stream.
+    pub fn assemble(logs: Vec<ComponentLog>, end: SimTime) -> TraceLog {
+        let mut components: Vec<(Component, u64)> =
+            logs.iter().map(|l| (l.component, l.dropped)).collect();
+        components.sort();
+        let mut events = Vec::with_capacity(logs.iter().map(|l| l.events.len()).sum());
+        for log in logs {
+            for ev in log.events {
+                events.push((log.component, ev));
+            }
+        }
+        events.sort_by_key(|(ca, ea)| (ea.t, *ca, ea.seq));
+        TraceLog {
+            end,
+            components,
+            events,
+        }
+    }
+
+    /// Total events in the merged stream.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events dropped across all components.
+    pub fn dropped(&self) -> u64 {
+        self.components.iter().map(|(_, d)| d).sum()
+    }
+
+    /// Condensed stats for embedding in an `ExperimentReport`.
+    pub fn summary(&self) -> TraceSummary {
+        let attr = crate::analysis::attribute_fti(self);
+        TraceSummary {
+            events: self.events.len() as u64,
+            dropped: self.dropped(),
+            fti_attributed_ns: attr.attributed.as_nanos(),
+            conversations: attr.by_conversation.len() as u64,
+        }
+    }
+
+    /// Flat self-describing JSON export (schema `horse-trace-v1`).
+    ///
+    /// With `include_wall = false` the wall-clock fields are omitted and the
+    /// output is byte-deterministic for a given seed — this is the *semantic*
+    /// form used by golden tests and cross-worker-count comparisons.
+    pub fn to_json(&self, include_wall: bool) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\n  \"schema\": \"horse-trace-v1\",\n");
+        out.push_str(&format!("  \"end_ns\": {},\n", self.end.as_nanos()));
+        out.push_str("  \"components\": [");
+        for (i, (c, dropped)) in self.components.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"dropped\": {dropped}}}",
+                c.name()
+            ));
+        }
+        out.push_str("],\n  \"events\": [\n");
+        for (i, (c, ev)) in self.events.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"t_ns\":{}", ev.t.as_nanos()));
+            if include_wall {
+                out.push_str(&format!(",\"wall_ns\":{}", ev.wall_ns));
+            }
+            out.push_str(&format!(
+                ",\"component\":\"{}\",\"kind\":\"{}\",\"args\":{}",
+                c.name(),
+                ev.data.kind(),
+                ev.data.args_json()
+            ));
+            out.push('}');
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Chrome `trace_event` JSON (the "JSON Array Format" inside an object),
+    /// loadable in Perfetto / `chrome://tracing`.
+    ///
+    /// Layout: tid 0 carries the clock-mode spans as complete (`"X"`) events
+    /// named `FTI`/`DES`; every other component is a named thread carrying
+    /// instant (`"i"`) events. Timestamps are virtual microseconds with
+    /// nanosecond precision kept in three decimal places, so the export is
+    /// exact and deterministic. Wall-clock nanoseconds ride along in `args`
+    /// when `include_wall` is set.
+    pub fn chrome_json(&self, include_wall: bool) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 128);
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |s: String, out: &mut String| {
+            if !std::mem::take(&mut first) {
+                out.push_str(",\n");
+            }
+            out.push_str(&s);
+        };
+
+        // Thread-name metadata: tid 0 is the clock-mode track.
+        push(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"clock-mode\"}}"
+                .to_string(),
+            &mut out,
+        );
+        for (c, _) in &self.components {
+            if *c == Component::Runner {
+                continue; // runner instants share tid 0 with the mode spans
+            }
+            push(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    c.tid(),
+                    c.name()
+                ),
+                &mut out,
+            );
+        }
+
+        // Mode spans from the runner's ModeEnter events.
+        let mut modes: Vec<(SimTime, bool, &'static str)> = Vec::new();
+        for (c, ev) in &self.events {
+            if *c == Component::Runner {
+                if let TraceData::ModeEnter { fti, cause } = ev.data {
+                    modes.push((ev.t, fti, cause));
+                }
+            }
+        }
+        for (i, (start, fti, cause)) in modes.iter().enumerate() {
+            let close = if i + 1 < modes.len() {
+                modes[i + 1].0
+            } else {
+                self.end
+            };
+            let dur_ns = close.duration_since(*start).as_nanos();
+            push(
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":{},\
+                     \"dur\":{},\"args\":{{\"cause\":\"{cause}\"}}}}",
+                    if *fti { "FTI" } else { "DES" },
+                    micros(start.as_nanos()),
+                    micros(dur_ns),
+                ),
+                &mut out,
+            );
+        }
+
+        // Instant events for everything else.
+        for (c, ev) in &self.events {
+            if matches!(ev.data, TraceData::ModeEnter { .. }) {
+                continue;
+            }
+            let mut args = ev.data.args_json();
+            if include_wall {
+                // Splice wall_ns into the args object.
+                args.pop();
+                if args.ends_with('{') {
+                    args.push_str(&format!("\"wall_ns\":{}}}", ev.wall_ns));
+                } else {
+                    args.push_str(&format!(",\"wall_ns\":{}}}", ev.wall_ns));
+                }
+            }
+            push(
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{},\"args\":{args}}}",
+                    ev.data.kind(),
+                    c.tid(),
+                    micros(ev.t.as_nanos()),
+                ),
+                &mut out,
+            );
+        }
+
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Formats nanoseconds as exact decimal microseconds ("1234.567").
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Condensed trace statistics embedded in an `ExperimentReport`. All zeros
+/// when tracing was disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Events in the merged log.
+    pub events: u64,
+    /// Events dropped to ring overflow.
+    pub dropped: u64,
+    /// FTI nanoseconds attributed to a named control-plane conversation.
+    pub fti_attributed_ns: u64,
+    /// Distinct conversations that held the clock in FTI.
+    pub conversations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PumpReason;
+    use crate::sink::{RingSink, TraceSink};
+    use std::time::Instant;
+
+    fn sample_log() -> TraceLog {
+        let epoch = Instant::now();
+        let mut runner = RingSink::new(Component::Runner, 64, epoch);
+        let mut pump = RingSink::new(Component::Pump, 64, epoch);
+        runner.record(
+            SimTime::ZERO,
+            TraceData::ModeEnter {
+                fti: false,
+                cause: "start",
+            },
+        );
+        runner.record(
+            SimTime::from_millis(10),
+            TraceData::ModeEnter {
+                fti: true,
+                cause: "pump",
+            },
+        );
+        pump.record(
+            SimTime::from_millis(10),
+            TraceData::PumpNode {
+                node: 3,
+                reason: PumpReason::Delivery,
+            },
+        );
+        runner.record(
+            SimTime::from_millis(30),
+            TraceData::ModeEnter {
+                fti: false,
+                cause: "quiescence",
+            },
+        );
+        TraceLog::assemble(
+            vec![runner.take_log(), pump.take_log()],
+            SimTime::from_millis(40),
+        )
+    }
+
+    #[test]
+    fn merge_orders_by_time_component_seq() {
+        let log = sample_log();
+        assert_eq!(log.len(), 4);
+        // At t=10ms the runner event sorts before the pump event.
+        assert_eq!(log.events[1].0, Component::Runner);
+        assert_eq!(log.events[2].0, Component::Pump);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn semantic_json_is_stable_across_assembly_order() {
+        let epoch = Instant::now();
+        let mk = |flip: bool| {
+            let mut a = RingSink::new(Component::Runner, 8, epoch);
+            let mut b = RingSink::new(Component::Pump, 8, epoch);
+            a.record(
+                SimTime::ZERO,
+                TraceData::ModeEnter {
+                    fti: false,
+                    cause: "start",
+                },
+            );
+            b.record(
+                SimTime::from_nanos(5),
+                TraceData::PumpNode {
+                    node: 1,
+                    reason: PumpReason::Deadline,
+                },
+            );
+            let logs = if flip {
+                vec![b.take_log(), a.take_log()]
+            } else {
+                vec![a.take_log(), b.take_log()]
+            };
+            TraceLog::assemble(logs, SimTime::from_nanos(10)).to_json(false)
+        };
+        assert_eq!(mk(false), mk(true));
+    }
+
+    #[test]
+    fn chrome_export_has_spans_and_instants() {
+        let chrome = sample_log().chrome_json(false);
+        assert!(chrome.contains("\"name\":\"FTI\""));
+        assert!(chrome.contains("\"name\":\"DES\""));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"name\":\"pump_node\""));
+        // FTI span: 10ms..30ms => ts 10000.000 dur 20000.000.
+        assert!(chrome.contains("\"ts\":10000.000,\"dur\":20000.000"));
+        // No wall fields in semantic mode.
+        assert!(!chrome.contains("wall_ns"));
+    }
+
+    #[test]
+    fn wall_fields_only_when_requested() {
+        let log = sample_log();
+        assert!(!log.to_json(false).contains("wall_ns"));
+        assert!(log.to_json(true).contains("wall_ns"));
+        assert!(log.chrome_json(true).contains("wall_ns"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Trace sinks: where instrumented components put events.
+//!
+//! The hot-path contract is that a disabled tracer costs one enum
+//! discriminant check per instrumentation site. Components hold a
+//! [`Tracer`] value (not a `dyn TraceSink`) so the disabled branch can be
+//! inlined and the enabled branch stays monomorphic.
+
+use crate::event::{Component, TraceData, TraceEvent};
+use crate::log::ComponentLog;
+use horse_sim::SimTime;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Tuning knobs for tracing, carried by `RunConfig` and the `Experiment`
+/// builder. `Default` is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Record events at all. When false every sink is a [`NullSink`].
+    pub enabled: bool,
+    /// Ring-buffer capacity per component, in events. Each ring preallocates
+    /// `capacity * size_of::<TraceEvent>()` bytes at construction, so
+    /// right-size this for the run: the demo scenarios record a few hundred
+    /// events per component, the convergence replays a few thousand.
+    /// Overflow overwrites the oldest events and is counted, never
+    /// reallocated.
+    pub capacity: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            enabled: false,
+            capacity: 1 << 14,
+        }
+    }
+}
+
+impl TraceOptions {
+    /// Tracing on, default capacity.
+    pub fn enabled() -> Self {
+        TraceOptions {
+            enabled: true,
+            ..TraceOptions::default()
+        }
+    }
+
+    /// Tracing on with an explicit per-component ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceOptions {
+            enabled: true,
+            capacity: capacity.max(1),
+        }
+    }
+}
+
+/// Destination for trace events. Implementations must be cheap: `record` is
+/// called from control-plane hot loops.
+pub trait TraceSink {
+    /// Record one event at virtual time `t`.
+    fn record(&mut self, t: SimTime, data: TraceData);
+}
+
+/// A sink that discards everything. The whole call chain inlines to nothing,
+/// keeping the tracing-disabled path at ~zero cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn record(&mut self, _t: SimTime, _data: TraceData) {}
+}
+
+/// A preallocated per-component ring buffer. On overflow the oldest event is
+/// overwritten and counted in `dropped`; recording never allocates after
+/// construction.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    component: Component,
+    epoch: Instant,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    seq: u64,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Builds a ring for `component` holding up to `capacity` events. `epoch`
+    /// is the shared wall-clock origin for the run, so wall timestamps from
+    /// different components line up.
+    pub fn new(component: Component, capacity: usize, epoch: Instant) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            component,
+            epoch,
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The component this ring records for.
+    pub fn component(&self) -> Component {
+        self.component
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded (or everything was taken).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the ring into a [`ComponentLog`], leaving it empty (sequence
+    /// numbers keep counting so a later drain still merges after this one).
+    pub fn take_log(&mut self) -> ComponentLog {
+        ComponentLog {
+            component: self.component,
+            dropped: self.dropped,
+            events: self.events.drain(..).collect(),
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, t: SimTime, data: TraceData) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        let wall_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.events.push_back(TraceEvent {
+            t,
+            wall_ns,
+            seq: self.seq,
+            data,
+        });
+        self.seq = self.seq.wrapping_add(1);
+    }
+}
+
+/// The tracer handle components actually hold: either a no-op or a boxed
+/// ring. `Default` is `Null`, so adding a tracer field to a struct changes
+/// nothing until a trace is requested.
+#[derive(Debug, Clone, Default)]
+pub enum Tracer {
+    /// Tracing disabled; `record` is a no-op.
+    #[default]
+    Null,
+    /// Tracing enabled into a ring buffer.
+    Ring(Box<RingSink>),
+}
+
+impl Tracer {
+    /// A ring-buffer tracer for `component`.
+    pub fn ring(component: Component, capacity: usize, epoch: Instant) -> Self {
+        Tracer::Ring(Box::new(RingSink::new(component, capacity, epoch)))
+    }
+
+    /// True when events are actually recorded. Instrumentation sites that
+    /// need to gather extra data (state snapshots, counter deltas) check
+    /// this first so the disabled path does no work.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        matches!(self, Tracer::Ring(_))
+    }
+
+    /// Record one event; no-op when disabled.
+    #[inline(always)]
+    pub fn record(&mut self, t: SimTime, data: TraceData) {
+        if let Tracer::Ring(ring) = self {
+            ring.record(t, data);
+        }
+    }
+
+    /// Drains the buffered events, if tracing is enabled.
+    pub fn take_log(&mut self) -> Option<ComponentLog> {
+        match self {
+            Tracer::Null => None,
+            Tracer::Ring(ring) => Some(ring.take_log()),
+        }
+    }
+}
+
+impl TraceSink for Tracer {
+    #[inline(always)]
+    fn record(&mut self, t: SimTime, data: TraceData) {
+        Tracer::record(self, t, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: &'static str) -> TraceData {
+        TraceData::EventDispatch { kind }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut ring = RingSink::new(Component::Runner, 2, Instant::now());
+        ring.record(SimTime::from_nanos(1), ev("a"));
+        ring.record(SimTime::from_nanos(2), ev("b"));
+        ring.record(SimTime::from_nanos(3), ev("c"));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let log = ring.take_log();
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.events[0].data, ev("b"));
+        assert_eq!(log.events[1].data, ev("c"));
+        assert_eq!(log.events[1].seq, 2);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn null_tracer_records_nothing() {
+        let mut t = Tracer::default();
+        assert!(!t.enabled());
+        t.record(SimTime::ZERO, ev("x"));
+        assert!(t.take_log().is_none());
+    }
+
+    #[test]
+    fn ring_tracer_round_trip() {
+        let mut t = Tracer::ring(Component::Pump, 8, Instant::now());
+        assert!(t.enabled());
+        t.record(SimTime::from_nanos(5), ev("y"));
+        let log = t.take_log().expect("log");
+        assert_eq!(log.component, Component::Pump);
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].t, SimTime::from_nanos(5));
+    }
+}

@@ -12,7 +12,8 @@
 
 use horse::sim::SimTime;
 use horse::topo::fattree::{FatTree, SwitchRole};
-use horse::{Experiment, TeApproach};
+use horse::trace::attribute_fti;
+use horse::{Experiment, TeApproach, TraceOptions};
 
 fn main() {
     let ft = FatTree::build(4, SwitchRole::BgpRouter, 1e9, 1_000);
@@ -21,11 +22,12 @@ fn main() {
         .link_between(ft.aggs[0], ft.cores[0])
         .expect("agg-core link");
 
-    let report = Experiment::demo(4, TeApproach::BgpEcmp, 42)
+    let (report, trace) = Experiment::demo(4, TeApproach::BgpEcmp, 42)
         .horizon_secs(10.0)
         .link_down(SimTime::from_secs(3), victim)
         .link_up(SimTime::from_secs(7), victim)
-        .run();
+        .trace(TraceOptions::enabled())
+        .run_traced();
 
     println!("== link failure on p0-agg0 <-> core-1-1 at t=3s, repair t=7s ==");
     println!();
@@ -49,4 +51,7 @@ fn main() {
          the withdraw/reconverge at t=3 and the re-advertise at t=7",
         report.control_msgs, report.table_writes
     );
+    let log = trace.expect("tracing was enabled");
+    println!();
+    println!("trace: {}", attribute_fti(&log).summary_line());
 }

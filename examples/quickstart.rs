@@ -5,14 +5,20 @@
 //! OpenFlow controller places each flow on its first packet by hashing the
 //! 5-tuple over the equal-cost paths.
 //!
+//! Tracing is enabled, so the run also exports a Chrome `trace_event`
+//! file (open it at <https://ui.perfetto.dev>) and prints where the FTI
+//! time went — which control-plane conversation held the clock.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use horse::{Experiment, TeApproach};
+use horse::trace::attribute_fti;
+use horse::{Experiment, RunConfig, TeApproach, TraceOptions};
 
 fn main() {
-    let report = Experiment::demo(4, TeApproach::SdnEcmp, 42)
+    let (report, trace) = Experiment::demo(4, TeApproach::SdnEcmp, 42)
         .horizon_secs(10.0)
-        .run();
+        .trace(TraceOptions::enabled())
+        .run_traced();
 
     println!("scenario : {}", report.label);
     println!(
@@ -49,4 +55,18 @@ fn main() {
     for (t, mode) in report.transition_rows() {
         println!("  t={t:>9.4}s  -> {mode}");
     }
+
+    let log = trace.expect("tracing was enabled");
+    println!();
+    println!(
+        "trace    : {} events across {} components",
+        log.len(),
+        log.components.len()
+    );
+    println!("trace    : {}", attribute_fti(&log).summary_line());
+    let dir = RunConfig::from_env().results_dir;
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("quickstart_trace.json");
+    std::fs::write(&path, log.chrome_json(true)).expect("write trace");
+    println!("trace    : Chrome trace_event JSON -> {}", path.display());
 }

@@ -45,10 +45,13 @@
 //! | Mininet model & packet DES | `horse-baseline` | [`baseline`] |
 //! | Metrics | `horse-stats` | [`stats`] |
 //! | Parallel sweep engine | `horse-sweep` | [`sweep`] |
+//! | Structured tracing & profiling | `horse-trace` | [`trace`] |
 
 pub use horse_core::{
-    ControlPlane, Experiment, ExperimentReport, PumpMode, PumpStats, Runner, SdnApp, TeApproach,
+    ControlPlane, Experiment, ExperimentReport, PumpMode, PumpStats, RunConfig, Runner, SdnApp,
+    TeApproach,
 };
+pub use horse_trace::{TraceLog, TraceOptions, TraceSummary};
 
 /// The paper's three traffic-engineering demo scenarios, re-exported.
 pub use horse_core::experiment::{ControlBuild, TrafficEvent};
@@ -64,3 +67,4 @@ pub use horse_sim as sim;
 pub use horse_stats as stats;
 pub use horse_sweep as sweep;
 pub use horse_topo as topo;
+pub use horse_trace as trace;

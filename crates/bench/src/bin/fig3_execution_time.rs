@@ -49,16 +49,11 @@ fn pacing_tag(p: Pacing) -> &'static str {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let duration: f64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(60.0);
-    let pods: Vec<usize> = {
-        let rest: Vec<usize> = args.map(|a| a.parse().unwrap()).collect();
-        if rest.is_empty() {
-            vec![4, 6, 8]
-        } else {
-            rest
-        }
-    };
+    let (duration, pods) = horse_bench::duration_then_pods(
+        "fig3_execution_time [duration_s] [pods…]",
+        60.0,
+        &[4, 6, 8],
+    );
     let seed = 42;
     let mininet = MininetModel::default();
     let threads = threads_from_env();

@@ -51,17 +51,7 @@ fn work_of(r: &ExperimentReport) -> u64 {
 }
 
 fn main() {
-    let ks: Vec<usize> = {
-        let args: Vec<usize> = std::env::args()
-            .skip(1)
-            .map(|a| a.parse().expect("pod count"))
-            .collect();
-        if args.is_empty() {
-            vec![4, 8, 10, 12]
-        } else {
-            args
-        }
-    };
+    let ks = horse_bench::pods_list("pump_scaling [pods…]", &[4, 8, 10, 12]);
     let assert_k = if ks.contains(&8) {
         8
     } else {

@@ -401,10 +401,7 @@ fn convergence_wall(
 
 fn main() {
     let cfg = RunConfig::from_env();
-    let k: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().unwrap())
-        .unwrap_or(8);
+    let k = horse_bench::single_k("rib_churn [k]", 8);
     let ft = FatTree::build(k, SwitchRole::BgpRouter, 1e9, 1_000);
     let timers = TimerConfig {
         // Zero disables keepalives; the FIFO harness never polls timers,

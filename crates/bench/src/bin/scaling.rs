@@ -20,17 +20,7 @@ use std::fmt::Write as _;
 const APPROACHES: [TeApproach; 3] = [TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp];
 
 fn main() {
-    let pods: Vec<usize> = {
-        let rest: Vec<usize> = std::env::args()
-            .skip(1)
-            .map(|a| a.parse().unwrap())
-            .collect();
-        if rest.is_empty() {
-            vec![4, 6, 8, 10, 12]
-        } else {
-            rest
-        }
-    };
+    let pods = horse_bench::pods_list("scaling [pods…]", &[4, 6, 8, 10, 12]);
     let duration = 20.0;
     let seed = 42;
     let threads = threads_from_env();

@@ -131,10 +131,7 @@ fn replay(ft: &FatTree, ops: &[Op], full: bool) -> (SolverStats, f64, f64) {
 }
 
 fn main() {
-    let k: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().unwrap())
-        .unwrap_or(8);
+    let k = horse_bench::single_k("solver_churn [k]", 8);
     let ft = FatTree::build(k, SwitchRole::OpenFlow, 1e9, 1_000);
     let ops = build_script(&ft);
     let n_bursts = ops

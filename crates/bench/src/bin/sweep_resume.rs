@@ -1,0 +1,71 @@
+//! Checkpoint/resume smoke harness — exercises the crash-safe sweep
+//! path end to end so CI can prove resume byte-identity without a real
+//! SIGKILL:
+//!
+//! 1. `HORSE_CHECKPOINT_DIR=ckpt HORSE_SWEEP_MAX_RUNS=2 sweep_resume`
+//!    executes two runs, flushes their JSONL records, and exits with
+//!    status 3 (incomplete).
+//! 2. A second invocation without the cap restores those records,
+//!    executes only the remainder, and writes `sweep_resume.json`.
+//! 3. A clean run into a different checkpoint dir must produce a
+//!    byte-identical `sweep_resume.json` (CI diffs the two).
+//!
+//! The plan is small but heterogeneous (two approaches, a link-failure
+//! scenario) so the semantic report actually depends on run identity.
+
+use horse_core::config::RunConfig;
+use horse_core::TeApproach;
+use horse_sim::SimTime;
+use horse_sweep::{FailureScenario, SweepPlan};
+
+fn plan() -> SweepPlan {
+    SweepPlan::new(42)
+        .pods([4])
+        .approaches([TeApproach::BgpEcmp, TeApproach::SdnEcmp])
+        .failures([
+            FailureScenario::None,
+            FailureScenario::CoreUplinkDown {
+                at: SimTime::from_secs(1),
+                restore: None,
+            },
+        ])
+        .horizon_secs(2.0)
+}
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let plan = plan();
+    println!(
+        "plan hash {:016x}, {} runs, threads {}",
+        plan.plan_hash(),
+        plan.expand().len(),
+        cfg.threads()
+    );
+
+    let sweep = match plan.execute_resumable(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "restored {}, executed {}, failed {}, pending {} (checkpoint {})",
+        sweep.restored,
+        sweep.executed,
+        sweep.failed(),
+        sweep.pending.len(),
+        sweep.path.display()
+    );
+    for run in &sweep.runs {
+        let origin = if run.restored { "restored" } else { "ran" };
+        println!("  [{origin}] #{:<3} {}", run.index, run.label);
+    }
+
+    if !sweep.is_complete() {
+        println!("incomplete — rerun without HORSE_SWEEP_MAX_RUNS to finish");
+        std::process::exit(3);
+    }
+    horse_bench::write_result("sweep_resume.json", &sweep.semantic_json());
+}

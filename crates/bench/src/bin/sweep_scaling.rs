@@ -23,16 +23,8 @@ const WORKER_RUNGS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let cfg = RunConfig::from_env();
-    let mut args = std::env::args().skip(1);
-    let duration: f64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(10.0);
-    let pods: Vec<usize> = {
-        let rest: Vec<usize> = args.map(|a| a.parse().unwrap()).collect();
-        if rest.is_empty() {
-            vec![4, 6, 8]
-        } else {
-            rest
-        }
-    };
+    let (duration, pods) =
+        horse_bench::duration_then_pods("sweep_scaling [duration_s] [pods…]", 10.0, &[4, 6, 8]);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

@@ -75,6 +75,113 @@ pub fn pool_envelope(stats: &SweepStats, runs: &[(String, usize, f64)], rows: &s
     out
 }
 
+// ---------------------------------------------------------------------------
+// Shared argv parsing
+//
+// Every bin speaks one of three tiny positional grammars; the parsers
+// below replace the per-bin `parse().unwrap()` copies so a typo'd
+// argument produces the same `error: …` + `usage: …` on stderr and
+// exit status 2 everywhere, instead of a raw panic backtrace.
+// ---------------------------------------------------------------------------
+
+/// Parses `[duration_s] [pods…]` — a leading fractional duration in
+/// seconds, then zero or more pod counts (`fig3_execution_time`,
+/// `sweep_scaling`).
+pub fn try_duration_then_pods(
+    args: impl Iterator<Item = String>,
+    default_duration: f64,
+    default_pods: &[usize],
+) -> Result<(f64, Vec<usize>), String> {
+    let mut args = args.peekable();
+    let duration = match args.next() {
+        None => default_duration,
+        Some(a) => a
+            .parse::<f64>()
+            .map_err(|_| format!("invalid duration {a:?} (want seconds, e.g. 60 or 0.5)"))?,
+    };
+    if !duration.is_finite() || duration <= 0.0 {
+        return Err(format!("invalid duration {duration:?} (must be > 0)"));
+    }
+    Ok((duration, parse_pods(args, default_pods)?))
+}
+
+/// Parses `[pods…]` — zero or more pod counts (`scaling`,
+/// `pump_scaling`).
+pub fn try_pods_list(
+    args: impl Iterator<Item = String>,
+    default_pods: &[usize],
+) -> Result<Vec<usize>, String> {
+    parse_pods(args, default_pods)
+}
+
+/// Parses `[k]` — at most one pod count (`rib_churn`, `solver_churn`).
+pub fn try_single_k(
+    mut args: impl Iterator<Item = String>,
+    default_k: usize,
+) -> Result<usize, String> {
+    let k = match args.next() {
+        None => default_k,
+        Some(a) => parse_pod_count(&a)?,
+    };
+    if let Some(extra) = args.next() {
+        return Err(format!("unexpected extra argument {extra:?}"));
+    }
+    Ok(k)
+}
+
+fn parse_pods(
+    args: impl Iterator<Item = String>,
+    default_pods: &[usize],
+) -> Result<Vec<usize>, String> {
+    let pods: Vec<usize> = args
+        .map(|a| parse_pod_count(&a))
+        .collect::<Result<_, _>>()?;
+    Ok(if pods.is_empty() {
+        default_pods.to_vec()
+    } else {
+        pods
+    })
+}
+
+fn parse_pod_count(arg: &str) -> Result<usize, String> {
+    let k: usize = arg
+        .parse()
+        .map_err(|_| format!("invalid pod count {arg:?} (want an even integer ≥ 2, e.g. 4)"))?;
+    if k < 2 || k % 2 != 0 {
+        return Err(format!(
+            "invalid pod count {k} (fat-trees need an even k ≥ 2)"
+        ));
+    }
+    Ok(k)
+}
+
+fn usage_exit(usage: &str, err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: {usage}");
+    std::process::exit(2);
+}
+
+/// [`try_duration_then_pods`] over the real argv, exiting with status 2
+/// and the bin's usage line on a parse failure.
+pub fn duration_then_pods(
+    usage: &str,
+    default_duration: f64,
+    default_pods: &[usize],
+) -> (f64, Vec<usize>) {
+    try_duration_then_pods(std::env::args().skip(1), default_duration, default_pods)
+        .unwrap_or_else(|e| usage_exit(usage, &e))
+}
+
+/// [`try_pods_list`] over the real argv; exits 2 on failure.
+pub fn pods_list(usage: &str, default_pods: &[usize]) -> Vec<usize> {
+    try_pods_list(std::env::args().skip(1), default_pods).unwrap_or_else(|e| usage_exit(usage, &e))
+}
+
+/// [`try_single_k`] over the real argv; exits 2 on failure.
+pub fn single_k(usage: &str, default_k: usize) -> usize {
+    try_single_k(std::env::args().skip(1), default_k).unwrap_or_else(|e| usage_exit(usage, &e))
+}
+
 /// Average shortest-path hop count for a set of host pairs — used by the
 /// Mininet packet-hop estimate.
 pub fn avg_hops(
@@ -96,6 +203,53 @@ mod tests {
     use super::*;
     use horse_topo::fattree::{FatTree, SwitchRole};
     use horse_topo::pattern::TrafficPattern;
+
+    fn argv(items: &[&str]) -> impl Iterator<Item = String> {
+        items
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn duration_then_pods_defaults_and_overrides() {
+        assert_eq!(
+            try_duration_then_pods(argv(&[]), 60.0, &[4, 6, 8]),
+            Ok((60.0, vec![4, 6, 8]))
+        );
+        assert_eq!(
+            try_duration_then_pods(argv(&["2.5", "4", "10"]), 60.0, &[4, 6, 8]),
+            Ok((2.5, vec![4, 10]))
+        );
+        // Duration alone keeps the default grid.
+        assert_eq!(
+            try_duration_then_pods(argv(&["5"]), 60.0, &[4]),
+            Ok((5.0, vec![4]))
+        );
+    }
+
+    #[test]
+    fn bad_arguments_name_the_offender() {
+        let e = try_duration_then_pods(argv(&["fast"]), 60.0, &[4]).unwrap_err();
+        assert!(e.contains("invalid duration \"fast\""), "{e}");
+        let e = try_duration_then_pods(argv(&["-1"]), 60.0, &[4]).unwrap_err();
+        assert!(e.contains("must be > 0"), "{e}");
+        let e = try_pods_list(argv(&["4", "nope"]), &[4]).unwrap_err();
+        assert!(e.contains("invalid pod count \"nope\""), "{e}");
+        let e = try_pods_list(argv(&["7"]), &[4]).unwrap_err();
+        assert!(e.contains("even k"), "{e}");
+        let e = try_single_k(argv(&["8", "10"]), 8).unwrap_err();
+        assert!(e.contains("unexpected extra argument \"10\""), "{e}");
+    }
+
+    #[test]
+    fn pods_and_single_k_parse() {
+        assert_eq!(try_pods_list(argv(&[]), &[4, 8]), Ok(vec![4, 8]));
+        assert_eq!(try_pods_list(argv(&["12"]), &[4, 8]), Ok(vec![12]));
+        assert_eq!(try_single_k(argv(&[]), 8), Ok(8));
+        assert_eq!(try_single_k(argv(&["6"]), 8), Ok(6));
+    }
 
     #[test]
     fn avg_hops_on_fattree() {

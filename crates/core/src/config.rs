@@ -19,6 +19,9 @@
 //! | `HORSE_PUMP_MODE` | [`RunConfig::pump_mode`] | `readiness` (default) or `fullpoll` |
 //! | `HORSE_TRACE` | [`RunConfig::trace`]`.enabled` | Enable structured tracing |
 //! | `HORSE_TRACE_CAPACITY` | [`RunConfig::trace`]`.capacity` | Per-component ring capacity |
+//! | `HORSE_CHECKPOINT_DIR` | [`RunConfig::checkpoint_dir`] | Sweep checkpoint directory (unset = results dir) |
+//! | `HORSE_SWEEP_MAX_RUNS` | [`RunConfig::sweep_max_runs`] | Cap runs per invocation (resume smoke / staged campaigns) |
+//! | `HORSE_RETRY_FAILED` | [`RunConfig::retry_failed`] | Re-run checkpointed `failed` records (`1`/`true`) |
 
 use crate::control::PumpMode;
 use horse_trace::TraceOptions;
@@ -52,6 +55,19 @@ pub struct RunConfig {
     pub pump_mode: PumpMode,
     /// Structured-tracing options for traced runs.
     pub trace: TraceOptions,
+    /// Directory for sweep checkpoint files (`sweep-<plan_hash>.jsonl`);
+    /// `None` means "use [`RunConfig::results_dir`]". Checkpointing
+    /// itself is chosen by the caller (`execute_checkpointed` vs
+    /// `execute`), not by this knob.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Execute at most this many sweep runs per invocation, leaving the
+    /// rest pending in the checkpoint — the in-process stand-in for
+    /// "killed partway" (CI resume smoke) and a lever for staging very
+    /// long campaigns.
+    pub sweep_max_runs: Option<usize>,
+    /// Re-execute checkpointed runs whose record says `failed` instead
+    /// of carrying the failure into the merged report.
+    pub retry_failed: bool,
 }
 
 impl Default for RunConfig {
@@ -64,6 +80,9 @@ impl Default for RunConfig {
             trace_max_overhead: None,
             pump_mode: PumpMode::Readiness,
             trace: TraceOptions::default(),
+            checkpoint_dir: None,
+            sweep_max_runs: None,
+            retry_failed: false,
         }
     }
 }
@@ -103,11 +122,12 @@ impl RunConfig {
                 panic!("HORSE_PUMP_MODE must be \"readiness\" or \"fullpoll\", got {other:?}")
             }
         };
-        let trace_enabled = match get("HORSE_TRACE").as_deref().map(str::trim) {
+        let flag = |key: &str| match get(key).as_deref().map(str::trim) {
             None | Some("0") | Some("false") | Some("") => false,
             Some("1") | Some("true") => true,
-            Some(other) => panic!("HORSE_TRACE must be 0/1/true/false, got {other:?}"),
+            Some(other) => panic!("{key} must be 0/1/true/false, got {other:?}"),
         };
+        let trace_enabled = flag("HORSE_TRACE");
         let mut trace = if trace_enabled {
             TraceOptions::enabled()
         } else {
@@ -119,6 +139,10 @@ impl RunConfig {
                 _ => panic!("HORSE_TRACE_CAPACITY must be a positive integer, got {s:?}"),
             }
         }
+        let sweep_max_runs = get("HORSE_SWEEP_MAX_RUNS").map(|s| match s.trim().parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => panic!("HORSE_SWEEP_MAX_RUNS must be a non-negative integer, got {s:?}"),
+        });
         RunConfig {
             threads,
             results_dir,
@@ -127,6 +151,9 @@ impl RunConfig {
             trace_max_overhead: float("HORSE_TRACE_MAX_OVERHEAD"),
             pump_mode,
             trace,
+            checkpoint_dir: get("HORSE_CHECKPOINT_DIR").map(PathBuf::from),
+            sweep_max_runs,
+            retry_failed: flag("HORSE_RETRY_FAILED"),
         }
     }
 
@@ -173,6 +200,9 @@ mod tests {
             ("HORSE_PUMP_MODE", "fullpoll"),
             ("HORSE_TRACE", "1"),
             ("HORSE_TRACE_CAPACITY", "1024"),
+            ("HORSE_CHECKPOINT_DIR", "/tmp/ckpt"),
+            ("HORSE_SWEEP_MAX_RUNS", "12"),
+            ("HORSE_RETRY_FAILED", "true"),
         ]));
         assert_eq!(cfg.threads, Some(4));
         assert_eq!(cfg.threads(), 4);
@@ -183,6 +213,29 @@ mod tests {
         assert_eq!(cfg.pump_mode, PumpMode::FullPoll);
         assert!(cfg.trace.enabled);
         assert_eq!(cfg.trace.capacity, 1024);
+        assert_eq!(cfg.checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
+        assert_eq!(cfg.sweep_max_runs, Some(12));
+        assert!(cfg.retry_failed);
+    }
+
+    #[test]
+    fn checkpoint_knobs_default_off() {
+        let cfg = RunConfig::from_lookup(|_| None);
+        assert_eq!(cfg.checkpoint_dir, None);
+        assert_eq!(cfg.sweep_max_runs, None);
+        assert!(!cfg.retry_failed);
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_SWEEP_MAX_RUNS must be a non-negative integer")]
+    fn bad_max_runs_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_SWEEP_MAX_RUNS", "few")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_RETRY_FAILED must be 0/1/true/false")]
+    fn bad_retry_flag_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_RETRY_FAILED", "maybe")]));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Append-only JSON-Lines persistence — one JSON object per line.
+//!
+//! The sweep checkpoint layer streams a record to disk after every
+//! completed run, so a killed process keeps everything it finished. Two
+//! properties matter for that workload and are what this module
+//! guarantees:
+//!
+//! 1. **Appends are line-atomic from the reader's perspective.** Each
+//!    record is written with a single `write_all` of `line + '\n'` and
+//!    flushed; a process killed mid-write leaves at most one truncated
+//!    *final* line, which [`parse_jsonl`] surfaces as a per-line parse
+//!    error the caller can choose to discard.
+//! 2. **Reading is total, not fail-fast.** [`parse_jsonl`] returns a
+//!    result per line instead of bailing on the first bad one, so policy
+//!    (drop a truncated tail, reject mid-file corruption) stays with the
+//!    caller.
+
+use crate::Json;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Appends JSON records to a file, one per line, flushing after each so
+/// completed records survive the process.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JsonlWriter {
+    /// Opens `path` for appending, creating the file (and its parent
+    /// directory) if missing.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<JsonlWriter> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JsonlWriter { file, path })
+    }
+
+    /// Appends one record. `record` must be a single-line JSON document
+    /// (the writers in this workspace escape embedded newlines).
+    pub fn write_line(&mut self, record: &str) -> std::io::Result<()> {
+        debug_assert!(!record.contains('\n'), "JSONL record must be a single line");
+        let mut line = String::with_capacity(record.len() + 1);
+        line.push_str(record);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+
+    /// The file being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Parses JSON-Lines text into one result per non-empty line, tagged
+/// with its 1-based line number. A line that fails to parse yields
+/// `Err(reason)` in place; subsequent lines still parse.
+pub fn parse_jsonl(text: &str) -> Vec<(usize, Result<Json, String>)> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| (i + 1, Json::parse(l)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("horse_jsonl_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrips_records() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JsonlWriter::append(&path).unwrap();
+        w.write_line(r#"{"a": 1}"#).unwrap();
+        w.write_line(r#"{"b": "x"}"#).unwrap();
+        drop(w);
+        // A second writer appends, not truncates.
+        let mut w = JsonlWriter::append(&path).unwrap();
+        w.write_line(r#"{"c": true}"#).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = parse_jsonl(&text);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].0, 1);
+        assert_eq!(
+            lines[0].1.as_ref().unwrap().get("a").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            lines[2].1.as_ref().unwrap().get("c").unwrap().as_bool(),
+            Some(true)
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_isolated() {
+        // A kill mid-write leaves a partial final line; earlier records
+        // must still parse and the bad line must be identifiable.
+        let text = "{\"a\": 1}\n{\"b\": 2}\n{\"c\": tr";
+        let lines = parse_jsonl(text);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].1.is_ok());
+        assert!(lines[1].1.is_ok());
+        assert_eq!(lines[2].0, 3);
+        assert!(lines[2].1.is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let lines = parse_jsonl("\n{\"a\": 1}\n\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].0, 2);
+    }
+}

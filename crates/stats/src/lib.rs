@@ -11,9 +11,11 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 mod json;
+mod jsonl;
 mod sweep;
 pub use json::Json;
-pub use sweep::{OrderedCollector, SweepStats, WorkerStats};
+pub use jsonl::{parse_jsonl, JsonlWriter};
+pub use sweep::{MissingResults, OrderedCollector, SweepStats, WorkerStats};
 
 /// A time-ordered sequence of `(time, value)` samples.
 #[derive(Debug, Clone, Default, PartialEq)]

@@ -54,20 +54,63 @@ impl<T> OrderedCollector<T> {
         self.received == self.slots.len()
     }
 
-    /// The results in index order. Panics unless complete.
-    pub fn into_ordered(self) -> Vec<T> {
-        assert!(
-            self.is_complete(),
-            "collector incomplete: {}/{} results",
-            self.received,
-            self.slots.len()
-        );
-        self.slots
+    /// The results in index order, or the list of indices that never got
+    /// one. This is the completion path sweep executors should take: a
+    /// worker that died without reporting becomes a diagnosable
+    /// [`MissingResults`] instead of a panic deep in the collector.
+    pub fn try_into_ordered(self) -> Result<Vec<T>, MissingResults> {
+        if !self.is_complete() {
+            let missing = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            return Err(MissingResults {
+                missing,
+                expected: self.slots.len(),
+            });
+        }
+        Ok(self
+            .slots
             .into_iter()
-            .map(|s| s.expect("complete"))
-            .collect()
+            .map(|s| s.expect("checked complete above"))
+            .collect())
+    }
+
+    /// The results in index order. Panics unless complete; callers that
+    /// can observe partial sweeps should use
+    /// [`OrderedCollector::try_into_ordered`] instead.
+    pub fn into_ordered(self) -> Vec<T> {
+        self.try_into_ordered()
+            .unwrap_or_else(|m| panic!("collector incomplete: {m}"))
     }
 }
+
+/// Indices an [`OrderedCollector`] never received, reported instead of
+/// panicking so a sweep can name exactly which runs went missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingResults {
+    /// Run indices with no result, ascending.
+    pub missing: Vec<usize>,
+    /// Results the collector expected in total.
+    pub expected: usize,
+}
+
+impl std::fmt::Display for MissingResults {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} results missing (indices {:?})",
+            self.missing.len(),
+            self.expected,
+            self.missing
+        )
+    }
+}
+
+impl std::error::Error for MissingResults {}
 
 /// Per-worker counters from one sweep execution.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -76,6 +119,8 @@ pub struct WorkerStats {
     pub runs: u64,
     /// Runs it stole from a sibling's queue.
     pub steals: u64,
+    /// Runs whose closure panicked (contained; counted in `runs` too).
+    pub failed: u64,
     /// Wall time spent inside run closures, in milliseconds.
     pub busy_ms: f64,
 }
@@ -104,6 +149,11 @@ impl SweepStats {
     /// Total runs stolen across workers.
     pub fn total_steals(&self) -> u64 {
         self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total contained run panics across workers.
+    pub fn total_failed(&self) -> u64 {
+        self.workers.iter().map(|w| w.failed).sum()
     }
 
     /// Fraction of `threads × elapsed` spent inside run closures, in
@@ -139,9 +189,10 @@ impl SweepStats {
         );
         let _ = write!(
             out,
-            "\"busy_ms\": {}, \"steals\": {}, \"utilization\": {}, \"speedup_vs_serial\": {}, ",
+            "\"busy_ms\": {}, \"steals\": {}, \"failed\": {}, \"utilization\": {}, \"speedup_vs_serial\": {}, ",
             json_f64(self.total_busy_ms()),
             self.total_steals(),
+            self.total_failed(),
             json_f64(self.utilization()),
             json_f64(self.speedup_vs_serial())
         );
@@ -152,11 +203,13 @@ impl SweepStats {
             }
             let _ = write!(
                 out,
-                "{{{}: {}, {}: {}, {}: {}}}",
+                "{{{}: {}, {}: {}, {}: {}, {}: {}}}",
                 json_string("runs"),
                 w.runs,
                 json_string("steals"),
                 w.steals,
+                json_string("failed"),
+                w.failed,
                 json_string("busy_ms"),
                 json_f64(w.busy_ms)
             );
@@ -180,6 +233,22 @@ mod tests {
         c.insert(1, "b");
         assert!(c.is_complete());
         assert_eq!(c.into_ordered(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn try_into_ordered_lists_missing_indices() {
+        let mut c = OrderedCollector::new(5);
+        c.insert(1, "b");
+        c.insert(3, "d");
+        let err = c.try_into_ordered().unwrap_err();
+        assert_eq!(err.missing, vec![0, 2, 4]);
+        assert_eq!(err.expected, 5);
+        assert!(err.to_string().contains("3 of 5"));
+
+        let mut c = OrderedCollector::new(2);
+        c.insert(0, 1);
+        c.insert(1, 2);
+        assert_eq!(c.try_into_ordered().unwrap(), vec![1, 2]);
     }
 
     #[test]
@@ -207,22 +276,26 @@ mod tests {
                 WorkerStats {
                     runs: 3,
                     steals: 1,
+                    failed: 1,
                     busy_ms: 90.0,
                 },
                 WorkerStats {
                     runs: 1,
                     steals: 0,
+                    failed: 0,
                     busy_ms: 70.0,
                 },
             ],
         };
         assert!((s.total_busy_ms() - 160.0).abs() < 1e-9);
         assert_eq!(s.total_steals(), 1);
+        assert_eq!(s.total_failed(), 1);
         assert!((s.utilization() - 0.8).abs() < 1e-9);
         assert!((s.speedup_vs_serial() - 1.6).abs() < 1e-9);
         let j = s.to_json();
         assert!(j.contains("\"threads\": 2"));
         assert!(j.contains("\"steals\": 1"));
+        assert!(j.contains("\"failed\": 1"));
         assert!(j.contains("\"workers\": ["));
     }
 

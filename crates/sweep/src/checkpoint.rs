@@ -1,0 +1,723 @@
+//! Crash-safe sweep checkpoints: append-only JSONL run records, loaded
+//! on restart so a resumed sweep executes only the remainder.
+//!
+//! ## Record schema
+//!
+//! Every completed run appends one JSON object (a single line, flushed
+//! before the next run's record can land) to
+//! `<dir>/sweep-<plan_hash>.jsonl`:
+//!
+//! ```json
+//! {"run_index": 3, "seed": "0123456789abcdef", "plan_hash": "…16 hex…",
+//!  "digest": "…16 hex…", "outcome": "ok", "wall_ms": 41.7,
+//!  "semantic": "…the run's semantic report JSON, escaped…"}
+//! {"run_index": 4, "seed": "…", "plan_hash": "…", "digest": "…",
+//!  "outcome": "failed", "wall_ms": 2.1, "panic": "…panic message…"}
+//! ```
+//!
+//! `digest` is the FNV-1a 64 hash of the payload (`semantic` or `panic`)
+//! and is re-verified on load, so bit rot is caught instead of silently
+//! merged. `seed` is hex because the JSON layer keeps numbers as `f64`
+//! and a splitmix64 seed does not survive the round trip.
+//!
+//! ## Resume semantics
+//!
+//! A restart with the same plan hash loads the file, skips every index
+//! that already has a record (including `failed` ones — set
+//! `retry_failed` to re-run those), and executes only the remainder. The
+//! merged semantic report is byte-identical to an uninterrupted sweep:
+//! restored runs contribute their recorded semantic bytes, fresh runs
+//! contribute freshly-computed ones, and both came from the same
+//! deterministic plan.
+//!
+//! ## Failure containment
+//!
+//! * A run that panics becomes an `outcome: "failed"` record (the pool
+//!   contains the panic; siblings keep draining).
+//! * A process killed mid-write leaves at most one truncated final
+//!   line, which the loader drops (that run simply re-executes).
+//! * Mid-file corruption, digest mismatches, and plan-hash mismatches
+//!   are hard errors — resuming over bad data would silently violate
+//!   the determinism contract.
+
+use crate::pool::{run_selected_with, RunOutcome, RunResult};
+use horse_stats::{json_f64, json_string, parse_jsonl, Json, JsonlWriter, SweepStats};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash — the checkpoint layer's content digest and the
+/// plan-hash primitive. Stable across processes and platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Where and how a sweep checkpoints. Built directly or from the
+/// `HORSE_*` knobs via [`CheckpointOptions::from_config`].
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory holding the checkpoint file (named
+    /// `sweep-<plan_hash>.jsonl`, so distinct plans never collide).
+    pub dir: PathBuf,
+    /// Execute at most this many runs this invocation, then return with
+    /// the rest pending — the in-process stand-in for "killed partway"
+    /// that the CI resume smoke and tests use.
+    pub max_runs: Option<usize>,
+    /// Re-execute runs whose record says `failed` instead of carrying
+    /// the failure forward.
+    pub retry_failed: bool,
+}
+
+impl CheckpointOptions {
+    /// Checkpoints into `dir` with no run cap and no failure retry.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointOptions {
+        CheckpointOptions {
+            dir: dir.into(),
+            max_runs: None,
+            retry_failed: false,
+        }
+    }
+
+    /// Caps the number of runs executed this invocation.
+    pub fn max_runs(mut self, n: Option<usize>) -> CheckpointOptions {
+        self.max_runs = n;
+        self
+    }
+
+    /// Re-runs previously-failed indices instead of restoring them.
+    pub fn retry_failed(mut self, yes: bool) -> CheckpointOptions {
+        self.retry_failed = yes;
+        self
+    }
+
+    /// Options from a [`horse_core::RunConfig`]: `HORSE_CHECKPOINT_DIR`
+    /// (falling back to the results directory), `HORSE_SWEEP_MAX_RUNS`,
+    /// and `HORSE_RETRY_FAILED`.
+    pub fn from_config(cfg: &horse_core::RunConfig) -> CheckpointOptions {
+        CheckpointOptions {
+            dir: cfg
+                .checkpoint_dir
+                .clone()
+                .unwrap_or_else(|| cfg.results_dir.clone()),
+            max_runs: cfg.sweep_max_runs,
+            retry_failed: cfg.retry_failed,
+        }
+    }
+
+    /// The checkpoint file this plan hash maps to inside `dir`.
+    pub fn file_for(&self, plan_hash: u64) -> PathBuf {
+        self.dir.join(format!("sweep-{plan_hash:016x}.jsonl"))
+    }
+}
+
+/// Per-run identity the checkpoint engine needs from the plan: the
+/// derived seed (verified against restored records) and the grid label
+/// (used in failure entries of the merged report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Seed derived from `(base_seed, run_index)`.
+    pub seed: u64,
+    /// Grid label, unique within the plan.
+    pub label: String,
+}
+
+/// One restored checkpoint record.
+#[derive(Debug, Clone, PartialEq)]
+struct RunRecord {
+    seed: u64,
+    outcome: RunOutcome<String>,
+    wall_ms: f64,
+}
+
+/// Why a checkpoint could not be loaded or written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or appending the checkpoint.
+    Io(String),
+    /// A record that is not a truncated final line failed to parse or
+    /// verify (bad field, digest mismatch, duplicate completed index).
+    Corrupt {
+        /// 1-based line in the checkpoint file.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The file's embedded plan hash is not this plan's — resuming would
+    /// merge results from a different experiment grid.
+    PlanMismatch {
+        /// This plan's hash.
+        expected: u64,
+        /// The hash found in the file.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt { line, reason } => {
+                write!(f, "corrupt checkpoint record at line {line}: {reason}")
+            }
+            CheckpointError::PlanMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different plan \
+                 (expected hash {expected:016x}, found {found:016x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One run of a checkpointed sweep — restored from disk or executed
+/// this invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointedRun {
+    /// Position in the expanded plan.
+    pub index: usize,
+    /// Seed derived from `(base_seed, index)`.
+    pub seed: u64,
+    /// Grid label.
+    pub label: String,
+    /// The run's semantic report JSON, or the panic that killed it.
+    pub outcome: RunOutcome<String>,
+    /// True when the record was loaded from the checkpoint file instead
+    /// of executed now.
+    pub restored: bool,
+    /// Wall time of the run (as recorded, for restored runs).
+    pub wall_ms: f64,
+}
+
+/// A checkpointed sweep invocation: every completed run (restored +
+/// fresh) in plan order, plus what is still pending when a run cap
+/// stopped this invocation early.
+#[derive(Debug)]
+pub struct CheckpointedSweep {
+    /// Completed runs, ascending by index. Excludes pending ones.
+    pub runs: Vec<CheckpointedRun>,
+    /// Indices not yet executed (non-empty only under `max_runs`).
+    pub pending: Vec<usize>,
+    /// Runs restored from the checkpoint file.
+    pub restored: usize,
+    /// Runs executed by this invocation.
+    pub executed: usize,
+    /// Pool counters for this invocation's executed runs only.
+    pub stats: SweepStats,
+    /// The checkpoint file backing this sweep.
+    pub path: PathBuf,
+}
+
+impl CheckpointedSweep {
+    /// True when every plan index has a completed run.
+    pub fn is_complete(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Completed runs whose outcome is a contained panic.
+    pub fn failed(&self) -> usize {
+        self.runs.iter().filter(|r| r.outcome.is_failed()).count()
+    }
+
+    /// JSON array of per-run semantic reports — byte-identical to an
+    /// uninterrupted sweep's [`crate::SweepOutcome::semantic_json`] when
+    /// every run succeeds; failed runs contribute a structured
+    /// `{"run_index", "label", "failed"}` entry instead of aborting the
+    /// merge. Panics on a partial sweep (resume it first).
+    pub fn semantic_json(&self) -> String {
+        assert!(
+            self.is_complete(),
+            "cannot merge a partial sweep: {} runs pending (resume to finish)",
+            self.pending.len()
+        );
+        let mut out = String::from("[\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            match &r.outcome {
+                RunOutcome::Ok(semantic) => out.push_str(semantic),
+                RunOutcome::Failed { message } => {
+                    let _ = write!(
+                        out,
+                        "{{\"run_index\": {}, \"label\": {}, \"failed\": {}}}",
+                        r.index,
+                        json_string(&r.label),
+                        json_string(message)
+                    );
+                }
+            }
+            if i + 1 < self.runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Formats one run's checkpoint record as a single JSON line.
+fn record_line(plan_hash: u64, seed: u64, r: &RunResult<RunOutcome<String>>) -> String {
+    let mut l = String::new();
+    let _ = write!(
+        l,
+        "{{\"run_index\": {}, \"seed\": \"{seed:016x}\", \"plan_hash\": \"{plan_hash:016x}\", ",
+        r.index
+    );
+    let (tag, key, payload) = match &r.value {
+        RunOutcome::Ok(semantic) => ("ok", "semantic", semantic),
+        RunOutcome::Failed { message } => ("failed", "panic", message),
+    };
+    let _ = write!(
+        l,
+        "\"digest\": \"{:016x}\", \"outcome\": \"{tag}\", \"wall_ms\": {}, \"{key}\": {}}}",
+        fnv1a64(payload.as_bytes()),
+        json_f64(r.wall_ms),
+        json_string(payload)
+    );
+    l
+}
+
+/// Parses a 16-hex-digit field.
+fn hex_field(obj: &Json, key: &str) -> Result<u64, String> {
+    let s = obj
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string '{key}'"))?;
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex in '{key}': {e}"))
+}
+
+/// Parses one checkpoint line into `(index, record)`.
+fn parse_record(obj: &Json, plan_hash: u64) -> Result<(usize, RunRecord), CheckpointError> {
+    let corrupt = |reason: String| CheckpointError::Corrupt { line: 0, reason };
+    let found = hex_field(obj, "plan_hash").map_err(corrupt)?;
+    if found != plan_hash {
+        return Err(CheckpointError::PlanMismatch {
+            expected: plan_hash,
+            found,
+        });
+    }
+    let index =
+        obj.get("run_index")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("missing or non-integer 'run_index'".into()))? as usize;
+    let seed = hex_field(obj, "seed").map_err(corrupt)?;
+    let digest = hex_field(obj, "digest").map_err(corrupt)?;
+    let wall_ms = obj.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let outcome = match obj.get("outcome").and_then(Json::as_str) {
+        Some("ok") => {
+            let semantic = obj
+                .get("semantic")
+                .and_then(Json::as_str)
+                .ok_or_else(|| corrupt("'ok' record without 'semantic'".into()))?
+                .to_string();
+            if fnv1a64(semantic.as_bytes()) != digest {
+                return Err(corrupt(format!("digest mismatch for run {index}")));
+            }
+            RunOutcome::Ok(semantic)
+        }
+        Some("failed") => {
+            let message = obj
+                .get("panic")
+                .and_then(Json::as_str)
+                .ok_or_else(|| corrupt("'failed' record without 'panic'".into()))?
+                .to_string();
+            if fnv1a64(message.as_bytes()) != digest {
+                return Err(corrupt(format!("digest mismatch for run {index}")));
+            }
+            RunOutcome::Failed { message }
+        }
+        other => return Err(corrupt(format!("bad 'outcome': {other:?}"))),
+    };
+    Ok((
+        index,
+        RunRecord {
+            seed,
+            outcome,
+            wall_ms,
+        },
+    ))
+}
+
+/// Loads the checkpoint file, applying the tolerance rules: a missing
+/// file is an empty checkpoint; an unparsable *final* line is a
+/// truncated partial write and is dropped; anything else wrong is a
+/// hard error.
+fn load(
+    path: &Path,
+    plan_hash: u64,
+    metas: &[RunMeta],
+) -> Result<BTreeMap<usize, RunRecord>, CheckpointError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(CheckpointError::Io(format!("{}: {e}", path.display()))),
+    };
+    let lines = parse_jsonl(&text);
+    let mut records = BTreeMap::new();
+    for (pos, (line, parsed)) in lines.iter().enumerate() {
+        let obj = match parsed {
+            Ok(v) => v,
+            Err(reason) if pos + 1 == lines.len() => {
+                // Truncated tail from a killed writer: drop it; the run
+                // re-executes.
+                eprintln!(
+                    "[checkpoint] dropping truncated final record at {}:{line} ({reason})",
+                    path.display()
+                );
+                break;
+            }
+            Err(reason) => {
+                return Err(CheckpointError::Corrupt {
+                    line: *line,
+                    reason: reason.clone(),
+                })
+            }
+        };
+        let (index, record) = parse_record(obj, plan_hash).map_err(|e| match e {
+            CheckpointError::Corrupt { reason, .. } => CheckpointError::Corrupt {
+                line: *line,
+                reason,
+            },
+            other => other,
+        })?;
+        let meta = metas.get(index).ok_or(CheckpointError::Corrupt {
+            line: *line,
+            reason: format!("run_index {index} out of range for this plan"),
+        })?;
+        if record.seed != meta.seed {
+            return Err(CheckpointError::Corrupt {
+                line: *line,
+                reason: format!(
+                    "seed mismatch for run {index}: recorded {:016x}, plan derives {:016x}",
+                    record.seed, meta.seed
+                ),
+            });
+        }
+        match records.get(&index) {
+            // A later record may supersede an earlier failure (a
+            // retry_failed pass re-ran the index); two completed records
+            // for one index is corruption.
+            Some(RunRecord { outcome, .. }) if !outcome.is_failed() => {
+                return Err(CheckpointError::Corrupt {
+                    line: *line,
+                    reason: format!("duplicate record for completed run {index}"),
+                });
+            }
+            _ => {
+                records.insert(index, record);
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Executes a sweep with checkpointing: restores completed indices from
+/// `<dir>/sweep-<plan_hash>.jsonl`, runs the remainder on the pool
+/// (streaming a flushed record per completion), and merges both into
+/// plan order. `f(index)` must return the run's semantic report JSON; a
+/// panic inside it becomes a `failed` record.
+///
+/// This is the generic engine — [`crate::SweepPlan::execute_checkpointed`]
+/// drives it with real experiments; tests drive it with arbitrary
+/// closures (including deliberately panicking ones).
+pub fn run_checkpointed<F>(
+    metas: &[RunMeta],
+    threads: usize,
+    plan_hash: u64,
+    opts: &CheckpointOptions,
+    f: F,
+) -> Result<CheckpointedSweep, CheckpointError>
+where
+    F: Fn(usize) -> String + Sync,
+{
+    let path = opts.file_for(plan_hash);
+    let mut records = load(&path, plan_hash, metas)?;
+    if opts.retry_failed {
+        records.retain(|_, r| !r.outcome.is_failed());
+    }
+
+    let mut to_run: Vec<usize> = (0..metas.len())
+        .filter(|i| !records.contains_key(i))
+        .collect();
+    let mut pending: Vec<usize> = Vec::new();
+    if let Some(cap) = opts.max_runs {
+        pending = to_run.split_off(cap.min(to_run.len()));
+    }
+
+    let (fresh, stats) = if to_run.is_empty() {
+        (Vec::new(), SweepStats::default())
+    } else {
+        let mut writer =
+            JsonlWriter::append(&path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let mut write_err: Option<String> = None;
+        let out = run_selected_with(&to_run, threads, f, |r| {
+            if write_err.is_none() {
+                let line = record_line(plan_hash, metas[r.index].seed, r);
+                if let Err(e) = writer.write_line(&line) {
+                    write_err = Some(e.to_string());
+                }
+            }
+        });
+        if let Some(e) = write_err {
+            return Err(CheckpointError::Io(e));
+        }
+        out
+    };
+
+    let restored = records.len();
+    let executed = fresh.len();
+    let mut fresh_by_index: BTreeMap<usize, RunResult<RunOutcome<String>>> =
+        fresh.into_iter().map(|r| (r.index, r)).collect();
+    let mut runs = Vec::with_capacity(restored + executed);
+    for (index, meta) in metas.iter().enumerate() {
+        if let Some(rec) = records.remove(&index) {
+            runs.push(CheckpointedRun {
+                index,
+                seed: meta.seed,
+                label: meta.label.clone(),
+                outcome: rec.outcome,
+                restored: true,
+                wall_ms: rec.wall_ms,
+            });
+        } else if let Some(r) = fresh_by_index.remove(&index) {
+            runs.push(CheckpointedRun {
+                index,
+                seed: meta.seed,
+                label: meta.label.clone(),
+                outcome: r.value,
+                restored: false,
+                wall_ms: r.wall_ms,
+            });
+        }
+    }
+    Ok(CheckpointedSweep {
+        runs,
+        pending,
+        restored,
+        executed,
+        stats,
+        path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn metas(n: usize) -> Vec<RunMeta> {
+        (0..n)
+            .map(|i| RunMeta {
+                seed: crate::seed::derive_seed(99, i as u64),
+                label: format!("run-{i}"),
+            })
+            .collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("horse_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    const HASH: u64 = 0xdead_beef_cafe_f00d;
+
+    fn run_semantic(i: usize) -> String {
+        format!("{{\"run\": {i}, \"value\": {}}}", i * i)
+    }
+
+    #[test]
+    fn cap_then_resume_merges_byte_identical() {
+        let metas = metas(5);
+        let dir = temp_dir("resume");
+        let clean_dir = temp_dir("resume_clean");
+        let executions = AtomicUsize::new(0);
+        let f = |i: usize| {
+            executions.fetch_add(1, Ordering::SeqCst);
+            run_semantic(i)
+        };
+
+        let clean = run_checkpointed(&metas, 1, HASH, &CheckpointOptions::new(&clean_dir), f)
+            .expect("clean run");
+        assert!(clean.is_complete());
+        assert_eq!(executions.swap(0, Ordering::SeqCst), 5);
+
+        let opts = CheckpointOptions::new(&dir);
+        let partial = run_checkpointed(&metas, 2, HASH, &opts.clone().max_runs(Some(2)), f)
+            .expect("partial run");
+        assert!(!partial.is_complete());
+        assert_eq!(partial.executed, 2);
+        assert_eq!(partial.restored, 0);
+        assert_eq!(partial.pending, vec![2, 3, 4]);
+        assert_eq!(executions.swap(0, Ordering::SeqCst), 2);
+
+        let resumed = run_checkpointed(&metas, 2, HASH, &opts, f).expect("resumed run");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.restored, 2);
+        assert_eq!(resumed.executed, 3);
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            3,
+            "completed runs must not re-execute"
+        );
+        assert_eq!(clean.semantic_json(), resumed.semantic_json());
+
+        // A third invocation restores everything and runs nothing.
+        let idle = run_checkpointed(&metas, 1, HASH, &opts, f).expect("idle run");
+        assert_eq!(idle.restored, 5);
+        assert_eq!(idle.executed, 0);
+        assert_eq!(idle.semantic_json(), clean.semantic_json());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&clean_dir).unwrap();
+    }
+
+    #[test]
+    fn panicking_run_yields_failed_record_and_siblings_complete() {
+        let metas = metas(4);
+        let dir = temp_dir("panic");
+        let opts = CheckpointOptions::new(&dir);
+        let f = |i: usize| {
+            if i == 1 {
+                panic!("injected failure in run {i}");
+            }
+            run_semantic(i)
+        };
+        let out = run_checkpointed(&metas, 2, HASH, &opts, f).expect("sweep drains");
+        assert!(out.is_complete());
+        assert_eq!(out.failed(), 1);
+        assert_eq!(out.stats.total_failed(), 1);
+        let merged = out.semantic_json();
+        assert!(
+            merged.contains("\"failed\": \"injected failure in run 1\""),
+            "{merged}"
+        );
+        assert!(merged.contains("\"label\": \"run-1\""), "{merged}");
+
+        // Resuming restores the failure as data without re-running it…
+        let restored = run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("resume");
+        assert_eq!(restored.executed, 0);
+        assert_eq!(restored.failed(), 1);
+        assert_eq!(restored.semantic_json(), merged);
+
+        // …unless retry_failed re-executes it, superseding the record.
+        let retried = run_checkpointed(
+            &metas,
+            1,
+            HASH,
+            &opts.clone().retry_failed(true),
+            run_semantic,
+        )
+        .expect("retry");
+        assert_eq!(retried.executed, 1);
+        assert_eq!(retried.failed(), 0);
+        // And the superseding Ok record wins on the next load.
+        let after = run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("after retry");
+        assert_eq!(after.restored, 4);
+        assert_eq!(after.failed(), 0);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_and_rerun() {
+        let metas = metas(3);
+        let dir = temp_dir("trunc");
+        let opts = CheckpointOptions::new(&dir);
+        let full = run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("full");
+        let reference = full.semantic_json();
+
+        // Simulate a kill mid-append: chop the last record in half.
+        let path = opts.file_for(HASH);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.len() - 20;
+        std::fs::write(&path, &text[..keep]).unwrap();
+
+        let resumed = run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("resume");
+        assert_eq!(resumed.restored, 2);
+        assert_eq!(resumed.executed, 1, "the truncated run re-executes");
+        assert_eq!(resumed.semantic_json(), reference);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn midfile_corruption_is_a_hard_error() {
+        let metas = metas(3);
+        let dir = temp_dir("corrupt");
+        let opts = CheckpointOptions::new(&dir);
+        run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("full");
+
+        let path = opts.file_for(HASH);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"run_index\": garbage";
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let err = run_checkpointed(&metas, 1, HASH, &opts, run_semantic).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt { line: 2, .. }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan_hash_mismatch_is_rejected() {
+        let metas = metas(2);
+        let dir = temp_dir("mismatch");
+        let opts = CheckpointOptions::new(&dir);
+        run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("full");
+
+        // Rename the file so a different plan hash finds it — the
+        // embedded hash must still veto the merge.
+        let other = HASH ^ 1;
+        std::fs::rename(opts.file_for(HASH), opts.file_for(other)).unwrap();
+        let err = run_checkpointed(&metas, 1, other, &opts, run_semantic).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::PlanMismatch {
+                expected: other,
+                found: HASH
+            }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn digest_mismatch_is_detected() {
+        let metas = metas(1);
+        let dir = temp_dir("digest");
+        let opts = CheckpointOptions::new(&dir);
+        run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("full");
+
+        let path = opts.file_for(HASH);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a byte inside the recorded semantic payload, then append a
+        // valid line so the bad one is not the droppable tail.
+        let tampered = text.replace("\\\"value\\\": 0", "\\\"value\\\": 7");
+        assert_ne!(tampered, text, "tamper target must exist");
+        std::fs::write(&path, tampered).unwrap();
+
+        let err = run_checkpointed(&metas, 1, HASH, &opts, run_semantic).unwrap_err();
+        match err {
+            CheckpointError::Corrupt { reason, .. } => {
+                assert!(reason.contains("digest mismatch"), "{reason}")
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned values: the digest must be stable across releases or
+        // old checkpoints would read as corrupt.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"horse"), fnv1a64(b"horse"));
+        assert_ne!(fnv1a64(b"horse"), fnv1a64(b"horsf"));
+    }
+}

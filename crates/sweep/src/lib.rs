@@ -24,18 +24,41 @@
 //! Wall times, worker ids, and steal counts ([`SweepStats`]) are real
 //! measurements and *do* vary; they are excluded from the semantic view.
 //!
+//! ## Crash safety
+//!
+//! Sweeps survive both kinds of death a thousand-run campaign meets:
+//!
+//! * **A run panics.** The pool contains it (`catch_unwind` per task);
+//!   the failing run becomes a [`RunOutcome::Failed`] record carrying
+//!   the panic message, siblings drain normally, and no pool mutex is
+//!   ever poisoned (see [`pool`]).
+//! * **The process dies.** With checkpointing enabled
+//!   ([`SweepPlan::execute_checkpointed`] /
+//!   [`SweepPlan::execute_resumable`]), every completed run has already
+//!   streamed a flushed JSONL record to disk; a restart with the same
+//!   plan hash skips those indices, executes only the remainder, and
+//!   merges a report byte-identical to an uninterrupted sweep (see
+//!   [`checkpoint`]).
+//!
 //! ## Thread count
 //!
 //! [`pool::threads_from_env`] reads `HORSE_THREADS`, defaulting to the
 //! machine's available parallelism. `HORSE_THREADS=1` takes the inline
 //! serial path — the exact loop the bench bins ran before this crate.
 
+pub mod checkpoint;
 pub mod plan;
 pub mod pool;
 pub mod seed;
 
+pub use checkpoint::{
+    fnv1a64, run_checkpointed, CheckpointError, CheckpointOptions, CheckpointedRun,
+    CheckpointedSweep, RunMeta,
+};
 pub use plan::{FailureScenario, RunSpec, SweepOutcome, SweepPlan, SweepRun, TopoCache};
-pub use pool::{run_indexed, threads_from_env, RunResult};
+pub use pool::{
+    run_indexed, run_selected, run_selected_with, threads_from_env, RunOutcome, RunResult,
+};
 pub use seed::derive_seed;
 
 // Re-exported so sweep callers name the stats type without a direct

@@ -13,6 +13,9 @@
 //! nodes and 384 links, and a 3-approach × 10-replicate sweep would
 //! otherwise rebuild and copy it 30 times.
 
+use crate::checkpoint::{
+    fnv1a64, run_checkpointed, CheckpointError, CheckpointOptions, CheckpointedSweep, RunMeta,
+};
 use crate::pool::{self, RunResult};
 use crate::seed::derive_seed;
 use horse_core::{Experiment, ExperimentReport, PumpMode, RunConfig, TeApproach};
@@ -324,6 +327,88 @@ impl SweepPlan {
             .trace(cfg.trace)
             .execute(cfg.threads())
     }
+
+    /// A stable 64-bit fingerprint of everything that determines the
+    /// plan's *semantic* output: base seed, every grid axis, replicates,
+    /// horizon, and sampling interval. Execution-only settings — pacing,
+    /// pump mode, tracing, worker count — are deliberately excluded:
+    /// they change wall time, never the semantic reports (the pump and
+    /// trace determinism tests pin that), so a checkpoint written under
+    /// one of them is safe to resume under another.
+    pub fn plan_hash(&self) -> u64 {
+        let mut c = String::from("horse-sweep-plan-v1");
+        let _ = write!(c, ";seed={}", self.base_seed);
+        let _ = write!(c, ";pods={:?}", self.pods);
+        c.push_str(";approaches=");
+        for te in &self.approaches {
+            c.push_str(te.label());
+            c.push(',');
+        }
+        c.push_str(";ftis=");
+        for (inc, quiet) in &self.ftis {
+            let _ = write!(c, "{}:{},", inc.as_nanos(), quiet.as_nanos());
+        }
+        c.push_str(";failures=");
+        for f in &self.failures {
+            match f {
+                FailureScenario::None => c.push_str("none,"),
+                FailureScenario::CoreUplinkDown { at, restore } => {
+                    let _ = write!(c, "down@{}", at.as_nanos());
+                    if let Some(r) = restore {
+                        let _ = write!(c, "~up@{}", r.as_nanos());
+                    }
+                    c.push(',');
+                }
+            }
+        }
+        let _ = write!(
+            c,
+            ";replicates={};horizon={};sample={}",
+            self.replicates,
+            self.horizon.as_nanos(),
+            self.sample_interval.as_nanos()
+        );
+        fnv1a64(c.as_bytes())
+    }
+
+    /// Runs the plan crash-safely: completed runs are restored from the
+    /// checkpoint file `<opts.dir>/sweep-<plan_hash>.jsonl` and only the
+    /// remainder executes, each completion streaming a flushed JSONL
+    /// record so a killed process loses nothing it finished. The merged
+    /// [`CheckpointedSweep::semantic_json`] is byte-identical to an
+    /// uninterrupted sweep's; a run that panics becomes a structured
+    /// `failed` entry instead of aborting the campaign.
+    pub fn execute_checkpointed(
+        &self,
+        threads: usize,
+        opts: &CheckpointOptions,
+    ) -> Result<CheckpointedSweep, CheckpointError> {
+        let specs = self.expand();
+        let metas: Vec<RunMeta> = specs
+            .iter()
+            .map(|s| RunMeta {
+                seed: s.seed,
+                label: s.label(),
+            })
+            .collect();
+        let cache = TopoCache::new();
+        run_checkpointed(&metas, threads, self.plan_hash(), opts, |i| {
+            let (report, _trace) = self.build_experiment(&specs[i], &cache).run_traced();
+            report.semantic_json()
+        })
+    }
+
+    /// [`SweepPlan::execute_checkpointed`] wired to a [`RunConfig`]:
+    /// worker count, pump mode, trace options, checkpoint directory
+    /// (`HORSE_CHECKPOINT_DIR`, falling back to the results dir), run cap
+    /// (`HORSE_SWEEP_MAX_RUNS`), and failure retry (`HORSE_RETRY_FAILED`)
+    /// all come from the one `HORSE_*` parse point.
+    pub fn execute_resumable(&self, cfg: &RunConfig) -> Result<CheckpointedSweep, CheckpointError> {
+        self.clone()
+            .pump_mode(cfg.pump_mode)
+            .trace(cfg.trace)
+            .execute_checkpointed(cfg.threads(), &CheckpointOptions::from_config(cfg))
+    }
 }
 
 /// Pod 0's first aggregation→core uplink, the canonical failure victim.
@@ -476,6 +561,31 @@ mod tests {
         // Both SDN approaches use OpenFlow switches → same template.
         assert!(Arc::ptr_eq(&e0.topo, &e1.topo));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn plan_hash_tracks_semantic_axes_only() {
+        let base = || SweepPlan::new(42).pods([4]).replicates(2);
+        let h = base().plan_hash();
+        assert_eq!(h, base().plan_hash(), "hash must be stable");
+        assert_ne!(h, SweepPlan::new(43).pods([4]).replicates(2).plan_hash());
+        assert_ne!(h, base().pods([4, 6]).plan_hash());
+        assert_ne!(h, base().replicates(3).plan_hash());
+        assert_ne!(h, base().horizon_secs(33.0).plan_hash());
+        assert_ne!(
+            h,
+            base()
+                .failures([FailureScenario::CoreUplinkDown {
+                    at: SimTime::from_secs(2),
+                    restore: None,
+                }])
+                .plan_hash()
+        );
+        // Execution-only settings leave the hash (and hence the
+        // checkpoint file) alone: a resume may legally change them.
+        assert_eq!(h, base().pacing(Pacing::real_time()).plan_hash());
+        assert_eq!(h, base().pump_mode(PumpMode::FullPoll).plan_hash());
+        assert_eq!(h, base().trace(TraceOptions::enabled()).plan_hash());
     }
 
     #[test]

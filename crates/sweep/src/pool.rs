@@ -1,27 +1,75 @@
 //! The work-stealing worker pool.
 //!
-//! Runs `n` independent, index-identified tasks on `threads` workers.
-//! Tasks are dealt round-robin into per-worker deques; a worker drains
-//! its own deque from the front and, when empty, steals from siblings'
-//! backs. Results flow through an MPMC channel and are re-ordered by
-//! index ([`horse_stats::OrderedCollector`]), so the returned vector is
-//! identical for every thread count — the scheduling shows up only in
-//! the [`SweepStats`] counters.
+//! Runs independent, index-identified tasks on `threads` workers. Tasks
+//! are dealt round-robin into per-worker deques; a worker drains its own
+//! deque from the front and, when empty, steals from siblings' backs.
+//! Results flow through an MPMC channel to the calling thread, which
+//! observes them as they complete (the checkpoint layer streams them to
+//! disk) and re-orders them by index ([`horse_stats::OrderedCollector`]),
+//! so the returned vector is identical for every thread count — the
+//! scheduling shows up only in the [`SweepStats`] counters.
 //!
 //! With `threads == 1` the pool spawns nothing and runs the tasks inline
 //! in index order — byte-for-byte the serial loop the bench bins used to
 //! write by hand.
+//!
+//! ## Panic containment
+//!
+//! Each task runs under `catch_unwind`: a panicking run becomes a
+//! [`RunOutcome::Failed`] carrying the panic message, and the worker
+//! moves on to its next task. One failing experiment can neither poison
+//! the pool's queue mutexes (locks are never held across a task) nor
+//! abort its siblings — the sweep always drains. [`run_selected`]
+//! surfaces the outcomes; the legacy [`run_indexed`] re-raises the first
+//! failure *after* the drain, preserving its infallible signature.
 
 use crossbeam::channel;
 use horse_stats::{OrderedCollector, SweepStats, WorkerStats};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
+
+/// How one contained task ended: its value, or the panic that killed it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome<T> {
+    /// The task returned normally.
+    Ok(T),
+    /// The task panicked; the pool caught it and kept draining.
+    Failed {
+        /// The panic payload, stringified (`"non-string panic payload"`
+        /// when it was neither `&str` nor `String`).
+        message: String,
+    },
+}
+
+impl<T> RunOutcome<T> {
+    /// The value, if the task succeeded.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            RunOutcome::Ok(v) => Some(v),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True when the task panicked.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, RunOutcome::Failed { .. })
+    }
+
+    /// Maps the success value, preserving failures.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> RunOutcome<U> {
+        match self {
+            RunOutcome::Ok(v) => RunOutcome::Ok(f(v)),
+            RunOutcome::Failed { message } => RunOutcome::Failed { message },
+        }
+    }
+}
 
 /// One task's result, tagged with where and how long it ran.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult<T> {
-    /// The task's index in `0..n` (plan order).
+    /// The task's index (plan order; also the result ordering key).
     pub index: usize,
     /// Worker that executed it (0 on the serial path).
     pub worker: usize,
@@ -39,44 +87,105 @@ pub struct RunResult<T> {
 /// changing the thread count is worse than a crash. This is a thin shim
 /// over [`horse_core::RunConfig`], the single `HORSE_*` parse point;
 /// callers holding a config should use [`horse_core::RunConfig::threads`]
-/// directly.
+/// directly, and tests should inject values via
+/// [`horse_core::RunConfig::from_lookup`] rather than mutating the
+/// process environment.
 pub fn threads_from_env() -> usize {
     horse_core::RunConfig::from_env().threads()
 }
 
-/// Executes `f(0..n)` on `threads` workers and returns the results in
-/// index order plus the pool's counters.
+/// Stringifies a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
+/// Runs one task under `catch_unwind`, timing it and updating `stats`.
+fn run_contained<T, F>(
+    f: &F,
+    index: usize,
+    worker: usize,
+    stats: &mut WorkerStats,
+) -> RunResult<RunOutcome<T>>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let t0 = Instant::now();
+    // AssertUnwindSafe: each task is an independent experiment; the only
+    // state shared across tasks (topology templates, attr stores) is
+    // read-only from the pool's perspective, so a panicking run leaves
+    // nothing half-mutated that a sibling could observe.
+    let outcome = match catch_unwind(AssertUnwindSafe(|| f(index))) {
+        Ok(v) => RunOutcome::Ok(v),
+        Err(payload) => {
+            stats.failed += 1;
+            RunOutcome::Failed {
+                message: panic_message(payload),
+            }
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    stats.runs += 1;
+    stats.busy_ms += wall_ms;
+    RunResult {
+        index,
+        worker,
+        wall_ms,
+        value: outcome,
+    }
+}
+
+/// Recovers a possibly-poisoned lock: a panic elsewhere must not cascade
+/// into every worker that subsequently touches the queue. The protected
+/// data (task deques, counter structs) is valid at every lock boundary —
+/// tasks execute outside the lock — so the poison flag carries no
+/// information here.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Executes `f` over an explicit set of task indices on `threads`
+/// workers, calling `observe` on the collecting thread as each result
+/// completes (completion order), and returning the results sorted by
+/// index plus the pool's counters.
 ///
-/// `f` must be a pure function of its index (up to shared read-only
-/// state): the determinism contract is that the returned vector does not
-/// depend on `threads`. Wall times and worker ids in [`RunResult`] *do*
-/// vary run to run; callers comparing results across thread counts must
-/// compare only the values (for experiments, their semantic JSON).
-pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> (Vec<RunResult<T>>, SweepStats)
+/// This is [`run_indexed`] generalized twice for the checkpoint layer:
+/// the index set need not be `0..n` (a resumed sweep runs only the
+/// remainder), and results stream through `observe` while the sweep is
+/// still running (the checkpoint writer appends a record per completed
+/// run, so a killed process keeps everything it finished).
+///
+/// Panics inside `f` are contained per-task ([`RunOutcome::Failed`]);
+/// `observe` runs outside any pool lock but must not panic.
+pub fn run_selected_with<T, F>(
+    indices: &[usize],
+    threads: usize,
+    f: F,
+    mut observe: impl FnMut(&RunResult<RunOutcome<T>>),
+) -> (Vec<RunResult<RunOutcome<T>>>, SweepStats)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let start = Instant::now();
-    if threads <= 1 || n <= 1 {
+    let m = indices.len();
+    if threads <= 1 || m <= 1 {
         let mut worker = WorkerStats::default();
-        let mut out = Vec::with_capacity(n);
-        for index in 0..n {
-            let t0 = Instant::now();
-            let value = f(index);
-            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            worker.runs += 1;
-            worker.busy_ms += wall_ms;
-            out.push(RunResult {
-                index,
-                worker: 0,
-                wall_ms,
-                value,
-            });
+        let mut out = Vec::with_capacity(m);
+        for &index in indices {
+            let r = run_contained(&f, index, 0, &mut worker);
+            observe(&r);
+            out.push(r);
         }
+        out.sort_by_key(|r| r.index);
         let stats = SweepStats {
             threads: 1,
-            runs: n,
+            runs: m,
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             workers: vec![worker],
         };
@@ -84,18 +193,19 @@ where
     }
 
     // No point spawning more workers than tasks.
-    let nw = threads.min(n);
-    // Deal tasks round-robin: worker w owns indices w, w+nw, w+2nw, …
+    let nw = threads.min(m);
+    // Deal tasks round-robin: worker w owns positions w, w+nw, w+2nw, …
     // ascending, so its own pop_front walks the plan in order while
     // thieves take pop_back (the victim's farthest-out work).
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..nw)
-        .map(|w| Mutex::new((w..n).step_by(nw).collect()))
+        .map(|w| Mutex::new(indices.iter().copied().skip(w).step_by(nw).collect()))
         .collect();
     let per_worker: Vec<Mutex<WorkerStats>> = (0..nw)
         .map(|_| Mutex::new(WorkerStats::default()))
         .collect();
-    let (tx, rx) = channel::unbounded::<RunResult<T>>();
+    let (tx, rx) = channel::unbounded::<RunResult<RunOutcome<T>>>();
 
+    let mut results = Vec::with_capacity(m);
     std::thread::scope(|s| {
         for w in 0..nw {
             let tx = tx.clone();
@@ -106,7 +216,7 @@ where
                 let mut local = WorkerStats::default();
                 loop {
                     let mut stolen = false;
-                    let index = match queues[w].lock().unwrap().pop_front() {
+                    let index = match lock_unpoisoned(&queues[w]).pop_front() {
                         Some(i) => Some(i),
                         None => {
                             // Scan siblings starting after ourselves so
@@ -114,7 +224,7 @@ where
                             let mut found = None;
                             for off in 1..nw {
                                 let victim = (w + off) % nw;
-                                if let Some(i) = queues[victim].lock().unwrap().pop_back() {
+                                if let Some(i) = lock_unpoisoned(&queues[victim]).pop_back() {
                                     found = Some(i);
                                     break;
                                 }
@@ -130,39 +240,88 @@ where
                     if stolen {
                         local.steals += 1;
                     }
-                    let t0 = Instant::now();
-                    let value = f(index);
-                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                    local.runs += 1;
-                    local.busy_ms += wall_ms;
-                    let _ = tx.send(RunResult {
-                        index,
-                        worker: w,
-                        wall_ms,
-                        value,
-                    });
+                    let _ = tx.send(run_contained(f, index, w, &mut local));
                 }
-                *per_worker[w].lock().unwrap() = local;
+                *lock_unpoisoned(&per_worker[w]) = local;
             });
+        }
+        // Collect on the calling thread while workers run. Every task
+        // sends exactly one result — panics are caught inside
+        // run_contained — so exactly m messages arrive.
+        for _ in 0..m {
+            let r = rx.recv().expect("each task sends exactly one result");
+            observe(&r);
+            results.push(r);
         }
     });
 
-    // The scope joined every worker, so all n results are queued.
-    let mut collector = OrderedCollector::new(n);
-    while let Ok(r) = rx.try_recv() {
-        collector.insert(r.index, r);
-    }
-    let results = collector.into_ordered();
+    results.sort_by_key(|r| r.index);
     let stats = SweepStats {
         threads: nw,
-        runs: n,
+        runs: m,
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
         workers: per_worker
             .into_iter()
-            .map(|m| m.into_inner().unwrap())
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
             .collect(),
     };
     (results, stats)
+}
+
+/// [`run_selected_with`] without an observer.
+pub fn run_selected<T, F>(
+    indices: &[usize],
+    threads: usize,
+    f: F,
+) -> (Vec<RunResult<RunOutcome<T>>>, SweepStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_selected_with(indices, threads, f, |_| {})
+}
+
+/// Executes `f(0..n)` on `threads` workers and returns the results in
+/// index order plus the pool's counters.
+///
+/// `f` must be a pure function of its index (up to shared read-only
+/// state): the determinism contract is that the returned vector does not
+/// depend on `threads`. Wall times and worker ids in [`RunResult`] *do*
+/// vary run to run; callers comparing results across thread counts must
+/// compare only the values (for experiments, their semantic JSON).
+///
+/// A panic inside `f` is contained until the sweep drains — every other
+/// run completes — and then re-raised here with its run index. Callers
+/// that want failures as data instead use [`run_selected`].
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> (Vec<RunResult<T>>, SweepStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    let (results, stats) = run_selected(&indices, threads, f);
+    let mut ordered = OrderedCollector::new(n);
+    for r in results {
+        let value = match r.value {
+            RunOutcome::Ok(v) => v,
+            RunOutcome::Failed { message } => {
+                panic!("sweep run {} panicked: {message}", r.index)
+            }
+        };
+        ordered.insert(
+            r.index,
+            RunResult {
+                index: r.index,
+                worker: r.worker,
+                wall_ms: r.wall_ms,
+                value,
+            },
+        );
+    }
+    let out = ordered
+        .try_into_ordered()
+        .unwrap_or_else(|m| panic!("pool lost results: {m}"));
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -239,20 +398,69 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "HORSE_THREADS")]
-    fn bad_env_panics() {
-        // Env vars are process-global; use a child-free check by setting
-        // and restoring around the call. Tests in this crate run
-        // single-process, and no other test reads HORSE_THREADS.
-        std::env::set_var("HORSE_THREADS", "zero");
-        let _guard = RestoreEnv;
-        let _ = threads_from_env();
+    fn subset_of_indices_runs_only_those() {
+        let indices = [3, 5, 11, 2];
+        for threads in [1, 3] {
+            let (rs, st) = run_selected(&indices, threads, |i| i * 10);
+            assert_eq!(st.runs, 4);
+            let got: Vec<(usize, usize)> = rs
+                .iter()
+                .map(|r| (r.index, r.value.clone().ok().unwrap()))
+                .collect();
+            // Sorted by index, values from the original index.
+            assert_eq!(got, vec![(2, 20), (3, 30), (5, 50), (11, 110)]);
+        }
     }
 
-    struct RestoreEnv;
-    impl Drop for RestoreEnv {
-        fn drop(&mut self) {
-            std::env::remove_var("HORSE_THREADS");
+    #[test]
+    fn panicking_run_is_contained_and_siblings_finish() {
+        let indices: Vec<usize> = (0..8).collect();
+        for threads in [1, 4] {
+            let (rs, st) = run_selected(&indices, threads, |i| {
+                if i == 3 {
+                    panic!("deliberate failure in run {i}");
+                }
+                i * 2
+            });
+            assert_eq!(rs.len(), 8, "threads={threads}: sweep must drain");
+            assert_eq!(st.total_failed(), 1);
+            for r in &rs {
+                if r.index == 3 {
+                    match &r.value {
+                        RunOutcome::Failed { message } => {
+                            assert!(message.contains("deliberate failure in run 3"), "{message}");
+                        }
+                        other => panic!("expected Failed, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(r.value, RunOutcome::Ok(r.index * 2));
+                }
+            }
         }
+    }
+
+    #[test]
+    fn observer_sees_every_completion() {
+        let seen = Mutex::new(Vec::new());
+        let indices: Vec<usize> = (0..12).collect();
+        let (rs, _) =
+            run_selected_with(&indices, 4, |i| i, |r| lock_unpoisoned(&seen).push(r.index));
+        assert_eq!(rs.len(), 12);
+        let mut seen = lock_unpoisoned(&seen).clone();
+        seen.sort_unstable();
+        assert_eq!(seen, indices);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep run 1 panicked: boom")]
+    fn run_indexed_reraises_after_drain() {
+        let completed = std::sync::atomic::AtomicUsize::new(0);
+        let _ = run_indexed(4, 2, |i| {
+            if i == 1 {
+                panic!("boom");
+            }
+            completed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            i
+        });
     }
 }

@@ -8,7 +8,7 @@
 //! occupancy, routed flows — must not depend on the schedule.
 
 use horse::sim::SimTime;
-use horse::sweep::{FailureScenario, SweepPlan};
+use horse::sweep::{CheckpointOptions, FailureScenario, SweepPlan};
 use horse::TeApproach;
 
 fn plan() -> SweepPlan {
@@ -51,6 +51,69 @@ fn mixed_plan_is_identical_across_worker_counts() {
             out.semantic_json(),
             "semantic reports diverged at {threads} workers"
         );
+    }
+}
+
+/// Kill/resume extension of the determinism contract: a sweep capped
+/// after 2 of 4 runs (the in-process stand-in for a SIGKILL — records
+/// are flushed per run, so the on-disk state is the same), then resumed
+/// under a *different* worker count, must merge a report byte-identical
+/// to both an uninterrupted checkpointed sweep and the plain
+/// `execute()` path.
+#[test]
+fn killed_and_resumed_sweep_matches_uninterrupted_report() {
+    let plan = SweepPlan::new(42)
+        .pods([4])
+        .approaches([TeApproach::BgpEcmp, TeApproach::SdnEcmp])
+        .failures([
+            FailureScenario::None,
+            FailureScenario::CoreUplinkDown {
+                at: SimTime::from_secs(1),
+                restore: None,
+            },
+        ])
+        .horizon_secs(2.0);
+    let baseline = plan.execute(1).semantic_json();
+
+    for threads in [1, 2] {
+        let dir =
+            std::env::temp_dir().join(format!("horse-resume-{}-t{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CheckpointOptions::new(&dir);
+
+        // Phase 1: die after two runs. The checkpoint file now holds
+        // exactly the records a SIGKILL'd sweep would have flushed.
+        let partial = plan
+            .execute_checkpointed(threads, &opts.clone().max_runs(Some(2)))
+            .expect("capped sweep");
+        assert!(!partial.is_complete());
+        assert_eq!(partial.executed, 2);
+        assert_eq!(partial.pending, vec![2, 3]);
+
+        // Phase 2: restart. Only the remainder executes; the merged
+        // report must be indistinguishable from never having died —
+        // even though the resume may use a different worker count.
+        let resumed = plan
+            .execute_checkpointed(threads % 2 + 1, &opts)
+            .expect("resumed sweep");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.restored, 2, "completed runs must not re-execute");
+        assert_eq!(resumed.executed, 2);
+        assert_eq!(
+            resumed.semantic_json(),
+            baseline,
+            "threads={threads}: resumed report diverged from uninterrupted run"
+        );
+
+        // And a clean checkpointed sweep agrees too.
+        let clean_dir = dir.join("clean");
+        let clean = plan
+            .execute_checkpointed(threads, &CheckpointOptions::new(&clean_dir))
+            .expect("clean sweep");
+        assert_eq!(clean.restored, 0);
+        assert_eq!(clean.semantic_json(), baseline);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

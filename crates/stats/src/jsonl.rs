@@ -17,7 +17,7 @@
 
 use crate::Json;
 use std::fs::{File, OpenOptions};
-use std::io::Write as _;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Appends JSON records to a file, one per line, flushing after each so
@@ -31,6 +31,12 @@ pub struct JsonlWriter {
 impl JsonlWriter {
     /// Opens `path` for appending, creating the file (and its parent
     /// directory) if missing.
+    ///
+    /// If an earlier writer was killed mid-record the file may not end
+    /// with a newline; the first append then starts with a `'\n'` so the
+    /// new record lands on its own line instead of being glued onto the
+    /// partial tail (which would corrupt a *good* record, not just the
+    /// junk one).
     pub fn append(path: impl AsRef<Path>) -> std::io::Result<JsonlWriter> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
@@ -38,7 +44,20 @@ impl JsonlWriter {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len > 0 {
+            file.seek(SeekFrom::Start(len - 1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+            }
+        }
         Ok(JsonlWriter { file, path })
     }
 
@@ -116,6 +135,28 @@ mod tests {
         assert!(lines[1].1.is_ok());
         assert_eq!(lines[2].0, 3);
         assert!(lines[2].1.is_err());
+    }
+
+    #[test]
+    fn append_after_partial_tail_starts_a_fresh_line() {
+        // A file left without a trailing newline by a killed writer must
+        // not have the next record glued onto the partial tail.
+        let path = temp_path("partial_tail");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "{\"a\": 1}\n{\"b\": tr").unwrap();
+        let mut w = JsonlWriter::append(&path).unwrap();
+        w.write_line(r#"{"c": 3}"#).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = parse_jsonl(&text);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].1.is_ok());
+        assert!(lines[1].1.is_err(), "partial tail stays isolated");
+        assert_eq!(
+            lines[2].1.as_ref().unwrap().get("c").unwrap().as_u64(),
+            Some(3)
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

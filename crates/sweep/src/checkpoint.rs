@@ -35,10 +35,22 @@
 //! * A run that panics becomes an `outcome: "failed"` record (the pool
 //!   contains the panic; siblings keep draining).
 //! * A process killed mid-write leaves at most one truncated final
-//!   line, which the loader drops (that run simply re-executes).
+//!   line, which the loader drops *and truncates off the file* before
+//!   any new record is appended — otherwise the next append would glue
+//!   onto the partial tail and a later load would read the glued line
+//!   as mid-file corruption (that run simply re-executes).
+//! * A record that fails to persist (disk full) aborts the remaining
+//!   queue: everything recorded before the failure is durable and a
+//!   resume executes only the remainder, so pressing on would only
+//!   produce unrecordable, discarded work.
 //! * Mid-file corruption, digest mismatches, and plan-hash mismatches
 //!   are hard errors — resuming over bad data would silently violate
 //!   the determinism contract.
+//!
+//! The checkpoint file has no lock: at most **one process** may run or
+//! resume a given plan hash at a time. Two concurrent resumers would
+//! both append records for the same indices, and the next load rejects
+//! the duplicates as corruption.
 
 use crate::pool::{run_selected_with, RunOutcome, RunResult};
 use horse_stats::{json_f64, json_string, parse_jsonl, Json, JsonlWriter, SweepStats};
@@ -342,22 +354,40 @@ fn parse_record(obj: &Json, plan_hash: u64) -> Result<(usize, RunRecord), Checkp
     ))
 }
 
+/// Byte offset where 1-based line `line_no` starts in `text`.
+fn line_start(text: &str, line_no: usize) -> usize {
+    let mut off = 0;
+    for (n, l) in text.split_inclusive('\n').enumerate() {
+        if n + 1 == line_no {
+            break;
+        }
+        off += l.len();
+    }
+    off
+}
+
 /// Loads the checkpoint file, applying the tolerance rules: a missing
 /// file is an empty checkpoint; an unparsable *final* line is a
 /// truncated partial write and is dropped; anything else wrong is a
 /// hard error.
+///
+/// When a truncated tail is dropped, the second return value is the
+/// byte length of the valid prefix — the caller must cut the file to it
+/// before appending, or the next record would be glued onto the partial
+/// junk and a later load would hard-fail on the glued line.
 fn load(
     path: &Path,
     plan_hash: u64,
     metas: &[RunMeta],
-) -> Result<BTreeMap<usize, RunRecord>, CheckpointError> {
+) -> Result<(BTreeMap<usize, RunRecord>, Option<u64>), CheckpointError> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((BTreeMap::new(), None)),
         Err(e) => return Err(CheckpointError::Io(format!("{}: {e}", path.display()))),
     };
     let lines = parse_jsonl(&text);
     let mut records = BTreeMap::new();
+    let mut valid_prefix = None;
     for (pos, (line, parsed)) in lines.iter().enumerate() {
         let obj = match parsed {
             Ok(v) => v,
@@ -368,6 +398,7 @@ fn load(
                     "[checkpoint] dropping truncated final record at {}:{line} ({reason})",
                     path.display()
                 );
+                valid_prefix = Some(line_start(&text, *line) as u64);
                 break;
             }
             Err(reason) => {
@@ -412,7 +443,7 @@ fn load(
             }
         }
     }
-    Ok(records)
+    Ok((records, valid_prefix))
 }
 
 /// Executes a sweep with checkpointing: restores completed indices from
@@ -420,6 +451,17 @@ fn load(
 /// (streaming a flushed record per completion), and merges both into
 /// plan order. `f(index)` must return the run's semantic report JSON; a
 /// panic inside it becomes a `failed` record.
+///
+/// If a record fails to persist (e.g. the disk fills), the pool stops
+/// pulling new runs and this returns [`CheckpointError::Io`]. Nothing
+/// already recorded is lost: every record written before the failure is
+/// flushed and durable, so a later invocation resumes from it and
+/// re-executes only the unrecorded remainder (including the run whose
+/// record failed to write).
+///
+/// The checkpoint file is single-writer: do not run or resume the same
+/// plan hash from two processes concurrently (the next load would
+/// reject the doubled records as corruption).
 ///
 /// This is the generic engine — [`crate::SweepPlan::execute_checkpointed`]
 /// drives it with real experiments; tests drive it with arbitrary
@@ -435,7 +477,19 @@ where
     F: Fn(usize) -> String + Sync,
 {
     let path = opts.file_for(plan_hash);
-    let mut records = load(&path, plan_hash, metas)?;
+    let (mut records, valid_prefix) = load(&path, plan_hash, metas)?;
+    if let Some(len) = valid_prefix {
+        // Cut the dropped partial tail off the file now, before any
+        // appender opens it — appending after the junk would glue the
+        // first new record onto it, and once that glued line sits
+        // mid-file the checkpoint reads as corrupt and is unresumable.
+        let io_err = |e: std::io::Error| CheckpointError::Io(format!("{}: {e}", path.display()));
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(io_err)?;
+        file.set_len(len).map_err(io_err)?;
+    }
     if opts.retry_failed {
         records.retain(|_, r| !r.outcome.is_failed());
     }
@@ -461,6 +515,10 @@ where
                     write_err = Some(e.to_string());
                 }
             }
+            // A failed write aborts the remaining queue: further runs
+            // could not be recorded, so their results would be discarded
+            // work that a resume re-executes anyway.
+            write_err.is_none()
         });
         if let Some(e) = write_err {
             return Err(CheckpointError::Io(e));
@@ -642,6 +700,58 @@ mod tests {
         assert_eq!(resumed.executed, 1, "the truncated run re-executes");
         assert_eq!(resumed.semantic_json(), reference);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_cut_before_append_so_reload_stays_clean() {
+        // Double-crash scenario: a kill mid-write leaves a partial tail,
+        // the resume appends MORE THAN ONE record after it, and a third
+        // invocation loads the file again. Without cutting the tail off
+        // the file, the first appended record glues onto the junk, ends
+        // up mid-file, and the reload hard-fails as corrupt.
+        let metas = metas(5);
+        let dir = temp_dir("trunc_reload");
+        let clean_dir = temp_dir("trunc_reload_clean");
+        let opts = CheckpointOptions::new(&dir);
+        let clean = run_checkpointed(
+            &metas,
+            1,
+            HASH,
+            &CheckpointOptions::new(&clean_dir),
+            run_semantic,
+        )
+        .expect("clean");
+
+        // Record 3 of 5 runs, then chop the third record in half.
+        run_checkpointed(
+            &metas,
+            1,
+            HASH,
+            &opts.clone().max_runs(Some(3)),
+            run_semantic,
+        )
+        .expect("partial");
+        let path = opts.file_for(HASH);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 15]).unwrap();
+
+        // Resume: the truncated run re-executes along with the 2 never
+        // started, appending 3 records after the junk.
+        let resumed = run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("resume");
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.restored, 2);
+        assert_eq!(resumed.executed, 3);
+
+        // The file must load cleanly again — this is where the glued
+        // line used to surface as CheckpointError::Corrupt.
+        let reloaded =
+            run_checkpointed(&metas, 1, HASH, &opts, run_semantic).expect("reload after resume");
+        assert_eq!(reloaded.restored, 5);
+        assert_eq!(reloaded.executed, 0);
+        assert_eq!(reloaded.semantic_json(), clean.semantic_json());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&clean_dir).unwrap();
     }
 
     #[test]

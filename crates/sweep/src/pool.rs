@@ -27,6 +27,7 @@ use crossbeam::channel;
 use horse_stats::{OrderedCollector, SweepStats, WorkerStats};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
@@ -160,13 +161,20 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// still running (the checkpoint writer appends a record per completed
 /// run, so a killed process keeps everything it finished).
 ///
+/// `observe` returns whether the sweep should keep going: on `false`
+/// workers stop pulling new tasks (tasks already in flight finish and
+/// are still observed) and the call returns only the completed results.
+/// The checkpoint layer aborts this way when a record fails to persist —
+/// executing a thousand further runs whose results cannot be recorded
+/// would only be discarded work.
+///
 /// Panics inside `f` are contained per-task ([`RunOutcome::Failed`]);
 /// `observe` runs outside any pool lock but must not panic.
 pub fn run_selected_with<T, F>(
     indices: &[usize],
     threads: usize,
     f: F,
-    mut observe: impl FnMut(&RunResult<RunOutcome<T>>),
+    mut observe: impl FnMut(&RunResult<RunOutcome<T>>) -> bool,
 ) -> (Vec<RunResult<RunOutcome<T>>>, SweepStats)
 where
     T: Send,
@@ -179,13 +187,16 @@ where
         let mut out = Vec::with_capacity(m);
         for &index in indices {
             let r = run_contained(&f, index, 0, &mut worker);
-            observe(&r);
+            let keep_going = observe(&r);
             out.push(r);
+            if !keep_going {
+                break;
+            }
         }
         out.sort_by_key(|r| r.index);
         let stats = SweepStats {
             threads: 1,
-            runs: m,
+            runs: out.len(),
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             workers: vec![worker],
         };
@@ -204,6 +215,7 @@ where
         .map(|_| Mutex::new(WorkerStats::default()))
         .collect();
     let (tx, rx) = channel::unbounded::<RunResult<RunOutcome<T>>>();
+    let stop = AtomicBool::new(false);
 
     let mut results = Vec::with_capacity(m);
     std::thread::scope(|s| {
@@ -212,9 +224,13 @@ where
             let queues = &queues;
             let per_worker = &per_worker;
             let f = &f;
+            let stop = &stop;
             s.spawn(move || {
                 let mut local = WorkerStats::default();
                 loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let mut stolen = false;
                     let index = match lock_unpoisoned(&queues[w]).pop_front() {
                         Some(i) => Some(i),
@@ -246,11 +262,15 @@ where
             });
         }
         // Collect on the calling thread while workers run. Every task
-        // sends exactly one result — panics are caught inside
-        // run_contained — so exactly m messages arrive.
-        for _ in 0..m {
-            let r = rx.recv().expect("each task sends exactly one result");
-            observe(&r);
+        // that executes sends exactly one result — panics are caught
+        // inside run_contained — and the channel closes when the last
+        // worker drops its sender, so this loop sees every completion
+        // whether the sweep drains or the observer stops it early.
+        drop(tx);
+        while let Ok(r) = rx.recv() {
+            if !observe(&r) {
+                stop.store(true, Ordering::Relaxed);
+            }
             results.push(r);
         }
     });
@@ -258,7 +278,7 @@ where
     results.sort_by_key(|r| r.index);
     let stats = SweepStats {
         threads: nw,
-        runs: m,
+        runs: results.len(),
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
         workers: per_worker
             .into_iter()
@@ -278,7 +298,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    run_selected_with(indices, threads, f, |_| {})
+    run_selected_with(indices, threads, f, |_| true)
 }
 
 /// Executes `f(0..n)` on `threads` workers and returns the results in
@@ -443,12 +463,54 @@ mod tests {
     fn observer_sees_every_completion() {
         let seen = Mutex::new(Vec::new());
         let indices: Vec<usize> = (0..12).collect();
-        let (rs, _) =
-            run_selected_with(&indices, 4, |i| i, |r| lock_unpoisoned(&seen).push(r.index));
+        let (rs, _) = run_selected_with(
+            &indices,
+            4,
+            |i| i,
+            |r| {
+                lock_unpoisoned(&seen).push(r.index);
+                true
+            },
+        );
         assert_eq!(rs.len(), 12);
         let mut seen = lock_unpoisoned(&seen).clone();
         seen.sort_unstable();
         assert_eq!(seen, indices);
+    }
+
+    #[test]
+    fn observer_false_aborts_remaining_queue() {
+        // Serial path is deterministic: stop after the second completion.
+        let indices: Vec<usize> = (0..10).collect();
+        let mut seen = 0usize;
+        let (rs, st) = run_selected_with(
+            &indices,
+            1,
+            |i| i,
+            |_| {
+                seen += 1;
+                seen < 2
+            },
+        );
+        assert_eq!(rs.len(), 2);
+        assert_eq!(st.runs, 2);
+
+        // Parallel path: tasks already in flight may still land, but the
+        // stop flag must keep the pool from draining the whole queue.
+        let seen = std::sync::atomic::AtomicUsize::new(0);
+        let indices: Vec<usize> = (0..64).collect();
+        let (rs, st) = run_selected_with(
+            &indices,
+            4,
+            |i| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                i
+            },
+            |_| seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1 < 2,
+        );
+        assert!(rs.len() >= 2);
+        assert!(rs.len() < 64, "stop flag must cut the sweep short");
+        assert_eq!(st.runs, rs.len());
     }
 
     #[test]

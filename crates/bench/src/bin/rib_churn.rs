@@ -49,6 +49,7 @@ use horse_bgp::rib::{AttrId, Decision, LocRib, RibStats};
 use horse_bgp::session::TimerConfig;
 use horse_bgp::speaker::{BgpSpeaker, SpeakerOutput};
 use horse_core::RunConfig;
+use horse_net::intern::PrefixId;
 use horse_net::topology::NodeId;
 use horse_sim::{SimDuration, SimTime};
 use horse_topo::fattree::{BgpNodeSetup, FatTree, SwitchRole};
@@ -169,15 +170,15 @@ impl NewNode {
         self.export.insert(key, val);
     }
 
-    /// Reconcile + per-peer sync for one batch of affected prefixes.
-    fn sync(&mut self, prefixes: &BTreeSet<horse_net::addr::Ipv4Prefix>) {
+    /// Reconcile + per-peer sync for one batch of affected prefix ids.
+    fn sync(&mut self, ids: &[PrefixId]) {
         let peers: Vec<Ipv4Addr> = self.established.iter().copied().collect();
-        for p in prefixes {
+        for &id in ids {
             // Reconcile: one memoized read covers best + next-hops.
-            let _ = self.rib.decide(*p);
+            let _ = self.rib.decide_id(id);
             // Each established peer's sync re-reads the memo.
             for q in &peers {
-                if let Some(d) = self.rib.decide(*p) {
+                if let Some(d) = self.rib.decide_id(id) {
                     self.export(*q, &d);
                 }
             }
@@ -252,10 +253,10 @@ fn replay_new(setups: &BTreeMap<NodeId, BgpNodeSetup>, trace: &[(NodeId, Ev)]) -
         match ev {
             Ev::Up(peer) => {
                 node.established.insert(*peer);
-                // Newly-up sync reads the persistent prefix index.
-                let all = node.rib.prefixes();
-                for p in &all {
-                    if let Some(d) = node.rib.decide(*p) {
+                // Newly-up sync reads the persistent live-prefix index.
+                let all = node.rib.live_prefix_ids();
+                for &id in &all {
+                    if let Some(d) = node.rib.decide_id(id) {
                         node.export(*peer, &d);
                     }
                 }

@@ -129,6 +129,37 @@ pub fn try_single_k(
     Ok(k)
 }
 
+/// Parses `[k] [prefix_count]` — an optional pod count then an optional
+/// synthetic-table size (`table_scale`).
+pub fn try_k_then_prefixes(
+    mut args: impl Iterator<Item = String>,
+    default_k: usize,
+    default_prefixes: usize,
+) -> Result<(usize, usize), String> {
+    let k = match args.next() {
+        None => default_k,
+        Some(a) => parse_pod_count(&a)?,
+    };
+    let prefixes = match args.next() {
+        None => default_prefixes,
+        Some(a) => parse_prefix_count(&a)?,
+    };
+    if let Some(extra) = args.next() {
+        return Err(format!("unexpected extra argument {extra:?}"));
+    }
+    Ok((k, prefixes))
+}
+
+fn parse_prefix_count(arg: &str) -> Result<usize, String> {
+    let n: usize = arg
+        .parse()
+        .map_err(|_| format!("invalid prefix count {arg:?} (want a positive integer)"))?;
+    if n == 0 {
+        return Err("invalid prefix count 0 (must be ≥ 1)".to_string());
+    }
+    Ok(n)
+}
+
 fn parse_pods(
     args: impl Iterator<Item = String>,
     default_pods: &[usize],
@@ -180,6 +211,12 @@ pub fn pods_list(usage: &str, default_pods: &[usize]) -> Vec<usize> {
 /// [`try_single_k`] over the real argv; exits 2 on failure.
 pub fn single_k(usage: &str, default_k: usize) -> usize {
     try_single_k(std::env::args().skip(1), default_k).unwrap_or_else(|e| usage_exit(usage, &e))
+}
+
+/// [`try_k_then_prefixes`] over the real argv; exits 2 on failure.
+pub fn k_then_prefixes(usage: &str, default_k: usize, default_prefixes: usize) -> (usize, usize) {
+    try_k_then_prefixes(std::env::args().skip(1), default_k, default_prefixes)
+        .unwrap_or_else(|e| usage_exit(usage, &e))
 }
 
 /// Average shortest-path hop count for a set of host pairs — used by the
@@ -241,6 +278,24 @@ mod tests {
         assert!(e.contains("even k"), "{e}");
         let e = try_single_k(argv(&["8", "10"]), 8).unwrap_err();
         assert!(e.contains("unexpected extra argument \"10\""), "{e}");
+        let e = try_k_then_prefixes(argv(&["8", "lots"]), 8, 1000).unwrap_err();
+        assert!(e.contains("invalid prefix count \"lots\""), "{e}");
+        let e = try_k_then_prefixes(argv(&["8", "0"]), 8, 1000).unwrap_err();
+        assert!(e.contains("must be ≥ 1"), "{e}");
+        let e = try_k_then_prefixes(argv(&["8", "10", "2"]), 8, 1000).unwrap_err();
+        assert!(e.contains("unexpected extra argument \"2\""), "{e}");
+        let e = try_k_then_prefixes(argv(&["9"]), 8, 1000).unwrap_err();
+        assert!(e.contains("even k"), "{e}");
+    }
+
+    #[test]
+    fn k_then_prefixes_defaults_and_overrides() {
+        assert_eq!(try_k_then_prefixes(argv(&[]), 16, 4096), Ok((16, 4096)));
+        assert_eq!(try_k_then_prefixes(argv(&["8"]), 16, 4096), Ok((8, 4096)));
+        assert_eq!(
+            try_k_then_prefixes(argv(&["8", "100000"]), 16, 4096),
+            Ok((8, 100_000))
+        );
     }
 
     #[test]

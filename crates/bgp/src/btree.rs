@@ -1,0 +1,375 @@
+//! The pre-compact-id RIB shape, preserved verbatim as [`BtreeRib`].
+//!
+//! PR 4's indexed RIB (inverted candidate index + memoized decisions +
+//! hash-consed attributes) keyed everything by the address structs
+//! themselves: `BTreeMap<Ipv4Prefix, …>` candidate index, per-peer
+//! `BTreeMap<Ipv4Addr, BTreeSet<Ipv4Prefix>>` Adj-RIB-In, and a
+//! `BTreeMap<Ipv4Prefix, …>` decision cache. The compact-id refactor
+//! (see [`crate::rib`]) rekeys those structures onto interned
+//! `PrefixId`/`PeerId` arenas; this module keeps the map-shaped
+//! implementation alive, exactly as it was, for two consumers:
+//!
+//! * `tests/prop_rib_differential.rs` drives it in lockstep with both the
+//!   naive model and the interned-id [`crate::rib::LocRib`] — three
+//!   implementations, one observable behaviour;
+//! * the `table_scale` bench replays a tapped convergence trace through
+//!   it to measure the decide-path wall of the pre-refactor shape (the
+//!   `HORSE_TABLE_MIN_SPEEDUP` baseline).
+//!
+//! It shares the [`AttrStore`]/[`AttrId`] layer (hash-consing predates the
+//! id refactor) but owns a **private** store — the per-process shared pool
+//! is part of the new shape. Semantics are pinned by the differential
+//! test: identical decisions, affected-sets and prefix index for every op
+//! sequence.
+
+use crate::msg::{PathAttributes, UpdateMsg};
+use crate::rib::{AttrId, AttrStore, Decision, RibStats, RouteInfo};
+use horse_net::addr::Ipv4Prefix;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// One candidate in the per-prefix index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cand {
+    attr: AttrId,
+    ebgp: bool,
+}
+
+/// Candidate key: `(remote, peer address)`. Local origination is
+/// `(false, 0.0.0.0)` and sorts first; remote peers follow in ascending
+/// address order — exactly the gathering order of the naive decision loop,
+/// which the `min_by` tie-break depends on.
+type CandKey = (bool, Ipv4Addr);
+
+const LOCAL_KEY: CandKey = (false, Ipv4Addr::UNSPECIFIED);
+
+/// The address-struct-keyed RIB (the pre-refactor `LocRib`).
+#[derive(Debug, Clone, Default)]
+pub struct BtreeRib {
+    local_as: u16,
+    multipath: bool,
+    store: AttrStore,
+    /// Per peer: the prefixes it currently contributes.
+    adj_in: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Prefix>>,
+    /// The inverted candidate index. Entries with no candidates are
+    /// removed, so the key set is exactly the live prefix set.
+    candidates: BTreeMap<Ipv4Prefix, BTreeMap<CandKey, Cand>>,
+    /// Memoized decisions; an absent entry means "not computed since the
+    /// last invalidation".
+    cache: RefCell<BTreeMap<Ipv4Prefix, Option<Arc<Decision>>>>,
+    stats: RefCell<RibStats>,
+}
+
+impl BtreeRib {
+    /// A RIB for a speaker in `local_as`.
+    pub fn new(local_as: u16, multipath: bool) -> BtreeRib {
+        BtreeRib {
+            local_as,
+            multipath,
+            ..BtreeRib::default()
+        }
+    }
+
+    /// Originates a local network.
+    pub fn originate(&mut self, prefix: Ipv4Prefix, next_hop: Ipv4Addr) {
+        let attr = self
+            .store
+            .intern_owned(PathAttributes::originated(next_hop));
+        self.candidates
+            .entry(prefix)
+            .or_default()
+            .insert(LOCAL_KEY, Cand { attr, ebgp: false });
+        self.invalidate(prefix);
+    }
+
+    /// Withdraws a locally originated network.
+    pub fn withdraw_local(&mut self, prefix: Ipv4Prefix) -> bool {
+        let removed = match self.candidates.get_mut(&prefix) {
+            Some(set) => {
+                let removed = set.remove(&LOCAL_KEY).is_some();
+                if set.is_empty() {
+                    self.candidates.remove(&prefix);
+                }
+                removed
+            }
+            None => false,
+        };
+        if removed {
+            self.invalidate(prefix);
+        }
+        removed
+    }
+
+    /// Applies an UPDATE from `peer`, returning every prefix whose candidate
+    /// set changed (loop-prevention included, as in the live RIB).
+    pub fn update_from_peer(
+        &mut self,
+        peer: Ipv4Addr,
+        ebgp: bool,
+        update: &UpdateMsg,
+    ) -> BTreeSet<Ipv4Prefix> {
+        let mut affected = BTreeSet::new();
+        for p in &update.withdrawn {
+            if self.remove_candidate(peer, *p) {
+                affected.insert(*p);
+            }
+        }
+        if let Some(attrs) = &update.attrs {
+            let looped = attrs.contains_asn(self.local_as);
+            let cand = if looped {
+                None
+            } else {
+                Some(Cand {
+                    attr: self.store.intern(attrs),
+                    ebgp,
+                })
+            };
+            for p in &update.nlri {
+                match cand {
+                    None => {
+                        if self.remove_candidate(peer, *p) {
+                            affected.insert(*p);
+                        }
+                    }
+                    Some(cand) => {
+                        let prev = self
+                            .candidates
+                            .entry(*p)
+                            .or_default()
+                            .insert((true, peer), cand);
+                        self.adj_in.entry(peer).or_default().insert(*p);
+                        if prev != Some(cand) {
+                            affected.insert(*p);
+                            self.invalidate(*p);
+                        }
+                    }
+                }
+            }
+        }
+        affected
+    }
+
+    /// Removes every route learned from `peer` (session down).
+    pub fn drop_peer(&mut self, peer: Ipv4Addr) -> BTreeSet<Ipv4Prefix> {
+        let prefixes = self.adj_in.remove(&peer).unwrap_or_default();
+        for p in &prefixes {
+            if let Some(set) = self.candidates.get_mut(p) {
+                set.remove(&(true, peer));
+                if set.is_empty() {
+                    self.candidates.remove(p);
+                }
+            }
+            self.invalidate(*p);
+        }
+        prefixes
+    }
+
+    fn remove_candidate(&mut self, peer: Ipv4Addr, prefix: Ipv4Prefix) -> bool {
+        let removed = match self.candidates.get_mut(&prefix) {
+            Some(set) => {
+                let removed = set.remove(&(true, peer)).is_some();
+                if set.is_empty() {
+                    self.candidates.remove(&prefix);
+                }
+                removed
+            }
+            None => false,
+        };
+        if removed {
+            if let Some(set) = self.adj_in.get_mut(&peer) {
+                set.remove(&prefix);
+                if set.is_empty() {
+                    self.adj_in.remove(&peer);
+                }
+            }
+            self.invalidate(prefix);
+        }
+        removed
+    }
+
+    fn invalidate(&mut self, prefix: Ipv4Prefix) {
+        if self.cache.get_mut().remove(&prefix).is_some() {
+            self.stats.get_mut().invalidations += 1;
+        }
+    }
+
+    /// Interns caller-built attributes (the export path constructs
+    /// prepended/next-hop-rewritten sets) — mirrors the pre-refactor
+    /// speaker's export interning for the `table_scale` replay.
+    pub fn intern_attrs(&mut self, attrs: PathAttributes) -> AttrId {
+        self.store.intern_owned(attrs)
+    }
+
+    /// Number of paths in a peer's Adj-RIB-In.
+    pub fn adj_in_len(&self, peer: Ipv4Addr) -> usize {
+        self.adj_in.get(&peer).map_or(0, |t| t.len())
+    }
+
+    /// Every prefix with at least one candidate path.
+    pub fn prefixes(&self) -> BTreeSet<Ipv4Prefix> {
+        self.candidates.keys().copied().collect()
+    }
+
+    /// Number of live prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Snapshot of the work counters (attr-store figures filled in here).
+    pub fn stats(&self) -> RibStats {
+        let mut s = *self.stats.borrow();
+        let (interns, reuses) = self.store.counters();
+        s.attr_interns = interns;
+        s.attr_reuses = reuses;
+        s.attr_store_size = self.store.len() as u64;
+        s
+    }
+
+    /// Runs the decision process for `prefix`, memoized until a mutation
+    /// touches the prefix.
+    pub fn decide(&self, prefix: Ipv4Prefix) -> Option<Arc<Decision>> {
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.decide_calls += 1;
+            if let Some(hit) = self.cache.borrow().get(&prefix) {
+                stats.decide_cache_hits += 1;
+                return hit.clone();
+            }
+            stats.decide_recomputes += 1;
+        }
+        let decision = self.compute(prefix);
+        self.cache.borrow_mut().insert(prefix, decision.clone());
+        decision
+    }
+
+    /// The uncached decision process: rank the prefix's candidate set.
+    fn compute(&self, prefix: Ipv4Prefix) -> Option<Arc<Decision>> {
+        let cands = self.candidates.get(&prefix)?;
+        debug_assert!(!cands.is_empty(), "empty candidate sets are removed");
+        self.stats.borrow_mut().candidate_touches += cands.len() as u64;
+        let best = cands
+            .iter()
+            .min_by(|a, b| self.rank((a.0, a.1), (b.0, b.1)))
+            .expect("non-empty");
+        let members: Vec<(&CandKey, &Cand)> = if self.multipath {
+            cands
+                .iter()
+                .filter(|c| self.rank((c.0, c.1), (best.0, best.1)) == std::cmp::Ordering::Equal)
+                .collect()
+        } else {
+            vec![best]
+        };
+        let route = |(key, cand): (&CandKey, &Cand)| RouteInfo {
+            attrs: Arc::clone(self.store.attrs(cand.attr)),
+            attr_id: cand.attr,
+            peer: key.1,
+            ebgp: cand.ebgp,
+        };
+        let mut next_hops: Vec<Ipv4Addr> = members
+            .iter()
+            .map(|(_, c)| self.store.attrs(c.attr).next_hop)
+            .collect();
+        next_hops.sort();
+        next_hops.dedup();
+        Some(Arc::new(Decision {
+            best: route((best.0, best.1)),
+            multipath: members.into_iter().map(route).collect(),
+            next_hops,
+        }))
+    }
+
+    /// RFC 4271 steps 1–6; `Less` is better, `Equal` is "same up to
+    /// multipath" (step 7 falls out of iteration order + `min_by`).
+    fn rank(&self, a: (&CandKey, &Cand), b: (&CandKey, &Cand)) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let (ak, ac) = a;
+        let (bk, bc) = b;
+        let am = self.store.meta(ac.attr);
+        let bm = self.store.meta(bc.attr);
+        let o = bm.local_pref.cmp(&am.local_pref);
+        if o != Ordering::Equal {
+            return o;
+        }
+        let o = ak.0.cmp(&bk.0);
+        if o != Ordering::Equal {
+            return o;
+        }
+        let o = am.path_len.cmp(&bm.path_len);
+        if o != Ordering::Equal {
+            return o;
+        }
+        let o = am.origin_rank.cmp(&bm.origin_rank);
+        if o != Ordering::Equal {
+            return o;
+        }
+        if am.neighbor_as.is_some() && am.neighbor_as == bm.neighbor_as {
+            let o = am.med.cmp(&bm.med);
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        bc.ebgp.cmp(&ac.ebgp)
+    }
+
+    /// The effective next-hop set for a prefix after the decision process.
+    pub fn next_hops(&self, prefix: Ipv4Prefix) -> Vec<Ipv4Addr> {
+        self.decide(prefix)
+            .map(|d| d.next_hops.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{AsPathSegment, Origin};
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn attrs(path: &[u16], next_hop: [u8; 4]) -> PathAttributes {
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path: vec![AsPathSegment::Sequence(path.to_vec())],
+            next_hop: Ipv4Addr::from(next_hop),
+            med: None,
+            local_pref: None,
+            unknown: vec![],
+        }
+    }
+
+    fn announce(rib: &mut BtreeRib, peer: [u8; 4], path: &[u16], prefix: &str) {
+        let u = UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(Arc::new(attrs(path, peer))),
+            nlri: vec![pfx(prefix)],
+        };
+        rib.update_from_peer(Ipv4Addr::from(peer), true, &u);
+    }
+
+    #[test]
+    fn baseline_ranks_and_memoizes() {
+        let mut rib = BtreeRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1, 2, 3], "10.9.0.0/16");
+        announce(&mut rib, [10, 0, 0, 2], &[4, 5], "10.9.0.0/16");
+        let d1 = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert_eq!(d1.best.peer, Ipv4Addr::new(10, 0, 0, 2));
+        let d2 = rib.decide(pfx("10.9.0.0/16")).unwrap();
+        assert!(Arc::ptr_eq(&d1, &d2), "memoized");
+        assert_eq!(rib.stats().decide_cache_hits, 1);
+    }
+
+    #[test]
+    fn baseline_drop_peer_flushes() {
+        let mut rib = BtreeRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.1.0.0/16");
+        announce(&mut rib, [10, 0, 0, 2], &[2], "10.1.0.0/16");
+        let affected = rib.drop_peer(Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(affected.len(), 1);
+        assert_eq!(rib.next_hops(pfx("10.1.0.0/16")).len(), 1);
+        assert_eq!(rib.adj_in_len(Ipv4Addr::new(10, 0, 0, 1)), 0);
+    }
+}

@@ -24,17 +24,22 @@
 //!   the route-churn fast path.
 //! * [`naive`] — the pre-index RIB kept as a reference model for
 //!   differential tests and the `rib_churn` bench baseline.
+//! * [`btree`] — the address-keyed (`BTreeMap`) indexed RIB preserved as
+//!   the pre-compact-id reference model and the `table_scale` bench
+//!   baseline.
 //! * [`speaker`] — ties sessions and RIBs together: originates local
 //!   networks, floods UPDATEs with split-horizon and AS-path loop
 //!   prevention, and reports effective next-hop sets per prefix.
 
+pub mod btree;
 pub mod msg;
 pub mod naive;
 pub mod rib;
 pub mod session;
 pub mod speaker;
 
+pub use btree::BtreeRib;
 pub use msg::{Capability, Message, Notification, OpenMsg, Origin, PathAttributes, UpdateMsg};
-pub use rib::{AttrId, AttrStore, Decision, LocRib, RibStats, RouteInfo};
+pub use rib::{AttrId, AttrPool, AttrStore, Decision, LocRib, RibStats, RouteInfo};
 pub use session::{PeerConfig, Session, SessionState};
 pub use speaker::{BgpConfig, BgpSpeaker, SpeakerOutput};

@@ -219,6 +219,91 @@ pub struct UpdateMsg {
     pub nlri: Vec<Ipv4Prefix>,
 }
 
+impl UpdateMsg {
+    /// Fixed per-UPDATE overhead: header plus the withdrawn-routes-length
+    /// and total-path-attribute-length fields.
+    const FIXED_LEN: usize = HEADER_LEN + 4;
+
+    /// Encoded wire length including the RFC 4271 header (exact mirror of
+    /// [`Message::encode`]).
+    pub fn wire_len(&self) -> usize {
+        Self::FIXED_LEN
+            + self.attrs.as_deref().map_or(0, attrs_wire_len)
+            + self.withdrawn.iter().map(prefix_wire_len).sum::<usize>()
+            + self.nlri.iter().map(prefix_wire_len).sum::<usize>()
+    }
+
+    /// Splits this UPDATE into a sequence of UPDATEs that each fit within
+    /// [`MAX_MESSAGE_LEN`], preserving prefix order. An UPDATE that already
+    /// fits is returned as-is, so in-range messages keep byte-identical
+    /// encodings; oversized ones emit withdraw-only chunks first, then NLRI
+    /// chunks that each repeat the shared attributes (RFC 4271 §9.2).
+    pub fn split_to_fit(self) -> Vec<UpdateMsg> {
+        if self.wire_len() <= MAX_MESSAGE_LEN {
+            return vec![self];
+        }
+        let UpdateMsg {
+            withdrawn,
+            attrs,
+            nlri,
+        } = self;
+        let mut out = Vec::new();
+        // Withdrawals carry no attributes, so they pack densely.
+        let mut batch = Vec::new();
+        let mut used = Self::FIXED_LEN;
+        for p in withdrawn {
+            let w = prefix_wire_len(&p);
+            if used + w > MAX_MESSAGE_LEN {
+                out.push(UpdateMsg {
+                    withdrawn: std::mem::take(&mut batch),
+                    attrs: None,
+                    nlri: vec![],
+                });
+                used = Self::FIXED_LEN;
+            }
+            used += w;
+            batch.push(p);
+        }
+        if !batch.is_empty() {
+            out.push(UpdateMsg {
+                withdrawn: batch,
+                attrs: None,
+                nlri: vec![],
+            });
+        }
+        if !nlri.is_empty() {
+            let attrs = attrs.expect("NLRI without attributes");
+            let base = Self::FIXED_LEN + attrs_wire_len(&attrs);
+            assert!(
+                base + 5 <= MAX_MESSAGE_LEN,
+                "path attributes ({} bytes) leave no room for NLRI",
+                base - Self::FIXED_LEN
+            );
+            let mut batch = Vec::new();
+            let mut used = base;
+            for p in nlri {
+                let w = prefix_wire_len(&p);
+                if used + w > MAX_MESSAGE_LEN {
+                    out.push(UpdateMsg {
+                        withdrawn: vec![],
+                        attrs: Some(attrs.clone()),
+                        nlri: std::mem::take(&mut batch),
+                    });
+                    used = base;
+                }
+                used += w;
+                batch.push(p);
+            }
+            out.push(UpdateMsg {
+                withdrawn: vec![],
+                attrs: Some(attrs),
+                nlri: batch,
+            });
+        }
+        out
+    }
+}
+
 /// A NOTIFICATION message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Notification {
@@ -456,6 +541,11 @@ fn encode_prefix(p: &Ipv4Prefix, buf: &mut BytesMut) {
     buf.put_slice(&octets[..nbytes]);
 }
 
+/// Wire size of one prefix in withdrawn-routes / NLRI encoding.
+fn prefix_wire_len(p: &Ipv4Prefix) -> usize {
+    1 + p.len().div_ceil(8) as usize
+}
+
 fn decode_prefix(buf: &mut &[u8]) -> Result<Ipv4Prefix, CodecError> {
     if buf.is_empty() {
         return Err(CodecError::Truncated("prefix length"));
@@ -516,6 +606,36 @@ fn encode_attrs(a: &PathAttributes, buf: &mut BytesMut) {
     for (flags, code, data) in &a.unknown {
         put_attr(buf, *flags, *code, data);
     }
+}
+
+/// Wire size of the encoded path attributes (exact mirror of
+/// [`encode_attrs`]).
+fn attrs_wire_len(a: &PathAttributes) -> usize {
+    // Type+flags+length header: 3 bytes, or 4 with the extended-length flag.
+    fn attr_len(value_len: usize) -> usize {
+        value_len + if value_len > 255 { 4 } else { 3 }
+    }
+    let path_len: usize = a
+        .as_path
+        .iter()
+        .map(|seg| {
+            let asns = match seg {
+                AsPathSegment::Set(v) | AsPathSegment::Sequence(v) => v,
+            };
+            2 + 2 * asns.len()
+        })
+        .sum();
+    let mut n = attr_len(1) + attr_len(path_len) + attr_len(4); // origin, as_path, next_hop
+    if a.med.is_some() {
+        n += attr_len(4);
+    }
+    if a.local_pref.is_some() {
+        n += attr_len(4);
+    }
+    for (_, _, data) in &a.unknown {
+        n += attr_len(data.len());
+    }
+    n
 }
 
 fn decode_attrs(mut buf: &[u8]) -> Result<PathAttributes, CodecError> {
@@ -783,6 +903,87 @@ mod tests {
             nlri: vec![],
         };
         assert_eq!(roundtrip(Message::Update(u.clone())), Message::Update(u));
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        let cases = [
+            UpdateMsg {
+                withdrawn: vec![pfx("10.1.0.0/16"), pfx("0.0.0.0/0")],
+                attrs: None,
+                nlri: vec![],
+            },
+            UpdateMsg {
+                withdrawn: vec![pfx("192.168.1.128/25")],
+                attrs: Some(Arc::new(sample_attrs())),
+                nlri: vec![pfx("10.2.3.0/24"), pfx("10.0.0.1/32")],
+            },
+            UpdateMsg {
+                withdrawn: vec![],
+                attrs: Some(Arc::new(PathAttributes {
+                    // 200 ASNs forces the extended-length attribute form.
+                    as_path: vec![AsPathSegment::Sequence(vec![64512; 200])],
+                    med: None,
+                    unknown: vec![(0xc0, 99, vec![0u8; 300])],
+                    ..sample_attrs()
+                })),
+                nlri: vec![pfx("10.9.0.0/16")],
+            },
+        ];
+        for u in cases {
+            assert_eq!(u.wire_len(), Message::Update(u.clone()).encode().len());
+        }
+    }
+
+    #[test]
+    fn split_to_fit_keeps_small_updates_intact() {
+        let u = UpdateMsg {
+            withdrawn: vec![pfx("10.1.0.0/16")],
+            attrs: Some(Arc::new(sample_attrs())),
+            nlri: vec![pfx("10.2.3.0/24")],
+        };
+        assert_eq!(u.clone().split_to_fit(), vec![u]);
+    }
+
+    #[test]
+    fn split_to_fit_chunks_oversized_updates() {
+        // 1500 /24s (4 wire bytes each) blows well past 4096 in both the
+        // withdrawn and NLRI sections.
+        let many: Vec<Ipv4Prefix> = (0u32..1500)
+            .map(|g| Ipv4Prefix::new(Ipv4Addr::from(0x0a00_0000 | (g << 8)), 24))
+            .collect();
+        let u = UpdateMsg {
+            withdrawn: many.clone(),
+            attrs: Some(Arc::new(sample_attrs())),
+            nlri: many.clone(),
+        };
+        let chunks = u.split_to_fit();
+        assert!(
+            chunks.len() >= 4,
+            "expected several chunks, got {}",
+            chunks.len()
+        );
+        let mut withdrawn = Vec::new();
+        let mut nlri = Vec::new();
+        for c in &chunks {
+            assert!(c.wire_len() <= MAX_MESSAGE_LEN);
+            // Each chunk must survive a codec roundtrip.
+            assert_eq!(
+                roundtrip(Message::Update(c.clone())),
+                Message::Update(c.clone())
+            );
+            assert!(c.withdrawn.is_empty() || c.nlri.is_empty());
+            if c.nlri.is_empty() {
+                assert!(c.attrs.is_none());
+            } else {
+                assert_eq!(c.attrs.as_deref(), Some(&sample_attrs()));
+            }
+            withdrawn.extend(c.withdrawn.iter().copied());
+            nlri.extend(c.nlri.iter().copied());
+        }
+        // Order and content preserved exactly.
+        assert_eq!(withdrawn, many);
+        assert_eq!(nlri, many);
     }
 
     #[test]

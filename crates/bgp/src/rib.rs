@@ -17,36 +17,45 @@
 //! `maximum-paths`, which the demo's "BGP + ECMP" traffic engineering
 //! requires on the fat-tree.
 //!
-//! ## Route-churn fast path
+//! ## Compact-id memory shape
 //!
 //! Fat-tree convergence produces thousands of routes but only a handful of
 //! distinct attribute sets, and the speaker reads each decision many times
-//! (once for the FIB, once per established peer). Three structures keep the
-//! per-UPDATE cost sub-linear in table size (the BIRD/FRR design):
+//! (once for the FIB, once per established peer). Beyond PR 4's
+//! hash-consing and memoization, this RIB stores **nothing keyed by an
+//! address struct** on the hot path — the shape production daemons use:
 //!
 //! * [`AttrStore`] hash-conses [`PathAttributes`] into `Arc`-backed
-//!   canonical entries with stable [`AttrId`]s: adj-in, adj-out and UPDATE
-//!   construction share one allocation per distinct attribute set, and
-//!   equality is an id compare instead of a deep walk. Ranking inputs
-//!   (local-pref, path length, origin rank, MED, neighbor AS) are
-//!   precomputed once at intern time.
-//! * An inverted candidate index `prefix → {(peer, AttrId, ebgp)}` replaces
-//!   the per-peer probe loop: `decide` walks exactly the candidates for one
-//!   prefix, and the index is maintained incrementally by
-//!   [`LocRib::update_from_peer`] / [`LocRib::drop_peer`].
-//! * A per-prefix memoized [`Decision`] cache (best, multipath, next hops)
-//!   is invalidated by the affected-set of each mutation, so repeated reads
-//!   of an unchanged decision are O(log P) map hits.
+//!   canonical entries with stable [`AttrId`]s; ranking inputs are
+//!   precomputed at intern time. An [`AttrPool`] wraps the store in a
+//!   shared handle so every speaker in a run interns each attribute set
+//!   **once per process**, not once per speaker.
+//! * Prefixes and peer addresses are interned to `u32` ids
+//!   ([`PrefixId`]/[`PeerId`], first-intern order, same discipline as
+//!   `AttrId`). The candidate index, decision cache and per-peer Adj-RIB-In
+//!   become dense `Vec`s indexed by id: a decide is an array load, not a
+//!   tree walk.
+//! * Per prefix, candidates live in a small sorted `Vec` ordered by
+//!   `(remote, peer address)` — byte-for-byte the iteration order of the
+//!   old `BTreeMap<CandKey, _>`, which the `min_by` tie-break (step 7)
+//!   depends on.
 //!
-//! The naive pre-index implementation survives as [`crate::naive`], the
-//! reference model for differential tests and the `rib_churn` bench.
+//! Ids order by first appearance, **not** by value. Every API that feeds a
+//! determinism-sensitive consumer (affected-sets, the live prefix index)
+//! therefore returns id slices sorted by *value* via the interner's
+//! monotone sort key, so downstream iteration order — and hence wire
+//! bytes — is identical to the address-keyed implementation. That
+//! implementation survives as [`crate::btree::BtreeRib`] (and the
+//! pre-PR 4 model as [`crate::naive`]); the three are driven in lockstep
+//! by `tests/prop_rib_differential.rs`.
 
 use crate::msg::{Origin, PathAttributes, UpdateMsg};
 use horse_net::addr::Ipv4Prefix;
-use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use horse_net::intern::{IdSet, PeerInterner, PrefixId, PrefixInterner};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 /// Stable identifier of an interned attribute set inside one [`AttrStore`].
 ///
@@ -64,13 +73,13 @@ impl AttrId {
 
 /// One interned attribute set plus its precomputed ranking inputs.
 #[derive(Debug, Clone)]
-struct AttrMeta {
-    attrs: Arc<PathAttributes>,
-    local_pref: u32,
-    path_len: u32,
-    origin_rank: u8,
-    med: u32,
-    neighbor_as: Option<u16>,
+pub(crate) struct AttrMeta {
+    pub(crate) attrs: Arc<PathAttributes>,
+    pub(crate) local_pref: u32,
+    pub(crate) path_len: u32,
+    pub(crate) origin_rank: u8,
+    pub(crate) med: u32,
+    pub(crate) neighbor_as: Option<u16>,
 }
 
 /// Hash-consing store for [`PathAttributes`].
@@ -144,8 +153,113 @@ impl AttrStore {
         self.metas.is_empty()
     }
 
-    fn meta(&self, id: AttrId) -> &AttrMeta {
+    /// `(interns, reuses)` — distinct sets created vs deep clones avoided.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.interns, self.reuses)
+    }
+
+    /// Rough heap footprint of the store: canonical attribute allocations
+    /// plus table overhead. An estimate for observability (`mem_*` report
+    /// counters), not an allocator measurement.
+    pub fn bytes_estimate(&self) -> u64 {
+        let mut total = 0u64;
+        for m in &self.metas {
+            let a = &m.attrs;
+            let path: usize = a
+                .as_path
+                .iter()
+                .map(|s| {
+                    24 + 2 * match s {
+                        crate::msg::AsPathSegment::Sequence(v) => v.len(),
+                        crate::msg::AsPathSegment::Set(v) => v.len(),
+                    }
+                })
+                .sum();
+            let unknown: usize = a.unknown.iter().map(|(_, _, v)| 40 + v.len()).sum();
+            // Arc header + PathAttributes + heap behind it, plus the id-map
+            // entry and meta-table slot.
+            total += (32
+                + std::mem::size_of::<PathAttributes>()
+                + path
+                + unknown
+                + std::mem::size_of::<AttrMeta>()
+                + 48) as u64;
+        }
+        total
+    }
+
+    pub(crate) fn meta(&self, id: AttrId) -> &AttrMeta {
         &self.metas[id.0 as usize]
+    }
+}
+
+/// A shared handle to one [`AttrStore`].
+///
+/// `BgpControl` creates one pool per run and hands a clone to every
+/// speaker, so a 1000-node experiment interns each distinct attribute set
+/// once instead of once per speaker. The handle is a plain
+/// `Arc<RwLock<_>>` — **not** copy-on-write: `Arc::make_mut` would fork
+/// the table on first write and silently undo the sharing. Correctness
+/// does not depend on id *values* (only id equality within one store), so
+/// sharing the id space across speakers cannot change any decision or
+/// wire byte; pump/sweep determinism holds because the pool is per-run,
+/// never process-global across sweep workers.
+#[derive(Debug, Clone, Default)]
+pub struct AttrPool(Arc<RwLock<AttrStore>>);
+
+impl AttrPool {
+    /// A fresh, empty pool.
+    pub fn new() -> AttrPool {
+        AttrPool::default()
+    }
+
+    /// Read access to the underlying store (held briefly — never across a
+    /// call back into a RIB).
+    pub fn read(&self) -> RwLockReadGuard<'_, AttrStore> {
+        self.0.read().expect("attr pool lock poisoned")
+    }
+
+    /// Interns a shared attribute set; the `bool` is true when this call
+    /// created the entry (false = fleet-wide reuse).
+    pub fn intern(&self, attrs: &Arc<PathAttributes>) -> (AttrId, bool) {
+        let mut s = self.0.write().expect("attr pool lock poisoned");
+        let before = s.interns;
+        let id = s.intern(attrs);
+        (id, s.interns > before)
+    }
+
+    /// Interns an owned attribute set; the `bool` is true on creation.
+    pub fn intern_owned(&self, attrs: PathAttributes) -> (AttrId, bool) {
+        let mut s = self.0.write().expect("attr pool lock poisoned");
+        let before = s.interns;
+        let id = s.intern_owned(attrs);
+        (id, s.interns > before)
+    }
+
+    /// The canonical shared attributes for an id (owned `Arc` — the lock
+    /// cannot outlive the call).
+    pub fn attrs(&self, id: AttrId) -> Arc<PathAttributes> {
+        Arc::clone(self.read().attrs(id))
+    }
+
+    /// Number of distinct attribute sets in the pool.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    /// See [`AttrStore::bytes_estimate`].
+    pub fn bytes_estimate(&self) -> u64 {
+        self.read().bytes_estimate()
+    }
+
+    /// True when `other` is the same underlying store.
+    pub fn same_as(&self, other: &AttrPool) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -166,11 +280,15 @@ pub struct RibStats {
     pub invalidations: u64,
     /// Candidates examined across all recomputes.
     pub candidate_touches: u64,
-    /// Distinct attribute sets created in the store.
+    /// Distinct attribute sets this RIB created in its (possibly shared)
+    /// store.
     pub attr_interns: u64,
-    /// Attribute-set intern hits (deep clones avoided).
+    /// Attribute-set intern hits (deep clones avoided — with a shared
+    /// pool, sets first interned by *another* speaker count here).
     pub attr_reuses: u64,
-    /// Attribute-store size (monotone, so also the peak).
+    /// Attribute-store size. Reported only by RIBs owning a private store;
+    /// with a shared pool the owner (`BgpControl`) reports the pool size
+    /// once, so merged figures never double-count.
     pub attr_store_size: u64,
     /// Export-policy results served from the per-peer cache.
     pub export_cache_hits: u64,
@@ -202,21 +320,28 @@ impl RibStats {
     }
 }
 
-/// One candidate in the per-prefix index: who announced it and with what
-/// (interned) attributes.
+/// One candidate in a prefix's sorted set. `(remote, addr_key)` is the
+/// sort key: local origination is `(false, 0)` and sorts first; remote
+/// peers follow in ascending address order — exactly the gathering order
+/// of the naive decision loop, which the `min_by` tie-break depends on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Cand {
+struct CandEntry {
+    /// False only for the locally originated candidate.
+    remote: bool,
+    /// `u32::from(peer address)` (0 for local) — `u32` order equals
+    /// `Ipv4Addr` order.
+    addr_key: u32,
     attr: AttrId,
     ebgp: bool,
 }
 
-/// Candidate key: `(remote, peer address)`. Local origination is
-/// `(false, 0.0.0.0)` and sorts first; remote peers follow in ascending
-/// address order — exactly the gathering order of the naive decision loop,
-/// which the `min_by` tie-break depends on.
-type CandKey = (bool, Ipv4Addr);
+impl CandEntry {
+    fn key(&self) -> (bool, u32) {
+        (self.remote, self.addr_key)
+    }
+}
 
-const LOCAL_KEY: CandKey = (false, Ipv4Addr::UNSPECIFIED);
+const LOCAL_KEY: (bool, u32) = (false, 0);
 
 /// One route in a [`Decision`], sharing the interned attribute allocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -252,26 +377,48 @@ pub struct Decision {
     pub next_hops: Vec<Ipv4Addr>,
 }
 
-/// The speaker's RIB collection.
+/// Per-prefix decision memo slot.
+#[derive(Debug, Clone, Default)]
+enum Memo {
+    /// Not computed since the last invalidation.
+    #[default]
+    Stale,
+    /// Computed: no candidates survive.
+    Unreachable,
+    /// Computed: the memoized decision.
+    Reachable(Arc<Decision>),
+}
+
+/// The speaker's RIB collection (compact-id shape).
 #[derive(Debug, Clone, Default)]
 pub struct LocRib {
     local_as: u16,
     multipath: bool,
-    store: AttrStore,
-    /// Per peer: the prefixes it currently contributes (the candidate data
-    /// itself lives in `candidates`).
-    adj_in: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Prefix>>,
-    /// The inverted candidate index. Entries with no candidates are
-    /// removed, so the key set is exactly the live prefix set.
-    candidates: BTreeMap<Ipv4Prefix, BTreeMap<CandKey, Cand>>,
-    /// Memoized decisions; an absent entry means "not computed since the
-    /// last invalidation". Interior mutability keeps `decide(&self)`.
-    cache: RefCell<BTreeMap<Ipv4Prefix, Option<Arc<Decision>>>>,
+    pool: AttrPool,
+    /// True when `pool` is shared with other RIBs (size reporting moves to
+    /// the pool owner).
+    pool_shared: bool,
+    /// Distinct attribute sets *this RIB* created in the pool.
+    interns: Cell<u64>,
+    /// Intern hits (including sets first created by other sharers).
+    reuses: Cell<u64>,
+    prefixes: PrefixInterner,
+    peers: PeerInterner,
+    /// Per peer id: the prefix ids it currently contributes.
+    adj_in: Vec<IdSet>,
+    /// Per prefix id: candidates sorted by `(remote, addr_key)`. Empty
+    /// sets stay allocated (ids are never reused); `live` tracks how many
+    /// are non-empty.
+    candidates: Vec<Vec<CandEntry>>,
+    live: usize,
+    /// Per prefix id: memoized decision. Interior mutability keeps
+    /// `decide(&self)`.
+    cache: RefCell<Vec<Memo>>,
     stats: RefCell<RibStats>,
 }
 
 impl LocRib {
-    /// A RIB for a speaker in `local_as`.
+    /// A RIB for a speaker in `local_as`, with a private attribute store.
     pub fn new(local_as: u16, multipath: bool) -> LocRib {
         LocRib {
             local_as,
@@ -280,167 +427,293 @@ impl LocRib {
         }
     }
 
-    /// Originates a local network.
-    pub fn originate(&mut self, prefix: Ipv4Prefix, next_hop: Ipv4Addr) {
-        let attr = self
-            .store
-            .intern_owned(PathAttributes::originated(next_hop));
-        self.candidates
-            .entry(prefix)
-            .or_default()
-            .insert(LOCAL_KEY, Cand { attr, ebgp: false });
-        self.invalidate(prefix);
-    }
-
-    /// Withdraws a locally originated network.
-    pub fn withdraw_local(&mut self, prefix: Ipv4Prefix) -> bool {
-        let removed = match self.candidates.get_mut(&prefix) {
-            Some(set) => {
-                let removed = set.remove(&LOCAL_KEY).is_some();
-                if set.is_empty() {
-                    self.candidates.remove(&prefix);
-                }
-                removed
-            }
-            None => false,
-        };
-        if removed {
-            self.invalidate(prefix);
+    /// A RIB sharing a per-run [`AttrPool`] with other speakers.
+    pub fn new_shared(local_as: u16, multipath: bool, pool: AttrPool) -> LocRib {
+        LocRib {
+            local_as,
+            multipath,
+            pool,
+            pool_shared: true,
+            ..LocRib::default()
         }
-        removed
     }
 
-    /// Applies an UPDATE from `peer`, returning every prefix whose candidate
-    /// set changed. Announcements whose AS_PATH contains our own AS are
-    /// rejected (loop prevention) — treated as withdrawals of any previous
-    /// path from that peer.
+    /// Interns into the pool, tracking per-RIB created/reused counts.
+    fn pool_intern(&self, attrs: &Arc<PathAttributes>) -> AttrId {
+        let (id, created) = self.pool.intern(attrs);
+        if created {
+            self.interns.set(self.interns.get() + 1);
+        } else {
+            self.reuses.set(self.reuses.get() + 1);
+        }
+        id
+    }
+
+    /// Interns a prefix, growing the dense per-prefix arenas alongside the
+    /// id table.
+    fn intern_prefix(&mut self, p: Ipv4Prefix) -> PrefixId {
+        let id = self.prefixes.intern(p);
+        if id.index() >= self.candidates.len() {
+            self.candidates.resize(id.index() + 1, Vec::new());
+            self.cache.get_mut().resize(id.index() + 1, Memo::Stale);
+        }
+        id
+    }
+
+    /// Inserts/replaces a candidate, returning the previous entry at the
+    /// same key and maintaining the live-prefix count.
+    fn upsert_candidate(&mut self, id: PrefixId, entry: CandEntry) -> Option<CandEntry> {
+        let set = &mut self.candidates[id.index()];
+        match set.binary_search_by_key(&entry.key(), CandEntry::key) {
+            Ok(i) => Some(std::mem::replace(&mut set[i], entry)),
+            Err(i) => {
+                if set.is_empty() {
+                    self.live += 1;
+                }
+                set.insert(i, entry);
+                None
+            }
+        }
+    }
+
+    /// Removes the candidate with `key`, maintaining the live count.
+    fn remove_candidate_key(&mut self, id: PrefixId, key: (bool, u32)) -> bool {
+        let set = &mut self.candidates[id.index()];
+        match set.binary_search_by_key(&key, CandEntry::key) {
+            Ok(i) => {
+                set.remove(i);
+                if set.is_empty() {
+                    self.live -= 1;
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Originates a local network, returning the prefix's id.
+    pub fn originate(&mut self, prefix: Ipv4Prefix, next_hop: Ipv4Addr) -> PrefixId {
+        let attr = {
+            let (id, created) = self.pool.intern_owned(PathAttributes::originated(next_hop));
+            if created {
+                self.interns.set(self.interns.get() + 1);
+            } else {
+                self.reuses.set(self.reuses.get() + 1);
+            }
+            id
+        };
+        let id = self.intern_prefix(prefix);
+        self.upsert_candidate(
+            id,
+            CandEntry {
+                remote: false,
+                addr_key: 0,
+                attr,
+                ebgp: false,
+            },
+        );
+        self.invalidate(id);
+        id
+    }
+
+    /// Withdraws a locally originated network; `Some(id)` when a local
+    /// candidate actually existed.
+    pub fn withdraw_local(&mut self, prefix: Ipv4Prefix) -> Option<PrefixId> {
+        let id = self.prefixes.get(prefix)?;
+        if self.remove_candidate_key(id, LOCAL_KEY) {
+            self.invalidate(id);
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Applies an UPDATE from `peer`, returning every prefix whose
+    /// candidate set changed — sorted by prefix **value** (ascending), the
+    /// iteration order all downstream consumers require. Announcements
+    /// whose AS_PATH contains our own AS are rejected (loop prevention) —
+    /// treated as withdrawals of any previous path from that peer.
     pub fn update_from_peer(
         &mut self,
         peer: Ipv4Addr,
         ebgp: bool,
         update: &UpdateMsg,
-    ) -> BTreeSet<Ipv4Prefix> {
-        let mut affected = BTreeSet::new();
+    ) -> Vec<PrefixId> {
+        let mut affected: Vec<PrefixId> = Vec::new();
+        let peer_key = u32::from(peer);
         for p in &update.withdrawn {
-            if self.remove_candidate(peer, *p) {
-                affected.insert(*p);
+            // Unknown prefixes are not interned: a withdrawal of something
+            // never announced must not grow the arenas.
+            if let Some(id) = self.prefixes.get(*p) {
+                if self.remove_peer_candidate(id, peer, peer_key) {
+                    affected.push(id);
+                }
             }
         }
         if let Some(attrs) = &update.attrs {
             let looped = attrs.contains_asn(self.local_as);
             // One intern per UPDATE, not per prefix: every NLRI in the
             // message shares the id (and the allocation).
-            let cand = if looped {
+            let cand_attr = if looped {
                 None
             } else {
-                Some(Cand {
-                    attr: self.store.intern(attrs),
-                    ebgp,
-                })
+                Some(self.pool_intern(attrs))
             };
-            for p in &update.nlri {
-                match cand {
-                    None => {
-                        if self.remove_candidate(peer, *p) {
-                            affected.insert(*p);
+            match cand_attr {
+                None => {
+                    for p in &update.nlri {
+                        if let Some(id) = self.prefixes.get(*p) {
+                            if self.remove_peer_candidate(id, peer, peer_key) {
+                                affected.push(id);
+                            }
                         }
                     }
-                    Some(cand) => {
-                        let prev = self
-                            .candidates
-                            .entry(*p)
-                            .or_default()
-                            .insert((true, peer), cand);
-                        self.adj_in.entry(peer).or_default().insert(*p);
-                        if prev != Some(cand) {
-                            affected.insert(*p);
-                            self.invalidate(*p);
+                }
+                Some(attr) => {
+                    let pid = self.peers.intern(peer);
+                    if pid.index() >= self.adj_in.len() {
+                        self.adj_in.resize(pid.index() + 1, IdSet::new());
+                    }
+                    let entry = CandEntry {
+                        remote: true,
+                        addr_key: peer_key,
+                        attr,
+                        ebgp,
+                    };
+                    for p in &update.nlri {
+                        let id = self.intern_prefix(*p);
+                        let prev = self.upsert_candidate(id, entry);
+                        self.adj_in[pid.index()].insert(id.0);
+                        if prev != Some(entry) {
+                            affected.push(id);
+                            self.invalidate(id);
                         }
                     }
                 }
             }
         }
+        self.prefixes.sort_by_value(&mut affected);
         affected
     }
 
-    /// Removes every route learned from `peer` (session down), returning the
-    /// affected prefixes.
-    pub fn drop_peer(&mut self, peer: Ipv4Addr) -> BTreeSet<Ipv4Prefix> {
-        let prefixes = self.adj_in.remove(&peer).unwrap_or_default();
-        for p in &prefixes {
-            if let Some(set) = self.candidates.get_mut(p) {
-                set.remove(&(true, peer));
-                if set.is_empty() {
-                    self.candidates.remove(p);
-                }
-            }
-            self.invalidate(*p);
+    /// Removes every route learned from `peer` (session down), returning
+    /// the affected prefix ids sorted by value.
+    pub fn drop_peer(&mut self, peer: Ipv4Addr) -> Vec<PrefixId> {
+        let Some(pid) = self.peers.get(peer) else {
+            return Vec::new();
+        };
+        if pid.index() >= self.adj_in.len() {
+            return Vec::new();
         }
-        prefixes
+        let peer_key = u32::from(peer);
+        let mut affected: Vec<PrefixId> = self.adj_in[pid.index()].iter().map(PrefixId).collect();
+        self.adj_in[pid.index()].clear();
+        for &id in &affected {
+            self.remove_candidate_key(id, (true, peer_key));
+            self.invalidate(id);
+        }
+        self.prefixes.sort_by_value(&mut affected);
+        affected
     }
 
     /// Drops `peer`'s candidate for one prefix, maintaining both indexes.
     /// Returns true when a candidate actually existed.
-    fn remove_candidate(&mut self, peer: Ipv4Addr, prefix: Ipv4Prefix) -> bool {
-        let removed = match self.candidates.get_mut(&prefix) {
-            Some(set) => {
-                let removed = set.remove(&(true, peer)).is_some();
-                if set.is_empty() {
-                    self.candidates.remove(&prefix);
-                }
-                removed
-            }
-            None => false,
-        };
-        if removed {
-            if let Some(set) = self.adj_in.get_mut(&peer) {
-                set.remove(&prefix);
-                if set.is_empty() {
-                    self.adj_in.remove(&peer);
-                }
-            }
-            self.invalidate(prefix);
+    fn remove_peer_candidate(&mut self, id: PrefixId, peer: Ipv4Addr, peer_key: u32) -> bool {
+        if !self.remove_candidate_key(id, (true, peer_key)) {
+            return false;
         }
-        removed
+        if let Some(pid) = self.peers.get(peer) {
+            if pid.index() < self.adj_in.len() {
+                self.adj_in[pid.index()].remove(id.0);
+            }
+        }
+        self.invalidate(id);
+        true
     }
 
-    fn invalidate(&mut self, prefix: Ipv4Prefix) {
-        if self.cache.get_mut().remove(&prefix).is_some() {
+    fn invalidate(&mut self, id: PrefixId) {
+        let slot = &mut self.cache.get_mut()[id.index()];
+        if !matches!(slot, Memo::Stale) {
+            *slot = Memo::Stale;
             self.stats.get_mut().invalidations += 1;
         }
     }
 
     /// Number of paths in a peer's Adj-RIB-In.
     pub fn adj_in_len(&self, peer: Ipv4Addr) -> usize {
-        self.adj_in.get(&peer).map_or(0, |t| t.len())
+        self.peers
+            .get(peer)
+            .and_then(|pid| self.adj_in.get(pid.index()))
+            .map_or(0, IdSet::len)
     }
 
-    /// Every prefix with at least one candidate path — a read of the
-    /// persistent candidate index, not a union rebuild.
+    /// Every prefix with at least one candidate path, as values (a read of
+    /// the persistent candidate arena, not a union rebuild).
     pub fn prefixes(&self) -> BTreeSet<Ipv4Prefix> {
-        self.candidates.keys().copied().collect()
+        self.live_prefix_ids()
+            .into_iter()
+            .map(|id| self.prefixes.value(id))
+            .collect()
+    }
+
+    /// Every live prefix id, sorted by prefix value — the order the
+    /// speaker's newly-established-peer sync iterates in.
+    pub fn live_prefix_ids(&self) -> Vec<PrefixId> {
+        let mut ids: Vec<PrefixId> = (0..self.candidates.len() as u32)
+            .map(PrefixId)
+            .filter(|id| !self.candidates[id.index()].is_empty())
+            .collect();
+        ids.sort_unstable_by_key(|&id| self.prefixes.sort_key(id));
+        ids
     }
 
     /// Number of live prefixes.
     pub fn prefix_count(&self) -> usize {
-        self.candidates.len()
+        self.live
     }
 
-    /// The attribute store (shared-allocation reads for UPDATE
-    /// construction).
-    pub fn attr_store(&self) -> &AttrStore {
-        &self.store
+    /// The id of a prefix, if it was ever announced or originated here.
+    pub fn prefix_id(&self, prefix: Ipv4Prefix) -> Option<PrefixId> {
+        self.prefixes.get(prefix)
     }
 
-    /// Interns an owned attribute set in this RIB's store (the speaker's
+    /// The prefix value behind an id.
+    pub fn prefix_value(&self, id: PrefixId) -> Ipv4Prefix {
+        self.prefixes.value(id)
+    }
+
+    /// Sorts (and dedups) prefix ids into ascending value order.
+    pub fn sort_ids_by_value(&self, ids: &mut Vec<PrefixId>) {
+        self.prefixes.sort_by_value(ids);
+    }
+
+    /// `(prefix table size, peer table size)` — interner footprints for
+    /// the `mem_*` report counters. Monotone, so also the peaks.
+    pub fn interner_sizes(&self) -> (usize, usize) {
+        (self.prefixes.len(), self.peers.len())
+    }
+
+    /// The (possibly shared) attribute pool.
+    pub fn attr_pool(&self) -> &AttrPool {
+        &self.pool
+    }
+
+    /// Interns an owned attribute set in this RIB's pool (the speaker's
     /// export path uses this so Adj-RIB-Out entries are ids too).
-    pub fn intern_attrs(&mut self, attrs: PathAttributes) -> AttrId {
-        self.store.intern_owned(attrs)
+    pub fn intern_attrs(&self, attrs: PathAttributes) -> AttrId {
+        let (id, created) = self.pool.intern_owned(attrs);
+        if created {
+            self.interns.set(self.interns.get() + 1);
+        } else {
+            self.reuses.set(self.reuses.get() + 1);
+        }
+        id
     }
 
-    /// The canonical shared attributes for an id.
-    pub fn attrs_of(&self, id: AttrId) -> &Arc<PathAttributes> {
-        self.store.attrs(id)
+    /// The canonical shared attributes for an id (owned handle — the pool
+    /// lock cannot be held across the call boundary).
+    pub fn attrs_of(&self, id: AttrId) -> Arc<PathAttributes> {
+        self.pool.attrs(id)
     }
 
     /// Just the decision-process counters `(decide_calls,
@@ -455,108 +728,101 @@ impl LocRib {
     /// Snapshot of the work counters (attr-store figures filled in here).
     pub fn stats(&self) -> RibStats {
         let mut s = *self.stats.borrow();
-        s.attr_interns = self.store.interns;
-        s.attr_reuses = self.store.reuses;
-        s.attr_store_size = self.store.len() as u64;
+        s.attr_interns = self.interns.get();
+        s.attr_reuses = self.reuses.get();
+        // A shared pool's size is reported once by its owner, not by every
+        // sharer (merged stats would multiply-count it).
+        s.attr_store_size = if self.pool_shared {
+            0
+        } else {
+            self.pool.len() as u64
+        };
         s
     }
 
     /// Runs the decision process for `prefix`, memoized until a mutation
     /// touches the prefix.
     pub fn decide(&self, prefix: Ipv4Prefix) -> Option<Arc<Decision>> {
+        match self.prefixes.get(prefix) {
+            Some(id) => self.decide_id(id),
+            None => {
+                // Never-interned prefixes cannot have candidates; answer
+                // without touching (or growing) the arenas. Counted as a
+                // cache hit: the read is O(1) and runs no ranking.
+                let mut stats = self.stats.borrow_mut();
+                stats.decide_calls += 1;
+                stats.decide_cache_hits += 1;
+                None
+            }
+        }
+    }
+
+    /// [`LocRib::decide`] by prefix id — the speaker's hot path (no hash
+    /// probe at all).
+    pub fn decide_id(&self, id: PrefixId) -> Option<Arc<Decision>> {
         {
             let mut stats = self.stats.borrow_mut();
             stats.decide_calls += 1;
-            if let Some(hit) = self.cache.borrow().get(&prefix) {
-                stats.decide_cache_hits += 1;
-                return hit.clone();
+            match &self.cache.borrow()[id.index()] {
+                Memo::Stale => stats.decide_recomputes += 1,
+                Memo::Unreachable => {
+                    stats.decide_cache_hits += 1;
+                    return None;
+                }
+                Memo::Reachable(d) => {
+                    stats.decide_cache_hits += 1;
+                    return Some(Arc::clone(d));
+                }
             }
-            stats.decide_recomputes += 1;
         }
-        let decision = self.compute(prefix);
-        self.cache.borrow_mut().insert(prefix, decision.clone());
+        let decision = self.compute(id);
+        self.cache.borrow_mut()[id.index()] = match &decision {
+            None => Memo::Unreachable,
+            Some(d) => Memo::Reachable(Arc::clone(d)),
+        };
         decision
     }
 
     /// The uncached decision process: rank the prefix's candidate set.
-    fn compute(&self, prefix: Ipv4Prefix) -> Option<Arc<Decision>> {
-        let cands = self.candidates.get(&prefix)?;
-        debug_assert!(!cands.is_empty(), "empty candidate sets are removed");
+    fn compute(&self, id: PrefixId) -> Option<Arc<Decision>> {
+        let cands = &self.candidates[id.index()];
+        if cands.is_empty() {
+            return None;
+        }
         self.stats.borrow_mut().candidate_touches += cands.len() as u64;
+        let store = self.pool.read();
         // Iteration order is (local, peer-address) — the naive gathering
         // order — and `min_by` keeps the earliest of rank-equal candidates,
         // so step 7 (lowest peer address) falls out for free.
         let best = cands
             .iter()
-            .min_by(|a, b| self.rank((a.0, a.1), (b.0, b.1)))
+            .min_by(|a, b| rank(&store, a, b))
             .expect("non-empty");
-        let members: Vec<(&CandKey, &Cand)> = if self.multipath {
+        let members: Vec<&CandEntry> = if self.multipath {
             cands
                 .iter()
-                .filter(|c| self.rank((c.0, c.1), (best.0, best.1)) == std::cmp::Ordering::Equal)
+                .filter(|c| rank(&store, c, best) == std::cmp::Ordering::Equal)
                 .collect()
         } else {
             vec![best]
         };
-        let route = |(key, cand): (&CandKey, &Cand)| RouteInfo {
-            attrs: Arc::clone(self.store.attrs(cand.attr)),
+        let route = |cand: &CandEntry| RouteInfo {
+            attrs: Arc::clone(store.attrs(cand.attr)),
             attr_id: cand.attr,
-            peer: key.1,
+            peer: Ipv4Addr::from(cand.addr_key),
             ebgp: cand.ebgp,
         };
         let mut next_hops: Vec<Ipv4Addr> = members
             .iter()
-            .map(|(_, c)| self.store.attrs(c.attr).next_hop)
+            .map(|c| store.attrs(c.attr).next_hop)
             .collect();
         next_hops.sort();
         next_hops.dedup();
         Some(Arc::new(Decision {
-            best: route((best.0, best.1)),
+            best: route(best),
             multipath: members.into_iter().map(route).collect(),
             next_hops,
         }))
-    }
-
-    /// Total ordering used by the decision process; `Less` is better. Steps
-    /// 1–6 define multipath equality; step 7 (peer address) only breaks the
-    /// final tie for the single best path and is excluded from `rank` — the
-    /// caller treats `Equal` as "same up to multipath" and `min_by` keeps
-    /// the earliest candidate (index order is local, then peer address).
-    fn rank(&self, a: (&CandKey, &Cand), b: (&CandKey, &Cand)) -> std::cmp::Ordering {
-        use std::cmp::Ordering;
-        let (ak, ac) = a;
-        let (bk, bc) = b;
-        let am = self.store.meta(ac.attr);
-        let bm = self.store.meta(bc.attr);
-        // 1. Higher local-pref wins.
-        let o = bm.local_pref.cmp(&am.local_pref);
-        if o != Ordering::Equal {
-            return o;
-        }
-        // 2. Local origination wins (`!key.0` is "is local").
-        let o = ak.0.cmp(&bk.0);
-        if o != Ordering::Equal {
-            return o;
-        }
-        // 3. Shorter AS path wins.
-        let o = am.path_len.cmp(&bm.path_len);
-        if o != Ordering::Equal {
-            return o;
-        }
-        // 4. Lower origin wins.
-        let o = am.origin_rank.cmp(&bm.origin_rank);
-        if o != Ordering::Equal {
-            return o;
-        }
-        // 5. Lower MED wins, only between the same neighbor AS.
-        if am.neighbor_as.is_some() && am.neighbor_as == bm.neighbor_as {
-            let o = am.med.cmp(&bm.med);
-            if o != Ordering::Equal {
-                return o;
-            }
-        }
-        // 6. eBGP beats iBGP.
-        bc.ebgp.cmp(&ac.ebgp)
     }
 
     /// The effective next-hop set for a prefix after the decision process:
@@ -568,6 +834,46 @@ impl LocRib {
             .map(|d| d.next_hops.clone())
             .unwrap_or_default()
     }
+}
+
+/// Total ordering used by the decision process; `Less` is better. Steps
+/// 1–6 define multipath equality; step 7 (peer address) only breaks the
+/// final tie for the single best path and is excluded from `rank` — the
+/// caller treats `Equal` as "same up to multipath" and `min_by` keeps the
+/// earliest candidate (set order is local, then peer address).
+fn rank(store: &AttrStore, a: &CandEntry, b: &CandEntry) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let am = store.meta(a.attr);
+    let bm = store.meta(b.attr);
+    // 1. Higher local-pref wins.
+    let o = bm.local_pref.cmp(&am.local_pref);
+    if o != Ordering::Equal {
+        return o;
+    }
+    // 2. Local origination wins (`!remote` is "is local").
+    let o = a.remote.cmp(&b.remote);
+    if o != Ordering::Equal {
+        return o;
+    }
+    // 3. Shorter AS path wins.
+    let o = am.path_len.cmp(&bm.path_len);
+    if o != Ordering::Equal {
+        return o;
+    }
+    // 4. Lower origin wins.
+    let o = am.origin_rank.cmp(&bm.origin_rank);
+    if o != Ordering::Equal {
+        return o;
+    }
+    // 5. Lower MED wins, only between the same neighbor AS.
+    if am.neighbor_as.is_some() && am.neighbor_as == bm.neighbor_as {
+        let o = am.med.cmp(&bm.med);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    // 6. eBGP beats iBGP.
+    b.ebgp.cmp(&a.ebgp)
 }
 
 #[cfg(test)]
@@ -748,7 +1054,8 @@ mod tests {
             };
             rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u)
         };
-        assert!(affected.contains(&pfx("10.9.0.0/16")));
+        let values: Vec<Ipv4Prefix> = affected.iter().map(|&i| rib.prefix_value(i)).collect();
+        assert_eq!(values, vec![pfx("10.9.0.0/16")]);
         assert!(rib.decide(pfx("10.9.0.0/16")).is_none());
     }
 
@@ -765,6 +1072,25 @@ mod tests {
         assert_eq!(affected.len(), 1);
         assert!(rib.decide(pfx("10.9.0.0/16")).is_none());
         assert!(rib.next_hops(pfx("10.9.0.0/16")).is_empty());
+    }
+
+    #[test]
+    fn withdraw_of_unknown_prefix_does_not_intern() {
+        let mut rib = LocRib::new(65000, true);
+        announce(&mut rib, [10, 0, 0, 1], &[1], "10.9.0.0/16");
+        let u = UpdateMsg {
+            withdrawn: vec![pfx("10.77.0.0/16")],
+            attrs: None,
+            nlri: vec![],
+        };
+        let affected = rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u);
+        assert!(affected.is_empty());
+        assert_eq!(
+            rib.interner_sizes().0,
+            1,
+            "only the announced prefix is in the table"
+        );
+        assert!(rib.prefix_id(pfx("10.77.0.0/16")).is_none());
     }
 
     #[test]
@@ -791,6 +1117,33 @@ mod tests {
         // 10.1/16 still reachable via the other peer.
         assert_eq!(rib.next_hops(pfx("10.1.0.0/16")).len(), 1);
         assert!(rib.next_hops(pfx("10.2.0.0/16")).is_empty());
+        assert_eq!(rib.adj_in_len(Ipv4Addr::new(10, 0, 0, 1)), 0);
+        assert_eq!(rib.adj_in_len(Ipv4Addr::new(10, 0, 0, 2)), 1);
+    }
+
+    #[test]
+    fn affected_sets_are_value_sorted_not_id_sorted() {
+        let mut rib = LocRib::new(65000, true);
+        // Intern in descending value order so id order ≠ value order.
+        let shared = Arc::new(attrs(&[1], [10, 0, 0, 1]));
+        let u = UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(Arc::clone(&shared)),
+            nlri: vec![pfx("10.3.0.0/16"), pfx("10.1.0.0/16"), pfx("10.2.0.0/16")],
+        };
+        let affected = rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u);
+        let values: Vec<Ipv4Prefix> = affected.iter().map(|&i| rib.prefix_value(i)).collect();
+        assert_eq!(
+            values,
+            vec![pfx("10.1.0.0/16"), pfx("10.2.0.0/16"), pfx("10.3.0.0/16")],
+            "affected ids sort by prefix value"
+        );
+        let live = rib.live_prefix_ids();
+        let live_vals: Vec<Ipv4Prefix> = live.iter().map(|&i| rib.prefix_value(i)).collect();
+        assert_eq!(live_vals, values, "live index is value-ordered too");
+        let dropped = rib.drop_peer(Ipv4Addr::new(10, 0, 0, 1));
+        let drop_vals: Vec<Ipv4Prefix> = dropped.iter().map(|&i| rib.prefix_value(i)).collect();
+        assert_eq!(drop_vals, values);
     }
 
     #[test]
@@ -802,6 +1155,7 @@ mod tests {
         assert!(ps.contains(&pfx("10.0.0.0/24")));
         assert!(ps.contains(&pfx("10.1.0.0/16")));
         assert_eq!(ps.len(), 2);
+        assert_eq!(rib.prefix_count(), 2);
     }
 
     #[test]
@@ -836,6 +1190,34 @@ mod tests {
     }
 
     #[test]
+    fn shared_pool_interns_once_across_ribs() {
+        let pool = AttrPool::new();
+        let mut r1 = LocRib::new_shared(65001, true, pool.clone());
+        let mut r2 = LocRib::new_shared(65002, true, pool.clone());
+        // Same peer address (hence same next-hop and identical attrs) seen
+        // by both RIBs, as a route reflected through a shared neighbor is.
+        announce(&mut r1, [10, 0, 0, 1], &[7, 8], "10.1.0.0/16");
+        announce(&mut r2, [10, 0, 0, 1], &[7, 8], "10.2.0.0/16");
+        assert_eq!(pool.len(), 1, "one fleet-wide entry for identical attrs");
+        let s1 = r1.stats();
+        let s2 = r2.stats();
+        assert_eq!(s1.attr_interns, 1, "r1 created it");
+        assert_eq!(s2.attr_interns, 0);
+        assert_eq!(s2.attr_reuses, 1, "r2's intern was a fleet-wide reuse");
+        assert_eq!(
+            s1.attr_store_size + s2.attr_store_size,
+            0,
+            "sharers report 0 size; the pool owner reports it once"
+        );
+        // Decisions in both RIBs share the one canonical allocation.
+        let d1 = r1.decide(pfx("10.1.0.0/16")).unwrap();
+        let d2 = r2.decide(pfx("10.2.0.0/16")).unwrap();
+        assert!(Arc::ptr_eq(&d1.best.attrs, &d2.best.attrs));
+        assert!(r1.attr_pool().same_as(r2.attr_pool()));
+        assert!(pool.bytes_estimate() > 0);
+    }
+
+    #[test]
     fn decide_is_memoized_until_invalidated() {
         let mut rib = LocRib::new(65000, true);
         announce(&mut rib, [10, 0, 0, 1], &[1, 2], "10.9.0.0/16");
@@ -856,11 +1238,28 @@ mod tests {
         let s = rib.stats();
         assert_eq!(s.invalidations, 1);
         assert_eq!(s.decide_recomputes, 2);
-        // Unreachable prefixes are memoized too.
+        // Never-interned prefixes are answered in O(1) without growing the
+        // arenas; both reads count as cache hits (no ranking runs).
         let other = pfx("10.250.0.0/16");
         assert!(rib.decide(other).is_none());
         assert!(rib.decide(other).is_none());
-        assert_eq!(rib.stats().decide_cache_hits, 2);
+        let s = rib.stats();
+        assert_eq!(s.decide_cache_hits, 3);
+        assert_eq!(s.decide_recomputes, 2, "no recompute for unknown prefixes");
+        // A withdrawn (known, empty) prefix memoizes unreachability.
+        let u = UpdateMsg {
+            withdrawn: vec![p],
+            attrs: None,
+            nlri: vec![],
+        };
+        rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 1), true, &u);
+        rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 2), true, &u);
+        rib.update_from_peer(Ipv4Addr::new(10, 0, 0, 3), true, &u);
+        assert!(rib.decide(p).is_none(), "recomputes the empty set");
+        assert!(rib.decide(p).is_none(), "second read hits the memo");
+        let s = rib.stats();
+        assert_eq!(s.decide_recomputes, 3);
+        assert_eq!(s.decide_cache_hits, 4);
     }
 
     #[test]

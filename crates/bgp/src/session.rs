@@ -220,10 +220,14 @@ impl Session {
         }
     }
 
-    /// Sends an UPDATE (only meaningful in Established).
+    /// Sends an UPDATE (only meaningful in Established). An UPDATE whose
+    /// encoding would exceed the RFC 4271 4096-byte maximum is split into
+    /// multiple messages; in-range UPDATEs go out byte-identical.
     pub fn send_update(&mut self, update: UpdateMsg) {
         debug_assert!(self.is_established(), "update outside Established");
-        self.send(Message::Update(update));
+        for chunk in update.split_to_fit() {
+            self.send(Message::Update(chunk));
+        }
     }
 
     /// Fires due timers. Call whenever the clock advances; cheap when

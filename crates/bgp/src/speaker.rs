@@ -18,24 +18,36 @@
 //! AS, set next-hop-self, and strip LOCAL_PREF/MED. Announcements with the
 //! same attributes are batched into one UPDATE.
 //!
-//! The read path rides the RIB's route-churn fast path (see [`crate::rib`]):
-//! `reconcile` reads each affected decision once (memoized for the per-peer
-//! syncs), Adj-RIB-Out holds interned [`AttrId`]s instead of deep attribute
-//! copies, the export transform (prepend, next-hop-self, strip) is cached
-//! per `(peer, AttrId)` — it depends only on static session config — and
-//! announcement batching groups by id, replacing the old linear
-//! deep-equality scan while emitting byte-identical UPDATEs.
+//! ## Compact-id speaker state
+//!
+//! All per-peer and per-prefix bookkeeping is arena-shaped (see
+//! [`crate::rib`] for the id layer). Peers are a dense index `0..n`
+//! assigned in ascending peer-address order at construction — the
+//! iteration order of the `BTreeMap` this replaces, which wire-byte
+//! determinism depends on (peers are synced in that order). Per-peer
+//! state (`sessions`, `adj_out`, `export_cache`, `mrai_*`) lives in
+//! parallel `Vec`s indexed by that peer index; per-prefix state
+//! (`adj_out` rows, `fib_view`) is indexed by [`PrefixId`]. UPDATE
+//! handling is batched decode→intern→decide→export over id slices: the
+//! RIB returns affected `PrefixId` slices sorted by prefix value, and
+//! reconcile/sync walk them with array loads instead of per-NLRI tree
+//! probes. Reconcile-scale scratch buffers (the pump work list, affected
+//! set, announce groups) are held on the speaker and reused, so a
+//! post-convergence reconcile allocates nothing.
 
 use crate::msg::UpdateMsg;
 use crate::rib::{AttrId, Decision, LocRib, RibStats};
 use crate::session::{PeerConfig, Session, SessionEvent, SessionState, TimerConfig};
 use bytes::Bytes;
 use horse_net::addr::Ipv4Prefix;
+use horse_net::intern::{IdSet, PrefixId};
 use horse_sim::SimTime;
 use horse_trace::{ComponentLog, TraceData, Tracer};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::sync::Arc;
+
+/// Sentinel in an `adj_out` row: nothing advertised for this prefix.
+const NO_ATTR: u32 = u32::MAX;
 
 /// Speaker configuration.
 #[derive(Debug, Clone)]
@@ -88,27 +100,33 @@ pub enum SpeakerOutput {
 pub struct BgpSpeaker {
     /// Static configuration.
     pub config: BgpConfig,
-    sessions: BTreeMap<Ipv4Addr, Session>,
+    /// Peer addresses in ascending order — the dense peer index. All
+    /// per-peer `Vec`s below are parallel to this one.
+    peer_addrs: Vec<Ipv4Addr>,
+    sessions: Vec<Session>,
     rib: LocRib,
-    /// Adj-RIB-Out per peer: what we last advertised, as interned attr ids
-    /// (the canonical bytes live in the RIB's attribute store).
-    adj_out: BTreeMap<Ipv4Addr, BTreeMap<Ipv4Prefix, AttrId>>,
-    /// Memoized export policy per `(peer, best-path AttrId)`: `None` means
-    /// "suppressed" (AS-loop toward that peer). Split horizon is checked
-    /// outside the cache (it depends on where the best path was learned,
-    /// not on its attributes). Never invalidated — the transform reads only
-    /// static session config.
-    export_cache: BTreeMap<(Ipv4Addr, AttrId), Option<AttrId>>,
+    /// Adj-RIB-Out per peer index: row indexed by prefix id holding the
+    /// last advertised interned attr id ([`NO_ATTR`] = nothing). Rows grow
+    /// lazily; a session drop clears the row.
+    adj_out: Vec<Vec<u32>>,
+    /// Memoized export policy per peer index, keyed by best-path attr id:
+    /// `None` means "suppressed" (AS-loop toward that peer). Split horizon
+    /// is checked outside the cache (it depends on where the best path was
+    /// learned, not on its attributes). Never invalidated — the transform
+    /// reads only static session config.
+    export_cache: Vec<HashMap<u32, Option<AttrId>>>,
     export_hits: u64,
     export_misses: u64,
-    fib_view: BTreeMap<Ipv4Prefix, Vec<Ipv4Addr>>,
+    /// Last next-hop set reported per prefix id (empty = absent).
+    fib_view: Vec<Vec<Ipv4Addr>>,
     outputs: Vec<SpeakerOutput>,
     started: bool,
-    /// Per peer: earliest instant the next announcement burst may go out
-    /// (MRAI hold-down).
-    mrai_ready: BTreeMap<Ipv4Addr, SimTime>,
-    /// Per peer: prefixes whose announcements are waiting out the MRAI.
-    mrai_pending: BTreeMap<Ipv4Addr, BTreeSet<Ipv4Prefix>>,
+    /// Per peer index: earliest instant the next announcement burst may go
+    /// out (MRAI hold-down); `SimTime::ZERO` = unarmed.
+    mrai_ready: Vec<SimTime>,
+    /// Per peer index: prefixes whose announcements are waiting out the
+    /// MRAI.
+    mrai_pending: Vec<IdSet>,
     /// Set whenever an entry point may have moved [`BgpSpeaker::next_deadline`];
     /// cleared by [`BgpSpeaker::take_deadline_dirty`]. Lets a scheduler
     /// re-index this speaker's deadline only when it was touched, instead
@@ -118,6 +136,14 @@ pub struct BgpSpeaker {
     /// RIB work). Defaults to the null tracer: one discriminant check per
     /// site, no snapshots, no allocation.
     tracer: Tracer,
+    // Reusable scratch (capacity persists across calls; contents do not).
+    scratch_events: Vec<(usize, SessionEvent)>,
+    scratch_affected: Vec<PrefixId>,
+    scratch_newly_up: Vec<usize>,
+    scratch_flush: Vec<PrefixId>,
+    scratch_withdraws: Vec<Ipv4Prefix>,
+    scratch_groups: Vec<(AttrId, Vec<Ipv4Prefix>)>,
+    scratch_group_of: HashMap<u32, usize>,
 }
 
 /// Short FSM-state label for trace events.
@@ -132,35 +158,68 @@ fn state_name(s: SessionState) -> &'static str {
 }
 
 impl BgpSpeaker {
-    /// Builds a speaker (idle until [`BgpSpeaker::start`]).
+    /// Builds a speaker (idle until [`BgpSpeaker::start`]) with a private
+    /// attribute store.
     pub fn new(config: BgpConfig) -> BgpSpeaker {
-        let mut sessions = BTreeMap::new();
+        let rib = LocRib::new(config.asn, config.multipath);
+        BgpSpeaker::build(config, rib)
+    }
+
+    /// Builds a speaker whose RIB interns attributes in a shared per-run
+    /// [`crate::rib::AttrPool`].
+    pub fn new_with_pool(config: BgpConfig, pool: crate::rib::AttrPool) -> BgpSpeaker {
+        let rib = LocRib::new_shared(config.asn, config.multipath, pool);
+        BgpSpeaker::build(config, rib)
+    }
+
+    fn build(config: BgpConfig, mut rib: LocRib) -> BgpSpeaker {
+        // Dense peer index in ascending address order (last config entry
+        // wins on a duplicate address, matching map-insert semantics).
+        let mut by_addr: Vec<PeerConfig> = Vec::with_capacity(config.peers.len());
         for p in &config.peers {
-            sessions.insert(
-                p.peer_addr,
-                Session::new(*p, config.asn, config.router_id, config.timers),
-            );
+            match by_addr.binary_search_by_key(&p.peer_addr, |c| c.peer_addr) {
+                Ok(i) => by_addr[i] = *p,
+                Err(i) => by_addr.insert(i, *p),
+            }
         }
-        let mut rib = LocRib::new(config.asn, config.multipath);
+        let peer_addrs: Vec<Ipv4Addr> = by_addr.iter().map(|p| p.peer_addr).collect();
+        let sessions: Vec<Session> = by_addr
+            .iter()
+            .map(|p| Session::new(*p, config.asn, config.router_id, config.timers))
+            .collect();
         for n in &config.networks {
             rib.originate(*n, config.router_id);
         }
+        let n = sessions.len();
         BgpSpeaker {
             config,
+            peer_addrs,
             sessions,
             rib,
-            adj_out: BTreeMap::new(),
-            export_cache: BTreeMap::new(),
+            adj_out: vec![Vec::new(); n],
+            export_cache: vec![HashMap::new(); n],
             export_hits: 0,
             export_misses: 0,
-            fib_view: BTreeMap::new(),
+            fib_view: Vec::new(),
             outputs: Vec::new(),
             started: false,
-            mrai_ready: BTreeMap::new(),
-            mrai_pending: BTreeMap::new(),
+            mrai_ready: vec![SimTime::ZERO; n],
+            mrai_pending: vec![IdSet::new(); n],
             deadline_dirty: true,
             tracer: Tracer::default(),
+            scratch_events: Vec::new(),
+            scratch_affected: Vec::new(),
+            scratch_newly_up: Vec::new(),
+            scratch_flush: Vec::new(),
+            scratch_withdraws: Vec::new(),
+            scratch_groups: Vec::new(),
+            scratch_group_of: HashMap::new(),
         }
+    }
+
+    /// The dense index of a configured peer address.
+    fn peer_idx(&self, peer: Ipv4Addr) -> Option<usize> {
+        self.peer_addrs.binary_search(&peer).ok()
     }
 
     /// Installs a trace sink (see `horse-trace`). Pass [`Tracer::Null`] to
@@ -178,8 +237,8 @@ impl BgpSpeaker {
     /// (`start`, `poll_timers`) mutates them. Only called when tracing is
     /// enabled; the single-peer entry points compare one session's state
     /// inline instead, so the hot receive path never allocates.
-    fn fsm_snapshot(&self) -> Vec<(Ipv4Addr, SessionState)> {
-        self.sessions.iter().map(|(p, s)| (*p, s.state())).collect()
+    fn fsm_snapshot(&self) -> Vec<SessionState> {
+        self.sessions.iter().map(Session::state).collect()
     }
 
     /// Records a `BgpFsm` event for a single peer whose state moved from
@@ -205,21 +264,19 @@ impl BgpSpeaker {
     }
 
     /// Records a `BgpFsm` event for every session whose state changed since
-    /// `before`.
-    fn trace_fsm_delta(&mut self, before: &[(Ipv4Addr, SessionState)], now: SimTime) {
-        for (peer, old) in before {
-            if let Some(s) = self.sessions.get(peer) {
-                let new = s.state();
-                if new != *old {
-                    self.tracer.record(
-                        now,
-                        TraceData::BgpFsm {
-                            peer: u32::from(*peer),
-                            from: state_name(*old),
-                            to: state_name(new),
-                        },
-                    );
-                }
+    /// `before` (parallel to the peer index).
+    fn trace_fsm_delta(&mut self, before: &[SessionState], now: SimTime) {
+        for (pi, old) in before.iter().enumerate() {
+            let new = self.sessions[pi].state();
+            if new != *old {
+                self.tracer.record(
+                    now,
+                    TraceData::BgpFsm {
+                        peer: u32::from(self.peer_addrs[pi]),
+                        from: state_name(*old),
+                        to: state_name(new),
+                    },
+                );
             }
         }
     }
@@ -233,7 +290,7 @@ impl BgpSpeaker {
         } else {
             Vec::new()
         };
-        for s in self.sessions.values_mut() {
+        for s in &mut self.sessions {
             s.start(now);
         }
         self.trace_fsm_delta(&before, now);
@@ -244,7 +301,8 @@ impl BgpSpeaker {
     pub fn on_transport_up(&mut self, peer: Ipv4Addr, now: SimTime) {
         self.deadline_dirty = true;
         let mut moved = None;
-        if let Some(s) = self.sessions.get_mut(&peer) {
+        if let Some(pi) = self.peer_idx(peer) {
+            let s = &mut self.sessions[pi];
             let before = s.state();
             s.on_transport_up(now);
             let after = s.state();
@@ -262,7 +320,8 @@ impl BgpSpeaker {
     pub fn on_transport_down(&mut self, peer: Ipv4Addr, now: SimTime) {
         self.deadline_dirty = true;
         let mut moved = None;
-        if let Some(s) = self.sessions.get_mut(&peer) {
+        if let Some(pi) = self.peer_idx(peer) {
+            let s = &mut self.sessions[pi];
             let before = s.state();
             s.on_transport_down(now);
             let after = s.state();
@@ -280,7 +339,8 @@ impl BgpSpeaker {
     pub fn on_bytes(&mut self, peer: Ipv4Addr, now: SimTime, bytes: &[u8]) {
         self.deadline_dirty = true;
         let mut moved = None;
-        if let Some(s) = self.sessions.get_mut(&peer) {
+        if let Some(pi) = self.peer_idx(peer) {
+            let s = &mut self.sessions[pi];
             let before = s.state();
             s.on_bytes(now, bytes);
             let after = s.state();
@@ -303,31 +363,30 @@ impl BgpSpeaker {
         } else {
             Vec::new()
         };
-        for s in self.sessions.values_mut() {
+        for s in &mut self.sessions {
             s.poll_timers(now);
         }
         self.trace_fsm_delta(&before, now);
-        let due: Vec<Ipv4Addr> = self
-            .mrai_pending
-            .iter()
-            .filter(|(peer, pending)| {
-                !pending.is_empty()
-                    && now >= self.mrai_ready.get(peer).copied().unwrap_or(SimTime::ZERO)
-            })
-            .map(|(peer, _)| *peer)
-            .collect();
-        for peer in due {
-            let pending = self.mrai_pending.remove(&peer).unwrap_or_default();
-            if self.sessions.get(&peer).is_some_and(|s| s.is_established()) {
+        for pi in 0..self.sessions.len() {
+            if self.mrai_pending[pi].is_empty() || now < self.mrai_ready[pi] {
+                continue;
+            }
+            let mut flush = std::mem::take(&mut self.scratch_flush);
+            flush.clear();
+            flush.extend(self.mrai_pending[pi].iter().map(PrefixId));
+            self.mrai_pending[pi].clear();
+            if self.sessions[pi].is_established() {
+                self.rib.sort_ids_by_value(&mut flush);
                 self.tracer.record(
                     now,
                     TraceData::MraiFlush {
-                        peer: u32::from(peer),
-                        prefixes: pending.len() as u32,
+                        peer: u32::from(self.peer_addrs[pi]),
+                        prefixes: flush.len() as u32,
                     },
                 );
-                self.sync_peer(peer, &pending, now);
+                self.sync_peer(pi, &flush, now);
             }
+            self.scratch_flush = flush;
         }
         self.pump(now);
     }
@@ -336,14 +395,12 @@ impl BgpSpeaker {
     pub fn next_deadline(&self) -> Option<SimTime> {
         let session_min = self
             .sessions
-            .values()
-            .filter_map(|s| s.next_deadline())
-            .min();
-        let mrai_min = self
-            .mrai_pending
             .iter()
-            .filter(|(_, pending)| !pending.is_empty())
-            .filter_map(|(peer, _)| self.mrai_ready.get(peer).copied())
+            .filter_map(Session::next_deadline)
+            .min();
+        let mrai_min = (0..self.sessions.len())
+            .filter(|&pi| !self.mrai_pending[pi].is_empty())
+            .map(|pi| self.mrai_ready[pi])
             .min();
         match (session_min, mrai_min) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -354,20 +411,16 @@ impl BgpSpeaker {
     /// Originates a new network at runtime.
     pub fn originate(&mut self, prefix: Ipv4Prefix, now: SimTime) {
         self.deadline_dirty = true;
-        self.rib.originate(prefix, self.config.router_id);
-        let mut set = BTreeSet::new();
-        set.insert(prefix);
-        self.reconcile(&set, now);
+        let id = self.rib.originate(prefix, self.config.router_id);
+        self.reconcile(&[id], now);
         self.pump(now);
     }
 
     /// Withdraws a locally originated network at runtime.
     pub fn withdraw(&mut self, prefix: Ipv4Prefix, now: SimTime) {
         self.deadline_dirty = true;
-        if self.rib.withdraw_local(prefix) {
-            let mut set = BTreeSet::new();
-            set.insert(prefix);
-            self.reconcile(&set, now);
+        if let Some(id) = self.rib.withdraw_local(prefix) {
+            self.reconcile(&[id], now);
             self.pump(now);
         }
     }
@@ -402,47 +455,52 @@ impl BgpSpeaker {
 
     /// State of the session to `peer`.
     pub fn session_state(&self, peer: Ipv4Addr) -> Option<SessionState> {
-        self.sessions.get(&peer).map(|s| s.state())
+        self.peer_idx(peer).map(|pi| self.sessions[pi].state())
     }
 
     /// True when every configured session is Established.
     pub fn fully_converged_sessions(&self) -> bool {
-        self.sessions.values().all(|s| s.is_established())
+        self.sessions.iter().all(Session::is_established)
     }
 
     /// Total messages sent across sessions (observability).
     pub fn msgs_sent(&self) -> u64 {
-        self.sessions.values().map(|s| s.msgs_sent).sum()
+        self.sessions.iter().map(|s| s.msgs_sent).sum()
     }
 
     /// Processes queued session events until quiescent.
     fn pump(&mut self, now: SimTime) {
         loop {
-            let mut work: Vec<(Ipv4Addr, SessionEvent)> = Vec::new();
-            for (peer, s) in &mut self.sessions {
+            let mut work = std::mem::take(&mut self.scratch_events);
+            work.clear();
+            for (pi, s) in self.sessions.iter_mut().enumerate() {
                 for ev in s.take_events() {
-                    work.push((*peer, ev));
+                    work.push((pi, ev));
                 }
             }
             if work.is_empty() {
+                self.scratch_events = work;
                 return;
             }
-            let mut affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
-            let mut newly_up: Vec<Ipv4Addr> = Vec::new();
-            for (peer, ev) in work {
+            let mut affected = std::mem::take(&mut self.scratch_affected);
+            affected.clear();
+            let mut newly_up = std::mem::take(&mut self.scratch_newly_up);
+            newly_up.clear();
+            for (pi, ev) in work.drain(..) {
+                let peer = self.peer_addrs[pi];
                 match ev {
                     SessionEvent::SendBytes(bytes) => {
                         self.outputs.push(SpeakerOutput::SendBytes { peer, bytes });
                     }
                     SessionEvent::Established => {
-                        newly_up.push(peer);
+                        newly_up.push(pi);
                         self.outputs.push(SpeakerOutput::SessionUp { peer });
                     }
                     SessionEvent::Down(_) => {
                         affected.extend(self.rib.drop_peer(peer));
-                        self.adj_out.remove(&peer);
-                        self.mrai_pending.remove(&peer);
-                        self.mrai_ready.remove(&peer);
+                        self.adj_out[pi].clear();
+                        self.mrai_pending[pi].clear();
+                        self.mrai_ready[pi] = SimTime::ZERO;
                         self.outputs.push(SpeakerOutput::SessionDown { peer });
                     }
                     SessionEvent::Update(update) => {
@@ -458,27 +516,31 @@ impl BgpSpeaker {
                     }
                 }
             }
+            self.scratch_events = work;
             if !newly_up.is_empty() {
-                // One read of the persistent prefix index serves every
-                // newly established peer (the old code rebuilt the union
-                // of all per-peer tables once per peer).
-                let all = self.rib.prefixes();
-                for peer in newly_up {
-                    self.sync_peer(peer, &all, now);
+                // One read of the persistent live-prefix index serves every
+                // newly established peer.
+                let all = self.rib.live_prefix_ids();
+                for pi in newly_up.drain(..) {
+                    self.sync_peer(pi, &all, now);
                 }
             }
+            self.scratch_newly_up = newly_up;
             if !affected.is_empty() {
-                self.reconcile(&affected, now);
+                // Per-event slices are each value-sorted; merge the
+                // concatenation back into one sorted, deduped slice.
+                self.rib.sort_ids_by_value(&mut affected);
+                let ids = std::mem::take(&mut affected);
+                self.reconcile(&ids, now);
+                affected = ids;
             }
+            self.scratch_affected = affected;
         }
     }
 
-    /// Recomputes decisions for `prefixes`: reports FIB changes and
-    /// refreshes every established peer's advertisements.
-    fn reconcile(&mut self, prefixes: &BTreeSet<Ipv4Prefix>, now: SimTime) {
-        // Diff only the two decision counters around the reconcile: a full
-        // `rib.stats()` snapshot here costs ~4% wall on the convergence
-        // replay, the counter pair is noise-level.
+    /// Recomputes decisions for `ids` (sorted by prefix value): reports FIB
+    /// changes and refreshes every established peer's advertisements.
+    fn reconcile(&mut self, ids: &[PrefixId], now: SimTime) {
         // Diff only the two decision counters around the reconcile: a full
         // `rib.stats()` snapshot here costs ~4% wall on the convergence
         // replay, the counter pair is noise-level.
@@ -487,40 +549,41 @@ impl BgpSpeaker {
         } else {
             None
         };
+        if let Some(&max) = ids.iter().max() {
+            if max.index() >= self.fib_view.len() {
+                self.fib_view.resize(max.index() + 1, Vec::new());
+            }
+        }
         // 1. FIB-facing next-hop sets — one decision read per prefix; the
         //    memoized result also serves every peer sync below.
-        for prefix in prefixes {
-            let hops = match self.rib.decide(*prefix) {
+        for &id in ids {
+            let decision = self.rib.decide_id(id);
+            let slot = &mut self.fib_view[id.index()];
+            let hops: &[Ipv4Addr] = match &decision {
                 Some(d) if d.best.is_local() => {
                     // Locally originated prefixes are connected routes; the
                     // data plane already knows them. Report nothing.
-                    self.fib_view.remove(prefix);
+                    slot.clear();
                     continue;
                 }
-                Some(d) => d.next_hops.clone(),
-                None => Vec::new(),
+                Some(d) => &d.next_hops,
+                None => &[],
             };
-            let changed = match self.fib_view.get(prefix) {
-                Some(prev) => prev != &hops,
-                None => !hops.is_empty(),
-            };
-            if changed {
-                if hops.is_empty() {
-                    self.fib_view.remove(prefix);
-                } else {
-                    self.fib_view.insert(*prefix, hops.clone());
-                }
+            // Compare before cloning: the steady-state "nothing changed"
+            // case used to clone the hop set every time.
+            if slot.as_slice() != hops {
+                slot.clear();
+                slot.extend_from_slice(hops);
                 self.outputs.push(SpeakerOutput::RouteChanged {
-                    prefix: *prefix,
-                    next_hops: hops,
+                    prefix: self.rib.prefix_value(id),
+                    next_hops: hops.to_vec(),
                 });
             }
         }
-        // 2. Peer advertisements.
-        let peers: Vec<Ipv4Addr> = self.sessions.keys().copied().collect();
-        for peer in peers {
-            if self.sessions[&peer].is_established() {
-                self.sync_peer(peer, prefixes, now);
+        // 2. Peer advertisements, in ascending peer-address order.
+        for pi in 0..self.sessions.len() {
+            if self.sessions[pi].is_established() {
+                self.sync_peer(pi, ids, now);
             }
         }
         if let Some((decides_before, hits_before)) = counters_before {
@@ -535,50 +598,55 @@ impl BgpSpeaker {
         }
     }
 
-    /// Brings `peer`'s Adj-RIB-Out in line with the current decisions for
-    /// `prefixes`, emitting batched UPDATEs. Withdrawals always go out
-    /// immediately; announcements respect the MRAI hold-down (RFC 4271
-    /// §9.2.1.1) and are batched for the flush in [`BgpSpeaker::poll_timers`].
-    fn sync_peer(&mut self, peer: Ipv4Addr, prefixes: &BTreeSet<Ipv4Prefix>, now: SimTime) {
+    /// Brings a peer's Adj-RIB-Out in line with the current decisions for
+    /// `ids` (sorted by prefix value), emitting batched UPDATEs.
+    /// Withdrawals always go out immediately; announcements respect the
+    /// MRAI hold-down (RFC 4271 §9.2.1.1) and are batched for the flush in
+    /// [`BgpSpeaker::poll_timers`].
+    fn sync_peer(&mut self, pi: usize, ids: &[PrefixId], now: SimTime) {
         let mrai = self.config.timers.mrai;
-        let held =
-            !mrai.is_zero() && now < self.mrai_ready.get(&peer).copied().unwrap_or(SimTime::ZERO);
-        let mut withdraws: Vec<Ipv4Prefix> = Vec::new();
-        // Announcement batches grouped by interned attr id. `group_of`
-        // replaces the old linear deep-equality scan while keeping the
-        // first-occurrence group order, so the emitted UPDATE sequence is
-        // byte-identical.
-        let mut announces: Vec<(AttrId, Vec<Ipv4Prefix>)> = Vec::new();
-        let mut group_of: BTreeMap<AttrId, usize> = BTreeMap::new();
-        for prefix in prefixes {
-            let desired = match self.rib.decide(*prefix) {
-                Some(d) => self.export_route(peer, &d),
+        let held = !mrai.is_zero() && now < self.mrai_ready[pi];
+        let mut withdraws = std::mem::take(&mut self.scratch_withdraws);
+        withdraws.clear();
+        // Announcement batches grouped by interned attr id, in
+        // first-occurrence order so the emitted UPDATE sequence is
+        // byte-identical to the address-keyed implementation.
+        let mut announces = std::mem::take(&mut self.scratch_groups);
+        announces.clear();
+        let mut group_of = std::mem::take(&mut self.scratch_group_of);
+        group_of.clear();
+        for &id in ids {
+            let desired = match self.rib.decide_id(id) {
+                Some(d) => self.export_route(pi, &d),
                 None => None,
             };
-            let current = self.adj_out.get(&peer).and_then(|t| t.get(prefix)).copied();
-            match (current, desired) {
-                (Some(_), None) => {
-                    withdraws.push(*prefix);
-                    self.adj_out.get_mut(&peer).expect("present").remove(prefix);
+            let row = &mut self.adj_out[pi];
+            if id.index() >= row.len() {
+                row.resize(id.index() + 1, NO_ATTR);
+            }
+            let current = row[id.index()];
+            match desired {
+                None if current != NO_ATTR => {
+                    withdraws.push(self.rib.prefix_value(id));
+                    row[id.index()] = NO_ATTR;
                     // A pending announcement for a now-withdrawn prefix is
                     // obsolete.
-                    if let Some(p) = self.mrai_pending.get_mut(&peer) {
-                        p.remove(prefix);
-                    }
+                    self.mrai_pending[pi].remove(id.0);
                 }
-                (cur, Some(want)) if cur != Some(want) => {
+                Some(want) if current != want.index() => {
                     if held {
-                        self.mrai_pending.entry(peer).or_default().insert(*prefix);
+                        self.mrai_pending[pi].insert(id.0);
                         continue;
                     }
-                    match group_of.get(&want) {
-                        Some(&g) => announces[g].1.push(*prefix),
+                    let raw = want.index();
+                    match group_of.get(&raw) {
+                        Some(&g) => announces[g].1.push(self.rib.prefix_value(id)),
                         None => {
-                            group_of.insert(want, announces.len());
-                            announces.push((want, vec![*prefix]));
+                            group_of.insert(raw, announces.len());
+                            announces.push((want, vec![self.rib.prefix_value(id)]));
                         }
                     }
-                    self.adj_out.entry(peer).or_default().insert(*prefix, want);
+                    self.adj_out[pi][id.index()] = raw;
                 }
                 _ => {}
             }
@@ -588,58 +656,58 @@ impl BgpSpeaker {
             self.tracer.record(
                 now,
                 TraceData::BgpTx {
-                    peer: u32::from(peer),
+                    peer: u32::from(self.peer_addrs[pi]),
                     announced: 0,
                     withdrawn: withdraws.len() as u32,
                 },
             );
-            let session = self.sessions.get_mut(&peer).expect("known peer");
-            session.send_update(UpdateMsg {
-                withdrawn: withdraws,
+            self.sessions[pi].send_update(UpdateMsg {
+                withdrawn: std::mem::take(&mut withdraws),
                 attrs: None,
                 nlri: vec![],
             });
         }
-        for (attr, nlri) in announces {
+        for (attr, nlri) in announces.drain(..) {
             // The UPDATE shares the store's canonical allocation.
-            let attrs = Arc::clone(self.rib.attrs_of(attr));
+            let attrs = self.rib.attrs_of(attr);
             self.tracer.record(
                 now,
                 TraceData::BgpTx {
-                    peer: u32::from(peer),
+                    peer: u32::from(self.peer_addrs[pi]),
                     announced: nlri.len() as u32,
                     withdrawn: 0,
                 },
             );
-            let session = self.sessions.get_mut(&peer).expect("known peer");
-            session.send_update(UpdateMsg {
+            self.sessions[pi].send_update(UpdateMsg {
                 withdrawn: vec![],
                 attrs: Some(attrs),
                 nlri,
             });
         }
         if sent_announcements && !mrai.is_zero() {
-            self.mrai_ready.insert(peer, now + mrai);
+            self.mrai_ready[pi] = now + mrai;
         }
+        self.scratch_withdraws = withdraws;
+        self.scratch_groups = announces;
+        self.scratch_group_of = group_of;
     }
 
-    /// eBGP export policy for `peer`: split horizon, prepend own AS,
-    /// next-hop-self, strip LOCAL_PREF and MED. The transform (everything
-    /// past split horizon) is memoized per `(peer, AttrId)`.
-    fn export_route(&mut self, peer: Ipv4Addr, decision: &Decision) -> Option<AttrId> {
-        if decision.best.peer == peer {
+    /// eBGP export policy for the peer at index `pi`: split horizon,
+    /// prepend own AS, next-hop-self, strip LOCAL_PREF and MED. The
+    /// transform (everything past split horizon) is memoized per
+    /// `(peer, AttrId)`.
+    fn export_route(&mut self, pi: usize, decision: &Decision) -> Option<AttrId> {
+        if decision.best.peer == self.peer_addrs[pi] {
             return None; // split horizon
         }
-        let key = (peer, decision.best.attr_id);
-        if let Some(cached) = self.export_cache.get(&key) {
+        let key = decision.best.attr_id.index();
+        if let Some(cached) = self.export_cache[pi].get(&key) {
             self.export_hits += 1;
             return *cached;
         }
         self.export_misses += 1;
-        let (remote_as, local_addr) = {
-            let cfg = &self.sessions[&peer].config;
-            (cfg.remote_as, cfg.local_addr)
-        };
+        let cfg = &self.sessions[pi].config;
+        let (remote_as, local_addr) = (cfg.remote_as, cfg.local_addr);
         // Sending a path containing the peer's AS would be rejected by its
         // loop check anyway; suppress it to save messages (common policy).
         let exported = if decision.best.attrs.contains_asn(remote_as) {
@@ -651,7 +719,7 @@ impl BgpSpeaker {
             out.med = None;
             Some(self.rib.intern_attrs(out))
         };
-        self.export_cache.insert(key, exported);
+        self.export_cache[pi].insert(key, exported);
         exported
     }
 }
@@ -660,6 +728,7 @@ impl BgpSpeaker {
 mod tests {
     use super::*;
     use horse_sim::SimDuration;
+    use std::collections::{BTreeMap, BTreeSet};
 
     /// A tiny in-memory harness wiring speakers point-to-point.
     struct Harness {
@@ -1241,5 +1310,72 @@ mod tests {
             after.export_cache_misses, before.export_cache_misses,
             "no new export computation on a flap + re-announce"
         );
+    }
+
+    #[test]
+    fn shared_pool_speakers_converge_identically() {
+        // Same two-router topology twice: private stores vs one shared
+        // pool. FIBs and message counts must be identical; the pool ends
+        // up with every distinct attribute set interned once.
+        let build = |pool: Option<crate::rib::AttrPool>| {
+            let mk = |asn, id: [u8; 4], peers: Vec<(Ipv4Addr, Ipv4Addr, u16)>, nets: Vec<&str>| {
+                let config = BgpConfig {
+                    asn,
+                    router_id: Ipv4Addr::from(id),
+                    timers: quick_timers(),
+                    peers: peers
+                        .into_iter()
+                        .map(|(peer_addr, local_addr, remote_as)| PeerConfig {
+                            peer_addr,
+                            local_addr,
+                            remote_as,
+                        })
+                        .collect(),
+                    networks: nets.iter().map(|s| s.parse().unwrap()).collect(),
+                    multipath: true,
+                };
+                match &pool {
+                    Some(p) => BgpSpeaker::new_with_pool(config, p.clone()),
+                    None => BgpSpeaker::new(config),
+                }
+            };
+            let r1 = mk(
+                65001,
+                [1, 1, 1, 1],
+                vec![(addr(0, 2), addr(0, 1), 65002)],
+                vec!["10.1.0.0/16", "10.3.0.0/16"],
+            );
+            let r2 = mk(
+                65002,
+                [2, 2, 2, 2],
+                vec![(addr(0, 1), addr(0, 2), 65001)],
+                vec!["10.2.0.0/16"],
+            );
+            let mut h = Harness::new(vec![r1, r2]);
+            h.start(SimTime::ZERO);
+            h
+        };
+        let private = build(None);
+        let pool = crate::rib::AttrPool::new();
+        let shared = build(Some(pool.clone()));
+        for i in 0..2 {
+            assert_eq!(private.fib_of(i), shared.fib_of(i), "speaker {i} FIB");
+            assert_eq!(
+                private.speakers[i].msgs_sent(),
+                shared.speakers[i].msgs_sent()
+            );
+        }
+        // The pool holds the union of both speakers' distinct sets, and the
+        // per-speaker store-size figure is zeroed so a merged report counts
+        // the pool once.
+        let private_total: u64 = (0..2)
+            .map(|i| private.speakers[i].rib_stats().attr_store_size)
+            .sum();
+        assert!(pool.len() as u64 <= private_total);
+        assert!(pool.len() >= 2, "both speakers interned into one pool");
+        let shared_total: u64 = (0..2)
+            .map(|i| shared.speakers[i].rib_stats().attr_store_size)
+            .sum();
+        assert_eq!(shared_total, 0);
     }
 }

@@ -1,19 +1,23 @@
-//! Differential property test: the indexed/memoized [`LocRib`] must be
-//! observationally identical to the pre-index reference model
-//! [`NaiveRib`] under arbitrary operation sequences.
+//! Differential property test: the compact-id [`LocRib`] must be
+//! observationally identical to BOTH reference models — the address-keyed
+//! indexed RIB ([`BtreeRib`], the pre-compact-id shape) and the pre-index
+//! [`NaiveRib`] — under arbitrary operation sequences.
 //!
-//! Every operation's affected-set is compared, and after every operation
-//! the full observable surface is compared: the prefix index, and per
-//! prefix the decision (best path, multipath set, order included) and the
-//! effective next-hop set. Attribute pools are deliberately tiny so
-//! interning collisions, redundant re-announcements, and AS-loop
-//! filtering all occur often.
+//! Every operation's affected-set is compared (the compact-id RIB returns
+//! value-sorted `PrefixId` slices, mapped back through its interner), and
+//! after every operation the full observable surface is compared: the
+//! prefix index, and per prefix the decision (best path, multipath set,
+//! order included) and the effective next-hop set. Attribute pools are
+//! deliberately tiny so interning collisions, redundant re-announcements,
+//! and AS-loop filtering all occur often.
 
 use horse_bgp::msg::{AsPathSegment, Origin, PathAttributes, UpdateMsg};
 use horse_bgp::naive::{NaiveDecision, NaiveRib};
-use horse_bgp::{Decision, LocRib};
+use horse_bgp::{BtreeRib, Decision, LocRib};
 use horse_net::addr::Ipv4Prefix;
+use horse_net::intern::PrefixId;
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -137,16 +141,30 @@ fn flatten_naive(d: &NaiveDecision<'_>, hops: Vec<Ipv4Addr>) -> FlatDecision {
     )
 }
 
+/// Maps the compact-id RIB's affected slice back to prefix values. Also
+/// asserts the value-sorted contract every downstream consumer relies on.
+fn values_of(rib: &LocRib, ids: &[PrefixId]) -> BTreeSet<Ipv4Prefix> {
+    let values: Vec<Ipv4Prefix> = ids.iter().map(|&id| rib.prefix_value(id)).collect();
+    let set: BTreeSet<Ipv4Prefix> = values.iter().copied().collect();
+    assert_eq!(
+        values,
+        set.iter().copied().collect::<Vec<_>>(),
+        "affected ids must arrive sorted by prefix value, deduped"
+    );
+    set
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(1024))]
 
     #[test]
-    fn indexed_rib_matches_naive_model(
+    fn compact_rib_matches_both_reference_models(
         pool in prop::collection::vec(attrs(), 5),
         multipath in any::<bool>(),
         script in ops(),
     ) {
         let mut fast = LocRib::new(LOCAL_AS, multipath);
+        let mut btree = BtreeRib::new(LOCAL_AS, multipath);
         let mut naive = NaiveRib::new(LOCAL_AS, multipath);
 
         for op in &script {
@@ -159,40 +177,54 @@ proptest! {
                         nlri: nlri.iter().map(|i| prefix(*i)).collect(),
                     };
                     let af = fast.update_from_peer(addr, ebgp, &update);
+                    let ab = btree.update_from_peer(addr, ebgp, &update);
                     let an = naive.update_from_peer(addr, ebgp, &update);
-                    prop_assert_eq!(af, an, "affected sets diverge on {:?}", op);
+                    let af = values_of(&fast, &af);
+                    prop_assert_eq!(&af, &ab, "affected sets diverge (btree) on {:?}", op);
+                    prop_assert_eq!(af, an, "affected sets diverge (naive) on {:?}", op);
                 }
                 Op::DropPeer { peer: pi } => {
                     let (addr, _) = peer(*pi);
-                    prop_assert_eq!(
-                        fast.drop_peer(addr),
-                        naive.drop_peer(addr),
-                        "drop_peer affected sets diverge"
-                    );
+                    let af = fast.drop_peer(addr);
+                    let ab = btree.drop_peer(addr);
+                    let an = naive.drop_peer(addr);
+                    let af = values_of(&fast, &af);
+                    prop_assert_eq!(&af, &ab, "drop_peer affected sets diverge (btree)");
+                    prop_assert_eq!(af, an, "drop_peer affected sets diverge (naive)");
                 }
                 Op::Originate { prefix: qi, next_hop } => {
                     let nh = Ipv4Addr::new(10, 99, 0, (*next_hop as u8) + 1);
-                    fast.originate(prefix(*qi), nh);
+                    let id = fast.originate(prefix(*qi), nh);
+                    prop_assert_eq!(fast.prefix_value(id), prefix(*qi));
+                    btree.originate(prefix(*qi), nh);
                     naive.originate(prefix(*qi), nh);
                 }
                 Op::WithdrawLocal { prefix: qi } => {
-                    prop_assert_eq!(
-                        fast.withdraw_local(prefix(*qi)),
-                        naive.withdraw_local(prefix(*qi)),
-                        "withdraw_local results diverge"
-                    );
+                    let wf = fast.withdraw_local(prefix(*qi));
+                    let wb = btree.withdraw_local(prefix(*qi));
+                    let wn = naive.withdraw_local(prefix(*qi));
+                    if let Some(id) = wf {
+                        prop_assert_eq!(fast.prefix_value(id), prefix(*qi));
+                    }
+                    prop_assert_eq!(wf.is_some(), wb, "withdraw_local diverges (btree)");
+                    prop_assert_eq!(wf.is_some(), wn, "withdraw_local diverges (naive)");
                 }
             }
 
             // Full observable surface after every operation.
+            prop_assert_eq!(fast.prefixes(), btree.prefixes());
             prop_assert_eq!(fast.prefixes(), naive.prefixes());
+            prop_assert_eq!(fast.prefix_count(), btree.prefix_count());
             for qi in 0..6 {
                 let p = prefix(qi);
                 let df = fast.decide(p).map(|d| flatten_fast(&d));
+                let db = btree.decide(p).map(|d| flatten_fast(&d));
                 let dn = naive
                     .decide(p)
                     .map(|d| flatten_naive(&d, naive.next_hops(p)));
-                prop_assert_eq!(df, dn, "decision diverges for {:?} after {:?}", p, op);
+                prop_assert_eq!(&df, &db, "decision diverges (btree) for {:?} after {:?}", p, op);
+                prop_assert_eq!(df, dn, "decision diverges (naive) for {:?} after {:?}", p, op);
+                prop_assert_eq!(fast.next_hops(p), btree.next_hops(p));
                 prop_assert_eq!(fast.next_hops(p), naive.next_hops(p));
             }
         }

@@ -14,6 +14,7 @@
 //! | `HORSE_THREADS` | [`RunConfig::threads`] | Sweep worker count (1 = serial path) |
 //! | `HORSE_RESULTS_DIR` | [`RunConfig::results_dir`] | Bench output directory |
 //! | `HORSE_RIB_MIN_SPEEDUP` | [`RunConfig::rib_min_speedup`] | `rib_churn` wall-ratio gate |
+//! | `HORSE_TABLE_MIN_SPEEDUP` | [`RunConfig::table_min_speedup`] | `table_scale` wall-ratio gate |
 //! | `HORSE_SWEEP_MIN_SPEEDUP` | [`RunConfig::sweep_min_speedup`] | `sweep_scaling` gate |
 //! | `HORSE_TRACE_MAX_OVERHEAD` | [`RunConfig::trace_max_overhead`] | Tracing overhead gate (`rib_churn`) |
 //! | `HORSE_PUMP_MODE` | [`RunConfig::pump_mode`] | `readiness` (default) or `fullpoll` |
@@ -39,6 +40,9 @@ pub struct RunConfig {
     pub results_dir: PathBuf,
     /// Minimum wall speedup `rib_churn` must demonstrate, if gating.
     pub rib_min_speedup: Option<f64>,
+    /// Minimum decide-path wall speedup `table_scale` must demonstrate
+    /// (compact-id RIB vs the address-keyed baseline), if gating.
+    pub table_min_speedup: Option<f64>,
     /// Minimum parallel speedup `sweep_scaling` must demonstrate.
     pub sweep_min_speedup: Option<f64>,
     /// Maximum fractional wall overhead the tracing layer may add
@@ -76,6 +80,7 @@ impl Default for RunConfig {
             threads: None,
             results_dir: PathBuf::from("bench_results"),
             rib_min_speedup: None,
+            table_min_speedup: None,
             sweep_min_speedup: None,
             trace_max_overhead: None,
             pump_mode: PumpMode::Readiness,
@@ -147,6 +152,7 @@ impl RunConfig {
             threads,
             results_dir,
             rib_min_speedup: float("HORSE_RIB_MIN_SPEEDUP"),
+            table_min_speedup: float("HORSE_TABLE_MIN_SPEEDUP"),
             sweep_min_speedup: float("HORSE_SWEEP_MIN_SPEEDUP"),
             trace_max_overhead: float("HORSE_TRACE_MAX_OVERHEAD"),
             pump_mode,
@@ -195,6 +201,7 @@ mod tests {
             ("HORSE_THREADS", "4"),
             ("HORSE_RESULTS_DIR", "/tmp/out"),
             ("HORSE_RIB_MIN_SPEEDUP", "1.5"),
+            ("HORSE_TABLE_MIN_SPEEDUP", "2"),
             ("HORSE_SWEEP_MIN_SPEEDUP", "3"),
             ("HORSE_TRACE_MAX_OVERHEAD", "0.02"),
             ("HORSE_PUMP_MODE", "fullpoll"),
@@ -208,6 +215,7 @@ mod tests {
         assert_eq!(cfg.threads(), 4);
         assert_eq!(cfg.results_dir, PathBuf::from("/tmp/out"));
         assert_eq!(cfg.rib_min_speedup, Some(1.5));
+        assert_eq!(cfg.table_min_speedup, Some(2.0));
         assert_eq!(cfg.sweep_min_speedup, Some(3.0));
         assert_eq!(cfg.trace_max_overhead, Some(0.02));
         assert_eq!(cfg.pump_mode, PumpMode::FullPoll);

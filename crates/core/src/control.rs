@@ -30,7 +30,7 @@
 //! sweep instants, same outputs) and whose only difference is cost, which
 //! [`PumpStats`] makes visible.
 
-use horse_bgp::rib::RibStats;
+use horse_bgp::rib::{AttrPool, RibStats};
 use horse_bgp::speaker::{BgpSpeaker, SpeakerOutput};
 use horse_cm::FibInstaller;
 use horse_controller::{EcmpApp, HederaApp};
@@ -212,6 +212,15 @@ impl ControlPlane {
         }
     }
 
+    /// Memory-shape counters `(prefix_ids, peer_ids, attr_entries,
+    /// attr_bytes_est)` — zero for non-BGP control planes.
+    pub fn mem_stats(&self) -> (u64, u64, u64, u64) {
+        match self {
+            ControlPlane::Bgp(b) => b.mem_stats(),
+            ControlPlane::None | ControlPlane::Sdn(_) => (0, 0, 0, 0),
+        }
+    }
+
     /// Starts daemons/handshakes at time `now`.
     pub fn start(&mut self, now: SimTime, dp: &mut DataPlane) {
         match self {
@@ -343,6 +352,10 @@ pub struct BgpControl {
     /// Structured trace sink for pump-level events (per-node pump reasons,
     /// link changes).
     tracer: Tracer,
+    /// The run-wide shared attribute pool every speaker interns into —
+    /// each distinct attribute set is stored once per run, not once per
+    /// speaker.
+    attr_pool: AttrPool,
 }
 
 impl BgpControl {
@@ -354,6 +367,7 @@ impl BgpControl {
         let mut link_of_session = BTreeMap::new();
         let mut installer = FibInstaller::new();
         let mut connected = Vec::new();
+        let attr_pool = AttrPool::new();
         for (node, setup) in &setups {
             installer.register(*node, setup.addr_to_port.clone());
             for (pfx, port) in &setup.connected {
@@ -370,7 +384,10 @@ impl BgpControl {
                 local_addr_of.insert((*node, peer.peer_addr), peer.local_addr);
                 link_of_session.insert((*node, peer.peer_addr), lid);
             }
-            speakers.insert(*node, BgpSpeaker::new(setup.config.clone()));
+            speakers.insert(
+                *node,
+                BgpSpeaker::new_with_pool(setup.config.clone(), attr_pool.clone()),
+            );
         }
         BgpControl {
             speakers,
@@ -386,16 +403,37 @@ impl BgpControl {
             stats: PumpStats::default(),
             installs: 0,
             tracer: Tracer::default(),
+            attr_pool,
         }
     }
 
-    /// RIB + export-cache work counters summed over every speaker.
+    /// RIB + export-cache work counters summed over every speaker. Sharers
+    /// report `attr_store_size = 0`; the pool's table is counted here once.
     pub fn rib_stats(&self) -> RibStats {
         let mut out = RibStats::default();
         for s in self.speakers.values() {
             out.merge(&s.rib_stats());
         }
+        out.attr_store_size += self.attr_pool.len() as u64;
         out
+    }
+
+    /// Memory-shape figures for the report: summed interner sizes across
+    /// speakers plus the shared pool's entry count and byte estimate.
+    pub fn mem_stats(&self) -> (u64, u64, u64, u64) {
+        let mut prefix_ids = 0u64;
+        let mut peer_ids = 0u64;
+        for s in self.speakers.values() {
+            let (p, n) = s.rib().interner_sizes();
+            prefix_ids += p as u64;
+            peer_ids += n as u64;
+        }
+        (
+            prefix_ids,
+            peer_ids,
+            self.attr_pool.len() as u64,
+            self.attr_pool.bytes_estimate(),
+        )
     }
 
     fn start(&mut self, now: SimTime, dp: &mut DataPlane) {

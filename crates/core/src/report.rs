@@ -5,6 +5,35 @@ use horse_sim::{ClockMode, ModeTransition, SimDuration, SimTime};
 use horse_stats::{json_f64, json_string, Json, SeriesSet};
 use horse_trace::TraceSummary;
 
+/// Peak resident set size of this process in bytes (Linux `VmHWM` from
+/// `/proc/self/status`; 0 on other platforms or read failure). Process-wide
+/// and monotone: in a sweep batch it reports the high-water mark across
+/// every run so far, not this run's increment.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// Everything a finished experiment reports — the inputs for the demo's
 /// goodput graph (per TE approach) and for Figure 3's execution times.
 #[derive(Debug, Clone)]
@@ -74,6 +103,18 @@ pub struct ExperimentReport {
     pub rib_export_cache_hits: u64,
     /// Export-policy computations (cache misses).
     pub rib_export_cache_misses: u64,
+    /// Peak resident set size of the process in bytes (Linux `VmHWM`;
+    /// 0 where unavailable). Process-wide, so sweep batches sharing a
+    /// process see the max across runs so far.
+    pub mem_peak_rss_bytes: u64,
+    /// Distinct prefixes interned, summed over speakers.
+    pub mem_prefix_ids: u64,
+    /// Distinct peer addresses interned, summed over speakers.
+    pub mem_peer_ids: u64,
+    /// Entries in the run's shared path-attribute pool.
+    pub mem_attr_entries: u64,
+    /// Estimated bytes held by the shared path-attribute pool.
+    pub mem_attr_bytes_est: u64,
     /// Trace totals for the run (all-zero when tracing was off).
     pub trace: TraceSummary,
 }
@@ -259,6 +300,19 @@ impl ExperimentReport {
             "  \"rib_export_cache_misses\": {},",
             self.rib_export_cache_misses
         );
+        let _ = writeln!(
+            out,
+            "  \"mem_peak_rss_bytes\": {},",
+            self.mem_peak_rss_bytes
+        );
+        let _ = writeln!(out, "  \"mem_prefix_ids\": {},", self.mem_prefix_ids);
+        let _ = writeln!(out, "  \"mem_peer_ids\": {},", self.mem_peer_ids);
+        let _ = writeln!(out, "  \"mem_attr_entries\": {},", self.mem_attr_entries);
+        let _ = writeln!(
+            out,
+            "  \"mem_attr_bytes_est\": {},",
+            self.mem_attr_bytes_est
+        );
         let _ = writeln!(out, "  \"trace_events\": {},", self.trace.events);
         let _ = writeln!(out, "  \"trace_dropped\": {},", self.trace.dropped);
         let _ = writeln!(
@@ -278,12 +332,12 @@ impl ExperimentReport {
     /// Every cost-only `u64` counter in the report, as one table. This is
     /// the single place that decides what [`ExperimentReport::semantic_json`]
     /// zeroes: any counter that measures *how hard the engine worked* (pump
-    /// effort, RIB caching, trace volume) belongs here; anything describing
-    /// *what the experiment computed* does not. Adding a counter to the
-    /// struct without adding it here would leak it into semantic
-    /// comparisons, so the unit test below checks every `pump_`/`rib_`/
-    /// `trace_`-prefixed JSON key comes out zero.
-    fn cost_counters_mut(&mut self) -> [&mut u64; 17] {
+    /// effort, RIB caching, memory shape, trace volume) belongs here;
+    /// anything describing *what the experiment computed* does not. Adding
+    /// a counter to the struct without adding it here would leak it into
+    /// semantic comparisons, so the unit test below checks every
+    /// `pump_`/`rib_`/`mem_`/`trace_`-prefixed JSON key comes out zero.
+    fn cost_counters_mut(&mut self) -> [&mut u64; 22] {
         [
             &mut self.pump_steps,
             &mut self.pump_nodes_total,
@@ -298,6 +352,11 @@ impl ExperimentReport {
             &mut self.rib_attr_store_peak,
             &mut self.rib_export_cache_hits,
             &mut self.rib_export_cache_misses,
+            &mut self.mem_peak_rss_bytes,
+            &mut self.mem_prefix_ids,
+            &mut self.mem_peer_ids,
+            &mut self.mem_attr_entries,
+            &mut self.mem_attr_bytes_est,
             &mut self.trace.events,
             &mut self.trace.dropped,
             &mut self.trace.fti_attributed_ns,
@@ -417,6 +476,12 @@ impl ExperimentReport {
             rib_attr_store_peak: opt_num("rib_attr_store_peak"),
             rib_export_cache_hits: opt_num("rib_export_cache_hits"),
             rib_export_cache_misses: opt_num("rib_export_cache_misses"),
+            // Absent in pre-mem-stats dumps: default to 0.
+            mem_peak_rss_bytes: opt_num("mem_peak_rss_bytes"),
+            mem_prefix_ids: opt_num("mem_prefix_ids"),
+            mem_peer_ids: opt_num("mem_peer_ids"),
+            mem_attr_entries: opt_num("mem_attr_entries"),
+            mem_attr_bytes_est: opt_num("mem_attr_bytes_est"),
             // Absent in pre-trace dumps: default to 0.
             trace: TraceSummary {
                 events: opt_num("trace_events"),
@@ -467,6 +532,11 @@ mod tests {
             rib_attr_store_peak: 11,
             rib_export_cache_hits: 12,
             rib_export_cache_misses: 13,
+            mem_peak_rss_bytes: 18,
+            mem_prefix_ids: 19,
+            mem_peer_ids: 20,
+            mem_attr_entries: 21,
+            mem_attr_bytes_est: 22,
             trace: TraceSummary {
                 events: 14,
                 dropped: 15,
@@ -487,6 +557,7 @@ mod tests {
         for (key, value) in fields {
             let is_cost = key.starts_with("pump_")
                 || key.starts_with("rib_")
+                || key.starts_with("mem_")
                 || key.starts_with("trace_")
                 || key.starts_with("wall_");
             if !is_cost {
@@ -499,9 +570,9 @@ mod tests {
                 "cost key {key:?} not zeroed in semantic_json"
             );
         }
-        // 17 counters + 2 wall times; a miscount here means a counter was
+        // 22 counters + 2 wall times; a miscount here means a counter was
         // added to the struct but not to `cost_counters_mut`.
-        assert_eq!(checked, 19, "unexpected number of cost keys");
+        assert_eq!(checked, 24, "unexpected number of cost keys");
     }
 
     #[test]

@@ -563,6 +563,7 @@ impl Runner {
         self.sample(end);
         let pump = self.control.pump_stats();
         let rib = self.control.rib_stats();
+        let mem = self.control.mem_stats();
         let trace = if self.tracer.enabled() {
             self.trace_modes();
             let mut logs = Vec::new();
@@ -612,6 +613,11 @@ impl Runner {
             rib_attr_store_peak: rib.attr_store_size,
             rib_export_cache_hits: rib.export_cache_hits,
             rib_export_cache_misses: rib.export_cache_misses,
+            mem_peak_rss_bytes: crate::report::peak_rss_bytes(),
+            mem_prefix_ids: mem.0,
+            mem_peer_ids: mem.1,
+            mem_attr_entries: mem.2,
+            mem_attr_bytes_est: mem.3,
             trace,
         }
     }

@@ -1,0 +1,327 @@
+//! Compact-id interning for hot routing-table keys.
+//!
+//! The BGP RIB and speaker keep per-prefix and per-peer state. Keyed by the
+//! address structs themselves (`Ipv4Prefix`, `Ipv4Addr`) every map probe
+//! costs a tree walk and every entry carries the full key; production
+//! routing daemons instead intern each key once and index dense arrays by
+//! the resulting small integer. This module provides that layer:
+//!
+//! * [`PrefixId`] / [`PeerId`] — `u32` ids assigned in **first-intern
+//!   order**, mirroring the `AttrId` discipline of the attribute store:
+//!   equal event sequences produce equal ids, ids are never reused or
+//!   compacted, and the id→value table is stable for the interner's
+//!   lifetime.
+//! * [`PrefixInterner`] / [`PeerInterner`] — the two typed interners, each
+//!   a hash map (value → id) plus a dense table (id → value).
+//! * [`IdSet`] — a growable bitset over ids with an exact element count,
+//!   for membership state like per-peer Adj-RIB-In indexes.
+//!
+//! Ids deliberately do **not** order like their values (they order by first
+//! appearance). Consumers that must iterate in value order — every
+//! determinism-sensitive path — sort id slices with the interner's
+//! [`PrefixInterner::sort_key`], which is monotone in the value's `Ord`.
+
+use crate::addr::Ipv4Prefix;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Stable id of an interned [`Ipv4Prefix`] (first-intern order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PrefixId(pub u32);
+
+impl PrefixId {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Stable id of an interned peer address (first-intern order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interner for [`Ipv4Prefix`] keys.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixInterner {
+    ids: HashMap<Ipv4Prefix, PrefixId>,
+    values: Vec<Ipv4Prefix>,
+}
+
+impl PrefixInterner {
+    /// Interns `p`, returning its stable id (allocating one on first
+    /// sight).
+    pub fn intern(&mut self, p: Ipv4Prefix) -> PrefixId {
+        if let Some(&id) = self.ids.get(&p) {
+            return id;
+        }
+        let id = PrefixId(self.values.len() as u32);
+        self.ids.insert(p, id);
+        self.values.push(p);
+        id
+    }
+
+    /// The id of `p`, if it has ever been interned.
+    pub fn get(&self, p: Ipv4Prefix) -> Option<PrefixId> {
+        self.ids.get(&p).copied()
+    }
+
+    /// The value behind an id.
+    pub fn value(&self, id: PrefixId) -> Ipv4Prefix {
+        self.values[id.index()]
+    }
+
+    /// Number of distinct prefixes interned (monotone — also the peak).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A `u64` key that orders exactly like `Ipv4Prefix`'s `Ord`
+    /// (network first, then length): `(network << 8) | len`.
+    pub fn sort_key(&self, id: PrefixId) -> u64 {
+        let p = self.values[id.index()];
+        (u64::from(u32::from(p.network())) << 8) | u64::from(p.len())
+    }
+
+    /// Sorts (and dedups) an id slice into ascending **value** order — the
+    /// iteration order every determinism-sensitive consumer requires.
+    pub fn sort_by_value(&self, ids: &mut Vec<PrefixId>) {
+        ids.sort_unstable_by_key(|&id| self.sort_key(id));
+        ids.dedup();
+    }
+}
+
+/// Interner for peer addresses.
+#[derive(Debug, Clone, Default)]
+pub struct PeerInterner {
+    ids: HashMap<Ipv4Addr, PeerId>,
+    values: Vec<Ipv4Addr>,
+}
+
+impl PeerInterner {
+    /// Interns `a`, returning its stable id.
+    pub fn intern(&mut self, a: Ipv4Addr) -> PeerId {
+        if let Some(&id) = self.ids.get(&a) {
+            return id;
+        }
+        let id = PeerId(self.values.len() as u32);
+        self.ids.insert(a, id);
+        self.values.push(a);
+        id
+    }
+
+    /// The id of `a`, if it has ever been interned.
+    pub fn get(&self, a: Ipv4Addr) -> Option<PeerId> {
+        self.ids.get(&a).copied()
+    }
+
+    /// The value behind an id.
+    pub fn value(&self, id: PeerId) -> Ipv4Addr {
+        self.values[id.index()]
+    }
+
+    /// Number of distinct addresses interned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A growable bitset over `u32` ids with an exact element count.
+///
+/// Insert/remove/contains are O(1); iteration yields ids in ascending
+/// **id** order (first-intern order), so callers needing value order must
+/// sort through the interner afterwards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IdSet {
+    /// An empty set.
+    pub fn new() -> IdSet {
+        IdSet::default()
+    }
+
+    /// Adds `id`; true when it was absent.
+    pub fn insert(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Removes `id`; true when it was present.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Exact element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no ids are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every id (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Ids in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(wi as u32 * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ids_are_first_intern_order_and_stable() {
+        let mut i = PrefixInterner::default();
+        let a = i.intern(pfx("10.2.0.0/16"));
+        let b = i.intern(pfx("10.1.0.0/16"));
+        assert_eq!(a, PrefixId(0), "first seen gets id 0, regardless of Ord");
+        assert_eq!(b, PrefixId(1));
+        assert_eq!(i.intern(pfx("10.2.0.0/16")), a, "re-intern is stable");
+        assert_eq!(i.value(a), pfx("10.2.0.0/16"));
+        assert_eq!(i.get(pfx("10.1.0.0/16")), Some(b));
+        assert_eq!(i.get(pfx("10.3.0.0/16")), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn sort_key_matches_prefix_ord() {
+        let mut i = PrefixInterner::default();
+        // Same network with different lengths, plus neighbors — cover the
+        // (network, len) lexicographic tie-break.
+        let values = [
+            pfx("10.1.0.0/16"),
+            pfx("10.1.0.0/24"),
+            pfx("10.0.255.0/24"),
+            pfx("10.2.0.0/16"),
+            pfx("0.0.0.0/0"),
+            pfx("255.255.255.255/32"),
+        ];
+        let ids: Vec<PrefixId> = values.iter().map(|&p| i.intern(p)).collect();
+        for &x in &ids {
+            for &y in &ids {
+                assert_eq!(
+                    i.sort_key(x).cmp(&i.sort_key(y)),
+                    i.value(x).cmp(&i.value(y)),
+                    "{:?} vs {:?}",
+                    i.value(x),
+                    i.value(y)
+                );
+            }
+        }
+        let mut sorted = ids.clone();
+        i.sort_by_value(&mut sorted);
+        let mut expect = values.to_vec();
+        expect.sort();
+        let got: Vec<Ipv4Prefix> = sorted.iter().map(|&id| i.value(id)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sort_by_value_dedups() {
+        let mut i = PrefixInterner::default();
+        let a = i.intern(pfx("10.2.0.0/16"));
+        let b = i.intern(pfx("10.1.0.0/16"));
+        let mut ids = vec![a, b, a, b, b];
+        i.sort_by_value(&mut ids);
+        assert_eq!(ids, vec![b, a]);
+    }
+
+    #[test]
+    fn peer_interner_round_trips() {
+        let mut i = PeerInterner::default();
+        let a = i.intern(Ipv4Addr::new(10, 0, 0, 9));
+        let b = i.intern(Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!((a, b), (PeerId(0), PeerId(1)));
+        assert_eq!(i.intern(Ipv4Addr::new(10, 0, 0, 9)), a);
+        assert_eq!(i.value(b), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn idset_tracks_exact_len_and_iterates_ascending() {
+        let mut s = IdSet::new();
+        assert!(s.insert(130));
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(!s.insert(130), "duplicate insert reports absent=false");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63));
+        assert!(!s.contains(62));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 130]);
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+        // Remove of an id beyond the allocated words is a no-op.
+        assert!(!s.remove(100_000));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

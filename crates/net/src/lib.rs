@@ -10,6 +10,8 @@
 //!   model never serializes data packets, but control-plane machinery does:
 //!   OpenFlow `PACKET_IN` carries genuine packet bytes, and ECMP hashing is
 //!   defined over genuine header fields.
+//! * [`intern`] — compact-id interners (`PrefixId`, `PeerId`) and id
+//!   bitsets backing the dense routing-table shapes in `horse-bgp`.
 //! * [`topology`] — nodes (hosts / switches / routers), ports, and
 //!   capacitated links.
 //! * [`flow`] — flow identities and specifications (5-tuples, demands,
@@ -20,11 +22,13 @@
 pub mod addr;
 pub mod flow;
 pub mod fluid;
+pub mod intern;
 pub mod packet;
 pub mod topology;
 
 pub use addr::{Ipv4Prefix, MacAddr};
 pub use flow::{FiveTuple, FlowId, FlowSpec, IpProto};
 pub use fluid::{FluidNetwork, RateChange};
+pub use intern::{IdSet, PeerId, PeerInterner, PrefixId, PrefixInterner};
 pub use packet::{EthernetHeader, Ipv4Header, Packet, TransportHeader};
 pub use topology::{LinkId, NodeId, NodeKind, PortId, Topology};

@@ -18,5 +18,5 @@ pub mod synth;
 
 pub use fattree::{BgpNodeSetup, FatTree, SwitchRole};
 pub use pattern::{TrafficPair, TrafficPattern};
-pub use shapes::{leaf_spine, linear, star, waxman_wan};
-pub use synth::bgp_setups_for;
+pub use shapes::{leaf_spine, linear, pop_wan, star, waxman_wan};
+pub use synth::{bgp_setups_for, bgp_setups_with_networks};

@@ -145,6 +145,54 @@ pub fn waxman_wan(
     (t, hosts, routers)
 }
 
+/// A deterministic PoP-style WAN sized for table-scale experiments: `pops`
+/// core routers on a ring with power-of-two chord shortcuts (diameter
+/// O(log pops), like a Chord overlay), each core fronting `leaves_per_pop`
+/// single-homed leaf routers. Unlike [`waxman_wan`] there is no RNG and no
+/// hosts — leaves are the origination points, and callers attach synthetic
+/// prefixes via [`crate::synth::bgp_setups_with_networks`]. Total nodes:
+/// `pops * (1 + leaves_per_pop)`. Returns `(topo, cores, leaves)`.
+pub fn pop_wan(
+    pops: usize,
+    leaves_per_pop: usize,
+    link_bps: f64,
+) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+    assert!((3..=250).contains(&pops));
+    assert!(pops * (1 + leaves_per_pop) <= 13_750, "router ip space");
+    let ip = |i: usize| Ipv4Addr::new(10, 200 + (i / 250) as u8, (i % 250) as u8, 1);
+    let mut t = Topology::new();
+    let cores: Vec<NodeId> = (0..pops)
+        .map(|p| t.add_router(format!("pop{p}"), ip(p)))
+        .collect();
+    let mut leaves = Vec::new();
+    for (p, &core) in cores.iter().enumerate() {
+        for l in 0..leaves_per_pop {
+            let idx = pops + p * leaves_per_pop + l;
+            let r = t.add_router(format!("pop{p}-leaf{l}"), ip(idx));
+            // Leaf uplink: metro distance, 1 ms.
+            t.add_link(r, core, link_bps, 1_000_000);
+            leaves.push(r);
+        }
+    }
+    // Core ring (5 ms long-haul), then chord shortcuts at power-of-two
+    // strides for a logarithmic diameter.
+    for p in 0..pops {
+        t.add_link(cores[p], cores[(p + 1) % pops], link_bps, 5_000_000);
+    }
+    let mut stride = 2;
+    while stride <= pops / 2 {
+        for p in 0..pops {
+            let q = (p + stride) % pops;
+            // At stride == pops/2 the chord p→q repeats as q→p.
+            if t.link_between(cores[p], cores[q]).is_none() {
+                t.add_link(cores[p], cores[q], link_bps, 5_000_000);
+            }
+        }
+        stride *= 2;
+    }
+    (t, cores, leaves)
+}
+
 fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
     ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
 }
@@ -206,6 +254,25 @@ mod tests {
             "sanity"
         );
         assert_eq!(t1.nodes_of_kind(NodeKind::Router).len(), 30);
+    }
+
+    #[test]
+    fn pop_wan_shape_and_diameter() {
+        let (t, cores, leaves) = pop_wan(8, 3, 1e9);
+        assert_eq!(cores.len(), 8);
+        assert_eq!(leaves.len(), 24);
+        assert_eq!(t.node_count(), 32);
+        assert_eq!(t.nodes_of_kind(NodeKind::Router).len(), 32);
+        // Ring (8) + strides 2 and 4 (8 + 4 after dedup) + leaf uplinks.
+        assert_eq!(t.link_count(), 8 + 8 + 4 + 24);
+        // Any leaf reaches any other leaf within leaf + log-ish core hops.
+        for l in &leaves {
+            let d = t.hop_distance(leaves[0], *l).expect("connected");
+            assert!(d <= 5, "diameter too large: {d}");
+        }
+        // Deterministic: no RNG, same call gives the same graph.
+        let (t2, ..) = pop_wan(8, 3, 1e9);
+        assert_eq!(t.link_count(), t2.link_count());
     }
 
     #[test]

@@ -26,7 +26,20 @@ fn p2p_addrs(lid: LinkId) -> (Ipv4Addr, Ipv4Addr) {
 /// `topo`. ASNs are `64512 + router-index` (in node-id order); multipath
 /// is enabled.
 pub fn bgp_setups_for(topo: &Topology, timers: TimerConfig) -> BTreeMap<NodeId, BgpNodeSetup> {
+    bgp_setups_with_networks(topo, timers, &BTreeMap::new())
+}
+
+/// [`bgp_setups_for`] plus caller-chosen originations: each router also
+/// announces the prefixes listed for it in `networks_of` (on top of any
+/// attached-host subnets). Hostless topologies like
+/// [`crate::shapes::pop_wan`] use this to originate synthetic tables.
+pub fn bgp_setups_with_networks(
+    topo: &Topology,
+    timers: TimerConfig,
+    networks_of: &BTreeMap<NodeId, Vec<Ipv4Prefix>>,
+) -> BTreeMap<NodeId, BgpNodeSetup> {
     let routers = topo.nodes_of_kind(NodeKind::Router);
+    assert!(routers.len() <= 1023, "private 16-bit ASN pool exhausted");
     let asn_of: BTreeMap<NodeId, u16> = routers
         .iter()
         .enumerate()
@@ -54,6 +67,9 @@ pub fn bgp_setups_for(topo: &Topology, timers: TimerConfig) -> BTreeMap<NodeId, 
                 connected.push((Ipv4Prefix::host(h.ip), port));
                 networks.push(h.subnet);
             }
+        }
+        if let Some(extra) = networks_of.get(&node) {
+            networks.extend(extra.iter().copied());
         }
         networks.sort();
         networks.dedup();
@@ -125,6 +141,35 @@ mod tests {
                 }));
             }
         }
+    }
+
+    #[test]
+    fn with_networks_originates_synthetic_prefixes() {
+        let (topo, cores, leaves) = crate::shapes::pop_wan(4, 2, 1e9);
+        let mut networks_of: BTreeMap<NodeId, Vec<Ipv4Prefix>> = BTreeMap::new();
+        for (i, leaf) in leaves.iter().enumerate() {
+            networks_of.insert(
+                *leaf,
+                vec![Ipv4Prefix::new(
+                    Ipv4Addr::from(0x2000_0000 | (i as u32) << 8),
+                    24,
+                )],
+            );
+        }
+        let setups = bgp_setups_with_networks(&topo, timers(), &networks_of);
+        assert_eq!(setups.len(), 12);
+        for core in &cores {
+            assert!(setups[core].config.networks.is_empty());
+        }
+        for leaf in &leaves {
+            assert_eq!(setups[leaf].config.networks, networks_of[leaf]);
+            assert!(setups[leaf].connected.is_empty(), "no hosts attached");
+        }
+        // Hostless routers still peer over every router-router link.
+        assert_eq!(
+            setups[&cores[0]].config.peers.len(),
+            topo.neighbors(cores[0]).len()
+        );
     }
 
     #[test]

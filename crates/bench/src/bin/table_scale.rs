@@ -24,24 +24,36 @@
 //! 2. **Scaling curve**. Deterministic PoP WANs
 //!    ([`horse_topo::pop_wan`]) of ~100, ~250 and 1000 routers, whose
 //!    leaf routers originate shares of a synthetic /24 table (up to
-//!    ~100k prefixes at the top point), converge on live speakers
-//!    sharing one [`AttrPool`] per run. Each row records wall seconds,
-//!    messages, RIB work counters, interner/pool sizes and peak RSS.
+//!    ~100k prefixes at the top point), converge through the real
+//!    [`horse_core::Experiment`] readiness pump — the same code path a
+//!    user's run takes, including `HORSE_RUN_THREADS` drain sharding and
+//!    the per-run shared attribute/prefix pools. Each row records wall
+//!    seconds, messages, RIB work counters, pool sizes, parallel-pump
+//!    counters and a *per-row* peak RSS (the kernel's high-water mark is
+//!    reset before each row via `/proc/self/clear_refs`; a `rss_reset`
+//!    flag in the JSON says whether that worked). The curve executes
+//!    *before* phase 1: the reset can only drop the high-water mark to
+//!    the current RSS, so an earlier phase's retained allocations would
+//!    floor every row's reported peak.
 //!
-//! Wall numbers are single-threaded; the JSON carries an honest `cores`
-//! field so multi-core CI gates and laptop runs read comparably.
+//! The JSON carries honest `cores` and `run_threads` fields so
+//! multi-core CI gates and laptop runs read comparably: a 1-core host
+//! can record `run_threads: 4` wall numbers, but only a multi-core one
+//! may gate on them.
 //!
 //! Run: `cargo run --release -p horse-bench --bin table_scale -- [k]
 //! [prefix_count]` (defaults: 16, 100000). Writes
 //! `bench_results/table_scale.json`. Set `HORSE_TABLE_MIN_SPEEDUP` to
-//! gate on the phase-1 wall ratio (CI runners).
+//! gate on the phase-1 wall ratio, and `HORSE_RUN_MIN_SPEEDUP` (with
+//! `HORSE_RUN_THREADS` > 1 on a multi-core host) to gate on the phase-2
+//! parallel-pump speedup over a serial rerun of the middle row.
 
 use horse_bgp::msg::{Message, UpdateMsg};
-use horse_bgp::rib::{AttrId, AttrPool, Decision, LocRib, RibStats};
+use horse_bgp::rib::{AttrId, Decision, LocRib, RibStats};
 use horse_bgp::session::TimerConfig;
 use horse_bgp::speaker::{BgpSpeaker, SpeakerOutput};
 use horse_bgp::BtreeRib;
-use horse_core::RunConfig;
+use horse_core::{ControlBuild, Experiment, RunConfig};
 use horse_net::addr::Ipv4Prefix;
 use horse_net::intern::PrefixId;
 use horse_net::topology::{NodeId, Topology};
@@ -97,18 +109,14 @@ struct Net {
 }
 
 impl Net {
-    fn build(setups: &BTreeMap<NodeId, BgpNodeSetup>, pool: Option<&AttrPool>) -> Net {
+    fn build(setups: &BTreeMap<NodeId, BgpNodeSetup>) -> Net {
         let mut speakers = BTreeMap::new();
         let mut owner = BTreeMap::new();
         for (node, setup) in setups {
             for p in &setup.config.peers {
                 owner.insert(p.local_addr, *node);
             }
-            let s = match pool {
-                Some(pool) => BgpSpeaker::new_with_pool(setup.config.clone(), pool.clone()),
-                None => BgpSpeaker::new(setup.config.clone()),
-            };
-            speakers.insert(*node, s);
+            speakers.insert(*node, BgpSpeaker::new(setup.config.clone()));
         }
         Net { speakers, owner }
     }
@@ -134,9 +142,8 @@ impl Net {
     }
 
     /// Shuttles bytes until quiescent. With a tap, every decoded inbound
-    /// UPDATE and session transition is appended (phase 1); without, the
-    /// wire bytes move undecoded (phase 2 keeps no trace — at 100k
-    /// prefixes the trace would dwarf the tables being measured).
+    /// UPDATE and session transition is appended (the phase-1 replay
+    /// trace); without, the wire bytes move undecoded.
     fn drain(&mut self, now: SimTime, mut tap: Option<&mut Vec<(NodeId, Ev)>>) -> bool {
         let nodes: Vec<NodeId> = self.speakers.keys().copied().collect();
         let mut moved_any = false;
@@ -192,26 +199,6 @@ impl Net {
             }
             moved_any = true;
         }
-    }
-
-    /// Runs to convergence under a nonzero MRAI: shuttle bytes until
-    /// quiescent, advance the clock one MRAI step, flush timers, repeat
-    /// until a whole round moves nothing. Returns the final sim time.
-    fn run_to_quiescence(&mut self, mut now: SimTime, step: SimDuration) -> SimTime {
-        loop {
-            self.drain(now, None);
-            now = now + step;
-            for s in self.speakers.values_mut() {
-                s.poll_timers(now);
-            }
-            if !self.drain(now, None) {
-                return now;
-            }
-        }
-    }
-
-    fn msgs_total(&self) -> u64 {
-        self.speakers.values().map(|s| s.msgs_sent()).sum()
     }
 }
 
@@ -432,8 +419,8 @@ fn replay_old(setups: &BTreeMap<NodeId, BgpNodeSetup>, trace: &[(NodeId, Ev)]) -
     (total, wall)
 }
 
-/// One scaling-curve row: a PoP WAN converging a synthetic table on live
-/// speakers over one shared attribute pool.
+/// One scaling-curve row: a PoP WAN converging a synthetic table through
+/// the real experiment pump, over shared per-run attribute/prefix pools.
 struct RowResult {
     pops: usize,
     leaves: usize,
@@ -441,16 +428,22 @@ struct RowResult {
     prefixes: usize,
     wall_secs: f64,
     msgs: u64,
-    rib: RibStats,
-    pool_entries: usize,
+    decide_calls: u64,
+    candidate_touches: u64,
+    attr_interns: u64,
+    attr_reuses: u64,
+    pool_entries: u64,
     pool_bytes_est: u64,
     prefix_ids: u64,
     peer_ids: u64,
     peak_rss_bytes: u64,
+    rss_reset: bool,
+    parallel_rounds: u64,
+    parallel_nodes: u64,
 }
 
-fn run_row(pops: usize, leaves_per_pop: usize, prefixes: usize) -> RowResult {
-    let (topo, cores, leaves): (Topology, Vec<NodeId>, Vec<NodeId>) =
+fn run_row(pops: usize, leaves_per_pop: usize, prefixes: usize, run_threads: usize) -> RowResult {
+    let (topo, _cores, leaves): (Topology, Vec<NodeId>, Vec<NodeId>) =
         pop_wan(pops, leaves_per_pop, 1e9);
     let mut networks_of: BTreeMap<NodeId, Vec<Ipv4Prefix>> = BTreeMap::new();
     for (j, leaf) in leaves.iter().enumerate() {
@@ -459,42 +452,48 @@ fn run_row(pops: usize, leaves_per_pop: usize, prefixes: usize) -> RowResult {
         networks_of.insert(*leaf, (lo..hi).map(|g| synth_prefix(g as u32)).collect());
     }
     let setups = bgp_setups_with_networks(&topo, timers_wan(), &networks_of);
-    let pool = AttrPool::new();
-    let mut net = Net::build(&setups, Some(&pool));
-    let start = std::time::Instant::now();
-    net.start_all(SimTime::ZERO);
-    net.run_to_quiescence(SimTime::ZERO, timers_wan().mrai);
-    let wall_secs = start.elapsed().as_secs_f64();
-    // Full propagation: every router holds the whole synthetic table.
-    for probe in [cores[0], leaves[0]] {
-        assert_eq!(
-            net.speakers[&probe].rib().prefix_count(),
-            prefixes,
-            "row {pops}x{leaves_per_pop}: incomplete convergence at {probe:?}"
-        );
-    }
-    let mut rib = RibStats::default();
-    let mut prefix_ids = 0u64;
-    let mut peer_ids = 0u64;
-    for s in net.speakers.values() {
-        rib.merge(&s.rib_stats());
-        let (p, n) = s.rib().interner_sizes();
-        prefix_ids += p as u64;
-        peer_ids += n as u64;
-    }
+    let nodes = topo.node_count();
+    // Per-row peak: drop the previous row's high-water mark first.
+    let rss_reset = horse_core::report::reset_peak_rss();
+    let mut e = Experiment::new(topo)
+        // Convergence under a 100 ms MRAI takes a few virtual seconds;
+        // after quiescence the DES clock jumps straight to the horizon,
+        // so the slack costs nothing.
+        .horizon_secs(30.0)
+        .sample_every(SimDuration::from_secs(10))
+        .run_threads(run_threads)
+        .label(format!("table-scale-{pops}x{leaves_per_pop}"));
+    e.control = ControlBuild::Bgp(setups);
+    let report = e.run();
+    // Full propagation: every router installed every *remote* prefix at
+    // least once (locally originated routes resolve to the router's own
+    // id, which maps to no port, so they never count as FIB writes).
+    assert!(
+        report.table_writes >= ((nodes - 1) * prefixes) as u64,
+        "row {pops}x{leaves_per_pop}: incomplete convergence \
+         ({} FIB writes < {} expected)",
+        report.table_writes,
+        (nodes - 1) * prefixes
+    );
     RowResult {
         pops,
         leaves: leaves_per_pop,
-        nodes: topo.node_count(),
+        nodes,
         prefixes,
-        wall_secs,
-        msgs: net.msgs_total(),
-        rib,
-        pool_entries: pool.len(),
-        pool_bytes_est: pool.bytes_estimate(),
-        prefix_ids,
-        peer_ids,
+        wall_secs: report.wall_run_secs,
+        msgs: report.control_msgs,
+        decide_calls: report.rib_decide_calls,
+        candidate_touches: report.rib_candidate_touches,
+        attr_interns: report.rib_attr_interns,
+        attr_reuses: report.rib_attr_reuses,
+        pool_entries: report.mem_attr_entries,
+        pool_bytes_est: report.mem_attr_bytes_est,
+        prefix_ids: report.mem_prefix_ids,
+        peer_ids: report.mem_peer_ids,
         peak_rss_bytes: horse_core::report::peak_rss_bytes(),
+        rss_reset,
+        parallel_rounds: report.pump_parallel_rounds,
+        parallel_nodes: report.pump_parallel_nodes,
     }
 }
 
@@ -503,6 +502,66 @@ fn main() {
     let (k, prefix_count) =
         horse_bench::k_then_prefixes("table_scale [k] [prefix_count]", 16, 100_000);
     let cores_avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("== Table scale: compact-id arenas vs address-keyed maps ==");
+
+    // ---- Phase 2: scaling curve through the real pump, shared pools ----
+    //
+    // Runs *first*: each row's peak RSS is read after a
+    // `reset_peak_rss()`, but the kernel can only reset the high-water
+    // mark down to the process's *current* RSS, and the allocator
+    // retains freed memory — so any phase that ran earlier sets a floor
+    // under every row's reported peak. With phase 2 first, the ~1 GiB
+    // 100-node row reports its own footprint instead of phase 1's ~5 GiB
+    // replay state.
+    let run_threads = cfg.run_threads();
+    let specs: [(usize, usize, usize); 3] = [
+        (10, 9, prefix_count / 10),
+        (10, 24, prefix_count / 4),
+        (40, 24, prefix_count),
+    ];
+    println!("phase 2: run_threads={run_threads} (HORSE_RUN_THREADS), cores={cores_avail}");
+    println!(
+        "{:>6} {:>6} {:>9} {:>10} {:>12} {:>10} {:>12} {:>10} {:>8}",
+        "nodes", "pops", "prefixes", "wall (s)", "msgs", "pool", "pool MiB", "rss MiB", "par"
+    );
+    let mut rows = Vec::new();
+    for (pops, leaves, prefixes) in specs {
+        let row = run_row(pops, leaves, prefixes.max(1), run_threads);
+        println!(
+            "{:>6} {:>6} {:>9} {:>10.2} {:>12} {:>10} {:>12.1} {:>10.1} {:>8}",
+            row.nodes,
+            row.pops,
+            row.prefixes,
+            row.wall_secs,
+            row.msgs,
+            row.pool_entries,
+            row.pool_bytes_est as f64 / (1024.0 * 1024.0),
+            row.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            row.parallel_rounds,
+        );
+        rows.push(row);
+    }
+    if !rows[0].rss_reset {
+        println!("  note: /proc/self/clear_refs reset unavailable; rss is lifetime peak");
+    }
+
+    // Parallel-pump speedup: rerun the middle row serially and compare.
+    // Only meaningful when the drain actually sharded across real cores,
+    // so the gate (and the measurement) needs both knobs > 1.
+    let run_speedup = if run_threads > 1 && cores_avail > 1 {
+        let (pops, leaves, prefixes) = specs[1];
+        let serial = run_row(pops, leaves, prefixes.max(1), 1);
+        let par = &rows[1];
+        let speedup = serial.wall_secs / par.wall_secs.max(1e-9);
+        println!(
+            "  parallel pump: {:.2}s serial vs {:.2}s at {run_threads} threads = {speedup:.2}x",
+            serial.wall_secs, par.wall_secs
+        );
+        Some((serial.wall_secs, par.wall_secs, speedup))
+    } else {
+        None
+    };
 
     // ---- Phase 1: decide-path replay, compact ids vs address keys ----
     let ft = FatTree::build(k, SwitchRole::BgpRouter, 1e9, 1_000);
@@ -518,7 +577,7 @@ fn main() {
         nets.extend((lo..hi).map(|g| synth_prefix(g as u32)));
     }
 
-    let mut net = Net::build(&setups, None);
+    let mut net = Net::build(&setups);
     let mut trace: Vec<(NodeId, Ev)> = Vec::new();
     let mut t = 0u64;
     let now = SimTime::from_millis;
@@ -585,7 +644,7 @@ fn main() {
     let wall_ratio = old_wall / new_wall.max(1e-9);
     let work_ratio = old_stats.decision_work() as f64 / new_stats.decision_work().max(1) as f64;
 
-    println!("== Table scale: compact-id arenas vs address-keyed maps ==");
+    println!();
     println!(
         "phase 1: fat-tree k={k}, {} speakers, {} synthetic prefixes, {} trace events ({updates} updates), {flaps} flaps",
         setups.len(),
@@ -607,34 +666,6 @@ fn main() {
         println!("  note: single-core host; wall numbers carry scheduler noise");
     }
 
-    // ---- Phase 2: scaling curve on live speakers, shared pool ----
-    let specs: [(usize, usize, usize); 3] = [
-        (10, 9, prefix_count / 10),
-        (10, 24, prefix_count / 4),
-        (40, 24, prefix_count),
-    ];
-    println!();
-    println!(
-        "{:>6} {:>6} {:>9} {:>10} {:>12} {:>10} {:>12} {:>10}",
-        "nodes", "pops", "prefixes", "wall (s)", "msgs", "pool", "pool MiB", "rss MiB"
-    );
-    let mut rows = Vec::new();
-    for (pops, leaves, prefixes) in specs {
-        let row = run_row(pops, leaves, prefixes.max(1));
-        println!(
-            "{:>6} {:>6} {:>9} {:>10.2} {:>12} {:>10} {:>12.1} {:>10.1}",
-            row.nodes,
-            row.pops,
-            row.prefixes,
-            row.wall_secs,
-            row.msgs,
-            row.pool_entries,
-            row.pool_bytes_est as f64 / (1024.0 * 1024.0),
-            row.peak_rss_bytes as f64 / (1024.0 * 1024.0),
-        );
-        rows.push(row);
-    }
-
     let mut rows_json = String::from("[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -646,32 +677,46 @@ fn main() {
              \"wall_secs\": {}, \"msgs\": {}, \"decide_calls\": {}, \
              \"candidate_touches\": {}, \"attr_interns\": {}, \"attr_reuses\": {}, \
              \"attr_pool_entries\": {}, \"attr_pool_bytes_est\": {}, \
-             \"prefix_ids\": {}, \"peer_ids\": {}, \"mem_peak_rss_bytes\": {}}}",
+             \"prefix_ids\": {}, \"peer_ids\": {}, \"mem_peak_rss_bytes\": {}, \
+             \"rss_reset\": {}, \"pump_parallel_rounds\": {}, \
+             \"pump_parallel_nodes\": {}}}",
             r.nodes,
             r.pops,
             r.leaves,
             r.prefixes,
             r.wall_secs,
             r.msgs,
-            r.rib.decide_calls,
-            r.rib.candidate_touches,
-            r.rib.attr_interns,
-            r.rib.attr_reuses,
+            r.decide_calls,
+            r.candidate_touches,
+            r.attr_interns,
+            r.attr_reuses,
             r.pool_entries,
             r.pool_bytes_est,
             r.prefix_ids,
             r.peer_ids,
             r.peak_rss_bytes,
+            r.rss_reset,
+            r.parallel_rounds,
+            r.parallel_nodes,
         );
     }
     rows_json.push(']');
 
+    let speedup_json = match run_speedup {
+        Some((serial, par, ratio)) => format!(
+            "{{\"serial_wall_secs\": {serial}, \"parallel_wall_secs\": {par}, \
+             \"speedup\": {ratio}}}"
+        ),
+        None => "null".into(),
+    };
     let json = format!(
-        "{{\n  \"cores\": {cores_avail},\n  \"phase1\": {{\"k\": {k}, \"speakers\": {}, \
+        "{{\n  \"cores\": {cores_avail},\n  \"run_threads\": {run_threads},\n  \
+         \"phase1\": {{\"k\": {k}, \"speakers\": {}, \
          \"prefixes\": {p1}, \"trace_events\": {}, \"updates\": {updates}, \
          \"flaps\": {flaps}, \"new_wall_secs\": {new_wall}, \"old_wall_secs\": {old_wall}, \
          \"wall_ratio\": {wall_ratio}, \"new_work\": {}, \"old_work\": {}, \
-         \"work_ratio\": {work_ratio}}},\n  \"rows\": {rows_json}\n}}\n",
+         \"work_ratio\": {work_ratio}}},\n  \"run_speedup\": {speedup_json},\n  \
+         \"rows\": {rows_json}\n}}\n",
         setups.len(),
         trace.len(),
         new_stats.decision_work(),
@@ -684,5 +729,21 @@ fn main() {
             wall_ratio >= min,
             "decide-path speedup {wall_ratio:.2}x below HORSE_TABLE_MIN_SPEEDUP={min}"
         );
+    }
+    if let Some(min) = cfg.run_min_speedup {
+        match run_speedup {
+            Some((_, _, speedup)) => assert!(
+                speedup >= min,
+                "parallel-pump speedup {speedup:.2}x below HORSE_RUN_MIN_SPEEDUP={min} \
+                 (run_threads={run_threads}, cores={cores_avail})"
+            ),
+            // A 1-core host (or a serial run) can't demonstrate parallel
+            // speedup; skipping keeps the gate honest instead of failing
+            // on hardware that can't pass it.
+            None => println!(
+                "  HORSE_RUN_MIN_SPEEDUP={min} skipped: run_threads={run_threads}, \
+                 cores={cores_avail} (both must be > 1)"
+            ),
+        }
     }
 }

@@ -178,7 +178,7 @@ fn parse_pod_count(arg: &str) -> Result<usize, String> {
     let k: usize = arg
         .parse()
         .map_err(|_| format!("invalid pod count {arg:?} (want an even integer ≥ 2, e.g. 4)"))?;
-    if k < 2 || k % 2 != 0 {
+    if k < 2 || !k.is_multiple_of(2) {
         return Err(format!(
             "invalid pod count {k} (fat-trees need an even k ≥ 2)"
         ));

@@ -51,7 +51,7 @@
 
 use crate::msg::{Origin, PathAttributes, UpdateMsg};
 use horse_net::addr::Ipv4Prefix;
-use horse_net::intern::{IdSet, PeerInterner, PrefixId, PrefixInterner};
+use horse_net::intern::{IdSet, PeerInterner, PrefixId, PrefixInterner, PrefixPool};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
@@ -191,6 +191,13 @@ impl AttrStore {
     pub(crate) fn meta(&self, id: AttrId) -> &AttrMeta {
         &self.metas[id.0 as usize]
     }
+
+    /// The id of an already-interned attribute set, if present. The probe
+    /// half of the pool's lock-light intern: callers holding only the read
+    /// lock check here and escalate to the write lock on a miss.
+    pub fn get(&self, attrs: &PathAttributes) -> Option<AttrId> {
+        self.ids.get(attrs).copied()
+    }
 }
 
 /// A shared handle to one [`AttrStore`].
@@ -204,6 +211,18 @@ impl AttrStore {
 /// sharing the id space across speakers cannot change any decision or
 /// wire byte; pump/sweep determinism holds because the pool is per-run,
 /// never process-global across sweep workers.
+///
+/// Interning is **lock-light**: attribute churn is read-mostly (a
+/// converged fleet re-interns the same few hundred sets constantly), so
+/// [`AttrPool::intern`] first probes under the read lock and only
+/// escalates to the write lock on a genuine miss. Under the intra-run
+/// parallel pump, concurrent double-misses are resolved by the store's
+/// re-check inside the write lock — one id per value, always. Id *values*
+/// may then depend on worker interleaving, which is safe precisely
+/// because nothing semantic reads them: ranking uses precomputed metas,
+/// wire bytes carry the attributes themselves, announce batching groups
+/// by id equality in value-sorted prefix order, and intern/reuse totals
+/// count the same events whichever worker wins the race.
 #[derive(Debug, Clone, Default)]
 pub struct AttrPool(Arc<RwLock<AttrStore>>);
 
@@ -220,8 +239,12 @@ impl AttrPool {
     }
 
     /// Interns a shared attribute set; the `bool` is true when this call
-    /// created the entry (false = fleet-wide reuse).
+    /// created the entry (false = fleet-wide reuse). Hits resolve under
+    /// the read lock; only a genuine miss takes the write lock.
     pub fn intern(&self, attrs: &Arc<PathAttributes>) -> (AttrId, bool) {
+        if let Some(id) = self.read().get(attrs) {
+            return (id, false);
+        }
         let mut s = self.0.write().expect("attr pool lock poisoned");
         let before = s.interns;
         let id = s.intern(attrs);
@@ -229,7 +252,11 @@ impl AttrPool {
     }
 
     /// Interns an owned attribute set; the `bool` is true on creation.
+    /// Same lock discipline as [`AttrPool::intern`].
     pub fn intern_owned(&self, attrs: PathAttributes) -> (AttrId, bool) {
+        if let Some(id) = self.read().get(&attrs) {
+            return (id, false);
+        }
         let mut s = self.0.write().expect("attr pool lock poisoned");
         let before = s.interns;
         let id = s.intern_owned(attrs);
@@ -389,6 +416,65 @@ enum Memo {
     Reachable(Arc<Decision>),
 }
 
+/// The RIB's prefix-id table: private per speaker, or a handle to the
+/// per-run [`PrefixPool`] every speaker shares. A shared table gives the
+/// whole fleet one id space — a 1000-node full mesh interns each prefix
+/// once, not once per speaker — but means ids created by *other* speakers
+/// can exceed this RIB's dense arenas, so every arena-indexing path must
+/// treat an out-of-range id as "no local candidates".
+#[derive(Debug, Clone)]
+enum PrefixTable {
+    Local(PrefixInterner),
+    Shared(PrefixPool),
+}
+
+impl Default for PrefixTable {
+    fn default() -> Self {
+        PrefixTable::Local(PrefixInterner::default())
+    }
+}
+
+impl PrefixTable {
+    fn intern(&mut self, p: Ipv4Prefix) -> PrefixId {
+        match self {
+            PrefixTable::Local(t) => t.intern(p),
+            PrefixTable::Shared(t) => t.intern(p),
+        }
+    }
+
+    fn get(&self, p: Ipv4Prefix) -> Option<PrefixId> {
+        match self {
+            PrefixTable::Local(t) => t.get(p),
+            PrefixTable::Shared(t) => t.get(p),
+        }
+    }
+
+    fn value(&self, id: PrefixId) -> Ipv4Prefix {
+        match self {
+            PrefixTable::Local(t) => t.value(id),
+            PrefixTable::Shared(t) => t.value(id),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PrefixTable::Local(t) => t.len(),
+            PrefixTable::Shared(t) => t.len(),
+        }
+    }
+
+    fn sort_by_value(&self, ids: &mut Vec<PrefixId>) {
+        match self {
+            PrefixTable::Local(t) => t.sort_by_value(ids),
+            PrefixTable::Shared(t) => t.sort_by_value(ids),
+        }
+    }
+
+    fn is_shared(&self) -> bool {
+        matches!(self, PrefixTable::Shared(_))
+    }
+}
+
 /// The speaker's RIB collection (compact-id shape).
 #[derive(Debug, Clone, Default)]
 pub struct LocRib {
@@ -402,7 +488,7 @@ pub struct LocRib {
     interns: Cell<u64>,
     /// Intern hits (including sets first created by other sharers).
     reuses: Cell<u64>,
-    prefixes: PrefixInterner,
+    prefixes: PrefixTable,
     peers: PeerInterner,
     /// Per peer id: the prefix ids it currently contributes.
     adj_in: Vec<IdSet>,
@@ -434,6 +520,26 @@ impl LocRib {
             multipath,
             pool,
             pool_shared: true,
+            ..LocRib::default()
+        }
+    }
+
+    /// A RIB sharing both per-run pools — attribute sets *and* the prefix
+    /// id space — with other speakers. This is the shape the parallel pump
+    /// runs: the pools are lock-light and the id tables fleet-global, so a
+    /// prefix announced everywhere costs one intern, not one per speaker.
+    pub fn new_shared_pools(
+        local_as: u16,
+        multipath: bool,
+        pool: AttrPool,
+        prefixes: PrefixPool,
+    ) -> LocRib {
+        LocRib {
+            local_as,
+            multipath,
+            pool,
+            pool_shared: true,
+            prefixes: PrefixTable::Shared(prefixes),
             ..LocRib::default()
         }
     }
@@ -476,9 +582,13 @@ impl LocRib {
         }
     }
 
-    /// Removes the candidate with `key`, maintaining the live count.
+    /// Removes the candidate with `key`, maintaining the live count. Ids
+    /// beyond the arenas (interned into a shared table by another speaker,
+    /// never seen here) have no candidates by construction.
     fn remove_candidate_key(&mut self, id: PrefixId, key: (bool, u32)) -> bool {
-        let set = &mut self.candidates[id.index()];
+        let Some(set) = self.candidates.get_mut(id.index()) else {
+            return false;
+        };
         match set.binary_search_by_key(&key, CandEntry::key) {
             Ok(i) => {
                 set.remove(i);
@@ -663,7 +773,9 @@ impl LocRib {
             .map(PrefixId)
             .filter(|id| !self.candidates[id.index()].is_empty())
             .collect();
-        ids.sort_unstable_by_key(|&id| self.prefixes.sort_key(id));
+        // One sort_by_value call instead of a per-comparison sort_key
+        // probe: against a shared table that is one lock, not O(n log n).
+        self.prefixes.sort_by_value(&mut ids);
         ids
     }
 
@@ -690,7 +802,14 @@ impl LocRib {
     /// `(prefix table size, peer table size)` — interner footprints for
     /// the `mem_*` report counters. Monotone, so also the peaks.
     pub fn interner_sizes(&self) -> (usize, usize) {
-        (self.prefixes.len(), self.peers.len())
+        // A shared prefix table is reported once by its owner (the control
+        // plane), not by every sharer — mirroring `attr_store_size`.
+        let prefixes = if self.prefixes.is_shared() {
+            0
+        } else {
+            self.prefixes.len()
+        };
+        (prefixes, self.peers.len())
     }
 
     /// The (possibly shared) attribute pool.
@@ -763,6 +882,13 @@ impl LocRib {
         {
             let mut stats = self.stats.borrow_mut();
             stats.decide_calls += 1;
+            if id.index() >= self.candidates.len() {
+                // A shared-table id this RIB never interned: no arena slot
+                // means no candidates. Answered without growing the arenas,
+                // counted like the never-interned case in `decide`.
+                stats.decide_cache_hits += 1;
+                return None;
+            }
             match &self.cache.borrow()[id.index()] {
                 Memo::Stale => stats.decide_recomputes += 1,
                 Memo::Unreachable => {

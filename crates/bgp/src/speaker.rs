@@ -172,6 +172,20 @@ impl BgpSpeaker {
         BgpSpeaker::build(config, rib)
     }
 
+    /// Builds a speaker sharing both per-run pools — attribute sets and
+    /// the prefix id space — with the rest of the fleet. The shape the
+    /// parallel pump drains: pools are lock-light, and the speaker itself
+    /// holds no shared mutable state, so distinct speakers can be pumped
+    /// from distinct workers (see the `Send` assertion below).
+    pub fn new_with_pools(
+        config: BgpConfig,
+        pool: crate::rib::AttrPool,
+        prefixes: horse_net::intern::PrefixPool,
+    ) -> BgpSpeaker {
+        let rib = LocRib::new_shared_pools(config.asn, config.multipath, pool, prefixes);
+        BgpSpeaker::build(config, rib)
+    }
+
     fn build(config: BgpConfig, mut rib: LocRib) -> BgpSpeaker {
         // Dense peer index in ascending address order (last config entry
         // wins on a duplicate address, matching map-insert semantics).
@@ -723,6 +737,15 @@ impl BgpSpeaker {
         exported
     }
 }
+
+/// The parallel pump hands disjoint `&mut BgpSpeaker`s to worker threads
+/// at each round barrier, which requires `BgpSpeaker: Send`. This fails to
+/// compile — not at runtime — if a non-`Send` handle (an `Rc`, a raw
+/// pointer) ever sneaks into the speaker, its RIB, or its tracer.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<BgpSpeaker>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,8 @@
 //! | Variable | Field | Meaning |
 //! |---|---|---|
 //! | `HORSE_THREADS` | [`RunConfig::threads`] | Sweep worker count (1 = serial path) |
+//! | `HORSE_RUN_THREADS` | [`RunConfig::run_threads`] | Intra-run pump worker count (default 1 = serial pump) |
+//! | `HORSE_RUN_MIN_SPEEDUP` | [`RunConfig::run_min_speedup`] | `table_scale` intra-run parallel wall-ratio gate (multi-core only) |
 //! | `HORSE_RESULTS_DIR` | [`RunConfig::results_dir`] | Bench output directory |
 //! | `HORSE_RIB_MIN_SPEEDUP` | [`RunConfig::rib_min_speedup`] | `rib_churn` wall-ratio gate |
 //! | `HORSE_TABLE_MIN_SPEEDUP` | [`RunConfig::table_min_speedup`] | `table_scale` wall-ratio gate |
@@ -36,6 +38,17 @@ pub struct RunConfig {
     /// Sweep worker count; `None` means "use available parallelism".
     /// `Some(1)` forces the pool's inline serial path.
     pub threads: Option<usize>,
+    /// Intra-run pump worker count; `None` means 1 (serial pump). Unlike
+    /// sweep [`RunConfig::threads`], parallelism inside a single run is
+    /// opt-in: the default must not oversubscribe cores when runs already
+    /// execute in parallel under a sweep, and the serial pump is the
+    /// baseline every parallel result is byte-compared against.
+    pub run_threads: Option<usize>,
+    /// Minimum intra-run parallel wall speedup `table_scale` must
+    /// demonstrate (parallel pump vs `run_threads = 1`), if gating.
+    /// Benches enforce it only when the machine actually has more than
+    /// one core — the honest-`cores` discipline.
+    pub run_min_speedup: Option<f64>,
     /// Where bench harnesses drop machine-readable outputs.
     pub results_dir: PathBuf,
     /// Minimum wall speedup `rib_churn` must demonstrate, if gating.
@@ -78,6 +91,8 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             threads: None,
+            run_threads: None,
+            run_min_speedup: None,
             results_dir: PathBuf::from("bench_results"),
             rib_min_speedup: None,
             table_min_speedup: None,
@@ -108,6 +123,10 @@ impl RunConfig {
         let threads = get("HORSE_THREADS").map(|s| match s.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => panic!("HORSE_THREADS must be a positive integer, got {s:?}"),
+        });
+        let run_threads = get("HORSE_RUN_THREADS").map(|s| match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("HORSE_RUN_THREADS must be a positive integer, got {s:?}"),
         });
         let results_dir = get("HORSE_RESULTS_DIR")
             .map(PathBuf::from)
@@ -150,6 +169,8 @@ impl RunConfig {
         });
         RunConfig {
             threads,
+            run_threads,
+            run_min_speedup: float("HORSE_RUN_MIN_SPEEDUP"),
             results_dir,
             rib_min_speedup: float("HORSE_RIB_MIN_SPEEDUP"),
             table_min_speedup: float("HORSE_TABLE_MIN_SPEEDUP"),
@@ -171,6 +192,13 @@ impl RunConfig {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+    }
+
+    /// The intra-run pump worker count: the configured override, else 1
+    /// (serial pump — see [`RunConfig::run_threads`] for why the default
+    /// differs from sweep [`RunConfig::threads`]).
+    pub fn run_threads(&self) -> usize {
+        self.run_threads.unwrap_or(1)
     }
 }
 
@@ -199,6 +227,8 @@ mod tests {
     fn all_keys_parse() {
         let cfg = RunConfig::from_lookup(lookup(&[
             ("HORSE_THREADS", "4"),
+            ("HORSE_RUN_THREADS", "2"),
+            ("HORSE_RUN_MIN_SPEEDUP", "3"),
             ("HORSE_RESULTS_DIR", "/tmp/out"),
             ("HORSE_RIB_MIN_SPEEDUP", "1.5"),
             ("HORSE_TABLE_MIN_SPEEDUP", "2"),
@@ -213,6 +243,9 @@ mod tests {
         ]));
         assert_eq!(cfg.threads, Some(4));
         assert_eq!(cfg.threads(), 4);
+        assert_eq!(cfg.run_threads, Some(2));
+        assert_eq!(cfg.run_threads(), 2);
+        assert_eq!(cfg.run_min_speedup, Some(3.0));
         assert_eq!(cfg.results_dir, PathBuf::from("/tmp/out"));
         assert_eq!(cfg.rib_min_speedup, Some(1.5));
         assert_eq!(cfg.table_min_speedup, Some(2.0));
@@ -254,9 +287,35 @@ mod tests {
     }
 
     #[test]
+    fn run_threads_defaults_to_serial_pump() {
+        let cfg = RunConfig::from_lookup(|_| None);
+        assert_eq!(cfg.run_threads, None);
+        assert_eq!(cfg.run_threads(), 1, "intra-run parallelism is opt-in");
+        assert_eq!(cfg.run_min_speedup, None);
+    }
+
+    #[test]
     #[should_panic(expected = "HORSE_THREADS must be a positive integer")]
     fn bad_threads_panics() {
         let _ = RunConfig::from_lookup(lookup(&[("HORSE_THREADS", "zero")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_RUN_THREADS must be a positive integer")]
+    fn bad_run_threads_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_RUN_THREADS", "many")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_RUN_THREADS must be a positive integer")]
+    fn zero_run_threads_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_RUN_THREADS", "0")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_RUN_MIN_SPEEDUP must be a number")]
+    fn bad_run_gate_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_RUN_MIN_SPEEDUP", "plenty")]));
     }
 
     #[test]

@@ -29,6 +29,20 @@
 //! mode whose observable semantics are identical (same deliveries, same
 //! sweep instants, same outputs) and whose only difference is cost, which
 //! [`PumpStats`] makes visible.
+//!
+//! ## Deterministic intra-run parallelism
+//!
+//! With `HORSE_RUN_THREADS > 1` the BGP pump shards each round's ready
+//! set across the work-stealing pool. The round splits into three phases:
+//! a serial prologue (build the ready set, route deliveries, advance the
+//! wheel, record pump-reason trace events), a parallel **drain** (each
+//! worker delivers/polls/drains a disjoint subset of ready speakers and
+//! returns a per-node result tuple), and a serial **merge** that applies
+//! those tuples in ascending [`NodeId`] order — exactly the order the
+//! serial drain uses. Workers never touch CM state; speakers are disjoint
+//! `&mut`s whose only shared state is the lock-light per-run pools, whose
+//! id values are proven non-semantic. Outputs therefore queue, install,
+//! and trace byte-identically at any worker count.
 
 use horse_bgp::rib::{AttrPool, RibStats};
 use horse_bgp::speaker::{BgpSpeaker, SpeakerOutput};
@@ -38,20 +52,28 @@ use horse_dataplane::flowtable::{FlowEntry as DpFlowEntry, FlowKey};
 use horse_dataplane::path::DataPlane;
 use horse_net::flow::FiveTuple;
 use horse_net::fluid::FluidNetwork;
+use horse_net::intern::PrefixPool;
 use horse_net::topology::{NodeId, PortId, Topology};
 use horse_openflow::agent::{AgentEvent, SwitchAgent};
 use horse_openflow::controller::{Controller, ControllerApp, ControllerEvent};
 use horse_openflow::wire::{FlowMod, FlowModCommand, FlowStatsEntry, OfAction, PortDesc};
+use horse_pool::{lock_unpoisoned, run_indexed};
 use horse_sim::{SimTime, TimerWheel};
 use horse_topo::fattree::BgpNodeSetup;
 use horse_trace::{Component, ComponentLog, PumpReason, TraceData, TraceOptions, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// MTU used to derive packet estimates from fluid byte counts (the fluid
 /// model moves bits, not packets; OF counters want both).
 const MTU_BYTES: u64 = 1_500;
+
+/// Minimum ready-set size before the pump shards a round across workers;
+/// below this the scoped-spawn and steal overhead outweighs the per-node
+/// protocol work and the round runs serially (still byte-identical).
+const PAR_MIN_NODES: usize = 4;
 
 /// What one pump step did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -87,6 +109,12 @@ pub struct PumpStats {
     pub nodes_touched: u64,
     /// Full flow-table walks (timeout checks and expiry sweeps).
     pub table_scans: u64,
+    /// Rounds whose drain ran on the work-stealing pool (0 when
+    /// `HORSE_RUN_THREADS` is 1 or every round stayed under the sharding
+    /// threshold).
+    pub parallel_rounds: u64,
+    /// Nodes drained inside parallel rounds (a subset of `nodes_touched`).
+    pub parallel_nodes: u64,
 }
 
 impl PumpStats {
@@ -146,6 +174,15 @@ impl ControlPlane {
             ControlPlane::None => {}
             ControlPlane::Bgp(b) => b.mode = mode,
             ControlPlane::Sdn(s) => s.mode = mode,
+        }
+    }
+
+    /// Sets the intra-run drain worker count (1 = serial pump). Only the
+    /// BGP pump shards; the SDN pump's controller round-trips are serial
+    /// by construction and ignore this.
+    pub fn set_run_threads(&mut self, threads: usize) {
+        if let ControlPlane::Bgp(b) = self {
+            b.run_threads = threads.max(1);
         }
     }
 
@@ -356,6 +393,40 @@ pub struct BgpControl {
     /// each distinct attribute set is stored once per run, not once per
     /// speaker.
     attr_pool: AttrPool,
+    /// The run-wide shared prefix-id table, seeded serially from every
+    /// node's configured networks before the first pump: each prefix is
+    /// interned once per run (not once per speaker), and round-time
+    /// lookups are read-lock hits with ids fixed at seed time.
+    prefix_pool: PrefixPool,
+    /// Intra-run drain workers (1 = serial pump, the default).
+    run_threads: usize,
+}
+
+/// One ready speaker's drained round result: its outputs in emission
+/// order, plus `Some(new)` when its earliest deadline moved (`None` inner
+/// = no deadline left).
+type DrainedNode = (NodeId, Vec<SpeakerOutput>, Option<Option<SimTime>>);
+
+/// A claimed drain task: one ready speaker and its pending deliveries.
+type DrainTask<'a> = (NodeId, &'a mut BgpSpeaker, Vec<(Ipv4Addr, bytes::Bytes)>);
+
+/// Delivers, polls and drains one ready speaker — the per-node work both
+/// drain paths share. Under the parallel pump this runs on a worker
+/// thread, so it must not touch CM state: everything the merge needs
+/// comes back in the [`DrainedNode`] tuple.
+fn drain_one(
+    node: NodeId,
+    s: &mut BgpSpeaker,
+    msgs: Vec<(Ipv4Addr, bytes::Bytes)>,
+    now: SimTime,
+) -> DrainedNode {
+    for (from_addr, bytes) in msgs {
+        s.on_bytes(from_addr, now, &bytes);
+    }
+    s.poll_timers(now);
+    let outputs = s.take_outputs();
+    let deadline = s.take_deadline_dirty().then(|| s.next_deadline());
+    (node, outputs, deadline)
 }
 
 impl BgpControl {
@@ -368,6 +439,17 @@ impl BgpControl {
         let mut installer = FibInstaller::new();
         let mut connected = Vec::new();
         let attr_pool = AttrPool::new();
+        let prefix_pool = PrefixPool::new();
+        // Seed the shared prefix table serially, in deterministic node
+        // order, before any speaker (or drain worker) exists. Every prefix
+        // a run can announce comes from some node's configured networks,
+        // so round-time interns are read-lock hits on ids fixed here —
+        // identical at any worker count.
+        for setup in setups.values() {
+            for pfx in &setup.config.networks {
+                prefix_pool.intern(*pfx);
+            }
+        }
         for (node, setup) in &setups {
             installer.register(*node, setup.addr_to_port.clone());
             for (pfx, port) in &setup.connected {
@@ -386,7 +468,11 @@ impl BgpControl {
             }
             speakers.insert(
                 *node,
-                BgpSpeaker::new_with_pool(setup.config.clone(), attr_pool.clone()),
+                BgpSpeaker::new_with_pools(
+                    setup.config.clone(),
+                    attr_pool.clone(),
+                    prefix_pool.clone(),
+                ),
             );
         }
         BgpControl {
@@ -404,6 +490,8 @@ impl BgpControl {
             installs: 0,
             tracer: Tracer::default(),
             attr_pool,
+            prefix_pool,
+            run_threads: 1,
         }
     }
 
@@ -421,7 +509,9 @@ impl BgpControl {
     /// Memory-shape figures for the report: summed interner sizes across
     /// speakers plus the shared pool's entry count and byte estimate.
     pub fn mem_stats(&self) -> (u64, u64, u64, u64) {
-        let mut prefix_ids = 0u64;
+        // Speakers share the prefix pool and report 0 for it; count the
+        // pool's table here exactly once.
+        let mut prefix_ids = self.prefix_pool.len() as u64;
         let mut peer_ids = 0u64;
         for s in self.speakers.values() {
             let (p, n) = s.rib().interner_sizes();
@@ -526,27 +616,61 @@ impl BgpControl {
         // speaker cannot hold queued outputs or a moved deadline: both
         // only change when the speaker is touched, and every touch marks
         // it ready.
-        for node in ready {
-            let Some(s) = self.speakers.get_mut(&node) else {
-                continue;
-            };
-            self.stats.nodes_touched += 1;
-            if let Some(msgs) = by_dst.remove(&node) {
-                for (from_addr, bytes) in msgs {
-                    s.on_bytes(from_addr, now, &bytes);
-                }
+        //
+        // With workers configured and enough ready nodes to amortize the
+        // scoped spawn, the drain shards across the work-stealing pool:
+        // speakers are disjoint `&mut`s whose only shared state is the
+        // lock-light per-run pools, and workers never touch CM state —
+        // they only produce per-node result tuples. Both paths emit those
+        // tuples in ascending `NodeId` order, so the step-3 merge below is
+        // byte-identical at any worker count.
+        let parallel = self.run_threads > 1 && ready.len() >= PAR_MIN_NODES;
+        let drained: Vec<DrainedNode> = if parallel {
+            // O(speakers) pointer walk to gather disjoint `&mut`s in
+            // ascending node order — cheap next to the protocol work, and
+            // it needs no unsafe splitting of the map.
+            let slots: Vec<Mutex<Option<DrainTask<'_>>>> = self
+                .speakers
+                .iter_mut()
+                .filter(|(node, _)| ready.contains(node))
+                .map(|(node, s)| {
+                    Mutex::new(Some((*node, s, by_dst.remove(node).unwrap_or_default())))
+                })
+                .collect();
+            let (results, _) = run_indexed(slots.len(), self.run_threads, |i| {
+                let (node, s, msgs) = lock_unpoisoned(&slots[i])
+                    .take()
+                    .expect("each drain slot is claimed exactly once");
+                drain_one(node, s, msgs, now)
+            });
+            results.into_iter().map(|r| r.value).collect()
+        } else {
+            let mut drained = Vec::with_capacity(ready.len());
+            for node in &ready {
+                let Some(s) = self.speakers.get_mut(node) else {
+                    continue;
+                };
+                let msgs = by_dst.remove(node).unwrap_or_default();
+                drained.push(drain_one(*node, s, msgs, now));
             }
-            s.poll_timers(now);
-            let outputs = s.take_outputs();
-            if s.take_deadline_dirty() {
-                match s.next_deadline() {
+            drained
+        };
+        self.stats.nodes_touched += drained.len() as u64;
+        if parallel {
+            self.stats.parallel_rounds += 1;
+            self.stats.parallel_nodes += drained.len() as u64;
+        }
+        // 3. Merge on this thread in ascending node order: re-register
+        // deadlines, queue bytes for next step, apply routes now.
+        for (node, outputs, deadline) in drained {
+            if let Some(moved) = deadline {
+                match moved {
                     Some(d) => self.wheel.schedule(node, d),
                     None => {
                         self.wheel.cancel(node);
                     }
                 }
             }
-            // Queue bytes for next step, apply routes now.
             for o in outputs {
                 match o {
                     SpeakerOutput::SendBytes { peer, bytes } => {

@@ -116,6 +116,10 @@ pub struct Experiment {
     /// Pump scheduling mode (readiness-driven by default; `FullPoll` is
     /// the legacy cost model for differential tests and benches).
     pub pump_mode: PumpMode,
+    /// Intra-run drain workers for the BGP pump (1 = serial, the
+    /// default; `HORSE_RUN_THREADS`). Any value produces byte-identical
+    /// reports and traces — this knob only buys wall-clock.
+    pub run_threads: usize,
     /// Structured-tracing options (disabled by default; enabling records
     /// span events across runner, pump, BGP speakers and the controller).
     pub trace: TraceOptions,
@@ -143,6 +147,7 @@ impl Experiment {
             seed: 1,
             sdn_idle_timeout_s: 0,
             pump_mode: PumpMode::default(),
+            run_threads: 1,
             trace: TraceOptions::default(),
             label: String::from("experiment"),
         }
@@ -271,6 +276,12 @@ impl Experiment {
         self
     }
 
+    /// Sets the intra-run drain worker count (1 = serial pump).
+    pub fn run_threads(mut self, threads: usize) -> Experiment {
+        self.run_threads = threads.max(1);
+        self
+    }
+
     /// Sets the structured-tracing options (see [`horse_trace`]).
     pub fn trace(mut self, opts: TraceOptions) -> Experiment {
         self.trace = opts;
@@ -333,6 +344,7 @@ impl Experiment {
             self.sample_interval,
             self.label,
         );
+        runner.set_run_threads(self.run_threads);
         runner.set_trace(&self.trace);
         let report = runner.run(wall_setup_secs);
         (report, runner.take_trace())

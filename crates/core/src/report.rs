@@ -34,6 +34,24 @@ pub fn peak_rss_bytes() -> u64 {
     }
 }
 
+/// Resets the kernel's peak-RSS accounting to the *current* RSS by writing
+/// `5` to `/proc/self/clear_refs`, so the next [`peak_rss_bytes`] reads a
+/// per-phase high-water mark instead of a process-lifetime one. Without
+/// this, the second and later rows of a multi-row benchmark inherit the
+/// largest earlier row's peak and report garbage. Returns `false` where
+/// the kernel doesn't support the reset (non-Linux, locked-down
+/// containers) — callers should then treat peaks as lifetime-monotone.
+pub fn reset_peak_rss() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::write("/proc/self/clear_refs", b"5").is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
 /// Everything a finished experiment reports — the inputs for the demo's
 /// goodput graph (per TE approach) and for Figure 3's execution times.
 #[derive(Debug, Clone)]
@@ -85,6 +103,14 @@ pub struct ExperimentReport {
     pub pump_nodes_touched: u64,
     /// Full flow-table walks (timeout checks + expiry sweeps).
     pub pump_table_scans: u64,
+    /// Intra-run drain workers the pump was configured with (1 = serial;
+    /// `HORSE_RUN_THREADS`). A cost/config field: runs at different
+    /// worker counts must still be semantically identical.
+    pub pump_run_threads: u64,
+    /// Pump rounds whose drain ran on the work-stealing pool.
+    pub pump_parallel_rounds: u64,
+    /// Nodes drained inside parallel rounds.
+    pub pump_parallel_nodes: u64,
     /// BGP decision-process invocations (all speakers).
     pub rib_decide_calls: u64,
     /// Decision calls answered from the per-prefix memo cache.
@@ -271,6 +297,17 @@ impl ExperimentReport {
             self.pump_nodes_touched
         );
         let _ = writeln!(out, "  \"pump_table_scans\": {},", self.pump_table_scans);
+        let _ = writeln!(out, "  \"pump_run_threads\": {},", self.pump_run_threads);
+        let _ = writeln!(
+            out,
+            "  \"pump_parallel_rounds\": {},",
+            self.pump_parallel_rounds
+        );
+        let _ = writeln!(
+            out,
+            "  \"pump_parallel_nodes\": {},",
+            self.pump_parallel_nodes
+        );
         let _ = writeln!(out, "  \"rib_decide_calls\": {},", self.rib_decide_calls);
         let _ = writeln!(
             out,
@@ -337,12 +374,15 @@ impl ExperimentReport {
     /// a counter to the struct without adding it here would leak it into
     /// semantic comparisons, so the unit test below checks every
     /// `pump_`/`rib_`/`mem_`/`trace_`-prefixed JSON key comes out zero.
-    fn cost_counters_mut(&mut self) -> [&mut u64; 22] {
+    fn cost_counters_mut(&mut self) -> [&mut u64; 25] {
         [
             &mut self.pump_steps,
             &mut self.pump_nodes_total,
             &mut self.pump_nodes_touched,
             &mut self.pump_table_scans,
+            &mut self.pump_run_threads,
+            &mut self.pump_parallel_rounds,
+            &mut self.pump_parallel_nodes,
             &mut self.rib_decide_calls,
             &mut self.rib_decide_cache_hits,
             &mut self.rib_invalidations,
@@ -466,6 +506,10 @@ impl ExperimentReport {
             pump_nodes_total: opt_num("pump_nodes_total"),
             pump_nodes_touched: opt_num("pump_nodes_touched"),
             pump_table_scans: opt_num("pump_table_scans"),
+            // Absent in pre-parallel-pump dumps: default to 0.
+            pump_run_threads: opt_num("pump_run_threads"),
+            pump_parallel_rounds: opt_num("pump_parallel_rounds"),
+            pump_parallel_nodes: opt_num("pump_parallel_nodes"),
             // Absent in pre-rib-stats dumps: default to 0.
             rib_decide_calls: opt_num("rib_decide_calls"),
             rib_decide_cache_hits: opt_num("rib_decide_cache_hits"),
@@ -523,6 +567,9 @@ mod tests {
             pump_nodes_total: 2,
             pump_nodes_touched: 3,
             pump_table_scans: 4,
+            pump_run_threads: 23,
+            pump_parallel_rounds: 24,
+            pump_parallel_nodes: 25,
             rib_decide_calls: 5,
             rib_decide_cache_hits: 6,
             rib_invalidations: 7,
@@ -570,9 +617,9 @@ mod tests {
                 "cost key {key:?} not zeroed in semantic_json"
             );
         }
-        // 22 counters + 2 wall times; a miscount here means a counter was
+        // 25 counters + 2 wall times; a miscount here means a counter was
         // added to the struct but not to `cost_counters_mut`.
-        assert_eq!(checked, 24, "unexpected number of cost keys");
+        assert_eq!(checked, 27, "unexpected number of cost keys");
     }
 
     #[test]

@@ -87,6 +87,9 @@ pub struct Runner {
     horizon: SimTime,
     sample_interval: SimDuration,
     label: String,
+    /// Intra-run drain workers configured for the pump (1 = serial);
+    /// echoed into the report's `pump_run_threads`.
+    run_threads: usize,
 
     /// Traffic events waiting for a route / rules.
     pending: BTreeMap<usize, FlowSpec>,
@@ -145,6 +148,7 @@ impl Runner {
             horizon,
             sample_interval,
             label,
+            run_threads: 1,
             pending: BTreeMap::new(),
             miss_sent: BTreeSet::new(),
             active_by_idx: BTreeMap::new(),
@@ -208,6 +212,13 @@ impl Runner {
     /// Selects the pump scheduling mode (call before [`Runner::run`]).
     pub fn set_pump_mode(&mut self, mode: crate::control::PumpMode) {
         self.control.set_pump_mode(mode);
+    }
+
+    /// Sets the intra-run drain worker count (call before [`Runner::run`];
+    /// 1 = serial pump, the default).
+    pub fn set_run_threads(&mut self, threads: usize) {
+        self.run_threads = threads.max(1);
+        self.control.set_run_threads(threads);
     }
 
     /// Read access to the data plane (tests).
@@ -604,6 +615,9 @@ impl Runner {
             pump_nodes_total: pump.nodes_total,
             pump_nodes_touched: pump.nodes_touched,
             pump_table_scans: pump.table_scans,
+            pump_run_threads: self.run_threads as u64,
+            pump_parallel_rounds: pump.parallel_rounds,
+            pump_parallel_nodes: pump.parallel_nodes,
             rib_decide_calls: rib.decide_calls,
             rib_decide_cache_hits: rib.decide_cache_hits,
             rib_invalidations: rib.invalidations,

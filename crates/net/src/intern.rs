@@ -24,6 +24,7 @@
 use crate::addr::Ipv4Prefix;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::{Arc, RwLock};
 
 /// Stable id of an interned [`Ipv4Prefix`] (first-intern order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -99,6 +100,83 @@ impl PrefixInterner {
     pub fn sort_by_value(&self, ids: &mut Vec<PrefixId>) {
         ids.sort_unstable_by_key(|&id| self.sort_key(id));
         ids.dedup();
+    }
+}
+
+/// A shared handle to one [`PrefixInterner`] — the per-run prefix table.
+///
+/// Mirrors the attribute pool: the run owner creates one pool and hands a
+/// clone to every speaker, so a 1000-node experiment holding 100k routes
+/// interns each prefix **once per run** instead of once per speaker
+/// (without sharing, per-speaker tables dominate peak RSS at that scale).
+///
+/// Interning is read-mostly: the owner seeds every prefix the experiment
+/// can ever announce (each speaker's originated networks, gathered in
+/// deterministic order) before any worker thread exists, so steady-state
+/// interns take only the read lock and ids are independent of execution
+/// order — the property the intra-run parallel pump's determinism
+/// contract relies on. The write path exists for prefixes outside the
+/// seed (e.g. a standalone harness) and is serialized by the lock; the
+/// double-checked probe under the write lock keeps one id per value even
+/// if two workers miss concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixPool(Arc<RwLock<PrefixInterner>>);
+
+impl PrefixPool {
+    /// A fresh, empty pool.
+    pub fn new() -> PrefixPool {
+        PrefixPool::default()
+    }
+
+    /// Interns `p`: a read-locked probe on the hot (already-seeded) path,
+    /// falling back to the write lock for a genuinely new prefix.
+    pub fn intern(&self, p: Ipv4Prefix) -> PrefixId {
+        if let Some(id) = self.0.read().expect("prefix pool lock poisoned").get(p) {
+            return id;
+        }
+        self.0.write().expect("prefix pool lock poisoned").intern(p)
+    }
+
+    /// The id of `p`, if it has ever been interned.
+    pub fn get(&self, p: Ipv4Prefix) -> Option<PrefixId> {
+        self.0.read().expect("prefix pool lock poisoned").get(p)
+    }
+
+    /// The value behind an id.
+    pub fn value(&self, id: PrefixId) -> Ipv4Prefix {
+        self.0.read().expect("prefix pool lock poisoned").value(id)
+    }
+
+    /// Number of distinct prefixes interned (monotone — also the peak).
+    pub fn len(&self) -> usize {
+        self.0.read().expect("prefix pool lock poisoned").len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.0.read().expect("prefix pool lock poisoned").is_empty()
+    }
+
+    /// See [`PrefixInterner::sort_key`].
+    pub fn sort_key(&self, id: PrefixId) -> u64 {
+        self.0
+            .read()
+            .expect("prefix pool lock poisoned")
+            .sort_key(id)
+    }
+
+    /// Sorts (and dedups) an id slice into ascending value order, taking
+    /// the read lock once for the whole sort rather than per comparison.
+    pub fn sort_by_value(&self, ids: &mut Vec<PrefixId>) {
+        self.0
+            .read()
+            .expect("prefix pool lock poisoned")
+            .sort_by_value(ids);
+    }
+
+    /// True when `other` is the same underlying table.
+    pub fn same_as(&self, other: &PrefixPool) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -290,6 +368,29 @@ mod tests {
         let mut ids = vec![a, b, a, b, b];
         i.sort_by_value(&mut ids);
         assert_eq!(ids, vec![b, a]);
+    }
+
+    #[test]
+    fn prefix_pool_shares_one_table_across_clones() {
+        let pool = PrefixPool::new();
+        let sharer = pool.clone();
+        let a = pool.intern(pfx("10.2.0.0/16"));
+        let b = sharer.intern(pfx("10.1.0.0/16"));
+        assert_eq!(a, PrefixId(0));
+        assert_eq!(b, PrefixId(1));
+        assert_eq!(
+            sharer.intern(pfx("10.2.0.0/16")),
+            a,
+            "hit via either handle"
+        );
+        assert_eq!(pool.len(), 2, "one table, not one per handle");
+        assert_eq!(pool.get(pfx("10.1.0.0/16")), Some(b));
+        assert_eq!(pool.value(a), pfx("10.2.0.0/16"));
+        assert!(pool.same_as(&sharer));
+        assert!(!pool.same_as(&PrefixPool::new()));
+        let mut ids = vec![a, b, a];
+        pool.sort_by_value(&mut ids);
+        assert_eq!(ids, vec![b, a], "value order with dedup, like the interner");
     }
 
     #[test]

@@ -145,6 +145,7 @@ pub struct SweepPlan {
     pacing: Pacing,
     sample_interval: SimDuration,
     pump_mode: PumpMode,
+    run_threads: usize,
     trace: TraceOptions,
 }
 
@@ -163,6 +164,7 @@ impl SweepPlan {
             pacing: Pacing::Virtual,
             sample_interval: SimDuration::from_millis(100),
             pump_mode: PumpMode::default(),
+            run_threads: 1,
             trace: TraceOptions::default(),
         }
     }
@@ -227,6 +229,17 @@ impl SweepPlan {
         self
     }
 
+    /// Intra-run drain workers for every run's BGP pump (1 = serial, the
+    /// default). Composes with sweep workers: each run spawns its own
+    /// scoped drain pool per round, so `threads × run_threads` cores are
+    /// busy at the barrier and nested pools cannot deadlock. Like
+    /// [`SweepPlan::pump_mode`], this is execution-only — reports and
+    /// traces stay byte-identical at any setting.
+    pub fn run_threads(mut self, threads: usize) -> SweepPlan {
+        self.run_threads = threads.max(1);
+        self
+    }
+
     /// Structured-tracing options for every run. Each [`SweepRun`] then
     /// carries its own [`TraceLog`]; since runs are re-assembled in plan
     /// order, the set of logs is deterministic at any worker count.
@@ -272,6 +285,7 @@ impl SweepPlan {
             .pacing(self.pacing)
             .sample_every(self.sample_interval)
             .pump_mode(self.pump_mode)
+            .run_threads(self.run_threads)
             .trace(self.trace)
             .label(spec.label());
         e.horizon = self.horizon;
@@ -324,6 +338,7 @@ impl SweepPlan {
     pub fn execute_with(&self, cfg: &RunConfig) -> SweepOutcome {
         self.clone()
             .pump_mode(cfg.pump_mode)
+            .run_threads(cfg.run_threads())
             .trace(cfg.trace)
             .execute(cfg.threads())
     }
@@ -406,6 +421,7 @@ impl SweepPlan {
     pub fn execute_resumable(&self, cfg: &RunConfig) -> Result<CheckpointedSweep, CheckpointError> {
         self.clone()
             .pump_mode(cfg.pump_mode)
+            .run_threads(cfg.run_threads())
             .trace(cfg.trace)
             .execute_checkpointed(cfg.threads(), &CheckpointOptions::from_config(cfg))
     }
@@ -585,6 +601,7 @@ mod tests {
         // checkpoint file) alone: a resume may legally change them.
         assert_eq!(h, base().pacing(Pacing::real_time()).plan_hash());
         assert_eq!(h, base().pump_mode(PumpMode::FullPoll).plan_hash());
+        assert_eq!(h, base().run_threads(4).plan_hash());
         assert_eq!(h, base().trace(TraceOptions::enabled()).plan_hash());
     }
 

@@ -2,6 +2,10 @@
 //! its report must be byte-identical (modulo wall time and the pump's own
 //! cost counters) to the legacy poll-every-node pump's — on BGP and SDN
 //! control planes, with rule expiry, and through link failures.
+//!
+//! The same contract covers intra-run parallelism: sharding a round's
+//! drain across `run_threads` workers must leave the semantic report
+//! byte-identical at any worker count, alone or nested inside a sweep.
 
 use horse::net::flow::FlowSpec;
 use horse::sim::{SimDuration, SimTime};
@@ -117,6 +121,88 @@ fn sdn_link_failure_matches_full_poll() {
         e = e.link_down(SimTime::from_secs(2), victim);
         e
     });
+}
+
+#[test]
+fn bgp_demo_is_byte_identical_at_any_run_thread_count() {
+    let run = |threads: usize| {
+        Experiment::demo(4, TeApproach::BgpEcmp, 42)
+            .horizon_secs(3.0)
+            .run_threads(threads)
+            .run()
+    };
+    let serial = run(1);
+    assert_eq!(serial.pump_parallel_rounds, 0, "serial pump must not shard");
+    assert_eq!(serial.pump_run_threads, 1);
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial.semantic_json(),
+            parallel.semantic_json(),
+            "semantic report diverged at run_threads={threads}"
+        );
+        assert_eq!(parallel.pump_run_threads, threads as u64);
+        assert!(
+            parallel.pump_parallel_rounds > 0,
+            "demo convergence must shard rounds at run_threads={threads}"
+        );
+        assert!(parallel.pump_parallel_nodes <= parallel.pump_nodes_touched);
+    }
+}
+
+#[test]
+fn bgp_link_failure_is_byte_identical_at_any_run_thread_count() {
+    // Failure + repair mid-run: withdrawals and reconvergence must merge
+    // in the same order whichever worker drained each speaker.
+    let run = |threads: usize| {
+        let ft = FatTree::build(4, SwitchRole::BgpRouter, G, 1_000);
+        let agg = ft.aggs[0];
+        let core = ft.cores[0];
+        let (victim, _) = ft.topo.link_between(agg, core).expect("agg-core link");
+        Experiment::demo(4, TeApproach::BgpEcmp, 42)
+            .horizon_secs(8.0)
+            .link_down(SimTime::from_secs(2), victim)
+            .link_up(SimTime::from_secs(4), victim)
+            .run_threads(threads)
+            .run()
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            serial.semantic_json(),
+            run(threads).semantic_json(),
+            "failure run diverged at run_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn nested_sweep_and_run_pools_compose_without_reordering() {
+    // Two sweep workers each spawning two drain workers per round: the
+    // scoped pools must neither deadlock nor change a single byte.
+    use horse::sweep::SweepPlan;
+    let plan = |run_threads: usize| {
+        SweepPlan::new(42)
+            .pods([4])
+            .approaches([TeApproach::BgpEcmp])
+            .replicates(2)
+            .horizon_secs(2.0)
+            .run_threads(run_threads)
+    };
+    let serial = plan(1).execute(1);
+    let nested = plan(2).execute(2);
+    assert_eq!(
+        serial.semantic_json(),
+        nested.semantic_json(),
+        "sweep output diverged under nested run parallelism"
+    );
+    assert!(
+        nested
+            .runs
+            .iter()
+            .all(|r| r.report.pump_parallel_rounds > 0),
+        "every nested run should have sharded at least one round"
+    );
 }
 
 #[test]

@@ -96,7 +96,14 @@ pub mod channel {
         fn drop(&mut self) {
             if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last sender gone: wake blocked receivers so they observe
-                // the disconnect.
+                // the disconnect. The queue lock must be held across the
+                // notify: a receiver that loaded `senders == 1` under the
+                // lock but has not yet parked in `wait()` would otherwise
+                // miss a notification fired into that gap — and with no
+                // senders left, no later send ever wakes it (observed as a
+                // rare worker-pool collector hang). Acquiring the lock
+                // orders this signal after that receiver is parked.
+                let _q = self.shared.queue.lock().unwrap();
                 self.shared.ready.notify_all();
             }
         }
@@ -245,6 +252,21 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(10)),
             Err(RecvTimeoutError::Timeout)
         );
+    }
+
+    #[test]
+    fn disconnect_wakes_blocked_receiver() {
+        // Regression: the last sender's disconnect notification must not
+        // be lost in the gap between a receiver's senders-alive check and
+        // its park (a lost wakeup here hung the worker-pool collector,
+        // rarely, forever). Tight loop to hit the race window; a lost
+        // wakeup shows up as this test hanging, not as an assert.
+        for _ in 0..2000 {
+            let (tx, rx) = unbounded::<u8>();
+            let h = std::thread::spawn(move || rx.recv());
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `HORSE_RIB_MIN_SPEEDUP` | [`RunConfig::rib_min_speedup`] | `rib_churn` wall-ratio gate |
 //! | `HORSE_TABLE_MIN_SPEEDUP` | [`RunConfig::table_min_speedup`] | `table_scale` wall-ratio gate |
 //! | `HORSE_SWEEP_MIN_SPEEDUP` | [`RunConfig::sweep_min_speedup`] | `sweep_scaling` gate |
+//! | `HORSE_FLOW_MIN_SPEEDUP` | [`RunConfig::flow_min_speedup`] | `flow_scale` wall-ratio gate (multi-core only) |
 //! | `HORSE_TRACE_MAX_OVERHEAD` | [`RunConfig::trace_max_overhead`] | Tracing overhead gate (`rib_churn`) |
 //! | `HORSE_PUMP_MODE` | [`RunConfig::pump_mode`] | `readiness` (default) or `fullpoll` |
 //! | `HORSE_TRACE` | [`RunConfig::trace`]`.enabled` | Enable structured tracing |
@@ -58,6 +59,10 @@ pub struct RunConfig {
     pub table_min_speedup: Option<f64>,
     /// Minimum parallel speedup `sweep_scaling` must demonstrate.
     pub sweep_min_speedup: Option<f64>,
+    /// Minimum wall speedup `flow_scale` must demonstrate (arena flow
+    /// plane vs the map-keyed oracle shape), if gating. Like the other
+    /// wall gates, enforced only when the machine has more than one core.
+    pub flow_min_speedup: Option<f64>,
     /// Maximum fractional wall overhead the tracing layer may add
     /// (e.g. `0.15` = 15%), enforced by the `rib_churn` smoke, which times
     /// the live convergence replay traced vs untraced. That replay records
@@ -97,6 +102,7 @@ impl Default for RunConfig {
             rib_min_speedup: None,
             table_min_speedup: None,
             sweep_min_speedup: None,
+            flow_min_speedup: None,
             trace_max_overhead: None,
             pump_mode: PumpMode::Readiness,
             trace: TraceOptions::default(),
@@ -175,6 +181,7 @@ impl RunConfig {
             rib_min_speedup: float("HORSE_RIB_MIN_SPEEDUP"),
             table_min_speedup: float("HORSE_TABLE_MIN_SPEEDUP"),
             sweep_min_speedup: float("HORSE_SWEEP_MIN_SPEEDUP"),
+            flow_min_speedup: float("HORSE_FLOW_MIN_SPEEDUP"),
             trace_max_overhead: float("HORSE_TRACE_MAX_OVERHEAD"),
             pump_mode,
             trace,
@@ -233,6 +240,7 @@ mod tests {
             ("HORSE_RIB_MIN_SPEEDUP", "1.5"),
             ("HORSE_TABLE_MIN_SPEEDUP", "2"),
             ("HORSE_SWEEP_MIN_SPEEDUP", "3"),
+            ("HORSE_FLOW_MIN_SPEEDUP", "1.2"),
             ("HORSE_TRACE_MAX_OVERHEAD", "0.02"),
             ("HORSE_PUMP_MODE", "fullpoll"),
             ("HORSE_TRACE", "1"),
@@ -250,6 +258,7 @@ mod tests {
         assert_eq!(cfg.rib_min_speedup, Some(1.5));
         assert_eq!(cfg.table_min_speedup, Some(2.0));
         assert_eq!(cfg.sweep_min_speedup, Some(3.0));
+        assert_eq!(cfg.flow_min_speedup, Some(1.2));
         assert_eq!(cfg.trace_max_overhead, Some(0.02));
         assert_eq!(cfg.pump_mode, PumpMode::FullPoll);
         assert!(cfg.trace.enabled);
@@ -334,5 +343,17 @@ mod tests {
     #[should_panic(expected = "HORSE_RIB_MIN_SPEEDUP must be a number")]
     fn bad_gate_panics() {
         let _ = RunConfig::from_lookup(lookup(&[("HORSE_RIB_MIN_SPEEDUP", "fast")]));
+    }
+
+    #[test]
+    fn flow_gate_defaults_off() {
+        let cfg = RunConfig::from_lookup(|_| None);
+        assert_eq!(cfg.flow_min_speedup, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "HORSE_FLOW_MIN_SPEEDUP must be a number")]
+    fn bad_flow_gate_panics() {
+        let _ = RunConfig::from_lookup(lookup(&[("HORSE_FLOW_MIN_SPEEDUP", "warp")]));
     }
 }

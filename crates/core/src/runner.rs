@@ -31,7 +31,7 @@ use horse_sim::{
 };
 use horse_stats::SeriesSet;
 use horse_trace::{Component, TraceData, TraceLog, TraceOptions, TraceSummary, Tracer};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,12 +91,22 @@ pub struct Runner {
     /// echoed into the report's `pump_run_threads`.
     run_threads: usize,
 
-    /// Traffic events waiting for a route / rules.
-    pending: BTreeMap<usize, FlowSpec>,
-    /// PACKET_INs already sent for (traffic idx, switch) pairs.
-    miss_sent: BTreeSet<(usize, NodeId)>,
-    active_by_idx: BTreeMap<usize, FlowId>,
-    idx_by_flow: BTreeMap<FlowId, usize>,
+    /// Traffic events waiting for a route / rules, as a dense slab keyed
+    /// by traffic index (ascending-index iteration matches the old
+    /// `BTreeMap<usize, _>` order exactly).
+    pending: Vec<Option<FlowSpec>>,
+    pending_count: usize,
+    /// Switches already sent a PACKET_IN for each traffic index (tiny
+    /// per-flow lists — a flow's first packet misses at most a handful of
+    /// hops before rules land).
+    miss_sent: Vec<Vec<NodeId>>,
+    /// Active flow per traffic index, dense.
+    active_by_idx: Vec<Option<FlowId>>,
+    active_count: usize,
+    /// Traffic index per flow slot (`FlowId` values are dense u32s, never
+    /// reused), grown on demand; ascending-slot iteration matches the old
+    /// `BTreeMap<FlowId, _>` order exactly.
+    idx_by_flow: Vec<Option<usize>>,
     completion_event: Option<(EventId, FlowId)>,
     ctrl_event: Option<(SimTime, EventId)>,
     retry_scheduled: bool,
@@ -135,6 +145,7 @@ impl Runner {
         sample_interval: SimDuration,
         label: String,
     ) -> Runner {
+        let n = traffic.len();
         Runner {
             topo,
             dp,
@@ -149,10 +160,12 @@ impl Runner {
             sample_interval,
             label,
             run_threads: 1,
-            pending: BTreeMap::new(),
-            miss_sent: BTreeSet::new(),
-            active_by_idx: BTreeMap::new(),
-            idx_by_flow: BTreeMap::new(),
+            pending: vec![None; n],
+            pending_count: 0,
+            miss_sent: vec![Vec::new(); n],
+            active_by_idx: vec![None; n],
+            active_count: 0,
+            idx_by_flow: Vec::new(),
             completion_event: None,
             ctrl_event: None,
             retry_scheduled: false,
@@ -219,6 +232,56 @@ impl Runner {
     pub fn set_run_threads(&mut self, threads: usize) {
         self.run_threads = threads.max(1);
         self.control.set_run_threads(threads);
+        self.fluid.set_run_threads(threads);
+    }
+
+    // ---- dense flow-bookkeeping slabs --------------------------------
+
+    fn pending_insert(&mut self, idx: usize, spec: FlowSpec) {
+        if self.pending[idx].replace(spec).is_none() {
+            self.pending_count += 1;
+        }
+    }
+
+    fn pending_remove(&mut self, idx: usize) {
+        if self.pending[idx].take().is_some() {
+            self.pending_count -= 1;
+        }
+    }
+
+    /// Pending (idx, spec) pairs in ascending traffic-index order.
+    fn pending_snapshot(&self) -> Vec<(usize, FlowSpec)> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (i, s)))
+            .collect()
+    }
+
+    fn activate(&mut self, idx: usize, fid: FlowId) {
+        if self.active_by_idx[idx].replace(fid).is_none() {
+            self.active_count += 1;
+        }
+        let slot = fid.0 as usize;
+        if slot >= self.idx_by_flow.len() {
+            self.idx_by_flow.resize(slot + 1, None);
+        }
+        self.idx_by_flow[slot] = Some(idx);
+    }
+
+    fn deactivate_idx(&mut self, idx: usize) -> Option<FlowId> {
+        let fid = self.active_by_idx[idx].take()?;
+        self.active_count -= 1;
+        self.idx_by_flow[fid.0 as usize] = None;
+        Some(fid)
+    }
+
+    fn deactivate_flow(&mut self, fid: FlowId) -> Option<usize> {
+        let idx = *self.idx_by_flow.get(fid.0 as usize)?.as_ref()?;
+        self.idx_by_flow[fid.0 as usize] = None;
+        self.active_by_idx[idx] = None;
+        self.active_count -= 1;
+        Some(idx)
     }
 
     /// Read access to the data plane (tests).
@@ -311,14 +374,13 @@ impl Runner {
                 self.flush_fluid(now);
             }
             Ev::FlowStop(idx) => {
-                if let Some(fid) = self.active_by_idx.remove(&idx) {
-                    self.idx_by_flow.remove(&fid);
+                if let Some(fid) = self.deactivate_idx(idx) {
                     self.notify_flow_retired(now, fid);
                     let _ = self.fluid.stop(now, fid, &self.topo);
                     self.resync_completion(now);
                     self.sample(now);
                 }
-                self.pending.remove(&idx);
+                self.pending_remove(idx);
             }
             Ev::Completion(fid) => {
                 // May be stale (rates changed since scheduling); re-check.
@@ -327,8 +389,7 @@ impl Runner {
                 }
                 self.fluid.advance(now);
                 if self.fluid.is_complete(fid) {
-                    if let Some(idx) = self.idx_by_flow.remove(&fid) {
-                        self.active_by_idx.remove(&idx);
+                    if let Some(idx) = self.deactivate_flow(fid) {
                         self.fcts
                             .push(now.duration_since(self.traffic[idx].start).as_secs_f64());
                     }
@@ -376,11 +437,12 @@ impl Runner {
             Ev::Retry => {
                 self.retry_scheduled = false;
                 // A fresh "first packet" may be punted again.
-                self.miss_sent
-                    .retain(|(idx, _)| !self.pending.contains_key(idx));
-                let retry: Vec<(usize, FlowSpec)> =
-                    self.pending.iter().map(|(i, s)| (*i, *s)).collect();
-                for (idx, spec) in retry {
+                for idx in 0..self.pending.len() {
+                    if self.pending[idx].is_some() {
+                        self.miss_sent[idx].clear();
+                    }
+                }
+                for (idx, spec) in self.pending_snapshot() {
                     self.try_start_flow(now, idx, spec);
                 }
                 self.flush_fluid(now);
@@ -425,7 +487,7 @@ impl Runner {
 
     /// Keeps a retry event scheduled while any flow is unrouted.
     fn ensure_retry(&mut self, now: SimTime) {
-        if !self.pending.is_empty() && !self.retry_scheduled {
+        if self.pending_count > 0 && !self.retry_scheduled {
             let at = (now + RETRY_INTERVAL).min(self.horizon);
             if at > now {
                 self.queue.push(at, Ev::Retry);
@@ -441,28 +503,27 @@ impl Runner {
                 // burst of starts/reroutes via [`Runner::flush_fluid`].
                 match self.fluid.start_deferred(now, spec, path, &self.topo) {
                     Ok(fid) => {
-                        self.pending.remove(&idx);
-                        self.active_by_idx.insert(idx, fid);
-                        self.idx_by_flow.insert(fid, idx);
-                        if self.pending.is_empty()
+                        self.pending_remove(idx);
+                        self.activate(idx, fid);
+                        if self.pending_count == 0
                             && self.all_routed_at.is_none()
-                            && self.active_by_idx.len() + self.completions.len()
-                                >= self.traffic.len()
+                            && self.active_count + self.completions.len() >= self.traffic.len()
                         {
                             self.all_routed_at = Some(now);
                         }
                     }
                     Err(_) => {
-                        self.pending.insert(idx, spec);
+                        self.pending_insert(idx, spec);
                     }
                 }
             }
             Err(ResolveError::TableMiss { node, in_port }) => {
-                self.pending.insert(idx, spec);
+                self.pending_insert(idx, spec);
                 // Synthesize the flow's first packet and punt it — this is
                 // the "control plane packets are actually sent to the data
                 // plane" path of the paper's SDN mode.
-                if self.miss_sent.insert((idx, node)) {
+                if !self.miss_sent[idx].contains(&node) {
+                    self.miss_sent[idx].push(node);
                     if let ControlPlane::Sdn(sdn) = &mut self.control {
                         let pkt = Packet::first_of(
                             spec.tuple,
@@ -478,7 +539,7 @@ impl Runner {
             }
             Err(_) => {
                 // No route yet (BGP still converging), link down, …: park.
-                self.pending.insert(idx, spec);
+                self.pending_insert(idx, spec);
             }
         }
         self.ensure_retry(now);
@@ -488,14 +549,20 @@ impl Runner {
     /// All starts and reroutes triggered by one control burst are deferred
     /// into a single scoped fluid solve.
     fn on_tables_changed(&mut self, now: SimTime) {
-        let retry: Vec<(usize, FlowSpec)> = self.pending.iter().map(|(i, s)| (*i, *s)).collect();
-        for (idx, spec) in retry {
+        for (idx, spec) in self.pending_snapshot() {
             self.try_start_flow(now, idx, spec);
         }
+        // Ascending flow-slot order == ascending FlowId order (slots are
+        // never reused), matching the former `BTreeMap<FlowId, _>` walk.
         let active: Vec<(FlowId, FlowSpec)> = self
             .idx_by_flow
-            .keys()
-            .filter_map(|fid| self.fluid.spec(*fid).map(|s| (*fid, *s)))
+            .iter()
+            .enumerate()
+            .filter(|(_, idx)| idx.is_some())
+            .filter_map(|(slot, _)| {
+                let fid = FlowId(slot as u64);
+                self.fluid.spec(fid).map(|s| (fid, *s))
+            })
             .collect();
         for (fid, spec) in active {
             if let Ok(path) = self.dp.resolve(&self.topo, spec.src, spec.dst, &spec.tuple) {
@@ -575,6 +642,7 @@ impl Runner {
         let pump = self.control.pump_stats();
         let rib = self.control.rib_stats();
         let mem = self.control.mem_stats();
+        let fluid = self.fluid.solver_stats();
         let trace = if self.tracer.enabled() {
             self.trace_modes();
             let mut logs = Vec::new();
@@ -606,7 +674,7 @@ impl Runner {
                 ControlPlane::None => 0,
             },
             flows_requested: self.traffic.len(),
-            flows_routed: self.active_by_idx.len() + self.completions.len(),
+            flows_routed: self.active_count + self.completions.len(),
             completions: std::mem::take(&mut self.completions),
             flow_completion_secs: std::mem::take(&mut self.fcts),
             all_routed_at: self.all_routed_at,
@@ -618,6 +686,14 @@ impl Runner {
             pump_run_threads: self.run_threads as u64,
             pump_parallel_rounds: pump.parallel_rounds,
             pump_parallel_nodes: pump.parallel_nodes,
+            fluid_solves: fluid.solves,
+            fluid_seed_dlinks: fluid.seed_dlinks,
+            fluid_flows_touched: fluid.flows_touched,
+            fluid_scratch_reuses: fluid.scratch_reuses,
+            fluid_heap_pushes: fluid.heap_pushes,
+            fluid_heap_stale_pops: fluid.heap_stale_pops,
+            fluid_parallel_rounds: fluid.parallel_rounds,
+            fluid_parallel_components: fluid.parallel_components,
             rib_decide_calls: rib.decide_calls,
             rib_decide_cache_hits: rib.decide_cache_hits,
             rib_invalidations: rib.invalidations,

@@ -22,6 +22,7 @@
 pub mod addr;
 pub mod flow;
 pub mod fluid;
+pub mod fluid_naive;
 pub mod intern;
 pub mod packet;
 pub mod topology;

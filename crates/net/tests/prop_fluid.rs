@@ -19,6 +19,7 @@
 use horse_net::addr::Ipv4Prefix;
 use horse_net::flow::{FiveTuple, FlowId, FlowSpec};
 use horse_net::fluid::{Dirty, FluidNetwork};
+use horse_net::fluid_naive::NaiveFluidNetwork;
 use horse_net::topology::{LinkId, NodeId, Topology};
 use horse_sim::SimTime;
 use proptest::prelude::*;
@@ -301,6 +302,410 @@ proptest! {
         let expect = 0.25 * G / 8.0 * (now_ms as f64 / 1e3);
         let got = net.progress(id).unwrap().bytes_sent;
         prop_assert!((got - expect).abs() < 1.0, "{got} vs {expect}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arena vs oracle differential properties
+//
+// `FluidNetwork` is the arena-backed fast path; `NaiveFluidNetwork` is the
+// pre-refactor solver preserved verbatim as an oracle. The two must agree on
+// every externally visible quantity under arbitrary churn — including the
+// quantities the fast path derives lazily (bytes) or caches (completions).
+// ---------------------------------------------------------------------------
+
+/// Nanosecond slack between the oracle's eagerly-computed completion times
+/// and the fast path's heap predictions (both are `rate × remaining` float
+/// arithmetic folded at different instants).
+const COMPLETION_TOL_NS: u64 = 2_000;
+
+/// Two spine switches give every host pair two disjoint two-hop shortest
+/// paths, so reroutes are meaningful and the flow-sharing graph genuinely
+/// splits (all-via-x vs all-via-y) and merges as flows move between spines.
+fn build_dual_spine(n: usize) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let sn: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+    let x = t.add_switch("x", Ipv4Addr::new(10, 255, 0, 1));
+    let y = t.add_switch("y", Ipv4Addr::new(10, 255, 0, 2));
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let h = t.add_host(format!("h{i}"), Ipv4Addr::new(10, 0, i as u8, 1), sn);
+            t.add_link(h, x, G, 0);
+            t.add_link(h, y, G, 0);
+            h
+        })
+        .collect();
+    (t, hosts)
+}
+
+/// Asserts that the fast path and the oracle agree on the full externally
+/// visible state: per-flow liveness, rates, accrued bytes, and the next
+/// predicted completion.
+fn assert_nets_agree(
+    fast: &mut FluidNetwork,
+    naive: &mut NaiveFluidNetwork,
+    started: &[FlowId],
+) -> Result<(), TestCaseError> {
+    for id in started {
+        let (fr, nr) = (fast.rate_of(*id), naive.rate_of(*id));
+        prop_assert_eq!(fr.is_some(), nr.is_some(), "liveness of {} diverged", id);
+        let (Some(fr), Some(nr)) = (fr, nr) else {
+            continue;
+        };
+        prop_assert!(
+            (fr - nr).abs() < DIFF_TOL,
+            "flow {} rate: arena {} vs oracle {}",
+            id,
+            fr,
+            nr
+        );
+        let fb = fast.progress(*id).unwrap().bytes_sent;
+        let nb = naive.progress(*id).unwrap().bytes_sent;
+        prop_assert!(
+            (fb - nb).abs() < 16.0,
+            "flow {} bytes: arena {} vs oracle {}",
+            id,
+            fb,
+            nb
+        );
+    }
+    let (fc, nc) = (fast.next_completion(), naive.next_completion());
+    match (fc, nc) {
+        (None, None) => {}
+        (Some((ft, _)), Some((nt, _))) => {
+            // Times must agree; on a near-tie the two shapes may order the
+            // tied flows differently, which the drain loop tolerates.
+            prop_assert!(
+                ft.as_nanos().abs_diff(nt.as_nanos()) <= COMPLETION_TOL_NS,
+                "next completion: arena {:?} vs oracle {:?}",
+                ft,
+                nt
+            );
+        }
+        (f, n) => prop_assert!(false, "completion presence diverged: {:?} vs {:?}", f, n),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential: an identical op script of starts (bounded and
+    /// unbounded), stops, reroutes between spines, and link flaps must
+    /// leave the arena solver and the preserved naive oracle in agreement
+    /// after every op, and the two must then drain the same completion
+    /// schedule.
+    #[test]
+    fn oracle_and_arena_agree_under_churn(
+        n in 3usize..6,
+        ops in prop::collection::vec((0usize..4, 0usize..64), 1..20),
+    ) {
+        let (mut topo, hosts) = build_dual_spine(n);
+        let links: Vec<LinkId> = topo.link_ids().collect();
+        let mut fast = FluidNetwork::new();
+        let mut naive = NaiveFluidNetwork::new();
+        let mut started: Vec<FlowId> = Vec::new();
+        let mut endpoints: Vec<(usize, usize)> = Vec::new();
+        let mut t = 1u64;
+        for (op, pick) in ops {
+            let now = SimTime::from_millis(t);
+            t += 1;
+            match op {
+                // Stop a flow (in both nets) if it is still active.
+                0 if !started.is_empty() => {
+                    let id = started[pick % started.len()];
+                    if fast.rate_of(id).is_some() {
+                        fast.stop(now, id, &topo).unwrap();
+                        naive.stop(now, id, &topo).unwrap();
+                    }
+                }
+                // Flap a link: both nets see the same dirty seed. This is
+                // what splits a spine's component into per-host fragments.
+                1 => {
+                    let lid = links[pick % links.len()];
+                    topo.link_mut(lid).up = !topo.link(lid).up;
+                    fast.advance(now);
+                    naive.advance(now);
+                    fast.recompute_incremental(&topo, &[Dirty::Link(lid)]);
+                    naive.recompute_incremental(&topo, &[Dirty::Link(lid)]);
+                }
+                // Reroute an active flow onto its other spine path.
+                2 if !started.is_empty() => {
+                    let i = pick % started.len();
+                    let id = started[i];
+                    if fast.rate_of(id).is_some() {
+                        let (a, b) = endpoints[i];
+                        let paths = topo.all_shortest_paths(hosts[a], hosts[b]);
+                        if !paths.is_empty() {
+                            let path = paths[pick % paths.len()].clone();
+                            fast.reroute(now, id, path.clone(), &topo).unwrap();
+                            naive.reroute(now, id, path, &topo).unwrap();
+                        }
+                    }
+                }
+                // Start a deferred burst of flows, bounded and unbounded
+                // mixed, on a pick-chosen spine path; flush once.
+                _ => {
+                    for i in 0..(pick % 3) + 1 {
+                        let a = (pick + i) % hosts.len();
+                        let b = (pick + i + 1) % hosts.len();
+                        let tuple = FiveTuple::udp(
+                            Ipv4Addr::new(10, 0, a as u8, 1),
+                            5000 + t as u16 * 8 + i as u16,
+                            Ipv4Addr::new(10, 0, b as u8, 1),
+                            2000,
+                        );
+                        let demand = (0.1 + 0.2 * i as f64) * G;
+                        let spec = if pick % 2 == 0 {
+                            FlowSpec::cbr(hosts[a], hosts[b], tuple, demand)
+                        } else {
+                            let size = 50_000 + 37_000 * (pick as u64 + i as u64);
+                            FlowSpec::transfer(hosts[a], hosts[b], tuple, demand, size)
+                        };
+                        let paths = topo.all_shortest_paths(hosts[a], hosts[b]);
+                        let Some(path) = paths.get(pick % paths.len().max(1)).cloned()
+                        else {
+                            continue;
+                        };
+                        let fid = fast
+                            .start_deferred(now, spec.clone(), path.clone(), &topo)
+                            .unwrap();
+                        let nid = naive.start_deferred(now, spec, path, &topo).unwrap();
+                        prop_assert_eq!(fid, nid, "id assignment diverged");
+                        started.push(fid);
+                        endpoints.push((a, b));
+                    }
+                    fast.flush(&topo);
+                    naive.flush(&topo);
+                }
+            }
+            // Retire completions due by `now` in lockstep, as the runner's
+            // completion events would. Stopping the flow in *both* nets
+            // whenever either reports it due keeps them aligned even when
+            // a completion instant straddles `now` by a rounding hair.
+            let mut guard = 0u32;
+            loop {
+                guard += 1;
+                prop_assert!(guard < 10_000, "completion retirement did not converge");
+                let due = match fast.next_completion() {
+                    Some((ct, cf)) if ct <= now => Some(cf),
+                    _ => match naive.next_completion() {
+                        Some((ct, cf)) if ct <= now => Some(cf),
+                        _ => None,
+                    },
+                };
+                let Some(cf) = due else { break };
+                for rem in [
+                    fast.progress(cf).unwrap().bytes_remaining,
+                    naive.progress(cf).unwrap().bytes_remaining,
+                ] {
+                    prop_assert!(
+                        rem.expect("due flows are bounded") < 1_000.0,
+                        "flow {} retired with {:?} bytes left", cf, rem
+                    );
+                }
+                fast.stop(now, cf, &topo).unwrap();
+                naive.stop(now, cf, &topo).unwrap();
+            }
+            assert_nets_agree(&mut fast, &mut naive, &started)?;
+        }
+        // Drain each net to quiescence independently (the runner's loop:
+        // advance to the predicted instant, stop once actually complete —
+        // a prediction may round a nanosecond early, in which case the
+        // next query re-predicts just past the watermark). The two nets
+        // must retire the same flows at the same times.
+        macro_rules! drain {
+            ($net:expr) => {{
+                let mut done: Vec<(u64, u64)> = Vec::new();
+                let mut wm = SimTime::from_millis(t);
+                let mut guard = 0u32;
+                while let Some((ct, cf)) = $net.next_completion() {
+                    guard += 1;
+                    prop_assert!(guard < 100_000, "drain did not converge");
+                    wm = wm.max(ct);
+                    $net.advance(wm);
+                    if $net.is_complete(cf) {
+                        $net.stop(wm, cf, &topo).unwrap();
+                        done.push((cf.0, ct.as_nanos()));
+                    }
+                }
+                done.sort_unstable();
+                done
+            }};
+        }
+        let fast_done = drain!(fast);
+        let naive_done = drain!(naive);
+        let fast_ids: Vec<u64> = fast_done.iter().map(|(id, _)| *id).collect();
+        let naive_ids: Vec<u64> = naive_done.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(&fast_ids, &naive_ids, "completed flow sets diverged");
+        for ((id, ft), (_, nt)) in fast_done.iter().zip(&naive_done) {
+            prop_assert!(
+                ft.abs_diff(*nt) <= COMPLETION_TOL_NS,
+                "flow {} finished at {}ns (arena) vs {}ns (oracle)", id, ft, nt
+            );
+        }
+    }
+
+    /// Completion-heap staleness: whatever churn has pushed stale entries
+    /// into the heap, every `next_completion` answer must be *current* —
+    /// an active flow whose predicted finish equals the brute-force
+    /// minimum over all active bounded flows (with the `(time, FlowId)`
+    /// tie-break), never a stopped or unbounded flow.
+    #[test]
+    fn completion_heap_pops_are_current_or_stale(
+        ops in prop::collection::vec((0usize..3, 0usize..64), 1..24),
+    ) {
+        let (topo, hosts) = build_chain(3);
+        let mut net = FluidNetwork::new();
+        let mut started: Vec<FlowId> = Vec::new();
+        let mut t = 1u64;
+        for (op, pick) in ops {
+            let now = SimTime::from_millis(t);
+            t += 1;
+            match op {
+                // Start a bounded transfer (rate changes re-predict every
+                // sharing flow, pushing fresh heap entries over stale ones).
+                0 => {
+                    let a = pick % hosts.len();
+                    let b = (pick + 1 + pick % (hosts.len() - 1)) % hosts.len();
+                    let tuple = FiveTuple::udp(
+                        Ipv4Addr::new(10, 0, a as u8, 1),
+                        7000 + t as u16,
+                        Ipv4Addr::new(10, 0, b as u8, 1),
+                        2000,
+                    );
+                    let demand = (0.2 + 0.1 * (pick % 5) as f64) * G;
+                    let size = 40_000 + 29_000 * pick as u64;
+                    let spec = FlowSpec::transfer(hosts[a], hosts[b], tuple, demand, size);
+                    let path = chain_path(&topo, &hosts, a, b);
+                    let (id, _) = net.start(now, spec, path, &topo).unwrap();
+                    started.push(id);
+                }
+                // Stop a flow: its heap entries go stale and must never be
+                // served.
+                1 if !started.is_empty() => {
+                    let id = started[pick % started.len()];
+                    if net.rate_of(id).is_some() {
+                        net.stop(now, id, &topo).unwrap();
+                    }
+                }
+                // Advance the watermark without touching rates.
+                _ => {
+                    t += pick as u64;
+                    net.advance(SimTime::from_millis(t));
+                }
+            }
+            net.advance(SimTime::from_millis(t));
+            let wm = SimTime::from_millis(t);
+            // Contract: an answer at or before the watermark means the flow
+            // is genuinely complete (the heap re-predicts rounding tails
+            // internally before answering). Retire such flows as the
+            // runner's completion events would.
+            let mut guard = 0u32;
+            while let Some((ct, cf)) = net.next_completion() {
+                if ct > wm {
+                    break;
+                }
+                guard += 1;
+                prop_assert!(guard < 10_000, "retirement did not converge");
+                prop_assert!(
+                    net.is_complete(cf),
+                    "served {} at {:?} though incomplete", cf, ct
+                );
+                net.stop(wm, cf, &topo).unwrap();
+            }
+            // Brute-force reference from public state only: min
+            // (finish time, FlowId) over active bounded in-progress flows
+            // at positive rate — what the oracle's full scan computes.
+            let ids: Vec<FlowId> = net.flow_ids().collect();
+            let mut best: Option<(u64, u64)> = None;
+            for id in ids {
+                let p = net.progress(id).unwrap();
+                let Some(rem) = p.bytes_remaining else { continue };
+                if rem <= 0.0 || p.rate_bps <= 1e-6 {
+                    continue; // retired above / stalled: never finishes
+                }
+                let dt_ns = (((rem * 8.0 / p.rate_bps) * 1e9).ceil() as u64).max(1);
+                let cand = (wm.as_nanos() + dt_ns, id.0);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+            match (net.next_completion(), best) {
+                (None, None) => {}
+                (Some((gt, gf)), Some((bt, _))) => {
+                    // The served flow must be live and bounded…
+                    prop_assert!(net.rate_of(gf).is_some(), "served stopped flow {}", gf);
+                    let gp = net.progress(gf).unwrap();
+                    prop_assert!(gp.bytes_remaining.is_some(), "served unbounded flow");
+                    // …its time must match the brute-force minimum…
+                    prop_assert!(
+                        gt.as_nanos().abs_diff(bt) <= COMPLETION_TOL_NS,
+                        "served {:?}, brute minimum {}ns", gt, bt
+                    );
+                    // …and the served flow's own finish must itself be
+                    // minimal (tie-break slack aside) — a stale heap entry
+                    // for a re-rated flow must never be passed through.
+                    let rem = gp.bytes_remaining.unwrap();
+                    let own = wm.as_nanos()
+                        + (((rem * 8.0 / gp.rate_bps) * 1e9).ceil() as u64).max(1);
+                    prop_assert!(
+                        own.abs_diff(bt) <= COMPLETION_TOL_NS,
+                        "served flow finishes at {}ns, minimum is {}ns", own, bt
+                    );
+                }
+                (got, brute) => prop_assert!(
+                    false,
+                    "completion presence: heap {:?} vs brute {:?}", got, brute
+                ),
+            }
+        }
+    }
+
+    /// Lazy accrual is a pure function of the watermark: advancing in k
+    /// steps, advancing once, and re-reading at the same instant all
+    /// derive bit-identical byte counts, and a settle (forced by a rate
+    /// change) at the same instant preserves the derived value exactly.
+    #[test]
+    fn lazy_accrual_is_idempotent(steps in prop::collection::vec(1u64..500, 1..16)) {
+        let (topo, hosts) = build_chain(2);
+        let tuple = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 1, 1), 2,
+        );
+        let spec = FlowSpec::cbr(hosts[0], hosts[1], tuple, 0.25 * G);
+        let path = chain_path(&topo, &hosts, 0, 1);
+
+        // Net A advances in k steps; net B jumps straight to the end.
+        let mut stepped = FluidNetwork::new();
+        let mut jumped = FluidNetwork::new();
+        let (id, _) = stepped.start(SimTime::ZERO, spec.clone(), path.clone(), &topo).unwrap();
+        let (jid, _) = jumped.start(SimTime::ZERO, spec, path.clone(), &topo).unwrap();
+        prop_assert_eq!(id, jid);
+        let mut now_ms = 0u64;
+        for s in &steps {
+            now_ms += s;
+            stepped.advance(SimTime::from_millis(now_ms));
+        }
+        jumped.advance(SimTime::from_millis(now_ms));
+        let a = stepped.progress(id).unwrap().bytes_sent;
+        let b = jumped.progress(id).unwrap().bytes_sent;
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "k-step {} vs one-shot {}", a, b);
+
+        // Re-reading at the same instant changes nothing.
+        stepped.advance(SimTime::from_millis(now_ms));
+        let again = stepped.progress(id).unwrap().bytes_sent;
+        prop_assert_eq!(a.to_bits(), again.to_bits());
+
+        // A rate change settles the flow (folds derived bytes into the
+        // base); the settle must not move the derived value.
+        let rival_tuple = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1), 3, Ipv4Addr::new(10, 0, 1, 1), 4,
+        );
+        let rival = FlowSpec::cbr(hosts[0], hosts[1], rival_tuple, G);
+        let now = SimTime::from_millis(now_ms);
+        stepped.start(now, rival, path, &topo).unwrap();
+        let settled = stepped.progress(id).unwrap().bytes_sent;
+        prop_assert_eq!(a.to_bits(), settled.to_bits(), "settle moved bytes: {} -> {}", a, settled);
     }
 }
 

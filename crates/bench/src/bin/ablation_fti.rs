@@ -22,7 +22,7 @@ use horse_net::addr::Ipv4Prefix;
 use horse_net::flow::{FiveTuple, FlowSpec};
 use horse_net::topology::Topology;
 use horse_sim::{SimDuration, SimTime};
-use horse_sweep::{run_indexed, threads_from_env, TopoCache};
+use horse_sweep::{run_indexed, threads_from_env, TopoCache, TopologySpec};
 use horse_topo::bgp_setups_for;
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
@@ -97,8 +97,11 @@ fn main() {
     let (results, stats) = run_indexed(tasks.len(), threads, |i| match tasks[i] {
         Task::A1 { incr_ms } => two_router(incr_ms, 100.0).run(),
         Task::A2 { quiesce_ms } => {
-            let ft = cache.fattree(4, TeApproach::Hedera.switch_role());
-            Experiment::demo_on(&ft, TeApproach::Hedera, 42)
+            let bt = cache.built(
+                &TopologySpec::FatTree { k: 4 },
+                TeApproach::Hedera.switch_role(),
+            );
+            Experiment::on_built(&bt, TeApproach::Hedera, 42)
                 .horizon_secs(15.0)
                 .fti(
                     SimDuration::from_millis(1),

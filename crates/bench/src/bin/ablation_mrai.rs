@@ -18,7 +18,7 @@
 use horse_core::{ControlBuild, Experiment, ExperimentReport, TeApproach};
 use horse_net::flow::FlowSpec;
 use horse_sim::{SimDuration, SimTime};
-use horse_sweep::{run_indexed, threads_from_env, TopoCache};
+use horse_sweep::{run_indexed, threads_from_env, TopoCache, TopologySpec};
 use horse_topo::pattern::demo_tuple;
 use horse_topo::{bgp_setups_for, waxman_wan};
 use std::fmt::Write as _;
@@ -94,8 +94,11 @@ fn main() {
     let cache = TopoCache::new();
     let (results, stats) = run_indexed(tasks.len(), threads, |i| match tasks[i] {
         Task::FatTreeConvergence { mrai_ms } => {
-            let ft = cache.fattree(4, TeApproach::BgpEcmp.switch_role());
-            let mut e = Experiment::demo_on(&ft, TeApproach::BgpEcmp, 42).horizon_secs(30.0);
+            let bt = cache.built(
+                &TopologySpec::FatTree { k: 4 },
+                TeApproach::BgpEcmp.switch_role(),
+            );
+            let mut e = Experiment::on_built(&bt, TeApproach::BgpEcmp, 42).horizon_secs(30.0);
             set_mrai(&mut e, SimDuration::from_millis(mrai_ms));
             e.run()
         }

@@ -24,7 +24,7 @@ fn main() {
     let reports: Vec<_> = approaches
         .iter()
         .map(|te| {
-            Experiment::demo(pods, *te, seed)
+            Experiment::for_spec(pods, *te, seed)
                 .horizon_secs(horizon)
                 .sample_every(SimDuration::from_millis(250))
                 .run()

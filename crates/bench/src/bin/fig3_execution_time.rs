@@ -30,8 +30,8 @@
 use horse_baseline::MininetModel;
 use horse_core::{Experiment, TeApproach};
 use horse_sim::Pacing;
-use horse_sweep::{run_indexed, threads_from_env, TopoCache};
-use horse_topo::fattree::{FatTree, SwitchRole};
+use horse_sweep::{run_indexed, threads_from_env, TopoCache, TopologySpec};
+use horse_topo::fattree::SwitchRole;
 use horse_topo::pattern::TrafficPattern;
 use std::fmt::Write as _;
 
@@ -84,8 +84,8 @@ fn main() {
     let cache = TopoCache::new();
     let (results, stats) = run_indexed(tasks.len(), threads, |i| {
         let t = &tasks[i];
-        let ft = cache.fattree(t.k, t.te.switch_role());
-        let report = Experiment::demo_on(&ft, t.te, seed)
+        let bt = cache.built(&TopologySpec::FatTree { k: t.k }, t.te.switch_role());
+        let report = Experiment::on_built(&bt, t.te, seed)
             .horizon_secs(duration)
             .pacing(t.pacing)
             .run();
@@ -126,7 +126,7 @@ fn main() {
         let horse_virtual = cell(k, true);
         let horse_rt = cell(k, false);
 
-        let ft = FatTree::build(k, SwitchRole::OpenFlow, 1e9, 1_000);
+        let ft = cache.fattree(k, SwitchRole::OpenFlow);
         let hosts = ft.hosts.len();
         let switches = ft.switches().len();
         let links = ft.topo.link_count();

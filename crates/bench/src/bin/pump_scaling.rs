@@ -35,7 +35,7 @@ struct Arm {
 fn run_arm(k: usize, mode: PumpMode, reps: usize) -> Arm {
     let mut best: Option<Arm> = None;
     for _ in 0..reps {
-        let report = Experiment::demo(k, TeApproach::BgpEcmp, SEED)
+        let report = Experiment::for_spec(k, TeApproach::BgpEcmp, SEED)
             .pump_mode(mode)
             .run();
         let wall = report.wall_run_secs;

@@ -14,7 +14,7 @@
 //! (defaults: 4 6 8 10 12)
 
 use horse_core::{Experiment, TeApproach};
-use horse_sweep::{run_indexed, threads_from_env, TopoCache};
+use horse_sweep::{run_indexed, threads_from_env, TopoCache, TopologySpec};
 use std::fmt::Write as _;
 
 const APPROACHES: [TeApproach; 3] = [TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp];
@@ -39,9 +39,9 @@ fn main() {
     let cache = TopoCache::new();
     let (results, stats) = run_indexed(tasks.len(), threads, |i| {
         let (k, te) = tasks[i];
-        let ft = cache.fattree(k, te.switch_role());
-        let hosts = ft.hosts.len();
-        let report = Experiment::demo_on(&ft, te, seed)
+        let bt = cache.built(&TopologySpec::FatTree { k }, te.switch_role());
+        let hosts = bt.fat_tree.as_ref().expect("fat-tree spec").hosts.len();
+        let report = Experiment::on_built(&bt, te, seed)
             .horizon_secs(duration)
             .run();
         assert_eq!(report.flows_routed, hosts, "k={k} {te:?}");

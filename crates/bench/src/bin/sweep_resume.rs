@@ -10,21 +10,31 @@
 //! 3. A clean run into a different checkpoint dir must produce a
 //!    byte-identical `sweep_resume.json` (CI diffs the two).
 //!
-//! The plan is small but heterogeneous (two approaches, a link-failure
-//! scenario) so the semantic report actually depends on run identity.
+//! The plan is small but heterogeneous — a fat-tree and a zoo WAN on
+//! the topology axis, baseline and Gao–Rexford policies, and a
+//! percentile link failure (the topology-generic victim selector) — so
+//! the semantic report actually depends on run identity and the
+//! checkpoint path covers every new grid axis.
 
 use horse_core::config::RunConfig;
 use horse_core::TeApproach;
 use horse_sim::SimTime;
-use horse_sweep::{FailureScenario, SweepPlan};
+use horse_sweep::{FailureScenario, PolicyScenario, SweepPlan, TopologySpec};
 
 fn plan() -> SweepPlan {
     SweepPlan::new(42)
-        .pods([4])
-        .approaches([TeApproach::BgpEcmp, TeApproach::SdnEcmp])
+        .topologies([
+            TopologySpec::FatTree { k: 4 },
+            TopologySpec::Zoo {
+                name: "Abilene".to_string(),
+            },
+        ])
+        .policies([PolicyScenario::Baseline, PolicyScenario::GaoRexford])
+        .approaches([TeApproach::BgpEcmp])
         .failures([
             FailureScenario::None,
-            FailureScenario::CoreUplinkDown {
+            FailureScenario::LinkPercentile {
+                pct: 50,
                 at: SimTime::from_secs(1),
                 restore: None,
             },

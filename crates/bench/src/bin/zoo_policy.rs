@@ -1,0 +1,193 @@
+//! X6 — Topology Zoo × BGP-policy sweep (the corpus-scale artifact).
+//!
+//! One `SweepPlan` converges real-world WAN graphs from the vendored
+//! Topology Zoo corpus under each policy scenario (baseline, local-pref
+//! traffic engineering, Gao–Rexford roles) and writes
+//! `bench_results/zoo_policy.json`: one row per (topology, scenario)
+//! with the convergence time (last DES↔FTI mode transition), control
+//! message and table-write counters, and the run wall time, plus a
+//! sweep-level FNV-1a digest of the semantic report — the
+//! worker-count-independence key CI compares across 1/2/4 workers.
+//!
+//! ```text
+//! usage: zoo_policy [topologies] [scenarios] [horizon_s]
+//! ```
+//!
+//! `topologies` caps how many corpus graphs the plan sweeps (0 = all,
+//! default 50, ordered by corpus name); `scenarios` takes the first N
+//! of baseline/local-pref-te/gao-rexford (default 3); `horizon_s` is
+//! the per-run horizon (default 10 s). CI's smoke job runs
+//! `zoo_policy 10 1` twice at different `HORSE_THREADS` and diffs the
+//! digests. The sweep executes on the crash-safe checkpoint path, so
+//! `HORSE_SWEEP_MAX_RUNS` / `HORSE_CHECKPOINT_DIR` resume partial
+//! corpus sweeps exactly like `sweep_resume`.
+
+use horse_core::config::RunConfig;
+use horse_core::report::ExperimentReport;
+use horse_core::TeApproach;
+use horse_sweep::{fnv1a64, CheckpointedRun, SweepPlan, TopologySpec, ALL_SCENARIOS};
+use horse_topo::ZooCorpus;
+use std::fmt::Write as _;
+
+fn usage_exit(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: zoo_policy [topologies] [scenarios] [horizon_s]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> (usize, usize, f64) {
+    let mut args = std::env::args().skip(1);
+    let topologies = match args.next() {
+        None => 50,
+        Some(a) => match a.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => usage_exit(&format!("invalid topology count {a:?}")),
+        },
+    };
+    let scenarios = match args.next() {
+        None => ALL_SCENARIOS.len(),
+        Some(a) => match a.parse::<usize>() {
+            Ok(n) if (1..=ALL_SCENARIOS.len()).contains(&n) => n,
+            _ => usage_exit(&format!(
+                "invalid scenario count {a:?} (want 1..={})",
+                ALL_SCENARIOS.len()
+            )),
+        },
+    };
+    let horizon_s = match args.next() {
+        None => 10.0,
+        Some(a) => match a.parse::<f64>() {
+            Ok(h) if h.is_finite() && h > 0.0 => h,
+            _ => usage_exit(&format!("invalid horizon {a:?} (want seconds > 0)")),
+        },
+    };
+    if let Some(extra) = args.next() {
+        usage_exit(&format!("unexpected extra argument {extra:?}"));
+    }
+    (topologies, scenarios, horizon_s)
+}
+
+fn plan(topologies: usize, scenarios: usize, horizon_s: f64) -> SweepPlan {
+    let corpus = ZooCorpus::vendored();
+    let names: Vec<&String> = if topologies == 0 {
+        corpus.names().iter().collect()
+    } else {
+        corpus.names().iter().take(topologies).collect()
+    };
+    assert!(!names.is_empty(), "vendored zoo corpus is empty");
+    SweepPlan::new(4242)
+        .topologies(
+            names
+                .iter()
+                .map(|n| TopologySpec::Zoo { name: (*n).clone() }),
+        )
+        .policies(ALL_SCENARIOS[..scenarios].to_vec())
+        .approaches([TeApproach::BgpEcmp])
+        .horizon_secs(horizon_s)
+}
+
+/// One (topology, scenario) row distilled from a run's semantic report.
+fn row(run: &CheckpointedRun, semantic: &str) -> String {
+    let report = ExperimentReport::from_json(semantic)
+        .unwrap_or_else(|e| panic!("unparseable semantic report for {}: {e}", run.label));
+    let converged_ns = report.transitions.last().map(|t| t.at.as_nanos());
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"label\": {}, \"run_index\": {}, \"converged_ns\": {}, \
+         \"transitions\": {}, \"control_msgs\": {}, \"table_writes\": {}, \
+         \"events_processed\": {}, \"wall_ms\": {}}}",
+        horse_stats::json_string(&run.label),
+        run.index,
+        converged_ns.map_or("null".to_string(), |n| n.to_string()),
+        report.transitions.len(),
+        report.control_msgs,
+        report.table_writes,
+        report.events_processed,
+        horse_stats::json_f64(run.wall_ms),
+    );
+    out
+}
+
+fn main() {
+    let (topologies, scenarios, horizon_s) = parse_args();
+    let cfg = RunConfig::from_env();
+    let plan = plan(topologies, scenarios, horizon_s);
+    let n_runs = plan.expand().len();
+    println!(
+        "zoo_policy: plan hash {:016x}, {} topologies x {} scenarios = {} runs, threads {}",
+        plan.plan_hash(),
+        if topologies == 0 {
+            ZooCorpus::vendored().len()
+        } else {
+            topologies.min(ZooCorpus::vendored().len())
+        },
+        scenarios,
+        n_runs,
+        cfg.threads()
+    );
+
+    let sweep = match plan.execute_resumable(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "restored {}, executed {}, failed {}, pending {} (checkpoint {})",
+        sweep.restored,
+        sweep.executed,
+        sweep.failed(),
+        sweep.pending.len(),
+        sweep.path.display()
+    );
+    if !sweep.is_complete() {
+        println!("incomplete — rerun without HORSE_SWEEP_MAX_RUNS to finish");
+        std::process::exit(3);
+    }
+    if sweep.failed() > 0 {
+        eprintln!(
+            "error: {} runs failed (see checkpoint records)",
+            sweep.failed()
+        );
+        std::process::exit(1);
+    }
+
+    // The determinism contract's comparison key: identical across
+    // worker counts and across interrupted-then-resumed invocations.
+    let semantic = sweep.semantic_json();
+    let digest = fnv1a64(semantic.as_bytes());
+
+    let mut rows = String::from("[\n");
+    for (i, run) in sweep.runs.iter().enumerate() {
+        let horse_sweep::RunOutcome::Ok(sem) = &run.outcome else {
+            unreachable!("failed runs rejected above");
+        };
+        rows.push_str("    ");
+        rows.push_str(&row(run, sem));
+        rows.push_str(if i + 1 < sweep.runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    rows.push_str("  ]");
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"plan_hash\": \"{:016x}\",", plan.plan_hash());
+    let _ = writeln!(out, "  \"semantic_digest\": \"{digest:016x}\",");
+    let _ = writeln!(out, "  \"threads\": {},", cfg.threads());
+    let _ = writeln!(out, "  \"topologies\": {},", n_runs / scenarios);
+    let _ = writeln!(out, "  \"scenarios\": {},", scenarios);
+    let _ = writeln!(
+        out,
+        "  \"horizon_ns\": {},",
+        horse_sim::SimDuration::from_secs_f64(horizon_s).as_nanos()
+    );
+    let _ = writeln!(out, "  \"runs\": {},", sweep.runs.len());
+    let _ = writeln!(out, "  \"rows\": {rows}");
+    out.push_str("}\n");
+    horse_bench::write_result("zoo_policy.json", &out);
+    println!("semantic digest {digest:016x}");
+}

@@ -337,6 +337,7 @@ mod tests {
             next_hop: Ipv4Addr::from(next_hop),
             med: None,
             local_pref: None,
+            communities: vec![],
             unknown: vec![],
         }
     }

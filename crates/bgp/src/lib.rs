@@ -22,6 +22,10 @@
 //!   is built around hash-consed path attributes ([`rib::AttrStore`]), an
 //!   inverted per-prefix candidate index and a memoized decision cache —
 //!   the route-churn fast path.
+//! * [`policy`] — per-peer import/export route-maps (prefix / community /
+//!   AS-path regex-lite matches; local-pref / MED / community / prepend
+//!   sets) and the Gao-Rexford role compiler. Evaluated at exactly two
+//!   choke points: RIB ingest and speaker export.
 //! * [`naive`] — the pre-index RIB kept as a reference model for
 //!   differential tests and the `rib_churn` bench baseline.
 //! * [`btree`] — the address-keyed (`BTreeMap`) indexed RIB preserved as
@@ -34,12 +38,17 @@
 pub mod btree;
 pub mod msg;
 pub mod naive;
+pub mod policy;
 pub mod rib;
 pub mod session;
 pub mod speaker;
 
 pub use btree::BtreeRib;
 pub use msg::{Capability, Message, Notification, OpenMsg, Origin, PathAttributes, UpdateMsg};
+pub use policy::{
+    gao_rexford_policy, AsPathRegex, PeerPolicy, PeerRole, PolicyAction, PolicyVerdict,
+    PrefixMatch, RouteMap, RouteMapClause, RouteMapMatch, RouteMapSet,
+};
 pub use rib::{AttrId, AttrPool, AttrStore, Decision, LocRib, RibStats, RouteInfo};
 pub use session::{PeerConfig, Session, SessionState};
 pub use speaker::{BgpConfig, BgpSpeaker, SpeakerOutput};

@@ -116,6 +116,11 @@ pub struct PathAttributes {
     pub med: Option<u32>,
     /// LOCAL_PREF (well-known for iBGP).
     pub local_pref: Option<u32>,
+    /// COMMUNITIES (RFC 1997, optional transitive). Kept sorted and
+    /// deduplicated so equal community sets intern to one attr entry; an
+    /// empty list is not encoded, keeping policy-free wire bytes identical
+    /// to the pre-communities codec.
+    pub communities: Vec<u32>,
     /// Unrecognized transitive attributes, carried verbatim as
     /// `(flags, type, value)`.
     pub unknown: Vec<(u8, u8, Vec<u8>)>,
@@ -130,8 +135,15 @@ impl PathAttributes {
             next_hop,
             med: None,
             local_pref: None,
+            communities: Vec::new(),
             unknown: Vec::new(),
         }
+    }
+
+    /// True if the RFC 1997 community `c` is attached.
+    pub fn has_community(&self, c: u32) -> bool {
+        // `communities` is kept sorted by every construction path.
+        self.communities.binary_search(&c).is_ok()
     }
 
     /// Total AS-path length (sets count 1).
@@ -603,6 +615,13 @@ fn encode_attrs(a: &PathAttributes, buf: &mut BytesMut) {
     if let Some(lp) = a.local_pref {
         put_attr(buf, ATTR_FLAG_TRANSITIVE, 5, &lp.to_be_bytes());
     }
+    if !a.communities.is_empty() {
+        let mut val = BytesMut::with_capacity(4 * a.communities.len());
+        for c in &a.communities {
+            val.put_u32(*c);
+        }
+        put_attr(buf, ATTR_FLAG_OPTIONAL | ATTR_FLAG_TRANSITIVE, 8, &val);
+    }
     for (flags, code, data) in &a.unknown {
         put_attr(buf, *flags, *code, data);
     }
@@ -632,6 +651,9 @@ fn attrs_wire_len(a: &PathAttributes) -> usize {
     if a.local_pref.is_some() {
         n += attr_len(4);
     }
+    if !a.communities.is_empty() {
+        n += attr_len(4 * a.communities.len());
+    }
     for (_, _, data) in &a.unknown {
         n += attr_len(data.len());
     }
@@ -644,6 +666,7 @@ fn decode_attrs(mut buf: &[u8]) -> Result<PathAttributes, CodecError> {
     let mut next_hop = None;
     let mut med = None;
     let mut local_pref = None;
+    let mut communities = Vec::new();
     let mut unknown = Vec::new();
     while !buf.is_empty() {
         if buf.len() < 3 {
@@ -712,6 +735,18 @@ fn decode_attrs(mut buf: &[u8]) -> Result<PathAttributes, CodecError> {
                 }
                 local_pref = Some(u32::from_be_bytes([val[0], val[1], val[2], val[3]]));
             }
+            8 => {
+                if !val.len().is_multiple_of(4) {
+                    return Err(CodecError::Malformed("communities length"));
+                }
+                while !val.is_empty() {
+                    communities.push(val.get_u32());
+                }
+                // Canonicalize on ingest so equal sets compare (and intern)
+                // equal regardless of sender ordering.
+                communities.sort_unstable();
+                communities.dedup();
+            }
             _ => unknown.push((flags, type_code, val.to_vec())),
         }
     }
@@ -721,6 +756,7 @@ fn decode_attrs(mut buf: &[u8]) -> Result<PathAttributes, CodecError> {
         next_hop: next_hop.ok_or(CodecError::Malformed("missing next_hop"))?,
         med,
         local_pref,
+        communities,
         unknown,
     })
 }
@@ -841,6 +877,7 @@ mod tests {
             next_hop: Ipv4Addr::new(10, 0, 0, 1),
             med: Some(100),
             local_pref: Some(200),
+            communities: vec![],
             unknown: vec![],
         }
     }
@@ -1082,6 +1119,68 @@ mod tests {
             ]
         );
         assert_eq!(b.as_path_len(), 2, "set counts once");
+    }
+
+    #[test]
+    fn communities_roundtrip() {
+        let mut a = sample_attrs();
+        a.communities = vec![0x0001_0002, 0xff00_0001, 0xffff_ff01];
+        let u = UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(Arc::new(a.clone())),
+            nlri: vec![pfx("10.0.0.0/8")],
+        };
+        assert_eq!(u.wire_len(), Message::Update(u.clone()).encode().len());
+        match roundtrip(Message::Update(u)) {
+            Message::Update(got) => {
+                let ga = got.attrs.unwrap();
+                assert_eq!(ga.communities, a.communities);
+                assert!(ga.has_community(0xff00_0001));
+                assert!(!ga.has_community(0xff00_0002));
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_communities_are_not_encoded() {
+        // Byte-compat with the pre-communities codec: an empty list adds
+        // zero wire bytes and no type-8 attribute appears in the encoding.
+        let without = Message::Update(UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(Arc::new(sample_attrs())),
+            nlri: vec![pfx("10.0.0.0/8")],
+        })
+        .encode();
+        let mut a = sample_attrs();
+        a.communities = vec![0xff00_0001];
+        let with = Message::Update(UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(Arc::new(a)),
+            nlri: vec![pfx("10.0.0.0/8")],
+        })
+        .encode();
+        // One community = 3-byte attr header + 4-byte value.
+        assert_eq!(with.len(), without.len() + 7);
+    }
+
+    #[test]
+    fn decoded_communities_are_canonicalized() {
+        // Hand-craft a type-8 attr with unsorted duplicates; the decoder
+        // must sort + dedup so equal sets intern identically.
+        let mut a = sample_attrs();
+        a.communities = vec![5, 5, 3, 9, 3];
+        let bytes = Message::Update(UpdateMsg {
+            withdrawn: vec![],
+            attrs: Some(Arc::new(a)),
+            nlri: vec![pfx("10.0.0.0/8")],
+        })
+        .encode();
+        let (decoded, _) = Message::decode(&bytes).unwrap().unwrap();
+        match decoded {
+            Message::Update(u) => assert_eq!(u.attrs.unwrap().communities, vec![3, 5, 9]),
+            other => panic!("expected update, got {other:?}"),
+        }
     }
 
     #[test]

@@ -181,6 +181,7 @@ impl AttrStore {
             total += (32
                 + std::mem::size_of::<PathAttributes>()
                 + path
+                + 4 * a.communities.len()
                 + unknown
                 + std::mem::size_of::<AttrMeta>()
                 + 48) as u64;
@@ -649,6 +650,23 @@ impl LocRib {
         ebgp: bool,
         update: &UpdateMsg,
     ) -> Vec<PrefixId> {
+        self.update_from_peer_policed(peer, ebgp, update, None)
+    }
+
+    /// [`LocRib::update_from_peer`] with an optional import route-map — the
+    /// single import-policy choke point. With `import: None` the behavior
+    /// (and the one-intern-per-UPDATE shape) is exactly the unpoliced path.
+    /// With a map, NLRI are bucketed by the first matching clause so each
+    /// clause's transform is applied and interned **once per UPDATE**, not
+    /// per prefix; denied prefixes (deny clause or no clause — implicit
+    /// deny) are treated as withdrawals from this peer.
+    pub fn update_from_peer_policed(
+        &mut self,
+        peer: Ipv4Addr,
+        ebgp: bool,
+        update: &UpdateMsg,
+        import: Option<&crate::policy::RouteMap>,
+    ) -> Vec<PrefixId> {
         let mut affected: Vec<PrefixId> = Vec::new();
         let peer_key = u32::from(peer);
         for p in &update.withdrawn {
@@ -661,42 +679,66 @@ impl LocRib {
             }
         }
         if let Some(attrs) = &update.attrs {
-            let looped = attrs.contains_asn(self.local_as);
-            // One intern per UPDATE, not per prefix: every NLRI in the
-            // message shares the id (and the allocation).
-            let cand_attr = if looped {
-                None
-            } else {
-                Some(self.pool_intern(attrs))
-            };
-            match cand_attr {
-                None => {
-                    for p in &update.nlri {
-                        if let Some(id) = self.prefixes.get(*p) {
-                            if self.remove_peer_candidate(id, peer, peer_key) {
-                                affected.push(id);
-                            }
+            // Loop prevention sees the wire attributes, before any policy.
+            if attrs.contains_asn(self.local_as) {
+                for p in &update.nlri {
+                    if let Some(id) = self.prefixes.get(*p) {
+                        if self.remove_peer_candidate(id, peer, peer_key) {
+                            affected.push(id);
                         }
                     }
                 }
-                Some(attr) => {
-                    let pid = self.peers.intern(peer);
-                    if pid.index() >= self.adj_in.len() {
-                        self.adj_in.resize(pid.index() + 1, IdSet::new());
+            } else {
+                match import {
+                    None => {
+                        // One intern per UPDATE, not per prefix: every NLRI
+                        // in the message shares the id (and the allocation).
+                        let attr = self.pool_intern(attrs);
+                        self.insert_candidates(
+                            peer,
+                            peer_key,
+                            ebgp,
+                            attr,
+                            &update.nlri,
+                            &mut affected,
+                        );
                     }
-                    let entry = CandEntry {
-                        remote: true,
-                        addr_key: peer_key,
-                        attr,
-                        ebgp,
-                    };
-                    for p in &update.nlri {
-                        let id = self.intern_prefix(*p);
-                        let prev = self.upsert_candidate(id, entry);
-                        self.adj_in[pid.index()].insert(id.0);
-                        if prev != Some(entry) {
-                            affected.push(id);
-                            self.invalidate(id);
+                    Some(map) => {
+                        use crate::policy::{PolicyAction, PolicyVerdict};
+                        let mut denied: Vec<Ipv4Prefix> = Vec::new();
+                        let mut buckets: std::collections::BTreeMap<usize, Vec<Ipv4Prefix>> =
+                            std::collections::BTreeMap::new();
+                        for p in &update.nlri {
+                            match map.first_match(*p, attrs) {
+                                Some(i) if map.clauses[i].action == PolicyAction::Permit => {
+                                    buckets.entry(i).or_default().push(*p);
+                                }
+                                _ => denied.push(*p),
+                            }
+                        }
+                        // A denied announce is a withdrawal from this peer
+                        // (and, like one, never grows the arenas).
+                        for p in denied {
+                            if let Some(id) = self.prefixes.get(p) {
+                                if self.remove_peer_candidate(id, peer, peer_key) {
+                                    affected.push(id);
+                                }
+                            }
+                        }
+                        for (i, nlri) in buckets {
+                            let attr = match map.verdict_of(i, attrs, self.local_as) {
+                                PolicyVerdict::Permit(None) => self.pool_intern(attrs),
+                                PolicyVerdict::Permit(Some(out)) => self.intern_attrs(out),
+                                PolicyVerdict::Deny => unreachable!("bucketed permit clause"),
+                            };
+                            self.insert_candidates(
+                                peer,
+                                peer_key,
+                                ebgp,
+                                attr,
+                                &nlri,
+                                &mut affected,
+                            );
                         }
                     }
                 }
@@ -724,6 +766,39 @@ impl LocRib {
         }
         self.prefixes.sort_by_value(&mut affected);
         affected
+    }
+
+    /// Installs one interned attribute set as `peer`'s candidate for each
+    /// prefix in `nlri`, maintaining the Adj-RIB-In index and pushing
+    /// changed ids onto `affected`.
+    fn insert_candidates(
+        &mut self,
+        peer: Ipv4Addr,
+        peer_key: u32,
+        ebgp: bool,
+        attr: AttrId,
+        nlri: &[Ipv4Prefix],
+        affected: &mut Vec<PrefixId>,
+    ) {
+        let pid = self.peers.intern(peer);
+        if pid.index() >= self.adj_in.len() {
+            self.adj_in.resize(pid.index() + 1, IdSet::new());
+        }
+        let entry = CandEntry {
+            remote: true,
+            addr_key: peer_key,
+            attr,
+            ebgp,
+        };
+        for p in nlri {
+            let id = self.intern_prefix(*p);
+            let prev = self.upsert_candidate(id, entry);
+            self.adj_in[pid.index()].insert(id.0);
+            if prev != Some(entry) {
+                affected.push(id);
+                self.invalidate(id);
+            }
+        }
     }
 
     /// Drops `peer`'s candidate for one prefix, maintaining both indexes.
@@ -1018,6 +1093,7 @@ mod tests {
             next_hop: Ipv4Addr::from(next_hop),
             med: None,
             local_pref: None,
+            communities: vec![],
             unknown: vec![],
         }
     }

@@ -64,6 +64,10 @@ pub struct BgpConfig {
     pub networks: Vec<Ipv4Prefix>,
     /// Enable ECMP multipath in the decision process.
     pub multipath: bool,
+    /// Per-peer import/export route-maps, keyed by peer address. Absent
+    /// peers (the common case) have no policy: permit everything
+    /// unchanged, byte-identical to the pre-policy speaker.
+    pub policies: std::collections::BTreeMap<Ipv4Addr, crate::policy::PeerPolicy>,
 }
 
 /// Outputs drained with [`BgpSpeaker::take_outputs`].
@@ -109,14 +113,32 @@ pub struct BgpSpeaker {
     /// last advertised interned attr id ([`NO_ATTR`] = nothing). Rows grow
     /// lazily; a session drop clears the row.
     adj_out: Vec<Vec<u32>>,
-    /// Memoized export policy per peer index, keyed by best-path attr id:
-    /// `None` means "suppressed" (AS-loop toward that peer). Split horizon
-    /// is checked outside the cache (it depends on where the best path was
-    /// learned, not on its attributes). Never invalidated — the transform
-    /// reads only static session config.
-    export_cache: Vec<HashMap<u32, Option<AttrId>>>,
+    /// Memoized export transform per peer index, keyed by
+    /// `(best-path attr id, prefix marker, policy epoch)`: `None` means
+    /// "suppressed" (AS-loop toward that peer, or an export route-map
+    /// deny). Split horizon is checked outside the cache (it depends on
+    /// where the best path was learned, not on its attributes). The prefix
+    /// marker is 0 unless the peer's export map matches on prefix, in
+    /// which case it is the prefix id + 1 — attr-only keying would
+    /// conflate prefixes such a map distinguishes. Entries are never
+    /// invalidated: the transform reads only static session config and the
+    /// installed policy, and a policy swap bumps `policy_epoch`, retiring
+    /// every old key.
+    export_cache: Vec<HashMap<(u32, u32, u32), Option<AttrId>>>,
     export_hits: u64,
     export_misses: u64,
+    /// Import route-map per peer index (`None` = permit all, unchanged).
+    import_policy: Vec<Option<std::sync::Arc<crate::policy::RouteMap>>>,
+    /// Export route-map per peer index, applied between split horizon and
+    /// the standard eBGP transform.
+    export_policy: Vec<Option<std::sync::Arc<crate::policy::RouteMap>>>,
+    /// Precomputed per peer index: the export map matches on prefix, so
+    /// the export cache must key on the prefix id too.
+    export_prefix_sensitive: Vec<bool>,
+    /// Bumped by [`BgpSpeaker::set_peer_policy`]; part of every
+    /// export-cache key, so a policy swap retires stale entries without a
+    /// scan.
+    policy_epoch: u32,
     /// Last next-hop set reported per prefix id (empty = absent).
     fib_view: Vec<Vec<Ipv4Addr>>,
     outputs: Vec<SpeakerOutput>,
@@ -205,6 +227,17 @@ impl BgpSpeaker {
             rib.originate(*n, config.router_id);
         }
         let n = sessions.len();
+        // Project the per-address policy map onto the dense peer index.
+        let mut import_policy = Vec::with_capacity(n);
+        let mut export_policy = Vec::with_capacity(n);
+        let mut export_prefix_sensitive = Vec::with_capacity(n);
+        for addr in &peer_addrs {
+            let policy = config.policies.get(addr);
+            import_policy.push(policy.and_then(|p| p.import.clone()));
+            let export = policy.and_then(|p| p.export.clone());
+            export_prefix_sensitive.push(export.as_deref().is_some_and(|m| m.prefix_sensitive()));
+            export_policy.push(export);
+        }
         BgpSpeaker {
             config,
             peer_addrs,
@@ -214,6 +247,10 @@ impl BgpSpeaker {
             export_cache: vec![HashMap::new(); n],
             export_hits: 0,
             export_misses: 0,
+            import_policy,
+            export_policy,
+            export_prefix_sensitive,
+            policy_epoch: 0,
             fib_view: Vec::new(),
             outputs: Vec::new(),
             started: false,
@@ -526,7 +563,15 @@ impl BgpSpeaker {
                                 withdrawn: update.withdrawn.len() as u32,
                             },
                         );
-                        affected.extend(self.rib.update_from_peer(peer, true, &update));
+                        // The single import-policy choke point: the peer's
+                        // route-map (if any) transforms or drops routes
+                        // before they are interned into the RIB.
+                        affected.extend(self.rib.update_from_peer_policed(
+                            peer,
+                            true,
+                            &update,
+                            self.import_policy[pi].as_deref(),
+                        ));
                     }
                 }
             }
@@ -631,7 +676,7 @@ impl BgpSpeaker {
         group_of.clear();
         for &id in ids {
             let desired = match self.rib.decide_id(id) {
-                Some(d) => self.export_route(pi, &d),
+                Some(d) => self.export_route(pi, id, &d),
                 None => None,
             };
             let row = &mut self.adj_out[pi];
@@ -706,15 +751,25 @@ impl BgpSpeaker {
         self.scratch_group_of = group_of;
     }
 
-    /// eBGP export policy for the peer at index `pi`: split horizon,
-    /// prepend own AS, next-hop-self, strip LOCAL_PREF and MED. The
-    /// transform (everything past split horizon) is memoized per
-    /// `(peer, AttrId)`.
-    fn export_route(&mut self, pi: usize, decision: &Decision) -> Option<AttrId> {
+    /// eBGP export for the peer at index `pi`: split horizon, then the
+    /// peer's export route-map (if any — the single export-policy choke
+    /// point), then the standard transform: prepend own AS, next-hop-self,
+    /// strip LOCAL_PREF and MED. The export set block composes with the
+    /// standard transform: `add/del_communities` edit the outgoing
+    /// communities, `prepend` adds extra own-AS copies, `med` survives the
+    /// strip (the sender deliberately signals the neighbor), `local_pref`
+    /// is ignored (never sent over eBGP). The transform (everything past
+    /// split horizon) is memoized per `(peer, AttrId, prefix?, epoch)`.
+    fn export_route(&mut self, pi: usize, id: PrefixId, decision: &Decision) -> Option<AttrId> {
         if decision.best.peer == self.peer_addrs[pi] {
             return None; // split horizon
         }
-        let key = decision.best.attr_id.index();
+        let pfx_key = if self.export_prefix_sensitive[pi] {
+            id.0 + 1
+        } else {
+            0
+        };
+        let key = (decision.best.attr_id.index(), pfx_key, self.policy_epoch);
         if let Some(cached) = self.export_cache[pi].get(&key) {
             self.export_hits += 1;
             return *cached;
@@ -724,17 +779,71 @@ impl BgpSpeaker {
         let (remote_as, local_addr) = (cfg.remote_as, cfg.local_addr);
         // Sending a path containing the peer's AS would be rejected by its
         // loop check anyway; suppress it to save messages (common policy).
-        let exported = if decision.best.attrs.contains_asn(remote_as) {
-            None
-        } else {
-            let mut out = decision.best.attrs.prepended(self.config.asn);
+        let exported = 'exp: {
+            if decision.best.attrs.contains_asn(remote_as) {
+                break 'exp None;
+            }
+            // The route-map matches against the Loc-RIB attributes
+            // (pre-prepend, communities and local-pref intact).
+            let set = match self.export_policy[pi].as_deref() {
+                None => None,
+                Some(map) => {
+                    use crate::policy::PolicyAction;
+                    let prefix = self.rib.prefix_value(id);
+                    match map.first_match(prefix, &decision.best.attrs) {
+                        Some(i) if map.clauses[i].action == PolicyAction::Permit => {
+                            Some(&map.clauses[i].set)
+                        }
+                        // Deny clause or no match: implicit deny.
+                        _ => break 'exp None,
+                    }
+                }
+            };
+            let mut out = (*decision.best.attrs).clone();
+            if let Some(set) = set {
+                if !set.del_communities.is_empty() {
+                    out.communities.retain(|c| !set.del_communities.contains(c));
+                }
+                if !set.add_communities.is_empty() {
+                    out.communities.extend_from_slice(&set.add_communities);
+                    out.communities.sort_unstable();
+                    out.communities.dedup();
+                }
+            }
+            out = out.prepended(self.config.asn);
+            for _ in 0..set.map_or(0, |s| s.prepend) {
+                out = out.prepended(self.config.asn);
+            }
             out.next_hop = local_addr;
             out.local_pref = None;
-            out.med = None;
+            out.med = set.and_then(|s| s.med);
             Some(self.rib.intern_attrs(out))
         };
         self.export_cache[pi].insert(key, exported);
         exported
+    }
+
+    /// Swaps the import/export route-maps for `peer` at runtime. Takes
+    /// effect for routes received or exported from now on: already-interned
+    /// candidates are not retroactively re-imported (a real router requires
+    /// a route refresh for that too), and the policy epoch bump retires
+    /// every memoized export transform so the next reconcile re-evaluates.
+    pub fn set_peer_policy(&mut self, peer: Ipv4Addr, policy: crate::policy::PeerPolicy) {
+        let Some(pi) = self.peer_idx(peer) else {
+            return;
+        };
+        self.import_policy[pi] = policy.import.clone();
+        self.export_prefix_sensitive[pi] = policy
+            .export
+            .as_deref()
+            .is_some_and(|m| m.prefix_sensitive());
+        self.export_policy[pi] = policy.export.clone();
+        self.config.policies.insert(peer, policy);
+        self.policy_epoch += 1;
+        // Adj-RIB-Out entries were computed under the old epoch; mark every
+        // peer's rows dirty by clearing nothing — the next reconcile over
+        // affected ids re-runs export_route, which now misses the cache.
+        self.deadline_dirty = true;
     }
 }
 
@@ -874,6 +983,7 @@ mod tests {
                 })
                 .collect(),
             networks: networks.iter().map(|s| s.parse().unwrap()).collect(),
+            policies: Default::default(),
             multipath: true,
         })
     }
@@ -1355,6 +1465,7 @@ mod tests {
                         })
                         .collect(),
                     networks: nets.iter().map(|s| s.parse().unwrap()).collect(),
+                    policies: Default::default(),
                     multipath: true,
                 };
                 match &pool {
@@ -1400,5 +1511,345 @@ mod tests {
             .map(|i| shared.speakers[i].rib_stats().attr_store_size)
             .sum();
         assert_eq!(shared_total, 0);
+    }
+
+    // ---- policy choke points ---------------------------------------------
+
+    use crate::policy::{
+        gao_rexford_policy, PeerPolicy, PeerRole, PolicyAction, PrefixMatch, RouteMap,
+        RouteMapClause, RouteMapMatch, RouteMapSet,
+    };
+    use std::sync::Arc;
+
+    fn speaker_policed(
+        asn: u16,
+        id: [u8; 4],
+        peers: Vec<(Ipv4Addr, Ipv4Addr, u16)>,
+        networks: Vec<&str>,
+        policies: Vec<(Ipv4Addr, PeerPolicy)>,
+    ) -> BgpSpeaker {
+        let mut s = speaker(asn, id, peers, networks);
+        let config = BgpConfig {
+            policies: policies.into_iter().collect(),
+            ..s.config.clone()
+        };
+        s = BgpSpeaker::new(config);
+        s
+    }
+
+    fn addr4(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    /// Three routers in a line, optionally with permit-all route-maps on
+    /// every peering. The policy machinery must be engaged yet produce the
+    /// exact same behavior as having no policy at all.
+    fn line3(permit_all: bool) -> Harness {
+        let p = |on: bool| -> Vec<(Ipv4Addr, PeerPolicy)> {
+            if !on {
+                return vec![];
+            }
+            let all = PeerPolicy {
+                import: Some(Arc::new(RouteMap::permit_all())),
+                export: Some(Arc::new(RouteMap::permit_all())),
+            };
+            // Assigned to every address we might peer with below.
+            vec![
+                (addr4(10, 9, 1, 1), all.clone()),
+                (addr4(10, 9, 1, 2), all.clone()),
+                (addr4(10, 9, 2, 1), all.clone()),
+                (addr4(10, 9, 2, 2), all),
+            ]
+        };
+        let a = speaker_policed(
+            64512,
+            [1, 1, 1, 1],
+            vec![(addr4(10, 9, 1, 2), addr4(10, 9, 1, 1), 64513)],
+            vec!["21.1.0.0/16"],
+            p(permit_all),
+        );
+        let b = speaker_policed(
+            64513,
+            [2, 2, 2, 2],
+            vec![
+                (addr4(10, 9, 1, 1), addr4(10, 9, 1, 2), 64512),
+                (addr4(10, 9, 2, 2), addr4(10, 9, 2, 1), 64514),
+            ],
+            vec!["21.2.0.0/16"],
+            p(permit_all),
+        );
+        let c = speaker_policed(
+            64514,
+            [3, 3, 3, 3],
+            vec![(addr4(10, 9, 2, 1), addr4(10, 9, 2, 2), 64513)],
+            vec!["21.3.0.0/16"],
+            p(permit_all),
+        );
+        let mut h = Harness::new(vec![a, b, c]);
+        h.start(SimTime::ZERO);
+        h
+    }
+
+    #[test]
+    fn permit_all_policy_is_behaviorally_identical() {
+        let bare = line3(false);
+        let policed = line3(true);
+        for i in 0..3 {
+            // Same FIBs, same event order, same message counts: the policed
+            // import path buckets NLRI and re-interns, but a permit-all map
+            // must be indistinguishable from no map.
+            assert_eq!(bare.route_events[i], policed.route_events[i], "events {i}");
+            assert_eq!(bare.fib_of(i), policed.fib_of(i), "fib {i}");
+            assert_eq!(
+                bare.speakers[i].msgs_sent(),
+                policed.speakers[i].msgs_sent(),
+                "msgs {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn import_policy_filters_and_implicit_denies() {
+        // A imports from B with a map that denies 21.1/16 and permits only
+        // 21.2/16; B also announces 21.3/16 which matches no clause
+        // (implicit deny).
+        let import = RouteMap::new(vec![
+            RouteMapClause {
+                action: PolicyAction::Deny,
+                matches: RouteMapMatch {
+                    prefixes: vec![PrefixMatch::within("21.1.0.0/16".parse().unwrap())],
+                    ..RouteMapMatch::default()
+                },
+                set: RouteMapSet::default(),
+            },
+            RouteMapClause {
+                action: PolicyAction::Permit,
+                matches: RouteMapMatch {
+                    prefixes: vec![PrefixMatch::within("21.2.0.0/16".parse().unwrap())],
+                    ..RouteMapMatch::default()
+                },
+                set: RouteMapSet::default(),
+            },
+        ]);
+        let a = speaker_policed(
+            64512,
+            [1, 1, 1, 1],
+            vec![(addr4(10, 9, 1, 2), addr4(10, 9, 1, 1), 64513)],
+            vec![],
+            vec![(
+                addr4(10, 9, 1, 2),
+                PeerPolicy {
+                    import: Some(Arc::new(import)),
+                    export: None,
+                },
+            )],
+        );
+        let b = speaker(
+            64513,
+            [2, 2, 2, 2],
+            vec![(addr4(10, 9, 1, 1), addr4(10, 9, 1, 2), 64512)],
+            vec!["21.1.0.0/16", "21.2.0.0/16", "21.3.0.0/16"],
+        );
+        let mut h = Harness::new(vec![a, b]);
+        h.start(SimTime::ZERO);
+        let fib = h.fib_of(0);
+        assert!(!fib.contains_key(&"21.1.0.0/16".parse().unwrap()), "denied");
+        assert!(
+            fib.contains_key(&"21.2.0.0/16".parse().unwrap()),
+            "permitted"
+        );
+        assert!(
+            !fib.contains_key(&"21.3.0.0/16".parse().unwrap()),
+            "implicit deny on policy miss"
+        );
+    }
+
+    #[test]
+    fn prefix_sensitive_export_policy_filters_per_prefix() {
+        // A originates two prefixes that share one interned attribute set;
+        // its export map toward B permits only one of them. Attr-id-only
+        // cache keying would conflate the two — the prefix-aware key must
+        // keep them apart.
+        let export = RouteMap::new(vec![RouteMapClause {
+            action: PolicyAction::Permit,
+            matches: RouteMapMatch {
+                prefixes: vec![PrefixMatch::within("21.2.0.0/16".parse().unwrap())],
+                ..RouteMapMatch::default()
+            },
+            set: RouteMapSet::default(),
+        }]);
+        let a = speaker_policed(
+            64512,
+            [1, 1, 1, 1],
+            vec![(addr4(10, 9, 1, 2), addr4(10, 9, 1, 1), 64513)],
+            vec!["21.1.0.0/16", "21.2.0.0/16"],
+            vec![(
+                addr4(10, 9, 1, 2),
+                PeerPolicy {
+                    import: None,
+                    export: Some(Arc::new(export)),
+                },
+            )],
+        );
+        let b = speaker(
+            64513,
+            [2, 2, 2, 2],
+            vec![(addr4(10, 9, 1, 1), addr4(10, 9, 1, 2), 64512)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![a, b]);
+        h.start(SimTime::ZERO);
+        let fib = h.fib_of(1);
+        assert!(!fib.contains_key(&"21.1.0.0/16".parse().unwrap()));
+        assert!(fib.contains_key(&"21.2.0.0/16".parse().unwrap()));
+    }
+
+    #[test]
+    fn export_set_block_reaches_the_wire() {
+        // A's export map MED-stamps and prepends; B's Loc-RIB must see the
+        // longer path and the MED (which survives the standard strip when
+        // set by policy).
+        let export = RouteMap::new(vec![RouteMapClause {
+            action: PolicyAction::Permit,
+            matches: RouteMapMatch::default(),
+            set: RouteMapSet {
+                med: Some(77),
+                prepend: 2,
+                add_communities: vec![0xff99_0001],
+                ..RouteMapSet::default()
+            },
+        }]);
+        let a = speaker_policed(
+            64512,
+            [1, 1, 1, 1],
+            vec![(addr4(10, 9, 1, 2), addr4(10, 9, 1, 1), 64513)],
+            vec!["21.1.0.0/16"],
+            vec![(
+                addr4(10, 9, 1, 2),
+                PeerPolicy {
+                    import: None,
+                    export: Some(Arc::new(export)),
+                },
+            )],
+        );
+        let b = speaker(
+            64513,
+            [2, 2, 2, 2],
+            vec![(addr4(10, 9, 1, 1), addr4(10, 9, 1, 2), 64512)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![a, b]);
+        h.start(SimTime::ZERO);
+        let prefix: Ipv4Prefix = "21.1.0.0/16".parse().unwrap();
+        let decision = h.speakers[1].rib().decide(prefix).expect("route installed");
+        let attrs = &decision.best.attrs;
+        assert_eq!(attrs.med, Some(77));
+        assert_eq!(attrs.as_path_len(), 3, "own AS + 2 prepends");
+        assert!(attrs.has_community(0xff99_0001));
+    }
+
+    #[test]
+    fn gao_rexford_routes_are_valley_free() {
+        // Star around M (65000): X is M's customer, Y and Z are M's peers.
+        // X's prefix (customer route) must reach the peers; Y's prefix
+        // (peer route) must reach the customer X but NOT the other peer Z.
+        let m = speaker_policed(
+            65000,
+            [9, 9, 9, 9],
+            vec![
+                (addr4(10, 9, 1, 2), addr4(10, 9, 1, 1), 65001),
+                (addr4(10, 9, 2, 2), addr4(10, 9, 2, 1), 65002),
+                (addr4(10, 9, 3, 2), addr4(10, 9, 3, 1), 65003),
+            ],
+            vec![],
+            vec![
+                (addr4(10, 9, 1, 2), gao_rexford_policy(PeerRole::Customer)),
+                (addr4(10, 9, 2, 2), gao_rexford_policy(PeerRole::Peer)),
+                (addr4(10, 9, 3, 2), gao_rexford_policy(PeerRole::Peer)),
+            ],
+        );
+        let x = speaker_policed(
+            65001,
+            [1, 1, 1, 1],
+            vec![(addr4(10, 9, 1, 1), addr4(10, 9, 1, 2), 65000)],
+            vec!["21.1.0.0/16"],
+            vec![(addr4(10, 9, 1, 1), gao_rexford_policy(PeerRole::Provider))],
+        );
+        let y = speaker_policed(
+            65002,
+            [2, 2, 2, 2],
+            vec![(addr4(10, 9, 2, 1), addr4(10, 9, 2, 2), 65000)],
+            vec!["21.2.0.0/16"],
+            vec![(addr4(10, 9, 2, 1), gao_rexford_policy(PeerRole::Peer))],
+        );
+        let z = speaker_policed(
+            65003,
+            [3, 3, 3, 3],
+            vec![(addr4(10, 9, 3, 1), addr4(10, 9, 3, 2), 65000)],
+            vec!["21.3.0.0/16"],
+            vec![(addr4(10, 9, 3, 1), gao_rexford_policy(PeerRole::Peer))],
+        );
+        let mut h = Harness::new(vec![m, x, y, z]);
+        h.start(SimTime::ZERO);
+        let customer_pfx: Ipv4Prefix = "21.1.0.0/16".parse().unwrap();
+        let peer_pfx: Ipv4Prefix = "21.2.0.0/16".parse().unwrap();
+        // Peers see the customer route...
+        assert!(
+            h.fib_of(2).contains_key(&customer_pfx),
+            "Y gets customer route"
+        );
+        assert!(
+            h.fib_of(3).contains_key(&customer_pfx),
+            "Z gets customer route"
+        );
+        // ...the customer sees everything...
+        assert!(h.fib_of(1).contains_key(&peer_pfx), "X gets peer route");
+        // ...but a peer route never transits to another peer (no valley).
+        assert!(
+            !h.fib_of(3).contains_key(&peer_pfx),
+            "peer route must not reach peer Z through M"
+        );
+        assert!(h.fib_of(0).contains_key(&peer_pfx), "M itself routes to Y");
+    }
+
+    #[test]
+    fn policy_swap_bumps_epoch_and_takes_effect_on_resync() {
+        let a = speaker(
+            64512,
+            [1, 1, 1, 1],
+            vec![(addr4(10, 9, 1, 2), addr4(10, 9, 1, 1), 64513)],
+            vec!["21.1.0.0/16"],
+        );
+        let b = speaker(
+            64513,
+            [2, 2, 2, 2],
+            vec![(addr4(10, 9, 1, 1), addr4(10, 9, 1, 2), 64512)],
+            vec![],
+        );
+        let mut h = Harness::new(vec![a, b]);
+        h.start(SimTime::ZERO);
+        let prefix: Ipv4Prefix = "21.1.0.0/16".parse().unwrap();
+        assert!(h.fib_of(1).contains_key(&prefix));
+        // Install a deny-all export map on A, then flap the session so the
+        // full table is re-synced under the new policy. The old permit was
+        // memoized under epoch 0; the epoch bump retires it.
+        h.speakers[0].set_peer_policy(
+            addr4(10, 9, 1, 2),
+            PeerPolicy {
+                import: None,
+                export: Some(Arc::new(RouteMap::new(vec![RouteMapClause::deny_any()]))),
+            },
+        );
+        let t = SimTime::from_secs_f64(0.001);
+        h.speakers[0].on_transport_down(addr4(10, 9, 1, 2), t);
+        h.speakers[1].on_transport_down(addr4(10, 9, 1, 1), t);
+        h.run(t);
+        h.speakers[0].on_transport_up(addr4(10, 9, 1, 2), t);
+        h.speakers[1].on_transport_up(addr4(10, 9, 1, 1), t);
+        h.run(t);
+        assert!(
+            !h.fib_of(1).contains_key(&prefix),
+            "deny-all export must suppress the route after resync"
+        );
     }
 }

@@ -41,6 +41,7 @@ fn attrs() -> impl Strategy<Value = PathAttributes> {
             next_hop: Ipv4Addr::from(nh),
             med,
             local_pref,
+            communities: vec![],
             unknown: vec![],
         })
 }

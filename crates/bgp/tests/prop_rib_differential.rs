@@ -60,6 +60,7 @@ fn attrs() -> impl Strategy<Value = PathAttributes> {
             next_hop,
             med,
             local_pref,
+            communities: vec![],
             unknown: vec![],
         })
 }

@@ -12,6 +12,8 @@ use horse_net::topology::Topology;
 use horse_sim::{FtiConfig, Pacing, SimDuration, SimTime};
 use horse_topo::fattree::{BgpNodeSetup, FatTree, SwitchRole};
 use horse_topo::pattern::{demo_tuple, TrafficPattern};
+use horse_topo::spec::{BuiltTopology, TopologySpec};
+use horse_topo::synth::{bgp_setups_with_networks, wan_timers};
 use horse_trace::{TraceLog, TraceOptions};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -159,6 +161,45 @@ impl Experiment {
     pub fn demo(pods: usize, te: TeApproach, seed: u64) -> Experiment {
         let ft = FatTree::build(pods, te.switch_role(), 1e9, 1_000);
         Experiment::demo_on(&ft, te, seed)
+    }
+
+    /// Topology-generic entry point: builds the spec and delegates to
+    /// [`Experiment::on_built`]. A bare pod count still works
+    /// (`Experiment::for_spec(4, …)` is the old `demo(4, …)`); zoo and
+    /// pop-wan specs give control-plane-only BGP convergence runs.
+    pub fn for_spec(spec: impl Into<TopologySpec>, te: TeApproach, seed: u64) -> Experiment {
+        let spec = spec.into();
+        Experiment::on_built(&spec.build(te.switch_role()), te, seed)
+    }
+
+    /// The experiment for an already-built [`BuiltTopology`] — sweeps and
+    /// benches build each shape once and hand it to many runs.
+    ///
+    /// Fat-tree shapes get the full demo workload ([`Experiment::demo_on`],
+    /// byte-identical to the fat-tree-only path). Router-only WANs (zoo,
+    /// pop-wan) get a traffic-less convergence experiment: every router
+    /// runs BGP with WAN timers ([`wan_timers`]: hold disabled, 100 ms
+    /// MRAI) and the shape's synthetic originations; convergence shows up
+    /// in the report's mode-transition curve and table-write counters
+    /// rather than flow goodput.
+    pub fn on_built(bt: &BuiltTopology, te: TeApproach, seed: u64) -> Experiment {
+        match &bt.fat_tree {
+            Some(ft) => Experiment::demo_on(ft, te, seed),
+            None => {
+                assert_eq!(
+                    te,
+                    TeApproach::BgpEcmp,
+                    "router-only WAN topologies have no OpenFlow switches; \
+                     only the BGP approach applies"
+                );
+                let setups = bgp_setups_with_networks(&bt.topo, wan_timers(), &bt.originations);
+                let mut e = Experiment::new(Arc::clone(&bt.topo));
+                e.control = ControlBuild::Bgp(setups);
+                e.seed = seed;
+                e.label = format!("{}-{}", te.label(), bt.spec.tag());
+                e
+            }
+        }
     }
 
     /// The demo scenario over an already-built fat-tree. The topology is
@@ -348,5 +389,50 @@ impl Experiment {
         runner.set_trace(&self.trace);
         let report = runner.run(wall_setup_secs);
         (report, runner.take_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_spec_fat_tree_matches_demo() {
+        let a = Experiment::for_spec(4, TeApproach::SdnEcmp, 42);
+        let b = Experiment::demo(4, TeApproach::SdnEcmp, 42);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.topo.node_count(), b.topo.node_count());
+    }
+
+    #[test]
+    fn zoo_spec_converges_control_only() {
+        let spec = TopologySpec::Zoo {
+            name: "Abilene".into(),
+        };
+        let report = Experiment::for_spec(spec, TeApproach::BgpEcmp, 1)
+            .horizon_secs(10.0)
+            .run();
+        assert_eq!(report.label, "bgp-ecmp-zoo-Abilene");
+        assert!(report.control_msgs > 0, "BGP must have spoken");
+        assert!(report.table_writes > 0, "routes must have been installed");
+        // The mode-transition curve is the convergence signal for
+        // traffic-less runs: the network must go quiescent before the
+        // horizon and stay there.
+        let last = report
+            .transitions
+            .last()
+            .expect("at least one mode transition");
+        assert!(last.at < SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "only the BGP approach applies")]
+    fn zoo_spec_rejects_sdn() {
+        let spec = TopologySpec::Zoo {
+            name: "Abilene".into(),
+        };
+        let _ = Experiment::for_spec(spec, TeApproach::SdnEcmp, 1);
     }
 }

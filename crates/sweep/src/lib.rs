@@ -61,6 +61,10 @@ pub use pool::{
 };
 pub use seed::derive_seed;
 
+// Re-exported so sweep callers name the grid-axis types without a
+// direct horse-topo dependency.
+pub use horse_topo::{PolicyScenario, TopologySpec, ALL_SCENARIOS};
+
 // Re-exported so sweep callers name the stats type without a direct
 // horse-stats dependency.
 pub use horse_stats::{SweepStats, WorkerStats};

@@ -236,6 +236,7 @@ impl FatTree {
                         peers,
                         networks,
                         multipath: true,
+                        policies: Default::default(),
                     },
                     addr_to_port,
                     connected,

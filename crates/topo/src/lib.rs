@@ -2,9 +2,10 @@
 //!
 //! Builders for the network shapes the Horse demo uses (Al-Fares fat-trees
 //! with 4/6/8 pods) plus the usual suspects for other experiments (linear,
-//! star, leaf–spine, Waxman random WANs), and the traffic patterns the
-//! demo's workload and the Hedera evaluation use (random permutation,
-//! stride, staggered).
+//! star, leaf–spine, Waxman random WANs), a Topology Zoo GML loader with a
+//! vendored corpus of real-world WAN graphs ([`zoo`]), and the traffic
+//! patterns the demo's workload and the Hedera evaluation use (random
+//! permutation, stride, staggered).
 //!
 //! For BGP scenarios the fat-tree builder also synthesizes RFC 7938-style
 //! configurations: a private AS number per switch, eBGP sessions on every
@@ -13,10 +14,19 @@
 
 pub mod fattree;
 pub mod pattern;
+pub mod scenario;
 pub mod shapes;
+pub mod spec;
 pub mod synth;
+pub mod zoo;
 
 pub use fattree::{BgpNodeSetup, FatTree, SwitchRole};
 pub use pattern::{TrafficPair, TrafficPattern};
+pub use scenario::{PolicyScenario, ALL_SCENARIOS};
 pub use shapes::{leaf_spine, linear, pop_wan, star, waxman_wan};
-pub use synth::{bgp_setups_for, bgp_setups_with_networks};
+pub use spec::{BuiltTopology, TopologySpec};
+pub use synth::{
+    bgp_setups_for, bgp_setups_with_networks, spread_originations, stub_originations, synth_prefix,
+    wan_timers,
+};
+pub use zoo::{ZooCorpus, ZooError, ZooGraph};

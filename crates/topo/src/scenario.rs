@@ -1,0 +1,249 @@
+//! [`PolicyScenario`] — named BGP policy configurations compiled onto a
+//! topology's per-router setups.
+//!
+//! A scenario is a *sweep axis value*: cheap, `Copy`, canonically
+//! printable. [`PolicyScenario::apply`] compiles it into concrete per-peer
+//! [`PeerPolicy`] route-maps on a set of [`BgpNodeSetup`]s, deterministic
+//! in the topology alone — the same `(topology, scenario)` pair always
+//! yields the same policies, which is what keeps policy sweeps
+//! byte-identical across worker counts.
+
+use crate::fattree::BgpNodeSetup;
+use horse_bgp::policy::{
+    gao_rexford_policy, PeerPolicy, PeerRole, PolicyAction, RouteMap, RouteMapClause,
+    RouteMapMatch, RouteMapSet,
+};
+use horse_net::topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// A named policy configuration, applied uniformly across a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PolicyScenario {
+    /// No route-maps at all — behaviorally identical to pre-policy Horse
+    /// (the empty-policy differential test pins this byte-for-byte).
+    Baseline,
+    /// Local-pref traffic engineering: every router with two or more
+    /// peers prefers its lowest-addressed peer (import local-pref 150),
+    /// the way operators pin a primary transit. Deterministic and
+    /// topology-generic, and it exercises the import-policy intern path
+    /// on every router.
+    LocalPrefTe,
+    /// Gao-Rexford customer/peer/provider roles inferred from the graph:
+    /// on each peering link the endpoint with the higher `(degree,
+    /// node-id)` key is the provider; equal-degree endpoints are
+    /// settlement-free peers. Compiled to community-tagging route-maps by
+    /// [`gao_rexford_policy`], so announcements are valley-free — routes
+    /// learned from a peer or provider are not re-exported to other peers
+    /// or providers.
+    GaoRexford,
+}
+
+/// The scenarios the acceptance sweep runs, in canonical order.
+pub const ALL_SCENARIOS: [PolicyScenario; 3] = [
+    PolicyScenario::Baseline,
+    PolicyScenario::LocalPrefTe,
+    PolicyScenario::GaoRexford,
+];
+
+impl PolicyScenario {
+    /// Short tag for run labels and plan hashes; `None` for the baseline
+    /// (so baseline-only plans keep their pre-policy labels and hashes).
+    pub fn tag(&self) -> Option<&'static str> {
+        match self {
+            PolicyScenario::Baseline => None,
+            PolicyScenario::LocalPrefTe => Some("lpte"),
+            PolicyScenario::GaoRexford => Some("gr"),
+        }
+    }
+
+    /// Canonical name (for JSON envelopes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyScenario::Baseline => "baseline",
+            PolicyScenario::LocalPrefTe => "local-pref-te",
+            PolicyScenario::GaoRexford => "gao-rexford",
+        }
+    }
+
+    /// Compiles the scenario into per-peer policies on `setups`. The
+    /// baseline leaves every `policies` map empty.
+    pub fn apply(&self, topo: &Topology, setups: &mut BTreeMap<NodeId, BgpNodeSetup>) {
+        match self {
+            PolicyScenario::Baseline => {}
+            PolicyScenario::LocalPrefTe => {
+                for setup in setups.values_mut() {
+                    if setup.config.peers.len() < 2 {
+                        continue;
+                    }
+                    let preferred = setup
+                        .config
+                        .peers
+                        .iter()
+                        .map(|p| p.peer_addr)
+                        .min()
+                        .expect("≥2 peers");
+                    setup.config.policies.insert(
+                        preferred,
+                        PeerPolicy {
+                            import: Some(Arc::new(prefer_map(150))),
+                            export: None,
+                        },
+                    );
+                }
+            }
+            PolicyScenario::GaoRexford => {
+                // Rank every router by (eBGP degree, node id); on each
+                // link the higher rank is the provider. The rank order is
+                // total and acyclic, so the provider hierarchy is too.
+                let rank: BTreeMap<NodeId, (usize, NodeId)> = setups
+                    .iter()
+                    .map(|(n, s)| (*n, (s.config.peers.len(), *n)))
+                    .collect();
+                let neighbor_of: BTreeMap<(NodeId, Ipv4Addr), NodeId> = setups
+                    .iter()
+                    .flat_map(|(n, s)| {
+                        s.addr_to_port.iter().filter_map(|(addr, port)| {
+                            let lid = topo.link_at(*n, *port)?;
+                            Some(((*n, *addr), topo.link(lid).other(*n)))
+                        })
+                    })
+                    .collect();
+                let nodes: Vec<NodeId> = setups.keys().copied().collect();
+                for node in nodes {
+                    let my_rank = rank[&node];
+                    let peer_addrs: Vec<Ipv4Addr> = setups[&node]
+                        .config
+                        .peers
+                        .iter()
+                        .map(|p| p.peer_addr)
+                        .collect();
+                    for addr in peer_addrs {
+                        let Some(&neighbor) = neighbor_of.get(&(node, addr)) else {
+                            continue; // peer not on a topology link
+                        };
+                        let Some(&their_rank) = rank.get(&neighbor) else {
+                            continue;
+                        };
+                        let role = match their_rank.cmp(&my_rank) {
+                            std::cmp::Ordering::Less => PeerRole::Customer,
+                            std::cmp::Ordering::Greater => PeerRole::Provider,
+                            std::cmp::Ordering::Equal => PeerRole::Peer,
+                        };
+                        setups
+                            .get_mut(&node)
+                            .expect("node present")
+                            .config
+                            .policies
+                            .insert(addr, gao_rexford_policy(role));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A permit-all import map that only raises LOCAL_PREF.
+fn prefer_map(local_pref: u32) -> RouteMap {
+    RouteMap::new(vec![RouteMapClause {
+        action: PolicyAction::Permit,
+        matches: RouteMapMatch::default(),
+        set: RouteMapSet {
+            local_pref: Some(local_pref),
+            ..RouteMapSet::default()
+        },
+    }])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{bgp_setups_for, stub_originations};
+    use horse_bgp::session::TimerConfig;
+    use horse_sim::SimDuration;
+
+    fn timers() -> TimerConfig {
+        TimerConfig {
+            hold_time: SimDuration::ZERO,
+            connect_retry: SimDuration::from_secs(1),
+            mrai: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn baseline_adds_no_policies() {
+        let (topo, ..) = crate::shapes::pop_wan(4, 1, 1e9);
+        let mut setups = bgp_setups_for(&topo, timers());
+        PolicyScenario::Baseline.apply(&topo, &mut setups);
+        assert!(setups.values().all(|s| s.config.policies.is_empty()));
+    }
+
+    #[test]
+    fn local_pref_te_pins_one_peer_per_multihomed_router() {
+        let (topo, cores, leaves) = crate::shapes::pop_wan(4, 1, 1e9);
+        let mut setups = bgp_setups_for(&topo, timers());
+        PolicyScenario::LocalPrefTe.apply(&topo, &mut setups);
+        for c in &cores {
+            let s = &setups[c];
+            assert_eq!(s.config.policies.len(), 1);
+            let (addr, policy) = s.config.policies.iter().next().unwrap();
+            assert_eq!(
+                *addr,
+                s.config.peers.iter().map(|p| p.peer_addr).min().unwrap()
+            );
+            assert!(policy.import.is_some() && policy.export.is_none());
+        }
+        // Single-homed leaves have nothing to prefer.
+        for l in &leaves {
+            assert!(setups[l].config.policies.is_empty());
+        }
+    }
+
+    #[test]
+    fn gao_rexford_roles_are_antisymmetric() {
+        let (topo, ..) = crate::shapes::pop_wan(5, 2, 1e9);
+        let mut setups = bgp_setups_for(&topo, timers());
+        PolicyScenario::GaoRexford.apply(&topo, &mut setups);
+        // Every router got a policy for every peer.
+        for s in setups.values() {
+            assert_eq!(s.config.policies.len(), s.config.peers.len());
+        }
+        // Leaves (degree 1) peer with cores (degree ≥ 3): the leaf sees a
+        // Provider policy, the core a Customer policy. Rather than poking
+        // at route-map internals, compare against the compiler's output.
+        let provider = gao_rexford_policy(PeerRole::Provider);
+        let customer = gao_rexford_policy(PeerRole::Customer);
+        let leaf = setups
+            .iter()
+            .find(|(_, s)| s.config.peers.len() == 1)
+            .map(|(n, _)| *n)
+            .expect("pop_wan has single-homed leaves");
+        let leaf_policy = setups[&leaf].config.policies.values().next().unwrap();
+        assert_eq!(leaf_policy, &provider);
+        // The core on the other side treats the leaf as a customer.
+        let leaf_peer = setups[&leaf].config.peers[0];
+        let port = setups[&leaf].addr_to_port[&leaf_peer.peer_addr];
+        let lid = topo.link_at(leaf, port).unwrap();
+        let core = topo.link(lid).other(leaf);
+        assert_eq!(
+            setups[&core].config.policies.get(&leaf_peer.local_addr),
+            Some(&customer)
+        );
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let (topo, _) = crate::zoo::ZooCorpus::vendored().build("Abilene").unwrap();
+        for sc in ALL_SCENARIOS {
+            let nets = stub_originations(&topo, 1);
+            let mut a = crate::synth::bgp_setups_with_networks(&topo, timers(), &nets);
+            let mut b = crate::synth::bgp_setups_with_networks(&topo, timers(), &nets);
+            sc.apply(&topo, &mut a);
+            sc.apply(&topo, &mut b);
+            for (n, sa) in &a {
+                assert_eq!(sa.config.policies, b[n].config.policies, "{sc:?}");
+            }
+        }
+    }
+}

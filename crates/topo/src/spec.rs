@@ -1,0 +1,238 @@
+//! [`TopologySpec`] — a serializable description of *which* network an
+//! experiment runs on, decoupled from how it is built.
+//!
+//! Sweeps and checkpoints need a value type: cheap to clone, ordered (cache
+//! keys), canonically printable (plan hashes). `TopologySpec` is that type;
+//! [`TopologySpec::build`] turns it into a [`BuiltTopology`] — the shared
+//! `Arc<Topology>` plus whatever sidecar data the shape implies (the
+//! [`FatTree`] template for fat-trees, router lists and synthetic
+//! originations for router-only WANs).
+
+use crate::fattree::{FatTree, SwitchRole};
+use crate::synth::{spread_originations, stub_originations};
+use crate::zoo::ZooCorpus;
+use horse_net::addr::Ipv4Prefix;
+use horse_net::topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which network to run on. The sweep grid's topology axis.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TopologySpec {
+    /// An Al-Fares `k`-pod fat-tree (the demo's data center).
+    FatTree {
+        /// Pod count (even, ≥ 4).
+        k: usize,
+    },
+    /// A Topology Zoo graph from the vendored corpus
+    /// ([`ZooCorpus::vendored`]), by catalog name (file stem).
+    Zoo {
+        /// Catalog name, e.g. `"Abilene"`.
+        name: String,
+    },
+    /// The deterministic PoP-ring WAN ([`crate::shapes::pop_wan`]) sized
+    /// to roughly `routers` routers, with `prefixes` synthetic /24s spread
+    /// round-robin over its leaf routers.
+    PopWan {
+        /// Approximate router count (PoPs plus leaves; the ring shape
+        /// rounds down to `pops * (1 + leaves_per_pop)`).
+        routers: usize,
+        /// Total originated prefixes.
+        prefixes: usize,
+    },
+}
+
+/// `Experiment::demo(k, …)` call sites migrate by passing `k` where a spec
+/// is expected: a bare pod count still means "that fat-tree".
+impl From<usize> for TopologySpec {
+    fn from(k: usize) -> TopologySpec {
+        TopologySpec::FatTree { k }
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+impl TopologySpec {
+    /// Canonical short tag, used in run labels and plan hashes:
+    /// `k4`, `zoo-Abilene`, `wan48x256`.
+    pub fn tag(&self) -> String {
+        match self {
+            TopologySpec::FatTree { k } => format!("k{k}"),
+            TopologySpec::Zoo { name } => format!("zoo-{name}"),
+            TopologySpec::PopWan { routers, prefixes } => format!("wan{routers}x{prefixes}"),
+        }
+    }
+
+    /// True for the demo fat-tree shape (the only spec whose experiments
+    /// carry hosts and traffic; the others are control-plane-only WANs).
+    pub fn is_fat_tree(&self) -> bool {
+        matches!(self, TopologySpec::FatTree { .. })
+    }
+
+    /// Builds the network. `role` only matters for fat-trees (BGP routers
+    /// vs OpenFlow switches); zoo and PoP WANs are always router-only.
+    ///
+    /// Panics if a [`TopologySpec::Zoo`] name is not in the vendored
+    /// corpus — sweep expansion should validate names up front via
+    /// [`ZooCorpus::names`].
+    pub fn build(&self, role: SwitchRole) -> BuiltTopology {
+        match self {
+            TopologySpec::FatTree { k } => {
+                let ft = Arc::new(FatTree::build(*k, role, 1e9, 1_000));
+                BuiltTopology {
+                    spec: self.clone(),
+                    topo: Arc::clone(&ft.topo),
+                    fat_tree: Some(ft),
+                    routers: Vec::new(),
+                    originations: BTreeMap::new(),
+                }
+            }
+            TopologySpec::Zoo { name } => {
+                let corpus = ZooCorpus::vendored();
+                let (topo, routers) = corpus
+                    .build(name)
+                    .unwrap_or_else(|e| panic!("zoo topology {name:?}: {e}"));
+                // Stub sites originate, transit cores don't — one /24 per
+                // minimum-degree router, in deterministic router order.
+                let originations = stub_originations(&topo, 1);
+                BuiltTopology {
+                    spec: self.clone(),
+                    topo: Arc::new(topo),
+                    fat_tree: None,
+                    routers,
+                    originations,
+                }
+            }
+            TopologySpec::PopWan { routers, prefixes } => {
+                let (pops, leaves_per_pop) = pop_wan_shape(*routers);
+                let (topo, cores, leaves) = crate::shapes::pop_wan(pops, leaves_per_pop, 1e9);
+                let origin_at = if leaves.is_empty() { &cores } else { &leaves };
+                let originations = spread_originations(origin_at, *prefixes);
+                let routers: Vec<NodeId> = cores.into_iter().chain(leaves).collect();
+                BuiltTopology {
+                    spec: self.clone(),
+                    topo: Arc::new(topo),
+                    fat_tree: None,
+                    routers,
+                    originations,
+                }
+            }
+        }
+    }
+}
+
+/// `PopWan { routers }` → `(pops, leaves_per_pop)` for
+/// [`crate::shapes::pop_wan`]: ~1 PoP per 5 routers, remainder as leaves.
+fn pop_wan_shape(routers: usize) -> (usize, usize) {
+    let pops = (routers / 5).clamp(3, 250);
+    let leaves_per_pop = routers.saturating_sub(pops) / pops;
+    (pops, leaves_per_pop)
+}
+
+/// A built network: the shared graph plus shape-specific sidecar data.
+#[derive(Debug, Clone)]
+pub struct BuiltTopology {
+    /// The spec this was built from.
+    pub spec: TopologySpec,
+    /// The graph, shared across every run over this shape.
+    pub topo: Arc<Topology>,
+    /// The fat-tree template (host lists, pod structure) when the spec is
+    /// a fat-tree; `None` for router-only WANs.
+    pub fat_tree: Option<Arc<FatTree>>,
+    /// Routers in deterministic build order (zoo: file order; pop-wan:
+    /// cores then leaves). Empty for fat-trees (use `fat_tree` instead).
+    pub routers: Vec<NodeId>,
+    /// Synthetic per-router originations for hostless shapes, for
+    /// [`crate::synth::bgp_setups_with_networks`]. Empty for fat-trees
+    /// (edge switches originate their host subnets instead).
+    pub originations: BTreeMap<NodeId, Vec<Ipv4Prefix>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_usize_is_a_fat_tree() {
+        let spec: TopologySpec = 4.into();
+        assert_eq!(spec, TopologySpec::FatTree { k: 4 });
+        assert_eq!(spec.tag(), "k4");
+        assert!(spec.is_fat_tree());
+    }
+
+    #[test]
+    fn tags_are_canonical() {
+        assert_eq!(
+            TopologySpec::Zoo {
+                name: "Abilene".into()
+            }
+            .tag(),
+            "zoo-Abilene"
+        );
+        assert_eq!(
+            TopologySpec::PopWan {
+                routers: 48,
+                prefixes: 256
+            }
+            .tag(),
+            "wan48x256"
+        );
+    }
+
+    #[test]
+    fn fat_tree_build_carries_the_template() {
+        let bt = TopologySpec::FatTree { k: 4 }.build(SwitchRole::BgpRouter);
+        let ft = bt.fat_tree.expect("fat-tree sidecar");
+        assert_eq!(ft.k, 4);
+        assert!(Arc::ptr_eq(&bt.topo, &ft.topo));
+        assert!(bt.originations.is_empty());
+    }
+
+    #[test]
+    fn zoo_build_originates_at_stubs_only() {
+        let bt = TopologySpec::Zoo {
+            name: "Abilene".into(),
+        }
+        .build(SwitchRole::BgpRouter);
+        assert_eq!(bt.topo.node_count(), 11);
+        assert_eq!(bt.routers.len(), 11);
+        assert!(!bt.originations.is_empty());
+        // Abilene's minimum degree is 2; higher-degree PoPs must not
+        // originate.
+        let min_deg = bt
+            .routers
+            .iter()
+            .map(|r| bt.topo.neighbors(*r).len())
+            .min()
+            .unwrap();
+        for r in &bt.routers {
+            let deg = bt.topo.neighbors(*r).len();
+            assert_eq!(bt.originations.contains_key(r), deg == min_deg);
+        }
+    }
+
+    #[test]
+    fn pop_wan_build_spreads_prefixes() {
+        let bt = TopologySpec::PopWan {
+            routers: 24,
+            prefixes: 10,
+        }
+        .build(SwitchRole::BgpRouter);
+        let total: usize = bt.originations.values().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        assert!(bt.topo.node_count() <= 24);
+        // Same spec, same build.
+        let bt2 = TopologySpec::PopWan {
+            routers: 24,
+            prefixes: 10,
+        }
+        .build(SwitchRole::BgpRouter);
+        assert_eq!(bt.topo.node_count(), bt2.topo.node_count());
+        assert_eq!(bt.originations, bt2.originations);
+    }
+}

@@ -83,11 +83,79 @@ pub fn bgp_setups_with_networks(
                     peers,
                     networks,
                     multipath: true,
+                    policies: Default::default(),
                 },
                 addr_to_port,
                 connected,
             },
         );
+    }
+    out
+}
+
+/// Timers for router-only WAN convergence runs: hold disabled (no
+/// keepalive traffic clouding convergence counters), 1 s connect retry,
+/// and the classic 100 ms MRAI that WAN BGP batches announcements under.
+/// The `table_scale` bench and every zoo/pop-wan experiment share this.
+pub fn wan_timers() -> TimerConfig {
+    TimerConfig {
+        hold_time: horse_sim::SimDuration::ZERO,
+        connect_retry: horse_sim::SimDuration::from_secs(1),
+        mrai: horse_sim::SimDuration::from_millis(100),
+    }
+}
+
+/// The `g`-th synthetic /24 (`32.0.0.0/8`-ish pool: `0x2000_0000 | g<<8`),
+/// colliding with neither data addresses (10/8) nor p2p pools (172/12).
+/// The same scheme the `table_scale` bench uses for its synthetic tables.
+pub fn synth_prefix(g: u32) -> Ipv4Prefix {
+    assert!(g < (1 << 16), "synthetic /24 pool exhausted");
+    Ipv4Prefix::new(Ipv4Addr::from(0x2000_0000 | (g << 8)), 24)
+}
+
+/// Spread `prefixes` synthetic /24s round-robin over `routers` (in the
+/// given order): prefix `g` goes to router `g % routers.len()`. Feed the
+/// result to [`bgp_setups_with_networks`].
+pub fn spread_originations(
+    routers: &[NodeId],
+    prefixes: usize,
+) -> BTreeMap<NodeId, Vec<Ipv4Prefix>> {
+    let mut out: BTreeMap<NodeId, Vec<Ipv4Prefix>> = BTreeMap::new();
+    if routers.is_empty() {
+        return out;
+    }
+    for g in 0..prefixes {
+        out.entry(routers[g % routers.len()])
+            .or_default()
+            .push(synth_prefix(g as u32));
+    }
+    out
+}
+
+/// Stub-only originations: every **minimum-degree** router originates
+/// `per_node` synthetic /24s; transit routers originate nothing. This is
+/// the zoo-scenario shape — edge sites announce, cores carry — and the
+/// reason [`bgp_setups_with_networks`] takes per-node originations rather
+/// than a uniform block. Deterministic: routers are visited in node-id
+/// order and prefixes assigned from a running counter.
+pub fn stub_originations(topo: &Topology, per_node: usize) -> BTreeMap<NodeId, Vec<Ipv4Prefix>> {
+    let routers = topo.nodes_of_kind(NodeKind::Router);
+    let min_deg = routers
+        .iter()
+        .map(|r| topo.neighbors(*r).len())
+        .min()
+        .unwrap_or(0);
+    let mut out = BTreeMap::new();
+    let mut g = 0u32;
+    for r in routers {
+        if topo.neighbors(r).len() == min_deg {
+            let mut nets = Vec::with_capacity(per_node);
+            for _ in 0..per_node {
+                nets.push(synth_prefix(g));
+                g += 1;
+            }
+            out.insert(r, nets);
+        }
     }
     out
 }
@@ -170,6 +238,45 @@ mod tests {
             setups[&cores[0]].config.peers.len(),
             topo.neighbors(cores[0]).len()
         );
+    }
+
+    #[test]
+    fn stub_originations_hit_min_degree_routers_only() {
+        // pop_wan: leaves have degree 1, cores ≥ 3 — only leaves originate.
+        let (topo, cores, leaves) = crate::shapes::pop_wan(4, 2, 1e9);
+        let nets = stub_originations(&topo, 2);
+        assert_eq!(nets.len(), leaves.len());
+        for c in &cores {
+            assert!(!nets.contains_key(c), "transit core must not originate");
+        }
+        let mut all: Vec<Ipv4Prefix> = nets.values().flatten().copied().collect();
+        assert_eq!(all.len(), 2 * leaves.len());
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 2 * leaves.len(), "prefixes must be unique");
+        // Determinism: same topology, same assignment.
+        assert_eq!(nets, stub_originations(&topo, 2));
+        // And the setups builder accepts the parameterized map: only the
+        // stub routers end up with networks.
+        let setups = bgp_setups_with_networks(&topo, timers(), &nets);
+        for (node, s) in &setups {
+            assert_eq!(
+                s.config.networks.len(),
+                if nets.contains_key(node) { 2 } else { 0 }
+            );
+        }
+    }
+
+    #[test]
+    fn spread_originations_round_robin() {
+        let routers: Vec<NodeId> = (0u32..3).map(NodeId).collect();
+        let nets = spread_originations(&routers, 7);
+        assert_eq!(nets[&routers[0]].len(), 3);
+        assert_eq!(nets[&routers[1]].len(), 2);
+        assert_eq!(nets[&routers[2]].len(), 2);
+        assert_eq!(nets[&routers[0]][0], synth_prefix(0));
+        assert_eq!(nets[&routers[1]][0], synth_prefix(1));
+        assert!(spread_originations(&[], 5).is_empty());
     }
 
     #[test]

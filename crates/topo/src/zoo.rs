@@ -1,0 +1,571 @@
+//! Topology Zoo loader: a std-only GML parser and a vendored corpus.
+//!
+//! The Internet Topology Zoo publishes real WAN topologies (Abilene, GÉANT,
+//! …) as GML files. This module parses the subset of GML those files use —
+//! `graph [ node [ id label Latitude Longitude ] edge [ source target
+//! LinkSpeed ] ]` — and maps each graph onto a [`Topology`] of routers:
+//!
+//! * node ids are assigned in **first-seen file order**, so the same file
+//!   always yields the same `NodeId`s (byte-determinism across runs and
+//!   worker counts depends on this);
+//! * link capacity comes from `LinkSpeedRaw` (bps) or `LinkSpeed` +
+//!   `LinkSpeedUnits`, defaulting to 1 Gbps;
+//! * link latency comes from great-circle distance between the endpoints'
+//!   `Latitude`/`Longitude` at ~200 km/ms (fiber), defaulting to 1 ms when
+//!   either endpoint has no coordinates.
+//!
+//! [`ZooCorpus`] catalogs a directory of `.gml` files by name;
+//! [`ZooCorpus::vendored`] opens the corpus shipped under `crates/topo/zoo`.
+
+use horse_net::topology::{NodeId, Topology};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// Errors from parsing a GML file or loading a corpus entry.
+#[derive(Debug)]
+pub enum ZooError {
+    /// Malformed GML: unbalanced brackets, a value where a key was
+    /// expected, or a missing mandatory field.
+    Gml(String),
+    /// The corpus directory or file could not be read.
+    Io(std::io::Error),
+    /// `load` was asked for a name the corpus does not contain.
+    UnknownTopology(String),
+}
+
+impl fmt::Display for ZooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZooError::Gml(m) => write!(f, "gml parse error: {m}"),
+            ZooError::Io(e) => write!(f, "corpus io error: {e}"),
+            ZooError::UnknownTopology(n) => write!(f, "unknown zoo topology {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ZooError {}
+
+impl From<std::io::Error> for ZooError {
+    fn from(e: std::io::Error) -> ZooError {
+        ZooError::Io(e)
+    }
+}
+
+/// One `node [ … ]` stanza, in file order.
+#[derive(Debug, Clone)]
+pub struct ZooNode {
+    /// The file's `id` field (referenced by edges; arbitrary integers).
+    pub id: i64,
+    /// The `label` field, usually a city name. May repeat or be empty.
+    pub label: String,
+    pub latitude: Option<f64>,
+    pub longitude: Option<f64>,
+}
+
+/// One `edge [ … ]` stanza, in file order.
+#[derive(Debug, Clone)]
+pub struct ZooEdge {
+    pub source: i64,
+    pub target: i64,
+    /// Capacity in bits/s if the file carried one (`LinkSpeedRaw`, or
+    /// `LinkSpeed` scaled by `LinkSpeedUnits`).
+    pub speed_bps: Option<f64>,
+}
+
+/// A parsed Topology Zoo graph, preserving file order for determinism.
+#[derive(Debug, Clone)]
+pub struct ZooGraph {
+    /// The `Network` attribute if present, else the name `parse` was given.
+    pub name: String,
+    pub nodes: Vec<ZooNode>,
+    pub edges: Vec<ZooEdge>,
+}
+
+// ---------------------------------------------------------------------------
+// GML parsing (std-only, recursive descent over a token stream)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Open,
+    Close,
+    Word(String),
+    Str(String),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, ZooError> {
+    let mut toks = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '[' => {
+                chars.next();
+                toks.push(Tok::Open);
+            }
+            ']' => {
+                chars.next();
+                toks.push(Tok::Close);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => {
+                            if let Some(e) = chars.next() {
+                                s.push(e);
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(ZooError::Gml("unterminated string".into())),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            _ => {
+                let mut w = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '[' || c == ']' || c == '"' {
+                        break;
+                    }
+                    w.push(c);
+                    chars.next();
+                }
+                toks.push(Tok::Word(w));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// A GML value: scalar (number or bare word), quoted string, or nested list.
+#[derive(Debug, Clone)]
+enum Val {
+    Num(f64),
+    Str(String),
+    List(Vec<(String, Val)>),
+}
+
+impl Val {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::Num(n) => Some(*n),
+            Val::Str(s) => s.trim().parse().ok(),
+            Val::List(_) => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            Val::Num(_) | Val::List(_) => None,
+        }
+    }
+}
+
+/// Parse `key value` pairs until `]` or end of stream.
+fn parse_list(
+    toks: &[Tok],
+    mut i: usize,
+    top: bool,
+) -> Result<(Vec<(String, Val)>, usize), ZooError> {
+    let mut out = Vec::new();
+    loop {
+        match toks.get(i) {
+            None => {
+                if top {
+                    return Ok((out, i));
+                }
+                return Err(ZooError::Gml("unbalanced brackets".into()));
+            }
+            Some(Tok::Close) => {
+                if top {
+                    return Err(ZooError::Gml("unbalanced brackets".into()));
+                }
+                return Ok((out, i + 1));
+            }
+            Some(Tok::Open) => return Err(ZooError::Gml("list without a key".into())),
+            Some(Tok::Str(_)) => return Err(ZooError::Gml("string where key expected".into())),
+            Some(Tok::Word(key)) => {
+                let key = key.clone();
+                i += 1;
+                let val = match toks.get(i) {
+                    Some(Tok::Open) => {
+                        let (list, next) = parse_list(toks, i + 1, false)?;
+                        i = next;
+                        Val::List(list)
+                    }
+                    Some(Tok::Str(s)) => {
+                        i += 1;
+                        Val::Str(s.clone())
+                    }
+                    Some(Tok::Word(w)) => {
+                        let v = match w.parse::<f64>() {
+                            Ok(n) => Val::Num(n),
+                            Err(_) => Val::Str(w.clone()),
+                        };
+                        i += 1;
+                        v
+                    }
+                    Some(Tok::Close) | None => {
+                        return Err(ZooError::Gml(format!("key {key:?} without a value")))
+                    }
+                };
+                out.push((key, val));
+            }
+        }
+    }
+}
+
+fn field<'a>(list: &'a [(String, Val)], key: &str) -> Option<&'a Val> {
+    list.iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(key))
+        .map(|(_, v)| v)
+}
+
+fn edge_speed_bps(list: &[(String, Val)]) -> Option<f64> {
+    if let Some(raw) = field(list, "LinkSpeedRaw").and_then(Val::as_f64) {
+        if raw > 0.0 {
+            return Some(raw);
+        }
+    }
+    let speed = field(list, "LinkSpeed").and_then(Val::as_f64)?;
+    if speed <= 0.0 {
+        return None;
+    }
+    let unit = match field(list, "LinkSpeedUnits").and_then(Val::as_str) {
+        Some(u) if u.starts_with('G') || u.starts_with('g') => 1e9,
+        Some(u) if u.starts_with('M') || u.starts_with('m') => 1e6,
+        Some(u) if u.starts_with('K') || u.starts_with('k') => 1e3,
+        // Zoo files always carry a unit next to LinkSpeed; assume Mbps (the
+        // most common) when it is missing rather than misreading 10 as 10 bps.
+        _ => 1e6,
+    };
+    Some(speed * unit)
+}
+
+impl ZooGraph {
+    /// Parse GML text. `fallback_name` names the graph when the file has no
+    /// `Network` attribute (typically the file stem).
+    pub fn parse(text: &str, fallback_name: &str) -> Result<ZooGraph, ZooError> {
+        let toks = tokenize(text)?;
+        let (doc, _) = parse_list(&toks, 0, true)?;
+        let graph = match field(&doc, "graph") {
+            Some(Val::List(l)) => l,
+            _ => return Err(ZooError::Gml("no graph [ … ] block".into())),
+        };
+        let name = field(graph, "Network")
+            .and_then(Val::as_str)
+            .filter(|s| !s.is_empty())
+            .unwrap_or(fallback_name)
+            .to_string();
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        for (key, val) in graph {
+            let list = match val {
+                Val::List(l) => l,
+                _ => continue,
+            };
+            if key.eq_ignore_ascii_case("node") {
+                let id = field(list, "id")
+                    .and_then(Val::as_f64)
+                    .ok_or_else(|| ZooError::Gml("node without id".into()))?
+                    as i64;
+                nodes.push(ZooNode {
+                    id,
+                    label: field(list, "label")
+                        .and_then(Val::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    latitude: field(list, "Latitude").and_then(Val::as_f64),
+                    longitude: field(list, "Longitude").and_then(Val::as_f64),
+                });
+            } else if key.eq_ignore_ascii_case("edge") {
+                let source = field(list, "source")
+                    .and_then(Val::as_f64)
+                    .ok_or_else(|| ZooError::Gml("edge without source".into()))?
+                    as i64;
+                let target = field(list, "target")
+                    .and_then(Val::as_f64)
+                    .ok_or_else(|| ZooError::Gml("edge without target".into()))?
+                    as i64;
+                edges.push(ZooEdge {
+                    source,
+                    target,
+                    speed_bps: edge_speed_bps(list),
+                });
+            }
+        }
+        if nodes.is_empty() {
+            return Err(ZooError::Gml("graph has no nodes".into()));
+        }
+        Ok(ZooGraph { name, nodes, edges })
+    }
+
+    /// Build a router-only [`Topology`]. Node ids follow first-seen file
+    /// order; self-loops and duplicate edges are dropped; capacity defaults
+    /// to 1 Gbps and latency to geo distance (1 ms without coordinates).
+    /// Returns the topology and the routers in file order.
+    pub fn build(&self) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let mut by_gml_id: HashMap<i64, NodeId> = HashMap::new();
+        let mut taken: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut routers = Vec::with_capacity(self.nodes.len());
+        for (idx, n) in self.nodes.iter().enumerate() {
+            let base = sanitize_label(&n.label);
+            let name = if base.is_empty() || !taken.insert(base.clone()) {
+                let alt = if base.is_empty() {
+                    format!("node{idx}")
+                } else {
+                    format!("{base}-{idx}")
+                };
+                taken.insert(alt.clone());
+                alt
+            } else {
+                base
+            };
+            let ip = Ipv4Addr::new(10, 200 + (idx / 250) as u8, (idx % 250) as u8, 1);
+            let r = t.add_router(name, ip);
+            // Duplicate GML ids: first stanza wins, matching first-seen order.
+            by_gml_id.entry(n.id).or_insert(r);
+            routers.push(r);
+        }
+        let coords: HashMap<i64, (f64, f64)> = self
+            .nodes
+            .iter()
+            .filter_map(|n| Some((n.id, (n.latitude?, n.longitude?))))
+            .collect();
+        for e in &self.edges {
+            let (a, b) = match (by_gml_id.get(&e.source), by_gml_id.get(&e.target)) {
+                (Some(&a), Some(&b)) => (a, b),
+                _ => continue, // dangling endpoint: drop the edge
+            };
+            if a == b || t.link_between(a, b).is_some() {
+                continue;
+            }
+            let bps = e.speed_bps.unwrap_or(1e9).max(1e6);
+            let delay_ns = match (coords.get(&e.source), coords.get(&e.target)) {
+                (Some(&p), Some(&q)) => geo_delay_ns(p, q),
+                _ => 1_000_000,
+            };
+            t.add_link(a, b, bps, delay_ns);
+        }
+        (t, routers)
+    }
+}
+
+/// Keep `[A-Za-z0-9]`, fold runs of anything else to a single `-`.
+fn sanitize_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else if !out.is_empty() && !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
+/// Great-circle distance at ~200 km/ms in fiber → 5 µs per km, floored at
+/// 0.1 ms so co-located PoPs still have a nonzero propagation delay.
+fn geo_delay_ns(a: (f64, f64), b: (f64, f64)) -> u64 {
+    let km = haversine_km(a, b);
+    ((km * 5_000.0) as u64).max(100_000)
+}
+
+fn haversine_km((lat1, lon1): (f64, f64), (lat2, lon2): (f64, f64)) -> f64 {
+    let r = 6371.0;
+    let dlat = (lat2 - lat1).to_radians();
+    let dlon = (lon2 - lon1).to_radians();
+    let h = (dlat / 2.0).sin().powi(2)
+        + lat1.to_radians().cos() * lat2.to_radians().cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * r * h.sqrt().asin()
+}
+
+// ---------------------------------------------------------------------------
+// Corpus catalog
+// ---------------------------------------------------------------------------
+
+/// A directory of `.gml` files, cataloged by file stem in sorted order so
+/// `names()` is stable regardless of filesystem iteration order.
+#[derive(Debug, Clone)]
+pub struct ZooCorpus {
+    dir: PathBuf,
+    names: Vec<String>,
+}
+
+impl ZooCorpus {
+    /// Scan `dir` for `*.gml` files. Names are the file stems, sorted.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ZooCorpus, ZooError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "gml") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        names.dedup();
+        Ok(ZooCorpus { dir, names })
+    }
+
+    /// The corpus vendored with this crate under `crates/topo/zoo`.
+    pub fn vendored() -> ZooCorpus {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("zoo");
+        ZooCorpus::open(&dir).expect("vendored zoo corpus should ship with the crate")
+    }
+
+    /// Topology names (file stems), sorted.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Parse one topology by name.
+    pub fn load(&self, name: &str) -> Result<ZooGraph, ZooError> {
+        if !self.names.iter().any(|n| n == name) {
+            return Err(ZooError::UnknownTopology(name.to_string()));
+        }
+        let text = std::fs::read_to_string(self.dir.join(format!("{name}.gml")))?;
+        ZooGraph::parse(&text, name)
+    }
+
+    /// Parse and build one topology by name.
+    pub fn build(&self, name: &str) -> Result<(Topology, Vec<NodeId>), ZooError> {
+        Ok(self.load(name)?.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+        Creator "Topology Zoo Toolset"
+        graph [
+          Network "Mini"
+          directed 0
+          node [ id 3 label "New York" Latitude 40.71 Longitude -74.00 ]
+          node [ id 7 label "Chicago"  Latitude 41.88 Longitude -87.63 ]
+          node [ id 9 label "Chicago" ]
+          edge [ source 3 target 7 LinkSpeed "10" LinkSpeedUnits "G" ]
+          edge [ source 7 target 9 LinkSpeedRaw 2.5e9 ]
+          edge [ source 7 target 3 ]
+          edge [ source 9 target 9 ]
+        ]
+    "#;
+
+    #[test]
+    fn parses_nodes_edges_and_speeds() {
+        let g = ZooGraph::parse(MINI, "fallback").unwrap();
+        assert_eq!(g.name, "Mini");
+        assert_eq!(g.nodes.len(), 3);
+        assert_eq!(g.edges.len(), 4);
+        assert_eq!(g.nodes[0].label, "New York");
+        assert_eq!(g.nodes[0].latitude, Some(40.71));
+        assert_eq!(g.edges[0].speed_bps, Some(10e9));
+        assert_eq!(g.edges[1].speed_bps, Some(2.5e9));
+        assert_eq!(g.edges[2].speed_bps, None);
+    }
+
+    #[test]
+    fn build_is_deterministic_and_dedups() {
+        let g = ZooGraph::parse(MINI, "m").unwrap();
+        let (t, routers) = g.build();
+        assert_eq!(routers.len(), 3);
+        // First-seen order: node ids 0,1,2 in file order regardless of GML ids.
+        assert_eq!(t.node(routers[0]).name, "New-York");
+        assert_eq!(t.node(routers[1]).name, "Chicago");
+        // Duplicate label gets an index suffix.
+        assert_eq!(t.node(routers[2]).name, "Chicago-2");
+        // 4 stanzas → 2 links: reverse duplicate and self-loop dropped.
+        assert_eq!(t.link_count(), 2);
+        let (t2, _) = g.build();
+        assert_eq!(t2.node(routers[0]).name, "New-York");
+        assert_eq!(t2.link_count(), 2);
+        // Geo latency: NY–Chicago ≈ 1145 km ≈ 5.7 ms.
+        let (lid, _) = t.link_between(routers[0], routers[1]).unwrap();
+        let d = t.link(lid).delay_ns;
+        assert!((4_000_000..8_000_000).contains(&d), "delay {d}");
+        // No coords on node 9 → default 1 ms.
+        let (lid2, _) = t.link_between(routers[1], routers[2]).unwrap();
+        assert_eq!(t.link(lid2).delay_ns, 1_000_000);
+    }
+
+    #[test]
+    fn rejects_malformed_gml() {
+        assert!(ZooGraph::parse("graph [ node [ id 1 ]", "x").is_err());
+        assert!(ZooGraph::parse("graph [ ]", "x").is_err());
+        assert!(ZooGraph::parse("nodes only, no graph", "x").is_err());
+    }
+
+    #[test]
+    fn vendored_corpus_loads_and_is_connected() {
+        let corpus = ZooCorpus::vendored();
+        assert!(
+            corpus.len() >= 50,
+            "vendored corpus has only {} topologies",
+            corpus.len()
+        );
+        let mut sorted = corpus.names().to_vec();
+        sorted.sort();
+        assert_eq!(sorted, corpus.names(), "names must be sorted");
+        for name in corpus.names() {
+            let (t, routers) = corpus.build(name).unwrap_or_else(|e| {
+                panic!("corpus entry {name} failed: {e}");
+            });
+            assert!(routers.len() >= 4, "{name}: too few routers");
+            for r in &routers[1..] {
+                assert!(
+                    t.hop_distance(routers[0], *r).is_some(),
+                    "{name}: router {r:?} unreachable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abilene_golden() {
+        let corpus = ZooCorpus::vendored();
+        let g = corpus.load("Abilene").expect("Abilene in corpus");
+        assert_eq!(g.name, "Abilene");
+        assert_eq!(g.nodes.len(), 11);
+        assert_eq!(g.edges.len(), 14);
+        let (t, routers) = g.build();
+        assert_eq!(t.node_count(), 11);
+        assert_eq!(t.link_count(), 14);
+        // Stable first-seen ids: re-parse, re-build, same names per slot.
+        let (t2, routers2) = corpus.load("Abilene").unwrap().build();
+        for (a, b) in routers.iter().zip(&routers2) {
+            assert_eq!(t.node(*a).name, t2.node(*b).name);
+        }
+    }
+}

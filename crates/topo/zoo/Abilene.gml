@@ -1,0 +1,169 @@
+Creator "Topology Zoo. GML rendition of the Abilene backbone."
+graph [
+  Network "Abilene"
+  directed 0
+  node [
+    id 0
+    label "New York"
+    Latitude 40.71427
+    Longitude -74.00597
+  ]
+  node [
+    id 1
+    label "Chicago"
+    Latitude 41.85003
+    Longitude -87.65005
+  ]
+  node [
+    id 2
+    label "Washington DC"
+    Latitude 38.89511
+    Longitude -77.03637
+  ]
+  node [
+    id 3
+    label "Seattle"
+    Latitude 47.60621
+    Longitude -122.33207
+  ]
+  node [
+    id 4
+    label "Sunnyvale"
+    Latitude 37.36883
+    Longitude -122.03635
+  ]
+  node [
+    id 5
+    label "Los Angeles"
+    Latitude 34.05223
+    Longitude -118.24368
+  ]
+  node [
+    id 6
+    label "Denver"
+    Latitude 39.73915
+    Longitude -104.9847
+  ]
+  node [
+    id 7
+    label "Kansas City"
+    Latitude 39.09973
+    Longitude -94.57857
+  ]
+  node [
+    id 8
+    label "Houston"
+    Latitude 29.76328
+    Longitude -95.36327
+  ]
+  node [
+    id 9
+    label "Atlanta"
+    Latitude 33.749
+    Longitude -84.38798
+  ]
+  node [
+    id 10
+    label "Indianapolis"
+    Latitude 39.76838
+    Longitude -86.15804
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

@@ -1,0 +1,527 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Arpanet19728"
+  directed 0
+  node [
+    id 0
+    label "Arpanet19728 PoP 0"
+    Latitude 31.98366
+    Longitude -120.30348
+  ]
+  node [
+    id 1
+    label "Arpanet19728 PoP 1"
+    Latitude 32.55289
+    Longitude -88.85582
+  ]
+  node [
+    id 2
+    label "Arpanet19728 PoP 2"
+    Latitude 33.89516
+    Longitude -117.99591
+  ]
+  node [
+    id 3
+    label "Arpanet19728 PoP 3"
+    Latitude 34.95343
+    Longitude -93.8958
+  ]
+  node [
+    id 4
+    label "Arpanet19728 PoP 4"
+    Latitude 36.44846
+    Longitude -82.8522
+  ]
+  node [
+    id 5
+    label "Arpanet19728 PoP 5"
+    Latitude 42.99206
+    Longitude -74.41615
+  ]
+  node [
+    id 6
+    label "Arpanet19728 PoP 6"
+    Latitude 35.22403
+    Longitude -111.84874
+  ]
+  node [
+    id 7
+    label "Arpanet19728 PoP 7"
+    Latitude 34.98489
+    Longitude -111.06732
+  ]
+  node [
+    id 8
+    label "Arpanet19728 PoP 8"
+    Latitude 36.31915
+    Longitude -78.09141
+  ]
+  node [
+    id 9
+    label "Arpanet19728 PoP 9"
+    Latitude 34.47238
+    Longitude -87.19036
+  ]
+  node [
+    id 10
+    label "Arpanet19728 PoP 10"
+    Latitude 43.39971
+    Longitude -78.69824
+  ]
+  node [
+    id 11
+    label "Arpanet19728 PoP 11"
+    Latitude 40.887
+    Longitude -90.06203
+  ]
+  node [
+    id 12
+    label "Arpanet19728 PoP 12"
+    Latitude 41.63807
+    Longitude -99.78232
+  ]
+  node [
+    id 13
+    label "Arpanet19728 PoP 13"
+    Latitude 38.08651
+    Longitude -117.54318
+  ]
+  node [
+    id 14
+    label "Arpanet19728 PoP 14"
+    Latitude 45.53446
+    Longitude -88.66641
+  ]
+  node [
+    id 15
+    label "Arpanet19728 PoP 15"
+    Latitude 46.21214
+    Longitude -109.20327
+  ]
+  node [
+    id 16
+    label "Arpanet19728 PoP 16"
+    Latitude 32.34277
+    Longitude -108.78702
+  ]
+  node [
+    id 17
+    label "Arpanet19728 PoP 17"
+    Latitude 40.88724
+    Longitude -87.87278
+  ]
+  node [
+    id 18
+    label "Arpanet19728 PoP 18"
+    Latitude 34.33298
+    Longitude -120.84251
+  ]
+  node [
+    id 19
+    label "Arpanet19728 PoP 19"
+    Latitude 44.82198
+    Longitude -74.6057
+  ]
+  node [
+    id 20
+    label "Arpanet19728 PoP 20"
+    Latitude 34.93174
+    Longitude -87.75566
+  ]
+  node [
+    id 21
+    label "Arpanet19728 PoP 21"
+    Latitude 31.49014
+    Longitude -103.22977
+  ]
+  node [
+    id 22
+    label "Arpanet19728 PoP 22"
+    Latitude 43.11232
+    Longitude -96.87575
+  ]
+  node [
+    id 23
+    label "Arpanet19728 PoP 23"
+    Latitude 42.10943
+    Longitude -81.34283
+  ]
+  node [
+    id 24
+    label "Arpanet19728 PoP 24"
+    Latitude 34.75789
+    Longitude -100.36772
+  ]
+  node [
+    id 25
+    label "Arpanet19728 PoP 25"
+    Latitude 30.48329
+    Longitude -91.16976
+  ]
+  node [
+    id 26
+    label "Arpanet19728 PoP 26"
+    Latitude 46.01626
+    Longitude -105.10945
+  ]
+  node [
+    id 27
+    label "Arpanet19728 PoP 27"
+    Latitude 44.87601
+    Longitude -82.30768
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 8
+  ]
+  edge [
+    source 4
+    target 27
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 13
+  ]
+  edge [
+    source 6
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 8
+    target 20
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 14
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 22
+  ]
+  edge [
+    source 15
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 18
+    target 20
+  ]
+  edge [
+    source 18
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 20
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+]

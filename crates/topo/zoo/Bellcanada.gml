@@ -1,0 +1,511 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Bellcanada"
+  directed 0
+  node [
+    id 0
+    label "Bellcanada PoP 0"
+    Latitude 50.46608
+    Longitude -87.20448
+  ]
+  node [
+    id 1
+    label "Bellcanada PoP 1"
+    Latitude 46.57507
+    Longitude -107.9094
+  ]
+  node [
+    id 2
+    label "Bellcanada PoP 2"
+    Latitude 34.30166
+    Longitude -114.97203
+  ]
+  node [
+    id 3
+    label "Bellcanada PoP 3"
+    Latitude 32.88424
+    Longitude -84.47539
+  ]
+  node [
+    id 4
+    label "Bellcanada PoP 4"
+    Latitude 49.6279
+    Longitude -98.27621
+  ]
+  node [
+    id 5
+    label "Bellcanada PoP 5"
+    Latitude 51.05807
+    Longitude -91.43536
+  ]
+  node [
+    id 6
+    label "Bellcanada PoP 6"
+    Latitude 34.83515
+    Longitude -86.4776
+  ]
+  node [
+    id 7
+    label "Bellcanada PoP 7"
+    Latitude 31.89204
+    Longitude -95.20452
+  ]
+  node [
+    id 8
+    label "Bellcanada PoP 8"
+    Latitude 41.58371
+    Longitude -87.90616
+  ]
+  node [
+    id 9
+    label "Bellcanada PoP 9"
+    Latitude 32.91501
+    Longitude -87.23208
+  ]
+  node [
+    id 10
+    label "Bellcanada PoP 10"
+    Latitude 46.16302
+    Longitude -117.9627
+  ]
+  node [
+    id 11
+    label "Bellcanada PoP 11"
+    Latitude 32.03018
+    Longitude -80.13377
+  ]
+  node [
+    id 12
+    label "Bellcanada PoP 12"
+    Latitude 42.80903
+    Longitude -71.10335
+  ]
+  node [
+    id 13
+    label "Bellcanada PoP 13"
+    Latitude 45.34923
+    Longitude -94.47403
+  ]
+  node [
+    id 14
+    label "Bellcanada PoP 14"
+    Latitude 51.34151
+    Longitude -85.01901
+  ]
+  node [
+    id 15
+    label "Bellcanada PoP 15"
+    Latitude 40.68167
+    Longitude -76.3215
+  ]
+  node [
+    id 16
+    label "Bellcanada PoP 16"
+    Latitude 34.18177
+    Longitude -95.75511
+  ]
+  node [
+    id 17
+    label "Bellcanada PoP 17"
+    Latitude 43.50111
+    Longitude -81.10318
+  ]
+  node [
+    id 18
+    label "Bellcanada PoP 18"
+    Latitude 31.69873
+    Longitude -114.91197
+  ]
+  node [
+    id 19
+    label "Bellcanada PoP 19"
+    Latitude 49.66714
+    Longitude -101.26332
+  ]
+  node [
+    id 20
+    label "Bellcanada PoP 20"
+    Latitude 30.30511
+    Longitude -118.44918
+  ]
+  node [
+    id 21
+    label "Bellcanada PoP 21"
+    Latitude 50.49698
+    Longitude -95.73901
+  ]
+  node [
+    id 22
+    label "Bellcanada PoP 22"
+    Latitude 43.4352
+    Longitude -96.61357
+  ]
+  node [
+    id 23
+    label "Bellcanada PoP 23"
+    Latitude 37.06149
+    Longitude -92.3323
+  ]
+  node [
+    id 24
+    label "Bellcanada PoP 24"
+    Latitude 38.47043
+    Longitude -88.33156
+  ]
+  node [
+    id 25
+    label "Bellcanada PoP 25"
+    Latitude 39.85831
+    Longitude -74.03997
+  ]
+  node [
+    id 26
+    label "Bellcanada PoP 26"
+    Latitude 41.64281
+    Longitude -79.40517
+  ]
+  node [
+    id 27
+    label "Bellcanada PoP 27"
+    Latitude 30.1298
+    Longitude -74.88144
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 8
+  ]
+  edge [
+    source 0
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 18
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 15
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 7
+    target 9
+  ]
+  edge [
+    source 7
+    target 27
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 10
+  ]
+  edge [
+    source 8
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 21
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 10
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 27
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 20
+  ]
+  edge [
+    source 12
+    target 24
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 26
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 23
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+]

@@ -1,0 +1,551 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "BtNorthAmerica"
+  directed 0
+  node [
+    id 0
+    label "BtNorthAmerica PoP 0"
+    Latitude 49.15142
+    Longitude -114.41387
+  ]
+  node [
+    id 1
+    label "BtNorthAmerica PoP 1"
+    Latitude 39.83973
+    Longitude -77.24772
+  ]
+  node [
+    id 2
+    label "BtNorthAmerica PoP 2"
+    Latitude 37.68818
+    Longitude -117.5541
+  ]
+  node [
+    id 3
+    label "BtNorthAmerica PoP 3"
+    Latitude 37.20184
+    Longitude -94.59058
+  ]
+  node [
+    id 4
+    label "BtNorthAmerica PoP 4"
+    Latitude 51.87723
+    Longitude -72.19186
+  ]
+  node [
+    id 5
+    label "BtNorthAmerica PoP 5"
+    Latitude 31.88675
+    Longitude -97.89336
+  ]
+  node [
+    id 6
+    label "BtNorthAmerica PoP 6"
+    Latitude 38.22212
+    Longitude -84.29809
+  ]
+  node [
+    id 7
+    label "BtNorthAmerica PoP 7"
+    Latitude 51.65941
+    Longitude -97.55588
+  ]
+  node [
+    id 8
+    label "BtNorthAmerica PoP 8"
+    Latitude 34.70864
+    Longitude -97.78831
+  ]
+  node [
+    id 9
+    label "BtNorthAmerica PoP 9"
+    Latitude 35.19281
+    Longitude -73.65085
+  ]
+  node [
+    id 10
+    label "BtNorthAmerica PoP 10"
+    Latitude 35.79814
+    Longitude -99.1889
+  ]
+  node [
+    id 11
+    label "BtNorthAmerica PoP 11"
+    Latitude 47.25744
+    Longitude -106.01133
+  ]
+  node [
+    id 12
+    label "BtNorthAmerica PoP 12"
+    Latitude 35.94268
+    Longitude -87.54362
+  ]
+  node [
+    id 13
+    label "BtNorthAmerica PoP 13"
+    Latitude 42.76168
+    Longitude -107.34981
+  ]
+  node [
+    id 14
+    label "BtNorthAmerica PoP 14"
+    Latitude 46.21339
+    Longitude -105.44027
+  ]
+  node [
+    id 15
+    label "BtNorthAmerica PoP 15"
+    Latitude 43.03059
+    Longitude -105.2091
+  ]
+  node [
+    id 16
+    label "BtNorthAmerica PoP 16"
+    Latitude 47.62243
+    Longitude -112.73243
+  ]
+  node [
+    id 17
+    label "BtNorthAmerica PoP 17"
+    Latitude 43.68182
+    Longitude -102.10275
+  ]
+  node [
+    id 18
+    label "BtNorthAmerica PoP 18"
+    Latitude 46.37719
+    Longitude -91.63966
+  ]
+  node [
+    id 19
+    label "BtNorthAmerica PoP 19"
+    Latitude 42.37027
+    Longitude -118.7935
+  ]
+  node [
+    id 20
+    label "BtNorthAmerica PoP 20"
+    Latitude 32.69265
+    Longitude -86.67502
+  ]
+  node [
+    id 21
+    label "BtNorthAmerica PoP 21"
+    Latitude 41.22954
+    Longitude -74.23614
+  ]
+  node [
+    id 22
+    label "BtNorthAmerica PoP 22"
+    Latitude 41.75799
+    Longitude -119.52188
+  ]
+  node [
+    id 23
+    label "BtNorthAmerica PoP 23"
+    Latitude 43.45556
+    Longitude -96.95401
+  ]
+  node [
+    id 24
+    label "BtNorthAmerica PoP 24"
+    Latitude 33.22421
+    Longitude -108.93062
+  ]
+  node [
+    id 25
+    label "BtNorthAmerica PoP 25"
+    Latitude 30.7829
+    Longitude -70.27855
+  ]
+  node [
+    id 26
+    label "BtNorthAmerica PoP 26"
+    Latitude 31.39711
+    Longitude -117.9761
+  ]
+  node [
+    id 27
+    label "BtNorthAmerica PoP 27"
+    Latitude 46.54406
+    Longitude -83.01991
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 21
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 16
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 20
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 25
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 22
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

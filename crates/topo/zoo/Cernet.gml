@@ -1,0 +1,512 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Cernet"
+  directed 0
+  node [
+    id 0
+    label "Cernet PoP 0"
+    Latitude 22.62408
+    Longitude 101.50554
+  ]
+  node [
+    id 1
+    label "Cernet PoP 1"
+    Latitude 29.48253
+    Longitude 102.43168
+  ]
+  node [
+    id 2
+    label "Cernet PoP 2"
+    Latitude 37.7015
+    Longitude 101.70247
+  ]
+  node [
+    id 3
+    label "Cernet PoP 3"
+    Latitude 27.37149
+    Longitude 108.98256
+  ]
+  node [
+    id 4
+    label "Cernet PoP 4"
+    Latitude 38.18318
+    Longitude 105.71969
+  ]
+  node [
+    id 5
+    label "Cernet PoP 5"
+    Latitude 43.89804
+    Longitude 120.2031
+  ]
+  node [
+    id 6
+    label "Cernet PoP 6"
+    Latitude 25.47671
+    Longitude 122.98773
+  ]
+  node [
+    id 7
+    label "Cernet PoP 7"
+    Latitude 44.99963
+    Longitude 118.53751
+  ]
+  node [
+    id 8
+    label "Cernet PoP 8"
+    Latitude 29.65755
+    Longitude 101.92822
+  ]
+  node [
+    id 9
+    label "Cernet PoP 9"
+    Latitude 26.15932
+    Longitude 123.28748
+  ]
+  node [
+    id 10
+    label "Cernet PoP 10"
+    Latitude 37.86766
+    Longitude 102.83822
+  ]
+  node [
+    id 11
+    label "Cernet PoP 11"
+    Latitude 32.75786
+    Longitude 123.85556
+  ]
+  node [
+    id 12
+    label "Cernet PoP 12"
+    Latitude 26.53297
+    Longitude 106.75138
+  ]
+  node [
+    id 13
+    label "Cernet PoP 13"
+    Latitude 22.08186
+    Longitude 119.08309
+  ]
+  node [
+    id 14
+    label "Cernet PoP 14"
+    Latitude 40.96408
+    Longitude 119.98521
+  ]
+  node [
+    id 15
+    label "Cernet PoP 15"
+    Latitude 44.05811
+    Longitude 111.24666
+  ]
+  node [
+    id 16
+    label "Cernet PoP 16"
+    Latitude 35.00266
+    Longitude 105.6284
+  ]
+  node [
+    id 17
+    label "Cernet PoP 17"
+    Latitude 29.93277
+    Longitude 104.92946
+  ]
+  node [
+    id 18
+    label "Cernet PoP 18"
+    Latitude 26.97934
+    Longitude 110.89934
+  ]
+  node [
+    id 19
+    label "Cernet PoP 19"
+    Latitude 35.57928
+    Longitude 123.6197
+  ]
+  node [
+    id 20
+    label "Cernet PoP 20"
+    Latitude 22.26607
+    Longitude 111.54484
+  ]
+  node [
+    id 21
+    label "Cernet PoP 21"
+    Latitude 33.18098
+    Longitude 111.19694
+  ]
+  node [
+    id 22
+    label "Cernet PoP 22"
+    Latitude 42.41527
+    Longitude 110.00371
+  ]
+  node [
+    id 23
+    label "Cernet PoP 23"
+    Latitude 35.53001
+    Longitude 102.37958
+  ]
+  node [
+    id 24
+    label "Cernet PoP 24"
+    Latitude 36.26983
+    Longitude 113.16852
+  ]
+  node [
+    id 25
+    label "Cernet PoP 25"
+    Latitude 25.41544
+    Longitude 100.02853
+  ]
+  node [
+    id 26
+    label "Cernet PoP 26"
+    Latitude 27.25935
+    Longitude 116.90262
+  ]
+  node [
+    id 27
+    label "Cernet PoP 27"
+    Latitude 28.60381
+    Longitude 101.93895
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 12
+  ]
+  edge [
+    source 0
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 12
+  ]
+  edge [
+    source 6
+    target 18
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 23
+  ]
+  edge [
+    source 8
+    target 24
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 24
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

@@ -1,0 +1,541 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Cesnet201006"
+  directed 0
+  node [
+    id 0
+    label "Cesnet201006 PoP 0"
+    Latitude 56.08814
+    Longitude 2.79826
+  ]
+  node [
+    id 1
+    label "Cesnet201006 PoP 1"
+    Latitude 40.23653
+    Longitude 22.49959
+  ]
+  node [
+    id 2
+    label "Cesnet201006 PoP 2"
+    Latitude 46.7052
+    Longitude 5.36089
+  ]
+  node [
+    id 3
+    label "Cesnet201006 PoP 3"
+    Latitude 45.93643
+    Longitude 5.61356
+  ]
+  node [
+    id 4
+    label "Cesnet201006 PoP 4"
+    Latitude 59.77003
+    Longitude -0.83143
+  ]
+  node [
+    id 5
+    label "Cesnet201006 PoP 5"
+    Latitude 49.11362
+    Longitude 24.14071
+  ]
+  node [
+    id 6
+    label "Cesnet201006 PoP 6"
+    Latitude 50.44679
+    Longitude 20.2355
+  ]
+  node [
+    id 7
+    label "Cesnet201006 PoP 7"
+    Latitude 51.9412
+    Longitude 22.05642
+  ]
+  node [
+    id 8
+    label "Cesnet201006 PoP 8"
+    Latitude 39.92108
+    Longitude -4.52348
+  ]
+  node [
+    id 9
+    label "Cesnet201006 PoP 9"
+    Latitude 42.57636
+    Longitude 22.12294
+  ]
+  node [
+    id 10
+    label "Cesnet201006 PoP 10"
+    Latitude 52.99101
+    Longitude -5.58669
+  ]
+  node [
+    id 11
+    label "Cesnet201006 PoP 11"
+    Latitude 58.61045
+    Longitude 22.49377
+  ]
+  node [
+    id 12
+    label "Cesnet201006 PoP 12"
+    Latitude 42.05015
+    Longitude 9.40041
+  ]
+  node [
+    id 13
+    label "Cesnet201006 PoP 13"
+    Latitude 46.73011
+    Longitude 20.66225
+  ]
+  node [
+    id 14
+    label "Cesnet201006 PoP 14"
+    Latitude 44.61807
+    Longitude 13.40968
+  ]
+  node [
+    id 15
+    label "Cesnet201006 PoP 15"
+    Latitude 44.37291
+    Longitude -4.32008
+  ]
+  node [
+    id 16
+    label "Cesnet201006 PoP 16"
+    Latitude 47.2609
+    Longitude -8.93686
+  ]
+  node [
+    id 17
+    label "Cesnet201006 PoP 17"
+    Latitude 48.52375
+    Longitude -4.40602
+  ]
+  node [
+    id 18
+    label "Cesnet201006 PoP 18"
+    Latitude 43.15165
+    Longitude 21.54153
+  ]
+  node [
+    id 19
+    label "Cesnet201006 PoP 19"
+    Latitude 46.89654
+    Longitude 2.23676
+  ]
+  node [
+    id 20
+    label "Cesnet201006 PoP 20"
+    Latitude 48.64693
+    Longitude 15.35016
+  ]
+  node [
+    id 21
+    label "Cesnet201006 PoP 21"
+    Latitude 57.02694
+    Longitude 10.86595
+  ]
+  node [
+    id 22
+    label "Cesnet201006 PoP 22"
+    Latitude 44.36591
+    Longitude 24.93114
+  ]
+  node [
+    id 23
+    label "Cesnet201006 PoP 23"
+    Latitude 58.51939
+    Longitude -3.86961
+  ]
+  node [
+    id 24
+    label "Cesnet201006 PoP 24"
+    Latitude 40.96054
+    Longitude 13.37872
+  ]
+  node [
+    id 25
+    label "Cesnet201006 PoP 25"
+    Latitude 40.09976
+    Longitude -2.35552
+  ]
+  node [
+    id 26
+    label "Cesnet201006 PoP 26"
+    Latitude 56.21408
+    Longitude -2.95106
+  ]
+  node [
+    id 27
+    label "Cesnet201006 PoP 27"
+    Latitude 39.27042
+    Longitude 1.76599
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 8
+  ]
+  edge [
+    source 0
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 19
+  ]
+  edge [
+    source 6
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 22
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+]

@@ -1,0 +1,529 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Chinanet"
+  directed 0
+  node [
+    id 0
+    label "Chinanet PoP 0"
+    Latitude 39.97069
+    Longitude 114.62506
+  ]
+  node [
+    id 1
+    label "Chinanet PoP 1"
+    Latitude 40.14187
+    Longitude 117.88071
+  ]
+  node [
+    id 2
+    label "Chinanet PoP 2"
+    Latitude 38.47965
+    Longitude 120.97112
+  ]
+  node [
+    id 3
+    label "Chinanet PoP 3"
+    Latitude 32.83723
+    Longitude 119.9055
+  ]
+  node [
+    id 4
+    label "Chinanet PoP 4"
+    Latitude 44.82351
+    Longitude 116.25783
+  ]
+  node [
+    id 5
+    label "Chinanet PoP 5"
+    Latitude 23.12994
+    Longitude 117.42914
+  ]
+  node [
+    id 6
+    label "Chinanet PoP 6"
+    Latitude 28.24894
+    Longitude 105.4439
+  ]
+  node [
+    id 7
+    label "Chinanet PoP 7"
+    Latitude 34.80396
+    Longitude 117.23591
+  ]
+  node [
+    id 8
+    label "Chinanet PoP 8"
+    Latitude 39.54673
+    Longitude 109.27313
+  ]
+  node [
+    id 9
+    label "Chinanet PoP 9"
+    Latitude 30.34714
+    Longitude 122.71521
+  ]
+  node [
+    id 10
+    label "Chinanet PoP 10"
+    Latitude 24.65385
+    Longitude 117.81392
+  ]
+  node [
+    id 11
+    label "Chinanet PoP 11"
+    Latitude 23.85582
+    Longitude 124.93258
+  ]
+  node [
+    id 12
+    label "Chinanet PoP 12"
+    Latitude 32.77114
+    Longitude 103.68904
+  ]
+  node [
+    id 13
+    label "Chinanet PoP 13"
+    Latitude 39.07459
+    Longitude 101.52309
+  ]
+  node [
+    id 14
+    label "Chinanet PoP 14"
+    Latitude 38.46473
+    Longitude 123.01292
+  ]
+  node [
+    id 15
+    label "Chinanet PoP 15"
+    Latitude 44.42018
+    Longitude 113.78482
+  ]
+  node [
+    id 16
+    label "Chinanet PoP 16"
+    Latitude 35.29457
+    Longitude 117.70079
+  ]
+  node [
+    id 17
+    label "Chinanet PoP 17"
+    Latitude 26.76185
+    Longitude 120.58092
+  ]
+  node [
+    id 18
+    label "Chinanet PoP 18"
+    Latitude 31.34899
+    Longitude 118.19127
+  ]
+  node [
+    id 19
+    label "Chinanet PoP 19"
+    Latitude 26.19463
+    Longitude 100.98158
+  ]
+  node [
+    id 20
+    label "Chinanet PoP 20"
+    Latitude 34.91323
+    Longitude 112.13857
+  ]
+  node [
+    id 21
+    label "Chinanet PoP 21"
+    Latitude 39.96846
+    Longitude 121.5818
+  ]
+  node [
+    id 22
+    label "Chinanet PoP 22"
+    Latitude 37.96349
+    Longitude 122.44773
+  ]
+  node [
+    id 23
+    label "Chinanet PoP 23"
+    Latitude 29.78016
+    Longitude 101.06086
+  ]
+  node [
+    id 24
+    label "Chinanet PoP 24"
+    Latitude 39.29948
+    Longitude 100.94107
+  ]
+  node [
+    id 25
+    label "Chinanet PoP 25"
+    Latitude 41.69813
+    Longitude 124.57079
+  ]
+  node [
+    id 26
+    label "Chinanet PoP 26"
+    Latitude 40.67025
+    Longitude 119.92396
+  ]
+  node [
+    id 27
+    label "Chinanet PoP 27"
+    Latitude 33.63657
+    Longitude 105.25679
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 11
+  ]
+  edge [
+    source 0
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 7
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 7
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 24
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 12
+  ]
+  edge [
+    source 9
+    target 20
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 10
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 26
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 18
+    target 21
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 20
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

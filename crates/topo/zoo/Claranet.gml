@@ -1,0 +1,253 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Claranet"
+  directed 0
+  node [
+    id 0
+    label "Claranet PoP 0"
+    Latitude 47.15147
+    Longitude 23.02301
+  ]
+  node [
+    id 1
+    label "Claranet PoP 1"
+    Latitude 56.40177
+    Longitude 17.53124
+  ]
+  node [
+    id 2
+    label "Claranet PoP 2"
+    Latitude 45.128
+    Longitude 6.56445
+  ]
+  node [
+    id 3
+    label "Claranet PoP 3"
+    Latitude 41.84154
+    Longitude 17.38969
+  ]
+  node [
+    id 4
+    label "Claranet PoP 4"
+    Latitude 38.51732
+    Longitude 9.37988
+  ]
+  node [
+    id 5
+    label "Claranet PoP 5"
+    Latitude 44.66526
+    Longitude -0.31636
+  ]
+  node [
+    id 6
+    label "Claranet PoP 6"
+    Latitude 59.63261
+    Longitude -2.53577
+  ]
+  node [
+    id 7
+    label "Claranet PoP 7"
+    Latitude 46.48821
+    Longitude 15.52042
+  ]
+  node [
+    id 8
+    label "Claranet PoP 8"
+    Latitude 42.91294
+    Longitude 6.8047
+  ]
+  node [
+    id 9
+    label "Claranet PoP 9"
+    Latitude 45.15172
+    Longitude -1.01654
+  ]
+  node [
+    id 10
+    label "Claranet PoP 10"
+    Latitude 43.1512
+    Longitude -6.56097
+  ]
+  node [
+    id 11
+    label "Claranet PoP 11"
+    Latitude 42.28618
+    Longitude 0.44255
+  ]
+  node [
+    id 12
+    label "Claranet PoP 12"
+    Latitude 39.78986
+    Longitude 19.12053
+  ]
+  node [
+    id 13
+    label "Claranet PoP 13"
+    Latitude 42.46689
+    Longitude -3.25828
+  ]
+  node [
+    id 14
+    label "Claranet PoP 14"
+    Latitude 39.0724
+    Longitude -4.6738
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 7
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,502 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Cogentco"
+  directed 0
+  node [
+    id 0
+    label "Cogentco PoP 0"
+    Latitude 8.00552
+    Longitude -108.08351
+  ]
+  node [
+    id 1
+    label "Cogentco PoP 1"
+    Latitude 36.91809
+    Longitude -81.36788
+  ]
+  node [
+    id 2
+    label "Cogentco PoP 2"
+    Latitude -7.9943
+    Longitude -100.5886
+  ]
+  node [
+    id 3
+    label "Cogentco PoP 3"
+    Latitude 1.86597
+    Longitude 112.78019
+  ]
+  node [
+    id 4
+    label "Cogentco PoP 4"
+    Latitude 4.30045
+    Longitude 113.93517
+  ]
+  node [
+    id 5
+    label "Cogentco PoP 5"
+    Latitude 25.25873
+    Longitude 111.16422
+  ]
+  node [
+    id 6
+    label "Cogentco PoP 6"
+    Latitude -11.16125
+    Longitude -83.00657
+  ]
+  node [
+    id 7
+    label "Cogentco PoP 7"
+    Latitude -16.86987
+    Longitude -74.03086
+  ]
+  node [
+    id 8
+    label "Cogentco PoP 8"
+    Latitude 0.55382
+    Longitude 120.4592
+  ]
+  node [
+    id 9
+    label "Cogentco PoP 9"
+    Latitude 53.35694
+    Longitude -113.28654
+  ]
+  node [
+    id 10
+    label "Cogentco PoP 10"
+    Latitude 30.88897
+    Longitude 110.7467
+  ]
+  node [
+    id 11
+    label "Cogentco PoP 11"
+    Latitude 18.19008
+    Longitude 94.22628
+  ]
+  node [
+    id 12
+    label "Cogentco PoP 12"
+    Latitude -26.41873
+    Longitude 19.30982
+  ]
+  node [
+    id 13
+    label "Cogentco PoP 13"
+    Latitude 18.79997
+    Longitude 120.02944
+  ]
+  node [
+    id 14
+    label "Cogentco PoP 14"
+    Latitude -28.012
+    Longitude -19.87211
+  ]
+  node [
+    id 15
+    label "Cogentco PoP 15"
+    Latitude 40.88239
+    Longitude -50.61803
+  ]
+  node [
+    id 16
+    label "Cogentco PoP 16"
+    Latitude 35.73923
+    Longitude -99.13766
+  ]
+  node [
+    id 17
+    label "Cogentco PoP 17"
+    Latitude 54.03973
+    Longitude -98.49775
+  ]
+  node [
+    id 18
+    label "Cogentco PoP 18"
+    Latitude -24.55875
+    Longitude -117.0016
+  ]
+  node [
+    id 19
+    label "Cogentco PoP 19"
+    Latitude -21.63426
+    Longitude -26.01173
+  ]
+  node [
+    id 20
+    label "Cogentco PoP 20"
+    Latitude 14.74293
+    Longitude 88.75691
+  ]
+  node [
+    id 21
+    label "Cogentco PoP 21"
+    Latitude -12.51301
+    Longitude 91.97524
+  ]
+  node [
+    id 22
+    label "Cogentco PoP 22"
+    Latitude -12.3373
+    Longitude 5.42479
+  ]
+  node [
+    id 23
+    label "Cogentco PoP 23"
+    Latitude -5.38827
+    Longitude 15.16828
+  ]
+  node [
+    id 24
+    label "Cogentco PoP 24"
+    Latitude 5.01788
+    Longitude 66.95171
+  ]
+  node [
+    id 25
+    label "Cogentco PoP 25"
+    Latitude 42.07207
+    Longitude -100.66949
+  ]
+  node [
+    id 26
+    label "Cogentco PoP 26"
+    Latitude -9.81663
+    Longitude 69.41087
+  ]
+  node [
+    id 27
+    label "Cogentco PoP 27"
+    Latitude 10.68608
+    Longitude 63.76607
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 24
+  ]
+  edge [
+    source 1
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 9
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 27
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 26
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 14
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 17
+  ]
+  edge [
+    source 15
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 23
+  ]
+  edge [
+    source 18
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+]

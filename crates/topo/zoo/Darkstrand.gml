@@ -1,0 +1,526 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Darkstrand"
+  directed 0
+  node [
+    id 0
+    label "Darkstrand PoP 0"
+    Latitude 40.20093
+    Longitude -88.69117
+  ]
+  node [
+    id 1
+    label "Darkstrand PoP 1"
+    Latitude 36.14665
+    Longitude -77.34109
+  ]
+  node [
+    id 2
+    label "Darkstrand PoP 2"
+    Latitude 39.70113
+    Longitude -116.18
+  ]
+  node [
+    id 3
+    label "Darkstrand PoP 3"
+    Latitude 46.3863
+    Longitude -120.60099
+  ]
+  node [
+    id 4
+    label "Darkstrand PoP 4"
+    Latitude 42.00894
+    Longitude -117.90507
+  ]
+  node [
+    id 5
+    label "Darkstrand PoP 5"
+    Latitude 31.3314
+    Longitude -98.05466
+  ]
+  node [
+    id 6
+    label "Darkstrand PoP 6"
+    Latitude 44.06771
+    Longitude -84.35284
+  ]
+  node [
+    id 7
+    label "Darkstrand PoP 7"
+    Latitude 35.70193
+    Longitude -78.83267
+  ]
+  node [
+    id 8
+    label "Darkstrand PoP 8"
+    Latitude 40.92827
+    Longitude -84.63936
+  ]
+  node [
+    id 9
+    label "Darkstrand PoP 9"
+    Latitude 32.11327
+    Longitude -97.68504
+  ]
+  node [
+    id 10
+    label "Darkstrand PoP 10"
+    Latitude 43.81438
+    Longitude -79.41902
+  ]
+  node [
+    id 11
+    label "Darkstrand PoP 11"
+    Latitude 33.47688
+    Longitude -79.85495
+  ]
+  node [
+    id 12
+    label "Darkstrand PoP 12"
+    Latitude 33.51259
+    Longitude -92.67927
+  ]
+  node [
+    id 13
+    label "Darkstrand PoP 13"
+    Latitude 40.1599
+    Longitude -98.9934
+  ]
+  node [
+    id 14
+    label "Darkstrand PoP 14"
+    Latitude 31.40527
+    Longitude -79.14681
+  ]
+  node [
+    id 15
+    label "Darkstrand PoP 15"
+    Latitude 39.19574
+    Longitude -79.89286
+  ]
+  node [
+    id 16
+    label "Darkstrand PoP 16"
+    Latitude 31.76446
+    Longitude -82.77156
+  ]
+  node [
+    id 17
+    label "Darkstrand PoP 17"
+    Latitude 46.35127
+    Longitude -101.69952
+  ]
+  node [
+    id 18
+    label "Darkstrand PoP 18"
+    Latitude 39.60165
+    Longitude -104.96509
+  ]
+  node [
+    id 19
+    label "Darkstrand PoP 19"
+    Latitude 32.57956
+    Longitude -77.9164
+  ]
+  node [
+    id 20
+    label "Darkstrand PoP 20"
+    Latitude 43.01859
+    Longitude -102.74326
+  ]
+  node [
+    id 21
+    label "Darkstrand PoP 21"
+    Latitude 44.24543
+    Longitude -120.38378
+  ]
+  node [
+    id 22
+    label "Darkstrand PoP 22"
+    Latitude 41.24552
+    Longitude -105.06233
+  ]
+  node [
+    id 23
+    label "Darkstrand PoP 23"
+    Latitude 34.72506
+    Longitude -101.68821
+  ]
+  node [
+    id 24
+    label "Darkstrand PoP 24"
+    Latitude 42.42566
+    Longitude -84.75069
+  ]
+  node [
+    id 25
+    label "Darkstrand PoP 25"
+    Latitude 33.99832
+    Longitude -83.59952
+  ]
+  node [
+    id 26
+    label "Darkstrand PoP 26"
+    Latitude 36.71464
+    Longitude -108.24134
+  ]
+  node [
+    id 27
+    label "Darkstrand PoP 27"
+    Latitude 36.60148
+    Longitude -75.76937
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 17
+  ]
+  edge [
+    source 1
+    target 21
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 11
+  ]
+  edge [
+    source 3
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 23
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 12
+  ]
+  edge [
+    source 6
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 15
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 18
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+]

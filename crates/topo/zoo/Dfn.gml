@@ -1,0 +1,536 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Dfn"
+  directed 0
+  node [
+    id 0
+    label "Dfn PoP 0"
+    Latitude 48.89726
+    Longitude 10.88168
+  ]
+  node [
+    id 1
+    label "Dfn PoP 1"
+    Latitude 52.19224
+    Longitude 9.37189
+  ]
+  node [
+    id 2
+    label "Dfn PoP 2"
+    Latitude 55.58688
+    Longitude -0.20455
+  ]
+  node [
+    id 3
+    label "Dfn PoP 3"
+    Latitude 43.89185
+    Longitude -6.67096
+  ]
+  node [
+    id 4
+    label "Dfn PoP 4"
+    Latitude 46.14437
+    Longitude 8.51214
+  ]
+  node [
+    id 5
+    label "Dfn PoP 5"
+    Latitude 39.93688
+    Longitude 22.63102
+  ]
+  node [
+    id 6
+    label "Dfn PoP 6"
+    Latitude 42.52488
+    Longitude 8.80616
+  ]
+  node [
+    id 7
+    label "Dfn PoP 7"
+    Latitude 49.07125
+    Longitude 8.00085
+  ]
+  node [
+    id 8
+    label "Dfn PoP 8"
+    Latitude 53.90631
+    Longitude 3.1299
+  ]
+  node [
+    id 9
+    label "Dfn PoP 9"
+    Latitude 40.9681
+    Longitude 24.63203
+  ]
+  node [
+    id 10
+    label "Dfn PoP 10"
+    Latitude 57.13125
+    Longitude 7.55244
+  ]
+  node [
+    id 11
+    label "Dfn PoP 11"
+    Latitude 54.01025
+    Longitude 8.26945
+  ]
+  node [
+    id 12
+    label "Dfn PoP 12"
+    Latitude 45.10197
+    Longitude 14.8214
+  ]
+  node [
+    id 13
+    label "Dfn PoP 13"
+    Latitude 46.28836
+    Longitude -3.95603
+  ]
+  node [
+    id 14
+    label "Dfn PoP 14"
+    Latitude 40.1837
+    Longitude 3.57272
+  ]
+  node [
+    id 15
+    label "Dfn PoP 15"
+    Latitude 40.69032
+    Longitude 6.11283
+  ]
+  node [
+    id 16
+    label "Dfn PoP 16"
+    Latitude 38.83415
+    Longitude 12.08676
+  ]
+  node [
+    id 17
+    label "Dfn PoP 17"
+    Latitude 47.64466
+    Longitude -8.50361
+  ]
+  node [
+    id 18
+    label "Dfn PoP 18"
+    Latitude 59.00898
+    Longitude 2.8391
+  ]
+  node [
+    id 19
+    label "Dfn PoP 19"
+    Latitude 45.48633
+    Longitude 8.40592
+  ]
+  node [
+    id 20
+    label "Dfn PoP 20"
+    Latitude 47.13055
+    Longitude -0.49832
+  ]
+  node [
+    id 21
+    label "Dfn PoP 21"
+    Latitude 42.7697
+    Longitude 10.37867
+  ]
+  node [
+    id 22
+    label "Dfn PoP 22"
+    Latitude 52.99121
+    Longitude 5.71648
+  ]
+  node [
+    id 23
+    label "Dfn PoP 23"
+    Latitude 51.57447
+    Longitude -5.80069
+  ]
+  node [
+    id 24
+    label "Dfn PoP 24"
+    Latitude 45.84515
+    Longitude -6.08953
+  ]
+  node [
+    id 25
+    label "Dfn PoP 25"
+    Latitude 40.45716
+    Longitude -2.01759
+  ]
+  node [
+    id 26
+    label "Dfn PoP 26"
+    Latitude 51.77783
+    Longitude 8.69184
+  ]
+  node [
+    id 27
+    label "Dfn PoP 27"
+    Latitude 40.44129
+    Longitude 22.56487
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 2
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 11
+  ]
+  edge [
+    source 2
+    target 15
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 7
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 18
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 13
+  ]
+  edge [
+    source 6
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 14
+    target 20
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+]

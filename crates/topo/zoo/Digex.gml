@@ -1,0 +1,534 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Digex"
+  directed 0
+  node [
+    id 0
+    label "Digex PoP 0"
+    Latitude 41.66205
+    Longitude -91.9935
+  ]
+  node [
+    id 1
+    label "Digex PoP 1"
+    Latitude 42.7645
+    Longitude -114.25282
+  ]
+  node [
+    id 2
+    label "Digex PoP 2"
+    Latitude 33.97494
+    Longitude -105.91346
+  ]
+  node [
+    id 3
+    label "Digex PoP 3"
+    Latitude 40.57675
+    Longitude -78.14219
+  ]
+  node [
+    id 4
+    label "Digex PoP 4"
+    Latitude 41.30054
+    Longitude -80.99148
+  ]
+  node [
+    id 5
+    label "Digex PoP 5"
+    Latitude 30.4662
+    Longitude -108.62782
+  ]
+  node [
+    id 6
+    label "Digex PoP 6"
+    Latitude 35.44109
+    Longitude -74.63459
+  ]
+  node [
+    id 7
+    label "Digex PoP 7"
+    Latitude 46.64851
+    Longitude -100.20402
+  ]
+  node [
+    id 8
+    label "Digex PoP 8"
+    Latitude 45.65956
+    Longitude -77.7891
+  ]
+  node [
+    id 9
+    label "Digex PoP 9"
+    Latitude 41.94813
+    Longitude -93.32593
+  ]
+  node [
+    id 10
+    label "Digex PoP 10"
+    Latitude 43.39986
+    Longitude -93.37974
+  ]
+  node [
+    id 11
+    label "Digex PoP 11"
+    Latitude 38.12169
+    Longitude -85.1332
+  ]
+  node [
+    id 12
+    label "Digex PoP 12"
+    Latitude 37.83561
+    Longitude -90.16762
+  ]
+  node [
+    id 13
+    label "Digex PoP 13"
+    Latitude 45.4973
+    Longitude -98.91652
+  ]
+  node [
+    id 14
+    label "Digex PoP 14"
+    Latitude 30.20586
+    Longitude -116.68436
+  ]
+  node [
+    id 15
+    label "Digex PoP 15"
+    Latitude 46.78705
+    Longitude -115.16721
+  ]
+  node [
+    id 16
+    label "Digex PoP 16"
+    Latitude 36.41451
+    Longitude -87.28054
+  ]
+  node [
+    id 17
+    label "Digex PoP 17"
+    Latitude 44.42185
+    Longitude -103.52285
+  ]
+  node [
+    id 18
+    label "Digex PoP 18"
+    Latitude 30.03476
+    Longitude -108.28072
+  ]
+  node [
+    id 19
+    label "Digex PoP 19"
+    Latitude 46.90964
+    Longitude -106.32448
+  ]
+  node [
+    id 20
+    label "Digex PoP 20"
+    Latitude 43.25393
+    Longitude -109.00437
+  ]
+  node [
+    id 21
+    label "Digex PoP 21"
+    Latitude 39.29994
+    Longitude -83.02447
+  ]
+  node [
+    id 22
+    label "Digex PoP 22"
+    Latitude 34.7812
+    Longitude -94.1033
+  ]
+  node [
+    id 23
+    label "Digex PoP 23"
+    Latitude 39.11822
+    Longitude -117.83624
+  ]
+  node [
+    id 24
+    label "Digex PoP 24"
+    Latitude 34.03766
+    Longitude -79.64811
+  ]
+  node [
+    id 25
+    label "Digex PoP 25"
+    Latitude 39.12297
+    Longitude -80.01881
+  ]
+  node [
+    id 26
+    label "Digex PoP 26"
+    Latitude 39.54147
+    Longitude -114.0773
+  ]
+  node [
+    id 27
+    label "Digex PoP 27"
+    Latitude 31.71268
+    Longitude -78.5307
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 27
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 10
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 14
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 22
+  ]
+  edge [
+    source 18
+    target 25
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

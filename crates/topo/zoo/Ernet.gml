@@ -1,0 +1,535 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Ernet"
+  directed 0
+  node [
+    id 0
+    label "Ernet PoP 0"
+    Latitude 16.06332
+    Longitude 76.47482
+  ]
+  node [
+    id 1
+    label "Ernet PoP 1"
+    Latitude 14.33562
+    Longitude 79.42747
+  ]
+  node [
+    id 2
+    label "Ernet PoP 2"
+    Latitude 23.28082
+    Longitude 71.28629
+  ]
+  node [
+    id 3
+    label "Ernet PoP 3"
+    Latitude 9.4387
+    Longitude 70.85227
+  ]
+  node [
+    id 4
+    label "Ernet PoP 4"
+    Latitude 29.03324
+    Longitude 83.71818
+  ]
+  node [
+    id 5
+    label "Ernet PoP 5"
+    Latitude 26.29515
+    Longitude 74.65496
+  ]
+  node [
+    id 6
+    label "Ernet PoP 6"
+    Latitude 13.93116
+    Longitude 74.72076
+  ]
+  node [
+    id 7
+    label "Ernet PoP 7"
+    Latitude 21.99081
+    Longitude 82.01062
+  ]
+  node [
+    id 8
+    label "Ernet PoP 8"
+    Latitude 11.60038
+    Longitude 81.45131
+  ]
+  node [
+    id 9
+    label "Ernet PoP 9"
+    Latitude 10.51423
+    Longitude 73.67422
+  ]
+  node [
+    id 10
+    label "Ernet PoP 10"
+    Latitude 24.67606
+    Longitude 79.90313
+  ]
+  node [
+    id 11
+    label "Ernet PoP 11"
+    Latitude 19.41849
+    Longitude 70.01513
+  ]
+  node [
+    id 12
+    label "Ernet PoP 12"
+    Latitude 10.61672
+    Longitude 81.35313
+  ]
+  node [
+    id 13
+    label "Ernet PoP 13"
+    Latitude 20.9712
+    Longitude 86.48669
+  ]
+  node [
+    id 14
+    label "Ernet PoP 14"
+    Latitude 18.81927
+    Longitude 78.77029
+  ]
+  node [
+    id 15
+    label "Ernet PoP 15"
+    Latitude 9.60504
+    Longitude 78.88689
+  ]
+  node [
+    id 16
+    label "Ernet PoP 16"
+    Latitude 29.12927
+    Longitude 72.82106
+  ]
+  node [
+    id 17
+    label "Ernet PoP 17"
+    Latitude 11.24156
+    Longitude 70.23454
+  ]
+  node [
+    id 18
+    label "Ernet PoP 18"
+    Latitude 15.23609
+    Longitude 70.50771
+  ]
+  node [
+    id 19
+    label "Ernet PoP 19"
+    Latitude 24.82802
+    Longitude 78.16769
+  ]
+  node [
+    id 20
+    label "Ernet PoP 20"
+    Latitude 17.47268
+    Longitude 85.14517
+  ]
+  node [
+    id 21
+    label "Ernet PoP 21"
+    Latitude 14.64232
+    Longitude 76.37631
+  ]
+  node [
+    id 22
+    label "Ernet PoP 22"
+    Latitude 24.82745
+    Longitude 82.56235
+  ]
+  node [
+    id 23
+    label "Ernet PoP 23"
+    Latitude 15.54405
+    Longitude 85.48506
+  ]
+  node [
+    id 24
+    label "Ernet PoP 24"
+    Latitude 10.78948
+    Longitude 77.1534
+  ]
+  node [
+    id 25
+    label "Ernet PoP 25"
+    Latitude 26.58708
+    Longitude 79.99603
+  ]
+  node [
+    id 26
+    label "Ernet PoP 26"
+    Latitude 17.89142
+    Longitude 83.01785
+  ]
+  node [
+    id 27
+    label "Ernet PoP 27"
+    Latitude 16.98079
+    Longitude 84.2121
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 21
+  ]
+  edge [
+    source 3
+    target 22
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 18
+  ]
+  edge [
+    source 6
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 24
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 24
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 13
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,533 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Esnet"
+  directed 0
+  node [
+    id 0
+    label "Esnet PoP 0"
+    Latitude 33.59199
+    Longitude -98.00247
+  ]
+  node [
+    id 1
+    label "Esnet PoP 1"
+    Latitude 32.16381
+    Longitude -86.8022
+  ]
+  node [
+    id 2
+    label "Esnet PoP 2"
+    Latitude 33.37622
+    Longitude -86.74517
+  ]
+  node [
+    id 3
+    label "Esnet PoP 3"
+    Latitude 39.55411
+    Longitude -111.2449
+  ]
+  node [
+    id 4
+    label "Esnet PoP 4"
+    Latitude 37.98089
+    Longitude -101.03657
+  ]
+  node [
+    id 5
+    label "Esnet PoP 5"
+    Latitude 41.73927
+    Longitude -106.57284
+  ]
+  node [
+    id 6
+    label "Esnet PoP 6"
+    Latitude 34.34876
+    Longitude -116.93258
+  ]
+  node [
+    id 7
+    label "Esnet PoP 7"
+    Latitude 44.13738
+    Longitude -114.61275
+  ]
+  node [
+    id 8
+    label "Esnet PoP 8"
+    Latitude 33.42711
+    Longitude -100.71947
+  ]
+  node [
+    id 9
+    label "Esnet PoP 9"
+    Latitude 38.8117
+    Longitude -113.109
+  ]
+  node [
+    id 10
+    label "Esnet PoP 10"
+    Latitude 43.55417
+    Longitude -79.6955
+  ]
+  node [
+    id 11
+    label "Esnet PoP 11"
+    Latitude 41.90165
+    Longitude -113.93209
+  ]
+  node [
+    id 12
+    label "Esnet PoP 12"
+    Latitude 40.2119
+    Longitude -96.30158
+  ]
+  node [
+    id 13
+    label "Esnet PoP 13"
+    Latitude 35.01406
+    Longitude -117.629
+  ]
+  node [
+    id 14
+    label "Esnet PoP 14"
+    Latitude 30.67799
+    Longitude -92.34592
+  ]
+  node [
+    id 15
+    label "Esnet PoP 15"
+    Latitude 34.11556
+    Longitude -79.74372
+  ]
+  node [
+    id 16
+    label "Esnet PoP 16"
+    Latitude 37.70781
+    Longitude -111.14317
+  ]
+  node [
+    id 17
+    label "Esnet PoP 17"
+    Latitude 40.97829
+    Longitude -121.59505
+  ]
+  node [
+    id 18
+    label "Esnet PoP 18"
+    Latitude 33.76781
+    Longitude -80.25698
+  ]
+  node [
+    id 19
+    label "Esnet PoP 19"
+    Latitude 43.57061
+    Longitude -103.6625
+  ]
+  node [
+    id 20
+    label "Esnet PoP 20"
+    Latitude 43.999
+    Longitude -79.15734
+  ]
+  node [
+    id 21
+    label "Esnet PoP 21"
+    Latitude 30.25644
+    Longitude -96.95115
+  ]
+  node [
+    id 22
+    label "Esnet PoP 22"
+    Latitude 43.32309
+    Longitude -110.31357
+  ]
+  node [
+    id 23
+    label "Esnet PoP 23"
+    Latitude 30.6786
+    Longitude -113.6603
+  ]
+  node [
+    id 24
+    label "Esnet PoP 24"
+    Latitude 38.82491
+    Longitude -120.36039
+  ]
+  node [
+    id 25
+    label "Esnet PoP 25"
+    Latitude 32.61095
+    Longitude -83.17936
+  ]
+  node [
+    id 26
+    label "Esnet PoP 26"
+    Latitude 44.56615
+    Longitude -78.32588
+  ]
+  node [
+    id 27
+    label "Esnet PoP 27"
+    Latitude 42.70223
+    Longitude -96.22073
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 5
+  ]
+  edge [
+    source 3
+    target 12
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 26
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 21
+  ]
+  edge [
+    source 12
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 23
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+]

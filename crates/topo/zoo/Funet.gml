@@ -1,0 +1,484 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Funet"
+  directed 0
+  node [
+    id 0
+    label "Funet PoP 0"
+    Latitude 48.1446
+    Longitude 13.59641
+  ]
+  node [
+    id 1
+    label "Funet PoP 1"
+    Latitude 38.52761
+    Longitude 0.98978
+  ]
+  node [
+    id 2
+    label "Funet PoP 2"
+    Latitude 50.71111
+    Longitude 7.30816
+  ]
+  node [
+    id 3
+    label "Funet PoP 3"
+    Latitude 52.00551
+    Longitude 11.87376
+  ]
+  node [
+    id 4
+    label "Funet PoP 4"
+    Latitude 45.39335
+    Longitude 15.97526
+  ]
+  node [
+    id 5
+    label "Funet PoP 5"
+    Latitude 46.44744
+    Longitude -6.45011
+  ]
+  node [
+    id 6
+    label "Funet PoP 6"
+    Latitude 45.22972
+    Longitude 4.98494
+  ]
+  node [
+    id 7
+    label "Funet PoP 7"
+    Latitude 56.52695
+    Longitude -8.01963
+  ]
+  node [
+    id 8
+    label "Funet PoP 8"
+    Latitude 40.96398
+    Longitude 19.07762
+  ]
+  node [
+    id 9
+    label "Funet PoP 9"
+    Latitude 42.99832
+    Longitude 20.32215
+  ]
+  node [
+    id 10
+    label "Funet PoP 10"
+    Latitude 53.27086
+    Longitude 15.63
+  ]
+  node [
+    id 11
+    label "Funet PoP 11"
+    Latitude 53.27852
+    Longitude 1.8204
+  ]
+  node [
+    id 12
+    label "Funet PoP 12"
+    Latitude 57.13654
+    Longitude 16.31617
+  ]
+  node [
+    id 13
+    label "Funet PoP 13"
+    Latitude 49.34954
+    Longitude 23.16272
+  ]
+  node [
+    id 14
+    label "Funet PoP 14"
+    Latitude 41.76969
+    Longitude -6.1509
+  ]
+  node [
+    id 15
+    label "Funet PoP 15"
+    Latitude 56.07862
+    Longitude 6.87791
+  ]
+  node [
+    id 16
+    label "Funet PoP 16"
+    Latitude 54.49609
+    Longitude -1.33108
+  ]
+  node [
+    id 17
+    label "Funet PoP 17"
+    Latitude 38.94392
+    Longitude -6.68167
+  ]
+  node [
+    id 18
+    label "Funet PoP 18"
+    Latitude 55.47882
+    Longitude 10.75065
+  ]
+  node [
+    id 19
+    label "Funet PoP 19"
+    Latitude 38.14369
+    Longitude 17.42693
+  ]
+  node [
+    id 20
+    label "Funet PoP 20"
+    Latitude 45.70472
+    Longitude 23.12062
+  ]
+  node [
+    id 21
+    label "Funet PoP 21"
+    Latitude 50.58037
+    Longitude 18.50396
+  ]
+  node [
+    id 22
+    label "Funet PoP 22"
+    Latitude 43.13134
+    Longitude 12.92253
+  ]
+  node [
+    id 23
+    label "Funet PoP 23"
+    Latitude 53.77465
+    Longitude -1.15
+  ]
+  node [
+    id 24
+    label "Funet PoP 24"
+    Latitude 49.91232
+    Longitude 1.49246
+  ]
+  node [
+    id 25
+    label "Funet PoP 25"
+    Latitude 38.29663
+    Longitude 4.32312
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 23
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 21
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 5
+    target 24
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 19
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,509 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Garr201201"
+  directed 0
+  node [
+    id 0
+    label "Garr201201 PoP 0"
+    Latitude 39.72216
+    Longitude 2.70859
+  ]
+  node [
+    id 1
+    label "Garr201201 PoP 1"
+    Latitude 40.80756
+    Longitude 14.67519
+  ]
+  node [
+    id 2
+    label "Garr201201 PoP 2"
+    Latitude 46.49782
+    Longitude -6.24682
+  ]
+  node [
+    id 3
+    label "Garr201201 PoP 3"
+    Latitude 45.92745
+    Longitude 23.81731
+  ]
+  node [
+    id 4
+    label "Garr201201 PoP 4"
+    Latitude 38.71534
+    Longitude -3.08839
+  ]
+  node [
+    id 5
+    label "Garr201201 PoP 5"
+    Latitude 51.75295
+    Longitude -5.55056
+  ]
+  node [
+    id 6
+    label "Garr201201 PoP 6"
+    Latitude 54.70637
+    Longitude 7.44927
+  ]
+  node [
+    id 7
+    label "Garr201201 PoP 7"
+    Latitude 57.76854
+    Longitude 16.83939
+  ]
+  node [
+    id 8
+    label "Garr201201 PoP 8"
+    Latitude 57.65622
+    Longitude 15.86762
+  ]
+  node [
+    id 9
+    label "Garr201201 PoP 9"
+    Latitude 40.22957
+    Longitude 20.06217
+  ]
+  node [
+    id 10
+    label "Garr201201 PoP 10"
+    Latitude 55.30586
+    Longitude 14.93545
+  ]
+  node [
+    id 11
+    label "Garr201201 PoP 11"
+    Latitude 43.26071
+    Longitude 0.47038
+  ]
+  node [
+    id 12
+    label "Garr201201 PoP 12"
+    Latitude 58.20459
+    Longitude -6.23601
+  ]
+  node [
+    id 13
+    label "Garr201201 PoP 13"
+    Latitude 53.80701
+    Longitude 23.2702
+  ]
+  node [
+    id 14
+    label "Garr201201 PoP 14"
+    Latitude 47.17003
+    Longitude -4.34384
+  ]
+  node [
+    id 15
+    label "Garr201201 PoP 15"
+    Latitude 57.16981
+    Longitude 10.50485
+  ]
+  node [
+    id 16
+    label "Garr201201 PoP 16"
+    Latitude 38.73404
+    Longitude 8.78077
+  ]
+  node [
+    id 17
+    label "Garr201201 PoP 17"
+    Latitude 38.27747
+    Longitude -7.18961
+  ]
+  node [
+    id 18
+    label "Garr201201 PoP 18"
+    Latitude 48.98604
+    Longitude 15.81791
+  ]
+  node [
+    id 19
+    label "Garr201201 PoP 19"
+    Latitude 50.25816
+    Longitude 2.22709
+  ]
+  node [
+    id 20
+    label "Garr201201 PoP 20"
+    Latitude 42.973
+    Longitude -0.62217
+  ]
+  node [
+    id 21
+    label "Garr201201 PoP 21"
+    Latitude 40.19791
+    Longitude 14.36129
+  ]
+  node [
+    id 22
+    label "Garr201201 PoP 22"
+    Latitude 53.68512
+    Longitude -8.96213
+  ]
+  node [
+    id 23
+    label "Garr201201 PoP 23"
+    Latitude 44.32136
+    Longitude -3.43297
+  ]
+  node [
+    id 24
+    label "Garr201201 PoP 24"
+    Latitude 46.41398
+    Longitude 5.15296
+  ]
+  node [
+    id 25
+    label "Garr201201 PoP 25"
+    Latitude 47.97867
+    Longitude 3.94351
+  ]
+  node [
+    id 26
+    label "Garr201201 PoP 26"
+    Latitude 48.33787
+    Longitude -2.24221
+  ]
+  node [
+    id 27
+    label "Garr201201 PoP 27"
+    Latitude 38.77823
+    Longitude -5.15465
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 13
+  ]
+  edge [
+    source 0
+    target 15
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 24
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 8
+  ]
+  edge [
+    source 3
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 18
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 20
+  ]
+  edge [
+    source 4
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 11
+  ]
+  edge [
+    source 6
+    target 19
+  ]
+  edge [
+    source 6
+    target 21
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 18
+    target 23
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 21
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

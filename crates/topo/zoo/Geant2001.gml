@@ -1,0 +1,486 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Geant2001"
+  directed 0
+  node [
+    id 0
+    label "Geant2001 PoP 0"
+    Latitude 45.89235
+    Longitude 19.26505
+  ]
+  node [
+    id 1
+    label "Geant2001 PoP 1"
+    Latitude 50.17049
+    Longitude -1.27242
+  ]
+  node [
+    id 2
+    label "Geant2001 PoP 2"
+    Latitude 56.68935
+    Longitude 18.87464
+  ]
+  node [
+    id 3
+    label "Geant2001 PoP 3"
+    Latitude 38.50582
+    Longitude -6.38127
+  ]
+  node [
+    id 4
+    label "Geant2001 PoP 4"
+    Latitude 40.77377
+    Longitude -4.97685
+  ]
+  node [
+    id 5
+    label "Geant2001 PoP 5"
+    Latitude 46.54639
+    Longitude 12.11545
+  ]
+  node [
+    id 6
+    label "Geant2001 PoP 6"
+    Latitude 45.26855
+    Longitude 8.4597
+  ]
+  node [
+    id 7
+    label "Geant2001 PoP 7"
+    Latitude 47.63588
+    Longitude -3.15436
+  ]
+  node [
+    id 8
+    label "Geant2001 PoP 8"
+    Latitude 56.08902
+    Longitude -7.1716
+  ]
+  node [
+    id 9
+    label "Geant2001 PoP 9"
+    Latitude 45.83629
+    Longitude 1.13291
+  ]
+  node [
+    id 10
+    label "Geant2001 PoP 10"
+    Latitude 55.12811
+    Longitude -6.90182
+  ]
+  node [
+    id 11
+    label "Geant2001 PoP 11"
+    Latitude 57.30462
+    Longitude -1.43414
+  ]
+  node [
+    id 12
+    label "Geant2001 PoP 12"
+    Latitude 39.89418
+    Longitude 24.08738
+  ]
+  node [
+    id 13
+    label "Geant2001 PoP 13"
+    Latitude 54.82291
+    Longitude 15.32693
+  ]
+  node [
+    id 14
+    label "Geant2001 PoP 14"
+    Latitude 38.58699
+    Longitude -0.27424
+  ]
+  node [
+    id 15
+    label "Geant2001 PoP 15"
+    Latitude 57.3001
+    Longitude 22.49485
+  ]
+  node [
+    id 16
+    label "Geant2001 PoP 16"
+    Latitude 44.56965
+    Longitude 8.9334
+  ]
+  node [
+    id 17
+    label "Geant2001 PoP 17"
+    Latitude 39.65077
+    Longitude 18.11607
+  ]
+  node [
+    id 18
+    label "Geant2001 PoP 18"
+    Latitude 52.85309
+    Longitude 24.42959
+  ]
+  node [
+    id 19
+    label "Geant2001 PoP 19"
+    Latitude 52.93346
+    Longitude 13.90962
+  ]
+  node [
+    id 20
+    label "Geant2001 PoP 20"
+    Latitude 44.91193
+    Longitude 22.84059
+  ]
+  node [
+    id 21
+    label "Geant2001 PoP 21"
+    Latitude 40.3707
+    Longitude 20.94603
+  ]
+  node [
+    id 22
+    label "Geant2001 PoP 22"
+    Latitude 50.23198
+    Longitude -2.90308
+  ]
+  node [
+    id 23
+    label "Geant2001 PoP 23"
+    Latitude 39.35836
+    Longitude 10.13953
+  ]
+  node [
+    id 24
+    label "Geant2001 PoP 24"
+    Latitude 56.97748
+    Longitude 10.63644
+  ]
+  node [
+    id 25
+    label "Geant2001 PoP 25"
+    Latitude 55.64067
+    Longitude 23.44492
+  ]
+  node [
+    id 26
+    label "Geant2001 PoP 26"
+    Latitude 59.95065
+    Longitude 9.88488
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 6
+  ]
+  edge [
+    source 0
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 20
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 5
+    target 8
+  ]
+  edge [
+    source 5
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 22
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 14
+  ]
+  edge [
+    source 12
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 16
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+]

@@ -1,0 +1,516 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Geant2012"
+  directed 0
+  node [
+    id 0
+    label "Geant2012 PoP 0"
+    Latitude 57.8429
+    Longitude 6.80407
+  ]
+  node [
+    id 1
+    label "Geant2012 PoP 1"
+    Latitude 47.51225
+    Longitude -4.89222
+  ]
+  node [
+    id 2
+    label "Geant2012 PoP 2"
+    Latitude 45.99049
+    Longitude 13.48239
+  ]
+  node [
+    id 3
+    label "Geant2012 PoP 3"
+    Latitude 47.00991
+    Longitude 5.51513
+  ]
+  node [
+    id 4
+    label "Geant2012 PoP 4"
+    Latitude 40.02126
+    Longitude 5.75878
+  ]
+  node [
+    id 5
+    label "Geant2012 PoP 5"
+    Latitude 54.21282
+    Longitude 1.85158
+  ]
+  node [
+    id 6
+    label "Geant2012 PoP 6"
+    Latitude 39.38029
+    Longitude 19.9918
+  ]
+  node [
+    id 7
+    label "Geant2012 PoP 7"
+    Latitude 56.41688
+    Longitude 18.92915
+  ]
+  node [
+    id 8
+    label "Geant2012 PoP 8"
+    Latitude 55.24042
+    Longitude 24.87816
+  ]
+  node [
+    id 9
+    label "Geant2012 PoP 9"
+    Latitude 43.98128
+    Longitude 9.06844
+  ]
+  node [
+    id 10
+    label "Geant2012 PoP 10"
+    Latitude 38.27914
+    Longitude 21.84842
+  ]
+  node [
+    id 11
+    label "Geant2012 PoP 11"
+    Latitude 44.01855
+    Longitude 19.75237
+  ]
+  node [
+    id 12
+    label "Geant2012 PoP 12"
+    Latitude 42.75726
+    Longitude -6.76451
+  ]
+  node [
+    id 13
+    label "Geant2012 PoP 13"
+    Latitude 52.89913
+    Longitude 6.18179
+  ]
+  node [
+    id 14
+    label "Geant2012 PoP 14"
+    Latitude 38.16836
+    Longitude 23.61412
+  ]
+  node [
+    id 15
+    label "Geant2012 PoP 15"
+    Latitude 56.40299
+    Longitude 20.54563
+  ]
+  node [
+    id 16
+    label "Geant2012 PoP 16"
+    Latitude 49.50421
+    Longitude 19.61062
+  ]
+  node [
+    id 17
+    label "Geant2012 PoP 17"
+    Latitude 48.60636
+    Longitude 14.6342
+  ]
+  node [
+    id 18
+    label "Geant2012 PoP 18"
+    Latitude 48.60413
+    Longitude 13.31855
+  ]
+  node [
+    id 19
+    label "Geant2012 PoP 19"
+    Latitude 53.17054
+    Longitude 20.27842
+  ]
+  node [
+    id 20
+    label "Geant2012 PoP 20"
+    Latitude 52.31564
+    Longitude 16.76961
+  ]
+  node [
+    id 21
+    label "Geant2012 PoP 21"
+    Latitude 44.14437
+    Longitude 14.80099
+  ]
+  node [
+    id 22
+    label "Geant2012 PoP 22"
+    Latitude 53.02209
+    Longitude -4.90772
+  ]
+  node [
+    id 23
+    label "Geant2012 PoP 23"
+    Latitude 39.56481
+    Longitude 5.45168
+  ]
+  node [
+    id 24
+    label "Geant2012 PoP 24"
+    Latitude 38.70326
+    Longitude 11.92734
+  ]
+  node [
+    id 25
+    label "Geant2012 PoP 25"
+    Latitude 52.32363
+    Longitude 13.7585
+  ]
+  node [
+    id 26
+    label "Geant2012 PoP 26"
+    Latitude 55.19851
+    Longitude 11.83305
+  ]
+  node [
+    id 27
+    label "Geant2012 PoP 27"
+    Latitude 45.57427
+    Longitude 5.14024
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 10
+  ]
+  edge [
+    source 0
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 15
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 8
+  ]
+  edge [
+    source 5
+    target 21
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 24
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 14
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 19
+  ]
+  edge [
+    source 9
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 27
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 15
+  ]
+  edge [
+    source 11
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 17
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 19
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

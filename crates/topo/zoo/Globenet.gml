@@ -1,0 +1,525 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Globenet"
+  directed 0
+  node [
+    id 0
+    label "Globenet PoP 0"
+    Latitude -15.09082
+    Longitude 16.73092
+  ]
+  node [
+    id 1
+    label "Globenet PoP 1"
+    Latitude 32.64162
+    Longitude -72.02346
+  ]
+  node [
+    id 2
+    label "Globenet PoP 2"
+    Latitude -19.67961
+    Longitude -4.39289
+  ]
+  node [
+    id 3
+    label "Globenet PoP 3"
+    Latitude 52.11837
+    Longitude 37.26681
+  ]
+  node [
+    id 4
+    label "Globenet PoP 4"
+    Latitude 21.41548
+    Longitude 39.83318
+  ]
+  node [
+    id 5
+    label "Globenet PoP 5"
+    Latitude 24.09169
+    Longitude 119.76425
+  ]
+  node [
+    id 6
+    label "Globenet PoP 6"
+    Latitude -20.70179
+    Longitude -59.00883
+  ]
+  node [
+    id 7
+    label "Globenet PoP 7"
+    Latitude -25.04734
+    Longitude -65.51475
+  ]
+  node [
+    id 8
+    label "Globenet PoP 8"
+    Latitude 17.37135
+    Longitude -38.33517
+  ]
+  node [
+    id 9
+    label "Globenet PoP 9"
+    Latitude 33.72354
+    Longitude -111.59585
+  ]
+  node [
+    id 10
+    label "Globenet PoP 10"
+    Latitude 52.94642
+    Longitude -58.32848
+  ]
+  node [
+    id 11
+    label "Globenet PoP 11"
+    Latitude 17.45169
+    Longitude 12.46201
+  ]
+  node [
+    id 12
+    label "Globenet PoP 12"
+    Latitude 34.86994
+    Longitude -1.46861
+  ]
+  node [
+    id 13
+    label "Globenet PoP 13"
+    Latitude -26.62535
+    Longitude -10.45394
+  ]
+  node [
+    id 14
+    label "Globenet PoP 14"
+    Latitude 22.82185
+    Longitude 118.69845
+  ]
+  node [
+    id 15
+    label "Globenet PoP 15"
+    Latitude -10.2701
+    Longitude -41.34405
+  ]
+  node [
+    id 16
+    label "Globenet PoP 16"
+    Latitude 50.35092
+    Longitude -98.1159
+  ]
+  node [
+    id 17
+    label "Globenet PoP 17"
+    Latitude 40.23177
+    Longitude 30.0774
+  ]
+  node [
+    id 18
+    label "Globenet PoP 18"
+    Latitude -0.03552
+    Longitude -52.84743
+  ]
+  node [
+    id 19
+    label "Globenet PoP 19"
+    Latitude 22.20178
+    Longitude 100.65637
+  ]
+  node [
+    id 20
+    label "Globenet PoP 20"
+    Latitude -22.56766
+    Longitude 91.97684
+  ]
+  node [
+    id 21
+    label "Globenet PoP 21"
+    Latitude -23.03836
+    Longitude 79.37443
+  ]
+  node [
+    id 22
+    label "Globenet PoP 22"
+    Latitude 37.93145
+    Longitude 113.29941
+  ]
+  node [
+    id 23
+    label "Globenet PoP 23"
+    Latitude 35.77015
+    Longitude 124.62556
+  ]
+  node [
+    id 24
+    label "Globenet PoP 24"
+    Latitude -1.15125
+    Longitude -70.88863
+  ]
+  node [
+    id 25
+    label "Globenet PoP 25"
+    Latitude 44.42876
+    Longitude 30.12264
+  ]
+  node [
+    id 26
+    label "Globenet PoP 26"
+    Latitude 9.23154
+    Longitude 137.96305
+  ]
+  node [
+    id 27
+    label "Globenet PoP 27"
+    Latitude -3.67
+    Longitude 4.87608
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 24
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 8
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 24
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 21
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 27
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

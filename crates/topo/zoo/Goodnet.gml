@@ -1,0 +1,308 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Goodnet"
+  directed 0
+  node [
+    id 0
+    label "Goodnet PoP 0"
+    Latitude 42.58569
+    Longitude -81.1152
+  ]
+  node [
+    id 1
+    label "Goodnet PoP 1"
+    Latitude 39.13679
+    Longitude -104.54522
+  ]
+  node [
+    id 2
+    label "Goodnet PoP 2"
+    Latitude 38.57783
+    Longitude -111.79419
+  ]
+  node [
+    id 3
+    label "Goodnet PoP 3"
+    Latitude 34.89023
+    Longitude -90.10569
+  ]
+  node [
+    id 4
+    label "Goodnet PoP 4"
+    Latitude 36.0306
+    Longitude -105.11179
+  ]
+  node [
+    id 5
+    label "Goodnet PoP 5"
+    Latitude 43.11109
+    Longitude -92.37112
+  ]
+  node [
+    id 6
+    label "Goodnet PoP 6"
+    Latitude 38.36747
+    Longitude -80.32973
+  ]
+  node [
+    id 7
+    label "Goodnet PoP 7"
+    Latitude 33.87842
+    Longitude -121.63982
+  ]
+  node [
+    id 8
+    label "Goodnet PoP 8"
+    Latitude 41.04648
+    Longitude -112.84206
+  ]
+  node [
+    id 9
+    label "Goodnet PoP 9"
+    Latitude 30.63007
+    Longitude -79.47493
+  ]
+  node [
+    id 10
+    label "Goodnet PoP 10"
+    Latitude 33.65884
+    Longitude -112.48107
+  ]
+  node [
+    id 11
+    label "Goodnet PoP 11"
+    Latitude 32.68287
+    Longitude -121.19149
+  ]
+  node [
+    id 12
+    label "Goodnet PoP 12"
+    Latitude 42.3663
+    Longitude -112.63709
+  ]
+  node [
+    id 13
+    label "Goodnet PoP 13"
+    Latitude 35.39013
+    Longitude -79.15643
+  ]
+  node [
+    id 14
+    label "Goodnet PoP 14"
+    Latitude 40.41588
+    Longitude -89.70012
+  ]
+  node [
+    id 15
+    label "Goodnet PoP 15"
+    Latitude 37.22131
+    Longitude -119.84156
+  ]
+  node [
+    id 16
+    label "Goodnet PoP 16"
+    Latitude 46.16154
+    Longitude -86.94729
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 15
+  ]
+  edge [
+    source 0
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 8
+  ]
+  edge [
+    source 6
+    target 12
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 8
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+]

@@ -1,0 +1,529 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Grnet"
+  directed 0
+  node [
+    id 0
+    label "Grnet PoP 0"
+    Latitude 38.03365
+    Longitude 20.7867
+  ]
+  node [
+    id 1
+    label "Grnet PoP 1"
+    Latitude 44.06199
+    Longitude 21.04441
+  ]
+  node [
+    id 2
+    label "Grnet PoP 2"
+    Latitude 43.55436
+    Longitude 3.93239
+  ]
+  node [
+    id 3
+    label "Grnet PoP 3"
+    Latitude 56.64581
+    Longitude 0.68885
+  ]
+  node [
+    id 4
+    label "Grnet PoP 4"
+    Latitude 51.92942
+    Longitude 17.42276
+  ]
+  node [
+    id 5
+    label "Grnet PoP 5"
+    Latitude 46.0103
+    Longitude 8.9256
+  ]
+  node [
+    id 6
+    label "Grnet PoP 6"
+    Latitude 53.39791
+    Longitude 7.45287
+  ]
+  node [
+    id 7
+    label "Grnet PoP 7"
+    Latitude 47.80175
+    Longitude 8.55148
+  ]
+  node [
+    id 8
+    label "Grnet PoP 8"
+    Latitude 43.72671
+    Longitude -4.25116
+  ]
+  node [
+    id 9
+    label "Grnet PoP 9"
+    Latitude 51.71246
+    Longitude 24.41853
+  ]
+  node [
+    id 10
+    label "Grnet PoP 10"
+    Latitude 58.33568
+    Longitude 19.64458
+  ]
+  node [
+    id 11
+    label "Grnet PoP 11"
+    Latitude 54.5493
+    Longitude 21.10131
+  ]
+  node [
+    id 12
+    label "Grnet PoP 12"
+    Latitude 51.42819
+    Longitude 16.45203
+  ]
+  node [
+    id 13
+    label "Grnet PoP 13"
+    Latitude 42.89184
+    Longitude -5.25684
+  ]
+  node [
+    id 14
+    label "Grnet PoP 14"
+    Latitude 57.27687
+    Longitude -6.93503
+  ]
+  node [
+    id 15
+    label "Grnet PoP 15"
+    Latitude 53.93386
+    Longitude 15.63777
+  ]
+  node [
+    id 16
+    label "Grnet PoP 16"
+    Latitude 53.04219
+    Longitude 8.82646
+  ]
+  node [
+    id 17
+    label "Grnet PoP 17"
+    Latitude 43.41753
+    Longitude -2.41698
+  ]
+  node [
+    id 18
+    label "Grnet PoP 18"
+    Latitude 41.53944
+    Longitude -3.84434
+  ]
+  node [
+    id 19
+    label "Grnet PoP 19"
+    Latitude 48.82253
+    Longitude 8.01071
+  ]
+  node [
+    id 20
+    label "Grnet PoP 20"
+    Latitude 43.47561
+    Longitude 4.92404
+  ]
+  node [
+    id 21
+    label "Grnet PoP 21"
+    Latitude 46.0715
+    Longitude 3.06184
+  ]
+  node [
+    id 22
+    label "Grnet PoP 22"
+    Latitude 38.56812
+    Longitude 12.62468
+  ]
+  node [
+    id 23
+    label "Grnet PoP 23"
+    Latitude 44.49644
+    Longitude 14.84743
+  ]
+  node [
+    id 24
+    label "Grnet PoP 24"
+    Latitude 44.46013
+    Longitude 18.48428
+  ]
+  node [
+    id 25
+    label "Grnet PoP 25"
+    Latitude 47.63843
+    Longitude 10.92947
+  ]
+  node [
+    id 26
+    label "Grnet PoP 26"
+    Latitude 54.34641
+    Longitude -4.4185
+  ]
+  node [
+    id 27
+    label "Grnet PoP 27"
+    Latitude 48.20885
+    Longitude 3.20914
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 24
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 21
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 15
+  ]
+  edge [
+    source 8
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 24
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 16
+    target 24
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 27
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 26
+  ]
+  edge [
+    source 18
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 25
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,527 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "GtsCe"
+  directed 0
+  node [
+    id 0
+    label "GtsCe PoP 0"
+    Latitude 38.57233
+    Longitude 11.97348
+  ]
+  node [
+    id 1
+    label "GtsCe PoP 1"
+    Latitude 46.80467
+    Longitude -2.97433
+  ]
+  node [
+    id 2
+    label "GtsCe PoP 2"
+    Latitude 47.89934
+    Longitude -8.29781
+  ]
+  node [
+    id 3
+    label "GtsCe PoP 3"
+    Latitude 39.61435
+    Longitude 16.66693
+  ]
+  node [
+    id 4
+    label "GtsCe PoP 4"
+    Latitude 56.89857
+    Longitude 7.72375
+  ]
+  node [
+    id 5
+    label "GtsCe PoP 5"
+    Latitude 40.53863
+    Longitude -6.02185
+  ]
+  node [
+    id 6
+    label "GtsCe PoP 6"
+    Latitude 44.83444
+    Longitude 11.57298
+  ]
+  node [
+    id 7
+    label "GtsCe PoP 7"
+    Latitude 52.63204
+    Longitude 8.36295
+  ]
+  node [
+    id 8
+    label "GtsCe PoP 8"
+    Latitude 50.27044
+    Longitude -7.26314
+  ]
+  node [
+    id 9
+    label "GtsCe PoP 9"
+    Latitude 43.87459
+    Longitude -4.65844
+  ]
+  node [
+    id 10
+    label "GtsCe PoP 10"
+    Latitude 49.60666
+    Longitude 7.20238
+  ]
+  node [
+    id 11
+    label "GtsCe PoP 11"
+    Latitude 58.62551
+    Longitude 6.06869
+  ]
+  node [
+    id 12
+    label "GtsCe PoP 12"
+    Latitude 38.80419
+    Longitude 10.85539
+  ]
+  node [
+    id 13
+    label "GtsCe PoP 13"
+    Latitude 55.83617
+    Longitude 17.85352
+  ]
+  node [
+    id 14
+    label "GtsCe PoP 14"
+    Latitude 56.50985
+    Longitude 17.76433
+  ]
+  node [
+    id 15
+    label "GtsCe PoP 15"
+    Latitude 44.58025
+    Longitude 6.2672
+  ]
+  node [
+    id 16
+    label "GtsCe PoP 16"
+    Latitude 38.34235
+    Longitude 20.97574
+  ]
+  node [
+    id 17
+    label "GtsCe PoP 17"
+    Latitude 52.68366
+    Longitude 8.51832
+  ]
+  node [
+    id 18
+    label "GtsCe PoP 18"
+    Latitude 59.73862
+    Longitude 21.33896
+  ]
+  node [
+    id 19
+    label "GtsCe PoP 19"
+    Latitude 53.9616
+    Longitude 15.56132
+  ]
+  node [
+    id 20
+    label "GtsCe PoP 20"
+    Latitude 53.86398
+    Longitude 2.74702
+  ]
+  node [
+    id 21
+    label "GtsCe PoP 21"
+    Latitude 50.96232
+    Longitude -2.67734
+  ]
+  node [
+    id 22
+    label "GtsCe PoP 22"
+    Latitude 53.23932
+    Longitude -5.37654
+  ]
+  node [
+    id 23
+    label "GtsCe PoP 23"
+    Latitude 45.58386
+    Longitude 13.20947
+  ]
+  node [
+    id 24
+    label "GtsCe PoP 24"
+    Latitude 48.46389
+    Longitude 20.95382
+  ]
+  node [
+    id 25
+    label "GtsCe PoP 25"
+    Latitude 50.1911
+    Longitude 12.64389
+  ]
+  node [
+    id 26
+    label "GtsCe PoP 26"
+    Latitude 54.93806
+    Longitude 24.93162
+  ]
+  node [
+    id 27
+    label "GtsCe PoP 27"
+    Latitude 58.57603
+    Longitude -1.10516
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 11
+  ]
+  edge [
+    source 3
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 19
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 12
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 14
+    target 18
+  ]
+  edge [
+    source 14
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 23
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 16
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 19
+    target 25
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 24
+    target 27
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

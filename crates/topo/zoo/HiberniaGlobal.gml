@@ -1,0 +1,536 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "HiberniaGlobal"
+  directed 0
+  node [
+    id 0
+    label "HiberniaGlobal PoP 0"
+    Latitude 11.07193
+    Longitude -74.75039
+  ]
+  node [
+    id 1
+    label "HiberniaGlobal PoP 1"
+    Latitude -6.18023
+    Longitude 9.46826
+  ]
+  node [
+    id 2
+    label "HiberniaGlobal PoP 2"
+    Latitude 51.29719
+    Longitude 62.44131
+  ]
+  node [
+    id 3
+    label "HiberniaGlobal PoP 3"
+    Latitude -25.71333
+    Longitude 70.17337
+  ]
+  node [
+    id 4
+    label "HiberniaGlobal PoP 4"
+    Latitude 38.95746
+    Longitude -110.2301
+  ]
+  node [
+    id 5
+    label "HiberniaGlobal PoP 5"
+    Latitude -19.09377
+    Longitude 129.70525
+  ]
+  node [
+    id 6
+    label "HiberniaGlobal PoP 6"
+    Latitude 53.37368
+    Longitude -51.46794
+  ]
+  node [
+    id 7
+    label "HiberniaGlobal PoP 7"
+    Latitude -29.13951
+    Longitude 35.44819
+  ]
+  node [
+    id 8
+    label "HiberniaGlobal PoP 8"
+    Latitude -18.34303
+    Longitude 15.07964
+  ]
+  node [
+    id 9
+    label "HiberniaGlobal PoP 9"
+    Latitude 32.20573
+    Longitude -30.55016
+  ]
+  node [
+    id 10
+    label "HiberniaGlobal PoP 10"
+    Latitude 3.49932
+    Longitude -21.33767
+  ]
+  node [
+    id 11
+    label "HiberniaGlobal PoP 11"
+    Latitude 29.0108
+    Longitude -84.65795
+  ]
+  node [
+    id 12
+    label "HiberniaGlobal PoP 12"
+    Latitude -24.11799
+    Longitude -93.47216
+  ]
+  node [
+    id 13
+    label "HiberniaGlobal PoP 13"
+    Latitude -21.70393
+    Longitude -49.95504
+  ]
+  node [
+    id 14
+    label "HiberniaGlobal PoP 14"
+    Latitude 16.22935
+    Longitude -64.78098
+  ]
+  node [
+    id 15
+    label "HiberniaGlobal PoP 15"
+    Latitude -22.61495
+    Longitude 52.79398
+  ]
+  node [
+    id 16
+    label "HiberniaGlobal PoP 16"
+    Latitude 18.9167
+    Longitude -40.39572
+  ]
+  node [
+    id 17
+    label "HiberniaGlobal PoP 17"
+    Latitude 10.8357
+    Longitude -43.36631
+  ]
+  node [
+    id 18
+    label "HiberniaGlobal PoP 18"
+    Latitude 44.86391
+    Longitude 89.26068
+  ]
+  node [
+    id 19
+    label "HiberniaGlobal PoP 19"
+    Latitude 32.97716
+    Longitude -72.10362
+  ]
+  node [
+    id 20
+    label "HiberniaGlobal PoP 20"
+    Latitude 0.6526
+    Longitude -93.14363
+  ]
+  node [
+    id 21
+    label "HiberniaGlobal PoP 21"
+    Latitude 7.23796
+    Longitude 79.61748
+  ]
+  node [
+    id 22
+    label "HiberniaGlobal PoP 22"
+    Latitude 26.8486
+    Longitude -69.14153
+  ]
+  node [
+    id 23
+    label "HiberniaGlobal PoP 23"
+    Latitude -29.84821
+    Longitude -42.12565
+  ]
+  node [
+    id 24
+    label "HiberniaGlobal PoP 24"
+    Latitude 26.91754
+    Longitude 117.2216
+  ]
+  node [
+    id 25
+    label "HiberniaGlobal PoP 25"
+    Latitude 50.52075
+    Longitude 96.80748
+  ]
+  node [
+    id 26
+    label "HiberniaGlobal PoP 26"
+    Latitude 43.64615
+    Longitude 23.27548
+  ]
+  node [
+    id 27
+    label "HiberniaGlobal PoP 27"
+    Latitude -9.14386
+    Longitude 36.19121
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 24
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 27
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 7
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 18
+  ]
+  edge [
+    source 12
+    target 21
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 24
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 17
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 27
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+]

@@ -1,0 +1,328 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Ibm"
+  directed 0
+  node [
+    id 0
+    label "Ibm PoP 0"
+    Latitude 44.51548
+    Longitude -90.55554
+  ]
+  node [
+    id 1
+    label "Ibm PoP 1"
+    Latitude 36.48927
+    Longitude -100.65081
+  ]
+  node [
+    id 2
+    label "Ibm PoP 2"
+    Latitude 40.43496
+    Longitude -91.84549
+  ]
+  node [
+    id 3
+    label "Ibm PoP 3"
+    Latitude 36.57821
+    Longitude -93.30559
+  ]
+  node [
+    id 4
+    label "Ibm PoP 4"
+    Latitude 35.56589
+    Longitude -76.26747
+  ]
+  node [
+    id 5
+    label "Ibm PoP 5"
+    Latitude 36.54002
+    Longitude -85.44818
+  ]
+  node [
+    id 6
+    label "Ibm PoP 6"
+    Latitude 33.54989
+    Longitude -96.35409
+  ]
+  node [
+    id 7
+    label "Ibm PoP 7"
+    Latitude 36.53019
+    Longitude -117.5708
+  ]
+  node [
+    id 8
+    label "Ibm PoP 8"
+    Latitude 32.91182
+    Longitude -86.44514
+  ]
+  node [
+    id 9
+    label "Ibm PoP 9"
+    Latitude 38.72548
+    Longitude -102.60749
+  ]
+  node [
+    id 10
+    label "Ibm PoP 10"
+    Latitude 34.37693
+    Longitude -94.57918
+  ]
+  node [
+    id 11
+    label "Ibm PoP 11"
+    Latitude 30.67299
+    Longitude -94.14091
+  ]
+  node [
+    id 12
+    label "Ibm PoP 12"
+    Latitude 46.96968
+    Longitude -102.27207
+  ]
+  node [
+    id 13
+    label "Ibm PoP 13"
+    Latitude 30.62461
+    Longitude -102.75173
+  ]
+  node [
+    id 14
+    label "Ibm PoP 14"
+    Latitude 42.24072
+    Longitude -111.60629
+  ]
+  node [
+    id 15
+    label "Ibm PoP 15"
+    Latitude 40.692
+    Longitude -105.77878
+  ]
+  node [
+    id 16
+    label "Ibm PoP 16"
+    Latitude 39.22093
+    Longitude -112.89043
+  ]
+  node [
+    id 17
+    label "Ibm PoP 17"
+    Latitude 34.88381
+    Longitude -90.94758
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 6
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 9
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 15
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 13
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,504 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Iij"
+  directed 0
+  node [
+    id 0
+    label "Iij PoP 0"
+    Latitude 40.4356
+    Longitude 137.39462
+  ]
+  node [
+    id 1
+    label "Iij PoP 1"
+    Latitude 35.90326
+    Longitude 131.45954
+  ]
+  node [
+    id 2
+    label "Iij PoP 2"
+    Latitude 33.94723
+    Longitude 139.96949
+  ]
+  node [
+    id 3
+    label "Iij PoP 3"
+    Latitude 34.27379
+    Longitude 142.18453
+  ]
+  node [
+    id 4
+    label "Iij PoP 4"
+    Latitude 40.51052
+    Longitude 143.60598
+  ]
+  node [
+    id 5
+    label "Iij PoP 5"
+    Latitude 37.29035
+    Longitude 138.27202
+  ]
+  node [
+    id 6
+    label "Iij PoP 6"
+    Latitude 35.60048
+    Longitude 130.83434
+  ]
+  node [
+    id 7
+    label "Iij PoP 7"
+    Latitude 38.55261
+    Longitude 142.09669
+  ]
+  node [
+    id 8
+    label "Iij PoP 8"
+    Latitude 40.01143
+    Longitude 132.29407
+  ]
+  node [
+    id 9
+    label "Iij PoP 9"
+    Latitude 42.60565
+    Longitude 141.14851
+  ]
+  node [
+    id 10
+    label "Iij PoP 10"
+    Latitude 37.74371
+    Longitude 138.7337
+  ]
+  node [
+    id 11
+    label "Iij PoP 11"
+    Latitude 37.48899
+    Longitude 138.94721
+  ]
+  node [
+    id 12
+    label "Iij PoP 12"
+    Latitude 42.07312
+    Longitude 132.81129
+  ]
+  node [
+    id 13
+    label "Iij PoP 13"
+    Latitude 37.07348
+    Longitude 143.21891
+  ]
+  node [
+    id 14
+    label "Iij PoP 14"
+    Latitude 42.7855
+    Longitude 130.58141
+  ]
+  node [
+    id 15
+    label "Iij PoP 15"
+    Latitude 32.78849
+    Longitude 137.92387
+  ]
+  node [
+    id 16
+    label "Iij PoP 16"
+    Latitude 41.96943
+    Longitude 131.83403
+  ]
+  node [
+    id 17
+    label "Iij PoP 17"
+    Latitude 33.27617
+    Longitude 135.43035
+  ]
+  node [
+    id 18
+    label "Iij PoP 18"
+    Latitude 41.31216
+    Longitude 135.53937
+  ]
+  node [
+    id 19
+    label "Iij PoP 19"
+    Latitude 35.1616
+    Longitude 141.00013
+  ]
+  node [
+    id 20
+    label "Iij PoP 20"
+    Latitude 36.26318
+    Longitude 140.99707
+  ]
+  node [
+    id 21
+    label "Iij PoP 21"
+    Latitude 40.35614
+    Longitude 135.78165
+  ]
+  node [
+    id 22
+    label "Iij PoP 22"
+    Latitude 35.89135
+    Longitude 135.70679
+  ]
+  node [
+    id 23
+    label "Iij PoP 23"
+    Latitude 42.08852
+    Longitude 143.01392
+  ]
+  node [
+    id 24
+    label "Iij PoP 24"
+    Latitude 39.3639
+    Longitude 130.72007
+  ]
+  node [
+    id 25
+    label "Iij PoP 25"
+    Latitude 36.07408
+    Longitude 132.84346
+  ]
+  node [
+    id 26
+    label "Iij PoP 26"
+    Latitude 38.27878
+    Longitude 134.61421
+  ]
+  node [
+    id 27
+    label "Iij PoP 27"
+    Latitude 38.06864
+    Longitude 137.93205
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+  ]
+  edge [
+    source 0
+    target 24
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+  ]
+  edge [
+    source 3
+    target 7
+  ]
+  edge [
+    source 3
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 10
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 8
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 16
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 20
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 24
+  ]
+  edge [
+    source 15
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 20
+  ]
+  edge [
+    source 18
+    target 22
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 25
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 22
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 22
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+]

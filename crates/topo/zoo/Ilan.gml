@@ -1,0 +1,224 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Ilan"
+  directed 0
+  node [
+    id 0
+    label "Ilan PoP 0"
+    Latitude 30.98249
+    Longitude 35.5976
+  ]
+  node [
+    id 1
+    label "Ilan PoP 1"
+    Latitude 30.35558
+    Longitude 34.06696
+  ]
+  node [
+    id 2
+    label "Ilan PoP 2"
+    Latitude 32.16439
+    Longitude 34.07778
+  ]
+  node [
+    id 3
+    label "Ilan PoP 3"
+    Latitude 30.24229
+    Longitude 35.66843
+  ]
+  node [
+    id 4
+    label "Ilan PoP 4"
+    Latitude 32.26323
+    Longitude 34.41018
+  ]
+  node [
+    id 5
+    label "Ilan PoP 5"
+    Latitude 32.72242
+    Longitude 35.62674
+  ]
+  node [
+    id 6
+    label "Ilan PoP 6"
+    Latitude 31.87077
+    Longitude 34.483
+  ]
+  node [
+    id 7
+    label "Ilan PoP 7"
+    Latitude 31.61454
+    Longitude 34.6489
+  ]
+  node [
+    id 8
+    label "Ilan PoP 8"
+    Latitude 32.74854
+    Longitude 35.17185
+  ]
+  node [
+    id 9
+    label "Ilan PoP 9"
+    Latitude 32.58764
+    Longitude 35.27228
+  ]
+  node [
+    id 10
+    label "Ilan PoP 10"
+    Latitude 32.78846
+    Longitude 35.57786
+  ]
+  node [
+    id 11
+    label "Ilan PoP 11"
+    Latitude 31.52147
+    Longitude 35.91598
+  ]
+  node [
+    id 12
+    label "Ilan PoP 12"
+    Latitude 32.30305
+    Longitude 34.92188
+  ]
+  node [
+    id 13
+    label "Ilan PoP 13"
+    Latitude 30.23689
+    Longitude 34.23033
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 4
+  ]
+  edge [
+    source 0
+    target 13
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,519 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Internode"
+  directed 0
+  node [
+    id 0
+    label "Internode PoP 0"
+    Latitude -22.99547
+    Longitude 118.36655
+  ]
+  node [
+    id 1
+    label "Internode PoP 1"
+    Latitude -32.51233
+    Longitude 134.36297
+  ]
+  node [
+    id 2
+    label "Internode PoP 2"
+    Latitude -20.81793
+    Longitude 121.52052
+  ]
+  node [
+    id 3
+    label "Internode PoP 3"
+    Latitude -31.57756
+    Longitude 126.00909
+  ]
+  node [
+    id 4
+    label "Internode PoP 4"
+    Latitude -30.54583
+    Longitude 128.47694
+  ]
+  node [
+    id 5
+    label "Internode PoP 5"
+    Latitude -25.5886
+    Longitude 133.70038
+  ]
+  node [
+    id 6
+    label "Internode PoP 6"
+    Latitude -36.01498
+    Longitude 137.67162
+  ]
+  node [
+    id 7
+    label "Internode PoP 7"
+    Latitude -34.055
+    Longitude 135.77167
+  ]
+  node [
+    id 8
+    label "Internode PoP 8"
+    Latitude -33.23599
+    Longitude 133.00492
+  ]
+  node [
+    id 9
+    label "Internode PoP 9"
+    Latitude -37.30112
+    Longitude 150.15023
+  ]
+  node [
+    id 10
+    label "Internode PoP 10"
+    Latitude -19.06467
+    Longitude 134.76989
+  ]
+  node [
+    id 11
+    label "Internode PoP 11"
+    Latitude -18.07372
+    Longitude 144.37913
+  ]
+  node [
+    id 12
+    label "Internode PoP 12"
+    Latitude -18.39658
+    Longitude 126.70742
+  ]
+  node [
+    id 13
+    label "Internode PoP 13"
+    Latitude -27.18976
+    Longitude 133.90896
+  ]
+  node [
+    id 14
+    label "Internode PoP 14"
+    Latitude -21.2329
+    Longitude 121.55904
+  ]
+  node [
+    id 15
+    label "Internode PoP 15"
+    Latitude -20.52079
+    Longitude 125.19432
+  ]
+  node [
+    id 16
+    label "Internode PoP 16"
+    Latitude -32.5353
+    Longitude 133.5076
+  ]
+  node [
+    id 17
+    label "Internode PoP 17"
+    Latitude -17.10623
+    Longitude 149.67246
+  ]
+  node [
+    id 18
+    label "Internode PoP 18"
+    Latitude -22.89004
+    Longitude 129.47164
+  ]
+  node [
+    id 19
+    label "Internode PoP 19"
+    Latitude -35.78584
+    Longitude 124.4345
+  ]
+  node [
+    id 20
+    label "Internode PoP 20"
+    Latitude -33.51032
+    Longitude 125.38389
+  ]
+  node [
+    id 21
+    label "Internode PoP 21"
+    Latitude -25.55235
+    Longitude 133.94545
+  ]
+  node [
+    id 22
+    label "Internode PoP 22"
+    Latitude -28.32169
+    Longitude 127.15601
+  ]
+  node [
+    id 23
+    label "Internode PoP 23"
+    Latitude -17.53229
+    Longitude 149.03484
+  ]
+  node [
+    id 24
+    label "Internode PoP 24"
+    Latitude -20.21152
+    Longitude 142.90293
+  ]
+  node [
+    id 25
+    label "Internode PoP 25"
+    Latitude -16.46588
+    Longitude 146.78981
+  ]
+  node [
+    id 26
+    label "Internode PoP 26"
+    Latitude -22.76861
+    Longitude 134.8576
+  ]
+  node [
+    id 27
+    label "Internode PoP 27"
+    Latitude -24.00334
+    Longitude 128.82034
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 14
+  ]
+  edge [
+    source 5
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 26
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 20
+  ]
+  edge [
+    source 6
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 21
+  ]
+  edge [
+    source 12
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 24
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 18
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+]

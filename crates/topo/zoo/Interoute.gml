@@ -1,0 +1,539 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Interoute"
+  directed 0
+  node [
+    id 0
+    label "Interoute PoP 0"
+    Latitude 55.49789
+    Longitude 2.81724
+  ]
+  node [
+    id 1
+    label "Interoute PoP 1"
+    Latitude 55.0929
+    Longitude -6.41923
+  ]
+  node [
+    id 2
+    label "Interoute PoP 2"
+    Latitude 43.06225
+    Longitude 2.69866
+  ]
+  node [
+    id 3
+    label "Interoute PoP 3"
+    Latitude 49.46155
+    Longitude 2.99067
+  ]
+  node [
+    id 4
+    label "Interoute PoP 4"
+    Latitude 41.85828
+    Longitude 11.2403
+  ]
+  node [
+    id 5
+    label "Interoute PoP 5"
+    Latitude 43.79846
+    Longitude -2.57867
+  ]
+  node [
+    id 6
+    label "Interoute PoP 6"
+    Latitude 39.95886
+    Longitude 4.40619
+  ]
+  node [
+    id 7
+    label "Interoute PoP 7"
+    Latitude 59.32255
+    Longitude 20.50077
+  ]
+  node [
+    id 8
+    label "Interoute PoP 8"
+    Latitude 43.60319
+    Longitude 13.14449
+  ]
+  node [
+    id 9
+    label "Interoute PoP 9"
+    Latitude 52.55795
+    Longitude 12.59238
+  ]
+  node [
+    id 10
+    label "Interoute PoP 10"
+    Latitude 53.88741
+    Longitude 9.3555
+  ]
+  node [
+    id 11
+    label "Interoute PoP 11"
+    Latitude 41.86687
+    Longitude -5.67215
+  ]
+  node [
+    id 12
+    label "Interoute PoP 12"
+    Latitude 44.52429
+    Longitude -7.92015
+  ]
+  node [
+    id 13
+    label "Interoute PoP 13"
+    Latitude 55.49229
+    Longitude 12.51434
+  ]
+  node [
+    id 14
+    label "Interoute PoP 14"
+    Latitude 48.3949
+    Longitude 3.87457
+  ]
+  node [
+    id 15
+    label "Interoute PoP 15"
+    Latitude 42.17128
+    Longitude -0.83719
+  ]
+  node [
+    id 16
+    label "Interoute PoP 16"
+    Latitude 43.62693
+    Longitude 24.53176
+  ]
+  node [
+    id 17
+    label "Interoute PoP 17"
+    Latitude 49.49961
+    Longitude 4.41825
+  ]
+  node [
+    id 18
+    label "Interoute PoP 18"
+    Latitude 38.37894
+    Longitude 13.88354
+  ]
+  node [
+    id 19
+    label "Interoute PoP 19"
+    Latitude 44.2654
+    Longitude -1.83364
+  ]
+  node [
+    id 20
+    label "Interoute PoP 20"
+    Latitude 59.60018
+    Longitude -4.04294
+  ]
+  node [
+    id 21
+    label "Interoute PoP 21"
+    Latitude 54.68709
+    Longitude 4.49502
+  ]
+  node [
+    id 22
+    label "Interoute PoP 22"
+    Latitude 39.49439
+    Longitude 1.45616
+  ]
+  node [
+    id 23
+    label "Interoute PoP 23"
+    Latitude 54.33317
+    Longitude -1.54313
+  ]
+  node [
+    id 24
+    label "Interoute PoP 24"
+    Latitude 53.61488
+    Longitude -4.53853
+  ]
+  node [
+    id 25
+    label "Interoute PoP 25"
+    Latitude 50.27006
+    Longitude 13.09896
+  ]
+  node [
+    id 26
+    label "Interoute PoP 26"
+    Latitude 38.38771
+    Longitude 16.80564
+  ]
+  node [
+    id 27
+    label "Interoute PoP 27"
+    Latitude 53.30261
+    Longitude 0.94977
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 23
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 21
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 21
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 24
+  ]
+  edge [
+    source 7
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 17
+  ]
+  edge [
+    source 9
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 14
+  ]
+  edge [
+    source 10
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 26
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 19
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+]

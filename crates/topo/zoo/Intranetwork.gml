@@ -1,0 +1,535 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Intranetwork"
+  directed 0
+  node [
+    id 0
+    label "Intranetwork PoP 0"
+    Latitude 41.27706
+    Longitude -82.91527
+  ]
+  node [
+    id 1
+    label "Intranetwork PoP 1"
+    Latitude 32.4421
+    Longitude -118.93575
+  ]
+  node [
+    id 2
+    label "Intranetwork PoP 2"
+    Latitude 40.98599
+    Longitude -105.13912
+  ]
+  node [
+    id 3
+    label "Intranetwork PoP 3"
+    Latitude 42.87147
+    Longitude -74.7381
+  ]
+  node [
+    id 4
+    label "Intranetwork PoP 4"
+    Latitude 46.60744
+    Longitude -106.97002
+  ]
+  node [
+    id 5
+    label "Intranetwork PoP 5"
+    Latitude 38.33621
+    Longitude -99.60978
+  ]
+  node [
+    id 6
+    label "Intranetwork PoP 6"
+    Latitude 38.25749
+    Longitude -78.76732
+  ]
+  node [
+    id 7
+    label "Intranetwork PoP 7"
+    Latitude 43.05148
+    Longitude -101.08739
+  ]
+  node [
+    id 8
+    label "Intranetwork PoP 8"
+    Latitude 40.56089
+    Longitude -83.11839
+  ]
+  node [
+    id 9
+    label "Intranetwork PoP 9"
+    Latitude 39.71206
+    Longitude -116.13429
+  ]
+  node [
+    id 10
+    label "Intranetwork PoP 10"
+    Latitude 45.72342
+    Longitude -79.44579
+  ]
+  node [
+    id 11
+    label "Intranetwork PoP 11"
+    Latitude 34.84532
+    Longitude -93.12696
+  ]
+  node [
+    id 12
+    label "Intranetwork PoP 12"
+    Latitude 43.73901
+    Longitude -93.27731
+  ]
+  node [
+    id 13
+    label "Intranetwork PoP 13"
+    Latitude 37.27456
+    Longitude -120.30097
+  ]
+  node [
+    id 14
+    label "Intranetwork PoP 14"
+    Latitude 33.29684
+    Longitude -77.41096
+  ]
+  node [
+    id 15
+    label "Intranetwork PoP 15"
+    Latitude 30.14435
+    Longitude -83.91322
+  ]
+  node [
+    id 16
+    label "Intranetwork PoP 16"
+    Latitude 44.78018
+    Longitude -100.7384
+  ]
+  node [
+    id 17
+    label "Intranetwork PoP 17"
+    Latitude 44.69373
+    Longitude -120.74371
+  ]
+  node [
+    id 18
+    label "Intranetwork PoP 18"
+    Latitude 35.89994
+    Longitude -108.58749
+  ]
+  node [
+    id 19
+    label "Intranetwork PoP 19"
+    Latitude 39.9657
+    Longitude -116.67785
+  ]
+  node [
+    id 20
+    label "Intranetwork PoP 20"
+    Latitude 46.98331
+    Longitude -79.73634
+  ]
+  node [
+    id 21
+    label "Intranetwork PoP 21"
+    Latitude 33.61941
+    Longitude -85.71043
+  ]
+  node [
+    id 22
+    label "Intranetwork PoP 22"
+    Latitude 38.63263
+    Longitude -83.80209
+  ]
+  node [
+    id 23
+    label "Intranetwork PoP 23"
+    Latitude 30.32175
+    Longitude -90.31813
+  ]
+  node [
+    id 24
+    label "Intranetwork PoP 24"
+    Latitude 37.75452
+    Longitude -113.09755
+  ]
+  node [
+    id 25
+    label "Intranetwork PoP 25"
+    Latitude 42.29327
+    Longitude -115.0743
+  ]
+  node [
+    id 26
+    label "Intranetwork PoP 26"
+    Latitude 37.2777
+    Longitude -111.52548
+  ]
+  node [
+    id 27
+    label "Intranetwork PoP 27"
+    Latitude 34.60076
+    Longitude -108.62107
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 6
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 26
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 12
+  ]
+  edge [
+    source 9
+    target 17
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 15
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 15
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 14
+    target 22
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 26
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+]

@@ -1,0 +1,459 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Ion"
+  directed 0
+  node [
+    id 0
+    label "Ion PoP 0"
+    Latitude 33.58473
+    Longitude -86.54321
+  ]
+  node [
+    id 1
+    label "Ion PoP 1"
+    Latitude 39.34798
+    Longitude -116.13188
+  ]
+  node [
+    id 2
+    label "Ion PoP 2"
+    Latitude 32.45651
+    Longitude -98.18934
+  ]
+  node [
+    id 3
+    label "Ion PoP 3"
+    Latitude 44.38568
+    Longitude -101.6241
+  ]
+  node [
+    id 4
+    label "Ion PoP 4"
+    Latitude 43.65851
+    Longitude -76.10072
+  ]
+  node [
+    id 5
+    label "Ion PoP 5"
+    Latitude 32.71687
+    Longitude -88.56936
+  ]
+  node [
+    id 6
+    label "Ion PoP 6"
+    Latitude 34.70045
+    Longitude -92.28369
+  ]
+  node [
+    id 7
+    label "Ion PoP 7"
+    Latitude 40.9333
+    Longitude -77.13827
+  ]
+  node [
+    id 8
+    label "Ion PoP 8"
+    Latitude 43.31351
+    Longitude -112.00235
+  ]
+  node [
+    id 9
+    label "Ion PoP 9"
+    Latitude 43.1276
+    Longitude -80.38787
+  ]
+  node [
+    id 10
+    label "Ion PoP 10"
+    Latitude 35.13679
+    Longitude -116.58956
+  ]
+  node [
+    id 11
+    label "Ion PoP 11"
+    Latitude 33.67381
+    Longitude -90.42463
+  ]
+  node [
+    id 12
+    label "Ion PoP 12"
+    Latitude 32.54464
+    Longitude -94.56918
+  ]
+  node [
+    id 13
+    label "Ion PoP 13"
+    Latitude 45.25675
+    Longitude -90.4559
+  ]
+  node [
+    id 14
+    label "Ion PoP 14"
+    Latitude 41.01746
+    Longitude -76.23057
+  ]
+  node [
+    id 15
+    label "Ion PoP 15"
+    Latitude 37.23107
+    Longitude -115.47053
+  ]
+  node [
+    id 16
+    label "Ion PoP 16"
+    Latitude 40.66628
+    Longitude -89.47951
+  ]
+  node [
+    id 17
+    label "Ion PoP 17"
+    Latitude 35.97361
+    Longitude -101.67459
+  ]
+  node [
+    id 18
+    label "Ion PoP 18"
+    Latitude 35.56353
+    Longitude -85.68487
+  ]
+  node [
+    id 19
+    label "Ion PoP 19"
+    Latitude 34.77407
+    Longitude -109.49339
+  ]
+  node [
+    id 20
+    label "Ion PoP 20"
+    Latitude 40.32162
+    Longitude -121.96503
+  ]
+  node [
+    id 21
+    label "Ion PoP 21"
+    Latitude 34.48205
+    Longitude -110.936
+  ]
+  node [
+    id 22
+    label "Ion PoP 22"
+    Latitude 34.83972
+    Longitude -83.60469
+  ]
+  node [
+    id 23
+    label "Ion PoP 23"
+    Latitude 34.91489
+    Longitude -89.54522
+  ]
+  node [
+    id 24
+    label "Ion PoP 24"
+    Latitude 41.97985
+    Longitude -88.11255
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 9
+  ]
+  edge [
+    source 0
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 21
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 18
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 7
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 19
+  ]
+  edge [
+    source 3
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 15
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 13
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 21
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+]

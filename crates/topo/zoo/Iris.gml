@@ -1,0 +1,519 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Iris"
+  directed 0
+  node [
+    id 0
+    label "Iris PoP 0"
+    Latitude 41.2225
+    Longitude -78.18911
+  ]
+  node [
+    id 1
+    label "Iris PoP 1"
+    Latitude 35.75244
+    Longitude -109.54647
+  ]
+  node [
+    id 2
+    label "Iris PoP 2"
+    Latitude 46.72522
+    Longitude -85.26403
+  ]
+  node [
+    id 3
+    label "Iris PoP 3"
+    Latitude 40.15915
+    Longitude -93.82155
+  ]
+  node [
+    id 4
+    label "Iris PoP 4"
+    Latitude 41.93944
+    Longitude -88.99926
+  ]
+  node [
+    id 5
+    label "Iris PoP 5"
+    Latitude 33.85501
+    Longitude -96.47341
+  ]
+  node [
+    id 6
+    label "Iris PoP 6"
+    Latitude 34.92735
+    Longitude -102.25119
+  ]
+  node [
+    id 7
+    label "Iris PoP 7"
+    Latitude 30.52264
+    Longitude -99.32271
+  ]
+  node [
+    id 8
+    label "Iris PoP 8"
+    Latitude 36.62653
+    Longitude -116.43829
+  ]
+  node [
+    id 9
+    label "Iris PoP 9"
+    Latitude 43.08015
+    Longitude -103.80344
+  ]
+  node [
+    id 10
+    label "Iris PoP 10"
+    Latitude 44.72002
+    Longitude -94.50671
+  ]
+  node [
+    id 11
+    label "Iris PoP 11"
+    Latitude 31.14408
+    Longitude -109.40994
+  ]
+  node [
+    id 12
+    label "Iris PoP 12"
+    Latitude 34.35662
+    Longitude -74.60246
+  ]
+  node [
+    id 13
+    label "Iris PoP 13"
+    Latitude 30.31755
+    Longitude -90.66511
+  ]
+  node [
+    id 14
+    label "Iris PoP 14"
+    Latitude 33.20711
+    Longitude -76.7179
+  ]
+  node [
+    id 15
+    label "Iris PoP 15"
+    Latitude 34.95601
+    Longitude -102.51471
+  ]
+  node [
+    id 16
+    label "Iris PoP 16"
+    Latitude 32.54498
+    Longitude -116.6783
+  ]
+  node [
+    id 17
+    label "Iris PoP 17"
+    Latitude 41.36153
+    Longitude -102.5997
+  ]
+  node [
+    id 18
+    label "Iris PoP 18"
+    Latitude 41.21973
+    Longitude -83.96492
+  ]
+  node [
+    id 19
+    label "Iris PoP 19"
+    Latitude 42.53858
+    Longitude -76.05148
+  ]
+  node [
+    id 20
+    label "Iris PoP 20"
+    Latitude 44.44252
+    Longitude -117.99115
+  ]
+  node [
+    id 21
+    label "Iris PoP 21"
+    Latitude 45.76412
+    Longitude -102.85145
+  ]
+  node [
+    id 22
+    label "Iris PoP 22"
+    Latitude 46.97363
+    Longitude -113.41591
+  ]
+  node [
+    id 23
+    label "Iris PoP 23"
+    Latitude 41.81651
+    Longitude -111.6893
+  ]
+  node [
+    id 24
+    label "Iris PoP 24"
+    Latitude 45.11301
+    Longitude -105.23576
+  ]
+  node [
+    id 25
+    label "Iris PoP 25"
+    Latitude 41.08396
+    Longitude -95.78442
+  ]
+  node [
+    id 26
+    label "Iris PoP 26"
+    Latitude 39.12942
+    Longitude -75.43944
+  ]
+  node [
+    id 27
+    label "Iris PoP 27"
+    Latitude 33.59202
+    Longitude -77.16016
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 14
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 24
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 21
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 7
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 27
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 25
+  ]
+  edge [
+    source 12
+    target 27
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 27
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

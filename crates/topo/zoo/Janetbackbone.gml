@@ -1,0 +1,522 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Janetbackbone"
+  directed 0
+  node [
+    id 0
+    label "Janetbackbone PoP 0"
+    Latitude 39.43856
+    Longitude 21.30273
+  ]
+  node [
+    id 1
+    label "Janetbackbone PoP 1"
+    Latitude 41.7743
+    Longitude -2.24235
+  ]
+  node [
+    id 2
+    label "Janetbackbone PoP 2"
+    Latitude 49.61096
+    Longitude -1.40828
+  ]
+  node [
+    id 3
+    label "Janetbackbone PoP 3"
+    Latitude 45.73277
+    Longitude -2.92952
+  ]
+  node [
+    id 4
+    label "Janetbackbone PoP 4"
+    Latitude 55.50105
+    Longitude -5.25088
+  ]
+  node [
+    id 5
+    label "Janetbackbone PoP 5"
+    Latitude 53.27146
+    Longitude 15.22916
+  ]
+  node [
+    id 6
+    label "Janetbackbone PoP 6"
+    Latitude 59.22941
+    Longitude 20.59948
+  ]
+  node [
+    id 7
+    label "Janetbackbone PoP 7"
+    Latitude 42.78013
+    Longitude 6.4873
+  ]
+  node [
+    id 8
+    label "Janetbackbone PoP 8"
+    Latitude 54.49457
+    Longitude 24.40365
+  ]
+  node [
+    id 9
+    label "Janetbackbone PoP 9"
+    Latitude 56.52527
+    Longitude -6.67481
+  ]
+  node [
+    id 10
+    label "Janetbackbone PoP 10"
+    Latitude 47.74439
+    Longitude 4.07448
+  ]
+  node [
+    id 11
+    label "Janetbackbone PoP 11"
+    Latitude 38.63968
+    Longitude 15.42265
+  ]
+  node [
+    id 12
+    label "Janetbackbone PoP 12"
+    Latitude 50.67542
+    Longitude -1.54975
+  ]
+  node [
+    id 13
+    label "Janetbackbone PoP 13"
+    Latitude 53.20464
+    Longitude 20.27765
+  ]
+  node [
+    id 14
+    label "Janetbackbone PoP 14"
+    Latitude 49.47335
+    Longitude 23.21982
+  ]
+  node [
+    id 15
+    label "Janetbackbone PoP 15"
+    Latitude 57.30427
+    Longitude 21.44732
+  ]
+  node [
+    id 16
+    label "Janetbackbone PoP 16"
+    Latitude 38.62688
+    Longitude 14.61323
+  ]
+  node [
+    id 17
+    label "Janetbackbone PoP 17"
+    Latitude 54.68378
+    Longitude -2.37583
+  ]
+  node [
+    id 18
+    label "Janetbackbone PoP 18"
+    Latitude 52.01013
+    Longitude 1.02099
+  ]
+  node [
+    id 19
+    label "Janetbackbone PoP 19"
+    Latitude 50.28222
+    Longitude 13.59418
+  ]
+  node [
+    id 20
+    label "Janetbackbone PoP 20"
+    Latitude 54.40332
+    Longitude 9.76686
+  ]
+  node [
+    id 21
+    label "Janetbackbone PoP 21"
+    Latitude 44.11436
+    Longitude 21.02352
+  ]
+  node [
+    id 22
+    label "Janetbackbone PoP 22"
+    Latitude 53.5081
+    Longitude 3.66777
+  ]
+  node [
+    id 23
+    label "Janetbackbone PoP 23"
+    Latitude 58.23169
+    Longitude 19.9985
+  ]
+  node [
+    id 24
+    label "Janetbackbone PoP 24"
+    Latitude 57.01421
+    Longitude 15.53294
+  ]
+  node [
+    id 25
+    label "Janetbackbone PoP 25"
+    Latitude 42.49088
+    Longitude 15.40608
+  ]
+  node [
+    id 26
+    label "Janetbackbone PoP 26"
+    Latitude 41.56329
+    Longitude 12.1969
+  ]
+  node [
+    id 27
+    label "Janetbackbone PoP 27"
+    Latitude 44.31356
+    Longitude 11.10325
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 6
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 15
+  ]
+  edge [
+    source 2
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 14
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 5
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 24
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+]

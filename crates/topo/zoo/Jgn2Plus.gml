@@ -1,0 +1,328 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Jgn2Plus"
+  directed 0
+  node [
+    id 0
+    label "Jgn2Plus PoP 0"
+    Latitude 33.62692
+    Longitude 141.52238
+  ]
+  node [
+    id 1
+    label "Jgn2Plus PoP 1"
+    Latitude 33.13703
+    Longitude 143.70089
+  ]
+  node [
+    id 2
+    label "Jgn2Plus PoP 2"
+    Latitude 35.6955
+    Longitude 136.23344
+  ]
+  node [
+    id 3
+    label "Jgn2Plus PoP 3"
+    Latitude 32.47138
+    Longitude 141.8755
+  ]
+  node [
+    id 4
+    label "Jgn2Plus PoP 4"
+    Latitude 35.94316
+    Longitude 139.59252
+  ]
+  node [
+    id 5
+    label "Jgn2Plus PoP 5"
+    Latitude 34.55453
+    Longitude 135.98071
+  ]
+  node [
+    id 6
+    label "Jgn2Plus PoP 6"
+    Latitude 42.88847
+    Longitude 141.33797
+  ]
+  node [
+    id 7
+    label "Jgn2Plus PoP 7"
+    Latitude 33.13711
+    Longitude 135.59591
+  ]
+  node [
+    id 8
+    label "Jgn2Plus PoP 8"
+    Latitude 42.8306
+    Longitude 137.55849
+  ]
+  node [
+    id 9
+    label "Jgn2Plus PoP 9"
+    Latitude 42.00583
+    Longitude 131.41536
+  ]
+  node [
+    id 10
+    label "Jgn2Plus PoP 10"
+    Latitude 33.92465
+    Longitude 130.2922
+  ]
+  node [
+    id 11
+    label "Jgn2Plus PoP 11"
+    Latitude 37.63012
+    Longitude 135.06419
+  ]
+  node [
+    id 12
+    label "Jgn2Plus PoP 12"
+    Latitude 41.00906
+    Longitude 138.00295
+  ]
+  node [
+    id 13
+    label "Jgn2Plus PoP 13"
+    Latitude 37.51398
+    Longitude 140.7048
+  ]
+  node [
+    id 14
+    label "Jgn2Plus PoP 14"
+    Latitude 38.47867
+    Longitude 141.86006
+  ]
+  node [
+    id 15
+    label "Jgn2Plus PoP 15"
+    Latitude 35.5189
+    Longitude 135.36992
+  ]
+  node [
+    id 16
+    label "Jgn2Plus PoP 16"
+    Latitude 42.01203
+    Longitude 131.69666
+  ]
+  node [
+    id 17
+    label "Jgn2Plus PoP 17"
+    Latitude 36.02781
+    Longitude 139.25886
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 16
+  ]
+  edge [
+    source 1
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 15
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 14
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 16
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 14
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,450 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Karen"
+  directed 0
+  node [
+    id 0
+    label "Karen PoP 0"
+    Latitude -42.51591
+    Longitude 170.61173
+  ]
+  node [
+    id 1
+    label "Karen PoP 1"
+    Latitude -44.2351
+    Longitude 175.23534
+  ]
+  node [
+    id 2
+    label "Karen PoP 2"
+    Latitude -39.98809
+    Longitude 170.32917
+  ]
+  node [
+    id 3
+    label "Karen PoP 3"
+    Latitude -43.1332
+    Longitude 174.54359
+  ]
+  node [
+    id 4
+    label "Karen PoP 4"
+    Latitude -40.93524
+    Longitude 173.51092
+  ]
+  node [
+    id 5
+    label "Karen PoP 5"
+    Latitude -38.009
+    Longitude 174.87683
+  ]
+  node [
+    id 6
+    label "Karen PoP 6"
+    Latitude -38.0174
+    Longitude 175.92764
+  ]
+  node [
+    id 7
+    label "Karen PoP 7"
+    Latitude -45.41168
+    Longitude 169.58649
+  ]
+  node [
+    id 8
+    label "Karen PoP 8"
+    Latitude -42.52795
+    Longitude 170.9255
+  ]
+  node [
+    id 9
+    label "Karen PoP 9"
+    Latitude -43.69209
+    Longitude 173.48621
+  ]
+  node [
+    id 10
+    label "Karen PoP 10"
+    Latitude -41.67438
+    Longitude 169.01785
+  ]
+  node [
+    id 11
+    label "Karen PoP 11"
+    Latitude -40.51762
+    Longitude 167.57592
+  ]
+  node [
+    id 12
+    label "Karen PoP 12"
+    Latitude -39.87856
+    Longitude 174.00489
+  ]
+  node [
+    id 13
+    label "Karen PoP 13"
+    Latitude -41.77701
+    Longitude 173.51131
+  ]
+  node [
+    id 14
+    label "Karen PoP 14"
+    Latitude -36.98383
+    Longitude 167.04698
+  ]
+  node [
+    id 15
+    label "Karen PoP 15"
+    Latitude -40.38854
+    Longitude 174.42372
+  ]
+  node [
+    id 16
+    label "Karen PoP 16"
+    Latitude -36.96124
+    Longitude 171.32785
+  ]
+  node [
+    id 17
+    label "Karen PoP 17"
+    Latitude -40.63329
+    Longitude 173.28034
+  ]
+  node [
+    id 18
+    label "Karen PoP 18"
+    Latitude -39.95491
+    Longitude 168.5317
+  ]
+  node [
+    id 19
+    label "Karen PoP 19"
+    Latitude -41.76705
+    Longitude 172.60169
+  ]
+  node [
+    id 20
+    label "Karen PoP 20"
+    Latitude -41.10977
+    Longitude 175.90095
+  ]
+  node [
+    id 21
+    label "Karen PoP 21"
+    Latitude -37.11207
+    Longitude 172.33938
+  ]
+  node [
+    id 22
+    label "Karen PoP 22"
+    Latitude -42.24602
+    Longitude 172.8517
+  ]
+  node [
+    id 23
+    label "Karen PoP 23"
+    Latitude -36.51573
+    Longitude 167.56844
+  ]
+  node [
+    id 24
+    label "Karen PoP 24"
+    Latitude -37.47329
+    Longitude 168.004
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 21
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 16
+  ]
+  edge [
+    source 9
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 24
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 22
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

@@ -1,0 +1,542 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Kdl"
+  directed 0
+  node [
+    id 0
+    label "Kdl PoP 0"
+    Latitude 42.63564
+    Longitude -75.97874
+  ]
+  node [
+    id 1
+    label "Kdl PoP 1"
+    Latitude 46.91886
+    Longitude -119.42495
+  ]
+  node [
+    id 2
+    label "Kdl PoP 2"
+    Latitude 33.59624
+    Longitude -80.11974
+  ]
+  node [
+    id 3
+    label "Kdl PoP 3"
+    Latitude 38.96372
+    Longitude -103.29845
+  ]
+  node [
+    id 4
+    label "Kdl PoP 4"
+    Latitude 31.66024
+    Longitude -110.79003
+  ]
+  node [
+    id 5
+    label "Kdl PoP 5"
+    Latitude 41.47411
+    Longitude -91.48432
+  ]
+  node [
+    id 6
+    label "Kdl PoP 6"
+    Latitude 36.87307
+    Longitude -89.51469
+  ]
+  node [
+    id 7
+    label "Kdl PoP 7"
+    Latitude 43.24746
+    Longitude -110.38125
+  ]
+  node [
+    id 8
+    label "Kdl PoP 8"
+    Latitude 40.69187
+    Longitude -116.47843
+  ]
+  node [
+    id 9
+    label "Kdl PoP 9"
+    Latitude 30.75361
+    Longitude -104.21308
+  ]
+  node [
+    id 10
+    label "Kdl PoP 10"
+    Latitude 30.8241
+    Longitude -117.64179
+  ]
+  node [
+    id 11
+    label "Kdl PoP 11"
+    Latitude 37.78601
+    Longitude -96.92445
+  ]
+  node [
+    id 12
+    label "Kdl PoP 12"
+    Latitude 38.60694
+    Longitude -83.25663
+  ]
+  node [
+    id 13
+    label "Kdl PoP 13"
+    Latitude 38.69671
+    Longitude -100.0155
+  ]
+  node [
+    id 14
+    label "Kdl PoP 14"
+    Latitude 41.32003
+    Longitude -102.27812
+  ]
+  node [
+    id 15
+    label "Kdl PoP 15"
+    Latitude 31.81121
+    Longitude -95.3772
+  ]
+  node [
+    id 16
+    label "Kdl PoP 16"
+    Latitude 42.69242
+    Longitude -83.51822
+  ]
+  node [
+    id 17
+    label "Kdl PoP 17"
+    Latitude 42.55934
+    Longitude -89.67645
+  ]
+  node [
+    id 18
+    label "Kdl PoP 18"
+    Latitude 30.34335
+    Longitude -116.0544
+  ]
+  node [
+    id 19
+    label "Kdl PoP 19"
+    Latitude 30.92936
+    Longitude -104.70114
+  ]
+  node [
+    id 20
+    label "Kdl PoP 20"
+    Latitude 35.61843
+    Longitude -85.0125
+  ]
+  node [
+    id 21
+    label "Kdl PoP 21"
+    Latitude 40.28974
+    Longitude -81.51095
+  ]
+  node [
+    id 22
+    label "Kdl PoP 22"
+    Latitude 46.30828
+    Longitude -105.46489
+  ]
+  node [
+    id 23
+    label "Kdl PoP 23"
+    Latitude 38.76601
+    Longitude -96.66078
+  ]
+  node [
+    id 24
+    label "Kdl PoP 24"
+    Latitude 42.06768
+    Longitude -79.04589
+  ]
+  node [
+    id 25
+    label "Kdl PoP 25"
+    Latitude 46.40292
+    Longitude -108.13363
+  ]
+  node [
+    id 26
+    label "Kdl PoP 26"
+    Latitude 42.42643
+    Longitude -99.80569
+  ]
+  node [
+    id 27
+    label "Kdl PoP 27"
+    Latitude 45.65134
+    Longitude -74.96924
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 17
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 24
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 16
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 14
+    target 19
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 21
+  ]
+  edge [
+    source 15
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+]

@@ -1,0 +1,541 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "KentmanJan2011"
+  directed 0
+  node [
+    id 0
+    label "KentmanJan2011 PoP 0"
+    Latitude -22.50693
+    Longitude 148.68805
+  ]
+  node [
+    id 1
+    label "KentmanJan2011 PoP 1"
+    Latitude -18.86358
+    Longitude 146.4664
+  ]
+  node [
+    id 2
+    label "KentmanJan2011 PoP 2"
+    Latitude -21.79897
+    Longitude 141.20636
+  ]
+  node [
+    id 3
+    label "KentmanJan2011 PoP 3"
+    Latitude -36.13312
+    Longitude 143.08947
+  ]
+  node [
+    id 4
+    label "KentmanJan2011 PoP 4"
+    Latitude -34.92984
+    Longitude 139.91215
+  ]
+  node [
+    id 5
+    label "KentmanJan2011 PoP 5"
+    Latitude -34.74516
+    Longitude 128.33351
+  ]
+  node [
+    id 6
+    label "KentmanJan2011 PoP 6"
+    Latitude -23.0217
+    Longitude 118.59745
+  ]
+  node [
+    id 7
+    label "KentmanJan2011 PoP 7"
+    Latitude -24.89469
+    Longitude 147.19703
+  ]
+  node [
+    id 8
+    label "KentmanJan2011 PoP 8"
+    Latitude -32.38664
+    Longitude 145.97336
+  ]
+  node [
+    id 9
+    label "KentmanJan2011 PoP 9"
+    Latitude -22.73332
+    Longitude 127.34582
+  ]
+  node [
+    id 10
+    label "KentmanJan2011 PoP 10"
+    Latitude -35.63026
+    Longitude 124.6012
+  ]
+  node [
+    id 11
+    label "KentmanJan2011 PoP 11"
+    Latitude -23.13816
+    Longitude 125.19978
+  ]
+  node [
+    id 12
+    label "KentmanJan2011 PoP 12"
+    Latitude -20.5452
+    Longitude 132.73436
+  ]
+  node [
+    id 13
+    label "KentmanJan2011 PoP 13"
+    Latitude -16.13072
+    Longitude 117.58172
+  ]
+  node [
+    id 14
+    label "KentmanJan2011 PoP 14"
+    Latitude -27.945
+    Longitude 131.36973
+  ]
+  node [
+    id 15
+    label "KentmanJan2011 PoP 15"
+    Latitude -16.14446
+    Longitude 140.51981
+  ]
+  node [
+    id 16
+    label "KentmanJan2011 PoP 16"
+    Latitude -36.03545
+    Longitude 147.34297
+  ]
+  node [
+    id 17
+    label "KentmanJan2011 PoP 17"
+    Latitude -31.8199
+    Longitude 148.86342
+  ]
+  node [
+    id 18
+    label "KentmanJan2011 PoP 18"
+    Latitude -27.1918
+    Longitude 127.59211
+  ]
+  node [
+    id 19
+    label "KentmanJan2011 PoP 19"
+    Latitude -18.94382
+    Longitude 116.23309
+  ]
+  node [
+    id 20
+    label "KentmanJan2011 PoP 20"
+    Latitude -29.20801
+    Longitude 139.25981
+  ]
+  node [
+    id 21
+    label "KentmanJan2011 PoP 21"
+    Latitude -29.72091
+    Longitude 122.74813
+  ]
+  node [
+    id 22
+    label "KentmanJan2011 PoP 22"
+    Latitude -36.11877
+    Longitude 135.84193
+  ]
+  node [
+    id 23
+    label "KentmanJan2011 PoP 23"
+    Latitude -17.44738
+    Longitude 129.27006
+  ]
+  node [
+    id 24
+    label "KentmanJan2011 PoP 24"
+    Latitude -29.35791
+    Longitude 115.28622
+  ]
+  node [
+    id 25
+    label "KentmanJan2011 PoP 25"
+    Latitude -26.05023
+    Longitude 115.92503
+  ]
+  node [
+    id 26
+    label "KentmanJan2011 PoP 26"
+    Latitude -31.18668
+    Longitude 119.44228
+  ]
+  node [
+    id 27
+    label "KentmanJan2011 PoP 27"
+    Latitude -26.03811
+    Longitude 122.58786
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 3
+  ]
+  edge [
+    source 0
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 22
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 15
+  ]
+  edge [
+    source 12
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 18
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 18
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 20
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 24
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

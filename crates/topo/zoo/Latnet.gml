@@ -1,0 +1,529 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Latnet"
+  directed 0
+  node [
+    id 0
+    label "Latnet PoP 0"
+    Latitude 56.75529
+    Longitude 20.84177
+  ]
+  node [
+    id 1
+    label "Latnet PoP 1"
+    Latitude 52.7706
+    Longitude 18.51835
+  ]
+  node [
+    id 2
+    label "Latnet PoP 2"
+    Latitude 59.83394
+    Longitude -8.66654
+  ]
+  node [
+    id 3
+    label "Latnet PoP 3"
+    Latitude 43.87295
+    Longitude 2.99784
+  ]
+  node [
+    id 4
+    label "Latnet PoP 4"
+    Latitude 40.9677
+    Longitude 18.53654
+  ]
+  node [
+    id 5
+    label "Latnet PoP 5"
+    Latitude 59.52068
+    Longitude 21.07682
+  ]
+  node [
+    id 6
+    label "Latnet PoP 6"
+    Latitude 40.70518
+    Longitude 8.69214
+  ]
+  node [
+    id 7
+    label "Latnet PoP 7"
+    Latitude 55.58373
+    Longitude 10.78537
+  ]
+  node [
+    id 8
+    label "Latnet PoP 8"
+    Latitude 55.59706
+    Longitude 19.15511
+  ]
+  node [
+    id 9
+    label "Latnet PoP 9"
+    Latitude 51.55526
+    Longitude 16.10518
+  ]
+  node [
+    id 10
+    label "Latnet PoP 10"
+    Latitude 40.19859
+    Longitude 20.32297
+  ]
+  node [
+    id 11
+    label "Latnet PoP 11"
+    Latitude 48.20607
+    Longitude 20.81284
+  ]
+  node [
+    id 12
+    label "Latnet PoP 12"
+    Latitude 56.28737
+    Longitude -3.40331
+  ]
+  node [
+    id 13
+    label "Latnet PoP 13"
+    Latitude 48.19165
+    Longitude 7.09496
+  ]
+  node [
+    id 14
+    label "Latnet PoP 14"
+    Latitude 42.33153
+    Longitude -4.81325
+  ]
+  node [
+    id 15
+    label "Latnet PoP 15"
+    Latitude 57.44907
+    Longitude 12.56431
+  ]
+  node [
+    id 16
+    label "Latnet PoP 16"
+    Latitude 56.99663
+    Longitude -2.26852
+  ]
+  node [
+    id 17
+    label "Latnet PoP 17"
+    Latitude 49.87036
+    Longitude 19.33984
+  ]
+  node [
+    id 18
+    label "Latnet PoP 18"
+    Latitude 43.91511
+    Longitude 17.45743
+  ]
+  node [
+    id 19
+    label "Latnet PoP 19"
+    Latitude 51.30809
+    Longitude 5.78303
+  ]
+  node [
+    id 20
+    label "Latnet PoP 20"
+    Latitude 52.13872
+    Longitude 4.0794
+  ]
+  node [
+    id 21
+    label "Latnet PoP 21"
+    Latitude 58.32073
+    Longitude 14.7384
+  ]
+  node [
+    id 22
+    label "Latnet PoP 22"
+    Latitude 59.06174
+    Longitude 23.66002
+  ]
+  node [
+    id 23
+    label "Latnet PoP 23"
+    Latitude 40.25772
+    Longitude 14.42406
+  ]
+  node [
+    id 24
+    label "Latnet PoP 24"
+    Latitude 42.52176
+    Longitude 11.36061
+  ]
+  node [
+    id 25
+    label "Latnet PoP 25"
+    Latitude 43.21579
+    Longitude -8.38848
+  ]
+  node [
+    id 26
+    label "Latnet PoP 26"
+    Latitude 41.85781
+    Longitude 10.39256
+  ]
+  node [
+    id 27
+    label "Latnet PoP 27"
+    Latitude 46.77348
+    Longitude -2.08179
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 19
+  ]
+  edge [
+    source 1
+    target 22
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 6
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 16
+  ]
+  edge [
+    source 6
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 24
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 27
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 25
+  ]
+  edge [
+    source 9
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 27
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 23
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+]

@@ -1,0 +1,512 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Litnet"
+  directed 0
+  node [
+    id 0
+    label "Litnet PoP 0"
+    Latitude 58.93704
+    Longitude 24.00668
+  ]
+  node [
+    id 1
+    label "Litnet PoP 1"
+    Latitude 54.97042
+    Longitude -5.38674
+  ]
+  node [
+    id 2
+    label "Litnet PoP 2"
+    Latitude 54.68844
+    Longitude -3.80066
+  ]
+  node [
+    id 3
+    label "Litnet PoP 3"
+    Latitude 47.41847
+    Longitude 18.59947
+  ]
+  node [
+    id 4
+    label "Litnet PoP 4"
+    Latitude 49.52238
+    Longitude 9.01372
+  ]
+  node [
+    id 5
+    label "Litnet PoP 5"
+    Latitude 44.99054
+    Longitude 12.62741
+  ]
+  node [
+    id 6
+    label "Litnet PoP 6"
+    Latitude 52.76637
+    Longitude 13.47433
+  ]
+  node [
+    id 7
+    label "Litnet PoP 7"
+    Latitude 47.62252
+    Longitude -5.8038
+  ]
+  node [
+    id 8
+    label "Litnet PoP 8"
+    Latitude 49.93266
+    Longitude -3.59297
+  ]
+  node [
+    id 9
+    label "Litnet PoP 9"
+    Latitude 38.86204
+    Longitude -6.72691
+  ]
+  node [
+    id 10
+    label "Litnet PoP 10"
+    Latitude 53.60212
+    Longitude 11.37227
+  ]
+  node [
+    id 11
+    label "Litnet PoP 11"
+    Latitude 52.46771
+    Longitude -5.6555
+  ]
+  node [
+    id 12
+    label "Litnet PoP 12"
+    Latitude 49.97671
+    Longitude -1.08103
+  ]
+  node [
+    id 13
+    label "Litnet PoP 13"
+    Latitude 54.44974
+    Longitude 24.39934
+  ]
+  node [
+    id 14
+    label "Litnet PoP 14"
+    Latitude 51.71319
+    Longitude -8.64427
+  ]
+  node [
+    id 15
+    label "Litnet PoP 15"
+    Latitude 41.185
+    Longitude 2.70827
+  ]
+  node [
+    id 16
+    label "Litnet PoP 16"
+    Latitude 51.81507
+    Longitude 0.68407
+  ]
+  node [
+    id 17
+    label "Litnet PoP 17"
+    Latitude 58.05454
+    Longitude 18.24274
+  ]
+  node [
+    id 18
+    label "Litnet PoP 18"
+    Latitude 44.02122
+    Longitude -1.54115
+  ]
+  node [
+    id 19
+    label "Litnet PoP 19"
+    Latitude 38.40002
+    Longitude -1.00089
+  ]
+  node [
+    id 20
+    label "Litnet PoP 20"
+    Latitude 48.27222
+    Longitude -5.10488
+  ]
+  node [
+    id 21
+    label "Litnet PoP 21"
+    Latitude 48.46556
+    Longitude 0.4539
+  ]
+  node [
+    id 22
+    label "Litnet PoP 22"
+    Latitude 57.35889
+    Longitude 13.09868
+  ]
+  node [
+    id 23
+    label "Litnet PoP 23"
+    Latitude 49.15874
+    Longitude 22.22165
+  ]
+  node [
+    id 24
+    label "Litnet PoP 24"
+    Latitude 42.35835
+    Longitude 15.05581
+  ]
+  node [
+    id 25
+    label "Litnet PoP 25"
+    Latitude 59.96103
+    Longitude 12.37591
+  ]
+  node [
+    id 26
+    label "Litnet PoP 26"
+    Latitude 45.89299
+    Longitude 7.19746
+  ]
+  node [
+    id 27
+    label "Litnet PoP 27"
+    Latitude 40.41311
+    Longitude 23.15474
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 12
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 21
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 12
+  ]
+  edge [
+    source 3
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 24
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 5
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 24
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 15
+  ]
+  edge [
+    source 6
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 27
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 14
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 14
+    target 20
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 27
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 27
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+]

@@ -1,0 +1,373 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Marnet"
+  directed 0
+  node [
+    id 0
+    label "Marnet PoP 0"
+    Latitude 56.13595
+    Longitude -7.06666
+  ]
+  node [
+    id 1
+    label "Marnet PoP 1"
+    Latitude 57.0892
+    Longitude 7.8517
+  ]
+  node [
+    id 2
+    label "Marnet PoP 2"
+    Latitude 47.98645
+    Longitude -8.07989
+  ]
+  node [
+    id 3
+    label "Marnet PoP 3"
+    Latitude 40.59231
+    Longitude -8.84641
+  ]
+  node [
+    id 4
+    label "Marnet PoP 4"
+    Latitude 51.13514
+    Longitude 13.21757
+  ]
+  node [
+    id 5
+    label "Marnet PoP 5"
+    Latitude 55.70784
+    Longitude 19.00795
+  ]
+  node [
+    id 6
+    label "Marnet PoP 6"
+    Latitude 43.53185
+    Longitude 0.14667
+  ]
+  node [
+    id 7
+    label "Marnet PoP 7"
+    Latitude 50.31603
+    Longitude 13.55359
+  ]
+  node [
+    id 8
+    label "Marnet PoP 8"
+    Latitude 50.50326
+    Longitude 5.03117
+  ]
+  node [
+    id 9
+    label "Marnet PoP 9"
+    Latitude 40.13201
+    Longitude 17.2206
+  ]
+  node [
+    id 10
+    label "Marnet PoP 10"
+    Latitude 41.95642
+    Longitude 16.50918
+  ]
+  node [
+    id 11
+    label "Marnet PoP 11"
+    Latitude 58.06127
+    Longitude 0.94764
+  ]
+  node [
+    id 12
+    label "Marnet PoP 12"
+    Latitude 45.96736
+    Longitude 1.91873
+  ]
+  node [
+    id 13
+    label "Marnet PoP 13"
+    Latitude 58.95253
+    Longitude 5.02028
+  ]
+  node [
+    id 14
+    label "Marnet PoP 14"
+    Latitude 38.86667
+    Longitude 24.76994
+  ]
+  node [
+    id 15
+    label "Marnet PoP 15"
+    Latitude 48.31363
+    Longitude -6.72247
+  ]
+  node [
+    id 16
+    label "Marnet PoP 16"
+    Latitude 40.78749
+    Longitude 9.6071
+  ]
+  node [
+    id 17
+    label "Marnet PoP 17"
+    Latitude 45.45853
+    Longitude -4.94086
+  ]
+  node [
+    id 18
+    label "Marnet PoP 18"
+    Latitude 57.27704
+    Longitude 14.77839
+  ]
+  node [
+    id 19
+    label "Marnet PoP 19"
+    Latitude 55.40681
+    Longitude -4.65686
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 17
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 10
+  ]
+  edge [
+    source 3
+    target 13
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+]

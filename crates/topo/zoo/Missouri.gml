@@ -1,0 +1,542 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Missouri"
+  directed 0
+  node [
+    id 0
+    label "Missouri PoP 0"
+    Latitude 43.66116
+    Longitude -111.48365
+  ]
+  node [
+    id 1
+    label "Missouri PoP 1"
+    Latitude 38.34761
+    Longitude -93.39321
+  ]
+  node [
+    id 2
+    label "Missouri PoP 2"
+    Latitude 40.26001
+    Longitude -110.66148
+  ]
+  node [
+    id 3
+    label "Missouri PoP 3"
+    Latitude 39.82845
+    Longitude -84.04861
+  ]
+  node [
+    id 4
+    label "Missouri PoP 4"
+    Latitude 40.67245
+    Longitude -79.66404
+  ]
+  node [
+    id 5
+    label "Missouri PoP 5"
+    Latitude 35.63875
+    Longitude -94.16956
+  ]
+  node [
+    id 6
+    label "Missouri PoP 6"
+    Latitude 34.96866
+    Longitude -85.56025
+  ]
+  node [
+    id 7
+    label "Missouri PoP 7"
+    Latitude 30.23149
+    Longitude -93.01514
+  ]
+  node [
+    id 8
+    label "Missouri PoP 8"
+    Latitude 34.62148
+    Longitude -93.44023
+  ]
+  node [
+    id 9
+    label "Missouri PoP 9"
+    Latitude 33.16693
+    Longitude -81.20403
+  ]
+  node [
+    id 10
+    label "Missouri PoP 10"
+    Latitude 43.51458
+    Longitude -101.27548
+  ]
+  node [
+    id 11
+    label "Missouri PoP 11"
+    Latitude 37.9807
+    Longitude -94.31616
+  ]
+  node [
+    id 12
+    label "Missouri PoP 12"
+    Latitude 30.84896
+    Longitude -96.18407
+  ]
+  node [
+    id 13
+    label "Missouri PoP 13"
+    Latitude 42.4668
+    Longitude -121.55262
+  ]
+  node [
+    id 14
+    label "Missouri PoP 14"
+    Latitude 31.62078
+    Longitude -100.64043
+  ]
+  node [
+    id 15
+    label "Missouri PoP 15"
+    Latitude 33.28717
+    Longitude -82.92245
+  ]
+  node [
+    id 16
+    label "Missouri PoP 16"
+    Latitude 32.73123
+    Longitude -120.55805
+  ]
+  node [
+    id 17
+    label "Missouri PoP 17"
+    Latitude 43.02348
+    Longitude -97.8302
+  ]
+  node [
+    id 18
+    label "Missouri PoP 18"
+    Latitude 43.25355
+    Longitude -91.34863
+  ]
+  node [
+    id 19
+    label "Missouri PoP 19"
+    Latitude 43.2055
+    Longitude -113.6888
+  ]
+  node [
+    id 20
+    label "Missouri PoP 20"
+    Latitude 33.10435
+    Longitude -119.47515
+  ]
+  node [
+    id 21
+    label "Missouri PoP 21"
+    Latitude 30.15083
+    Longitude -104.24395
+  ]
+  node [
+    id 22
+    label "Missouri PoP 22"
+    Latitude 35.23456
+    Longitude -111.06404
+  ]
+  node [
+    id 23
+    label "Missouri PoP 23"
+    Latitude 39.80691
+    Longitude -92.69655
+  ]
+  node [
+    id 24
+    label "Missouri PoP 24"
+    Latitude 43.73894
+    Longitude -111.0789
+  ]
+  node [
+    id 25
+    label "Missouri PoP 25"
+    Latitude 44.19899
+    Longitude -120.78308
+  ]
+  node [
+    id 26
+    label "Missouri PoP 26"
+    Latitude 34.74953
+    Longitude -111.34119
+  ]
+  node [
+    id 27
+    label "Missouri PoP 27"
+    Latitude 32.25256
+    Longitude -77.18509
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 27
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 12
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 15
+  ]
+  edge [
+    source 9
+    target 17
+  ]
+  edge [
+    source 9
+    target 26
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+]

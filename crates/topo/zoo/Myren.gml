@@ -1,0 +1,530 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Myren"
+  directed 0
+  node [
+    id 0
+    label "Myren PoP 0"
+    Latitude 4.28596
+    Longitude 114.15576
+  ]
+  node [
+    id 1
+    label "Myren PoP 1"
+    Latitude 3.97585
+    Longitude 104.94603
+  ]
+  node [
+    id 2
+    label "Myren PoP 2"
+    Latitude 1.8015
+    Longitude 104.49609
+  ]
+  node [
+    id 3
+    label "Myren PoP 3"
+    Latitude 1.65794
+    Longitude 110.22231
+  ]
+  node [
+    id 4
+    label "Myren PoP 4"
+    Latitude 4.30243
+    Longitude 107.85539
+  ]
+  node [
+    id 5
+    label "Myren PoP 5"
+    Latitude 3.02411
+    Longitude 100.51344
+  ]
+  node [
+    id 6
+    label "Myren PoP 6"
+    Latitude 1.76394
+    Longitude 114.33434
+  ]
+  node [
+    id 7
+    label "Myren PoP 7"
+    Latitude 1.20257
+    Longitude 105.47354
+  ]
+  node [
+    id 8
+    label "Myren PoP 8"
+    Latitude 2.65158
+    Longitude 106.28267
+  ]
+  node [
+    id 9
+    label "Myren PoP 9"
+    Latitude 6.75284
+    Longitude 104.41184
+  ]
+  node [
+    id 10
+    label "Myren PoP 10"
+    Latitude 6.09599
+    Longitude 109.72067
+  ]
+  node [
+    id 11
+    label "Myren PoP 11"
+    Latitude 4.57397
+    Longitude 101.02643
+  ]
+  node [
+    id 12
+    label "Myren PoP 12"
+    Latitude 2.48186
+    Longitude 107.50736
+  ]
+  node [
+    id 13
+    label "Myren PoP 13"
+    Latitude 4.58824
+    Longitude 110.40503
+  ]
+  node [
+    id 14
+    label "Myren PoP 14"
+    Latitude 4.05784
+    Longitude 106.13868
+  ]
+  node [
+    id 15
+    label "Myren PoP 15"
+    Latitude 6.12359
+    Longitude 103.21564
+  ]
+  node [
+    id 16
+    label "Myren PoP 16"
+    Latitude 6.32046
+    Longitude 116.86734
+  ]
+  node [
+    id 17
+    label "Myren PoP 17"
+    Latitude 4.87106
+    Longitude 108.56596
+  ]
+  node [
+    id 18
+    label "Myren PoP 18"
+    Latitude 6.30247
+    Longitude 117.07499
+  ]
+  node [
+    id 19
+    label "Myren PoP 19"
+    Latitude 6.95938
+    Longitude 114.54576
+  ]
+  node [
+    id 20
+    label "Myren PoP 20"
+    Latitude 2.02873
+    Longitude 110.17273
+  ]
+  node [
+    id 21
+    label "Myren PoP 21"
+    Latitude 2.32567
+    Longitude 114.21128
+  ]
+  node [
+    id 22
+    label "Myren PoP 22"
+    Latitude 4.66771
+    Longitude 109.18358
+  ]
+  node [
+    id 23
+    label "Myren PoP 23"
+    Latitude 1.10308
+    Longitude 104.0354
+  ]
+  node [
+    id 24
+    label "Myren PoP 24"
+    Latitude 4.28834
+    Longitude 117.26532
+  ]
+  node [
+    id 25
+    label "Myren PoP 25"
+    Latitude 1.7752
+    Longitude 103.20278
+  ]
+  node [
+    id 26
+    label "Myren PoP 26"
+    Latitude 3.03989
+    Longitude 109.10735
+  ]
+  node [
+    id 27
+    label "Myren PoP 27"
+    Latitude 1.39683
+    Longitude 115.32118
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 7
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 11
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 10
+  ]
+  edge [
+    source 6
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 25
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 19
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 25
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

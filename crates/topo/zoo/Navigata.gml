@@ -1,0 +1,218 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Navigata"
+  directed 0
+  node [
+    id 0
+    label "Navigata PoP 0"
+    Latitude 41.2433
+    Longitude -84.08447
+  ]
+  node [
+    id 1
+    label "Navigata PoP 1"
+    Latitude 35.6217
+    Longitude -101.44043
+  ]
+  node [
+    id 2
+    label "Navigata PoP 2"
+    Latitude 32.4912
+    Longitude -82.41233
+  ]
+  node [
+    id 3
+    label "Navigata PoP 3"
+    Latitude 40.55718
+    Longitude -76.32502
+  ]
+  node [
+    id 4
+    label "Navigata PoP 4"
+    Latitude 31.05809
+    Longitude -89.94651
+  ]
+  node [
+    id 5
+    label "Navigata PoP 5"
+    Latitude 31.12254
+    Longitude -78.07053
+  ]
+  node [
+    id 6
+    label "Navigata PoP 6"
+    Latitude 46.72763
+    Longitude -95.19003
+  ]
+  node [
+    id 7
+    label "Navigata PoP 7"
+    Latitude 51.41637
+    Longitude -108.60047
+  ]
+  node [
+    id 8
+    label "Navigata PoP 8"
+    Latitude 33.6176
+    Longitude -89.29074
+  ]
+  node [
+    id 9
+    label "Navigata PoP 9"
+    Latitude 44.95455
+    Longitude -82.10939
+  ]
+  node [
+    id 10
+    label "Navigata PoP 10"
+    Latitude 39.07942
+    Longitude -99.64633
+  ]
+  node [
+    id 11
+    label "Navigata PoP 11"
+    Latitude 43.17673
+    Longitude -111.38944
+  ]
+  node [
+    id 12
+    label "Navigata PoP 12"
+    Latitude 47.67052
+    Longitude -108.2853
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 12
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+]

@@ -1,0 +1,313 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Nextgen"
+  directed 0
+  node [
+    id 0
+    label "Nextgen PoP 0"
+    Latitude -36.85044
+    Longitude 135.1271
+  ]
+  node [
+    id 1
+    label "Nextgen PoP 1"
+    Latitude -35.20537
+    Longitude 136.46687
+  ]
+  node [
+    id 2
+    label "Nextgen PoP 2"
+    Latitude -30.10847
+    Longitude 119.1517
+  ]
+  node [
+    id 3
+    label "Nextgen PoP 3"
+    Latitude -30.29806
+    Longitude 149.79597
+  ]
+  node [
+    id 4
+    label "Nextgen PoP 4"
+    Latitude -25.35944
+    Longitude 128.17344
+  ]
+  node [
+    id 5
+    label "Nextgen PoP 5"
+    Latitude -31.72256
+    Longitude 131.88079
+  ]
+  node [
+    id 6
+    label "Nextgen PoP 6"
+    Latitude -37.7267
+    Longitude 126.63241
+  ]
+  node [
+    id 7
+    label "Nextgen PoP 7"
+    Latitude -17.58092
+    Longitude 121.08535
+  ]
+  node [
+    id 8
+    label "Nextgen PoP 8"
+    Latitude -27.36121
+    Longitude 135.83012
+  ]
+  node [
+    id 9
+    label "Nextgen PoP 9"
+    Latitude -34.85239
+    Longitude 129.47817
+  ]
+  node [
+    id 10
+    label "Nextgen PoP 10"
+    Latitude -32.77165
+    Longitude 151.75536
+  ]
+  node [
+    id 11
+    label "Nextgen PoP 11"
+    Latitude -31.3824
+    Longitude 121.13887
+  ]
+  node [
+    id 12
+    label "Nextgen PoP 12"
+    Latitude -18.2152
+    Longitude 136.10269
+  ]
+  node [
+    id 13
+    label "Nextgen PoP 13"
+    Latitude -36.1706
+    Longitude 143.58367
+  ]
+  node [
+    id 14
+    label "Nextgen PoP 14"
+    Latitude -23.42071
+    Longitude 149.24299
+  ]
+  node [
+    id 15
+    label "Nextgen PoP 15"
+    Latitude -26.69431
+    Longitude 121.9768
+  ]
+  node [
+    id 16
+    label "Nextgen PoP 16"
+    Latitude -35.91246
+    Longitude 125.8702
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 16
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+]

@@ -1,0 +1,350 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Nordu2010"
+  directed 0
+  node [
+    id 0
+    label "Nordu2010 PoP 0"
+    Latitude 55.09207
+    Longitude 6.4128
+  ]
+  node [
+    id 1
+    label "Nordu2010 PoP 1"
+    Latitude 55.02986
+    Longitude 6.8059
+  ]
+  node [
+    id 2
+    label "Nordu2010 PoP 2"
+    Latitude 54.83031
+    Longitude 11.10952
+  ]
+  node [
+    id 3
+    label "Nordu2010 PoP 3"
+    Latitude 50.17775
+    Longitude 16.08238
+  ]
+  node [
+    id 4
+    label "Nordu2010 PoP 4"
+    Latitude 51.39872
+    Longitude -6.54163
+  ]
+  node [
+    id 5
+    label "Nordu2010 PoP 5"
+    Latitude 57.59364
+    Longitude -2.95946
+  ]
+  node [
+    id 6
+    label "Nordu2010 PoP 6"
+    Latitude 42.0726
+    Longitude 14.26664
+  ]
+  node [
+    id 7
+    label "Nordu2010 PoP 7"
+    Latitude 43.44384
+    Longitude -6.22398
+  ]
+  node [
+    id 8
+    label "Nordu2010 PoP 8"
+    Latitude 40.54417
+    Longitude 24.26993
+  ]
+  node [
+    id 9
+    label "Nordu2010 PoP 9"
+    Latitude 58.36248
+    Longitude -4.46155
+  ]
+  node [
+    id 10
+    label "Nordu2010 PoP 10"
+    Latitude 44.36383
+    Longitude -2.02724
+  ]
+  node [
+    id 11
+    label "Nordu2010 PoP 11"
+    Latitude 54.55996
+    Longitude -2.04598
+  ]
+  node [
+    id 12
+    label "Nordu2010 PoP 12"
+    Latitude 59.70309
+    Longitude 24.06684
+  ]
+  node [
+    id 13
+    label "Nordu2010 PoP 13"
+    Latitude 39.36362
+    Longitude -2.68685
+  ]
+  node [
+    id 14
+    label "Nordu2010 PoP 14"
+    Latitude 43.48704
+    Longitude 11.14019
+  ]
+  node [
+    id 15
+    label "Nordu2010 PoP 15"
+    Latitude 54.52476
+    Longitude 5.33965
+  ]
+  node [
+    id 16
+    label "Nordu2010 PoP 16"
+    Latitude 53.45032
+    Longitude 10.75104
+  ]
+  node [
+    id 17
+    label "Nordu2010 PoP 17"
+    Latitude 41.83062
+    Longitude 1.02732
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 10
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 8
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 13
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,522 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Ntelos"
+  directed 0
+  node [
+    id 0
+    label "Ntelos PoP 0"
+    Latitude 33.59379
+    Longitude -120.84909
+  ]
+  node [
+    id 1
+    label "Ntelos PoP 1"
+    Latitude 40.27944
+    Longitude -76.29526
+  ]
+  node [
+    id 2
+    label "Ntelos PoP 2"
+    Latitude 32.73342
+    Longitude -77.15801
+  ]
+  node [
+    id 3
+    label "Ntelos PoP 3"
+    Latitude 42.12156
+    Longitude -96.77112
+  ]
+  node [
+    id 4
+    label "Ntelos PoP 4"
+    Latitude 45.634
+    Longitude -101.61859
+  ]
+  node [
+    id 5
+    label "Ntelos PoP 5"
+    Latitude 36.25008
+    Longitude -76.8906
+  ]
+  node [
+    id 6
+    label "Ntelos PoP 6"
+    Latitude 43.81702
+    Longitude -110.98799
+  ]
+  node [
+    id 7
+    label "Ntelos PoP 7"
+    Latitude 34.45853
+    Longitude -77.69392
+  ]
+  node [
+    id 8
+    label "Ntelos PoP 8"
+    Latitude 42.01103
+    Longitude -94.6778
+  ]
+  node [
+    id 9
+    label "Ntelos PoP 9"
+    Latitude 45.57477
+    Longitude -88.08705
+  ]
+  node [
+    id 10
+    label "Ntelos PoP 10"
+    Latitude 43.70385
+    Longitude -91.73166
+  ]
+  node [
+    id 11
+    label "Ntelos PoP 11"
+    Latitude 37.94817
+    Longitude -95.83499
+  ]
+  node [
+    id 12
+    label "Ntelos PoP 12"
+    Latitude 43.46183
+    Longitude -84.92173
+  ]
+  node [
+    id 13
+    label "Ntelos PoP 13"
+    Latitude 36.89191
+    Longitude -103.78443
+  ]
+  node [
+    id 14
+    label "Ntelos PoP 14"
+    Latitude 36.07804
+    Longitude -99.08407
+  ]
+  node [
+    id 15
+    label "Ntelos PoP 15"
+    Latitude 41.33393
+    Longitude -87.0586
+  ]
+  node [
+    id 16
+    label "Ntelos PoP 16"
+    Latitude 33.49074
+    Longitude -99.70934
+  ]
+  node [
+    id 17
+    label "Ntelos PoP 17"
+    Latitude 40.13159
+    Longitude -76.79689
+  ]
+  node [
+    id 18
+    label "Ntelos PoP 18"
+    Latitude 44.70131
+    Longitude -91.44025
+  ]
+  node [
+    id 19
+    label "Ntelos PoP 19"
+    Latitude 37.0821
+    Longitude -105.84271
+  ]
+  node [
+    id 20
+    label "Ntelos PoP 20"
+    Latitude 35.20435
+    Longitude -92.51814
+  ]
+  node [
+    id 21
+    label "Ntelos PoP 21"
+    Latitude 32.25665
+    Longitude -94.50452
+  ]
+  node [
+    id 22
+    label "Ntelos PoP 22"
+    Latitude 38.47156
+    Longitude -80.56306
+  ]
+  node [
+    id 23
+    label "Ntelos PoP 23"
+    Latitude 31.17382
+    Longitude -121.19771
+  ]
+  node [
+    id 24
+    label "Ntelos PoP 24"
+    Latitude 30.84843
+    Longitude -107.69506
+  ]
+  node [
+    id 25
+    label "Ntelos PoP 25"
+    Latitude 34.68066
+    Longitude -119.92415
+  ]
+  node [
+    id 26
+    label "Ntelos PoP 26"
+    Latitude 33.89666
+    Longitude -110.02344
+  ]
+  node [
+    id 27
+    label "Ntelos PoP 27"
+    Latitude 35.7121
+    Longitude -120.60287
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 11
+  ]
+  edge [
+    source 0
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 8
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 16
+  ]
+  edge [
+    source 3
+    target 18
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 7
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 24
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 19
+  ]
+  edge [
+    source 9
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 10
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 25
+  ]
+  edge [
+    source 12
+    target 27
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+]

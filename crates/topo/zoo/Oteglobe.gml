@@ -1,0 +1,542 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Oteglobe"
+  directed 0
+  node [
+    id 0
+    label "Oteglobe PoP 0"
+    Latitude 43.53226
+    Longitude 16.77835
+  ]
+  node [
+    id 1
+    label "Oteglobe PoP 1"
+    Latitude 51.81893
+    Longitude -7.65481
+  ]
+  node [
+    id 2
+    label "Oteglobe PoP 2"
+    Latitude 51.45483
+    Longitude 20.84077
+  ]
+  node [
+    id 3
+    label "Oteglobe PoP 3"
+    Latitude 51.90475
+    Longitude 8.92192
+  ]
+  node [
+    id 4
+    label "Oteglobe PoP 4"
+    Latitude 57.28908
+    Longitude -7.61161
+  ]
+  node [
+    id 5
+    label "Oteglobe PoP 5"
+    Latitude 55.89173
+    Longitude 13.36934
+  ]
+  node [
+    id 6
+    label "Oteglobe PoP 6"
+    Latitude 52.36702
+    Longitude 5.11617
+  ]
+  node [
+    id 7
+    label "Oteglobe PoP 7"
+    Latitude 58.39035
+    Longitude 0.06495
+  ]
+  node [
+    id 8
+    label "Oteglobe PoP 8"
+    Latitude 43.86028
+    Longitude 11.4687
+  ]
+  node [
+    id 9
+    label "Oteglobe PoP 9"
+    Latitude 59.67965
+    Longitude 8.65743
+  ]
+  node [
+    id 10
+    label "Oteglobe PoP 10"
+    Latitude 43.54583
+    Longitude 8.87644
+  ]
+  node [
+    id 11
+    label "Oteglobe PoP 11"
+    Latitude 48.50677
+    Longitude 22.58565
+  ]
+  node [
+    id 12
+    label "Oteglobe PoP 12"
+    Latitude 51.1897
+    Longitude 2.47239
+  ]
+  node [
+    id 13
+    label "Oteglobe PoP 13"
+    Latitude 59.2988
+    Longitude 0.01195
+  ]
+  node [
+    id 14
+    label "Oteglobe PoP 14"
+    Latitude 38.58918
+    Longitude 17.92262
+  ]
+  node [
+    id 15
+    label "Oteglobe PoP 15"
+    Latitude 41.12167
+    Longitude -6.25349
+  ]
+  node [
+    id 16
+    label "Oteglobe PoP 16"
+    Latitude 46.56059
+    Longitude 21.3791
+  ]
+  node [
+    id 17
+    label "Oteglobe PoP 17"
+    Latitude 39.16951
+    Longitude 15.25628
+  ]
+  node [
+    id 18
+    label "Oteglobe PoP 18"
+    Latitude 53.01961
+    Longitude 20.64059
+  ]
+  node [
+    id 19
+    label "Oteglobe PoP 19"
+    Latitude 54.76953
+    Longitude 9.18535
+  ]
+  node [
+    id 20
+    label "Oteglobe PoP 20"
+    Latitude 44.67428
+    Longitude 6.38133
+  ]
+  node [
+    id 21
+    label "Oteglobe PoP 21"
+    Latitude 44.88782
+    Longitude 20.14715
+  ]
+  node [
+    id 22
+    label "Oteglobe PoP 22"
+    Latitude 53.53886
+    Longitude 16.77636
+  ]
+  node [
+    id 23
+    label "Oteglobe PoP 23"
+    Latitude 43.6418
+    Longitude 22.34464
+  ]
+  node [
+    id 24
+    label "Oteglobe PoP 24"
+    Latitude 42.23978
+    Longitude -0.67451
+  ]
+  node [
+    id 25
+    label "Oteglobe PoP 25"
+    Latitude 53.50353
+    Longitude 18.84962
+  ]
+  node [
+    id 26
+    label "Oteglobe PoP 26"
+    Latitude 49.10095
+    Longitude 3.96786
+  ]
+  node [
+    id 27
+    label "Oteglobe PoP 27"
+    Latitude 40.58008
+    Longitude -8.45832
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 10
+  ]
+  edge [
+    source 0
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 18
+  ]
+  edge [
+    source 6
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 17
+  ]
+  edge [
+    source 8
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 11
+    target 20
+  ]
+  edge [
+    source 11
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 24
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 21
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 16
+    target 25
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,332 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Pacificwave"
+  directed 0
+  node [
+    id 0
+    label "Pacificwave PoP 0"
+    Latitude 32.78159
+    Longitude -91.3514
+  ]
+  node [
+    id 1
+    label "Pacificwave PoP 1"
+    Latitude 38.333
+    Longitude -74.33338
+  ]
+  node [
+    id 2
+    label "Pacificwave PoP 2"
+    Latitude 45.6451
+    Longitude -85.05189
+  ]
+  node [
+    id 3
+    label "Pacificwave PoP 3"
+    Latitude 41.56507
+    Longitude -88.61216
+  ]
+  node [
+    id 4
+    label "Pacificwave PoP 4"
+    Latitude 40.23533
+    Longitude -106.66257
+  ]
+  node [
+    id 5
+    label "Pacificwave PoP 5"
+    Latitude 39.68726
+    Longitude -112.70882
+  ]
+  node [
+    id 6
+    label "Pacificwave PoP 6"
+    Latitude 40.82814
+    Longitude -103.35362
+  ]
+  node [
+    id 7
+    label "Pacificwave PoP 7"
+    Latitude 33.61949
+    Longitude -110.38137
+  ]
+  node [
+    id 8
+    label "Pacificwave PoP 8"
+    Latitude 42.7632
+    Longitude -111.22119
+  ]
+  node [
+    id 9
+    label "Pacificwave PoP 9"
+    Latitude 43.92781
+    Longitude -99.39228
+  ]
+  node [
+    id 10
+    label "Pacificwave PoP 10"
+    Latitude 34.51892
+    Longitude -109.93154
+  ]
+  node [
+    id 11
+    label "Pacificwave PoP 11"
+    Latitude 40.04734
+    Longitude -94.21743
+  ]
+  node [
+    id 12
+    label "Pacificwave PoP 12"
+    Latitude 46.03316
+    Longitude -103.49535
+  ]
+  node [
+    id 13
+    label "Pacificwave PoP 13"
+    Latitude 34.08499
+    Longitude -108.72967
+  ]
+  node [
+    id 14
+    label "Pacificwave PoP 14"
+    Latitude 40.86015
+    Longitude -112.53552
+  ]
+  node [
+    id 15
+    label "Pacificwave PoP 15"
+    Latitude 37.91997
+    Longitude -100.11235
+  ]
+  node [
+    id 16
+    label "Pacificwave PoP 16"
+    Latitude 39.68628
+    Longitude -76.8802
+  ]
+  node [
+    id 17
+    label "Pacificwave PoP 17"
+    Latitude 42.30103
+    Longitude -83.46373
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 15
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

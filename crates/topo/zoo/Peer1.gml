@@ -1,0 +1,287 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Peer1"
+  directed 0
+  node [
+    id 0
+    label "Peer1 PoP 0"
+    Latitude 51.27111
+    Longitude -101.2959
+  ]
+  node [
+    id 1
+    label "Peer1 PoP 1"
+    Latitude 32.71368
+    Longitude -81.1365
+  ]
+  node [
+    id 2
+    label "Peer1 PoP 2"
+    Latitude 44.27436
+    Longitude -89.90444
+  ]
+  node [
+    id 3
+    label "Peer1 PoP 3"
+    Latitude 33.13164
+    Longitude -70.86778
+  ]
+  node [
+    id 4
+    label "Peer1 PoP 4"
+    Latitude 41.43714
+    Longitude -104.11814
+  ]
+  node [
+    id 5
+    label "Peer1 PoP 5"
+    Latitude 48.24408
+    Longitude -85.99246
+  ]
+  node [
+    id 6
+    label "Peer1 PoP 6"
+    Latitude 44.36011
+    Longitude -72.20845
+  ]
+  node [
+    id 7
+    label "Peer1 PoP 7"
+    Latitude 46.56768
+    Longitude -109.65078
+  ]
+  node [
+    id 8
+    label "Peer1 PoP 8"
+    Latitude 42.50604
+    Longitude -118.91906
+  ]
+  node [
+    id 9
+    label "Peer1 PoP 9"
+    Latitude 36.53685
+    Longitude -121.42567
+  ]
+  node [
+    id 10
+    label "Peer1 PoP 10"
+    Latitude 50.5474
+    Longitude -74.76217
+  ]
+  node [
+    id 11
+    label "Peer1 PoP 11"
+    Latitude 46.07609
+    Longitude -120.56339
+  ]
+  node [
+    id 12
+    label "Peer1 PoP 12"
+    Latitude 47.33922
+    Longitude -80.31495
+  ]
+  node [
+    id 13
+    label "Peer1 PoP 13"
+    Latitude 49.49423
+    Longitude -113.62868
+  ]
+  node [
+    id 14
+    label "Peer1 PoP 14"
+    Latitude 30.66536
+    Longitude -84.1978
+  ]
+  node [
+    id 15
+    label "Peer1 PoP 15"
+    Latitude 47.73989
+    Longitude -105.01712
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 12
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 12
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 15
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+]

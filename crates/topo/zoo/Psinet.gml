@@ -1,0 +1,445 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Psinet"
+  directed 0
+  node [
+    id 0
+    label "Psinet PoP 0"
+    Latitude 39.79721
+    Longitude -110.85688
+  ]
+  node [
+    id 1
+    label "Psinet PoP 1"
+    Latitude 43.58071
+    Longitude -111.70645
+  ]
+  node [
+    id 2
+    label "Psinet PoP 2"
+    Latitude 34.29208
+    Longitude -80.80566
+  ]
+  node [
+    id 3
+    label "Psinet PoP 3"
+    Latitude 32.7827
+    Longitude -92.31358
+  ]
+  node [
+    id 4
+    label "Psinet PoP 4"
+    Latitude 35.96103
+    Longitude -102.431
+  ]
+  node [
+    id 5
+    label "Psinet PoP 5"
+    Latitude 37.78378
+    Longitude -83.11414
+  ]
+  node [
+    id 6
+    label "Psinet PoP 6"
+    Latitude 34.62855
+    Longitude -109.16826
+  ]
+  node [
+    id 7
+    label "Psinet PoP 7"
+    Latitude 43.55159
+    Longitude -110.16086
+  ]
+  node [
+    id 8
+    label "Psinet PoP 8"
+    Latitude 40.84767
+    Longitude -112.63159
+  ]
+  node [
+    id 9
+    label "Psinet PoP 9"
+    Latitude 38.25733
+    Longitude -95.0764
+  ]
+  node [
+    id 10
+    label "Psinet PoP 10"
+    Latitude 46.20084
+    Longitude -119.00434
+  ]
+  node [
+    id 11
+    label "Psinet PoP 11"
+    Latitude 43.24513
+    Longitude -78.19443
+  ]
+  node [
+    id 12
+    label "Psinet PoP 12"
+    Latitude 42.21451
+    Longitude -83.01162
+  ]
+  node [
+    id 13
+    label "Psinet PoP 13"
+    Latitude 36.70065
+    Longitude -78.55189
+  ]
+  node [
+    id 14
+    label "Psinet PoP 14"
+    Latitude 43.41755
+    Longitude -91.77344
+  ]
+  node [
+    id 15
+    label "Psinet PoP 15"
+    Latitude 35.82198
+    Longitude -88.58239
+  ]
+  node [
+    id 16
+    label "Psinet PoP 16"
+    Latitude 36.33413
+    Longitude -116.32337
+  ]
+  node [
+    id 17
+    label "Psinet PoP 17"
+    Latitude 32.59043
+    Longitude -107.27906
+  ]
+  node [
+    id 18
+    label "Psinet PoP 18"
+    Latitude 35.76318
+    Longitude -81.63118
+  ]
+  node [
+    id 19
+    label "Psinet PoP 19"
+    Latitude 38.33364
+    Longitude -112.41657
+  ]
+  node [
+    id 20
+    label "Psinet PoP 20"
+    Latitude 46.2688
+    Longitude -75.45732
+  ]
+  node [
+    id 21
+    label "Psinet PoP 21"
+    Latitude 33.38923
+    Longitude -75.31459
+  ]
+  node [
+    id 22
+    label "Psinet PoP 22"
+    Latitude 37.99401
+    Longitude -95.00046
+  ]
+  node [
+    id 23
+    label "Psinet PoP 23"
+    Latitude 38.36861
+    Longitude -98.81707
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+  ]
+  edge [
+    source 0
+    target 8
+  ]
+  edge [
+    source 0
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 11
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 18
+  ]
+  edge [
+    source 2
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 7
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 13
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

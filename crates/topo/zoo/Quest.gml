@@ -1,0 +1,372 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Quest"
+  directed 0
+  node [
+    id 0
+    label "Quest PoP 0"
+    Latitude 37.43047
+    Longitude -116.58691
+  ]
+  node [
+    id 1
+    label "Quest PoP 1"
+    Latitude 38.46832
+    Longitude -109.82473
+  ]
+  node [
+    id 2
+    label "Quest PoP 2"
+    Latitude 34.57568
+    Longitude -93.06996
+  ]
+  node [
+    id 3
+    label "Quest PoP 3"
+    Latitude 38.16838
+    Longitude -121.55007
+  ]
+  node [
+    id 4
+    label "Quest PoP 4"
+    Latitude 40.49596
+    Longitude -85.82533
+  ]
+  node [
+    id 5
+    label "Quest PoP 5"
+    Latitude 33.34291
+    Longitude -90.18056
+  ]
+  node [
+    id 6
+    label "Quest PoP 6"
+    Latitude 40.49181
+    Longitude -98.13364
+  ]
+  node [
+    id 7
+    label "Quest PoP 7"
+    Latitude 38.38737
+    Longitude -102.628
+  ]
+  node [
+    id 8
+    label "Quest PoP 8"
+    Latitude 42.44444
+    Longitude -76.52417
+  ]
+  node [
+    id 9
+    label "Quest PoP 9"
+    Latitude 42.18887
+    Longitude -90.18289
+  ]
+  node [
+    id 10
+    label "Quest PoP 10"
+    Latitude 33.22244
+    Longitude -84.64699
+  ]
+  node [
+    id 11
+    label "Quest PoP 11"
+    Latitude 38.97347
+    Longitude -98.33403
+  ]
+  node [
+    id 12
+    label "Quest PoP 12"
+    Latitude 46.21864
+    Longitude -84.96269
+  ]
+  node [
+    id 13
+    label "Quest PoP 13"
+    Latitude 38.3171
+    Longitude -89.92465
+  ]
+  node [
+    id 14
+    label "Quest PoP 14"
+    Latitude 40.29319
+    Longitude -79.10622
+  ]
+  node [
+    id 15
+    label "Quest PoP 15"
+    Latitude 34.82314
+    Longitude -110.37793
+  ]
+  node [
+    id 16
+    label "Quest PoP 16"
+    Latitude 46.09546
+    Longitude -77.06187
+  ]
+  node [
+    id 17
+    label "Quest PoP 17"
+    Latitude 36.32649
+    Longitude -109.63337
+  ]
+  node [
+    id 18
+    label "Quest PoP 18"
+    Latitude 37.33952
+    Longitude -90.97243
+  ]
+  node [
+    id 19
+    label "Quest PoP 19"
+    Latitude 33.03737
+    Longitude -83.16126
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 17
+  ]
+  edge [
+    source 0
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 5
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 19
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+]

@@ -1,0 +1,505 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "RedBestel"
+  directed 0
+  node [
+    id 0
+    label "RedBestel PoP 0"
+    Latitude 22.93202
+    Longitude -103.41237
+  ]
+  node [
+    id 1
+    label "RedBestel PoP 1"
+    Latitude 24.06539
+    Longitude -106.83857
+  ]
+  node [
+    id 2
+    label "RedBestel PoP 2"
+    Latitude 28.31816
+    Longitude -92.0822
+  ]
+  node [
+    id 3
+    label "RedBestel PoP 3"
+    Latitude 16.29689
+    Longitude -88.99634
+  ]
+  node [
+    id 4
+    label "RedBestel PoP 4"
+    Latitude 21.28628
+    Longitude -91.08929
+  ]
+  node [
+    id 5
+    label "RedBestel PoP 5"
+    Latitude 24.90243
+    Longitude -92.51467
+  ]
+  node [
+    id 6
+    label "RedBestel PoP 6"
+    Latitude 28.86427
+    Longitude -105.16307
+  ]
+  node [
+    id 7
+    label "RedBestel PoP 7"
+    Latitude 18.71768
+    Longitude -92.22701
+  ]
+  node [
+    id 8
+    label "RedBestel PoP 8"
+    Latitude 20.71749
+    Longitude -101.08216
+  ]
+  node [
+    id 9
+    label "RedBestel PoP 9"
+    Latitude 26.9597
+    Longitude -99.96156
+  ]
+  node [
+    id 10
+    label "RedBestel PoP 10"
+    Latitude 19.76893
+    Longitude -100.31513
+  ]
+  node [
+    id 11
+    label "RedBestel PoP 11"
+    Latitude 30.49668
+    Longitude -112.70136
+  ]
+  node [
+    id 12
+    label "RedBestel PoP 12"
+    Latitude 24.05974
+    Longitude -110.93715
+  ]
+  node [
+    id 13
+    label "RedBestel PoP 13"
+    Latitude 28.42625
+    Longitude -104.2277
+  ]
+  node [
+    id 14
+    label "RedBestel PoP 14"
+    Latitude 29.00743
+    Longitude -91.73962
+  ]
+  node [
+    id 15
+    label "RedBestel PoP 15"
+    Latitude 19.76919
+    Longitude -105.91478
+  ]
+  node [
+    id 16
+    label "RedBestel PoP 16"
+    Latitude 23.75462
+    Longitude -101.18465
+  ]
+  node [
+    id 17
+    label "RedBestel PoP 17"
+    Latitude 16.40184
+    Longitude -91.48508
+  ]
+  node [
+    id 18
+    label "RedBestel PoP 18"
+    Latitude 26.09136
+    Longitude -100.6878
+  ]
+  node [
+    id 19
+    label "RedBestel PoP 19"
+    Latitude 22.95008
+    Longitude -95.87944
+  ]
+  node [
+    id 20
+    label "RedBestel PoP 20"
+    Latitude 16.23675
+    Longitude -92.43649
+  ]
+  node [
+    id 21
+    label "RedBestel PoP 21"
+    Latitude 27.86531
+    Longitude -106.3386
+  ]
+  node [
+    id 22
+    label "RedBestel PoP 22"
+    Latitude 27.90365
+    Longitude -106.93473
+  ]
+  node [
+    id 23
+    label "RedBestel PoP 23"
+    Latitude 16.4334
+    Longitude -100.17906
+  ]
+  node [
+    id 24
+    label "RedBestel PoP 24"
+    Latitude 17.83899
+    Longitude -101.12918
+  ]
+  node [
+    id 25
+    label "RedBestel PoP 25"
+    Latitude 30.84494
+    Longitude -94.48884
+  ]
+  node [
+    id 26
+    label "RedBestel PoP 26"
+    Latitude 23.85759
+    Longitude -99.48312
+  ]
+  node [
+    id 27
+    label "RedBestel PoP 27"
+    Latitude 23.01635
+    Longitude -105.1907
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 2
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 11
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 27
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 8
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 14
+  ]
+  edge [
+    source 9
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 10
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

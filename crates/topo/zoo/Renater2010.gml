@@ -1,0 +1,532 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Renater2010"
+  directed 0
+  node [
+    id 0
+    label "Renater2010 PoP 0"
+    Latitude 53.11814
+    Longitude 16.1615
+  ]
+  node [
+    id 1
+    label "Renater2010 PoP 1"
+    Latitude 51.27391
+    Longitude 11.18912
+  ]
+  node [
+    id 2
+    label "Renater2010 PoP 2"
+    Latitude 56.00397
+    Longitude 11.05712
+  ]
+  node [
+    id 3
+    label "Renater2010 PoP 3"
+    Latitude 46.24285
+    Longitude -0.19566
+  ]
+  node [
+    id 4
+    label "Renater2010 PoP 4"
+    Latitude 40.51342
+    Longitude 19.12581
+  ]
+  node [
+    id 5
+    label "Renater2010 PoP 5"
+    Latitude 52.16225
+    Longitude 1.62683
+  ]
+  node [
+    id 6
+    label "Renater2010 PoP 6"
+    Latitude 47.42655
+    Longitude 10.92344
+  ]
+  node [
+    id 7
+    label "Renater2010 PoP 7"
+    Latitude 39.89559
+    Longitude 18.03388
+  ]
+  node [
+    id 8
+    label "Renater2010 PoP 8"
+    Latitude 39.04579
+    Longitude -8.68876
+  ]
+  node [
+    id 9
+    label "Renater2010 PoP 9"
+    Latitude 48.04956
+    Longitude 9.74748
+  ]
+  node [
+    id 10
+    label "Renater2010 PoP 10"
+    Latitude 58.38479
+    Longitude 15.08399
+  ]
+  node [
+    id 11
+    label "Renater2010 PoP 11"
+    Latitude 49.52911
+    Longitude 23.11769
+  ]
+  node [
+    id 12
+    label "Renater2010 PoP 12"
+    Latitude 39.60319
+    Longitude -8.75064
+  ]
+  node [
+    id 13
+    label "Renater2010 PoP 13"
+    Latitude 46.63295
+    Longitude 13.1079
+  ]
+  node [
+    id 14
+    label "Renater2010 PoP 14"
+    Latitude 44.64631
+    Longitude -2.4947
+  ]
+  node [
+    id 15
+    label "Renater2010 PoP 15"
+    Latitude 44.02127
+    Longitude 2.73844
+  ]
+  node [
+    id 16
+    label "Renater2010 PoP 16"
+    Latitude 48.54091
+    Longitude 10.05462
+  ]
+  node [
+    id 17
+    label "Renater2010 PoP 17"
+    Latitude 39.7286
+    Longitude 2.01761
+  ]
+  node [
+    id 18
+    label "Renater2010 PoP 18"
+    Latitude 55.64493
+    Longitude 15.38117
+  ]
+  node [
+    id 19
+    label "Renater2010 PoP 19"
+    Latitude 58.44359
+    Longitude 7.95944
+  ]
+  node [
+    id 20
+    label "Renater2010 PoP 20"
+    Latitude 39.54136
+    Longitude 5.38318
+  ]
+  node [
+    id 21
+    label "Renater2010 PoP 21"
+    Latitude 58.49996
+    Longitude 12.4886
+  ]
+  node [
+    id 22
+    label "Renater2010 PoP 22"
+    Latitude 55.07591
+    Longitude 11.58519
+  ]
+  node [
+    id 23
+    label "Renater2010 PoP 23"
+    Latitude 45.32452
+    Longitude -6.58653
+  ]
+  node [
+    id 24
+    label "Renater2010 PoP 24"
+    Latitude 43.83158
+    Longitude -1.9669
+  ]
+  node [
+    id 25
+    label "Renater2010 PoP 25"
+    Latitude 51.25369
+    Longitude 13.38866
+  ]
+  node [
+    id 26
+    label "Renater2010 PoP 26"
+    Latitude 54.74169
+    Longitude 22.80638
+  ]
+  node [
+    id 27
+    label "Renater2010 PoP 27"
+    Latitude 41.54663
+    Longitude -5.19352
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 14
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 15
+  ]
+  edge [
+    source 12
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 18
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 20
+    target 25
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 24
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

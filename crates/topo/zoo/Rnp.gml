@@ -1,0 +1,522 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Rnp"
+  directed 0
+  node [
+    id 0
+    label "Rnp PoP 0"
+    Latitude -5.09641
+    Longitude -38.54457
+  ]
+  node [
+    id 1
+    label "Rnp PoP 1"
+    Latitude -9.06983
+    Longitude -35.99794
+  ]
+  node [
+    id 2
+    label "Rnp PoP 2"
+    Latitude -26.28982
+    Longitude -54.32323
+  ]
+  node [
+    id 3
+    label "Rnp PoP 3"
+    Latitude -5.12603
+    Longitude -35.39277
+  ]
+  node [
+    id 4
+    label "Rnp PoP 4"
+    Latitude -10.09316
+    Longitude -57.64738
+  ]
+  node [
+    id 5
+    label "Rnp PoP 5"
+    Latitude -19.53308
+    Longitude -38.75151
+  ]
+  node [
+    id 6
+    label "Rnp PoP 6"
+    Latitude -11.58878
+    Longitude -35.78154
+  ]
+  node [
+    id 7
+    label "Rnp PoP 7"
+    Latitude -28.68706
+    Longitude -43.6805
+  ]
+  node [
+    id 8
+    label "Rnp PoP 8"
+    Latitude -12.19055
+    Longitude -54.93335
+  ]
+  node [
+    id 9
+    label "Rnp PoP 9"
+    Latitude -19.69091
+    Longitude -39.2218
+  ]
+  node [
+    id 10
+    label "Rnp PoP 10"
+    Latitude -17.06338
+    Longitude -38.08052
+  ]
+  node [
+    id 11
+    label "Rnp PoP 11"
+    Latitude -15.62545
+    Longitude -36.86258
+  ]
+  node [
+    id 12
+    label "Rnp PoP 12"
+    Latitude -16.56988
+    Longitude -41.50134
+  ]
+  node [
+    id 13
+    label "Rnp PoP 13"
+    Latitude -6.12287
+    Longitude -51.41585
+  ]
+  node [
+    id 14
+    label "Rnp PoP 14"
+    Latitude -19.82309
+    Longitude -54.83158
+  ]
+  node [
+    id 15
+    label "Rnp PoP 15"
+    Latitude -2.59283
+    Longitude -44.13481
+  ]
+  node [
+    id 16
+    label "Rnp PoP 16"
+    Latitude -7.93992
+    Longitude -40.01353
+  ]
+  node [
+    id 17
+    label "Rnp PoP 17"
+    Latitude -10.3618
+    Longitude -39.31846
+  ]
+  node [
+    id 18
+    label "Rnp PoP 18"
+    Latitude -19.04283
+    Longitude -48.63516
+  ]
+  node [
+    id 19
+    label "Rnp PoP 19"
+    Latitude -28.3169
+    Longitude -38.46815
+  ]
+  node [
+    id 20
+    label "Rnp PoP 20"
+    Latitude -10.59506
+    Longitude -41.98142
+  ]
+  node [
+    id 21
+    label "Rnp PoP 21"
+    Latitude -9.48244
+    Longitude -35.45792
+  ]
+  node [
+    id 22
+    label "Rnp PoP 22"
+    Latitude -4.99988
+    Longitude -51.81615
+  ]
+  node [
+    id 23
+    label "Rnp PoP 23"
+    Latitude -29.4243
+    Longitude -50.64795
+  ]
+  node [
+    id 24
+    label "Rnp PoP 24"
+    Latitude -23.50515
+    Longitude -57.14937
+  ]
+  node [
+    id 25
+    label "Rnp PoP 25"
+    Latitude -4.17135
+    Longitude -57.85308
+  ]
+  node [
+    id 26
+    label "Rnp PoP 26"
+    Latitude -7.42176
+    Longitude -47.02342
+  ]
+  node [
+    id 27
+    label "Rnp PoP 27"
+    Latitude -20.56127
+    Longitude -48.9007
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 21
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 11
+  ]
+  edge [
+    source 6
+    target 12
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 15
+  ]
+  edge [
+    source 9
+    target 16
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 25
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+]

@@ -1,0 +1,517 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Sanet"
+  directed 0
+  node [
+    id 0
+    label "Sanet PoP 0"
+    Latitude 51.06983
+    Longitude 4.85461
+  ]
+  node [
+    id 1
+    label "Sanet PoP 1"
+    Latitude 57.35213
+    Longitude 7.4049
+  ]
+  node [
+    id 2
+    label "Sanet PoP 2"
+    Latitude 39.83876
+    Longitude -4.75603
+  ]
+  node [
+    id 3
+    label "Sanet PoP 3"
+    Latitude 45.69023
+    Longitude 14.15193
+  ]
+  node [
+    id 4
+    label "Sanet PoP 4"
+    Latitude 43.93337
+    Longitude 22.91316
+  ]
+  node [
+    id 5
+    label "Sanet PoP 5"
+    Latitude 45.22666
+    Longitude 17.77181
+  ]
+  node [
+    id 6
+    label "Sanet PoP 6"
+    Latitude 58.63221
+    Longitude 16.33596
+  ]
+  node [
+    id 7
+    label "Sanet PoP 7"
+    Latitude 55.79466
+    Longitude 22.22401
+  ]
+  node [
+    id 8
+    label "Sanet PoP 8"
+    Latitude 39.11518
+    Longitude 24.62128
+  ]
+  node [
+    id 9
+    label "Sanet PoP 9"
+    Latitude 42.06725
+    Longitude 11.52521
+  ]
+  node [
+    id 10
+    label "Sanet PoP 10"
+    Latitude 50.1845
+    Longitude 24.86558
+  ]
+  node [
+    id 11
+    label "Sanet PoP 11"
+    Latitude 52.19181
+    Longitude -3.62644
+  ]
+  node [
+    id 12
+    label "Sanet PoP 12"
+    Latitude 41.94295
+    Longitude 24.6923
+  ]
+  node [
+    id 13
+    label "Sanet PoP 13"
+    Latitude 39.18671
+    Longitude 18.95745
+  ]
+  node [
+    id 14
+    label "Sanet PoP 14"
+    Latitude 57.77234
+    Longitude 18.08055
+  ]
+  node [
+    id 15
+    label "Sanet PoP 15"
+    Latitude 56.58235
+    Longitude -8.43795
+  ]
+  node [
+    id 16
+    label "Sanet PoP 16"
+    Latitude 43.0112
+    Longitude 0.00404
+  ]
+  node [
+    id 17
+    label "Sanet PoP 17"
+    Latitude 39.66442
+    Longitude -2.0148
+  ]
+  node [
+    id 18
+    label "Sanet PoP 18"
+    Latitude 45.47336
+    Longitude 18.36088
+  ]
+  node [
+    id 19
+    label "Sanet PoP 19"
+    Latitude 49.60514
+    Longitude 15.76
+  ]
+  node [
+    id 20
+    label "Sanet PoP 20"
+    Latitude 59.67233
+    Longitude -2.717
+  ]
+  node [
+    id 21
+    label "Sanet PoP 21"
+    Latitude 56.82095
+    Longitude 9.82533
+  ]
+  node [
+    id 22
+    label "Sanet PoP 22"
+    Latitude 59.11536
+    Longitude -6.09889
+  ]
+  node [
+    id 23
+    label "Sanet PoP 23"
+    Latitude 57.77726
+    Longitude 5.90912
+  ]
+  node [
+    id 24
+    label "Sanet PoP 24"
+    Latitude 40.60054
+    Longitude -3.0234
+  ]
+  node [
+    id 25
+    label "Sanet PoP 25"
+    Latitude 57.02731
+    Longitude -8.07664
+  ]
+  node [
+    id 26
+    label "Sanet PoP 26"
+    Latitude 57.4415
+    Longitude 21.87555
+  ]
+  node [
+    id 27
+    label "Sanet PoP 27"
+    Latitude 55.09759
+    Longitude 20.54404
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 2
+  ]
+  edge [
+    source 0
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 9
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 8
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 15
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 20
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 27
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 23
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 23
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 23
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 26
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+]

@@ -1,0 +1,532 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Shentel"
+  directed 0
+  node [
+    id 0
+    label "Shentel PoP 0"
+    Latitude 35.96438
+    Longitude -87.37233
+  ]
+  node [
+    id 1
+    label "Shentel PoP 1"
+    Latitude 34.29727
+    Longitude -103.12907
+  ]
+  node [
+    id 2
+    label "Shentel PoP 2"
+    Latitude 44.58806
+    Longitude -97.92878
+  ]
+  node [
+    id 3
+    label "Shentel PoP 3"
+    Latitude 30.03811
+    Longitude -116.60348
+  ]
+  node [
+    id 4
+    label "Shentel PoP 4"
+    Latitude 35.18903
+    Longitude -102.74431
+  ]
+  node [
+    id 5
+    label "Shentel PoP 5"
+    Latitude 45.83488
+    Longitude -108.19259
+  ]
+  node [
+    id 6
+    label "Shentel PoP 6"
+    Latitude 35.19552
+    Longitude -106.63649
+  ]
+  node [
+    id 7
+    label "Shentel PoP 7"
+    Latitude 40.93073
+    Longitude -103.48526
+  ]
+  node [
+    id 8
+    label "Shentel PoP 8"
+    Latitude 46.00277
+    Longitude -106.56703
+  ]
+  node [
+    id 9
+    label "Shentel PoP 9"
+    Latitude 42.50841
+    Longitude -84.29498
+  ]
+  node [
+    id 10
+    label "Shentel PoP 10"
+    Latitude 35.33295
+    Longitude -107.74124
+  ]
+  node [
+    id 11
+    label "Shentel PoP 11"
+    Latitude 42.18856
+    Longitude -88.29362
+  ]
+  node [
+    id 12
+    label "Shentel PoP 12"
+    Latitude 35.4036
+    Longitude -98.14736
+  ]
+  node [
+    id 13
+    label "Shentel PoP 13"
+    Latitude 45.01225
+    Longitude -77.5342
+  ]
+  node [
+    id 14
+    label "Shentel PoP 14"
+    Latitude 45.26776
+    Longitude -111.32103
+  ]
+  node [
+    id 15
+    label "Shentel PoP 15"
+    Latitude 33.94037
+    Longitude -119.5388
+  ]
+  node [
+    id 16
+    label "Shentel PoP 16"
+    Latitude 38.88999
+    Longitude -115.50567
+  ]
+  node [
+    id 17
+    label "Shentel PoP 17"
+    Latitude 39.02872
+    Longitude -120.33426
+  ]
+  node [
+    id 18
+    label "Shentel PoP 18"
+    Latitude 32.44386
+    Longitude -75.15683
+  ]
+  node [
+    id 19
+    label "Shentel PoP 19"
+    Latitude 35.05392
+    Longitude -114.65101
+  ]
+  node [
+    id 20
+    label "Shentel PoP 20"
+    Latitude 44.38705
+    Longitude -116.57102
+  ]
+  node [
+    id 21
+    label "Shentel PoP 21"
+    Latitude 31.93854
+    Longitude -120.93334
+  ]
+  node [
+    id 22
+    label "Shentel PoP 22"
+    Latitude 42.69106
+    Longitude -113.98275
+  ]
+  node [
+    id 23
+    label "Shentel PoP 23"
+    Latitude 40.72633
+    Longitude -78.13737
+  ]
+  node [
+    id 24
+    label "Shentel PoP 24"
+    Latitude 34.52922
+    Longitude -94.83861
+  ]
+  node [
+    id 25
+    label "Shentel PoP 25"
+    Latitude 33.0242
+    Longitude -104.063
+  ]
+  node [
+    id 26
+    label "Shentel PoP 26"
+    Latitude 41.5401
+    Longitude -114.7213
+  ]
+  node [
+    id 27
+    label "Shentel PoP 27"
+    Latitude 37.34306
+    Longitude -91.16665
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 25
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 10
+  ]
+  edge [
+    source 3
+    target 13
+  ]
+  edge [
+    source 3
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 24
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 25
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 19
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 25
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+]

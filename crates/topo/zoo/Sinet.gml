@@ -1,0 +1,532 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Sinet"
+  directed 0
+  node [
+    id 0
+    label "Sinet PoP 0"
+    Latitude 40.83863
+    Longitude 134.08642
+  ]
+  node [
+    id 1
+    label "Sinet PoP 1"
+    Latitude 34.16291
+    Longitude 138.32789
+  ]
+  node [
+    id 2
+    label "Sinet PoP 2"
+    Latitude 39.61178
+    Longitude 142.94874
+  ]
+  node [
+    id 3
+    label "Sinet PoP 3"
+    Latitude 38.66119
+    Longitude 139.65373
+  ]
+  node [
+    id 4
+    label "Sinet PoP 4"
+    Latitude 42.04004
+    Longitude 135.02658
+  ]
+  node [
+    id 5
+    label "Sinet PoP 5"
+    Latitude 34.51384
+    Longitude 131.6261
+  ]
+  node [
+    id 6
+    label "Sinet PoP 6"
+    Latitude 40.17179
+    Longitude 132.82493
+  ]
+  node [
+    id 7
+    label "Sinet PoP 7"
+    Latitude 33.57332
+    Longitude 130.41127
+  ]
+  node [
+    id 8
+    label "Sinet PoP 8"
+    Latitude 40.6486
+    Longitude 137.13829
+  ]
+  node [
+    id 9
+    label "Sinet PoP 9"
+    Latitude 33.98522
+    Longitude 138.02661
+  ]
+  node [
+    id 10
+    label "Sinet PoP 10"
+    Latitude 40.39576
+    Longitude 134.42611
+  ]
+  node [
+    id 11
+    label "Sinet PoP 11"
+    Latitude 34.49093
+    Longitude 134.22629
+  ]
+  node [
+    id 12
+    label "Sinet PoP 12"
+    Latitude 35.44963
+    Longitude 135.76265
+  ]
+  node [
+    id 13
+    label "Sinet PoP 13"
+    Latitude 35.99275
+    Longitude 141.67873
+  ]
+  node [
+    id 14
+    label "Sinet PoP 14"
+    Latitude 34.04392
+    Longitude 140.75429
+  ]
+  node [
+    id 15
+    label "Sinet PoP 15"
+    Latitude 33.78806
+    Longitude 141.34396
+  ]
+  node [
+    id 16
+    label "Sinet PoP 16"
+    Latitude 32.00835
+    Longitude 138.64555
+  ]
+  node [
+    id 17
+    label "Sinet PoP 17"
+    Latitude 33.86277
+    Longitude 130.36843
+  ]
+  node [
+    id 18
+    label "Sinet PoP 18"
+    Latitude 36.85922
+    Longitude 135.38399
+  ]
+  node [
+    id 19
+    label "Sinet PoP 19"
+    Latitude 42.45275
+    Longitude 136.021
+  ]
+  node [
+    id 20
+    label "Sinet PoP 20"
+    Latitude 38.4983
+    Longitude 132.68613
+  ]
+  node [
+    id 21
+    label "Sinet PoP 21"
+    Latitude 39.54598
+    Longitude 141.61331
+  ]
+  node [
+    id 22
+    label "Sinet PoP 22"
+    Latitude 40.37964
+    Longitude 141.74899
+  ]
+  node [
+    id 23
+    label "Sinet PoP 23"
+    Latitude 41.09614
+    Longitude 131.00165
+  ]
+  node [
+    id 24
+    label "Sinet PoP 24"
+    Latitude 40.83084
+    Longitude 134.24648
+  ]
+  node [
+    id 25
+    label "Sinet PoP 25"
+    Latitude 35.70709
+    Longitude 141.20667
+  ]
+  node [
+    id 26
+    label "Sinet PoP 26"
+    Latitude 32.20596
+    Longitude 143.56017
+  ]
+  node [
+    id 27
+    label "Sinet PoP 27"
+    Latitude 35.72364
+    Longitude 140.77304
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 12
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 18
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 14
+  ]
+  edge [
+    source 6
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 27
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 13
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+]

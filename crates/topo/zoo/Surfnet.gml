@@ -1,0 +1,523 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Surfnet"
+  directed 0
+  node [
+    id 0
+    label "Surfnet PoP 0"
+    Latitude 46.08785
+    Longitude -7.15933
+  ]
+  node [
+    id 1
+    label "Surfnet PoP 1"
+    Latitude 43.90939
+    Longitude 5.46813
+  ]
+  node [
+    id 2
+    label "Surfnet PoP 2"
+    Latitude 52.45512
+    Longitude 23.4326
+  ]
+  node [
+    id 3
+    label "Surfnet PoP 3"
+    Latitude 57.87044
+    Longitude -5.94993
+  ]
+  node [
+    id 4
+    label "Surfnet PoP 4"
+    Latitude 49.05359
+    Longitude -5.09551
+  ]
+  node [
+    id 5
+    label "Surfnet PoP 5"
+    Latitude 55.04255
+    Longitude 14.44768
+  ]
+  node [
+    id 6
+    label "Surfnet PoP 6"
+    Latitude 48.06476
+    Longitude -5.75314
+  ]
+  node [
+    id 7
+    label "Surfnet PoP 7"
+    Latitude 48.12712
+    Longitude -5.94576
+  ]
+  node [
+    id 8
+    label "Surfnet PoP 8"
+    Latitude 41.38981
+    Longitude 20.4987
+  ]
+  node [
+    id 9
+    label "Surfnet PoP 9"
+    Latitude 56.34588
+    Longitude 16.36411
+  ]
+  node [
+    id 10
+    label "Surfnet PoP 10"
+    Latitude 38.32087
+    Longitude -1.48134
+  ]
+  node [
+    id 11
+    label "Surfnet PoP 11"
+    Latitude 50.07846
+    Longitude -8.58591
+  ]
+  node [
+    id 12
+    label "Surfnet PoP 12"
+    Latitude 42.54414
+    Longitude -8.29244
+  ]
+  node [
+    id 13
+    label "Surfnet PoP 13"
+    Latitude 56.8631
+    Longitude 21.08138
+  ]
+  node [
+    id 14
+    label "Surfnet PoP 14"
+    Latitude 41.56108
+    Longitude -1.49541
+  ]
+  node [
+    id 15
+    label "Surfnet PoP 15"
+    Latitude 41.01869
+    Longitude -2.63434
+  ]
+  node [
+    id 16
+    label "Surfnet PoP 16"
+    Latitude 40.49761
+    Longitude -4.50015
+  ]
+  node [
+    id 17
+    label "Surfnet PoP 17"
+    Latitude 39.73013
+    Longitude 18.09766
+  ]
+  node [
+    id 18
+    label "Surfnet PoP 18"
+    Latitude 47.71429
+    Longitude 10.05563
+  ]
+  node [
+    id 19
+    label "Surfnet PoP 19"
+    Latitude 55.64115
+    Longitude 1.27112
+  ]
+  node [
+    id 20
+    label "Surfnet PoP 20"
+    Latitude 55.92651
+    Longitude 14.48631
+  ]
+  node [
+    id 21
+    label "Surfnet PoP 21"
+    Latitude 59.45048
+    Longitude 20.17605
+  ]
+  node [
+    id 22
+    label "Surfnet PoP 22"
+    Latitude 58.55343
+    Longitude -6.21885
+  ]
+  node [
+    id 23
+    label "Surfnet PoP 23"
+    Latitude 59.27764
+    Longitude -7.27022
+  ]
+  node [
+    id 24
+    label "Surfnet PoP 24"
+    Latitude 56.84873
+    Longitude 9.61837
+  ]
+  node [
+    id 25
+    label "Surfnet PoP 25"
+    Latitude 51.20442
+    Longitude 16.71572
+  ]
+  node [
+    id 26
+    label "Surfnet PoP 26"
+    Latitude 52.90546
+    Longitude 19.44636
+  ]
+  node [
+    id 27
+    label "Surfnet PoP 27"
+    Latitude 42.30438
+    Longitude 23.05591
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 8
+  ]
+  edge [
+    source 3
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 14
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 7
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 13
+    target 26
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 14
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 15
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 23
+  ]
+  edge [
+    source 18
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 24
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+]

@@ -1,0 +1,510 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "SwitchL3"
+  directed 0
+  node [
+    id 0
+    label "SwitchL3 PoP 0"
+    Latitude 43.7677
+    Longitude 13.11105
+  ]
+  node [
+    id 1
+    label "SwitchL3 PoP 1"
+    Latitude 49.58618
+    Longitude -2.2753
+  ]
+  node [
+    id 2
+    label "SwitchL3 PoP 2"
+    Latitude 48.85498
+    Longitude 7.26309
+  ]
+  node [
+    id 3
+    label "SwitchL3 PoP 3"
+    Latitude 52.99862
+    Longitude -5.61633
+  ]
+  node [
+    id 4
+    label "SwitchL3 PoP 4"
+    Latitude 47.08997
+    Longitude -7.45355
+  ]
+  node [
+    id 5
+    label "SwitchL3 PoP 5"
+    Latitude 40.86848
+    Longitude 17.10246
+  ]
+  node [
+    id 6
+    label "SwitchL3 PoP 6"
+    Latitude 49.59415
+    Longitude 9.27568
+  ]
+  node [
+    id 7
+    label "SwitchL3 PoP 7"
+    Latitude 52.76061
+    Longitude 15.08728
+  ]
+  node [
+    id 8
+    label "SwitchL3 PoP 8"
+    Latitude 48.2135
+    Longitude 6.83361
+  ]
+  node [
+    id 9
+    label "SwitchL3 PoP 9"
+    Latitude 38.01506
+    Longitude 21.49177
+  ]
+  node [
+    id 10
+    label "SwitchL3 PoP 10"
+    Latitude 44.22624
+    Longitude 10.21283
+  ]
+  node [
+    id 11
+    label "SwitchL3 PoP 11"
+    Latitude 57.53461
+    Longitude 2.48906
+  ]
+  node [
+    id 12
+    label "SwitchL3 PoP 12"
+    Latitude 56.38845
+    Longitude -3.25894
+  ]
+  node [
+    id 13
+    label "SwitchL3 PoP 13"
+    Latitude 42.5003
+    Longitude 4.7917
+  ]
+  node [
+    id 14
+    label "SwitchL3 PoP 14"
+    Latitude 58.73712
+    Longitude -8.12533
+  ]
+  node [
+    id 15
+    label "SwitchL3 PoP 15"
+    Latitude 53.46407
+    Longitude -5.46599
+  ]
+  node [
+    id 16
+    label "SwitchL3 PoP 16"
+    Latitude 52.41043
+    Longitude -1.81494
+  ]
+  node [
+    id 17
+    label "SwitchL3 PoP 17"
+    Latitude 42.54254
+    Longitude -0.1208
+  ]
+  node [
+    id 18
+    label "SwitchL3 PoP 18"
+    Latitude 44.05373
+    Longitude -6.36883
+  ]
+  node [
+    id 19
+    label "SwitchL3 PoP 19"
+    Latitude 50.14341
+    Longitude 9.62041
+  ]
+  node [
+    id 20
+    label "SwitchL3 PoP 20"
+    Latitude 48.38648
+    Longitude -8.65579
+  ]
+  node [
+    id 21
+    label "SwitchL3 PoP 21"
+    Latitude 40.84376
+    Longitude 21.44973
+  ]
+  node [
+    id 22
+    label "SwitchL3 PoP 22"
+    Latitude 51.08322
+    Longitude 23.7528
+  ]
+  node [
+    id 23
+    label "SwitchL3 PoP 23"
+    Latitude 56.95791
+    Longitude 16.65692
+  ]
+  node [
+    id 24
+    label "SwitchL3 PoP 24"
+    Latitude 42.40915
+    Longitude -1.16779
+  ]
+  node [
+    id 25
+    label "SwitchL3 PoP 25"
+    Latitude 52.61927
+    Longitude 21.26046
+  ]
+  node [
+    id 26
+    label "SwitchL3 PoP 26"
+    Latitude 49.76201
+    Longitude -2.5169
+  ]
+  node [
+    id 27
+    label "SwitchL3 PoP 27"
+    Latitude 38.72837
+    Longitude 19.55527
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 24
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 27
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 10
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 14
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 17
+  ]
+  edge [
+    source 15
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 20
+  ]
+  edge [
+    source 18
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 23
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 19
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 23
+  ]
+  edge [
+    source 21
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

@@ -1,0 +1,512 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Tinet"
+  directed 0
+  node [
+    id 0
+    label "Tinet PoP 0"
+    Latitude 40.58994
+    Longitude 0.26802
+  ]
+  node [
+    id 1
+    label "Tinet PoP 1"
+    Latitude -11.75025
+    Longitude -69.1303
+  ]
+  node [
+    id 2
+    label "Tinet PoP 2"
+    Latitude 16.67809
+    Longitude -40.73509
+  ]
+  node [
+    id 3
+    label "Tinet PoP 3"
+    Latitude -26.25479
+    Longitude -52.49165
+  ]
+  node [
+    id 4
+    label "Tinet PoP 4"
+    Latitude -18.76485
+    Longitude 93.64509
+  ]
+  node [
+    id 5
+    label "Tinet PoP 5"
+    Latitude 40.93586
+    Longitude -53.67692
+  ]
+  node [
+    id 6
+    label "Tinet PoP 6"
+    Latitude 0.66322
+    Longitude -82.30987
+  ]
+  node [
+    id 7
+    label "Tinet PoP 7"
+    Latitude -23.84842
+    Longitude -81.81626
+  ]
+  node [
+    id 8
+    label "Tinet PoP 8"
+    Latitude 49.56902
+    Longitude 49.30346
+  ]
+  node [
+    id 9
+    label "Tinet PoP 9"
+    Latitude -18.42439
+    Longitude 63.21325
+  ]
+  node [
+    id 10
+    label "Tinet PoP 10"
+    Latitude 6.47522
+    Longitude -17.7084
+  ]
+  node [
+    id 11
+    label "Tinet PoP 11"
+    Latitude 13.07249
+    Longitude 12.29379
+  ]
+  node [
+    id 12
+    label "Tinet PoP 12"
+    Latitude -8.33044
+    Longitude -80.92459
+  ]
+  node [
+    id 13
+    label "Tinet PoP 13"
+    Latitude 9.11813
+    Longitude -79.40121
+  ]
+  node [
+    id 14
+    label "Tinet PoP 14"
+    Latitude 36.7371
+    Longitude 94.47477
+  ]
+  node [
+    id 15
+    label "Tinet PoP 15"
+    Latitude 29.58569
+    Longitude 21.31262
+  ]
+  node [
+    id 16
+    label "Tinet PoP 16"
+    Latitude 51.8703
+    Longitude 104.03556
+  ]
+  node [
+    id 17
+    label "Tinet PoP 17"
+    Latitude 30.24233
+    Longitude 73.48432
+  ]
+  node [
+    id 18
+    label "Tinet PoP 18"
+    Latitude -5.29162
+    Longitude -51.89401
+  ]
+  node [
+    id 19
+    label "Tinet PoP 19"
+    Latitude -2.27449
+    Longitude -25.76181
+  ]
+  node [
+    id 20
+    label "Tinet PoP 20"
+    Latitude 19.62204
+    Longitude -42.20255
+  ]
+  node [
+    id 21
+    label "Tinet PoP 21"
+    Latitude -0.05109
+    Longitude 30.23622
+  ]
+  node [
+    id 22
+    label "Tinet PoP 22"
+    Latitude -5.9871
+    Longitude 91.53964
+  ]
+  node [
+    id 23
+    label "Tinet PoP 23"
+    Latitude 17.32003
+    Longitude 22.7791
+  ]
+  node [
+    id 24
+    label "Tinet PoP 24"
+    Latitude 2.20593
+    Longitude 47.4056
+  ]
+  node [
+    id 25
+    label "Tinet PoP 25"
+    Latitude 52.48462
+    Longitude -95.44917
+  ]
+  node [
+    id 26
+    label "Tinet PoP 26"
+    Latitude 52.8374
+    Longitude 123.4102
+  ]
+  node [
+    id 27
+    label "Tinet PoP 27"
+    Latitude 2.63179
+    Longitude -25.93033
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 15
+  ]
+  edge [
+    source 0
+    target 18
+  ]
+  edge [
+    source 0
+    target 27
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 17
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 6
+    target 19
+  ]
+  edge [
+    source 6
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 7
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 21
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+]

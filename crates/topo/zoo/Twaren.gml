@@ -1,0 +1,355 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Twaren"
+  directed 0
+  node [
+    id 0
+    label "Twaren PoP 0"
+    Latitude 23.2302
+    Longitude 121.84312
+  ]
+  node [
+    id 1
+    label "Twaren PoP 1"
+    Latitude 24.25259
+    Longitude 120.43067
+  ]
+  node [
+    id 2
+    label "Twaren PoP 2"
+    Latitude 23.96866
+    Longitude 120.80829
+  ]
+  node [
+    id 3
+    label "Twaren PoP 3"
+    Latitude 22.40603
+    Longitude 121.73309
+  ]
+  node [
+    id 4
+    label "Twaren PoP 4"
+    Latitude 24.07475
+    Longitude 120.29411
+  ]
+  node [
+    id 5
+    label "Twaren PoP 5"
+    Latitude 22.22487
+    Longitude 121.79165
+  ]
+  node [
+    id 6
+    label "Twaren PoP 6"
+    Latitude 23.38464
+    Longitude 120.47316
+  ]
+  node [
+    id 7
+    label "Twaren PoP 7"
+    Latitude 22.8849
+    Longitude 120.41614
+  ]
+  node [
+    id 8
+    label "Twaren PoP 8"
+    Latitude 23.32401
+    Longitude 121.42911
+  ]
+  node [
+    id 9
+    label "Twaren PoP 9"
+    Latitude 24.46305
+    Longitude 121.25431
+  ]
+  node [
+    id 10
+    label "Twaren PoP 10"
+    Latitude 24.57321
+    Longitude 121.22572
+  ]
+  node [
+    id 11
+    label "Twaren PoP 11"
+    Latitude 22.03792
+    Longitude 120.86408
+  ]
+  node [
+    id 12
+    label "Twaren PoP 12"
+    Latitude 24.98263
+    Longitude 121.92732
+  ]
+  node [
+    id 13
+    label "Twaren PoP 13"
+    Latitude 22.46635
+    Longitude 121.16024
+  ]
+  node [
+    id 14
+    label "Twaren PoP 14"
+    Latitude 22.32228
+    Longitude 120.21742
+  ]
+  node [
+    id 15
+    label "Twaren PoP 15"
+    Latitude 23.03742
+    Longitude 121.27213
+  ]
+  node [
+    id 16
+    label "Twaren PoP 16"
+    Latitude 24.43774
+    Longitude 121.40161
+  ]
+  node [
+    id 17
+    label "Twaren PoP 17"
+    Latitude 24.88071
+    Longitude 121.38358
+  ]
+  node [
+    id 18
+    label "Twaren PoP 18"
+    Latitude 23.63565
+    Longitude 121.1729
+  ]
+  node [
+    id 19
+    label "Twaren PoP 19"
+    Latitude 23.04788
+    Longitude 121.8408
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 5
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 1
+    target 14
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 6
+  ]
+  edge [
+    source 3
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 9
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 14
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 12
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 18
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+]

@@ -1,0 +1,521 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Ulaknet"
+  directed 0
+  node [
+    id 0
+    label "Ulaknet PoP 0"
+    Latitude 36.68349
+    Longitude 29.527
+  ]
+  node [
+    id 1
+    label "Ulaknet PoP 1"
+    Latitude 37.4085
+    Longitude 38.56166
+  ]
+  node [
+    id 2
+    label "Ulaknet PoP 2"
+    Latitude 40.42788
+    Longitude 42.95459
+  ]
+  node [
+    id 3
+    label "Ulaknet PoP 3"
+    Latitude 39.7542
+    Longitude 33.5119
+  ]
+  node [
+    id 4
+    label "Ulaknet PoP 4"
+    Latitude 40.96104
+    Longitude 31.82843
+  ]
+  node [
+    id 5
+    label "Ulaknet PoP 5"
+    Latitude 40.36487
+    Longitude 27.38878
+  ]
+  node [
+    id 6
+    label "Ulaknet PoP 6"
+    Latitude 40.28805
+    Longitude 27.215
+  ]
+  node [
+    id 7
+    label "Ulaknet PoP 7"
+    Latitude 40.99678
+    Longitude 42.19787
+  ]
+  node [
+    id 8
+    label "Ulaknet PoP 8"
+    Latitude 39.07353
+    Longitude 39.6879
+  ]
+  node [
+    id 9
+    label "Ulaknet PoP 9"
+    Latitude 38.50957
+    Longitude 34.03917
+  ]
+  node [
+    id 10
+    label "Ulaknet PoP 10"
+    Latitude 38.22581
+    Longitude 35.31587
+  ]
+  node [
+    id 11
+    label "Ulaknet PoP 11"
+    Latitude 37.5772
+    Longitude 28.45267
+  ]
+  node [
+    id 12
+    label "Ulaknet PoP 12"
+    Latitude 40.7314
+    Longitude 27.00539
+  ]
+  node [
+    id 13
+    label "Ulaknet PoP 13"
+    Latitude 37.04514
+    Longitude 40.78562
+  ]
+  node [
+    id 14
+    label "Ulaknet PoP 14"
+    Latitude 36.03881
+    Longitude 36.82556
+  ]
+  node [
+    id 15
+    label "Ulaknet PoP 15"
+    Latitude 39.26888
+    Longitude 35.76107
+  ]
+  node [
+    id 16
+    label "Ulaknet PoP 16"
+    Latitude 39.74036
+    Longitude 40.01391
+  ]
+  node [
+    id 17
+    label "Ulaknet PoP 17"
+    Latitude 38.30638
+    Longitude 35.51545
+  ]
+  node [
+    id 18
+    label "Ulaknet PoP 18"
+    Latitude 39.63437
+    Longitude 39.71009
+  ]
+  node [
+    id 19
+    label "Ulaknet PoP 19"
+    Latitude 36.92923
+    Longitude 37.81054
+  ]
+  node [
+    id 20
+    label "Ulaknet PoP 20"
+    Latitude 40.13704
+    Longitude 42.75333
+  ]
+  node [
+    id 21
+    label "Ulaknet PoP 21"
+    Latitude 36.73062
+    Longitude 39.40269
+  ]
+  node [
+    id 22
+    label "Ulaknet PoP 22"
+    Latitude 36.41214
+    Longitude 42.11805
+  ]
+  node [
+    id 23
+    label "Ulaknet PoP 23"
+    Latitude 36.86753
+    Longitude 37.48734
+  ]
+  node [
+    id 24
+    label "Ulaknet PoP 24"
+    Latitude 36.56328
+    Longitude 38.37783
+  ]
+  node [
+    id 25
+    label "Ulaknet PoP 25"
+    Latitude 39.36171
+    Longitude 40.75391
+  ]
+  node [
+    id 26
+    label "Ulaknet PoP 26"
+    Latitude 36.73021
+    Longitude 37.71941
+  ]
+  node [
+    id 27
+    label "Ulaknet PoP 27"
+    Latitude 40.51633
+    Longitude 36.00481
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 6
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 19
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 7
+  ]
+  edge [
+    source 3
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 9
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 5
+    target 27
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 6
+    target 12
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 7
+    target 15
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 16
+  ]
+  edge [
+    source 11
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 13
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 21
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 19
+  ]
+  edge [
+    source 15
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 16
+    target 17
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 18
+    target 19
+  ]
+  edge [
+    source 18
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 19
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 25
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 22
+    target 24
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 25
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+]

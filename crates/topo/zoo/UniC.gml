@@ -1,0 +1,459 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "UniC"
+  directed 0
+  node [
+    id 0
+    label "UniC PoP 0"
+    Latitude 42.56268
+    Longitude -4.11267
+  ]
+  node [
+    id 1
+    label "UniC PoP 1"
+    Latitude 42.02962
+    Longitude 1.25815
+  ]
+  node [
+    id 2
+    label "UniC PoP 2"
+    Latitude 41.6635
+    Longitude 6.25467
+  ]
+  node [
+    id 3
+    label "UniC PoP 3"
+    Latitude 39.46942
+    Longitude 18.58941
+  ]
+  node [
+    id 4
+    label "UniC PoP 4"
+    Latitude 45.98602
+    Longitude 22.18823
+  ]
+  node [
+    id 5
+    label "UniC PoP 5"
+    Latitude 49.51871
+    Longitude 24.90425
+  ]
+  node [
+    id 6
+    label "UniC PoP 6"
+    Latitude 43.9455
+    Longitude 19.27164
+  ]
+  node [
+    id 7
+    label "UniC PoP 7"
+    Latitude 38.57658
+    Longitude -8.52549
+  ]
+  node [
+    id 8
+    label "UniC PoP 8"
+    Latitude 54.25909
+    Longitude 19.0524
+  ]
+  node [
+    id 9
+    label "UniC PoP 9"
+    Latitude 41.4854
+    Longitude -2.49407
+  ]
+  node [
+    id 10
+    label "UniC PoP 10"
+    Latitude 51.0057
+    Longitude 3.68132
+  ]
+  node [
+    id 11
+    label "UniC PoP 11"
+    Latitude 49.98396
+    Longitude -7.37788
+  ]
+  node [
+    id 12
+    label "UniC PoP 12"
+    Latitude 52.38185
+    Longitude 16.83959
+  ]
+  node [
+    id 13
+    label "UniC PoP 13"
+    Latitude 48.6098
+    Longitude 18.04749
+  ]
+  node [
+    id 14
+    label "UniC PoP 14"
+    Latitude 52.66303
+    Longitude 22.74438
+  ]
+  node [
+    id 15
+    label "UniC PoP 15"
+    Latitude 56.12295
+    Longitude -2.98661
+  ]
+  node [
+    id 16
+    label "UniC PoP 16"
+    Latitude 39.70276
+    Longitude -0.39883
+  ]
+  node [
+    id 17
+    label "UniC PoP 17"
+    Latitude 53.11595
+    Longitude -1.26714
+  ]
+  node [
+    id 18
+    label "UniC PoP 18"
+    Latitude 41.52118
+    Longitude 22.37083
+  ]
+  node [
+    id 19
+    label "UniC PoP 19"
+    Latitude 52.55256
+    Longitude 2.42725
+  ]
+  node [
+    id 20
+    label "UniC PoP 20"
+    Latitude 51.08871
+    Longitude 11.74537
+  ]
+  node [
+    id 21
+    label "UniC PoP 21"
+    Latitude 51.21279
+    Longitude -2.9288
+  ]
+  node [
+    id 22
+    label "UniC PoP 22"
+    Latitude 50.04986
+    Longitude -8.53096
+  ]
+  node [
+    id 23
+    label "UniC PoP 23"
+    Latitude 38.56773
+    Longitude 7.693
+  ]
+  node [
+    id 24
+    label "UniC PoP 24"
+    Latitude 40.7143
+    Longitude -7.5972
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 4
+  ]
+  edge [
+    source 0
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 15
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 21
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 10
+  ]
+  edge [
+    source 6
+    target 16
+  ]
+  edge [
+    source 6
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 14
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 13
+  ]
+  edge [
+    source 9
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 12
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 22
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 19
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 17
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 22
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+]

@@ -1,0 +1,516 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Uninett2011"
+  directed 0
+  node [
+    id 0
+    label "Uninett2011 PoP 0"
+    Latitude 58.61184
+    Longitude -0.62558
+  ]
+  node [
+    id 1
+    label "Uninett2011 PoP 1"
+    Latitude 38.5891
+    Longitude 11.28139
+  ]
+  node [
+    id 2
+    label "Uninett2011 PoP 2"
+    Latitude 54.79357
+    Longitude 12.17783
+  ]
+  node [
+    id 3
+    label "Uninett2011 PoP 3"
+    Latitude 44.93903
+    Longitude 13.98203
+  ]
+  node [
+    id 4
+    label "Uninett2011 PoP 4"
+    Latitude 53.72072
+    Longitude 23.79464
+  ]
+  node [
+    id 5
+    label "Uninett2011 PoP 5"
+    Latitude 57.20016
+    Longitude -0.29275
+  ]
+  node [
+    id 6
+    label "Uninett2011 PoP 6"
+    Latitude 45.76153
+    Longitude 12.61458
+  ]
+  node [
+    id 7
+    label "Uninett2011 PoP 7"
+    Latitude 59.20317
+    Longitude -3.58379
+  ]
+  node [
+    id 8
+    label "Uninett2011 PoP 8"
+    Latitude 55.59731
+    Longitude 22.90941
+  ]
+  node [
+    id 9
+    label "Uninett2011 PoP 9"
+    Latitude 58.92498
+    Longitude -5.55206
+  ]
+  node [
+    id 10
+    label "Uninett2011 PoP 10"
+    Latitude 46.75322
+    Longitude 15.37143
+  ]
+  node [
+    id 11
+    label "Uninett2011 PoP 11"
+    Latitude 55.55961
+    Longitude -6.07542
+  ]
+  node [
+    id 12
+    label "Uninett2011 PoP 12"
+    Latitude 51.42126
+    Longitude -0.15086
+  ]
+  node [
+    id 13
+    label "Uninett2011 PoP 13"
+    Latitude 53.85175
+    Longitude 17.2258
+  ]
+  node [
+    id 14
+    label "Uninett2011 PoP 14"
+    Latitude 46.875
+    Longitude 10.45176
+  ]
+  node [
+    id 15
+    label "Uninett2011 PoP 15"
+    Latitude 40.58338
+    Longitude 5.26502
+  ]
+  node [
+    id 16
+    label "Uninett2011 PoP 16"
+    Latitude 51.25232
+    Longitude -4.20703
+  ]
+  node [
+    id 17
+    label "Uninett2011 PoP 17"
+    Latitude 47.36932
+    Longitude 0.95399
+  ]
+  node [
+    id 18
+    label "Uninett2011 PoP 18"
+    Latitude 51.59198
+    Longitude -2.10556
+  ]
+  node [
+    id 19
+    label "Uninett2011 PoP 19"
+    Latitude 58.52478
+    Longitude 1.20169
+  ]
+  node [
+    id 20
+    label "Uninett2011 PoP 20"
+    Latitude 53.97819
+    Longitude 9.87889
+  ]
+  node [
+    id 21
+    label "Uninett2011 PoP 21"
+    Latitude 38.35172
+    Longitude 11.23379
+  ]
+  node [
+    id 22
+    label "Uninett2011 PoP 22"
+    Latitude 54.24216
+    Longitude 9.95729
+  ]
+  node [
+    id 23
+    label "Uninett2011 PoP 23"
+    Latitude 49.70202
+    Longitude 13.51033
+  ]
+  node [
+    id 24
+    label "Uninett2011 PoP 24"
+    Latitude 53.89175
+    Longitude 20.40982
+  ]
+  node [
+    id 25
+    label "Uninett2011 PoP 25"
+    Latitude 52.16507
+    Longitude 0.66559
+  ]
+  node [
+    id 26
+    label "Uninett2011 PoP 26"
+    Latitude 47.09976
+    Longitude 1.82792
+  ]
+  node [
+    id 27
+    label "Uninett2011 PoP 27"
+    Latitude 53.60301
+    Longitude -0.90625
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 2
+  ]
+  edge [
+    source 0
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 10
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 24
+  ]
+  edge [
+    source 5
+    target 26
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+  ]
+  edge [
+    source 9
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 11
+    target 17
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 12
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 24
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 18
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 27
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 23
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+  edge [
+    source 24
+    target 25
+  ]
+  edge [
+    source 24
+    target 26
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+]

@@ -1,0 +1,457 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Uran"
+  directed 0
+  node [
+    id 0
+    label "Uran PoP 0"
+    Latitude 44.51892
+    Longitude -6.65872
+  ]
+  node [
+    id 1
+    label "Uran PoP 1"
+    Latitude 58.12653
+    Longitude 14.7815
+  ]
+  node [
+    id 2
+    label "Uran PoP 2"
+    Latitude 56.53907
+    Longitude 14.93159
+  ]
+  node [
+    id 3
+    label "Uran PoP 3"
+    Latitude 41.67621
+    Longitude 7.81412
+  ]
+  node [
+    id 4
+    label "Uran PoP 4"
+    Latitude 57.3134
+    Longitude 1.13767
+  ]
+  node [
+    id 5
+    label "Uran PoP 5"
+    Latitude 57.21654
+    Longitude 4.33598
+  ]
+  node [
+    id 6
+    label "Uran PoP 6"
+    Latitude 50.55666
+    Longitude 15.24428
+  ]
+  node [
+    id 7
+    label "Uran PoP 7"
+    Latitude 58.97258
+    Longitude 17.31838
+  ]
+  node [
+    id 8
+    label "Uran PoP 8"
+    Latitude 51.13327
+    Longitude -0.75388
+  ]
+  node [
+    id 9
+    label "Uran PoP 9"
+    Latitude 57.70901
+    Longitude 6.40912
+  ]
+  node [
+    id 10
+    label "Uran PoP 10"
+    Latitude 47.97814
+    Longitude -4.33643
+  ]
+  node [
+    id 11
+    label "Uran PoP 11"
+    Latitude 40.14888
+    Longitude -2.49396
+  ]
+  node [
+    id 12
+    label "Uran PoP 12"
+    Latitude 49.5046
+    Longitude -5.96276
+  ]
+  node [
+    id 13
+    label "Uran PoP 13"
+    Latitude 49.87166
+    Longitude 6.69511
+  ]
+  node [
+    id 14
+    label "Uran PoP 14"
+    Latitude 59.51125
+    Longitude -1.28111
+  ]
+  node [
+    id 15
+    label "Uran PoP 15"
+    Latitude 41.80747
+    Longitude 8.14691
+  ]
+  node [
+    id 16
+    label "Uran PoP 16"
+    Latitude 51.63253
+    Longitude 21.42765
+  ]
+  node [
+    id 17
+    label "Uran PoP 17"
+    Latitude 44.93128
+    Longitude -8.15065
+  ]
+  node [
+    id 18
+    label "Uran PoP 18"
+    Latitude 41.57222
+    Longitude 10.81891
+  ]
+  node [
+    id 19
+    label "Uran PoP 19"
+    Latitude 55.74595
+    Longitude -6.56904
+  ]
+  node [
+    id 20
+    label "Uran PoP 20"
+    Latitude 57.94685
+    Longitude 17.27283
+  ]
+  node [
+    id 21
+    label "Uran PoP 21"
+    Latitude 49.04778
+    Longitude 5.18051
+  ]
+  node [
+    id 22
+    label "Uran PoP 22"
+    Latitude 53.76287
+    Longitude 18.46154
+  ]
+  node [
+    id 23
+    label "Uran PoP 23"
+    Latitude 38.05715
+    Longitude 17.70763
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 7
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 11
+  ]
+  edge [
+    source 0
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 2
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 2
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 10
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 3
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 22
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 13
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 8
+    target 11
+  ]
+  edge [
+    source 8
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 10
+    target 21
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 12
+    target 19
+  ]
+  edge [
+    source 12
+    target 23
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 16
+  ]
+  edge [
+    source 15
+    target 22
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

@@ -1,0 +1,479 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Vinaren"
+  directed 0
+  node [
+    id 0
+    label "Vinaren PoP 0"
+    Latitude 11.85148
+    Longitude 103.22214
+  ]
+  node [
+    id 1
+    label "Vinaren PoP 1"
+    Latitude 12.53199
+    Longitude 108.10309
+  ]
+  node [
+    id 2
+    label "Vinaren PoP 2"
+    Latitude 20.04354
+    Longitude 103.16708
+  ]
+  node [
+    id 3
+    label "Vinaren PoP 3"
+    Latitude 12.3847
+    Longitude 107.06283
+  ]
+  node [
+    id 4
+    label "Vinaren PoP 4"
+    Latitude 16.14745
+    Longitude 106.63737
+  ]
+  node [
+    id 5
+    label "Vinaren PoP 5"
+    Latitude 9.47312
+    Longitude 106.92873
+  ]
+  node [
+    id 6
+    label "Vinaren PoP 6"
+    Latitude 14.80156
+    Longitude 108.48895
+  ]
+  node [
+    id 7
+    label "Vinaren PoP 7"
+    Latitude 18.17888
+    Longitude 104.0978
+  ]
+  node [
+    id 8
+    label "Vinaren PoP 8"
+    Latitude 21.77722
+    Longitude 108.52747
+  ]
+  node [
+    id 9
+    label "Vinaren PoP 9"
+    Latitude 18.25275
+    Longitude 107.02669
+  ]
+  node [
+    id 10
+    label "Vinaren PoP 10"
+    Latitude 13.22115
+    Longitude 105.27731
+  ]
+  node [
+    id 11
+    label "Vinaren PoP 11"
+    Latitude 10.4578
+    Longitude 108.12397
+  ]
+  node [
+    id 12
+    label "Vinaren PoP 12"
+    Latitude 19.65722
+    Longitude 107.84506
+  ]
+  node [
+    id 13
+    label "Vinaren PoP 13"
+    Latitude 13.6738
+    Longitude 103.05105
+  ]
+  node [
+    id 14
+    label "Vinaren PoP 14"
+    Latitude 17.59364
+    Longitude 103.79267
+  ]
+  node [
+    id 15
+    label "Vinaren PoP 15"
+    Latitude 14.39247
+    Longitude 104.80528
+  ]
+  node [
+    id 16
+    label "Vinaren PoP 16"
+    Latitude 21.88022
+    Longitude 106.63372
+  ]
+  node [
+    id 17
+    label "Vinaren PoP 17"
+    Latitude 20.80743
+    Longitude 106.90479
+  ]
+  node [
+    id 18
+    label "Vinaren PoP 18"
+    Latitude 11.07451
+    Longitude 105.2647
+  ]
+  node [
+    id 19
+    label "Vinaren PoP 19"
+    Latitude 9.77132
+    Longitude 107.48161
+  ]
+  node [
+    id 20
+    label "Vinaren PoP 20"
+    Latitude 13.9533
+    Longitude 104.98583
+  ]
+  node [
+    id 21
+    label "Vinaren PoP 21"
+    Latitude 16.85687
+    Longitude 104.78839
+  ]
+  node [
+    id 22
+    label "Vinaren PoP 22"
+    Latitude 14.0302
+    Longitude 105.23674
+  ]
+  node [
+    id 23
+    label "Vinaren PoP 23"
+    Latitude 20.32919
+    Longitude 105.19021
+  ]
+  node [
+    id 24
+    label "Vinaren PoP 24"
+    Latitude 19.16261
+    Longitude 108.06643
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 2
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 4
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 0
+    target 21
+  ]
+  edge [
+    source 0
+    target 24
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 1
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 5
+  ]
+  edge [
+    source 3
+    target 7
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 3
+    target 12
+  ]
+  edge [
+    source 3
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 3
+    target 24
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 4
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 6
+    target 10
+  ]
+  edge [
+    source 6
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 7
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 13
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+  ]
+  edge [
+    source 12
+    target 16
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 13
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 13
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 17
+  ]
+  edge [
+    source 15
+    target 19
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 20
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 22
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 23
+    target 24
+  ]
+]

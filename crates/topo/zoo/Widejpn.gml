@@ -1,0 +1,522 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Widejpn"
+  directed 0
+  node [
+    id 0
+    label "Widejpn PoP 0"
+    Latitude 38.93286
+    Longitude 132.45292
+  ]
+  node [
+    id 1
+    label "Widejpn PoP 1"
+    Latitude 38.16346
+    Longitude 141.00241
+  ]
+  node [
+    id 2
+    label "Widejpn PoP 2"
+    Latitude 34.61126
+    Longitude 134.36335
+  ]
+  node [
+    id 3
+    label "Widejpn PoP 3"
+    Latitude 41.44711
+    Longitude 139.16008
+  ]
+  node [
+    id 4
+    label "Widejpn PoP 4"
+    Latitude 38.45199
+    Longitude 142.37571
+  ]
+  node [
+    id 5
+    label "Widejpn PoP 5"
+    Latitude 36.17687
+    Longitude 138.17004
+  ]
+  node [
+    id 6
+    label "Widejpn PoP 6"
+    Latitude 35.38268
+    Longitude 132.41397
+  ]
+  node [
+    id 7
+    label "Widejpn PoP 7"
+    Latitude 36.51906
+    Longitude 142.9924
+  ]
+  node [
+    id 8
+    label "Widejpn PoP 8"
+    Latitude 37.80921
+    Longitude 140.07474
+  ]
+  node [
+    id 9
+    label "Widejpn PoP 9"
+    Latitude 38.88161
+    Longitude 130.77014
+  ]
+  node [
+    id 10
+    label "Widejpn PoP 10"
+    Latitude 36.55722
+    Longitude 139.53631
+  ]
+  node [
+    id 11
+    label "Widejpn PoP 11"
+    Latitude 33.74135
+    Longitude 130.04263
+  ]
+  node [
+    id 12
+    label "Widejpn PoP 12"
+    Latitude 36.18413
+    Longitude 142.8497
+  ]
+  node [
+    id 13
+    label "Widejpn PoP 13"
+    Latitude 35.69907
+    Longitude 141.6217
+  ]
+  node [
+    id 14
+    label "Widejpn PoP 14"
+    Latitude 37.17451
+    Longitude 141.802
+  ]
+  node [
+    id 15
+    label "Widejpn PoP 15"
+    Latitude 36.11802
+    Longitude 131.82219
+  ]
+  node [
+    id 16
+    label "Widejpn PoP 16"
+    Latitude 41.96414
+    Longitude 132.35617
+  ]
+  node [
+    id 17
+    label "Widejpn PoP 17"
+    Latitude 37.55078
+    Longitude 131.94027
+  ]
+  node [
+    id 18
+    label "Widejpn PoP 18"
+    Latitude 41.35965
+    Longitude 133.70063
+  ]
+  node [
+    id 19
+    label "Widejpn PoP 19"
+    Latitude 40.83713
+    Longitude 143.44179
+  ]
+  node [
+    id 20
+    label "Widejpn PoP 20"
+    Latitude 41.29947
+    Longitude 136.91156
+  ]
+  node [
+    id 21
+    label "Widejpn PoP 21"
+    Latitude 39.47953
+    Longitude 141.80544
+  ]
+  node [
+    id 22
+    label "Widejpn PoP 22"
+    Latitude 39.73775
+    Longitude 141.18639
+  ]
+  node [
+    id 23
+    label "Widejpn PoP 23"
+    Latitude 37.5586
+    Longitude 136.7456
+  ]
+  node [
+    id 24
+    label "Widejpn PoP 24"
+    Latitude 41.17559
+    Longitude 138.65885
+  ]
+  node [
+    id 25
+    label "Widejpn PoP 25"
+    Latitude 33.53272
+    Longitude 130.61605
+  ]
+  node [
+    id 26
+    label "Widejpn PoP 26"
+    Latitude 37.58824
+    Longitude 134.43037
+  ]
+  node [
+    id 27
+    label "Widejpn PoP 27"
+    Latitude 35.44841
+    Longitude 143.56332
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 2
+  ]
+  edge [
+    source 0
+    target 3
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 0
+    target 5
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 17
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 1
+    target 24
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 1
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 3
+    target 5
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 3
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 4
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 6
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 9
+    target 11
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 9
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 10
+    target 13
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 14
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 17
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 13
+    target 26
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+  ]
+  edge [
+    source 14
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 17
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 15
+    target 20
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 15
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 18
+    target 20
+  ]
+  edge [
+    source 18
+    target 23
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 21
+    target 22
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 21
+    target 23
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 21
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 24
+    target 26
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+]

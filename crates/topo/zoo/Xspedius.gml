@@ -1,0 +1,537 @@
+Creator "Topology Zoo style corpus (deterministic, seeded from the network name)"
+graph [
+  Network "Xspedius"
+  directed 0
+  node [
+    id 0
+    label "Xspedius PoP 0"
+    Latitude 32.76002
+    Longitude -86.74804
+  ]
+  node [
+    id 1
+    label "Xspedius PoP 1"
+    Latitude 39.00627
+    Longitude -79.21846
+  ]
+  node [
+    id 2
+    label "Xspedius PoP 2"
+    Latitude 34.3378
+    Longitude -83.81454
+  ]
+  node [
+    id 3
+    label "Xspedius PoP 3"
+    Latitude 33.86981
+    Longitude -103.24509
+  ]
+  node [
+    id 4
+    label "Xspedius PoP 4"
+    Latitude 41.68395
+    Longitude -110.27431
+  ]
+  node [
+    id 5
+    label "Xspedius PoP 5"
+    Latitude 45.40569
+    Longitude -99.14677
+  ]
+  node [
+    id 6
+    label "Xspedius PoP 6"
+    Latitude 34.15339
+    Longitude -94.97438
+  ]
+  node [
+    id 7
+    label "Xspedius PoP 7"
+    Latitude 35.35387
+    Longitude -89.34541
+  ]
+  node [
+    id 8
+    label "Xspedius PoP 8"
+    Latitude 32.96188
+    Longitude -112.83709
+  ]
+  node [
+    id 9
+    label "Xspedius PoP 9"
+    Latitude 45.76704
+    Longitude -106.7911
+  ]
+  node [
+    id 10
+    label "Xspedius PoP 10"
+    Latitude 30.18581
+    Longitude -100.91907
+  ]
+  node [
+    id 11
+    label "Xspedius PoP 11"
+    Latitude 41.35412
+    Longitude -109.81226
+  ]
+  node [
+    id 12
+    label "Xspedius PoP 12"
+    Latitude 30.33518
+    Longitude -103.56298
+  ]
+  node [
+    id 13
+    label "Xspedius PoP 13"
+    Latitude 45.05696
+    Longitude -90.52416
+  ]
+  node [
+    id 14
+    label "Xspedius PoP 14"
+    Latitude 44.42904
+    Longitude -79.85301
+  ]
+  node [
+    id 15
+    label "Xspedius PoP 15"
+    Latitude 33.22998
+    Longitude -101.43548
+  ]
+  node [
+    id 16
+    label "Xspedius PoP 16"
+    Latitude 38.50688
+    Longitude -91.57676
+  ]
+  node [
+    id 17
+    label "Xspedius PoP 17"
+    Latitude 41.25972
+    Longitude -90.74292
+  ]
+  node [
+    id 18
+    label "Xspedius PoP 18"
+    Latitude 45.03879
+    Longitude -78.34632
+  ]
+  node [
+    id 19
+    label "Xspedius PoP 19"
+    Latitude 32.90357
+    Longitude -99.25777
+  ]
+  node [
+    id 20
+    label "Xspedius PoP 20"
+    Latitude 39.63916
+    Longitude -90.58212
+  ]
+  node [
+    id 21
+    label "Xspedius PoP 21"
+    Latitude 44.95555
+    Longitude -81.07702
+  ]
+  node [
+    id 22
+    label "Xspedius PoP 22"
+    Latitude 30.33022
+    Longitude -94.53389
+  ]
+  node [
+    id 23
+    label "Xspedius PoP 23"
+    Latitude 44.67346
+    Longitude -115.8744
+  ]
+  node [
+    id 24
+    label "Xspedius PoP 24"
+    Latitude 42.68974
+    Longitude -115.85079
+  ]
+  node [
+    id 25
+    label "Xspedius PoP 25"
+    Latitude 34.52584
+    Longitude -101.57798
+  ]
+  node [
+    id 26
+    label "Xspedius PoP 26"
+    Latitude 30.20467
+    Longitude -104.21309
+  ]
+  node [
+    id 27
+    label "Xspedius PoP 27"
+    Latitude 31.63877
+    Longitude -89.49529
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 0
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 0
+    target 11
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 0
+    target 16
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 0
+    target 27
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 18
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 1
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 2
+    target 3
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 2
+    target 10
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 3
+    target 11
+  ]
+  edge [
+    source 3
+    target 14
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 4
+    target 5
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 12
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 4
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 4
+    target 21
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 4
+    target 24
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 5
+    target 6
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 5
+    target 9
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 14
+  ]
+  edge [
+    source 6
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 6
+    target 27
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 7
+    target 8
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 7
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 8
+    target 9
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 9
+    target 10
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 9
+    target 17
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 9
+    target 20
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 10
+    target 11
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 10
+    target 27
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 11
+    target 12
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 11
+    target 14
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 12
+    target 13
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 12
+    target 20
+    LinkSpeed "40"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 40000000000.0
+  ]
+  edge [
+    source 12
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 13
+    target 14
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 14
+    target 15
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 15
+    target 16
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 15
+    target 23
+  ]
+  edge [
+    source 15
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 16
+    target 17
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+  edge [
+    source 17
+    target 18
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 18
+    target 19
+    LinkSpeed "2.5"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 2500000000.0
+  ]
+  edge [
+    source 18
+    target 26
+  ]
+  edge [
+    source 19
+    target 20
+    LinkSpeed "1"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 1000000000.0
+  ]
+  edge [
+    source 20
+    target 21
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 22
+    target 23
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 23
+    target 24
+    LinkSpeed "10"
+    LinkSpeedUnits "G"
+    LinkSpeedRaw 10000000000.0
+  ]
+  edge [
+    source 24
+    target 25
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 25
+    target 26
+    LinkSpeed "622"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 622000000.0
+  ]
+  edge [
+    source 26
+    target 27
+    LinkSpeed "155"
+    LinkSpeedUnits "M"
+    LinkSpeedRaw 155000000.0
+  ]
+]

@@ -27,7 +27,7 @@ fn main() {
     for &k in &pods {
         let max_gbps = (k * k * k / 4) as f64;
         for te in [TeApproach::BgpEcmp, TeApproach::Hedera, TeApproach::SdnEcmp] {
-            let report = Experiment::demo(k, te, 42).horizon_secs(horizon).run();
+            let report = Experiment::for_spec(k, te, 42).horizon_secs(horizon).run();
             println!(
                 "{:<6} {:<10} {:>4}/{:<4} {:>10.3} {:>12.2} {:>12.0} {:>8.1}",
                 k,

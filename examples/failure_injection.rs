@@ -22,7 +22,7 @@ fn main() {
         .link_between(ft.aggs[0], ft.cores[0])
         .expect("agg-core link");
 
-    let (report, trace) = Experiment::demo(4, TeApproach::BgpEcmp, 42)
+    let (report, trace) = Experiment::for_spec(4, TeApproach::BgpEcmp, 42)
         .horizon_secs(10.0)
         .link_down(SimTime::from_secs(3), victim)
         .link_up(SimTime::from_secs(7), victim)

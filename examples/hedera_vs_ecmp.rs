@@ -16,11 +16,11 @@ fn main() {
     let seed: u64 = args.next().map(|a| a.parse().unwrap()).unwrap_or(11);
     let horizon = 16.0;
 
-    let ecmp = Experiment::demo(pods, TeApproach::SdnEcmp, seed)
+    let ecmp = Experiment::for_spec(pods, TeApproach::SdnEcmp, seed)
         .horizon_secs(horizon)
         .sample_every(SimDuration::from_millis(500))
         .run();
-    let hedera = Experiment::demo(pods, TeApproach::Hedera, seed)
+    let hedera = Experiment::for_spec(pods, TeApproach::Hedera, seed)
         .horizon_secs(horizon)
         .sample_every(SimDuration::from_millis(500))
         .run();

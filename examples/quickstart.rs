@@ -15,7 +15,7 @@ use horse::trace::attribute_fti;
 use horse::{Experiment, RunConfig, TeApproach, TraceOptions};
 
 fn main() {
-    let (report, trace) = Experiment::demo(4, TeApproach::SdnEcmp, 42)
+    let (report, trace) = Experiment::for_spec(4, TeApproach::SdnEcmp, 42)
         .horizon_secs(10.0)
         .trace(TraceOptions::enabled())
         .run_traced();

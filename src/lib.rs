@@ -56,6 +56,10 @@ pub use horse_trace::{TraceLog, TraceOptions, TraceSummary};
 /// The paper's three traffic-engineering demo scenarios, re-exported.
 pub use horse_core::experiment::{ControlBuild, TrafficEvent};
 
+/// The topology/policy grid axes, re-exported so sweep callers can name
+/// them without reaching into [`topo`].
+pub use horse_topo::{BuiltTopology, PolicyScenario, TopologySpec, ZooCorpus, ALL_SCENARIOS};
+
 pub use horse_baseline as baseline;
 pub use horse_bgp as bgp;
 pub use horse_cm as cm;

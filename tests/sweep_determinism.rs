@@ -8,7 +8,7 @@
 //! occupancy, routed flows — must not depend on the schedule.
 
 use horse::sim::SimTime;
-use horse::sweep::{CheckpointOptions, FailureScenario, SweepPlan};
+use horse::sweep::{CheckpointOptions, FailureScenario, PolicyScenario, SweepPlan, TopologySpec};
 use horse::TeApproach;
 
 fn plan() -> SweepPlan {
@@ -115,6 +115,99 @@ fn killed_and_resumed_sweep_matches_uninterrupted_report() {
 
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// The determinism contract extends to the topology and policy axes: a
+/// plan mixing a fat-tree with two Topology Zoo WANs, under baseline and
+/// Gao–Rexford policies and a topology-generic percentile failure, is
+/// byte-identical at 1, 2, and 4 workers — and a killed-then-resumed
+/// sweep of the same plan merges to the same bytes.
+#[test]
+fn mixed_zoo_and_fattree_plan_is_identical_across_worker_counts() {
+    let plan = SweepPlan::new(42)
+        .topologies([
+            TopologySpec::FatTree { k: 4 },
+            TopologySpec::Zoo {
+                name: "Abilene".to_string(),
+            },
+            TopologySpec::Zoo {
+                name: "AttMpls".to_string(),
+            },
+        ])
+        .policies([PolicyScenario::Baseline, PolicyScenario::GaoRexford])
+        .approaches([TeApproach::BgpEcmp])
+        .failures([
+            FailureScenario::None,
+            FailureScenario::LinkPercentile {
+                pct: 50,
+                at: SimTime::from_secs(1),
+                restore: None,
+            },
+        ])
+        .horizon_secs(2.0);
+    let serial = plan.execute(1);
+    assert_eq!(
+        serial.runs.len(),
+        12,
+        "3 topologies x 2 policies x 2 failures"
+    );
+    for run in &serial.runs {
+        assert!(run.report.control_msgs > 0, "{}", run.spec.label());
+        assert!(run.report.table_writes > 0, "{}", run.spec.label());
+    }
+    let baseline = serial.semantic_json();
+
+    for threads in [2, 4] {
+        assert_eq!(
+            baseline,
+            plan.execute(threads).semantic_json(),
+            "semantic reports diverged at {threads} workers"
+        );
+    }
+
+    // Kill after 5 runs, resume under a different worker count.
+    let dir = std::env::temp_dir().join(format!("horse-zoo-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = CheckpointOptions::new(&dir);
+    let partial = plan
+        .execute_checkpointed(2, &opts.clone().max_runs(Some(5)))
+        .expect("capped sweep");
+    assert!(!partial.is_complete());
+    let resumed = plan.execute_checkpointed(4, &opts).expect("resumed sweep");
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.restored, 5);
+    assert_eq!(resumed.semantic_json(), baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An explicit baseline-only policy axis is the no-op it claims to be:
+/// same labels, same plan hash (so checkpoints interoperate), and
+/// byte-identical semantic reports versus a plan that never mentions
+/// policies — on both fat-tree and zoo topologies.
+#[test]
+fn empty_policy_axis_is_byte_identical_to_no_policy_axis() {
+    let base = || {
+        SweepPlan::new(42)
+            .topologies([
+                TopologySpec::FatTree { k: 4 },
+                TopologySpec::Zoo {
+                    name: "Abilene".to_string(),
+                },
+            ])
+            .approaches([TeApproach::BgpEcmp])
+            .horizon_secs(2.0)
+    };
+    let implicit = base();
+    let explicit = base().policies([PolicyScenario::Baseline]);
+    assert_eq!(implicit.plan_hash(), explicit.plan_hash());
+
+    let a = implicit.execute(2);
+    let b = explicit.execute(2);
+    assert_eq!(
+        a.runs.iter().map(|r| r.spec.label()).collect::<Vec<_>>(),
+        b.runs.iter().map(|r| r.spec.label()).collect::<Vec<_>>(),
+    );
+    assert_eq!(a.semantic_json(), b.semantic_json());
 }
 
 #[test]
